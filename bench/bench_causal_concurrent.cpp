@@ -1,0 +1,104 @@
+// E9 — Section 5 / Theorem 4: any lease-based algorithm is causally
+// consistent in concurrent executions.
+//
+// Runs every standard policy under heavy concurrency — the discrete-event
+// simulator with randomized per-message delays across many seeds, plus the
+// multi-threaded actor runtime — and verifies each history with the
+// Section 5.3 causal-consistency checker.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "consistency/causal_checker.h"
+#include "core/policies.h"
+#include "runtime/actor_runtime.h"
+#include "sim/concurrent.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+int Run() {
+  std::cout << "Theorem 4 — causal consistency of lease-based algorithms "
+               "under concurrency\n\n";
+  bool ok = true;
+  TextTable table({"policy", "backend", "runs", "requests/run", "messages",
+                   "causal checks"});
+  const int kSeeds = 8;
+  Tree tree = MakeKary(15, 2);
+  const std::size_t kLen = 400;
+
+  for (const NamedPolicy& policy : StandardPolicies()) {
+    int passes = 0;
+    std::int64_t messages = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      ConcurrentSimulator::Options options;
+      options.min_delay = 1;
+      options.max_delay = 20;
+      options.seed = 1000 + static_cast<std::uint64_t>(seed);
+      ConcurrentSimulator sim(tree, policy.factory, options);
+      Rng rng(options.seed);
+      const RequestSequence sigma =
+          MakeWorkload("mixed50", tree, kLen, options.seed);
+      sim.Run(ScheduleWithGaps(sigma, 3, rng));
+      messages += sim.trace().TotalMessages();
+      const CheckResult r = CheckCausalConsistency(
+          sim.history(), sim.GhostStates(), SumOp(), tree.size());
+      if (r.ok && sim.history().AllCompleted()) {
+        ++passes;
+      } else {
+        std::cout << "FAIL (" << policy.name << ", seed " << seed
+                  << "): " << r.message << "\n";
+      }
+    }
+    ok &= (passes == kSeeds);
+    table.AddRow({policy.name, "DES sim", std::to_string(kSeeds),
+                  std::to_string(kLen), std::to_string(messages),
+                  std::to_string(passes) + "/" + std::to_string(kSeeds)});
+  }
+
+  // Threaded actor runtime: genuine interleavings.
+  for (const NamedPolicy& policy : StandardPolicies()) {
+    const int kRuns = 3;
+    int passes = 0;
+    std::int64_t messages = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      ActorRuntime rt(tree, policy.factory);
+      rt.Start();
+      const RequestSequence sigma =
+          MakeWorkload("mixed50", tree, kLen, 99 + static_cast<std::uint64_t>(run));
+      for (const Request& r : sigma) {
+        if (r.op == ReqType::kCombine) {
+          rt.InjectCombine(r.node);
+        } else {
+          rt.InjectWrite(r.node, r.arg);
+        }
+      }
+      rt.DrainAndStop();
+      messages += rt.MessagesSent();
+      const CheckResult r = CheckCausalConsistency(
+          rt.history(), rt.GhostStates(), SumOp(), tree.size());
+      if (r.ok && rt.history().AllCompleted()) {
+        ++passes;
+      } else {
+        std::cout << "FAIL (" << policy.name << ", threaded run " << run
+                  << "): " << r.message << "\n";
+      }
+    }
+    ok &= (passes == kRuns);
+    table.AddRow({policy.name, "threads", std::to_string(kRuns),
+                  std::to_string(kLen), std::to_string(messages),
+                  std::to_string(passes) + "/" + std::to_string(kRuns)});
+  }
+
+  std::cout << table.ToString();
+  std::cout << (ok ? "\nEvery concurrent execution was causally consistent "
+                     "(Theorem 4).\n"
+                   : "\nCAUSAL CONSISTENCY VIOLATED!\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main() { return treeagg::Run(); }

@@ -1,0 +1,73 @@
+// E-extra — message cost under leases is local: it scales with the
+// DISTANCE between the active reader and writer, not with tree size.
+//
+// Workload: ping-pong rounds (1 write at one end, 1 combine at distance d)
+// on a 65-node path. Predicted messages per round (steady state):
+//
+//   * lease-based (RWW, and push-all, which coincides with it here):
+//     ~d — after the first combine, off-path subtrees hold quiet leases
+//     forever (nothing there is ever written), and each write sends one
+//     update per path edge. Cost tracks the ACTIVE path only.
+//   * pull-all: 2(n-1) = 128 regardless of d — a combine with no cached
+//     state must probe the ENTIRE tree, not just the path to the writer.
+//
+// This is the quantitative version of the paper's locality intuition: the
+// per-edge decomposition (Lemma 3.9) charges only the edges that actually
+// separate readers from writers, while a stateless strategy pays for the
+// whole topology on every read.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "core/policies.h"
+#include "offline/edge_dp.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+int Run() {
+  std::cout << "Messages per ping-pong round vs reader-writer distance "
+               "(65-node path,\nwriter at node 0, 500 rounds)\n\n";
+  Tree tree = MakePath(65);
+  TextTable table({"distance d", "RWW", "pull-all", "push-all", "OPT bound",
+                   "RWW/OPT"});
+  bool ok = true;
+  const std::size_t rounds = 500;
+  for (const NodeId d : {1, 2, 4, 8, 16, 32, 64}) {
+    const RequestSequence sigma = MakePingPong(/*reader=*/d, /*writer=*/0,
+                                               rounds);
+    const double per = static_cast<double>(rounds);
+    const auto run = [&](const PolicyFactory& f) {
+      AggregationSystem sys(tree, f);
+      sys.Execute(sigma);
+      return static_cast<double>(sys.trace().TotalMessages()) / per;
+    };
+    const double rww = run(RwwFactory());
+    const double pull = run(PullAllFactory());
+    const double push = run(PushAllFactory());
+    const double opt =
+        static_cast<double>(OptimalLeaseBasedLowerBound(sigma, tree)) / per;
+    ok &= rww <= 2.5 * opt + 1e-9;
+    // Locality: RWW must scale with d; pull-all must pay the whole tree.
+    ok &= rww <= static_cast<double>(d) + 2.0;
+    ok &= pull >= 2.0 * 63;
+    table.AddRow({std::to_string(d), Fmt(rww, 2), Fmt(pull, 2),
+                  Fmt(push, 2), Fmt(opt, 2), Fmt(rww / opt, 3)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nLease-based cost tracks the active path (~d per round); "
+               "pull-all pays the\nwhole tree (2(n-1) = 128) on every read, "
+               "at any distance. With a single\nreader, push-all's lease "
+               "graph equals RWW's, so their costs coincide.\n";
+  std::cout << (ok ? "Per-edge locality and the 5/2 bound hold at every "
+                     "distance.\n"
+                   : "BOUND VIOLATED!\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main() { return treeagg::Run(); }

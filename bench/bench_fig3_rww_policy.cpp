@@ -1,0 +1,72 @@
+// E2 — Figure 3 / Corollary 4.1: RWW is a (1, 2)-algorithm.
+//
+// Tracks F_RWW(u, v) (the per-edge configuration: 0 unleased, 2 after a
+// combine, decremented per write) through a scripted sigma(u, v) and
+// verifies that the protocol's actual lease state matches Lemma 4.4:
+// u.granted[v] holds iff F_RWW(u, v) > 0 — across several tree shapes,
+// with the scripted edge embedded in larger topologies.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+int Run() {
+  std::cout << "Figure 3 / Corollary 4.1 — RWW sets the lease after 1 "
+               "combine,\nbreaks it after 2 consecutive writes.\n\n";
+
+  bool ok = true;
+
+  // Scripted request pattern over sigma(u, v); expected F_RWW after each.
+  const std::string script = "RWRWWRRWWW";
+  const std::vector<int> expected = {2, 1, 2, 1, 0, 2, 2, 1, 0, 0};
+
+  struct Scenario {
+    std::string name;
+    Tree tree;
+    NodeId writer;  // node in subtree(u, v)
+    NodeId reader;  // node in subtree(v, u)
+    NodeId u, v;    // the observed ordered pair
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"2-node edge", Tree({0, 0}), 0, 1, 0, 1});
+  scenarios.push_back({"middle of a path", MakePath(6), 0, 5, 2, 3});
+  scenarios.push_back({"star hub edge", MakeStar(6), 2, 1, 0, 1});
+  scenarios.push_back(
+      {"deep kary edge", MakeKary(15, 2), 7, 12, 3, 1});
+
+  for (const Scenario& sc : scenarios) {
+    AggregationSystem sys(sc.tree, RwwFactory());
+    TextTable table({"request", "F_RWW expected", "u.granted[v]", "match"});
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      if (script[i] == 'R') {
+        sys.Combine(sc.reader);
+      } else {
+        sys.Write(sc.writer, static_cast<Real>(i));
+      }
+      const bool granted = sys.node(sc.u).granted(sc.v);
+      const bool match = granted == (expected[i] > 0);
+      ok &= match;
+      table.AddRow({std::string(1, script[i]), std::to_string(expected[i]),
+                    granted ? "true" : "false", match ? "yes" : "NO"});
+    }
+    std::cout << "scenario: " << sc.name << ", pair (" << sc.u << ", "
+              << sc.v << ")\n"
+              << table.ToString() << "\n";
+  }
+
+  std::cout << (ok ? "RWW behaves as the (1,2)-algorithm everywhere.\n"
+                   : "VIOLATION of the (1,2) characterization!\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main() { return treeagg::Run(); }

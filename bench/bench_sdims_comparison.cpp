@@ -1,0 +1,81 @@
+// E-extra — the SDIMS spectrum vs the adaptive lease mechanism.
+//
+// The paper's introduction argues that SDIMS's flexibility still requires
+// applications "to know the read and write access patterns a priori".
+// This bench makes that concrete: each static SDIMS strategy
+// (update-none / update-up / update-all on a rooted hierarchy) is best
+// somewhere on the mix axis and poor elsewhere, while the lease-based RWW
+// — with NO tuning — tracks the per-mix winner within a small factor and
+// additionally carries the 5/2 worst-case guarantee.
+//
+// Note the systems solve the same problem on the same tree with the same
+// requests; costs are directly comparable message counts.
+#include <iostream>
+#include <limits>
+
+#include "analysis/table.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "sdims/sdims_system.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+int Run() {
+  std::cout << "SDIMS static strategies vs lease-based RWW\n"
+               "(messages per request; 64-node 4-ary hierarchy rooted at 0; "
+               "4000 requests;\nreads skew towards the root as in "
+               "management workloads)\n\n";
+  Tree tree = MakeKary(64, 4);
+  TextTable table({"write frac", "update-none", "update-up", "update-all",
+                   "RWW", "RWW/best"});
+  bool ok = true;
+  for (const double wf : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    // Reads concentrated near the root (Zipf over node ids), writes
+    // uniform — the canonical monitoring shape.
+    Rng rng(5);
+    RequestSequence sigma;
+    MixedWorkloadConfig config;
+    config.length = 4000;
+    config.write_fraction = wf;
+    config.zipf_s = 0.8;
+    sigma = MakeMixed(tree, config, rng);
+    const double per = static_cast<double>(sigma.size());
+
+    const auto sdims_cost = [&](SdimsStrategy strategy) {
+      SdimsSystem sys(tree, strategy);
+      sys.Execute(sigma);
+      return static_cast<double>(sys.trace().TotalMessages()) / per;
+    };
+    const double none = sdims_cost(SdimsStrategy::kUpdateNone);
+    const double up = sdims_cost(SdimsStrategy::kUpdateUp);
+    const double all = sdims_cost(SdimsStrategy::kUpdateAll);
+
+    AggregationSystem rww_sys(tree, RwwFactory());
+    rww_sys.Execute(sigma);
+    const double rww =
+        static_cast<double>(rww_sys.trace().TotalMessages()) / per;
+
+    const double best = std::min({none, up, all});
+    ok &= rww <= 3.0 * best;  // adaptive stays in the winner's ballpark
+    table.AddRow({Fmt(wf, 2), Fmt(none, 2), Fmt(up, 2), Fmt(all, 2),
+                  Fmt(rww, 2), Fmt(rww / best, 2)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nEach SDIMS knob wins only on the mix it was tuned for; "
+               "RWW needs no\ntuning and stays within a small factor of "
+               "the per-mix winner\n(plus the 5/2 offline guarantee no "
+               "static strategy has).\n";
+  std::cout << (ok ? "Adaptivity claim reproduced.\n"
+                   : "UNEXPECTED: RWW strayed far from the best static "
+                     "strategy!\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main() { return treeagg::Run(); }

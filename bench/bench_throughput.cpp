@@ -1,0 +1,109 @@
+// E10 — simulator/protocol throughput microbenchmarks (google-benchmark).
+//
+// Not a paper artifact: quantifies the cost of the substrate itself so
+// users can size experiments (requests/second of the sequential driver and
+// event rate of the concurrent simulator, by tree size and policy).
+#include <benchmark/benchmark.h>
+
+#include "core/policies.h"
+#include "offline/edge_dp.h"
+#include "sim/concurrent.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+void BM_SequentialRww(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Tree tree = MakeKary(n, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 2000, 1);
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    AggregationSystem sys(tree, RwwFactory());
+    sys.Execute(sigma);
+    messages = sys.trace().TotalMessages();
+    benchmark::DoNotOptimize(messages);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sigma.size()));
+  state.counters["msgs"] = static_cast<double>(messages);
+}
+BENCHMARK(BM_SequentialRww)->Arg(15)->Arg(63)->Arg(255);
+
+void BM_SequentialPullAll(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Tree tree = MakeKary(n, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 2000, 1);
+  for (auto _ : state) {
+    AggregationSystem sys(tree, PullAllFactory());
+    sys.Execute(sigma);
+    benchmark::DoNotOptimize(sys.trace().TotalMessages());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sigma.size()));
+}
+BENCHMARK(BM_SequentialPullAll)->Arg(63);
+
+void BM_SequentialPushAll(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Tree tree = MakeKary(n, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 2000, 1);
+  for (auto _ : state) {
+    AggregationSystem sys(tree, PushAllFactory());
+    sys.Execute(sigma);
+    benchmark::DoNotOptimize(sys.trace().TotalMessages());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sigma.size()));
+}
+BENCHMARK(BM_SequentialPushAll)->Arg(63);
+
+void BM_ConcurrentSimulator(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Tree tree = MakeKary(n, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 2000, 1);
+  for (auto _ : state) {
+    ConcurrentSimulator::Options options;
+    options.ghost_logging = false;
+    options.min_delay = 1;
+    options.max_delay = 10;
+    ConcurrentSimulator sim(tree, RwwFactory(), options);
+    Rng rng(2);
+    sim.Run(ScheduleWithGaps(sigma, 2, rng));
+    benchmark::DoNotOptimize(sim.trace().TotalMessages());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sigma.size()));
+}
+BENCHMARK(BM_ConcurrentSimulator)->Arg(15)->Arg(63);
+
+void BM_GhostLoggingOverhead(benchmark::State& state) {
+  Tree tree = MakeKary(31, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 500, 1);
+  for (auto _ : state) {
+    AggregationSystem::Options options;
+    options.ghost_logging = true;
+    AggregationSystem sys(tree, RwwFactory(), options);
+    sys.Execute(sigma);
+    benchmark::DoNotOptimize(sys.trace().TotalMessages());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sigma.size()));
+}
+BENCHMARK(BM_GhostLoggingOverhead);
+
+void BM_OfflineEdgeDp(benchmark::State& state) {
+  Tree tree = MakeKary(63, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 5000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimalLeaseBasedLowerBound(sigma, tree));
+  }
+}
+BENCHMARK(BM_OfflineEdgeDp);
+
+}  // namespace
+}  // namespace treeagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Scaling series — messages per request vs tree size and shape.
+//
+// The paper's model charges one unit per edge crossing, so cost scales
+// with the distance information must travel. This series quantifies the
+// shape: path (diameter Θ(n)) is the worst case for pull-all, stars pay on
+// hub congestion in real systems but are cheap in message count, and RWW's
+// leases amortize repeated reads everywhere. Also verifies Theorem 1's
+// bound at every size (the guarantee is size-independent).
+#include <iostream>
+
+#include "analysis/competitive.h"
+#include "analysis/table.h"
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+int Run() {
+  std::cout << "Messages per request vs tree size (workload mixed50, 2000 "
+               "requests)\n\n";
+  TextTable table({"shape", "n", "diameter", "RWW", "push-all", "pull-all",
+                   "OPT bound", "RWW/OPT"});
+  bool ok = true;
+  for (const std::string shape : {"path", "star", "kary2", "random"}) {
+    for (const NodeId n : {8, 16, 32, 64, 128, 256}) {
+      Tree tree = MakeShape(shape, n, 5);
+      const RequestSequence sigma = MakeWorkload("mixed50", tree, 2000, 77);
+      const double per = static_cast<double>(sigma.size());
+      const auto run = [&](const PolicyFactory& f) {
+        AggregationSystem sys(tree, f);
+        sys.Execute(sigma);
+        return static_cast<double>(sys.trace().TotalMessages()) / per;
+      };
+      const CompetitiveReport report =
+          RunCompetitive(tree, RwwFactory(), "RWW", sigma);
+      const double ratio = report.RatioVsLeaseOpt();
+      ok &= ratio <= 2.5 + 1e-12;
+      table.AddRow({shape, std::to_string(n),
+                    std::to_string(tree.Diameter()),
+                    Fmt(static_cast<double>(report.online_total) / per, 2),
+                    Fmt(run(PushAllFactory()), 2),
+                    Fmt(run(PullAllFactory()), 2),
+                    Fmt(static_cast<double>(report.lease_opt_total) / per, 2),
+                    Fmt(ratio, 3)});
+    }
+  }
+  std::cout << table.ToString();
+  std::cout << (ok ? "\nTheorem 1's bound is size- and shape-independent, "
+                     "as proved.\n"
+                   : "\nBOUND VIOLATED at some size!\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main() { return treeagg::Run(); }

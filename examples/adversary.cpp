@@ -1,0 +1,48 @@
+// Theorem 3's adversary, live: on a two-node tree, ADV(a, b) issues `a`
+// combines at the reader then `b` writes at the writer, repeatedly. For
+// RWW = (1, 2) the measured cost ratio against the offline optimum
+// converges to exactly 5/2 — and no other (a, b) does better.
+#include <iostream>
+
+#include "analysis/table.h"
+#include "core/policies.h"
+#include "offline/edge_dp.h"
+#include "offline/projection.h"
+#include "sim/system.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace treeagg;
+
+  Tree tree({0, 0});  // two nodes: writer 0, reader 1
+  const std::size_t periods = 500;
+
+  std::cout << "ADV(a,b): a combines at node 1, then b writes at node 0, x"
+            << periods << "\n\n";
+
+  TextTable table(
+      {"algorithm", "adversary", "alg cost", "OPT cost", "ratio"});
+  for (int a = 1; a <= 3; ++a) {
+    for (int b = 1; b <= 4; ++b) {
+      // The adversary tailored to (a, b) — Theorem 3's request generator.
+      const RequestSequence sigma = MakeAdversarial(1, 0, a, b, periods);
+      AggregationSystem sys(tree, AbFactory(a, b));
+      sys.Execute(sigma);
+      const EdgeSequence projected = ProjectSequence(sigma, tree, 0, 1);
+      const std::int64_t opt = OptimalEdgeCost(projected);
+      const std::int64_t alg = sys.trace().TotalMessages();
+      table.AddRow({"lease(" + std::to_string(a) + "," + std::to_string(b) +
+                        ")",
+                    "ADV(" + std::to_string(a) + "," + std::to_string(b) +
+                        ")",
+                    std::to_string(alg), std::to_string(opt),
+                    Fmt(static_cast<double>(alg) / static_cast<double>(opt),
+                        3)});
+    }
+  }
+  std::cout << table.ToString();
+  std::cout << "\nRWW = lease(1,2) achieves the minimum possible ratio 5/2\n"
+               "over the (a,b) class; every other choice fares worse on its\n"
+               "own adversary (Theorem 3).\n";
+  return 0;
+}

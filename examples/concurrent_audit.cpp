@@ -1,0 +1,60 @@
+// Concurrent execution audit (Section 5 / Theorem 4): runs the same
+// workload through (a) the deterministic concurrent simulator with random
+// message delays and (b) the multi-threaded actor runtime, then verifies
+// causal consistency of both histories with the Section 5.3 checker.
+#include <iostream>
+
+#include "consistency/causal_checker.h"
+#include "core/policies.h"
+#include "runtime/actor_runtime.h"
+#include "sim/concurrent.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace treeagg;
+
+  Tree tree = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 600, 42);
+  std::cout << "Workload: 600 mixed requests on " << tree.Describe()
+            << "\n\n";
+
+  {
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 25;
+    options.seed = 7;
+    ConcurrentSimulator sim(tree, RwwFactory(), options);
+    Rng rng(3);
+    sim.Run(ScheduleWithGaps(sigma, 4, rng));
+    const CheckResult r = CheckCausalConsistency(
+        sim.history(), sim.GhostStates(), SumOp(), tree.size());
+    std::cout << "discrete-event simulator: "
+              << sim.trace().TotalMessages() << " messages, causal check "
+              << (r.ok ? "PASS" : "FAIL: " + r.message) << "\n";
+    if (!r.ok) return 1;
+  }
+
+  {
+    ActorRuntime rt(tree, RwwFactory());
+    rt.Start();
+    for (const Request& r : sigma) {
+      if (r.op == ReqType::kCombine) {
+        rt.InjectCombine(r.node);
+      } else {
+        rt.InjectWrite(r.node, r.arg);
+      }
+    }
+    rt.DrainAndStop();
+    const CheckResult r = CheckCausalConsistency(
+        rt.history(), rt.GhostStates(), SumOp(), tree.size());
+    std::cout << "threaded actor runtime:   " << rt.MessagesSent()
+              << " messages, causal check "
+              << (r.ok ? "PASS" : "FAIL: " + r.message) << "\n";
+    if (!r.ok) return 1;
+  }
+
+  std::cout << "\nBoth executions are causally consistent, as Theorem 4\n"
+               "guarantees for any lease-based algorithm.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Sensor-network scenario (the TAG / sensor-aggregation motivation from the
+// paper's introduction): a random tree of sensors, each periodically
+// writing a temperature reading, with a monitoring station reading the
+// maximum and the sum. Compares RWW against the static strategies.
+#include <cstdint>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/request.h"
+
+namespace {
+
+using namespace treeagg;
+
+// Sensors write with probability `write_rate` each tick; the station at
+// node 0 reads every tick.
+RequestSequence SensorWorkload(const Tree& tree, int ticks, double write_rate,
+                               Rng& rng) {
+  RequestSequence sigma;
+  for (int tick = 0; tick < ticks; ++tick) {
+    for (NodeId sensor = 1; sensor < tree.size(); ++sensor) {
+      if (rng.NextBool(write_rate)) {
+        const Real reading = 15.0 + 10.0 * rng.NextDouble();
+        sigma.push_back(Request::Write(sensor, reading));
+      }
+    }
+    sigma.push_back(Request::Combine(0));
+  }
+  return sigma;
+}
+
+}  // namespace
+
+int main() {
+  Rng topo_rng(2024);
+  Tree tree = MakeRandomTree(64, topo_rng);
+  std::cout << "Sensor field: " << tree.Describe() << "\n";
+  std::cout << "Station at node 0 reads max temperature every tick.\n\n";
+
+  TextTable table({"write rate", "policy", "messages", "per tick"});
+  const int ticks = 200;
+  for (const double rate : {0.02, 0.2, 0.8}) {
+    for (const NamedPolicy& policy :
+         {NamedPolicy{"RWW", RwwFactory()},
+          NamedPolicy{"push-all", PushAllFactory()},
+          NamedPolicy{"pull-all", PullAllFactory()}}) {
+      Rng rng(7);
+      const RequestSequence sigma = SensorWorkload(tree, ticks, rate, rng);
+      AggregationSystem::Options options;
+      options.op = &MaxOp();
+      AggregationSystem sys(tree, policy.factory, options);
+      sys.Execute(sigma);
+      table.AddRow({Fmt(rate, 2), policy.name,
+                    std::to_string(sys.trace().TotalMessages()),
+                    Fmt(static_cast<double>(sys.trace().TotalMessages()) /
+                            ticks,
+                        1)});
+    }
+  }
+  std::cout << table.ToString();
+  std::cout << "\nRWW adapts: near pull-all on write-heavy fields, near\n"
+               "push-all on read-heavy ones, never the worst of either.\n";
+  return 0;
+}

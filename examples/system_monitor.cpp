@@ -1,0 +1,96 @@
+// System-management scenario (the Astrolabe / Ganglia motivation from the
+// paper's introduction): a cluster arranged as an aggregation hierarchy,
+// where operators watch two aggregates — total load (sum) and "any node
+// unhealthy?" (boolean or) — while nodes' load values churn in phases:
+// quiet periods (rare writes, frequent dashboard reads) alternate with
+// incident periods (write storms at a hot subtree).
+//
+// The demo shows RWW adapting per phase: during quiet periods the lease
+// graph converges toward push-all (reads become local); during incidents
+// the hot subtree's leases break and updates stop flooding.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+
+namespace {
+
+using namespace treeagg;
+
+struct PhaseResult {
+  std::string phase;
+  std::int64_t messages;
+  int min_leases;  // fewest load-system leases held at any point in phase
+  int end_leases;  // leases held after the phase's final dashboard read
+};
+
+}  // namespace
+
+int main() {
+  Tree tree = MakeKary(40, 3);  // 40 machines in a 3-ary hierarchy
+  std::cout << "Cluster: " << tree.Describe()
+            << "; dashboards read at the root (node 0)\n\n";
+
+  // Two aggregation systems over the same tree: SUM of load, OR of alarms.
+  AggregationSystem::Options or_options;
+  or_options.op = &BoolOrOp();
+  AggregationSystem load(tree, RwwFactory());
+  AggregationSystem alarms(tree, RwwFactory(), or_options);
+
+  Rng rng(11);
+  std::vector<PhaseResult> results;
+  const auto run_phase = [&](const std::string& name, double write_rate,
+                             NodeId hot_lo, NodeId hot_hi, int ticks) {
+    const std::int64_t before =
+        load.trace().TotalMessages() + alarms.trace().TotalMessages();
+    const auto lease_count = [&] {
+      int leases = 0;
+      for (const Edge& e : tree.OrderedEdges()) {
+        if (load.node(e.u).granted(e.v)) ++leases;
+      }
+      return leases;
+    };
+    int min_leases = lease_count();
+    for (int t = 0; t < ticks; ++t) {
+      for (NodeId u = hot_lo; u <= hot_hi; ++u) {
+        if (rng.NextBool(write_rate)) {
+          load.Write(u, 100.0 * rng.NextDouble());
+          alarms.Write(u, rng.NextBool(0.05) ? 1.0 : 0.0);
+        }
+      }
+      // Writes may have shed leases; sample before the dashboard re-grows
+      // them with its reads.
+      min_leases = std::min(min_leases, lease_count());
+      load.Combine(0);
+      alarms.Combine(0);
+    }
+    results.push_back(
+        {name,
+         load.trace().TotalMessages() + alarms.trace().TotalMessages() -
+             before,
+         min_leases, lease_count()});
+  };
+
+  run_phase("quiet (rare writes everywhere)", 0.01, 0, 39, 50);
+  run_phase("incident (write storm, nodes 27..39)", 0.9, 27, 39, 50);
+  run_phase("recovery (quiet again)", 0.01, 0, 39, 50);
+
+  TextTable table({"phase", "messages", "min leases", "leases after read"});
+  for (const PhaseResult& r : results) {
+    table.AddRow({r.phase, std::to_string(r.messages),
+                  std::to_string(r.min_leases),
+                  std::to_string(r.end_leases)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\ncurrent total load: " << load.Combine(0)
+            << ", any alarm: " << (alarms.Combine(0) != 0 ? "yes" : "no")
+            << "\n";
+  std::cout << "\nDuring the incident RWW sheds the hot subtree's leases\n"
+               "(write storms stop flooding updates); in quiet phases the\n"
+               "lease graph regrows and dashboard reads become local.\n";
+  return 0;
+}

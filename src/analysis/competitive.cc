@@ -1,0 +1,77 @@
+#include "analysis/competitive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "consistency/strict_checker.h"
+#include "offline/edge_dp.h"
+#include "offline/nice_bound.h"
+#include "offline/projection.h"
+#include "sim/system.h"
+
+namespace treeagg {
+
+double CompetitiveReport::RatioVsLeaseOpt() const {
+  if (lease_opt_total == 0) {
+    return online_total == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(online_total) /
+         static_cast<double>(lease_opt_total);
+}
+
+double CompetitiveReport::RatioVsNiceBound() const {
+  if (nice_bound_total == 0) {
+    return online_total == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(online_total) /
+         static_cast<double>(nice_bound_total);
+}
+
+double CompetitiveReport::WorstEdgeRatio() const {
+  double worst = 0.0;
+  for (const EdgeReport& e : edges) {
+    if (e.opt_cost > 0) {
+      worst = std::max(worst, static_cast<double>(e.online_cost) /
+                                  static_cast<double>(e.opt_cost));
+    }
+  }
+  return worst;
+}
+
+CompetitiveReport RunCompetitive(const Tree& tree, const PolicyFactory& factory,
+                                 const std::string& policy_name,
+                                 const RequestSequence& sigma,
+                                 const AggregateOp& op) {
+  AggregationSystem::Options options;
+  options.op = &op;
+  AggregationSystem sys(tree, factory, options);
+  sys.Execute(sigma);
+
+  CompetitiveReport report;
+  report.policy_name = policy_name;
+  report.online_total = sys.trace().TotalMessages();
+
+  std::int64_t edge_sum = 0;
+  for (const Edge& e : tree.OrderedEdges()) {
+    EdgeReport er;
+    er.u = e.u;
+    er.v = e.v;
+    er.online_cost = sys.trace().EdgeCost(e.u, e.v).total();
+    const EdgeSequence projected = ProjectSequence(sigma, tree, e.u, e.v);
+    er.opt_cost = OptimalEdgeCost(projected);
+    er.epochs = EpochCount(projected);
+    edge_sum += er.online_cost;
+    report.lease_opt_total += er.opt_cost;
+    report.nice_bound_total += er.epochs;
+    report.edges.push_back(er);
+  }
+  report.partition_ok = (edge_sum == report.online_total);
+
+  const CheckResult strict =
+      CheckStrictConsistency(sys.history(), op, tree.size());
+  report.strict_ok = strict.ok;
+  report.strict_error = strict.message;
+  return report;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,64 @@
+// Competitive-analysis harness: runs an online lease-based policy on a
+// request sequence, measures its per-edge and total message costs, and
+// compares them against the offline bounds of Section 4:
+//
+//   * the per-edge offline lease-based optimum (Theorem 1's baseline;
+//     RWW must stay within a factor 5/2 on EVERY ordered edge), and
+//   * the epoch lower bound for nice algorithms (Theorem 2's baseline;
+//     factor 5, modulo a bounded additive term per edge for the initial
+//     lease set-up, which competitive analysis conventionally allows).
+//
+// The harness also cross-checks the execution itself: strict consistency
+// (Lemma 3.12), the per-edge cost partition (Lemma 3.9), and agreement of
+// the measured per-edge RWW cost with the analytic Figure 2 cost model
+// (Lemma 4.5) when the policy is RWW.
+#ifndef TREEAGG_ANALYSIS_COMPETITIVE_H_
+#define TREEAGG_ANALYSIS_COMPETITIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_op.h"
+#include "core/policy.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+struct EdgeReport {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  std::int64_t online_cost = 0;  // measured C(sigma, u, v)
+  std::int64_t opt_cost = 0;     // per-edge offline lease-based optimum
+  std::int64_t epochs = 0;       // nice lower bound contribution
+};
+
+struct CompetitiveReport {
+  std::string policy_name;
+  std::int64_t online_total = 0;
+  std::int64_t lease_opt_total = 0;
+  std::int64_t nice_bound_total = 0;
+  std::vector<EdgeReport> edges;  // all ordered neighbor pairs
+
+  bool strict_ok = false;
+  std::string strict_error;
+  bool partition_ok = false;  // Lemma 3.9: edge costs partition the total
+
+  // online / lease-opt; 0 when both are 0 (vacuous), +inf never occurs for
+  // RWW (its cost is 0 whenever opt is 0).
+  double RatioVsLeaseOpt() const;
+  // online / nice bound; meaningful on workloads with write->read churn.
+  double RatioVsNiceBound() const;
+  // max over edges with opt > 0 of online/opt.
+  double WorstEdgeRatio() const;
+};
+
+CompetitiveReport RunCompetitive(const Tree& tree, const PolicyFactory& factory,
+                                 const std::string& policy_name,
+                                 const RequestSequence& sigma,
+                                 const AggregateOp& op = SumOp());
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_ANALYSIS_COMPETITIVE_H_

@@ -1,0 +1,56 @@
+#include "analysis/sequence_diagram.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace treeagg {
+
+namespace {
+constexpr int kColumnWidth = 5;  // characters per node lane
+constexpr int kLabelWidth = 9;   // "response " is the longest label
+}  // namespace
+
+std::string RenderSequenceDiagram(const std::vector<Message>& log,
+                                  NodeId num_nodes, std::size_t begin,
+                                  std::size_t end) {
+  end = std::min(end, log.size());
+  std::ostringstream os;
+  os << std::left << std::setw(kLabelWidth) << "node:";
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    os << std::setw(kColumnWidth) << u;
+  }
+  os << "\n";
+  for (std::size_t i = begin; i < end; ++i) {
+    const Message& m = log[i];
+    os << std::setw(kLabelWidth) << ToString(m.type);
+    // One lane per node: sender 'o', arrow body between, '|' elsewhere.
+    const NodeId lo = std::min(m.from, m.to);
+    const NodeId hi = std::max(m.from, m.to);
+    const bool rightward = m.to > m.from;
+    std::string row;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      std::string lane(static_cast<std::size_t>(kColumnWidth), ' ');
+      char center = '|';
+      if (u == m.from) {
+        center = 'o';
+      } else if (u == m.to) {
+        center = rightward ? '>' : '<';
+      } else if (u > lo && u < hi) {
+        center = '-';
+      }
+      lane[0] = center;
+      // Fill the arrow shaft between lanes.
+      if (u >= lo && u < hi) {
+        for (std::size_t k = 1; k < lane.size(); ++k) lane[k] = '-';
+      }
+      row += lane;
+    }
+    // Trim trailing spaces for tidy output.
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    os << row << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,31 @@
+// ASCII message sequence diagrams from a recorded MessageTrace log.
+//
+// Renders one column per node and one row per message, e.g.
+//
+//     node:    0    1    2
+//     probe    |<---o    |
+//     probe    |    o--->|
+//     response |    |<---o
+//     response o--->|    |
+//
+// (o = sender, arrow toward receiver). Intended for small demonstrations
+// and documentation; requires the trace to have been constructed with
+// keep_log = true.
+#ifndef TREEAGG_ANALYSIS_SEQUENCE_DIAGRAM_H_
+#define TREEAGG_ANALYSIS_SEQUENCE_DIAGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/message.h"
+
+namespace treeagg {
+
+// Renders messages [begin, end) of the log; num_nodes columns.
+std::string RenderSequenceDiagram(const std::vector<Message>& log,
+                                  NodeId num_nodes, std::size_t begin = 0,
+                                  std::size_t end = SIZE_MAX);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_ANALYSIS_SEQUENCE_DIAGRAM_H_

@@ -1,0 +1,49 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace treeagg {
+
+SummaryStats Summarize(std::vector<double> samples) {
+  SummaryStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.count = samples.size();
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  const auto percentile = [&](double p) {
+    const double idx = p * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(idx));
+    const double frac = idx - static_cast<double>(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p90 = percentile(0.90);
+  stats.p99 = percentile(0.99);
+  stats.min = samples.front();
+  stats.max = samples.back();
+  return stats;
+}
+
+LatencyReport LatencyFromHistory(const History& history) {
+  LatencyReport report;
+  std::vector<double> latencies;
+  for (const RequestRecord& r : history.records()) {
+    if (r.op == ReqType::kWrite) {
+      ++report.writes;
+      continue;
+    }
+    ++report.combines;
+    if (r.completed()) {
+      latencies.push_back(
+          static_cast<double>(r.completed_at - r.initiated_at));
+    }
+  }
+  report.combine_latency = Summarize(std::move(latencies));
+  return report;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,44 @@
+// Summary statistics and request-latency analysis.
+//
+// The paper's Section 1 argues static strategies suffer "unnecessary
+// latency or imprecision on read-dominated workloads" (MDS-2 pulls the
+// whole tree on every read) while Astrolabe trades bandwidth for zero read
+// latency. In the concurrent simulator, a combine's latency is its
+// completion time minus initiation time in simulated ticks; this module
+// extracts and summarizes those distributions so the claim can be
+// quantified per policy.
+#ifndef TREEAGG_ANALYSIS_STATS_H_
+#define TREEAGG_ANALYSIS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "consistency/history.h"
+
+namespace treeagg {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+// Summary of a sample vector (sorted internally; empty input yields zeros).
+SummaryStats Summarize(std::vector<double> samples);
+
+struct LatencyReport {
+  SummaryStats combine_latency;  // completion - initiation, simulated ticks
+  std::size_t combines = 0;
+  std::size_t writes = 0;
+};
+
+// Extracts combine latencies from a completed history.
+LatencyReport LatencyFromHistory(const History& history);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_ANALYSIS_STATS_H_

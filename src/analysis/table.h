@@ -1,0 +1,26 @@
+// Fixed-width ASCII table formatting for the benchmark harness output.
+#ifndef TREEAGG_ANALYSIS_TABLE_H_
+#define TREEAGG_ANALYSIS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace treeagg {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("2.50").
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_ANALYSIS_TABLE_H_

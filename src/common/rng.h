@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for workloads and the
+// concurrent simulator. All randomness in the repository flows through a
+// seeded Rng so every experiment is reproducible from its printed seed.
+#ifndef TREEAGG_COMMON_RNG_H_
+#define TREEAGG_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace treeagg {
+
+// A small, fast, high-quality PRNG (xoshiro256**). We avoid <random> engines
+// for cross-platform determinism: std::mt19937 is deterministic but the
+// distributions are not; we implement the few distributions we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform real in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_COMMON_RNG_H_

@@ -1,0 +1,34 @@
+// Core scalar types shared across the treeagg library.
+//
+// The paper ("Online Aggregation over Trees", Plaxton/Tiwari/Yalagandula,
+// IPDPS 2007) models a tree of machines with real-valued local values and a
+// commutative, associative aggregation operator with an identity element.
+// NodeId indexes nodes of a Tree; Real is the value domain.
+#ifndef TREEAGG_COMMON_TYPES_H_
+#define TREEAGG_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace treeagg {
+
+// Node identifier: dense index in [0, Tree::size()).
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+// The value domain of the aggregation operator.
+using Real = double;
+
+// Globally unique id of a request in an execution history (order of
+// initiation). Used by the consistency checkers and the ghost logs of
+// Section 5 of the paper.
+using ReqId = std::int64_t;
+inline constexpr ReqId kNoRequest = -1;
+
+// Identifier of an update message (the paper's `upcntr`-generated ids).
+// Ids are per-sender monotone; pairs (sender, counter) are globally unique
+// but the mechanism only ever compares ids from the same sender.
+using UpdateId = std::int64_t;
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_COMMON_TYPES_H_

@@ -1,0 +1,218 @@
+#include "consistency/causal_checker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace treeagg {
+namespace {
+
+struct Entry {
+  ReqId id;
+  bool is_gather;
+};
+
+// Builds u.gwlog' for one node: u's write-log interleaved with u's lifted
+// gathers, extended with every other node's write-log.
+std::vector<Entry> BuildGwlogPrime(const History& history,
+                                   const std::vector<NodeGhostState>& ghosts,
+                                   NodeId u, NodeId num_nodes) {
+  // u's gathers, sorted by (log_prefix, completion order).
+  std::vector<const RequestRecord*> gathers;
+  for (const RequestRecord& r : history.records()) {
+    if (r.op == ReqType::kCombine && r.node == u) gathers.push_back(&r);
+  }
+  // node_index is per-node completion order: the true program order.
+  // (completed_at timestamps can tie under concurrency.)
+  std::sort(gathers.begin(), gathers.end(),
+            [](const RequestRecord* a, const RequestRecord* b) {
+              return std::pair(a->log_prefix, a->node_index) <
+                     std::pair(b->log_prefix, b->node_index);
+            });
+
+  const GhostLog& wlog = ghosts[static_cast<std::size_t>(u)].write_log;
+  std::vector<Entry> seq;
+  seq.reserve(wlog.size() + gathers.size());
+  std::size_t gi = 0;
+  for (std::size_t pos = 0; pos <= wlog.size(); ++pos) {
+    while (gi < gathers.size() &&
+           gathers[gi]->log_prefix == static_cast<std::int64_t>(pos)) {
+      seq.push_back({gathers[gi]->id, true});
+      ++gi;
+    }
+    if (pos < wlog.size()) seq.push_back({wlog[pos].id, false});
+  }
+  // Defensive: any gather with an out-of-range prefix goes last.
+  for (; gi < gathers.size(); ++gi) seq.push_back({gathers[gi]->id, true});
+
+  // Extend with the other nodes' write-logs (the paper's
+  // u.gwlog' = u.gwlog . (v.wlog - u.gwlog') loop).
+  std::vector<bool> present(history.size(), false);
+  for (const Entry& e : seq) {
+    if (!e.is_gather) present[static_cast<std::size_t>(e.id)] = true;
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (v == u) continue;
+    for (const GhostWrite& gw : ghosts[static_cast<std::size_t>(v)].write_log) {
+      if (!present[static_cast<std::size_t>(gw.id)]) {
+        present[static_cast<std::size_t>(gw.id)] = true;
+        seq.push_back({gw.id, false});
+      }
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+CheckResult CheckCausalConsistency(const History& history,
+                                   const std::vector<NodeGhostState>& ghosts,
+                                   const AggregateOp& op, NodeId num_nodes,
+                                   Real tolerance) {
+  if (!history.AllCompleted()) {
+    return CheckResult::Fail("history contains incomplete requests");
+  }
+
+  // --- Compatibility (Theorem 4 pairing): each combine's value must equal
+  // f applied to its gather set.
+  for (const RequestRecord& r : history.records()) {
+    if (r.op != ReqType::kCombine) continue;
+    std::vector<Real> vals(static_cast<std::size_t>(num_nodes), op.identity);
+    for (const auto& [node, wid] : r.gather) {
+      if (wid >= 0) {
+        vals[static_cast<std::size_t>(node)] =
+            history.record(wid).arg;
+      }
+    }
+    Real expected = op.identity;
+    for (const Real v : vals) expected = op(expected, v);
+    if (r.retval != expected) {
+      const Real scale = std::max<Real>(1.0, std::abs(expected));
+      if (!std::isfinite(expected) || !std::isfinite(r.retval) ||
+          std::abs(r.retval - expected) > tolerance * scale) {
+        std::ostringstream os;
+        os << "combine " << r.id << " at node " << r.node
+           << " is incompatible with its gather set: returned " << r.retval
+           << ", gather implies " << expected;
+        return CheckResult::Fail(os.str());
+      }
+    }
+  }
+
+  // --- Causal-order edges (~>1) over the full gather-write history:
+  //   (a) program order: consecutive requests at the same node;
+  //   (b) read-from: write -> gather returning it.
+  const std::size_t total = history.size();
+  std::vector<std::vector<ReqId>> succ(total);
+  {
+    std::map<NodeId, std::vector<ReqId>> by_node;
+    for (const RequestRecord& r : history.records()) {
+      by_node[r.node].push_back(r.id);
+    }
+    for (auto& [node, ids] : by_node) {
+      std::sort(ids.begin(), ids.end(), [&](ReqId a, ReqId b) {
+        return history.record(a).node_index < history.record(b).node_index;
+      });
+      for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+        succ[static_cast<std::size_t>(ids[i])].push_back(ids[i + 1]);
+      }
+    }
+    for (const RequestRecord& r : history.records()) {
+      if (r.op != ReqType::kCombine) continue;
+      for (const auto& [node, wid] : r.gather) {
+        if (wid >= 0) succ[static_cast<std::size_t>(wid)].push_back(r.id);
+      }
+    }
+  }
+
+  // --- Per node u: check u.gwlog' respects ~> restricted to pruned(A, u)
+  // (all writes + u's gathers), with paths allowed through other nodes'
+  // gathers. We propagate, in topological order of ~>1, the maximum
+  // position of any pruned causal predecessor; a pruned request must sit
+  // after all of them.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const std::vector<Entry> seq = BuildGwlogPrime(history, ghosts, u, num_nodes);
+
+    std::vector<std::int64_t> pos(total, -1);  // -1: not in pruned(A, u)
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      pos[static_cast<std::size_t>(seq[i].id)] = static_cast<std::int64_t>(i);
+    }
+    // Every write must appear.
+    for (const RequestRecord& r : history.records()) {
+      if (r.op == ReqType::kWrite && pos[static_cast<std::size_t>(r.id)] < 0) {
+        std::ostringstream os;
+        os << "write " << r.id << " missing from node " << u << "'s gwlog'";
+        return CheckResult::Fail(os.str());
+      }
+    }
+
+    // --- Serialization: scan and recompute recentwrites at each gather.
+    {
+      std::vector<ReqId> last(static_cast<std::size_t>(num_nodes), kNoRequest);
+      for (const Entry& e : seq) {
+        const RequestRecord& r = history.record(e.id);
+        if (!e.is_gather) {
+          last[static_cast<std::size_t>(r.node)] = r.id;
+          continue;
+        }
+        std::vector<ReqId> expect(static_cast<std::size_t>(num_nodes),
+                                  kNoRequest);
+        for (const auto& [node, wid] : r.gather) {
+          expect[static_cast<std::size_t>(node)] = wid;
+        }
+        for (NodeId v = 0; v < num_nodes; ++v) {
+          if (expect[static_cast<std::size_t>(v)] !=
+              last[static_cast<std::size_t>(v)]) {
+            std::ostringstream os;
+            os << "gather " << r.id << " at node " << r.node
+               << " is not serialized by node " << u
+               << "'s gwlog': recentwrites mismatch at node " << v;
+            return CheckResult::Fail(os.str());
+          }
+        }
+      }
+    }
+
+    // --- Causal order: Kahn topological sweep over ~>1 propagating the
+    // latest pruned-predecessor position.
+    std::vector<int> indeg(total, 0);
+    for (std::size_t i = 0; i < total; ++i) {
+      for (const ReqId s : succ[i]) ++indeg[static_cast<std::size_t>(s)];
+    }
+    std::vector<std::int64_t> maxpred(total, -1);
+    std::vector<ReqId> queue;
+    for (std::size_t i = 0; i < total; ++i) {
+      if (indeg[i] == 0) queue.push_back(static_cast<ReqId>(i));
+    }
+    std::size_t processed = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const ReqId q = queue[head];
+      ++processed;
+      const std::int64_t p = pos[static_cast<std::size_t>(q)];
+      if (p >= 0 && maxpred[static_cast<std::size_t>(q)] >= p) {
+        std::ostringstream os;
+        os << "node " << u << "'s gwlog' violates causal order: request " << q
+           << " at position " << p
+           << " has a causal predecessor at position "
+           << maxpred[static_cast<std::size_t>(q)];
+        return CheckResult::Fail(os.str());
+      }
+      // The value this request forces on its successors.
+      const std::int64_t carry =
+          std::max(maxpred[static_cast<std::size_t>(q)], p);
+      for (const ReqId s : succ[static_cast<std::size_t>(q)]) {
+        maxpred[static_cast<std::size_t>(s)] =
+            std::max(maxpred[static_cast<std::size_t>(s)], carry);
+        if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+      }
+    }
+    if (processed != total) {
+      return CheckResult::Fail("causal order ~> contains a cycle");
+    }
+  }
+  return CheckResult::Ok();
+}
+
+}  // namespace treeagg

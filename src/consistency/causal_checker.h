@@ -1,0 +1,46 @@
+// Causal-consistency checker for concurrent executions (Section 5).
+//
+// Inputs: the execution history (all writes; combines at every node with
+// their ghost gather snapshots and log prefixes) and each node's final
+// ghost write-log (arrival order of writes at that node).
+//
+// Following Section 5.3, for each node u the checker constructs
+//   u.gwlog  — u's write-log interleaved with u's combines lifted to
+//              gathers (positioned by their recorded log prefix), and
+//   u.gwlog' — u.gwlog extended with every other node's writes,
+// then verifies:
+//   (1) serialization: every gather's return value equals
+//       recentwrites(u.gwlog', q) — the most recent write per node actually
+//       preceding it in the constructed sequence;
+//   (2) causal order: every ~>1 edge (program order at a node; write ->
+//       gather that returns it) is respected by u.gwlog';
+//   (3) compatibility: every combine's numeric return value equals f
+//       applied to its gather set (the Theorem 4 pairing of the
+//       combine-write and gather-write histories).
+#ifndef TREEAGG_CONSISTENCY_CAUSAL_CHECKER_H_
+#define TREEAGG_CONSISTENCY_CAUSAL_CHECKER_H_
+
+#include <vector>
+
+#include "consistency/history.h"
+#include "consistency/strict_checker.h"  // CheckResult
+#include "core/aggregate_op.h"
+#include "core/message.h"
+
+namespace treeagg {
+
+// Per-node ghost state harvested at the end of a run.
+struct NodeGhostState {
+  NodeId node = kInvalidNode;
+  // Arrival order of writes at this node (LeaseNode::GhostLogEntries()).
+  GhostLog write_log;
+};
+
+CheckResult CheckCausalConsistency(const History& history,
+                                   const std::vector<NodeGhostState>& ghosts,
+                                   const AggregateOp& op, NodeId num_nodes,
+                                   Real tolerance = 1e-9);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CONSISTENCY_CAUSAL_CHECKER_H_

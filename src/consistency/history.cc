@@ -1,0 +1,66 @@
+#include "consistency/history.h"
+
+#include <cassert>
+
+namespace treeagg {
+
+std::int64_t History::NextNodeIndex(NodeId node) {
+  if (static_cast<std::size_t>(node) >= completed_per_node_.size()) {
+    completed_per_node_.resize(static_cast<std::size_t>(node) + 1, 0);
+  }
+  return completed_per_node_[static_cast<std::size_t>(node)]++;
+}
+
+ReqId History::BeginWrite(NodeId node, Real arg, std::int64_t at) {
+  RequestRecord r;
+  r.id = static_cast<ReqId>(records_.size());
+  r.node = node;
+  r.op = ReqType::kWrite;
+  r.arg = arg;
+  r.initiated_at = at;
+  records_.push_back(std::move(r));
+  return records_.back().id;
+}
+
+void History::CompleteWrite(ReqId id, std::int64_t at) {
+  RequestRecord& r = records_[static_cast<std::size_t>(id)];
+  assert(r.op == ReqType::kWrite && !r.completed());
+  r.completed_at = at;
+  r.node_index = NextNodeIndex(r.node);
+}
+
+ReqId History::BeginCombine(NodeId node, std::int64_t at) {
+  RequestRecord r;
+  r.id = static_cast<ReqId>(records_.size());
+  r.node = node;
+  r.op = ReqType::kCombine;
+  r.initiated_at = at;
+  records_.push_back(std::move(r));
+  return records_.back().id;
+}
+
+void History::CompleteCombine(ReqId id, Real retval,
+                              std::vector<std::pair<NodeId, ReqId>> gather,
+                              std::int64_t log_prefix, std::int64_t at) {
+  RequestRecord& r = records_[static_cast<std::size_t>(id)];
+  assert(r.op == ReqType::kCombine && !r.completed());
+  r.retval = retval;
+  r.gather = std::move(gather);
+  r.log_prefix = log_prefix;
+  r.completed_at = at;
+  r.node_index = NextNodeIndex(r.node);
+}
+
+bool History::AllCompleted() const {
+  for (const RequestRecord& r : records_) {
+    if (!r.completed()) return false;
+  }
+  return true;
+}
+
+void History::Clear() {
+  records_.clear();
+  completed_per_node_.clear();
+}
+
+}  // namespace treeagg

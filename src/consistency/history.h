@@ -1,0 +1,71 @@
+// Execution history: the sequence of requests executed by an aggregation
+// algorithm, with the fields Section 5 of the paper needs:
+// (node, op, arg, retval, index), initiation/completion order, and — for
+// combines — the ghost gather snapshot recentwrites(u.log, q).
+#ifndef TREEAGG_CONSISTENCY_HISTORY_H_
+#define TREEAGG_CONSISTENCY_HISTORY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+struct RequestRecord {
+  ReqId id = kNoRequest;
+  NodeId node = kInvalidNode;
+  ReqType op = ReqType::kCombine;
+  Real arg = 0;            // writes
+  Real retval = 0;         // combines
+  // The paper's `index`: number of requests generated at `node` and
+  // completed before this one completed.
+  std::int64_t node_index = -1;
+  // For combines with ghost logging: the gather return value, as pairs
+  // (node, id of most recent write at node in u.log). Nodes with no write
+  // observed are omitted (implicitly (node, -1)).
+  std::vector<std::pair<NodeId, ReqId>> gather;
+  // For combines with ghost logging: length of the prefix of u's ghost
+  // write-log visible when the combine completed (positions the lifted
+  // gather inside u.log for the Section 5.3 constructions).
+  std::int64_t log_prefix = -1;
+  // Global initiation / completion sequence numbers (driver event order).
+  std::int64_t initiated_at = -1;
+  std::int64_t completed_at = -1;
+
+  bool completed() const { return completed_at >= 0; }
+};
+
+// Append-only log of requests. Drivers call Begin*/Complete*; checkers read
+// `records()`. Request ids index directly into the record vector.
+class History {
+ public:
+  ReqId BeginWrite(NodeId node, Real arg, std::int64_t at);
+  void CompleteWrite(ReqId id, std::int64_t at);
+
+  ReqId BeginCombine(NodeId node, std::int64_t at);
+  void CompleteCombine(ReqId id, Real retval,
+                       std::vector<std::pair<NodeId, ReqId>> gather,
+                       std::int64_t log_prefix, std::int64_t at);
+
+  const std::vector<RequestRecord>& records() const { return records_; }
+  const RequestRecord& record(ReqId id) const {
+    return records_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const { return records_.size(); }
+  bool AllCompleted() const;
+
+  void Clear();
+
+ private:
+  std::int64_t NextNodeIndex(NodeId node);
+
+  std::vector<RequestRecord> records_;
+  std::vector<std::int64_t> completed_per_node_;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CONSISTENCY_HISTORY_H_

@@ -1,0 +1,37 @@
+#include "consistency/strict_checker.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace treeagg {
+
+CheckResult CheckStrictConsistency(const History& history,
+                                   const AggregateOp& op, NodeId num_nodes,
+                                   Real tolerance) {
+  std::vector<Real> current(static_cast<std::size_t>(num_nodes), op.identity);
+  for (const RequestRecord& r : history.records()) {
+    if (!r.completed()) {
+      return CheckResult::Fail("request " + std::to_string(r.id) +
+                               " did not complete");
+    }
+    if (r.op == ReqType::kWrite) {
+      current[static_cast<std::size_t>(r.node)] = r.arg;
+      continue;
+    }
+    Real expected = op.identity;
+    for (const Real v : current) expected = op(expected, v);
+    if (r.retval == expected) continue;  // exact match (covers +-inf identities)
+    const Real scale = std::max<Real>(1.0, std::abs(expected));
+    if (!std::isfinite(expected) || !std::isfinite(r.retval) ||
+        std::abs(r.retval - expected) > tolerance * scale) {
+      std::ostringstream os;
+      os << "combine " << r.id << " at node " << r.node << " returned "
+         << r.retval << " but strict consistency requires " << expected;
+      return CheckResult::Fail(os.str());
+    }
+  }
+  return CheckResult::Ok();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,36 @@
+// Strict-consistency checker for sequential executions (Section 2).
+//
+// An algorithm is strictly consistent on sigma if every combine q returns
+// f(A(sigma, q)), where A(sigma, q) is the set of most recent writes
+// preceding q at each node. Lemma 3.12: every lease-based algorithm is
+// "nice", i.e. strictly consistent on sequential executions — this checker
+// verifies that claim on recorded histories.
+#ifndef TREEAGG_CONSISTENCY_STRICT_CHECKER_H_
+#define TREEAGG_CONSISTENCY_STRICT_CHECKER_H_
+
+#include <string>
+
+#include "consistency/history.h"
+#include "core/aggregate_op.h"
+
+namespace treeagg {
+
+struct CheckResult {
+  bool ok = true;
+  std::string message;  // first violation, empty when ok
+
+  static CheckResult Ok() { return {}; }
+  static CheckResult Fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+// Verifies every completed combine in a sequential history. `num_nodes` is
+// the tree size; nodes never written contribute op.identity.
+// `tolerance` absorbs floating-point non-associativity between the
+// protocol's tree-shaped folds and the checker's linear fold.
+CheckResult CheckStrictConsistency(const History& history,
+                                   const AggregateOp& op, NodeId num_nodes,
+                                   Real tolerance = 1e-9);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CONSISTENCY_STRICT_CHECKER_H_

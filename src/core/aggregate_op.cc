@@ -1,0 +1,42 @@
+#include "core/aggregate_op.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace treeagg {
+
+const AggregateOp& SumOp() {
+  static const AggregateOp kOp{"sum", 0.0,
+                               [](Real a, Real b) { return a + b; }};
+  return kOp;
+}
+
+const AggregateOp& MinOp() {
+  static const AggregateOp kOp{"min", std::numeric_limits<Real>::infinity(),
+                               [](Real a, Real b) { return std::min(a, b); }};
+  return kOp;
+}
+
+const AggregateOp& MaxOp() {
+  static const AggregateOp kOp{"max", -std::numeric_limits<Real>::infinity(),
+                               [](Real a, Real b) { return std::max(a, b); }};
+  return kOp;
+}
+
+const AggregateOp& BoolOrOp() {
+  static const AggregateOp kOp{
+      "or", 0.0,
+      [](Real a, Real b) { return (a != 0.0 || b != 0.0) ? 1.0 : 0.0; }};
+  return kOp;
+}
+
+const AggregateOp& OpByName(const std::string& name) {
+  if (name == "sum") return SumOp();
+  if (name == "min") return MinOp();
+  if (name == "max") return MaxOp();
+  if (name == "or") return BoolOrOp();
+  throw std::invalid_argument("OpByName: unknown operator " + name);
+}
+
+}  // namespace treeagg

@@ -1,0 +1,38 @@
+// The aggregation operator of Section 2: a commutative, associative binary
+// operator over Real with an identity element. The paper writes it as (+)
+// and assumes identity 0; we carry the identity explicitly so min/max work
+// over the full real line.
+//
+// Every node's local value is initialized to the operator's identity, which
+// makes the "no write yet" state equal to f over the empty write set.
+#ifndef TREEAGG_CORE_AGGREGATE_OP_H_
+#define TREEAGG_CORE_AGGREGATE_OP_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+// A stateless operator: plain function pointer keeps the hot path
+// devirtualized and the type trivially copyable.
+struct AggregateOp {
+  const char* name;
+  Real identity;
+  Real (*combine)(Real, Real);
+
+  Real operator()(Real a, Real b) const { return combine(a, b); }
+};
+
+// Built-in operators.
+const AggregateOp& SumOp();    // identity 0
+const AggregateOp& MinOp();    // identity +inf
+const AggregateOp& MaxOp();    // identity -inf
+const AggregateOp& BoolOrOp(); // identity 0; combine = (a || b) over {0,1}
+
+// Lookup by name ("sum", "min", "max", "or"); throws on unknown name.
+const AggregateOp& OpByName(const std::string& name);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_AGGREGATE_OP_H_

@@ -1,0 +1,211 @@
+#include "core/extra_policies.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/policies.h"
+
+namespace treeagg {
+
+// ------------------------------------------------------------- timer ----
+
+TimerLeasePolicy::TimerLeasePolicy(int ttl) : ttl_(ttl) {}
+
+void TimerLeasePolicy::Tick() { ++clock_; }
+
+void TimerLeasePolicy::OnCombine(const LeaseNodeView&) { Tick(); }
+void TimerLeasePolicy::OnProbeReceived(const LeaseNodeView&, NodeId) {
+  Tick();
+}
+void TimerLeasePolicy::OnResponseReceived(const LeaseNodeView&, bool flag,
+                                          NodeId w) {
+  Tick();
+  if (flag) taken_at_[w] = clock_;
+}
+void TimerLeasePolicy::OnUpdateReceived(const LeaseNodeView&, NodeId) {
+  Tick();
+}
+void TimerLeasePolicy::OnReleaseReceived(const LeaseNodeView&, NodeId) {
+  Tick();
+}
+
+bool TimerLeasePolicy::SetLease(const LeaseNodeView&, NodeId) { return true; }
+
+bool TimerLeasePolicy::BreakLease(const LeaseNodeView&, NodeId v) {
+  const auto it = taken_at_.find(v);
+  if (it == taken_at_.end()) return true;  // unknown age: release
+  return clock_ - it->second >= ttl_;
+}
+
+std::string TimerLeasePolicy::name() const {
+  return "timer(" + std::to_string(ttl_) + ")";
+}
+
+// ----------------------------------------------------- probabilistic ----
+
+ProbabilisticPolicy::ProbabilisticPolicy(double break_probability,
+                                         std::uint64_t seed)
+    : p_(break_probability), rng_(seed) {}
+
+bool ProbabilisticPolicy::SetLease(const LeaseNodeView&, NodeId) {
+  return true;
+}
+
+bool ProbabilisticPolicy::BreakLease(const LeaseNodeView&, NodeId) {
+  return rng_.NextBool(p_);
+}
+
+std::string ProbabilisticPolicy::name() const {
+  return "prob(" + std::to_string(p_).substr(0, 4) + ")";
+}
+
+// -------------------------------------------------------------- ewma ----
+
+EwmaPolicy::EwmaPolicy(double alpha) : alpha_(alpha) {}
+
+void EwmaPolicy::Bump(NodeId v, bool is_read) {
+  Rates& r = rates_[v];
+  r.reads = (1 - alpha_) * r.reads + (is_read ? alpha_ : 0.0);
+  r.writes = (1 - alpha_) * r.writes + (is_read ? 0.0 : alpha_);
+}
+
+void EwmaPolicy::OnCombine(const LeaseNodeView& node) {
+  // A local combine is read traffic in sigma(v, u) for every neighbor v:
+  // it makes holding each taken lease more attractive, but does not affect
+  // the decision to GRANT (that direction sees it as remote activity).
+  for (const NodeId v : node.nbrs()) Bump(v, /*is_read=*/true);
+}
+
+void EwmaPolicy::OnProbeReceived(const LeaseNodeView& node, NodeId w) {
+  // A probe from w is a read in sigma(u, w): evidence for granting to w.
+  Bump(w, /*is_read=*/true);
+  (void)node;
+}
+
+void EwmaPolicy::OnUpdateReceived(const LeaseNodeView& node, NodeId w) {
+  // An update from w is write traffic from w's side.
+  Bump(w, /*is_read=*/false);
+  (void)node;
+}
+
+void EwmaPolicy::OnLocalWrite(const LeaseNodeView& node) {
+  for (const NodeId v : node.nbrs()) Bump(v, /*is_read=*/false);
+}
+
+bool EwmaPolicy::SetLease(const LeaseNodeView&, NodeId w) {
+  const auto it = rates_.find(w);
+  if (it == rates_.end()) return true;
+  return it->second.reads >= it->second.writes;
+}
+
+bool EwmaPolicy::BreakLease(const LeaseNodeView&, NodeId v) {
+  const auto it = rates_.find(v);
+  if (it == rates_.end()) return false;
+  // Hold the lease while reads are at least half as frequent as writes
+  // (a hysteresis band so the policy does not thrash at the boundary).
+  return it->second.writes > 2.0 * it->second.reads;
+}
+
+std::string EwmaPolicy::name() const { return "ewma"; }
+
+double EwmaPolicy::ReadRate(NodeId v) const {
+  const auto it = rates_.find(v);
+  return it == rates_.end() ? 0 : it->second.reads;
+}
+
+double EwmaPolicy::WriteRate(NodeId v) const {
+  const auto it = rates_.find(v);
+  return it == rates_.end() ? 0 : it->second.writes;
+}
+
+// --------------------------------------------------------- factories ----
+
+PolicyFactory EagerBreakFactory() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<EagerBreakPolicy>();
+  };
+}
+
+PolicyFactory TimerLeaseFactory(int ttl) {
+  return [ttl](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<TimerLeasePolicy>(ttl);
+  };
+}
+
+PolicyFactory ProbabilisticFactory(double break_probability,
+                                   std::uint64_t seed) {
+  return [break_probability, seed](NodeId self, const std::vector<NodeId>&) {
+    // Distinct stream per node so nodes do not make mirrored decisions.
+    return std::make_unique<ProbabilisticPolicy>(
+        break_probability, seed + static_cast<std::uint64_t>(self) * 1315423911ull);
+  };
+}
+
+PolicyFactory EwmaFactory(double alpha) {
+  return [alpha](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<EwmaPolicy>(alpha);
+  };
+}
+
+std::vector<NamedPolicy> AllPolicies() {
+  std::vector<NamedPolicy> policies = StandardPolicies();
+  policies.push_back({"timer(16)", TimerLeaseFactory(16)});
+  policies.push_back({"prob(0.3)", ProbabilisticFactory(0.3, 99)});
+  policies.push_back({"ewma", EwmaFactory()});
+  return policies;
+}
+
+namespace {
+
+// Parses "name(x[,y])" into its arguments; returns false on shape mismatch.
+bool ParseArgs(const std::string& spec, const std::string& prefix,
+               std::vector<double>* out) {
+  if (spec.size() < prefix.size() + 2 ||
+      spec.compare(0, prefix.size(), prefix) != 0 ||
+      spec[prefix.size()] != '(' || spec.back() != ')') {
+    return false;
+  }
+  out->clear();
+  std::string body = spec.substr(prefix.size() + 1,
+                                 spec.size() - prefix.size() - 2);
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    const std::size_t comma = body.find(',', pos);
+    const std::string token =
+        body.substr(pos, comma == std::string::npos ? body.size() - pos
+                                                    : comma - pos);
+    try {
+      out->push_back(std::stod(token));
+    } catch (...) {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+PolicyFactory PolicyBySpec(const std::string& spec) {
+  if (spec == "RWW" || spec == "rww") return RwwFactory();
+  if (spec == "push-all") return PushAllFactory();
+  if (spec == "pull-all") return PullAllFactory();
+  if (spec == "ewma") return EwmaFactory();
+  std::vector<double> args;
+  if (ParseArgs(spec, "lease", &args) && args.size() == 2) {
+    return AbFactory(static_cast<int>(args[0]), static_cast<int>(args[1]));
+  }
+  if (ParseArgs(spec, "timer", &args) && args.size() == 1) {
+    return TimerLeaseFactory(static_cast<int>(args[0]));
+  }
+  if (ParseArgs(spec, "prob", &args) && args.size() == 1) {
+    return ProbabilisticFactory(args[0], 99);
+  }
+  if (ParseArgs(spec, "ewma", &args) && args.size() == 1) {
+    return EwmaFactory(args[0]);
+  }
+  throw std::invalid_argument("PolicyBySpec: unknown policy spec " + spec);
+}
+
+}  // namespace treeagg

@@ -1,0 +1,121 @@
+// Additional lease policies beyond the paper's RWW/(a,b) family.
+//
+// These serve two purposes:
+//  * they exercise the paper's policy-independent claims (strict and causal
+//    consistency hold for ANY policy plugged into the Figure 1 mechanism),
+//    including randomized and stateful policies; and
+//  * they provide practitioner-style baselines for the ablation benches:
+//    how close does the theory-backed RWW get to a tuned heuristic?
+//
+//  TimerLeasePolicy  — Gray & Cheriton-style time-based leases (related
+//                      work [13] in the paper): a taken lease is released
+//                      at the first opportunity after `ttl` protocol events
+//                      have been observed at the node since it was taken,
+//                      regardless of read activity.
+//  ProbabilisticPolicy — grants always; breaks each lease independently
+//                      with probability p at every release opportunity.
+//                      (Seeded; deterministic per construction.)
+//  EwmaPolicy        — adaptive heuristic: tracks exponentially weighted
+//                      read and write rates per neighbor direction and
+//                      keeps the lease iff reads outweigh writes.
+#ifndef TREEAGG_CORE_EXTRA_POLICIES_H_
+#define TREEAGG_CORE_EXTRA_POLICIES_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/policies.h"  // NamedPolicy
+#include "core/policy.h"
+
+namespace treeagg {
+
+// Grants eagerly and releases at the first opportunity. Pathological on
+// purpose: it exhibits the noop-with-release row of Figure 2 (which RWW
+// itself never produces, Lemma 4.1) and stresses the mechanism's release
+// bookkeeping, including empty release sets.
+class EagerBreakPolicy final : public LeasePolicy {
+ public:
+  bool SetLease(const LeaseNodeView&, NodeId) override { return true; }
+  bool BreakLease(const LeaseNodeView&, NodeId) override { return true; }
+  std::string name() const override { return "eager-break"; }
+};
+
+class TimerLeasePolicy final : public LeasePolicy {
+ public:
+  explicit TimerLeasePolicy(int ttl);
+
+  void OnCombine(const LeaseNodeView& node) override;
+  void OnProbeReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnResponseReceived(const LeaseNodeView& node, bool flag,
+                          NodeId w) override;
+  void OnUpdateReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnReleaseReceived(const LeaseNodeView& node, NodeId w) override;
+  bool SetLease(const LeaseNodeView& node, NodeId w) override;
+  bool BreakLease(const LeaseNodeView& node, NodeId v) override;
+  std::string name() const override;
+
+ private:
+  void Tick();
+
+  const int ttl_;
+  long clock_ = 0;  // local event counter (a logical clock)
+  std::unordered_map<NodeId, long> taken_at_;
+};
+
+class ProbabilisticPolicy final : public LeasePolicy {
+ public:
+  ProbabilisticPolicy(double break_probability, std::uint64_t seed);
+
+  bool SetLease(const LeaseNodeView& node, NodeId w) override;
+  bool BreakLease(const LeaseNodeView& node, NodeId v) override;
+  std::string name() const override;
+
+ private:
+  const double p_;
+  Rng rng_;
+};
+
+class EwmaPolicy final : public LeasePolicy {
+ public:
+  explicit EwmaPolicy(double alpha = 0.2);
+
+  void OnCombine(const LeaseNodeView& node) override;
+  void OnProbeReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnUpdateReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnLocalWrite(const LeaseNodeView& node) override;
+  bool SetLease(const LeaseNodeView& node, NodeId w) override;
+  bool BreakLease(const LeaseNodeView& node, NodeId v) override;
+  std::string name() const override;
+
+  double ReadRate(NodeId v) const;
+  double WriteRate(NodeId v) const;
+
+ private:
+  struct Rates {
+    double reads = 0;
+    double writes = 0;
+  };
+  void Bump(NodeId v, bool is_read);
+
+  const double alpha_;
+  std::unordered_map<NodeId, Rates> rates_;
+};
+
+PolicyFactory EagerBreakFactory();
+PolicyFactory TimerLeaseFactory(int ttl);
+PolicyFactory ProbabilisticFactory(double break_probability,
+                                   std::uint64_t seed);
+PolicyFactory EwmaFactory(double alpha = 0.2);
+
+// Extended sweep: StandardPolicies() plus the policies above.
+std::vector<NamedPolicy> AllPolicies();
+
+// Parses a policy spec: any AllPolicies() name, or the parameterized forms
+// "lease(a,b)", "timer(k)", "prob(p)", "ewma(alpha)". Throws
+// std::invalid_argument on an unknown spec.
+PolicyFactory PolicyBySpec(const std::string& spec);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_EXTRA_POLICIES_H_

@@ -1,0 +1,371 @@
+#include "core/lease_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace treeagg {
+
+LeaseNode::LeaseNode(NodeId self, std::vector<NodeId> nbrs,
+                     const AggregateOp& op,
+                     std::unique_ptr<LeasePolicy> policy, Transport* transport,
+                     CombineDoneFn combine_done, bool ghost_logging)
+    : self_(self),
+      nbrs_(std::move(nbrs)),
+      op_(op),
+      policy_(std::move(policy)),
+      transport_(transport),
+      combine_done_(std::move(combine_done)),
+      ghost_(ghost_logging),
+      val_(op.identity) {
+  assert(policy_ != nullptr);
+  assert(transport_ != nullptr);
+  per_.resize(nbrs_.size());
+  for (std::size_t i = 0; i < nbrs_.size(); ++i) {
+    per_[i].id = nbrs_[i];
+    per_[i].aval = op_.identity;
+  }
+}
+
+std::size_t LeaseNode::Idx(NodeId v) const {
+  for (std::size_t i = 0; i < nbrs_.size(); ++i) {
+    if (nbrs_[i] == v) return i;
+  }
+  assert(false && "not a neighbor");
+  return 0;
+}
+
+bool LeaseNode::IsNbr(NodeId v) const {
+  return std::find(nbrs_.begin(), nbrs_.end(), v) != nbrs_.end();
+}
+
+bool LeaseNode::GrantedToOtherThan(NodeId w) const {
+  for (const PerNeighbor& p : per_) {
+    if (p.granted && p.id != w) return true;
+  }
+  return false;
+}
+
+bool LeaseNode::InPndg(NodeId w) const {
+  for (const Pending& p : pndg_) {
+    if (p.requester == w) return true;
+  }
+  return false;
+}
+
+std::size_t LeaseNode::SntSize(NodeId w) const {
+  for (const Pending& p : pndg_) {
+    if (p.requester == w) return p.waiting.size();
+  }
+  return 0;
+}
+
+std::vector<NodeId> LeaseNode::Tkn() const {
+  std::vector<NodeId> result;
+  for (const PerNeighbor& p : per_) {
+    if (p.taken) result.push_back(p.id);
+  }
+  return result;
+}
+
+std::vector<NodeId> LeaseNode::Grntd() const {
+  std::vector<NodeId> result;
+  for (const PerNeighbor& p : per_) {
+    if (p.granted) result.push_back(p.id);
+  }
+  return result;
+}
+
+Real LeaseNode::Gval() const {
+  Real x = val_;
+  for (const PerNeighbor& p : per_) x = op_(x, p.aval);
+  return x;
+}
+
+Real LeaseNode::Subval(NodeId w) const {
+  Real x = val_;
+  for (const PerNeighbor& p : per_) {
+    if (p.id != w) x = op_(x, p.aval);
+  }
+  return x;
+}
+
+bool LeaseNode::AlreadyProbed(NodeId v) const {
+  for (const Pending& p : pndg_) {
+    if (p.waiting.count(v) != 0) return true;
+  }
+  return false;
+}
+
+// --- Ghost log helpers (Figure 6) -------------------------------------
+
+std::shared_ptr<const GhostLog> LeaseNode::GhostSnapshot() {
+  if (!ghost_) return nullptr;
+  if (!ghost_snapshot_) {
+    ghost_snapshot_ = std::make_shared<const GhostLog>(log_writes_);
+  }
+  return ghost_snapshot_;
+}
+
+void LeaseNode::GhostAppendLocalWrite(ReqId id) {
+  if (!ghost_ || id == kNoRequest) return;
+  log_writes_.push_back({id, self_});
+  last_write_[self_] = id;
+  ghost_seen_[id] = true;
+  ghost_snapshot_.reset();
+}
+
+void LeaseNode::GhostMerge(const Message& m) {
+  if (!ghost_ || m.wlog == nullptr) return;
+  // log := log . (wlog_w - log): append unseen writes in order.
+  for (const GhostWrite& gw : *m.wlog) {
+    if (ghost_seen_.emplace(gw.id, true).second) {
+      log_writes_.push_back(gw);
+      last_write_[gw.node] = gw.id;
+      ghost_snapshot_.reset();
+    }
+  }
+}
+
+// --- Figure 1 procedures ----------------------------------------------
+
+void LeaseNode::SendProbes(NodeId w) {
+  // pndg := pndg ∪ {w}; probe all neighbors not taken, not already probed,
+  // and not w itself. The caller assigns snt[w] afterwards, exactly as the
+  // pseudo-code does.
+  if (!InPndg(w)) pndg_.push_back({w, {}});
+  for (const PerNeighbor& p : per_) {
+    if (p.taken || p.id == w || AlreadyProbed(p.id)) continue;
+    Message m;
+    m.type = MsgType::kProbe;
+    m.from = self_;
+    m.to = p.id;
+    transport_->Send(std::move(m));
+  }
+}
+
+void LeaseNode::ForwardUpdates(NodeId w, UpdateId id) {
+  for (const PerNeighbor& p : per_) {
+    if (!p.granted || p.id == w) continue;
+    Message m;
+    m.type = MsgType::kUpdate;
+    m.from = self_;
+    m.to = p.id;
+    m.x = Subval(p.id);
+    m.id = id;
+    m.wlog = GhostSnapshot();
+    transport_->Send(std::move(m));
+  }
+}
+
+void LeaseNode::SendResponse(NodeId w) {
+  PerNeighbor& pw = per_[Idx(w)];
+  // granted[w] may be set only when every other neighbor's lease is taken
+  // (Lemma 3.2 relies on this guard).
+  bool all_others_taken = true;
+  for (const PerNeighbor& p : per_) {
+    if (p.id != w && !p.taken) {
+      all_others_taken = false;
+      break;
+    }
+  }
+  if (all_others_taken) pw.granted = policy_->SetLease(*this, w);
+  Message m;
+  m.type = MsgType::kResponse;
+  m.from = self_;
+  m.to = w;
+  m.x = Subval(w);
+  m.flag = pw.granted;
+  m.wlog = GhostSnapshot();
+  transport_->Send(std::move(m));
+}
+
+bool LeaseNode::IsGoodForRelease(NodeId w) const {
+  return !GrantedToOtherThan(w);
+}
+
+void LeaseNode::ForwardRelease() {
+  for (PerNeighbor& p : per_) {
+    if (!p.taken) continue;
+    if (!IsGoodForRelease(p.id)) continue;
+    if (!policy_->BreakLease(*this, p.id)) continue;
+    p.taken = false;
+    Message m;
+    m.type = MsgType::kRelease;
+    m.from = self_;
+    m.to = p.id;
+    m.release_ids.assign(p.uaw.begin(), p.uaw.end());
+    p.uaw.clear();
+    transport_->Send(std::move(m));
+  }
+}
+
+void LeaseNode::OnRelease(NodeId w, const std::vector<UpdateId>& s) {
+  // Let id be the smallest id in S (S is sorted by construction; guard the
+  // degenerate empty-S case, which only exotic policies can produce: it
+  // means the releasing node had no unacknowledged updates).
+  const bool have_s = !s.empty();
+  const UpdateId min_id =
+      have_s ? *std::min_element(s.begin(), s.end()) : 0;
+  for (PerNeighbor& p : per_) {
+    if (!p.taken || p.id == w) continue;  // v ∈ tkn() \ {w}
+    if (!have_s) {
+      p.uaw.clear();
+    } else {
+      // A := {α ∈ sntupdates : α.node = v ∧ α.sntid >= min_id};
+      // β := the tuple in A with minimum rcvid.
+      bool found = false;
+      UpdateId beta_rcvid = std::numeric_limits<UpdateId>::max();
+      for (const SntUpdate& t : sntupdates_) {
+        if (t.node == p.id && t.sntid >= min_id) {
+          found = true;
+          beta_rcvid = std::min(beta_rcvid, t.rcvid);
+        }
+      }
+      if (!found) {
+        // Every update received from v was already propagated and is
+        // covered by the release: nothing remains unacknowledged.
+        p.uaw.clear();
+      } else {
+        // uaw[v] := {ids in uaw[v] with id >= β.rcvid}.
+        p.uaw.erase(p.uaw.begin(), p.uaw.lower_bound(beta_rcvid));
+      }
+    }
+    if (IsGoodForRelease(p.id)) policy_->OnReleaseTrim(*this, p.id);
+  }
+  ForwardRelease();
+  // Garbage collection (not in the paper, which keeps ghost state forever):
+  // once no lease is granted, no further release can arrive, so the
+  // sntupdates bookkeeping is dead.
+  if (Grntd().empty()) sntupdates_.clear();
+}
+
+// --- Transitions T1..T6 -------------------------------------------------
+
+void LeaseNode::CompleteLocalCombines() {
+  const Real value = Gval();
+  std::vector<CombineToken> tokens;
+  tokens.swap(local_tokens_);
+  for (const CombineToken token : tokens) {
+    combine_done_(self_, token, value);
+  }
+}
+
+void LeaseNode::LocalCombine(CombineToken token) {  // T1
+  policy_->OnCombine(*this);
+  for (PerNeighbor& p : per_) {
+    if (p.taken) p.uaw.clear();
+  }
+  if (!InPndg(self_)) {
+    std::set<NodeId> missing;  // nbrs() \ tkn()
+    for (const PerNeighbor& p : per_) {
+      if (!p.taken) missing.insert(p.id);
+    }
+    if (missing.empty()) {
+      // return gval(): completes immediately. No other combine can be
+      // waiting, because waiting tokens imply self ∈ pndg.
+      assert(local_tokens_.empty());
+      combine_done_(self_, token, Gval());
+    } else {
+      local_tokens_.push_back(token);
+      SendProbes(self_);
+      for (Pending& p : pndg_) {
+        if (p.requester == self_) {
+          p.waiting = std::move(missing);
+          break;
+        }
+      }
+    }
+  } else {
+    // A combine is already in flight at this node; piggyback on it.
+    local_tokens_.push_back(token);
+  }
+}
+
+void LeaseNode::LocalWrite(Real arg, ReqId write_id) {  // T2
+  val_ = arg;
+  GhostAppendLocalWrite(write_id);
+  policy_->OnLocalWrite(*this);
+  bool any_granted = false;
+  for (const PerNeighbor& p : per_) any_granted |= p.granted;
+  if (any_granted) {
+    const UpdateId id = NewId();
+    ForwardUpdates(self_, id);
+  }
+}
+
+void LeaseNode::Deliver(const Message& m) {
+  assert(m.to == self_);
+  assert(IsNbr(m.from));
+  const NodeId w = m.from;
+  switch (m.type) {
+    case MsgType::kProbe: {  // T3
+      policy_->OnProbeReceived(*this, w);
+      for (PerNeighbor& p : per_) {
+        if (p.taken && p.id != w) p.uaw.clear();
+      }
+      if (!InPndg(w)) {
+        std::set<NodeId> missing;  // nbrs() \ {tkn() ∪ {w}}
+        for (const PerNeighbor& p : per_) {
+          if (!p.taken && p.id != w) missing.insert(p.id);
+        }
+        if (missing.empty()) {
+          SendResponse(w);
+        } else {
+          SendProbes(w);
+          for (Pending& p : pndg_) {
+            if (p.requester == w) {
+              p.waiting = std::move(missing);
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case MsgType::kResponse: {  // T4
+      policy_->OnResponseReceived(*this, m.flag, w);
+      per_[Idx(w)].aval = m.x;
+      GhostMerge(m);
+      per_[Idx(w)].taken = m.flag;
+      // foreach v in pndg: snt[v] -= {w}; completed entries fire in order.
+      std::vector<NodeId> completed;
+      for (Pending& p : pndg_) {
+        p.waiting.erase(w);
+        if (p.waiting.empty()) completed.push_back(p.requester);
+      }
+      std::erase_if(pndg_, [](const Pending& p) { return p.waiting.empty(); });
+      for (const NodeId v : completed) {
+        if (v == self_) {
+          CompleteLocalCombines();
+        } else {
+          SendResponse(v);
+        }
+      }
+      break;
+    }
+    case MsgType::kUpdate: {  // T5
+      policy_->OnUpdateReceived(*this, w);
+      per_[Idx(w)].aval = m.x;
+      GhostMerge(m);
+      per_[Idx(w)].uaw.insert(m.id);
+      if (GrantedToOtherThan(w)) {
+        const UpdateId nid = NewId();
+        sntupdates_.push_back({w, m.id, nid});
+        ForwardUpdates(w, nid);
+      } else {
+        ForwardRelease();
+      }
+      break;
+    }
+    case MsgType::kRelease: {  // T6
+      policy_->OnReleaseReceived(*this, w);
+      per_[Idx(w)].granted = false;
+      OnRelease(w, m.release_ids);
+      break;
+    }
+  }
+}
+
+}  // namespace treeagg

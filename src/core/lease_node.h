@@ -1,0 +1,157 @@
+// The lease-based aggregation mechanism of Figure 1 (and Figure 6 with the
+// ghost actions), transcribed action-for-action.
+//
+// A LeaseNode is a reactive automaton: the driver (sequential simulator,
+// concurrent simulator, or threaded runtime) feeds it local requests
+// (LocalCombine / LocalWrite) and delivered messages (Deliver), and the
+// node emits messages through its Transport and completes combines through
+// its completion callback.
+//
+// State variables map one-to-one onto the paper's:
+//   taken[], granted[], aval[], val, uaw[], pndg, snt[], upcntr, sntupdates
+// plus the ghost log of Figure 6 when ghost logging is enabled.
+#ifndef TREEAGG_CORE_LEASE_NODE_H_
+#define TREEAGG_CORE_LEASE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/aggregate_op.h"
+#include "core/message.h"
+#include "core/policy.h"
+
+namespace treeagg {
+
+// Token identifying a pending local combine; echoed to the completion
+// callback so drivers can match results to requests.
+using CombineToken = std::int64_t;
+
+// Called when a combine initiated at `node` completes with the global
+// aggregate `value`. Fired once per outstanding token; in sequential
+// executions there is exactly one.
+using CombineDoneFn =
+    std::function<void(NodeId node, CombineToken token, Real value)>;
+
+class LeaseNode final : public LeaseNodeView {
+ public:
+  LeaseNode(NodeId self, std::vector<NodeId> nbrs, const AggregateOp& op,
+            std::unique_ptr<LeasePolicy> policy, Transport* transport,
+            CombineDoneFn combine_done, bool ghost_logging = false);
+
+  LeaseNode(const LeaseNode&) = delete;
+  LeaseNode& operator=(const LeaseNode&) = delete;
+
+  // --- Request entry points -------------------------------------------
+  // T1: a combine request initiated at this node.
+  void LocalCombine(CombineToken token);
+  // T2: a write request initiated at this node. `write_id` is the global
+  // request id for the ghost log (kNoRequest when untracked).
+  void LocalWrite(Real arg, ReqId write_id = kNoRequest);
+  // T3..T6: a message delivered from a neighbor.
+  void Deliver(const Message& m);
+
+  // --- LeaseNodeView ---------------------------------------------------
+  NodeId self() const override { return self_; }
+  const std::vector<NodeId>& nbrs() const override { return nbrs_; }
+  bool taken(NodeId v) const override { return per_[Idx(v)].taken; }
+  bool granted(NodeId v) const override { return per_[Idx(v)].granted; }
+  std::size_t UawSize(NodeId v) const override { return per_[Idx(v)].uaw.size(); }
+  bool GrantedToOtherThan(NodeId w) const override;
+
+  // --- Observers for tests, checkers, and the quiescent-state lemmas ---
+  Real val() const { return val_; }
+  Real aval(NodeId v) const { return per_[Idx(v)].aval; }
+  const std::set<UpdateId>& uaw(NodeId v) const { return per_[Idx(v)].uaw; }
+  bool InPndg(NodeId w) const;
+  std::size_t PndgSize() const { return pndg_.size(); }
+  std::size_t SntSize(NodeId w) const;
+  std::size_t SntUpdatesSize() const { return sntupdates_.size(); }
+  std::vector<NodeId> Tkn() const;
+  std::vector<NodeId> Grntd() const;
+  // gval() / subval(w) of Figure 1.
+  Real Gval() const;
+  Real Subval(NodeId w) const;
+  const LeasePolicy& policy() const { return *policy_; }
+  LeasePolicy& mutable_policy() { return *policy_; }
+
+  // Ghost state (Section 5). Empty when ghost logging is disabled.
+  const std::vector<GhostWrite>& GhostLogEntries() const { return log_writes_; }
+  // Most recent write id seen from each node (kNoRequest if none): the
+  // recentwrites(u.log, q) snapshot used for gather return values.
+  const std::unordered_map<NodeId, ReqId>& LastWrites() const {
+    return last_write_;
+  }
+  bool ghost_logging() const { return ghost_; }
+
+ private:
+  struct PerNeighbor {
+    NodeId id = kInvalidNode;
+    bool taken = false;
+    bool granted = false;
+    Real aval = 0;
+    std::set<UpdateId> uaw;
+  };
+  struct SntUpdate {  // the paper's sntupdates tuples {node, rcvid, sntid}
+    NodeId node;
+    UpdateId rcvid;
+    UpdateId sntid;
+  };
+  // One pending requester (a neighbor, or self for a local combine) and the
+  // set of neighbors whose responses are still outstanding (snt[w]).
+  struct Pending {
+    NodeId requester;
+    std::set<NodeId> waiting;
+  };
+
+  std::size_t Idx(NodeId v) const;
+  bool IsNbr(NodeId v) const;
+
+  // Figure 1 procedures.
+  void SendProbes(NodeId w);                       // sendprobes(w)
+  void ForwardUpdates(NodeId w, UpdateId id);      // forwardupdates(w, id)
+  void SendResponse(NodeId w);                     // sendresponse(w)
+  bool IsGoodForRelease(NodeId w) const;           // isgoodforrelease(w)
+  void OnRelease(NodeId w, const std::vector<UpdateId>& s);  // onrelease
+  void ForwardRelease();                           // forwardrelease()
+  UpdateId NewId() { return ++upcntr_; }           // newid()
+
+  // Union of all snt[w]: the paper's sntprobes().
+  bool AlreadyProbed(NodeId v) const;
+
+  void CompleteLocalCombines();
+
+  // Ghost helpers.
+  std::shared_ptr<const GhostLog> GhostSnapshot();
+  void GhostAppendLocalWrite(ReqId id);
+  void GhostMerge(const Message& m);
+
+  const NodeId self_;
+  const std::vector<NodeId> nbrs_;
+  const AggregateOp op_;
+  const std::unique_ptr<LeasePolicy> policy_;
+  Transport* const transport_;
+  const CombineDoneFn combine_done_;
+  const bool ghost_;
+
+  Real val_;
+  std::vector<PerNeighbor> per_;  // parallel to nbrs_
+  std::vector<Pending> pndg_;
+  std::vector<SntUpdate> sntupdates_;
+  UpdateId upcntr_ = 0;
+  std::vector<CombineToken> local_tokens_;  // combines awaiting gval()
+
+  // Ghost log: all writes known to this node, in arrival order.
+  std::vector<GhostWrite> log_writes_;
+  std::unordered_map<NodeId, ReqId> last_write_;
+  std::unordered_map<ReqId, bool> ghost_seen_;
+  std::shared_ptr<const GhostLog> ghost_snapshot_;  // cache; invalidated on append
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_LEASE_NODE_H_

@@ -1,0 +1,39 @@
+#include "core/message.h"
+
+#include <ostream>
+
+namespace treeagg {
+
+const char* ToString(MsgType t) {
+  switch (t) {
+    case MsgType::kProbe:
+      return "probe";
+    case MsgType::kResponse:
+      return "response";
+    case MsgType::kUpdate:
+      return "update";
+    case MsgType::kRelease:
+      return "release";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Message& m) {
+  os << ToString(m.type) << "(" << m.from << "->" << m.to;
+  switch (m.type) {
+    case MsgType::kResponse:
+      os << ", x=" << m.x << ", flag=" << (m.flag ? "true" : "false");
+      break;
+    case MsgType::kUpdate:
+      os << ", x=" << m.x << ", id=" << m.id;
+      break;
+    case MsgType::kRelease:
+      os << ", |S|=" << m.release_ids.size();
+      break;
+    case MsgType::kProbe:
+      break;
+  }
+  return os << ")";
+}
+
+}  // namespace treeagg

@@ -1,0 +1,64 @@
+// Protocol messages of the lease-based mechanism (Figure 1):
+//
+//   probe()          v -> u : pull the aggregate of subtree(u, v)
+//   response(x,flag) u -> v : x = subval(v); flag = lease granted u->v
+//   update(x,id)     u -> v : new subval(v) after a write; id from upcntr
+//   release(S)       v -> u : break the lease u->v; S = uaw ids
+//
+// Messages optionally piggyback the ghost write-log of Section 5 (Figure 6):
+// proof instrumentation used by the causal-consistency checker, never
+// counted as protocol cost.
+#ifndef TREEAGG_CORE_MESSAGE_H_
+#define TREEAGG_CORE_MESSAGE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+enum class MsgType { kProbe, kResponse, kUpdate, kRelease };
+
+const char* ToString(MsgType t);
+
+// A ghost write-log entry: the global request id of a write and the node it
+// was issued at. (The paper's wlog carries whole requests; id + node is what
+// the Section 5 constructions need.)
+struct GhostWrite {
+  ReqId id = kNoRequest;
+  NodeId node = kInvalidNode;
+  friend bool operator==(const GhostWrite&, const GhostWrite&) = default;
+};
+
+using GhostLog = std::vector<GhostWrite>;
+
+struct Message {
+  MsgType type = MsgType::kProbe;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  Real x = 0;                       // response / update payload
+  bool flag = false;                // response: lease granted?
+  UpdateId id = 0;                  // update: sender-local id
+  std::vector<UpdateId> release_ids;  // release: the uaw set S
+
+  // Ghost wlog snapshot (Figure 6); shared and immutable to avoid copying
+  // on fan-out. Null when ghost logging is disabled.
+  std::shared_ptr<const GhostLog> wlog;
+};
+
+std::ostream& operator<<(std::ostream& os, const Message& m);
+
+// Transport abstraction: the mechanism sends through this; the simulator
+// and the threaded runtime implement it.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void Send(Message m) = 0;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_MESSAGE_H_

@@ -1,0 +1,156 @@
+#include "core/policies.h"
+
+#include <memory>
+
+namespace treeagg {
+
+// ---------------------------------------------------------------- RWW ----
+
+void RwwPolicy::OnCombine(const LeaseNodeView& node) {
+  // A combine at this node is combine activity in sigma(v, u) for every
+  // taken lease v -> u: refresh the timers (Lemma 4.2, case T1).
+  for (const NodeId v : node.nbrs()) {
+    if (node.taken(v)) lt_[v] = 2;
+  }
+}
+
+void RwwPolicy::OnProbeReceived(const LeaseNodeView& node, NodeId w) {
+  // A probe from w witnesses a combine on w's side: refresh every taken
+  // lease except the one towards w (Lemma 4.2, case T3).
+  for (const NodeId v : node.nbrs()) {
+    if (v != w && node.taken(v)) lt_[v] = 2;
+  }
+}
+
+void RwwPolicy::OnResponseReceived(const LeaseNodeView& /*node*/, bool flag,
+                                   NodeId w) {
+  if (flag) lt_[w] = 2;  // fresh lease (Lemma 4.2, case T4)
+}
+
+void RwwPolicy::OnUpdateReceived(const LeaseNodeView& node, NodeId w) {
+  // Count the write only when this node is the propagation frontier
+  // (no onward grants besides w): Lemma 4.2, case T5.
+  if (!node.GrantedToOtherThan(w)) lt_[w] -= 1;
+}
+
+void RwwPolicy::OnReleaseTrim(const LeaseNodeView& node, NodeId v) {
+  // releasepolicy(v): lt[v] -= |uaw[v]| with uaw already trimmed
+  // (Lemma 4.2, case T6).
+  lt_[v] -= static_cast<int>(node.UawSize(v));
+}
+
+bool RwwPolicy::SetLease(const LeaseNodeView& /*node*/, NodeId /*w*/) {
+  return true;  // RWW always grants on a combine (Lemma 4.3 part 1)
+}
+
+bool RwwPolicy::BreakLease(const LeaseNodeView& /*node*/, NodeId v) {
+  const auto it = lt_.find(v);
+  return it != lt_.end() && it->second <= 0;
+}
+
+int RwwPolicy::lt(NodeId v) const {
+  const auto it = lt_.find(v);
+  return it == lt_.end() ? 0 : it->second;
+}
+
+// ------------------------------------------------------------- (a, b) ----
+
+AbPolicy::AbPolicy(int a, int b) : a_(a), b_(b) {}
+
+void AbPolicy::OnCombine(const LeaseNodeView& node) {
+  for (const NodeId v : node.nbrs()) {
+    if (node.taken(v)) lt_[v] = b_;
+  }
+}
+
+void AbPolicy::OnProbeReceived(const LeaseNodeView& node, NodeId w) {
+  for (const NodeId v : node.nbrs()) {
+    if (v != w && node.taken(v)) lt_[v] = b_;
+  }
+  // One more consecutive combine observed from w's side.
+  cc_[w] += 1;
+}
+
+void AbPolicy::OnResponseReceived(const LeaseNodeView& /*node*/, bool flag,
+                                  NodeId w) {
+  if (flag) lt_[w] = b_;
+}
+
+void AbPolicy::OnUpdateReceived(const LeaseNodeView& node, NodeId w) {
+  if (!node.GrantedToOtherThan(w)) lt_[w] -= 1;
+  // A write on w's side interrupts combine runs for every other direction.
+  for (auto& [v, count] : cc_) {
+    if (v != w) count = 0;
+  }
+}
+
+void AbPolicy::OnReleaseTrim(const LeaseNodeView& node, NodeId v) {
+  lt_[v] -= static_cast<int>(node.UawSize(v));
+}
+
+void AbPolicy::OnLocalWrite(const LeaseNodeView& /*node*/) {
+  // A local write is a write in sigma(u, v) for every neighbor v: it
+  // interrupts every consecutive-combine run.
+  for (auto& [v, count] : cc_) count = 0;
+}
+
+bool AbPolicy::SetLease(const LeaseNodeView& /*node*/, NodeId w) {
+  if (cc_[w] >= a_) {
+    cc_[w] = 0;
+    return true;
+  }
+  return false;
+}
+
+bool AbPolicy::BreakLease(const LeaseNodeView& /*node*/, NodeId v) {
+  const auto it = lt_.find(v);
+  return it != lt_.end() && it->second <= 0;
+}
+
+int AbPolicy::lt(NodeId v) const {
+  const auto it = lt_.find(v);
+  return it == lt_.end() ? 0 : it->second;
+}
+
+std::string AbPolicy::name() const {
+  return "lease(" + std::to_string(a_) + "," + std::to_string(b_) + ")";
+}
+
+// ---------------------------------------------------------- factories ----
+
+PolicyFactory RwwFactory() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<RwwPolicy>();
+  };
+}
+
+PolicyFactory AbFactory(int a, int b) {
+  return [a, b](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<AbPolicy>(a, b);
+  };
+}
+
+PolicyFactory PushAllFactory() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<PushAllPolicy>();
+  };
+}
+
+PolicyFactory PullAllFactory() {
+  return [](NodeId, const std::vector<NodeId>&) {
+    return std::make_unique<PullAllPolicy>();
+  };
+}
+
+std::vector<NamedPolicy> StandardPolicies() {
+  return {
+      {"RWW", RwwFactory()},
+      {"lease(1,1)", AbFactory(1, 1)},
+      {"lease(1,3)", AbFactory(1, 3)},
+      {"lease(2,2)", AbFactory(2, 2)},
+      {"push-all", PushAllFactory()},
+      {"pull-all", PullAllFactory()},
+  };
+}
+
+}  // namespace treeagg

@@ -1,0 +1,108 @@
+// Concrete lease policies.
+//
+//  * RwwPolicy — the paper's online algorithm RWW (Figure 3, reconstructed
+//    from the invariant I4 of Lemma 4.2): set the lease whenever asked;
+//    maintain a per-neighbor lease timer lt[v] that is reset to 2 by any
+//    combine activity and decremented by writes; break after two
+//    consecutive writes (lt[v] <= 0).
+//  * AbPolicy — the (a, b)-algorithm class of Section 4.2: set the lease
+//    after `a` consecutive combine requests in sigma(u, v), break it after
+//    `b` consecutive write requests. AbPolicy(1, 2) behaves exactly like
+//    RWW. For a > 1 the policy counts probes, which matches the paper's
+//    definition exactly on two-node trees (the Theorem 3 setting) and is a
+//    best-effort approximation on larger trees, where interior nodes
+//    cannot observe writes occurring below unleased subtrees.
+//  * PushAllPolicy — Astrolabe-like static strategy: always grant, never
+//    break. After a warm-up combine per node, every write is propagated to
+//    all nodes and every read is local.
+//  * PullAllPolicy — MDS-2-like static strategy: never grant. Every combine
+//    gathers the whole tree; writes cost nothing.
+#ifndef TREEAGG_CORE_POLICIES_H_
+#define TREEAGG_CORE_POLICIES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace treeagg {
+
+class RwwPolicy final : public LeasePolicy {
+ public:
+  RwwPolicy() = default;
+
+  void OnCombine(const LeaseNodeView& node) override;
+  void OnProbeReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnResponseReceived(const LeaseNodeView& node, bool flag,
+                          NodeId w) override;
+  void OnUpdateReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnReleaseTrim(const LeaseNodeView& node, NodeId v) override;
+  bool SetLease(const LeaseNodeView& node, NodeId w) override;
+  bool BreakLease(const LeaseNodeView& node, NodeId v) override;
+  std::string name() const override { return "RWW"; }
+
+  // The lease timer for neighbor v (test/diagnostic accessor; the paper's
+  // u.lt[v] from Lemma 4.2).
+  int lt(NodeId v) const;
+
+ private:
+  std::unordered_map<NodeId, int> lt_;
+};
+
+class AbPolicy final : public LeasePolicy {
+ public:
+  AbPolicy(int a, int b);
+
+  void OnCombine(const LeaseNodeView& node) override;
+  void OnProbeReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnResponseReceived(const LeaseNodeView& node, bool flag,
+                          NodeId w) override;
+  void OnUpdateReceived(const LeaseNodeView& node, NodeId w) override;
+  void OnReleaseTrim(const LeaseNodeView& node, NodeId v) override;
+  void OnLocalWrite(const LeaseNodeView& node) override;
+  bool SetLease(const LeaseNodeView& node, NodeId w) override;
+  bool BreakLease(const LeaseNodeView& node, NodeId v) override;
+  std::string name() const override;
+
+  int lt(NodeId v) const;
+
+ private:
+  const int a_;
+  const int b_;
+  std::unordered_map<NodeId, int> lt_;  // remaining writes before break
+  std::unordered_map<NodeId, int> cc_;  // consecutive probes seen from w
+};
+
+class PushAllPolicy final : public LeasePolicy {
+ public:
+  bool SetLease(const LeaseNodeView&, NodeId) override { return true; }
+  bool BreakLease(const LeaseNodeView&, NodeId) override { return false; }
+  std::string name() const override { return "push-all"; }
+};
+
+class PullAllPolicy final : public LeasePolicy {
+ public:
+  bool SetLease(const LeaseNodeView&, NodeId) override { return false; }
+  bool BreakLease(const LeaseNodeView&, NodeId) override { return true; }
+  std::string name() const override { return "pull-all"; }
+};
+
+// Policy factories for drivers.
+PolicyFactory RwwFactory();
+PolicyFactory AbFactory(int a, int b);
+PolicyFactory PushAllFactory();
+PolicyFactory PullAllFactory();
+
+struct NamedPolicy {
+  std::string name;
+  PolicyFactory factory;
+};
+
+// The standard policy sweep used by tests and benches: RWW, (1,1), (1,3),
+// (2,2), push-all, pull-all.
+std::vector<NamedPolicy> StandardPolicies();
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_POLICIES_H_

@@ -1,0 +1,72 @@
+// The policy side of the paper's mechanism/policy split.
+//
+// Figure 1 underlines eight stub calls; a lease-based *algorithm* is the
+// mechanism plus a policy supplying those stubs. The consistency results
+// (strict consistency in sequential executions, causal consistency in
+// concurrent executions) hold for EVERY policy; the competitive-ratio
+// results are specific to RWW.
+#ifndef TREEAGG_CORE_POLICY_H_
+#define TREEAGG_CORE_POLICY_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+// Read-only view of a node's mechanism state, for policy decisions.
+class LeaseNodeView {
+ public:
+  virtual ~LeaseNodeView() = default;
+  virtual NodeId self() const = 0;
+  virtual const std::vector<NodeId>& nbrs() const = 0;
+  // u.taken[v]: the lease v -> self is set (self holds v's subtree value).
+  virtual bool taken(NodeId v) const = 0;
+  // u.granted[v]: the lease self -> v is set (self pushes updates to v).
+  virtual bool granted(NodeId v) const = 0;
+  // |uaw[v]|: updates received from v and not yet covered by a lease reset.
+  virtual std::size_t UawSize(NodeId v) const = 0;
+  // grntd() \ {w} != empty.
+  virtual bool GrantedToOtherThan(NodeId w) const = 0;
+};
+
+// Policy hooks. The names mirror the underlined stubs of Figure 1:
+// oncombine, probercvd, responsercvd, updatercvd, releasercvd,
+// releasepolicy, setlease, breaklease. OnLocalWrite is an extension hook
+// (absent from Figure 1) used only by generalized (a,b) policies with
+// a > 1; RWW and the static policies ignore it.
+class LeasePolicy {
+ public:
+  virtual ~LeasePolicy() = default;
+
+  virtual void OnCombine(const LeaseNodeView& /*node*/) {}
+  virtual void OnProbeReceived(const LeaseNodeView& /*node*/, NodeId /*w*/) {}
+  virtual void OnResponseReceived(const LeaseNodeView& /*node*/, bool /*flag*/,
+                                  NodeId /*w*/) {}
+  virtual void OnUpdateReceived(const LeaseNodeView& /*node*/, NodeId /*w*/) {}
+  virtual void OnReleaseReceived(const LeaseNodeView& /*node*/, NodeId /*w*/) {}
+  // releasepolicy(v): called from onrelease() after uaw[v] was trimmed and
+  // only when isgoodforrelease(v) holds.
+  virtual void OnReleaseTrim(const LeaseNodeView& /*node*/, NodeId /*v*/) {}
+  virtual void OnLocalWrite(const LeaseNodeView& /*node*/) {}
+
+  // setlease(w): may the mechanism set granted[w] while sending a response?
+  virtual bool SetLease(const LeaseNodeView& node, NodeId w) = 0;
+  // breaklease(v): should the mechanism send a release for the taken lease
+  // from v? Only consulted when isgoodforrelease(v) holds and taken[v].
+  virtual bool BreakLease(const LeaseNodeView& node, NodeId v) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Creates one policy instance per node.
+using PolicyFactory = std::function<std::unique_ptr<LeasePolicy>(
+    NodeId self, const std::vector<NodeId>& nbrs)>;
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_POLICY_H_

@@ -1,0 +1,119 @@
+#include "lp/potential.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace treeagg {
+
+namespace {
+constexpr double kTol = 1e-9;
+
+double Phi(const std::vector<double>& cert, int x, int y) {
+  return cert[static_cast<std::size_t>(PhiIndex(x, y))];
+}
+double Comp(const std::vector<double>& cert) {
+  return cert[static_cast<std::size_t>(kNumLpVars - 1)];
+}
+}  // namespace
+
+bool VerifyCertificate(const std::vector<double>& phi_and_c,
+                       std::string* error) {
+  if (phi_and_c.size() != static_cast<std::size_t>(kNumLpVars)) {
+    if (error) *error = "certificate has wrong arity";
+    return false;
+  }
+  for (const double v : phi_and_c) {
+    if (v < -kTol) {
+      if (error) *error = "certificate has a negative component";
+      return false;
+    }
+  }
+  if (Phi(phi_and_c, 0, 0) > kTol) {
+    if (error) *error = "Phi(0,0) must be 0 (initial state)";
+    return false;
+  }
+  const double c = Comp(phi_and_c);
+  for (const Transition& t : BuildJointTransitions()) {
+    const double lhs = Phi(phi_and_c, t.to_x, t.to_y) -
+                       Phi(phi_and_c, t.from_x, t.from_y) + t.rww_cost;
+    if (lhs > c * t.opt_cost + kTol) {
+      if (error) *error = "violated: " + t.ToInequality();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReplayAmortized(const EdgeSequence& seq, const OptimalPlan& plan,
+                     const std::vector<double>& phi_and_c,
+                     std::int64_t* rww_cost, std::int64_t* plan_cost,
+                     std::string* error) {
+  assert(plan.state_after.size() == seq.size());
+  const double c = Comp(phi_and_c);
+  int x = 0;  // offline lease state
+  int y = 0;  // RWW configuration
+  std::int64_t rww_total = 0, opt_total = 0;
+  double amortized_total = 0;
+
+  const auto check_step = [&](char request, int nx, int ny,
+                              std::int64_t rww_step,
+                              std::int64_t opt_step) -> bool {
+    const double amortized = Phi(phi_and_c, nx, ny) - Phi(phi_and_c, x, y) +
+                             static_cast<double>(rww_step);
+    if (amortized > c * static_cast<double>(opt_step) + kTol) {
+      if (error) {
+        std::ostringstream os;
+        os << "amortized inequality violated at " << request << " from S("
+           << x << "," << y << ") to S(" << nx << "," << ny << ")";
+        *error = os.str();
+      }
+      return false;
+    }
+    amortized_total += amortized;
+    rww_total += rww_step;
+    opt_total += opt_step;
+    x = nx;
+    y = ny;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const char request = (seq[i] == EdgeReq::kR) ? 'R' : 'W';
+    const auto [ny, rww_step] = RwwMove(y, request);
+    // Offline step cost per Figure 2 given the plan's choice.
+    const int mid = plan.state_after[i];
+    std::int64_t opt_step = 0;
+    if (request == 'R') {
+      opt_step = (x == 0) ? 2 : 0;
+    } else {
+      opt_step = (x == 0) ? 0 : (mid == 1 ? 1 : 2);
+    }
+    if (!check_step(request, mid, ny, rww_step, opt_step)) return false;
+    if (plan.noop_release[i]) {
+      // A noop step: OPT voluntarily releases (cost 1), RWW is inert.
+      const auto [nny, rww_noop] = RwwMove(y, 'N');
+      if (!check_step('N', 0, nny, rww_noop, 1)) return false;
+    }
+  }
+
+  if (rww_cost) *rww_cost = rww_total;
+  if (plan_cost) *plan_cost = opt_total;
+  // Telescoping: sum of amortized = RWW total + Phi(final) - Phi(0,0),
+  // so RWW <= c * OPT + Phi(0,0) - Phi(final) <= c * OPT.
+  if (static_cast<double>(rww_total) >
+      c * static_cast<double>(opt_total) + kTol) {
+    if (error) *error = "telescoped bound violated";
+    return false;
+  }
+  if (opt_total != plan.cost) {
+    if (error) {
+      *error = "replayed plan cost disagrees with the DP (replay " +
+               std::to_string(opt_total) + ", dp " +
+               std::to_string(plan.cost) + ")";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,43 @@
+// Executable form of the Lemma 4.6 potential-function argument.
+//
+// A certificate is a vector (Phi(0,0..2), Phi(1,0..2), c). It certifies
+// RWW's c-competitiveness if, for every transition of the joint
+// (F_OPT, F_RWW) system,
+//
+//     Phi(to) - Phi(from) + cost_RWW <= c * cost_OPT,
+//
+// with Phi >= 0 and Phi(0,0) = 0 (initial state). VerifyCertificate checks
+// the inequalities symbolically over the transition system;
+// ReplayAmortized re-derives them *dynamically*: it replays an actual
+// projected request sequence through RWW's configuration and an offline
+// plan, checking the amortized inequality at every step and the telescoped
+// total bound at the end.
+#ifndef TREEAGG_LP_POTENTIAL_H_
+#define TREEAGG_LP_POTENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/transition_system.h"
+#include "offline/edge_dp.h"
+#include "offline/projection.h"
+
+namespace treeagg {
+
+// Checks the certificate against every transition in the joint system.
+// On failure, *error names the violated transition.
+bool VerifyCertificate(const std::vector<double>& phi_and_c,
+                       std::string* error);
+
+// Replays `seq` through RWW and the given offline plan, checking the
+// per-step amortized inequality under the certificate and that the
+// telescoped sum yields cost_RWW <= c * cost_plan. Returns the measured
+// costs through the out-params (useful for reporting).
+bool ReplayAmortized(const EdgeSequence& seq, const OptimalPlan& plan,
+                     const std::vector<double>& phi_and_c,
+                     std::int64_t* rww_cost, std::int64_t* plan_cost,
+                     std::string* error);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_LP_POTENTIAL_H_

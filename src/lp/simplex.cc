@@ -1,0 +1,196 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treeagg {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+void LpProblem::AddRow(std::vector<double> row, double rhs_value) {
+  assert(row.size() == objective.size());
+  rows.push_back(std::move(row));
+  rhs.push_back(rhs_value);
+}
+
+bool IsFeasible(const LpProblem& problem, const std::vector<double>& x,
+                double tol) {
+  if (x.size() != problem.num_vars()) return false;
+  for (const double xi : x) {
+    if (xi < -tol) return false;
+  }
+  for (std::size_t i = 0; i < problem.num_rows(); ++i) {
+    double lhs = 0;
+    for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+      lhs += problem.rows[i][j] * x[j];
+    }
+    if (lhs > problem.rhs[i] + tol) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Dense tableau for the two-phase simplex. Columns: n structural, m slack,
+// up to m artificial. Reduced costs are recomputed from scratch every
+// iteration — O(m * cols), irrelevant at our sizes and immune to drift.
+class Simplex {
+ public:
+  explicit Simplex(const LpProblem& p)
+      : n_(p.num_vars()), m_(p.num_rows()) {
+    cols_ = n_ + m_;  // artificials appended below
+    table_.assign(m_, {});
+    rhs_.assign(m_, 0);
+    basis_.assign(m_, 0);
+    std::vector<std::size_t> artificial_rows;
+    for (std::size_t i = 0; i < m_; ++i) {
+      table_[i].assign(cols_, 0.0);
+      const double sign = (p.rhs[i] < 0) ? -1.0 : 1.0;
+      for (std::size_t j = 0; j < n_; ++j) table_[i][j] = sign * p.rows[i][j];
+      table_[i][n_ + i] = sign;  // slack
+      rhs_[i] = sign * p.rhs[i];
+      if (sign < 0) {
+        artificial_rows.push_back(i);
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+    num_art_ = artificial_rows.size();
+    for (auto& row : table_) row.resize(cols_ + num_art_, 0.0);
+    for (std::size_t k = 0; k < num_art_; ++k) {
+      const std::size_t i = artificial_rows[k];
+      table_[i][cols_ + k] = 1.0;
+      basis_[i] = cols_ + k;
+    }
+    total_cols_ = cols_ + num_art_;
+  }
+
+  LpSolution Solve(const LpProblem& p) {
+    // Phase 1: minimize the sum of artificials.
+    if (num_art_ > 0) {
+      std::vector<double> d(total_cols_, 0.0);
+      for (std::size_t j = cols_; j < total_cols_; ++j) d[j] = 1.0;
+      if (!Optimize(d, /*ban_artificials=*/false)) {
+        return {LpSolution::Status::kUnbounded, 0, {}};  // cannot happen
+      }
+      if (ObjectiveValue(d) > 1e-7) {
+        return {LpSolution::Status::kInfeasible, 0, {}};
+      }
+      DriveOutArtificials();
+    }
+    // Phase 2: minimize the true objective, artificial columns banned.
+    std::vector<double> d(total_cols_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) d[j] = p.objective[j];
+    if (!Optimize(d, /*ban_artificials=*/true)) {
+      return {LpSolution::Status::kUnbounded, 0, {}};
+    }
+    LpSolution sol;
+    sol.status = LpSolution::Status::kOptimal;
+    sol.x.assign(n_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) sol.x[basis_[i]] = rhs_[i];
+    }
+    sol.value = 0;
+    for (std::size_t j = 0; j < n_; ++j) sol.value += p.objective[j] * sol.x[j];
+    return sol;
+  }
+
+ private:
+  double ObjectiveValue(const std::vector<double>& d) const {
+    double z = 0;
+    for (std::size_t i = 0; i < m_; ++i) z += d[basis_[i]] * rhs_[i];
+    return z;
+  }
+
+  // Reduced cost of column j under cost vector d.
+  double ReducedCost(const std::vector<double>& d, std::size_t j) const {
+    double r = d[j];
+    for (std::size_t i = 0; i < m_; ++i) r -= d[basis_[i]] * table_[i][j];
+    return r;
+  }
+
+  // Minimizes d . (full variable vector). Returns false on unboundedness.
+  bool Optimize(const std::vector<double>& d, bool ban_artificials) {
+    const std::size_t limit = ban_artificials ? cols_ : total_cols_;
+    for (;;) {
+      // Bland's rule: smallest-index entering column with negative reduced
+      // cost (guarantees termination without cycling).
+      std::size_t enter = limit;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (ReducedCost(d, j) < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == limit) return true;  // optimal
+      // Min-ratio leaving row, Bland tie-break on basis index.
+      std::size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (table_[i][enter] > kEps) {
+          const double ratio = rhs_[i] / table_[i][enter];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == m_ || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(std::size_t r, std::size_t c) {
+    const double piv = table_[r][c];
+    for (double& t : table_[r]) t /= piv;
+    rhs_[r] /= piv;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double factor = table_[i][c];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < total_cols_; ++j) {
+        table_[i][j] -= factor * table_[r][j];
+      }
+      rhs_[i] -= factor * rhs_[r];
+    }
+    basis_[r] = c;
+  }
+
+  // After phase 1, pivot zero-valued artificials out of the basis so phase 2
+  // can ban their columns.
+  void DriveOutArtificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < cols_) continue;
+      bool pivoted = false;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (std::abs(table_[i][j]) > kEps) {
+          Pivot(i, j);
+          pivoted = true;
+          break;
+        }
+      }
+      // If the row is all zero in real columns it is redundant; the basic
+      // artificial stays at value 0 and is harmless (its column is banned).
+      (void)pivoted;
+    }
+  }
+
+  std::size_t n_, m_, cols_ = 0, num_art_ = 0, total_cols_ = 0;
+  std::vector<std::vector<double>> table_;
+  std::vector<double> rhs_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem) {
+  Simplex simplex(problem);
+  return simplex.Solve(problem);
+}
+
+}  // namespace treeagg

@@ -1,0 +1,45 @@
+// A small dense linear-programming solver (two-phase primal simplex with
+// Bland's rule), sufficient for the paper's Figure 5 program: 7 variables,
+// ~21 constraints. Written from scratch; no external dependencies.
+//
+//   minimize    objective . x
+//   subject to  rows[i] . x <= rhs[i]   for all i
+//               x >= 0
+#ifndef TREEAGG_LP_SIMPLEX_H_
+#define TREEAGG_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+namespace treeagg {
+
+struct LpProblem {
+  std::vector<double> objective;           // size n
+  std::vector<std::vector<double>> rows;   // m x n
+  std::vector<double> rhs;                 // size m
+
+  std::size_t num_vars() const { return objective.size(); }
+  std::size_t num_rows() const { return rows.size(); }
+
+  // Adds a constraint row . x <= rhs.
+  void AddRow(std::vector<double> row, double rhs_value);
+};
+
+struct LpSolution {
+  enum class Status { kOptimal, kInfeasible, kUnbounded };
+  Status status = Status::kInfeasible;
+  double value = 0;        // objective at optimum
+  std::vector<double> x;   // optimal point
+
+  bool optimal() const { return status == Status::kOptimal; }
+};
+
+LpSolution SolveLp(const LpProblem& problem);
+
+// True iff x satisfies every constraint of the problem within tol.
+bool IsFeasible(const LpProblem& problem, const std::vector<double>& x,
+                double tol = 1e-9);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_LP_SIMPLEX_H_

@@ -1,0 +1,129 @@
+#include "lp/transition_system.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace treeagg {
+
+std::string Transition::ToInequality() const {
+  std::ostringstream os;
+  os << "Phi(" << to_x << "," << to_y << ") - Phi(" << from_x << ","
+     << from_y << ")";
+  if (rww_cost != 0) os << " + " << rww_cost;
+  os << " <= ";
+  if (opt_cost == 0) {
+    os << "0";
+  } else if (opt_cost == 1) {
+    os << "c";
+  } else {
+    os << opt_cost << "c";
+  }
+  return os.str();
+}
+
+std::pair<int, int> RwwMove(int y, char request) {
+  switch (request) {
+    case 'R':
+      // Combine: probe + response when unleased; lease refreshed to 2.
+      return {2, y == 0 ? 2 : 0};
+    case 'W':
+      // Write: update while leased; update + release on the emptying write.
+      if (y == 0) return {0, 0};
+      if (y == 1) return {0, 2};
+      return {1, 1};  // y == 2
+    case 'N':
+      // Requests in sigma(v, u) never move RWW's lease (Lemma 4.1).
+      return {y, 0};
+    default:
+      throw std::invalid_argument("RwwMove: bad request");
+  }
+}
+
+std::vector<std::pair<int, int>> OptMoves(int x, char request) {
+  switch (request) {
+    case 'R':
+      if (x == 0) return {{0, 2}, {1, 2}};  // probe+response; may take lease
+      return {{1, 0}};                      // leased read is free
+    case 'W':
+      if (x == 0) return {{0, 0}};          // unleased write is free
+      return {{1, 1}, {0, 2}};              // update / update + release
+    case 'N':
+      if (x == 0) return {{0, 0}};
+      return {{1, 0}, {0, 1}};              // keep / voluntary release
+    default:
+      throw std::invalid_argument("OptMoves: bad request");
+  }
+}
+
+std::vector<Transition> BuildJointTransitions() {
+  std::vector<Transition> transitions;
+  for (const char request : {'R', 'W', 'N'}) {
+    for (int x = 0; x <= 1; ++x) {
+      for (int y = 0; y <= 2; ++y) {
+        const auto [to_y, rww_cost] = RwwMove(y, request);
+        for (const auto& [to_x, opt_cost] : OptMoves(x, request)) {
+          transitions.push_back(
+              {x, y, request, to_x, to_y, rww_cost, opt_cost});
+        }
+      }
+    }
+  }
+  return transitions;
+}
+
+std::vector<Transition> Figure5Transitions() {
+  // Transcribed row-by-row from Figure 5 of the paper. Each row is the
+  // inequality Phi(to) - Phi(from) + rww <= opt * c for one (state,
+  // request, OPT-choice) combination; the comments give the source row.
+  return {
+      {0, 0, 'R', 0, 2, 2, 2},  // Phi(0,2) - Phi(0,0) + 2 <= 2c
+      {0, 0, 'R', 1, 2, 2, 2},  // Phi(1,2) - Phi(0,0) + 2 <= 2c
+      {0, 0, 'W', 0, 0, 0, 0},  // Phi(0,0) - Phi(0,0)     <= 0
+      {1, 0, 'R', 1, 2, 2, 0},  // Phi(1,2) - Phi(1,0) + 2 <= 0
+      {1, 0, 'W', 0, 0, 0, 2},  // Phi(0,0) - Phi(1,0)     <= 2c
+      {1, 0, 'W', 1, 0, 0, 1},  // Phi(1,0) - Phi(1,0)     <= c
+      {1, 0, 'N', 0, 0, 0, 1},  // Phi(0,0) - Phi(1,0)     <= c
+      {0, 2, 'R', 0, 2, 0, 2},  // Phi(0,2) - Phi(0,2)     <= 2c
+      {0, 2, 'R', 1, 2, 0, 2},  // Phi(1,2) - Phi(0,2)     <= 2c
+      {0, 2, 'W', 0, 1, 1, 0},  // Phi(0,1) - Phi(0,2) + 1 <= 0
+      {1, 2, 'R', 1, 2, 0, 0},  // Phi(1,2) - Phi(1,2)     <= 0
+      {1, 2, 'W', 0, 1, 1, 2},  // Phi(0,1) - Phi(1,2) + 1 <= 2c
+      {1, 2, 'W', 1, 1, 1, 1},  // Phi(1,1) - Phi(1,2) + 1 <= c
+      {1, 2, 'N', 0, 2, 0, 1},  // Phi(0,2) - Phi(1,2)     <= c
+      {0, 1, 'R', 0, 2, 0, 2},  // Phi(0,2) - Phi(0,1)     <= 2c
+      {0, 1, 'R', 1, 2, 0, 2},  // Phi(1,2) - Phi(0,1)     <= 2c
+      {0, 1, 'W', 0, 0, 2, 0},  // Phi(0,0) - Phi(0,1) + 2 <= 0
+      {1, 1, 'R', 1, 2, 0, 0},  // Phi(1,2) - Phi(1,1)     <= 0
+      {1, 1, 'W', 0, 0, 2, 2},  // Phi(0,0) - Phi(1,1) + 2 <= 2c
+      {1, 1, 'W', 1, 0, 2, 1},  // Phi(1,0) - Phi(1,1) + 2 <= c
+      {1, 1, 'N', 0, 1, 0, 1},  // Phi(0,1) - Phi(1,1)     <= c
+  };
+}
+
+int PhiIndex(int x, int y) {
+  assert(x >= 0 && x <= 1 && y >= 0 && y <= 2);
+  return 3 * x + y;
+}
+
+LpProblem BuildCompetitiveLp(const std::vector<Transition>& transitions) {
+  LpProblem lp;
+  lp.objective.assign(kNumLpVars, 0.0);
+  lp.objective[kNumLpVars - 1] = 1.0;  // minimize c
+  for (const Transition& t : transitions) {
+    // Phi(to) - Phi(from) - opt_cost * c <= -rww_cost
+    std::vector<double> row(kNumLpVars, 0.0);
+    row[PhiIndex(t.to_x, t.to_y)] += 1.0;
+    row[PhiIndex(t.from_x, t.from_y)] -= 1.0;
+    row[kNumLpVars - 1] -= static_cast<double>(t.opt_cost);
+    lp.AddRow(std::move(row), -static_cast<double>(t.rww_cost));
+  }
+  return lp;
+}
+
+std::vector<double> PaperLpSolution() {
+  // Phi(0,0), Phi(0,1), Phi(0,2), Phi(1,0), Phi(1,1), Phi(1,2), c.
+  return {0.0, 2.0, 3.0, 2.5, 2.0, 0.5, 2.5};
+}
+
+}  // namespace treeagg

@@ -1,0 +1,71 @@
+// The joint (OPT, RWW) transition system of Figures 4 and 5.
+//
+// For an ordered pair of neighboring nodes (u, v), state S(x, y) records
+// x = F_OPT(u, v) in {0, 1} (does OPT hold the lease?) and
+// y = F_RWW(u, v) in {0, 1, 2} (RWW's configuration: 2 after a combine,
+// decremented per write, 0 = unleased). Each request of sigma'(u, v)
+// (R = combine, W = write, N = noop/voluntary-release slot) moves RWW
+// deterministically and OPT nondeterministically, at the per-request costs
+// of Figure 2.
+//
+// The resulting inequalities
+//     Phi(to) - Phi(from) + cost_RWW <= c * cost_OPT
+// over all transitions are exactly Figure 5's linear program (minus six
+// trivial 0 <= 0 self-loops the paper omits); its optimum is c = 5/2.
+#ifndef TREEAGG_LP_TRANSITION_SYSTEM_H_
+#define TREEAGG_LP_TRANSITION_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace treeagg {
+
+struct Transition {
+  int from_x, from_y;
+  char request;  // 'R', 'W', 'N'
+  int to_x, to_y;
+  int rww_cost, opt_cost;
+
+  // True when the induced inequality is a noop self-loop (0 <= 0) — the
+  // six rows Figure 5 omits. (The paper does print the two zero-cost R/W
+  // self-loops, e.g. "Phi(0,0) - Phi(0,0) <= 0".)
+  bool trivial() const {
+    return request == 'N' && from_x == to_x && from_y == to_y &&
+           rww_cost == 0 && opt_cost == 0;
+  }
+
+  std::string ToInequality() const;  // e.g. "Phi(0,2) - Phi(0,0) + 2 <= 2c"
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+// RWW's deterministic move on a request: returns {to_y, rww_cost}.
+std::pair<int, int> RwwMove(int y, char request);
+
+// OPT's allowed moves on a request from lease state x: each {to_x, cost}.
+std::vector<std::pair<int, int>> OptMoves(int x, char request);
+
+// All transitions of the joint system (27 = 21 nontrivial + 6 trivial).
+std::vector<Transition> BuildJointTransitions();
+
+// Figure 5's literal 21 inequalities, transcribed from the paper, encoded
+// as transitions for structural comparison against BuildJointTransitions().
+std::vector<Transition> Figure5Transitions();
+
+// Variable order for the LP: Phi(0,0), Phi(0,1), Phi(0,2), Phi(1,0),
+// Phi(1,1), Phi(1,2), c.
+inline constexpr int kNumLpVars = 7;
+int PhiIndex(int x, int y);
+
+// min c subject to the transition inequalities (and implicit Phi, c >= 0).
+LpProblem BuildCompetitiveLp(const std::vector<Transition>& transitions);
+
+// The paper's reported optimum: c = 5/2 with
+// Phi = (0, 2, 3, 5/2, 2, 1/2).
+std::vector<double> PaperLpSolution();
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_LP_TRANSITION_SYSTEM_H_

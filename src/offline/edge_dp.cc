@@ -1,0 +1,192 @@
+#include "offline/edge_dp.h"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <limits>
+#include <utility>
+
+namespace treeagg {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+std::int64_t OptimalEdgeCost(const EdgeSequence& seq) {
+  // dp[s]: min cost with lease state s after processing a prefix.
+  std::int64_t dp0 = 0;
+  std::int64_t dp1 = kInf;  // initially unleased
+  for (const EdgeReq req : seq) {
+    std::int64_t n0, n1;
+    if (req == EdgeReq::kR) {
+      // From 0: pay probe+response (2), may or may not take the lease.
+      // From 1: free, lease persists.
+      n0 = dp0 + 2;
+      n1 = std::min(dp0 + 2, dp1);
+    } else {
+      // From 0: free. From 1: update (1) keeping, or update+release (2).
+      n0 = std::min(dp0, dp1 + 2);
+      n1 = dp1 + 1;
+    }
+    // Voluntary release between requests (a noop step of sigma'(u, v)).
+    n0 = std::min(n0, n1 + 1);
+    dp0 = n0;
+    dp1 = n1;
+  }
+  return std::min(dp0, dp1);
+}
+
+OptimalPlan OptimalEdgePlan(const EdgeSequence& seq) {
+  const std::size_t n = seq.size();
+  // dp[i][s]: min cost after i requests (and their optional noops) ending
+  // in state s. Parent pointers record the chosen pre-noop state.
+  struct Cell {
+    std::int64_t cost = kInf;
+    int prev_state = 0;     // state before request i
+    int mid_state = 0;      // state right after request i, before the noop
+  };
+  std::vector<std::array<Cell, 2>> dp(n + 1);
+  dp[0][0].cost = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s = 0; s <= 1; ++s) {
+      if (dp[i][s].cost >= kInf) continue;
+      const std::int64_t base = dp[i][s].cost;
+      // Enumerate legal (mid_state, step_cost) moves per Figure 2.
+      std::vector<std::pair<int, std::int64_t>> moves;
+      if (seq[i] == EdgeReq::kR) {
+        if (s == 0) {
+          moves = {{0, 2}, {1, 2}};
+        } else {
+          moves = {{1, 0}};
+        }
+      } else {
+        if (s == 0) {
+          moves = {{0, 0}};
+        } else {
+          moves = {{1, 1}, {0, 2}};
+        }
+      }
+      for (const auto& [mid, step_cost] : moves) {
+        // Without noop.
+        if (base + step_cost < dp[i + 1][mid].cost) {
+          dp[i + 1][mid] = {base + step_cost, s, mid};
+        }
+        // With a voluntary release after the request.
+        if (mid == 1 && base + step_cost + 1 < dp[i + 1][0].cost) {
+          dp[i + 1][0] = {base + step_cost + 1, s, mid};
+        }
+      }
+    }
+  }
+  OptimalPlan plan;
+  plan.state_after.assign(n, 0);
+  plan.noop_release.assign(n, false);
+  int s = (dp[n][0].cost <= dp[n][1].cost) ? 0 : 1;
+  plan.cost = dp[n][s].cost;
+  for (std::size_t i = n; i-- > 0;) {
+    const Cell& cell = dp[i + 1][s];
+    plan.state_after[i] = cell.mid_state;
+    plan.noop_release[i] = (cell.mid_state == 1 && s == 0);
+    s = cell.prev_state;
+  }
+  return plan;
+}
+
+std::int64_t OptimalEdgeCostBruteForce(const EdgeSequence& seq) {
+  // Explicit decision-tree enumeration, kept structurally independent of
+  // the DP: at each R in state 0 choose to take the lease or not; at each
+  // W in state 1 choose to keep or release; after each request, in state 1,
+  // optionally release for 1.
+  std::int64_t best = kInf;
+  const std::function<void(std::size_t, bool, std::int64_t)> go =
+      [&](std::size_t i, bool leased, std::int64_t cost) {
+        if (cost >= best) return;
+        if (i == seq.size()) {
+          best = std::min(best, cost);
+          return;
+        }
+        const auto after = [&](bool leased_after, std::int64_t c) {
+          go(i + 1, leased_after, c);
+          if (leased_after) go(i + 1, false, c + 1);  // voluntary release
+        };
+        if (seq[i] == EdgeReq::kR) {
+          if (leased) {
+            after(true, cost);
+          } else {
+            after(false, cost + 2);
+            after(true, cost + 2);
+          }
+        } else {
+          if (leased) {
+            after(true, cost + 1);
+            after(false, cost + 2);
+          } else {
+            after(false, cost);
+          }
+        }
+      };
+  go(0, false, 0);
+  return best;
+}
+
+std::int64_t RwwEdgeCost(const EdgeSequence& seq) {
+  std::int64_t cost = 0;
+  int config = 0;  // F_RWW(u, v): 0 unleased, 2 fresh lease, 1 one write in
+  for (const EdgeReq req : seq) {
+    if (req == EdgeReq::kR) {
+      if (config == 0) cost += 2;  // probe + response
+      config = 2;
+    } else {
+      if (config == 2) {
+        cost += 1;  // update
+        config = 1;
+      } else if (config == 1) {
+        cost += 2;  // update + release
+        config = 0;
+      }
+      // config == 0: unleased write is free.
+    }
+  }
+  return cost;
+}
+
+std::int64_t AbEdgeCost(const EdgeSequence& seq, int a, int b) {
+  std::int64_t cost = 0;
+  bool leased = false;
+  int reads = 0;   // consecutive R's while unleased
+  int writes = 0;  // consecutive W's while leased
+  for (const EdgeReq req : seq) {
+    if (req == EdgeReq::kR) {
+      writes = 0;
+      if (leased) continue;
+      cost += 2;  // probe + response
+      if (++reads >= a) {
+        leased = true;
+        reads = 0;
+      }
+    } else {
+      reads = 0;
+      if (!leased) continue;
+      ++writes;
+      if (writes >= b) {
+        cost += 2;  // update + release
+        leased = false;
+        writes = 0;
+      } else {
+        cost += 1;  // update
+      }
+    }
+  }
+  return cost;
+}
+
+std::int64_t OptimalLeaseBasedLowerBound(const RequestSequence& sigma,
+                                         const Tree& tree) {
+  std::int64_t total = 0;
+  for (const Edge& e : tree.OrderedEdges()) {
+    total += OptimalEdgeCost(ProjectSequence(sigma, tree, e.u, e.v));
+  }
+  return total;
+}
+
+}  // namespace treeagg

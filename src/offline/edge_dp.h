@@ -1,0 +1,72 @@
+// Per-edge offline optimum and analytic online costs over the Figure 2
+// cost model.
+//
+// Figure 2 gives, for an ordered pair (u, v), the messages any lease-based
+// algorithm exchanges per projected request as a function of the lease
+// state u.granted[v]:
+//
+//     state   request   next state   cost
+//     false     R        false/true   2     (probe + response)
+//     false     W        false        0
+//     false     N        false        0
+//     true      R        true         0
+//     true      W        false        2     (update + release)
+//     true      W        true         1     (update)
+//     true      N        false        1     (release; noop = a release
+//     true      N        true         0      triggered from sigma(v, u))
+//
+// OptimalEdgeCost computes the cheapest achievable cost over all lease
+// decision sequences (the paper's per-edge OPT); RwwEdgeCost evaluates
+// RWW's deterministic decisions analytically (Lemma 4.5 lets tests compare
+// this against the cost measured from the real protocol); AbEdgeCost does
+// the same for any (a, b)-algorithm (Theorem 3's class).
+#ifndef TREEAGG_OFFLINE_EDGE_DP_H_
+#define TREEAGG_OFFLINE_EDGE_DP_H_
+
+#include <cstdint>
+
+#include "offline/projection.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+// Minimum cost of any offline lease-based algorithm on the projected
+// sequence, starting unleased, including voluntary (noop) releases.
+std::int64_t OptimalEdgeCost(const EdgeSequence& seq);
+
+// The optimum together with one witnessing decision sequence, for replay
+// (e.g. by the Lemma 4.6 potential-function verifier).
+struct OptimalPlan {
+  std::int64_t cost = 0;
+  // Lease state chosen immediately after processing request i (before any
+  // voluntary release).
+  std::vector<int> state_after;
+  // Whether a voluntary release (noop step of sigma'(u, v)) follows
+  // request i.
+  std::vector<bool> noop_release;
+};
+OptimalPlan OptimalEdgePlan(const EdgeSequence& seq);
+
+// Exhaustive-search reference for OptimalEdgeCost (exponential; tests only).
+std::int64_t OptimalEdgeCostBruteForce(const EdgeSequence& seq);
+
+// RWW's cost on the projected sequence. RWW's per-edge configuration is
+// F_RWW in {0, 1, 2}: 2 after a combine, decremented per write, releasing
+// on the 2 -> 0 ... i.e. paying 2 (update + release) on the write that
+// empties the budget (Figure 2 row true/W/false).
+std::int64_t RwwEdgeCost(const EdgeSequence& seq);
+
+// Cost of the (a, b)-algorithm of Section 4.2 on the projected sequence:
+// lease set after `a` consecutive R's, broken after `b` consecutive W's.
+std::int64_t AbEdgeCost(const EdgeSequence& seq, int a, int b);
+
+// Sum of OptimalEdgeCost over all ordered neighbor pairs: a lower bound on
+// the cost of ANY offline lease-based algorithm on sigma (the comparison
+// baseline of Theorem 1).
+std::int64_t OptimalLeaseBasedLowerBound(const RequestSequence& sigma,
+                                         const Tree& tree);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_OFFLINE_EDGE_DP_H_

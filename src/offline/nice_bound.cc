@@ -1,0 +1,28 @@
+#include "offline/nice_bound.h"
+
+namespace treeagg {
+
+std::int64_t EpochCount(const EdgeSequence& seq) {
+  std::int64_t epochs = 0;
+  bool dirty = false;  // a write since the last counted combine
+  for (const EdgeReq req : seq) {
+    if (req == EdgeReq::kW) {
+      dirty = true;
+    } else if (dirty) {
+      ++epochs;
+      dirty = false;
+    }
+  }
+  return epochs;
+}
+
+std::int64_t NiceAlgorithmLowerBound(const RequestSequence& sigma,
+                                     const Tree& tree) {
+  std::int64_t total = 0;
+  for (const Edge& e : tree.OrderedEdges()) {
+    total += EpochCount(ProjectSequence(sigma, tree, e.u, e.v));
+  }
+  return total;
+}
+
+}  // namespace treeagg

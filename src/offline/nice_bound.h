@@ -1,0 +1,37 @@
+// Lower bound on the cost of any *nice* (strictly consistent) algorithm,
+// per Theorem 2's epoch argument.
+//
+// For each ordered pair (u, v), an epoch of sigma(u, v) ends at a
+// write -> combine transition. Strict consistency forces at least one
+// message across edge (u, v), attributable to the (u, v) direction, in
+// every epoch in which a combine must observe a preceding write: the new
+// value on u's side cannot reach the combine on v's side without crossing
+// the edge. Summing over ordered pairs lower-bounds the total message
+// count of any nice algorithm, including the offline-optimal one.
+#ifndef TREEAGG_OFFLINE_NICE_BOUND_H_
+#define TREEAGG_OFFLINE_NICE_BOUND_H_
+
+#include <cstdint>
+
+#include "offline/projection.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+// Number of write -> combine transitions in the projected sequence (a
+// combine preceded by at least one write since the last counted combine).
+std::int64_t EpochCount(const EdgeSequence& seq);
+
+// Sum of EpochCount over all ordered neighbor pairs: a lower bound on the
+// messages of any nice algorithm executing sigma on tree.
+std::int64_t NiceAlgorithmLowerBound(const RequestSequence& sigma,
+                                     const Tree& tree);
+
+// RWW's worst-case cost per epoch is 5 (probe + response + update + update
+// + release, Lemma 4.3); exposed as a constant for benches.
+inline constexpr std::int64_t kRwwMessagesPerEpoch = 5;
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_OFFLINE_NICE_BOUND_H_

@@ -1,0 +1,35 @@
+#include "offline/projection.h"
+
+#include <stdexcept>
+
+namespace treeagg {
+
+EdgeSequence ProjectSequence(const RequestSequence& sigma, const Tree& tree,
+                             NodeId u, NodeId v) {
+  EdgeSequence result;
+  for (const Request& q : sigma) {
+    if (q.op == ReqType::kWrite) {
+      if (tree.InSubtree(q.node, u, v)) result.push_back(EdgeReq::kW);
+    } else {
+      if (tree.InSubtree(q.node, v, u)) result.push_back(EdgeReq::kR);
+    }
+  }
+  return result;
+}
+
+EdgeSequence ParseEdgeSequence(const std::string& pattern) {
+  EdgeSequence result;
+  result.reserve(pattern.size());
+  for (const char c : pattern) {
+    if (c == 'R' || c == 'r') {
+      result.push_back(EdgeReq::kR);
+    } else if (c == 'W' || c == 'w') {
+      result.push_back(EdgeReq::kW);
+    } else {
+      throw std::invalid_argument("ParseEdgeSequence: expected R or W");
+    }
+  }
+  return result;
+}
+
+}  // namespace treeagg

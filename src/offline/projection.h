@@ -1,0 +1,29 @@
+// The per-edge projection sigma(u, v) of Section 3.2: the subsequence of
+// sigma containing writes initiated in subtree(u, v) and combines initiated
+// in subtree(v, u). The paper's whole competitive analysis happens on these
+// projections.
+#ifndef TREEAGG_OFFLINE_PROJECTION_H_
+#define TREEAGG_OFFLINE_PROJECTION_H_
+
+#include <vector>
+
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+// One projected request: R = combine on v's side, W = write on u's side.
+enum class EdgeReq : char { kR = 'R', kW = 'W' };
+
+using EdgeSequence = std::vector<EdgeReq>;
+
+// sigma(u, v) for the ordered neighbor pair (u, v).
+EdgeSequence ProjectSequence(const RequestSequence& sigma, const Tree& tree,
+                             NodeId u, NodeId v);
+
+// Parses a compact "RWWR..." string (test convenience).
+EdgeSequence ParseEdgeSequence(const std::string& pattern);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_OFFLINE_PROJECTION_H_

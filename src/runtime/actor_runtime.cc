@@ -1,0 +1,177 @@
+#include "runtime/actor_runtime.h"
+
+#include <cassert>
+
+namespace treeagg {
+
+void ActorRuntime::MailboxTransport::Send(Message m) {
+  rt_->messages_sent_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(rt_->trace_mu_);
+    rt_->trace_.Record(m);
+  }
+  const NodeId to = m.to;
+  rt_->Enqueue(to, Item(std::move(m)));
+}
+
+MessageCounts ActorRuntime::MessageTotals() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_.totals();
+}
+
+MessageCounts ActorRuntime::EdgeCost(NodeId u, NodeId v) const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_.EdgeCost(u, v);
+}
+
+ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory)
+    : ActorRuntime(tree, factory, Options{}) {}
+
+ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory,
+                           Options options)
+    : tree_(&tree), op_(*options.op), options_(options), transport_(this) {
+  const std::size_t n = static_cast<std::size_t>(tree.size());
+  mailboxes_.reserve(n);
+  nodes_.reserve(n);
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    nodes_.push_back(std::make_unique<LeaseNode>(
+        u, tree.neighbors(u), op_, factory(u, tree.neighbors(u)), &transport_,
+        [this](NodeId node, CombineToken token, Real value) {
+          OnCombineDone(node, token, value);
+        },
+        options_.ghost_logging));
+  }
+}
+
+ActorRuntime::~ActorRuntime() {
+  if (started_ && !stopped_) DrainAndStop();
+}
+
+void ActorRuntime::Start() {
+  assert(!started_);
+  started_ = true;
+  threads_.reserve(nodes_.size());
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    threads_.emplace_back([this, u] { NodeLoop(u); });
+  }
+}
+
+void ActorRuntime::Enqueue(NodeId node, Item item, ReqId req_id) {
+  in_flight_.fetch_add(1);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(node)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.items.emplace_back(std::move(item), req_id);
+  }
+  box.cv.notify_one();
+}
+
+ReqId ActorRuntime::InjectWrite(NodeId node, Real arg) {
+  assert(started_ && !stopped_);
+  ReqId id;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    id = history_.BeginWrite(node, arg, Now());
+  }
+  Enqueue(node, Item(Request::Write(node, arg)), id);
+  return id;
+}
+
+ReqId ActorRuntime::InjectCombine(NodeId node) {
+  assert(started_ && !stopped_);
+  ReqId id;
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    id = history_.BeginCombine(node, Now());
+  }
+  // One unit for the mailbox item, one for the pending completion.
+  in_flight_.fetch_add(1);
+  Enqueue(node, Item(Request::Combine(node)), id);
+  return id;
+}
+
+void ActorRuntime::OnCombineDone(NodeId node, CombineToken token, Real value) {
+  const LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];
+  std::vector<std::pair<NodeId, ReqId>> gather(n.LastWrites().begin(),
+                                               n.LastWrites().end());
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.CompleteCombine(
+        static_cast<ReqId>(token), value, std::move(gather),
+        static_cast<std::int64_t>(n.GhostLogEntries().size()), Now());
+  }
+  if (in_flight_.fetch_sub(1) == 1) {
+    // Take the mutex before notifying so a waiter that just evaluated the
+    // predicate cannot miss this wakeup.
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void ActorRuntime::NodeLoop(NodeId node) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(node)];
+  LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];
+  for (;;) {
+    std::pair<Item, ReqId> entry{Stop{}, kNoRequest};
+    {
+      std::unique_lock<std::mutex> lock(box.mu);
+      box.cv.wait(lock, [&] { return !box.items.empty(); });
+      entry = std::move(box.items.front());
+      box.items.pop_front();
+    }
+    if (std::holds_alternative<Stop>(entry.first)) {
+      // Stop sentinels are not counted as in-flight work.
+      return;
+    }
+    if (const Message* m = std::get_if<Message>(&entry.first)) {
+      n.Deliver(*m);
+    } else {
+      const Request& r = std::get<Request>(entry.first);
+      if (r.op == ReqType::kWrite) {
+        n.LocalWrite(r.arg, entry.second);
+        std::lock_guard<std::mutex> lock(history_mu_);
+        history_.CompleteWrite(entry.second, Now());
+      } else {
+        n.LocalCombine(entry.second);
+      }
+    }
+    if (in_flight_.fetch_sub(1) == 1) {
+    // Take the mutex before notifying so a waiter that just evaluated the
+    // predicate cannot miss this wakeup.
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+  }
+}
+
+void ActorRuntime::DrainAndStop() {
+  assert(started_ && !stopped_);
+  {
+    std::unique_lock<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
+  }
+  stopped_ = true;
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(u)];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.items.emplace_back(Stop{}, kNoRequest);
+    }
+    box.cv.notify_one();
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+std::vector<NodeGhostState> ActorRuntime::GhostStates() const {
+  std::vector<NodeGhostState> ghosts(static_cast<std::size_t>(tree_->size()));
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    ghosts[static_cast<std::size_t>(u)].node = u;
+    ghosts[static_cast<std::size_t>(u)].write_log =
+        nodes_[static_cast<std::size_t>(u)]->GhostLogEntries();
+  }
+  return ghosts;
+}
+
+}  // namespace treeagg

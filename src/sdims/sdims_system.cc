@@ -1,0 +1,179 @@
+#include "sdims/sdims_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treeagg {
+
+const char* ToString(SdimsStrategy strategy) {
+  switch (strategy) {
+    case SdimsStrategy::kUpdateNone:
+      return "update-none";
+    case SdimsStrategy::kUpdateUp:
+      return "update-up";
+    case SdimsStrategy::kUpdateAll:
+      return "update-all";
+  }
+  return "?";
+}
+
+SdimsSystem::SdimsSystem(const Tree& tree, SdimsStrategy strategy)
+    : SdimsSystem(tree, strategy, Options{}) {}
+
+SdimsSystem::SdimsSystem(const Tree& tree, SdimsStrategy strategy,
+                         Options options)
+    : tree_(&tree), strategy_(strategy), op_(*options.op),
+      root_(options.root) {
+  assert(root_ >= 0 && root_ < tree.size());
+  nodes_.resize(static_cast<std::size_t>(tree.size()));
+  parent_.assign(static_cast<std::size_t>(tree.size()), kInvalidNode);
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    NodeState& state = nodes_[static_cast<std::size_t>(u)];
+    state.val = op_.identity;
+    state.global = op_.identity;
+    if (u != root_) parent_[static_cast<std::size_t>(u)] = tree.UParent(u, root_);
+    for (const NodeId v : tree.neighbors(u)) {
+      if (u == root_ || v != parent_[static_cast<std::size_t>(u)]) {
+        state.children.push_back(v);
+        state.child_agg.push_back(op_.identity);
+      }
+    }
+  }
+}
+
+void SdimsSystem::Count(MsgType type, NodeId from, NodeId to) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  m.to = to;
+  trace_.Record(m);
+}
+
+Real SdimsSystem::RecomputeSubtree(NodeId u) const {
+  const NodeState& state = nodes_[static_cast<std::size_t>(u)];
+  Real x = state.val;
+  for (const Real agg : state.child_agg) x = op_(x, agg);
+  return x;
+}
+
+Real SdimsSystem::SubtreeAggregate(NodeId u) const {
+  return RecomputeSubtree(u);
+}
+
+Real SdimsSystem::CollectSubtree(NodeId u) {
+  NodeState& state = nodes_[static_cast<std::size_t>(u)];
+  Real x = state.val;
+  for (std::size_t i = 0; i < state.children.size(); ++i) {
+    const NodeId c = state.children[i];
+    Count(MsgType::kProbe, u, c);        // collect request down
+    const Real agg = CollectSubtree(c);
+    Count(MsgType::kResponse, c, u);     // aggregate back up
+    state.child_agg[i] = agg;
+    x = op_(x, agg);
+  }
+  return x;
+}
+
+void SdimsSystem::PropagateUp(NodeId u) {
+  NodeId x = u;
+  while (x != root_) {
+    const NodeId p = parent_[static_cast<std::size_t>(x)];
+    const Real agg = RecomputeSubtree(x);
+    Count(MsgType::kUpdate, x, p);
+    NodeState& pstate = nodes_[static_cast<std::size_t>(p)];
+    for (std::size_t i = 0; i < pstate.children.size(); ++i) {
+      if (pstate.children[i] == x) {
+        pstate.child_agg[i] = agg;
+        break;
+      }
+    }
+    x = p;
+  }
+}
+
+void SdimsSystem::BroadcastGlobal(Real global) {
+  // One message per edge, rooted BFS order.
+  for (const NodeId u : tree_->BfsOrder(root_)) {
+    nodes_[static_cast<std::size_t>(u)].global = global;
+    for (const NodeId c : nodes_[static_cast<std::size_t>(u)].children) {
+      Count(MsgType::kUpdate, u, c);
+    }
+  }
+}
+
+void SdimsSystem::Write(NodeId u, Real arg) {
+  const ReqId id = history_.BeginWrite(u, arg, clock_++);
+  nodes_[static_cast<std::size_t>(u)].val = arg;
+  switch (strategy_) {
+    case SdimsStrategy::kUpdateNone:
+      break;  // nothing propagates
+    case SdimsStrategy::kUpdateUp:
+      PropagateUp(u);
+      break;
+    case SdimsStrategy::kUpdateAll:
+      PropagateUp(u);
+      BroadcastGlobal(RecomputeSubtree(root_));
+      break;
+  }
+  history_.CompleteWrite(id, clock_++);
+}
+
+Real SdimsSystem::Combine(NodeId u) {
+  const ReqId id = history_.BeginCombine(u, clock_++);
+  Real result = op_.identity;
+  switch (strategy_) {
+    case SdimsStrategy::kUpdateNone: {
+      // Route the request to the root, gather the whole tree, answer back.
+      NodeId x = u;
+      while (x != root_) {
+        Count(MsgType::kProbe, x, parent_[static_cast<std::size_t>(x)]);
+        x = parent_[static_cast<std::size_t>(x)];
+      }
+      result = CollectSubtree(root_);
+      x = u;
+      std::vector<NodeId> path;
+      while (x != root_) {
+        path.push_back(x);
+        x = parent_[static_cast<std::size_t>(x)];
+      }
+      for (std::size_t i = path.size(); i-- > 0;) {
+        Count(MsgType::kResponse,
+              i + 1 < path.size() ? path[i + 1] : root_, path[i]);
+      }
+      break;
+    }
+    case SdimsStrategy::kUpdateUp: {
+      // Ask the root; its caches are always current.
+      NodeId x = u;
+      std::vector<NodeId> path;
+      while (x != root_) {
+        Count(MsgType::kProbe, x, parent_[static_cast<std::size_t>(x)]);
+        path.push_back(x);
+        x = parent_[static_cast<std::size_t>(x)];
+      }
+      result = RecomputeSubtree(root_);
+      for (std::size_t i = path.size(); i-- > 0;) {
+        Count(MsgType::kResponse,
+              i + 1 < path.size() ? path[i + 1] : root_, path[i]);
+      }
+      break;
+    }
+    case SdimsStrategy::kUpdateAll:
+      result = nodes_[static_cast<std::size_t>(u)].global;
+      break;
+  }
+  history_.CompleteCombine(id, result, {}, -1, clock_++);
+  return result;
+}
+
+void SdimsSystem::Execute(const RequestSequence& sigma) {
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      Combine(r.node);
+    } else {
+      Write(r.node, r.arg);
+    }
+  }
+}
+
+}  // namespace treeagg

@@ -1,0 +1,103 @@
+// A rooted aggregation hierarchy with SDIMS-style static update
+// strategies — the baseline family the paper's introduction positions the
+// lease mechanism against.
+//
+// SDIMS [Yalagandula & Dahlin, SIGCOMM'04] exposes per-attribute knobs
+// controlling how far writes propagate ("update-local", "update-up",
+// "update-all"); the application must pick a strategy A PRIORI. This
+// module implements the three canonical points over a tree rooted at a
+// designated node, message-for-message:
+//
+//   kUpdateNone  (MDS-2-like)    writes stay local; a read gathers the
+//                                whole tree on demand (request up to the
+//                                root, recursive collect down, responses
+//                                back up, answer down to the reader).
+//   kUpdateUp    (SDIMS default) writes propagate new subtree aggregates
+//                                up to the root (depth(w) messages); the
+//                                root is always current; a read asks the
+//                                root (2 * depth(r) messages).
+//   kUpdateAll   (Astrolabe-like) writes propagate up and the root then
+//                                broadcasts the new global value down
+//                                (depth(w) + n - 1 messages); reads are
+//                                local and free.
+//
+// All three are strictly consistent in sequential executions; their costs
+// are workload-brittle in exactly the way Section 1 describes, which
+// bench_sdims_comparison quantifies against the adaptive lease-based RWW.
+#ifndef TREEAGG_SDIMS_SDIMS_SYSTEM_H_
+#define TREEAGG_SDIMS_SDIMS_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/history.h"
+#include "core/aggregate_op.h"
+#include "sim/trace.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+enum class SdimsStrategy { kUpdateNone, kUpdateUp, kUpdateAll };
+
+const char* ToString(SdimsStrategy strategy);
+
+class SdimsSystem {
+ public:
+  struct Options {
+    const AggregateOp* op = &SumOp();
+    NodeId root = 0;
+  };
+
+  SdimsSystem(const Tree& tree, SdimsStrategy strategy);
+  SdimsSystem(const Tree& tree, SdimsStrategy strategy, Options options);
+
+  // Sequential request API (mirrors AggregationSystem).
+  Real Combine(NodeId u);
+  void Write(NodeId u, Real arg);
+  void Execute(const RequestSequence& sigma);
+
+  const MessageTrace& trace() const { return trace_; }
+  const History& history() const { return history_; }
+  const Tree& tree() const { return *tree_; }
+  SdimsStrategy strategy() const { return strategy_; }
+  NodeId root() const { return root_; }
+
+  // The aggregate over node u's rooted subtree, as currently cached at u
+  // (exact under kUpdateUp / kUpdateAll; stale under kUpdateNone).
+  Real SubtreeAggregate(NodeId u) const;
+
+ private:
+  struct NodeState {
+    Real val;
+    std::vector<NodeId> children;
+    std::vector<Real> child_agg;   // cached subtree aggregates
+    Real global = 0;               // kUpdateAll: cached global value
+  };
+
+  Real RecomputeSubtree(NodeId u) const;
+  // Recursively collects u's subtree aggregate with explicit request /
+  // response messages (kUpdateNone's read path).
+  Real CollectSubtree(NodeId u);
+  // Propagates u's new subtree aggregate towards the root, updating parent
+  // caches; one update message per hop.
+  void PropagateUp(NodeId u);
+  // Broadcasts the global value from the root; one message per edge.
+  void BroadcastGlobal(Real global);
+  void Count(MsgType type, NodeId from, NodeId to);
+
+  const Tree* tree_;
+  const SdimsStrategy strategy_;
+  AggregateOp op_;
+  NodeId root_;
+  std::vector<NodeState> nodes_;
+  std::vector<NodeId> parent_;  // towards root_; kInvalidNode at root
+  MessageTrace trace_;
+  History history_;
+  std::int64_t clock_ = 0;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_SDIMS_SDIMS_SYSTEM_H_

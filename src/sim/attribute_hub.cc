@@ -1,0 +1,70 @@
+#include "sim/attribute_hub.h"
+
+#include <stdexcept>
+
+namespace treeagg {
+
+void AttributeHub::Define(const std::string& name, const AggregateOp& op,
+                          const PolicyFactory& factory) {
+  if (systems_.count(name) != 0) {
+    throw std::invalid_argument("AttributeHub: duplicate attribute " + name);
+  }
+  AggregationSystem::Options options;
+  options.op = &op;
+  systems_.emplace(name,
+                   std::make_unique<AggregationSystem>(*tree_, factory,
+                                                       options));
+}
+
+bool AttributeHub::Has(const std::string& name) const {
+  return systems_.count(name) != 0;
+}
+
+std::vector<std::string> AttributeHub::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(systems_.size());
+  for (const auto& [name, system] : systems_) names.push_back(name);
+  return names;
+}
+
+const AggregationSystem& AttributeHub::system(const std::string& name) const {
+  return *systems_.at(name);
+}
+
+AggregationSystem& AttributeHub::mutable_system(const std::string& name) {
+  return *systems_.at(name);
+}
+
+void AttributeHub::Write(const std::string& name, NodeId node, Real value) {
+  systems_.at(name)->Write(node, value);
+}
+
+Real AttributeHub::Combine(const std::string& name, NodeId node) {
+  return systems_.at(name)->Combine(node);
+}
+
+Real AttributeHub::ReadCached(const std::string& name, NodeId node) const {
+  return systems_.at(name)->ReadCached(node);
+}
+
+std::map<std::string, Real> AttributeHub::CombineAll(NodeId node) {
+  std::map<std::string, Real> values;
+  for (auto& [name, system] : systems_) {
+    values[name] = system->Combine(node);
+  }
+  return values;
+}
+
+std::int64_t AttributeHub::TotalMessages() const {
+  std::int64_t total = 0;
+  for (const auto& [name, system] : systems_) {
+    total += system->trace().TotalMessages();
+  }
+  return total;
+}
+
+std::int64_t AttributeHub::MessagesFor(const std::string& name) const {
+  return systems_.at(name)->trace().TotalMessages();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,139 @@
+#include "sim/composites.h"
+
+#include <cmath>
+
+namespace treeagg {
+
+// ------------------------------------------------------------ average ----
+
+AverageTracker::AverageTracker(AttributeHub& hub, std::string prefix,
+                               const PolicyFactory& factory)
+    : hub_(hub),
+      sum_name_(prefix + ".sum"),
+      count_name_(prefix + ".count") {
+  hub_.Define(sum_name_, SumOp(), factory);
+  hub_.Define(count_name_, SumOp(), factory);
+}
+
+void AverageTracker::Record(NodeId node, Real value) {
+  if (current_.emplace(node, value).second) {
+    hub_.Write(count_name_, node, 1.0);
+  } else {
+    current_[node] = value;
+  }
+  hub_.Write(sum_name_, node, value);
+}
+
+void AverageTracker::Clear(NodeId node) {
+  if (current_.erase(node) > 0) {
+    hub_.Write(count_name_, node, 0.0);
+    hub_.Write(sum_name_, node, 0.0);
+  }
+}
+
+Real AverageTracker::Read(NodeId reader, Real fallback) {
+  const Real count = hub_.Combine(count_name_, reader);
+  if (count <= 0) return fallback;
+  return hub_.Combine(sum_name_, reader) / count;
+}
+
+Real AverageTracker::Count(NodeId reader) {
+  return hub_.Combine(count_name_, reader);
+}
+
+// ----------------------------------------------------------- variance ----
+
+VarianceTracker::VarianceTracker(AttributeHub& hub, std::string prefix,
+                                 const PolicyFactory& factory)
+    : hub_(hub),
+      sum_name_(prefix + ".sum"),
+      sumsq_name_(prefix + ".sumsq"),
+      count_name_(prefix + ".count") {
+  hub_.Define(sum_name_, SumOp(), factory);
+  hub_.Define(sumsq_name_, SumOp(), factory);
+  hub_.Define(count_name_, SumOp(), factory);
+}
+
+void VarianceTracker::Record(NodeId node, Real value) {
+  if (current_.emplace(node, value).second) {
+    hub_.Write(count_name_, node, 1.0);
+  } else {
+    current_[node] = value;
+  }
+  hub_.Write(sum_name_, node, value);
+  hub_.Write(sumsq_name_, node, value * value);
+}
+
+void VarianceTracker::Clear(NodeId node) {
+  if (current_.erase(node) > 0) {
+    hub_.Write(count_name_, node, 0.0);
+    hub_.Write(sum_name_, node, 0.0);
+    hub_.Write(sumsq_name_, node, 0.0);
+  }
+}
+
+Real VarianceTracker::Mean(NodeId reader, Real fallback) {
+  const Real count = hub_.Combine(count_name_, reader);
+  if (count <= 0) return fallback;
+  return hub_.Combine(sum_name_, reader) / count;
+}
+
+Real VarianceTracker::Variance(NodeId reader, Real fallback) {
+  const Real count = hub_.Combine(count_name_, reader);
+  if (count <= 0) return fallback;
+  const Real mean = hub_.Combine(sum_name_, reader) / count;
+  const Real meansq = hub_.Combine(sumsq_name_, reader) / count;
+  // Guard tiny negative results from floating-point cancellation.
+  return std::max<Real>(0.0, meansq - mean * mean);
+}
+
+// ---------------------------------------------------------- histogram ----
+
+HistogramTracker::HistogramTracker(AttributeHub& hub, std::string prefix,
+                                   std::vector<Real> bounds,
+                                   const PolicyFactory& factory)
+    : hub_(hub), prefix_(std::move(prefix)), bounds_(std::move(bounds)) {
+  for (std::size_t b = 0; b < NumBuckets(); ++b) {
+    hub_.Define(BucketName(b), SumOp(), factory);
+  }
+}
+
+std::string HistogramTracker::BucketName(std::size_t b) const {
+  return prefix_ + ".bucket" + std::to_string(b);
+}
+
+std::size_t HistogramTracker::BucketOf(Real value) const {
+  std::size_t b = 0;
+  while (b < bounds_.size() && value >= bounds_[b]) ++b;
+  return b;
+}
+
+void HistogramTracker::Record(NodeId node, Real value) {
+  const std::size_t bucket = BucketOf(value);
+  const auto it = current_bucket_.find(node);
+  if (it != current_bucket_.end()) {
+    if (it->second == bucket) return;  // no movement
+    hub_.Write(BucketName(it->second), node, 0.0);
+    it->second = bucket;
+  } else {
+    current_bucket_[node] = bucket;
+  }
+  hub_.Write(BucketName(bucket), node, 1.0);
+}
+
+void HistogramTracker::Clear(NodeId node) {
+  const auto it = current_bucket_.find(node);
+  if (it == current_bucket_.end()) return;
+  hub_.Write(BucketName(it->second), node, 0.0);
+  current_bucket_.erase(it);
+}
+
+std::vector<Real> HistogramTracker::Read(NodeId reader) {
+  std::vector<Real> counts(NumBuckets(), 0.0);
+  for (std::size_t b = 0; b < NumBuckets(); ++b) {
+    counts[b] = hub_.Combine(BucketName(b), reader);
+  }
+  return counts;
+}
+
+}  // namespace treeagg

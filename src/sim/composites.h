@@ -1,0 +1,99 @@
+// Composite aggregates built from scalar attributes.
+//
+// The protocol's operator must be commutative/associative with an identity
+// (Section 2), which rules out average, variance, and histograms as single
+// attributes — but all of them are compositions of such operators, which
+// is exactly how the aggregation frameworks the paper cites expose them.
+// These trackers own the per-component attributes inside an AttributeHub
+// and derive the composite on read:
+//
+//   AverageTracker    = sum / count
+//   VarianceTracker   = sumsq/count - mean^2  (population variance)
+//   HistogramTracker  = one counting attribute per bucket
+//
+// Semantics: each tracker tracks one observation per node (the node's
+// current value), matching the protocol's write-overwrite model; a node's
+// observation is replaced by its latest Record() and removed by Clear().
+#ifndef TREEAGG_SIM_COMPOSITES_H_
+#define TREEAGG_SIM_COMPOSITES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/attribute_hub.h"
+
+namespace treeagg {
+
+class AverageTracker {
+ public:
+  // Registers attributes "<prefix>.sum" and "<prefix>.count" in the hub.
+  AverageTracker(AttributeHub& hub, std::string prefix,
+                 const PolicyFactory& factory);
+
+  // Sets node's observation (first call also raises the node's count).
+  void Record(NodeId node, Real value);
+  // Removes node's observation.
+  void Clear(NodeId node);
+
+  // Average over the nodes currently holding an observation, read at
+  // `reader` with full protocol consistency. Returns fallback when no
+  // observations exist.
+  Real Read(NodeId reader, Real fallback = 0.0);
+  // Number of nodes holding an observation, as seen from `reader`.
+  Real Count(NodeId reader);
+
+ private:
+  AttributeHub& hub_;
+  const std::string sum_name_;
+  const std::string count_name_;
+  std::unordered_map<NodeId, Real> current_;
+};
+
+class VarianceTracker {
+ public:
+  VarianceTracker(AttributeHub& hub, std::string prefix,
+                  const PolicyFactory& factory);
+
+  void Record(NodeId node, Real value);
+  void Clear(NodeId node);
+
+  Real Mean(NodeId reader, Real fallback = 0.0);
+  // Population variance over current observations.
+  Real Variance(NodeId reader, Real fallback = 0.0);
+
+ private:
+  AttributeHub& hub_;
+  const std::string sum_name_;
+  const std::string sumsq_name_;
+  const std::string count_name_;
+  std::unordered_map<NodeId, Real> current_;
+};
+
+class HistogramTracker {
+ public:
+  // Buckets are [bounds[0], bounds[1]), ..., plus a final overflow bucket;
+  // values below bounds[0] land in bucket 0.
+  HistogramTracker(AttributeHub& hub, std::string prefix,
+                   std::vector<Real> bounds, const PolicyFactory& factory);
+
+  void Record(NodeId node, Real value);
+  void Clear(NodeId node);
+
+  // Per-bucket node counts as seen from `reader`.
+  std::vector<Real> Read(NodeId reader);
+  std::size_t NumBuckets() const { return bounds_.size() + 1; }
+
+ private:
+  std::size_t BucketOf(Real value) const;
+  std::string BucketName(std::size_t b) const;
+
+  AttributeHub& hub_;
+  const std::string prefix_;
+  const std::vector<Real> bounds_;
+  std::unordered_map<NodeId, std::size_t> current_bucket_;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_SIM_COMPOSITES_H_

@@ -1,0 +1,130 @@
+#include "sim/concurrent.h"
+
+#include <cassert>
+#include <utility>
+
+namespace treeagg {
+
+namespace {
+std::uint64_t EdgeKey(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+}  // namespace
+
+void ConcurrentSimulator::DelayTransport::Send(Message m) {
+  ConcurrentSimulator& sim = *sim_;
+  sim.trace_.Record(m);
+  if (sim.options_.drop_probability > 0 &&
+      sim.rng_.NextBool(sim.options_.drop_probability)) {
+    return;  // injected loss
+  }
+  const std::int64_t delay =
+      sim.rng_.NextInt(sim.options_.min_delay, sim.options_.max_delay);
+  const std::uint64_t key = EdgeKey(m.from, m.to);
+  std::int64_t& front = sim.channel_front_[key];
+  // FIFO per directed edge: never deliver before an earlier send — unless
+  // fault injection deliberately breaks the channel ordering.
+  const std::int64_t at = sim.options_.violate_fifo
+                              ? sim.now_ + delay
+                              : std::max(sim.now_ + delay, front + 1);
+  front = at;
+  Event e;
+  e.time = at;
+  e.seq = sim.seq_++;
+  e.is_delivery = true;
+  e.message = std::move(m);
+  sim.events_.push(std::move(e));
+}
+
+ConcurrentSimulator::ConcurrentSimulator(const Tree& tree,
+                                         const PolicyFactory& factory)
+    : ConcurrentSimulator(tree, factory, Options{}) {}
+
+ConcurrentSimulator::ConcurrentSimulator(const Tree& tree,
+                                         const PolicyFactory& factory,
+                                         Options options)
+    : tree_(&tree),
+      op_(*options.op),
+      options_(options),
+      rng_(options.seed),
+      trace_(false),
+      transport_(this) {
+  nodes_.reserve(static_cast<std::size_t>(tree.size()));
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    nodes_.push_back(std::make_unique<LeaseNode>(
+        u, tree.neighbors(u), op_, factory(u, tree.neighbors(u)), &transport_,
+        [this](NodeId node, CombineToken token, Real value) {
+          OnCombineDone(node, token, value);
+        },
+        options_.ghost_logging));
+  }
+}
+
+void ConcurrentSimulator::OnCombineDone(NodeId node, CombineToken token,
+                                        Real value) {
+  const LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];
+  std::vector<std::pair<NodeId, ReqId>> gather(n.LastWrites().begin(),
+                                               n.LastWrites().end());
+  history_.CompleteCombine(
+      static_cast<ReqId>(token), value, std::move(gather),
+      static_cast<std::int64_t>(n.GhostLogEntries().size()), now_);
+}
+
+void ConcurrentSimulator::Dispatch(const Event& e) {
+  if (e.is_delivery) {
+    nodes_[static_cast<std::size_t>(e.message.to)]->Deliver(e.message);
+    return;
+  }
+  const Request& r = e.request;
+  if (r.op == ReqType::kCombine) {
+    const ReqId id = history_.BeginCombine(r.node, now_);
+    nodes_[static_cast<std::size_t>(r.node)]->LocalCombine(id);
+  } else {
+    const ReqId id = history_.BeginWrite(r.node, r.arg, now_);
+    nodes_[static_cast<std::size_t>(r.node)]->LocalWrite(r.arg, id);
+    history_.CompleteWrite(id, now_);
+  }
+}
+
+void ConcurrentSimulator::Run(const std::vector<ScheduledRequest>& schedule) {
+  for (const ScheduledRequest& s : schedule) {
+    Event e;
+    e.time = s.time;
+    e.seq = seq_++;
+    e.is_delivery = false;
+    e.request = s.request;
+    events_.push(std::move(e));
+  }
+  while (!events_.empty()) {
+    Event e = events_.top();
+    events_.pop();
+    assert(e.time >= now_);
+    now_ = e.time;
+    Dispatch(e);
+  }
+}
+
+std::vector<NodeGhostState> ConcurrentSimulator::GhostStates() const {
+  std::vector<NodeGhostState> ghosts(static_cast<std::size_t>(tree_->size()));
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    ghosts[static_cast<std::size_t>(u)].node = u;
+    ghosts[static_cast<std::size_t>(u)].write_log =
+        nodes_[static_cast<std::size_t>(u)]->GhostLogEntries();
+  }
+  return ghosts;
+}
+
+std::vector<ScheduledRequest> ScheduleWithGaps(const RequestSequence& sigma,
+                                               std::int64_t max_gap, Rng& rng) {
+  std::vector<ScheduledRequest> schedule;
+  schedule.reserve(sigma.size());
+  std::int64_t t = 0;
+  for (const Request& r : sigma) {
+    schedule.push_back({t, r});
+    t += rng.NextInt(0, max_gap);
+  }
+  return schedule;
+}
+
+}  // namespace treeagg

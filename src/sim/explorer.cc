@@ -1,0 +1,230 @@
+#include "sim/explorer.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "consistency/causal_checker.h"
+#include "consistency/history.h"
+#include "core/lease_node.h"
+
+namespace treeagg {
+namespace {
+
+// One step of an execution: either initiate the next request of a node,
+// or deliver the head message of a directed channel.
+struct Event {
+  bool is_delivery = false;
+  NodeId node = kInvalidNode;  // initiation: the requesting node
+  NodeId from = kInvalidNode;  // delivery: channel endpoints
+  NodeId to = kInvalidNode;
+};
+
+// A full protocol world rebuilt from scratch for each replay. LeaseNode is
+// deliberately non-copyable (it owns policy state), so the explorer
+// re-executes choice prefixes instead of snapshotting; at model-checking
+// scale this is cheap and keeps the production code free of
+// checkpoint/restore surface.
+class World {
+ public:
+  World(const Tree& tree, const PolicyFactory& factory,
+        const RequestSequence& requests, const AggregateOp& op)
+      : tree_(tree), transport_(this) {
+    per_node_requests_.resize(static_cast<std::size_t>(tree.size()));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      per_node_requests_[static_cast<std::size_t>(requests[i].node)]
+          .push_back(requests[i]);
+    }
+    next_request_.assign(static_cast<std::size_t>(tree.size()), 0);
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      nodes_.push_back(std::make_unique<LeaseNode>(
+          u, tree.neighbors(u), op, factory(u, tree.neighbors(u)),
+          &transport_,
+          [this](NodeId node, CombineToken token, Real value) {
+            const LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];
+            std::vector<std::pair<NodeId, ReqId>> gather(
+                n.LastWrites().begin(), n.LastWrites().end());
+            history_.CompleteCombine(
+                static_cast<ReqId>(token), value, std::move(gather),
+                static_cast<std::int64_t>(n.GhostLogEntries().size()),
+                clock_++);
+          },
+          /*ghost_logging=*/true));
+    }
+  }
+
+  void Apply(const Event& e) {
+    if (e.is_delivery) {
+      auto& channel = channels_[{e.from, e.to}];
+      Message m = std::move(channel.front());
+      channel.pop_front();
+      nodes_[static_cast<std::size_t>(e.to)]->Deliver(m);
+      return;
+    }
+    const std::size_t u = static_cast<std::size_t>(e.node);
+    const Request& r = per_node_requests_[u][next_request_[u]++];
+    if (r.op == ReqType::kCombine) {
+      const ReqId id = history_.BeginCombine(r.node, clock_++);
+      nodes_[u]->LocalCombine(id);
+    } else {
+      const ReqId id = history_.BeginWrite(r.node, r.arg, clock_++);
+      nodes_[u]->LocalWrite(r.arg, id);
+      history_.CompleteWrite(id, clock_++);
+    }
+  }
+
+  std::vector<Event> EnabledEvents() const {
+    std::vector<Event> events;
+    for (NodeId u = 0; u < tree_.size(); ++u) {
+      if (next_request_[static_cast<std::size_t>(u)] <
+          per_node_requests_[static_cast<std::size_t>(u)].size()) {
+        Event e;
+        e.is_delivery = false;
+        e.node = u;
+        events.push_back(e);
+      }
+    }
+    for (const auto& [edge, channel] : channels_) {
+      if (!channel.empty()) {
+        Event e;
+        e.is_delivery = true;
+        e.from = edge.first;
+        e.to = edge.second;
+        events.push_back(e);
+      }
+    }
+    return events;
+  }
+
+  const History& history() const { return history_; }
+
+  std::vector<NodeGhostState> GhostStates() const {
+    std::vector<NodeGhostState> ghosts(
+        static_cast<std::size_t>(tree_.size()));
+    for (NodeId u = 0; u < tree_.size(); ++u) {
+      ghosts[static_cast<std::size_t>(u)].node = u;
+      ghosts[static_cast<std::size_t>(u)].write_log =
+          nodes_[static_cast<std::size_t>(u)]->GhostLogEntries();
+    }
+    return ghosts;
+  }
+
+ private:
+  class ChannelTransport final : public Transport {
+   public:
+    explicit ChannelTransport(World* world) : world_(world) {}
+    void Send(Message m) override {
+      world_->channels_[{m.from, m.to}].push_back(std::move(m));
+    }
+
+   private:
+    World* world_;
+  };
+
+  const Tree& tree_;
+  ChannelTransport transport_;
+  std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::deque<Message>> channels_;
+  std::vector<RequestSequence> per_node_requests_;
+  std::vector<std::size_t> next_request_;
+  History history_;
+  std::int64_t clock_ = 0;
+};
+
+class Explorer {
+ public:
+  Explorer(const Tree& tree, const PolicyFactory& factory,
+           const RequestSequence& requests, const AggregateOp& op,
+           std::int64_t max_executions)
+      : tree_(tree),
+        factory_(factory),
+        requests_(requests),
+        op_(op),
+        max_executions_(max_executions) {}
+
+  ExplorationResult Run() {
+    std::vector<Event> prefix;
+    Dfs(prefix);
+    return result_;
+  }
+
+ private:
+  World Replay(const std::vector<Event>& prefix) {
+    World world(tree_, factory_, requests_, op_);
+    for (const Event& e : prefix) world.Apply(e);
+    return world;
+  }
+
+  void Dfs(std::vector<Event>& prefix) {
+    if (result_.truncated ||
+        (!result_.all_consistent && !exhaustive_after_failure_)) {
+      return;
+    }
+    if (result_.executions >= max_executions_) {
+      result_.truncated = true;
+      return;
+    }
+    World world = Replay(prefix);
+    const std::vector<Event> events = world.EnabledEvents();
+    if (events.empty()) {
+      ++result_.executions;
+      result_.max_depth =
+          std::max(result_.max_depth, static_cast<int>(prefix.size()));
+      CheckExecution(world, prefix);
+      return;
+    }
+    for (const Event& e : events) {
+      prefix.push_back(e);
+      Dfs(prefix);
+      prefix.pop_back();
+    }
+  }
+
+  void CheckExecution(const World& world, const std::vector<Event>& prefix) {
+    CheckResult check;
+    if (!world.history().AllCompleted()) {
+      check = CheckResult::Fail("execution ended with incomplete requests");
+    } else {
+      check = CheckCausalConsistency(world.history(), world.GhostStates(),
+                                     op_, tree_.size());
+    }
+    if (!check.ok && result_.all_consistent) {
+      result_.all_consistent = false;
+      std::ostringstream os;
+      os << check.message << " [schedule:";
+      for (const Event& e : prefix) {
+        if (e.is_delivery) {
+          os << " d(" << e.from << ">" << e.to << ")";
+        } else {
+          os << " i(" << e.node << ")";
+        }
+      }
+      os << "]";
+      result_.first_violation = os.str();
+    }
+  }
+
+  const Tree& tree_;
+  const PolicyFactory& factory_;
+  const RequestSequence& requests_;
+  const AggregateOp& op_;
+  const std::int64_t max_executions_;
+  const bool exhaustive_after_failure_ = false;
+  ExplorationResult result_;
+};
+
+}  // namespace
+
+ExplorationResult ExploreAllInterleavings(const Tree& tree,
+                                          const PolicyFactory& factory,
+                                          const RequestSequence& requests,
+                                          const AggregateOp& op,
+                                          std::int64_t max_executions) {
+  Explorer explorer(tree, factory, requests, op, max_executions);
+  return explorer.Run();
+}
+
+}  // namespace treeagg

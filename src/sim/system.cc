@@ -1,0 +1,118 @@
+#include "sim/system.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace treeagg {
+
+namespace {
+void CheckNode(const Tree& tree, NodeId u, const char* what) {
+  if (u < 0 || u >= tree.size()) {
+    throw std::out_of_range(std::string(what) + ": node " +
+                            std::to_string(u) + " outside tree of size " +
+                            std::to_string(tree.size()));
+  }
+}
+}  // namespace
+
+void AggregationSystem::QueueTransport::Send(Message m) {
+  sys_->trace_.Record(m);
+  sys_->queue_.push_back(std::move(m));
+}
+
+AggregationSystem::AggregationSystem(const Tree& tree,
+                                     const PolicyFactory& factory)
+    : AggregationSystem(tree, factory, Options{}) {}
+
+AggregationSystem::AggregationSystem(const Tree& tree,
+                                     const PolicyFactory& factory,
+                                     Options options)
+    : tree_(&tree),
+      op_(*options.op),
+      trace_(options.keep_message_log),
+      transport_(this),
+      ghost_(options.ghost_logging) {
+  nodes_.reserve(static_cast<std::size_t>(tree.size()));
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    nodes_.push_back(std::make_unique<LeaseNode>(
+        u, tree.neighbors(u), op_, factory(u, tree.neighbors(u)), &transport_,
+        [this](NodeId node, CombineToken token, Real value) {
+          OnCombineDone(node, token, value);
+        },
+        ghost_));
+  }
+}
+
+void AggregationSystem::OnCombineDone(NodeId node, CombineToken token,
+                                      Real value) {
+  const LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];
+  std::vector<std::pair<NodeId, ReqId>> gather(n.LastWrites().begin(),
+                                               n.LastWrites().end());
+  history_.CompleteCombine(
+      static_cast<ReqId>(token), value, std::move(gather),
+      static_cast<std::int64_t>(n.GhostLogEntries().size()), clock_++);
+}
+
+Real AggregationSystem::ReadCached(NodeId u) const {
+  CheckNode(*tree_, u, "ReadCached");
+  return nodes_[static_cast<std::size_t>(u)]->Gval();
+}
+
+Real AggregationSystem::Combine(NodeId u) {
+  CheckNode(*tree_, u, "Combine");
+  const ReqId id = history_.BeginCombine(u, clock_++);
+  nodes_[static_cast<std::size_t>(u)]->LocalCombine(id);
+  Drain();
+  const RequestRecord& r = history_.record(id);
+  assert(r.completed() && "sequential combine must complete at quiescence");
+  return r.retval;
+}
+
+void AggregationSystem::Write(NodeId u, Real arg) {
+  CheckNode(*tree_, u, "Write");
+  const ReqId id = history_.BeginWrite(u, arg, clock_++);
+  nodes_[static_cast<std::size_t>(u)]->LocalWrite(arg, id);
+  history_.CompleteWrite(id, clock_++);
+  Drain();
+}
+
+void AggregationSystem::Execute(const RequestSequence& sigma) {
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      Combine(r.node);
+    } else {
+      Write(r.node, r.arg);
+    }
+  }
+}
+
+void AggregationSystem::Drain() {
+  while (!queue_.empty()) {
+    const Message m = std::move(queue_.front());
+    queue_.pop_front();
+    nodes_[static_cast<std::size_t>(m.to)]->Deliver(m);
+  }
+}
+
+LeaseGraph AggregationSystem::CurrentLeaseGraph() const {
+  LeaseGraph g(*tree_);
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    for (const NodeId v : tree_->neighbors(u)) {
+      g.SetGranted(u, v, nodes_[static_cast<std::size_t>(u)]->granted(v));
+    }
+  }
+  return g;
+}
+
+std::vector<NodeGhostState> AggregationSystem::GhostStates() const {
+  std::vector<NodeGhostState> ghosts(static_cast<std::size_t>(tree_->size()));
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    ghosts[static_cast<std::size_t>(u)].node = u;
+    ghosts[static_cast<std::size_t>(u)].write_log =
+        nodes_[static_cast<std::size_t>(u)]->GhostLogEntries();
+  }
+  return ghosts;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,109 @@
+// AggregationSystem: the library's main façade and the sequential
+// execution driver.
+//
+// It instantiates one LeaseNode per tree node (mechanism + a policy from
+// the supplied factory) over an in-process FIFO transport, and executes
+// requests *sequentially* in the paper's sense: each request is initiated
+// in a quiescent state and runs until the network is quiescent again.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   Tree tree = MakeKary(64, 4);
+//   AggregationSystem sys(tree, RwwFactory());
+//   sys.Write(3, 10.0);
+//   Real total = sys.Combine(7);           // strictly consistent
+//   std::cout << sys.trace().TotalMessages();
+#ifndef TREEAGG_SIM_SYSTEM_H_
+#define TREEAGG_SIM_SYSTEM_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "consistency/causal_checker.h"  // NodeGhostState
+#include "consistency/history.h"
+#include "core/aggregate_op.h"
+#include "core/lease_node.h"
+#include "core/policies.h"
+#include "core/policy.h"
+#include "sim/trace.h"
+#include "tree/lease_graph.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+
+class AggregationSystem {
+ public:
+  struct Options {
+    const AggregateOp* op = &SumOp();
+    bool ghost_logging = false;  // Section 5 instrumentation
+    bool keep_message_log = false;
+  };
+
+  AggregationSystem(const Tree& tree, const PolicyFactory& factory);
+  AggregationSystem(const Tree& tree, const PolicyFactory& factory,
+                    Options options);
+
+  // Executes a combine at u to quiescence; returns the global aggregate.
+  Real Combine(NodeId u);
+
+  // Imprecise read: returns u's current local view of the global aggregate
+  // (gval over cached neighbor values) WITHOUT exchanging any messages.
+  // This is the zero-cost end of the paper's consistency/performance
+  // spectrum — exact whenever all of u's leases are taken (then equal to
+  // Combine(u)), stale otherwise. Not recorded in the history.
+  Real ReadCached(NodeId u) const;
+
+  // Executes a write at u to quiescence.
+  void Write(NodeId u, Real arg);
+
+  // Executes a whole request sequence sequentially.
+  void Execute(const RequestSequence& sigma);
+
+  // Delivers queued messages until the network is quiescent.
+  void Drain();
+  bool IsQuiescent() const { return queue_.empty(); }
+
+  const Tree& tree() const { return *tree_; }
+  const AggregateOp& op() const { return op_; }
+  const MessageTrace& trace() const { return trace_; }
+  MessageTrace& mutable_trace() { return trace_; }
+  const History& history() const { return history_; }
+  LeaseNode& node(NodeId u) { return *nodes_[static_cast<std::size_t>(u)]; }
+  const LeaseNode& node(NodeId u) const {
+    return *nodes_[static_cast<std::size_t>(u)];
+  }
+
+  // The lease graph G(Q) of the current quiescent state (Section 3.2).
+  LeaseGraph CurrentLeaseGraph() const;
+
+  // Ghost write-logs of every node (for the causal checker).
+  std::vector<NodeGhostState> GhostStates() const;
+
+ private:
+  class QueueTransport final : public Transport {
+   public:
+    explicit QueueTransport(AggregationSystem* sys) : sys_(sys) {}
+    void Send(Message m) override;
+
+   private:
+    AggregationSystem* sys_;
+  };
+
+  void OnCombineDone(NodeId node, CombineToken token, Real value);
+
+  const Tree* tree_;
+  AggregateOp op_;
+  MessageTrace trace_;
+  History history_;
+  QueueTransport transport_;
+  std::deque<Message> queue_;
+  std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  std::int64_t clock_ = 0;
+  bool ghost_;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_SIM_SYSTEM_H_

@@ -1,0 +1,69 @@
+#include "sim/trace.h"
+
+namespace treeagg {
+
+MessageCounts& MessageCounts::operator+=(const MessageCounts& other) {
+  probes += other.probes;
+  responses += other.responses;
+  updates += other.updates;
+  releases += other.releases;
+  return *this;
+}
+
+void MessageTrace::Record(const Message& m) {
+  // Classify into the ordered pair (u, v) per Section 3.2: probes and
+  // releases travel v -> u, responses and updates travel u -> v.
+  NodeId u, v;
+  if (m.type == MsgType::kProbe || m.type == MsgType::kRelease) {
+    u = m.to;
+    v = m.from;
+  } else {
+    u = m.from;
+    v = m.to;
+  }
+  MessageCounts& c = per_edge_[Key(u, v)];
+  switch (m.type) {
+    case MsgType::kProbe:
+      ++c.probes;
+      ++totals_.probes;
+      break;
+    case MsgType::kResponse:
+      ++c.responses;
+      ++totals_.responses;
+      break;
+    case MsgType::kUpdate:
+      ++c.updates;
+      ++totals_.updates;
+      break;
+    case MsgType::kRelease:
+      ++c.releases;
+      ++totals_.releases;
+      break;
+  }
+  if (keep_log_) log_.push_back(m);
+}
+
+MessageCounts MessageTrace::EdgeCost(NodeId u, NodeId v) const {
+  const auto it = per_edge_.find(Key(u, v));
+  return it == per_edge_.end() ? MessageCounts{} : it->second;
+}
+
+std::vector<std::pair<std::pair<NodeId, NodeId>, MessageCounts>>
+MessageTrace::AllEdgeCosts() const {
+  std::vector<std::pair<std::pair<NodeId, NodeId>, MessageCounts>> result;
+  result.reserve(per_edge_.size());
+  for (const auto& [key, counts] : per_edge_) {
+    const NodeId u = static_cast<NodeId>(key >> 32);
+    const NodeId v = static_cast<NodeId>(key & 0xffffffffu);
+    result.push_back({{u, v}, counts});
+  }
+  return result;
+}
+
+void MessageTrace::Reset() {
+  totals_ = {};
+  per_edge_.clear();
+  log_.clear();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,72 @@
+// Message accounting.
+//
+// The paper's cost metric is the total number of protocol messages. For
+// the per-edge analysis, Section 3.2 defines C(sigma, u, v) for an ordered
+// pair of neighbors (u, v) as the count of: probes v->u, responses u->v,
+// updates u->v, and releases v->u. Every message contributes to exactly one
+// ordered pair, so the C values partition the total (Lemma 3.9) — a fact
+// the tests verify directly.
+#ifndef TREEAGG_SIM_TRACE_H_
+#define TREEAGG_SIM_TRACE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/message.h"
+
+namespace treeagg {
+
+struct MessageCounts {
+  std::int64_t probes = 0;
+  std::int64_t responses = 0;
+  std::int64_t updates = 0;
+  std::int64_t releases = 0;
+
+  std::int64_t total() const { return probes + responses + updates + releases; }
+  MessageCounts& operator+=(const MessageCounts& other);
+};
+
+class MessageTrace {
+ public:
+  // When keep_log is true the full message sequence is retained (tests and
+  // small demos only; benches keep it off).
+  explicit MessageTrace(bool keep_log = false) : keep_log_(keep_log) {}
+
+  void Record(const Message& m);
+
+  // Totals across all edges.
+  const MessageCounts& totals() const { return totals_; }
+  std::int64_t TotalMessages() const { return totals_.total(); }
+
+  // C(sigma, u, v) for the ordered neighbor pair (u, v): probes v->u,
+  // responses u->v, updates u->v, releases v->u.
+  MessageCounts EdgeCost(NodeId u, NodeId v) const;
+
+  // All ordered pairs with nonzero cost.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, MessageCounts>>
+  AllEdgeCosts() const;
+
+  const std::vector<Message>& log() const { return log_; }
+
+  // Snapshot/delta support: total messages since a marker.
+  std::int64_t Mark() const { return totals_.total(); }
+
+  void Reset();
+
+ private:
+  static std::uint64_t Key(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+
+  bool keep_log_;
+  MessageCounts totals_;
+  std::unordered_map<std::uint64_t, MessageCounts> per_edge_;
+  std::vector<Message> log_;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_SIM_TRACE_H_

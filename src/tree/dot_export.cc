@@ -1,0 +1,47 @@
+#include "tree/dot_export.h"
+
+#include <sstream>
+
+namespace treeagg {
+
+namespace {
+
+void EmitHeader(std::ostringstream& os) {
+  os << "digraph treeagg {\n"
+     << "  node [shape=circle, fontsize=10];\n"
+     << "  edge [fontsize=9];\n";
+}
+
+void EmitTreeEdges(std::ostringstream& os, const Tree& tree) {
+  for (const Edge& e : tree.edges()) {
+    os << "  " << e.u << " -> " << e.v
+       << " [dir=none, color=gray60];\n";
+  }
+}
+
+}  // namespace
+
+std::string TreeToDot(const Tree& tree) {
+  std::ostringstream os;
+  EmitHeader(os);
+  EmitTreeEdges(os, tree);
+  os << "}\n";
+  return os.str();
+}
+
+std::string LeaseGraphToDot(const LeaseGraph& graph) {
+  const Tree& tree = graph.tree();
+  std::ostringstream os;
+  EmitHeader(os);
+  EmitTreeEdges(os, tree);
+  for (const Edge& e : tree.OrderedEdges()) {
+    if (graph.granted(e.u, e.v)) {
+      os << "  " << e.u << " -> " << e.v
+         << " [color=black, penwidth=1.8, label=\"lease\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,24 @@
+// Graphviz DOT export of topologies and lease graphs, for inspecting the
+// system's state visually (e.g. `treeagg_cli --dot out.dot && dot -Tpng`).
+//
+// Tree edges render as undirected gray lines; granted leases overlay as
+// directed bold edges (u -> v when u.granted[v]).
+#ifndef TREEAGG_TREE_DOT_EXPORT_H_
+#define TREEAGG_TREE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "tree/lease_graph.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+
+// The bare topology.
+std::string TreeToDot(const Tree& tree);
+
+// Topology plus lease overlay.
+std::string LeaseGraphToDot(const LeaseGraph& graph);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_TREE_DOT_EXPORT_H_

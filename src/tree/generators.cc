@@ -1,0 +1,93 @@
+#include "tree/generators.h"
+
+#include <stdexcept>
+
+namespace treeagg {
+
+Tree MakePath(NodeId n) {
+  std::vector<NodeId> parent(n, 0);
+  for (NodeId i = 1; i < n; ++i) parent[i] = i - 1;
+  return Tree(std::move(parent));
+}
+
+Tree MakeStar(NodeId n) {
+  std::vector<NodeId> parent(n, 0);
+  return Tree(std::move(parent));
+}
+
+Tree MakeKary(NodeId n, NodeId k) {
+  if (k < 1) throw std::invalid_argument("MakeKary: k must be >= 1");
+  std::vector<NodeId> parent(n, 0);
+  for (NodeId i = 1; i < n; ++i) parent[i] = (i - 1) / k;
+  return Tree(std::move(parent));
+}
+
+Tree MakeCaterpillar(NodeId spine, NodeId legs) {
+  const NodeId n = spine * (1 + legs);
+  std::vector<NodeId> parent(n, 0);
+  // Spine nodes are 0..spine-1; node s's legs follow as a block.
+  for (NodeId s = 1; s < spine; ++s) parent[s] = s - 1;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId l = 0; l < legs; ++l) parent[spine + s * legs + l] = s;
+  }
+  return Tree(std::move(parent));
+}
+
+Tree MakeBroom(NodeId handle, NodeId bristles) {
+  const NodeId n = handle + bristles;
+  std::vector<NodeId> parent(n, 0);
+  for (NodeId i = 1; i < handle; ++i) parent[i] = i - 1;
+  for (NodeId i = 0; i < bristles; ++i) parent[handle + i] = handle - 1;
+  return Tree(std::move(parent));
+}
+
+Tree MakeRandomTree(NodeId n, Rng& rng) {
+  std::vector<NodeId> parent(n, 0);
+  for (NodeId i = 1; i < n; ++i) {
+    parent[i] = static_cast<NodeId>(rng.NextBounded(static_cast<std::uint64_t>(i)));
+  }
+  return Tree(std::move(parent));
+}
+
+Tree MakePreferentialTree(NodeId n, Rng& rng) {
+  std::vector<NodeId> parent(n, 0);
+  // Endpoint list: each node appears once per incident edge, plus once for
+  // existing. Sampling from it realizes degree-proportional attachment.
+  std::vector<NodeId> endpoints{0};
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId p = endpoints[rng.NextBounded(endpoints.size())];
+    parent[i] = p;
+    endpoints.push_back(p);
+    endpoints.push_back(i);
+  }
+  return Tree(std::move(parent));
+}
+
+Tree MakeShape(const std::string& shape, NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  if (shape == "path") return MakePath(n);
+  if (shape == "star") return MakeStar(n);
+  if (shape == "kary2") return MakeKary(n, 2);
+  if (shape == "kary4") return MakeKary(n, 4);
+  if (shape == "caterpillar") {
+    const NodeId spine = std::max<NodeId>(1, n / 4);
+    const NodeId legs = std::max<NodeId>(1, n / spine - 1);
+    return MakeCaterpillar(spine, legs);
+  }
+  if (shape == "broom") {
+    const NodeId handle = std::max<NodeId>(1, n / 2);
+    return MakeBroom(handle, std::max<NodeId>(1, n - handle));
+  }
+  if (shape == "random") return MakeRandomTree(n, rng);
+  if (shape == "pref") return MakePreferentialTree(n, rng);
+  throw std::invalid_argument("MakeShape: unknown shape " + shape);
+}
+
+const std::vector<std::string>& AllShapeNames() {
+  static const std::vector<std::string> kNames = {
+      "path", "star", "kary2", "kary4", "caterpillar", "broom", "random",
+      "pref"};
+  return kNames;
+}
+
+}  // namespace treeagg

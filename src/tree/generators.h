@@ -1,0 +1,53 @@
+// Tree topology generators used by tests, examples, and the benchmark
+// harness. All generators return the canonical parent-vector encoding.
+//
+// The shapes cover the structural extremes relevant to the paper's message
+// model: paths (max diameter), stars (max degree at the hub — the SDIMS /
+// Astrolabe "root heavy" shape), balanced k-ary trees (the DHT aggregation
+// hierarchy shape), caterpillars, brooms, and uniformly random recursive
+// trees.
+#ifndef TREEAGG_TREE_GENERATORS_H_
+#define TREEAGG_TREE_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+
+// Path 0 - 1 - ... - n-1.
+Tree MakePath(NodeId n);
+
+// Star with hub 0 and n-1 leaves.
+Tree MakeStar(NodeId n);
+
+// Balanced k-ary tree with n nodes (node i's parent is (i-1)/k).
+Tree MakeKary(NodeId n, NodeId k);
+
+// Caterpillar: a spine path of `spine` nodes, each spine node with `legs`
+// leaf children. Total n = spine * (1 + legs).
+Tree MakeCaterpillar(NodeId spine, NodeId legs);
+
+// Broom: a path of `handle` nodes ending in a star of `bristles` leaves.
+Tree MakeBroom(NodeId handle, NodeId bristles);
+
+// Uniformly random recursive tree: node i attaches to a uniform node < i.
+Tree MakeRandomTree(NodeId n, Rng& rng);
+
+// Random tree with power-law-ish attachment (preferential attachment),
+// producing high-degree hubs like DHT aggregation trees.
+Tree MakePreferentialTree(NodeId n, Rng& rng);
+
+// Named shape dispatch for parameter sweeps: "path", "star", "kary2",
+// "kary4", "caterpillar", "broom", "random", "pref".
+Tree MakeShape(const std::string& shape, NodeId n, std::uint64_t seed);
+
+// The list of shape names MakeShape accepts.
+const std::vector<std::string>& AllShapeNames();
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_TREE_GENERATORS_H_

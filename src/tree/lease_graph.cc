@@ -1,0 +1,91 @@
+#include "tree/lease_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treeagg {
+
+LeaseGraph::LeaseGraph(const Tree& tree) : tree_(&tree) {
+  const auto& edges = tree.edges();
+  granted_.assign(2 * edges.size(), false);
+  edge_index_.assign(tree.size(), {});
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_index_[edges[e].u].push_back(static_cast<int>(e));
+    edge_index_[edges[e].v].push_back(static_cast<int>(e));
+  }
+}
+
+int LeaseGraph::EdgeIndex(NodeId u, NodeId v) const {
+  assert(tree_->HasEdge(u, v));
+  for (const int e : edge_index_[u]) {
+    const Edge& edge = tree_->edges()[e];
+    if ((edge.u == u && edge.v == v) || (edge.u == v && edge.v == u)) {
+      // Direction bit 0 encodes "from edge.u to edge.v".
+      return 2 * e + (edge.u == u ? 0 : 1);
+    }
+  }
+  assert(false && "not a tree edge");
+  return -1;
+}
+
+void LeaseGraph::SetGranted(NodeId u, NodeId v, bool granted) {
+  granted_[EdgeIndex(u, v)] = granted;
+}
+
+bool LeaseGraph::granted(NodeId u, NodeId v) const {
+  return granted_[EdgeIndex(u, v)];
+}
+
+std::vector<NodeId> LeaseGraph::ReachableFrom(NodeId u) const {
+  std::vector<NodeId> result;
+  std::vector<NodeId> frontier{u};
+  std::vector<bool> seen(tree_->size(), false);
+  seen[u] = true;
+  while (!frontier.empty()) {
+    const NodeId x = frontier.back();
+    frontier.pop_back();
+    for (const NodeId w : tree_->neighbors(x)) {
+      if (!seen[w] && granted(x, w)) {
+        seen[w] = true;
+        result.push_back(w);
+        frontier.push_back(w);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<NodeId> LeaseGraph::ProbeSetFor(NodeId u) const {
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < tree_->size(); ++v) {
+    if (v == u) continue;
+    const NodeId w = tree_->UParent(v, u);
+    if (!granted(v, w)) result.push_back(v);
+  }
+  // Lemma 3.3's set A is further restricted to nodes whose whole path to u
+  // is probe-reachable; prune nodes with a granted ancestorward edge.
+  // A node v is probed iff every node x on the path from u to v (excluding
+  // u) has x.granted[u-parent of x] false.
+  std::vector<NodeId> pruned;
+  for (const NodeId v : result) {
+    bool reachable = true;
+    NodeId x = v;
+    while (x != u) {
+      const NodeId w = tree_->UParent(x, u);
+      if (granted(x, w)) {
+        reachable = false;
+        break;
+      }
+      x = w;
+    }
+    if (reachable) pruned.push_back(v);
+  }
+  return pruned;
+}
+
+int LeaseGraph::GrantedCount() const {
+  return static_cast<int>(std::count(granted_.begin(), granted_.end(), true));
+}
+
+}  // namespace treeagg

@@ -1,0 +1,52 @@
+// The lease graph G(Q) of Section 3.2: a directed graph on the tree's nodes
+// with an edge (u, v) whenever u.granted[v] holds in quiescent state Q.
+//
+// Used by tests and checkers to state the paper's lemmas directly:
+//  * Lemma 3.5: a write at u sends exactly one update to every node
+//    reachable from u in G(Q).
+//  * Lemma 3.3: a combine at u probes exactly the nodes v whose u-parent w
+//    has no lease v.granted[w] (equivalently, the in-edge towards u is
+//    missing).
+#ifndef TREEAGG_TREE_LEASE_GRAPH_H_
+#define TREEAGG_TREE_LEASE_GRAPH_H_
+
+#include <vector>
+
+#include "tree/topology.h"
+
+namespace treeagg {
+
+class LeaseGraph {
+ public:
+  explicit LeaseGraph(const Tree& tree);
+
+  // Set / clear the directed lease edge u -> v (u.granted[v]).
+  void SetGranted(NodeId u, NodeId v, bool granted);
+  bool granted(NodeId u, NodeId v) const;
+
+  // Nodes reachable from u by following granted edges, excluding u itself
+  // (the set A of Lemma 3.5).
+  std::vector<NodeId> ReachableFrom(NodeId u) const;
+
+  // Nodes v != u such that v.granted[w] does NOT hold, where w is the
+  // u-parent of v (the set A of Lemma 3.3: nodes that must be probed when a
+  // combine is issued at u).
+  std::vector<NodeId> ProbeSetFor(NodeId u) const;
+
+  // Number of granted directed edges.
+  int GrantedCount() const;
+
+  const Tree& tree() const { return *tree_; }
+
+ private:
+  int EdgeIndex(NodeId u, NodeId v) const;
+
+  const Tree* tree_;
+  // granted_[2*e + d] where e is the undirected edge index and d orients it.
+  std::vector<bool> granted_;
+  std::vector<std::vector<int>> edge_index_;  // per node: index into edges()
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_TREE_LEASE_GRAPH_H_

@@ -1,0 +1,39 @@
+#include "tree/serialization.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace treeagg {
+
+Tree TreeFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<NodeId> parent;
+  std::string token;
+  while (in >> token) {
+    try {
+      std::size_t consumed = 0;
+      const long value = std::stol(token, &consumed);
+      if (consumed != token.size()) throw std::invalid_argument(token);
+      parent.push_back(static_cast<NodeId>(value));
+    } catch (...) {
+      throw std::invalid_argument("TreeFromString: bad token '" + token +
+                                  "'");
+    }
+  }
+  if (parent.empty()) {
+    throw std::invalid_argument("TreeFromString: empty input");
+  }
+  return Tree(std::move(parent));  // Tree validates parent[i] in [0, i)
+}
+
+std::string TreeToString(const Tree& tree) {
+  std::ostringstream out;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << (i == 0 ? 0 : tree.RootedParent(i));
+  }
+  return out.str();
+}
+
+}  // namespace treeagg

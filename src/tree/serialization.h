@@ -1,0 +1,24 @@
+// Text serialization of tree topologies.
+//
+// The canonical encoding is the parent vector: "0 0 1 1 2" describes a
+// 5-node tree where parent[i] is the i-th token (token 0 is ignored and
+// conventionally written as 0). Round-trips exactly; errors throw
+// std::invalid_argument with a message naming the offending token.
+#ifndef TREEAGG_TREE_SERIALIZATION_H_
+#define TREEAGG_TREE_SERIALIZATION_H_
+
+#include <string>
+
+#include "tree/topology.h"
+
+namespace treeagg {
+
+// "0 0 1 1 2" -> Tree. Accepts any whitespace separation.
+Tree TreeFromString(const std::string& text);
+
+// Tree -> "0 0 1 1 2" (parent vector of the internal rooting at node 0).
+std::string TreeToString(const Tree& tree);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_TREE_SERIALIZATION_H_

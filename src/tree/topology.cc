@@ -1,0 +1,180 @@
+#include "tree/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace treeagg {
+
+Tree::Tree(std::vector<NodeId> parent) : parent_(std::move(parent)) {
+  const NodeId n = size();
+  if (n <= 0) throw std::invalid_argument("Tree: empty parent vector");
+  adj_.assign(n, {});
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId p = parent_[i];
+    if (p < 0 || p >= i) {
+      throw std::invalid_argument("Tree: parent[i] must be in [0, i)");
+    }
+    adj_[i].push_back(p);
+    adj_[p].push_back(i);
+    edges_.push_back({std::min(p, i), std::max(p, i)});
+  }
+  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+  });
+
+  // Iterative DFS from node 0 computing Euler intervals, depth, sizes.
+  depth_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  rooted_size_.assign(n, 1);
+  // Children in parent-vector encoding always have a larger index than the
+  // parent, so a reverse index sweep computes rooted subtree sizes.
+  for (NodeId i = n - 1; i >= 1; --i) rooted_size_[parent_[i]] += rooted_size_[i];
+  for (NodeId i = 1; i < n; ++i) depth_[i] = depth_[parent_[i]] + 1;
+  // Euler intervals via an explicit stack (avoid recursion on deep paths).
+  NodeId timer = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, next child idx)
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId i = 1; i < n; ++i) children[parent_[i]].push_back(i);
+  stack.emplace_back(0, 0);
+  tin_[0] = timer++;
+  while (!stack.empty()) {
+    auto& [u, ci] = stack.back();
+    if (ci < children[u].size()) {
+      const NodeId c = children[u][ci++];
+      tin_[c] = timer++;
+      stack.emplace_back(c, 0);
+    } else {
+      tout_[u] = timer;
+      stack.pop_back();
+    }
+  }
+
+  // Binary lifting table.
+  int levels = 1;
+  while ((NodeId{1} << levels) < n) ++levels;
+  up_.assign(levels, std::vector<NodeId>(n, 0));
+  for (NodeId i = 0; i < n; ++i) up_[0][i] = (i == 0) ? 0 : parent_[i];
+  for (int k = 1; k < levels; ++k) {
+    for (NodeId i = 0; i < n; ++i) up_[k][i] = up_[k - 1][up_[k - 1][i]];
+  }
+}
+
+bool Tree::HasEdge(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= size() || v >= size() || u == v) return false;
+  const auto& nbrs = adj_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Tree::OrderedEdges() const {
+  std::vector<Edge> result;
+  result.reserve(2 * edges_.size());
+  for (const Edge& e : edges_) {
+    result.push_back({e.u, e.v});
+    result.push_back({e.v, e.u});
+  }
+  return result;
+}
+
+NodeId Tree::AncestorAtDepth(NodeId u, NodeId d) const {
+  assert(d <= depth_[u]);
+  NodeId delta = depth_[u] - d;
+  for (std::size_t k = 0; delta != 0; ++k, delta >>= 1) {
+    if (delta & 1) u = up_[k][u];
+  }
+  return u;
+}
+
+bool Tree::InSubtree(NodeId w, NodeId u, NodeId v) const {
+  assert(HasEdge(u, v));
+  // Let c be the deeper endpoint (the child in the internal rooting). The
+  // component containing c is exactly c's rooted subtree.
+  const NodeId c = (depth_[u] > depth_[v]) ? u : v;
+  const bool in_child_side = IsAncestor(c, w);
+  return (c == u) ? in_child_side : !in_child_side;
+}
+
+NodeId Tree::SubtreeSize(NodeId u, NodeId v) const {
+  assert(HasEdge(u, v));
+  const NodeId c = (depth_[u] > depth_[v]) ? u : v;
+  const NodeId child_side = rooted_size_[c];
+  return (c == u) ? child_side : size() - child_side;
+}
+
+NodeId Tree::UParent(NodeId w, NodeId u) const {
+  assert(w != u);
+  if (IsAncestor(w, u)) {
+    // u lies in w's rooted subtree: step from u up to depth(w) + 1.
+    return AncestorAtDepth(u, depth_[w] + 1);
+  }
+  return parent_[w];
+}
+
+NodeId Tree::Lca(NodeId u, NodeId v) const {
+  if (IsAncestor(u, v)) return u;
+  if (IsAncestor(v, u)) return v;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (!IsAncestor(up_[k][u], v)) u = up_[k][u];
+  }
+  return parent_[u];
+}
+
+NodeId Tree::Distance(NodeId u, NodeId v) const {
+  const NodeId l = Lca(u, v);
+  return depth_[u] + depth_[v] - 2 * depth_[l];
+}
+
+std::vector<NodeId> Tree::BfsOrder(NodeId root) const {
+  std::vector<NodeId> order;
+  order.reserve(size());
+  std::vector<bool> seen(size(), false);
+  order.push_back(root);
+  seen[root] = true;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (const NodeId w : adj_[order[head]]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        order.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+NodeId Tree::Diameter() const {
+  // Two BFS sweeps.
+  auto farthest = [this](NodeId s) {
+    std::vector<NodeId> dist(size(), -1);
+    std::vector<NodeId> q{s};
+    dist[s] = 0;
+    NodeId best = s;
+    for (std::size_t head = 0; head < q.size(); ++head) {
+      const NodeId x = q[head];
+      if (dist[x] > dist[best]) best = x;
+      for (const NodeId w : adj_[x]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[x] + 1;
+          q.push_back(w);
+        }
+      }
+    }
+    return std::pair(best, dist[best]);
+  };
+  const auto [a, unused] = farthest(0);
+  (void)unused;
+  return farthest(a).second;
+}
+
+std::string Tree::Describe() const {
+  std::ostringstream os;
+  NodeId max_deg = 0;
+  for (NodeId i = 0; i < size(); ++i) max_deg = std::max(max_deg, degree(i));
+  os << "tree(n=" << size() << ", diameter=" << Diameter()
+     << ", max_degree=" << max_deg << ")";
+  return os.str();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,110 @@
+// Immutable tree topology with the structural queries the paper's analysis
+// is phrased in:
+//
+//   * subtree(u, v)  — removing edge (u, v) splits T in two; subtree(u, v) is
+//                      the component containing u (Section 2).
+//   * u-parent of w  — the parent of w when T is rooted at u, i.e. the first
+//                      hop on the path w -> u (Section 3.2).
+//
+// Both are answered in O(1) / O(log n) after O(n log n) preprocessing
+// (Euler tour + binary lifting), so checkers and offline optima can be run
+// on large trees.
+#ifndef TREEAGG_TREE_TOPOLOGY_H_
+#define TREEAGG_TREE_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+// An undirected edge of the tree, stored with endpoints in both orders when
+// enumerating ordered pairs.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Tree {
+ public:
+  // Builds a tree from a parent vector: parent[0] is ignored (node 0 is the
+  // root used internally); parent[i] for i > 0 must be in [0, i).
+  // This canonical encoding makes random tree generation trivial.
+  explicit Tree(std::vector<NodeId> parent);
+
+  // Number of nodes.
+  NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+
+  // Neighbors of u, sorted ascending.
+  const std::vector<NodeId>& neighbors(NodeId u) const { return adj_[u]; }
+
+  NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(adj_[u].size());
+  }
+
+  // True iff (u, v) is a tree edge.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // All n-1 undirected edges, each once with u < v.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // All 2(n-1) ordered pairs of neighboring nodes.
+  std::vector<Edge> OrderedEdges() const;
+
+  // True iff w lies in subtree(u, v), the component of T - (u, v) that
+  // contains u. Requires (u, v) to be a tree edge.
+  bool InSubtree(NodeId w, NodeId u, NodeId v) const;
+
+  // Number of nodes in subtree(u, v).
+  NodeId SubtreeSize(NodeId u, NodeId v) const;
+
+  // The u-parent of w: the neighbor of w on the path from w to u.
+  // Requires w != u.
+  NodeId UParent(NodeId w, NodeId u) const;
+
+  // First hop on the path from `from` to `to`; alias of UParent(from, to).
+  NodeId NextHop(NodeId from, NodeId to) const { return UParent(from, to); }
+
+  // Distance (edge count) between u and v.
+  NodeId Distance(NodeId u, NodeId v) const;
+
+  // Lowest common ancestor with respect to the internal root (node 0).
+  NodeId Lca(NodeId u, NodeId v) const;
+
+  // Nodes in BFS order from `root`.
+  std::vector<NodeId> BfsOrder(NodeId root) const;
+
+  // Maximum distance between any two nodes.
+  NodeId Diameter() const;
+
+  // Human-readable description, e.g. for experiment logs.
+  std::string Describe() const;
+
+  // Parent of u in the internal rooting at node 0 (kInvalidNode for 0).
+  NodeId RootedParent(NodeId u) const {
+    return u == 0 ? kInvalidNode : parent_[u];
+  }
+
+ private:
+  bool IsAncestor(NodeId a, NodeId b) const {  // a ancestor-of-or-equal b
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+  // Ancestor of u at depth d (d <= depth(u)).
+  NodeId AncestorAtDepth(NodeId u, NodeId d) const;
+
+  std::vector<NodeId> parent_;             // rooted at 0
+  std::vector<std::vector<NodeId>> adj_;   // sorted adjacency
+  std::vector<Edge> edges_;                // u < v
+  std::vector<NodeId> depth_;
+  std::vector<NodeId> tin_, tout_;         // Euler intervals
+  std::vector<NodeId> rooted_size_;        // size of rooted subtree
+  std::vector<std::vector<NodeId>> up_;    // binary lifting table
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_TREE_TOPOLOGY_H_

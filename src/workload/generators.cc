@@ -1,0 +1,207 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace treeagg {
+namespace {
+
+// Samples a node from a Zipf(s) distribution over [0, n) via inverse CDF on
+// a precomputed table. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(NodeId n, double s) : cdf_(static_cast<std::size_t>(n)) {
+    double total = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[static_cast<std::size_t>(i)] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  NodeId Sample(Rng& rng) const {
+    const double r = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+    return static_cast<NodeId>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+Real RandomValue(Rng& rng, Real lo, Real hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+}  // namespace
+
+RequestSequence MakeMixed(const Tree& tree, const MixedWorkloadConfig& config,
+                          Rng& rng) {
+  ZipfSampler sampler(tree.size(), config.zipf_s);
+  RequestSequence sigma;
+  sigma.reserve(config.length);
+  for (std::size_t i = 0; i < config.length; ++i) {
+    const NodeId node = sampler.Sample(rng);
+    if (rng.NextBool(config.write_fraction)) {
+      sigma.push_back(
+          Request::Write(node, RandomValue(rng, config.value_lo, config.value_hi)));
+    } else {
+      sigma.push_back(Request::Combine(node));
+    }
+  }
+  return sigma;
+}
+
+RequestSequence MakeBursty(const Tree& tree, std::size_t length,
+                           std::size_t phase_len, Rng& rng) {
+  if (phase_len == 0) throw std::invalid_argument("MakeBursty: phase_len == 0");
+  RequestSequence sigma;
+  sigma.reserve(length);
+  bool write_phase = false;
+  while (sigma.size() < length) {
+    // Each phase concentrates activity on a random half of the nodes.
+    std::vector<NodeId> hot;
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (rng.NextBool(0.5)) hot.push_back(v);
+    }
+    if (hot.empty()) hot.push_back(static_cast<NodeId>(
+        rng.NextBounded(static_cast<std::uint64_t>(tree.size()))));
+    const double wf = write_phase ? 0.9 : 0.1;
+    for (std::size_t i = 0; i < phase_len && sigma.size() < length; ++i) {
+      const NodeId node = hot[rng.NextBounded(hot.size())];
+      if (rng.NextBool(wf)) {
+        sigma.push_back(Request::Write(node, RandomValue(rng, 0, 100)));
+      } else {
+        sigma.push_back(Request::Combine(node));
+      }
+    }
+    write_phase = !write_phase;
+  }
+  return sigma;
+}
+
+RequestSequence MakeHotspot(const Tree& tree, std::size_t length,
+                            std::size_t num_hot, double hot_fraction,
+                            double write_fraction, Rng& rng) {
+  num_hot = std::min<std::size_t>(num_hot, static_cast<std::size_t>(tree.size()));
+  if (num_hot == 0) num_hot = 1;
+  // Pick distinct hot nodes by partial Fisher-Yates.
+  std::vector<NodeId> nodes(static_cast<std::size_t>(tree.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) nodes[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < num_hot; ++i) {
+    const std::size_t j = i + rng.NextBounded(nodes.size() - i);
+    std::swap(nodes[i], nodes[j]);
+  }
+  RequestSequence sigma;
+  sigma.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    NodeId node;
+    if (rng.NextBool(hot_fraction)) {
+      node = nodes[rng.NextBounded(num_hot)];
+    } else {
+      node = static_cast<NodeId>(
+          rng.NextBounded(static_cast<std::uint64_t>(tree.size())));
+    }
+    if (rng.NextBool(write_fraction)) {
+      sigma.push_back(Request::Write(node, RandomValue(rng, 0, 100)));
+    } else {
+      sigma.push_back(Request::Combine(node));
+    }
+  }
+  return sigma;
+}
+
+RequestSequence MakeAdversarial(NodeId reader, NodeId writer, int a, int b,
+                                std::size_t periods) {
+  assert(a >= 1 && b >= 1);
+  RequestSequence sigma;
+  sigma.reserve(periods * static_cast<std::size_t>(a + b));
+  for (std::size_t p = 0; p < periods; ++p) {
+    for (int i = 0; i < a; ++i) sigma.push_back(Request::Combine(reader));
+    for (int i = 0; i < b; ++i) {
+      sigma.push_back(Request::Write(writer, static_cast<Real>(p * b + i)));
+    }
+  }
+  return sigma;
+}
+
+RequestSequence MakePingPong(NodeId reader, NodeId writer,
+                             std::size_t rounds, int writes_per_round) {
+  assert(writes_per_round >= 1);
+  RequestSequence sigma;
+  sigma.reserve(rounds * static_cast<std::size_t>(writes_per_round + 1));
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (int w = 0; w < writes_per_round; ++w) {
+      sigma.push_back(Request::Write(
+          writer, static_cast<Real>(r * static_cast<std::size_t>(
+                                            writes_per_round) +
+                                    static_cast<std::size_t>(w))));
+    }
+    sigma.push_back(Request::Combine(reader));
+  }
+  return sigma;
+}
+
+RequestSequence MakeRoundRobin(const Tree& tree, std::size_t rounds) {
+  RequestSequence sigma;
+  sigma.reserve(rounds * 2 * static_cast<std::size_t>(tree.size()));
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      sigma.push_back(Request::Write(v, static_cast<Real>(r + v)));
+    }
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      sigma.push_back(Request::Combine(v));
+    }
+  }
+  return sigma;
+}
+
+RequestSequence MakeReadHeavy(const Tree& tree, std::size_t length, Rng& rng) {
+  MixedWorkloadConfig config;
+  config.length = length;
+  config.write_fraction = 0.05;
+  return MakeMixed(tree, config, rng);
+}
+
+RequestSequence MakeWriteHeavy(const Tree& tree, std::size_t length, Rng& rng) {
+  MixedWorkloadConfig config;
+  config.length = length;
+  config.write_fraction = 0.95;
+  return MakeMixed(tree, config, rng);
+}
+
+RequestSequence MakeWorkload(const std::string& name, const Tree& tree,
+                             std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  if (name == "mixed25" || name == "mixed50" || name == "mixed75") {
+    MixedWorkloadConfig config;
+    config.length = length;
+    config.write_fraction = (name == "mixed25") ? 0.25
+                            : (name == "mixed50") ? 0.50
+                                                  : 0.75;
+    return MakeMixed(tree, config, rng);
+  }
+  if (name == "bursty") return MakeBursty(tree, length, std::max<std::size_t>(10, length / 10), rng);
+  if (name == "hotspot") {
+    return MakeHotspot(tree, length, std::max<std::size_t>(1, static_cast<std::size_t>(tree.size()) / 8),
+                       0.8, 0.5, rng);
+  }
+  if (name == "readheavy") return MakeReadHeavy(tree, length, rng);
+  if (name == "writeheavy") return MakeWriteHeavy(tree, length, rng);
+  if (name == "roundrobin") {
+    const std::size_t per_round = 2 * static_cast<std::size_t>(tree.size());
+    return MakeRoundRobin(tree, std::max<std::size_t>(1, length / per_round));
+  }
+  throw std::invalid_argument("MakeWorkload: unknown workload " + name);
+}
+
+const std::vector<std::string>& AllWorkloadNames() {
+  static const std::vector<std::string> kNames = {
+      "mixed25", "mixed50",   "mixed75",    "bursty",
+      "hotspot", "readheavy", "writeheavy", "roundrobin"};
+  return kNames;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,77 @@
+// Request-sequence (workload) generators.
+//
+// The paper's motivation (Section 1) contrasts read-dominated and
+// write-dominated workloads and workloads whose active nodes shift over
+// time; Theorem 3's lower bound uses the adversarial ADV(a, b) pattern.
+// These generators realize all of those, deterministically from a seed.
+#ifndef TREEAGG_WORKLOAD_GENERATORS_H_
+#define TREEAGG_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+// Configuration for the mixed random workload.
+struct MixedWorkloadConfig {
+  std::size_t length = 1000;
+  double write_fraction = 0.5;  // probability a request is a write
+  double zipf_s = 0.0;          // 0 => uniform node choice; >0 => Zipf(s)
+  Real value_lo = 0.0;          // write arguments drawn uniformly
+  Real value_hi = 100.0;
+};
+
+// Random mixed workload over all nodes of the tree.
+RequestSequence MakeMixed(const Tree& tree, const MixedWorkloadConfig& config,
+                          Rng& rng);
+
+// Bursty workload: alternates read-dominated and write-dominated phases of
+// `phase_len` requests each. Models the "different nodes exhibit activity at
+// different times" motivation: each phase also picks a fresh hotspot node
+// set.
+RequestSequence MakeBursty(const Tree& tree, std::size_t length,
+                           std::size_t phase_len, Rng& rng);
+
+// Hotspot workload: `hot_fraction` of requests target a fixed set of
+// `num_hot` nodes; ops mixed by write_fraction.
+RequestSequence MakeHotspot(const Tree& tree, std::size_t length,
+                            std::size_t num_hot, double hot_fraction,
+                            double write_fraction, Rng& rng);
+
+// Theorem 3's adversary on a two-node tree {u, v}: repeats `periods` times
+// [a combines at reader, then b writes at writer].
+RequestSequence MakeAdversarial(NodeId reader, NodeId writer, int a, int b,
+                                std::size_t periods);
+
+// Ping-pong between one writer and one reader: repeats `rounds` times
+// [writes_per_round writes at writer, then one combine at reader]. The
+// cost of a round scales with the tree distance between the two — the
+// workload behind the distance-scaling bench.
+RequestSequence MakePingPong(NodeId reader, NodeId writer,
+                             std::size_t rounds, int writes_per_round = 1);
+
+// Round-robin: every node writes, then every node combines, repeated.
+// The Astrolabe-friendly workload (all readers everywhere).
+RequestSequence MakeRoundRobin(const Tree& tree, std::size_t rounds);
+
+// Write-once-read-many at distinct nodes (the MDS-2-unfriendly workload).
+RequestSequence MakeReadHeavy(const Tree& tree, std::size_t length, Rng& rng);
+
+// Many writes, occasional reads (the Astrolabe-unfriendly workload).
+RequestSequence MakeWriteHeavy(const Tree& tree, std::size_t length, Rng& rng);
+
+// Named dispatch for sweeps: "mixed25", "mixed50", "mixed75", "bursty",
+// "hotspot", "readheavy", "writeheavy", "roundrobin".
+RequestSequence MakeWorkload(const std::string& name, const Tree& tree,
+                             std::size_t length, std::uint64_t seed);
+
+const std::vector<std::string>& AllWorkloadNames();
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_WORKLOAD_GENERATORS_H_

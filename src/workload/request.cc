@@ -1,0 +1,35 @@
+#include "workload/request.h"
+
+#include <ostream>
+
+namespace treeagg {
+
+const char* ToString(ReqType t) {
+  switch (t) {
+    case ReqType::kCombine:
+      return "combine";
+    case ReqType::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Request& r) {
+  os << ToString(r.op) << "@" << r.node;
+  if (r.op == ReqType::kWrite) os << "(" << r.arg << ")";
+  return os;
+}
+
+RequestMix CountMix(const RequestSequence& sigma) {
+  RequestMix mix;
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      ++mix.combines;
+    } else {
+      ++mix.writes;
+    }
+  }
+  return mix;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,46 @@
+// Requests as defined in Section 2 of the paper: a request is a tuple
+// (node, op, arg, retval) where op is `combine` (return the global aggregate
+// at node) or `write` (set node's local value to arg).
+#ifndef TREEAGG_WORKLOAD_REQUEST_H_
+#define TREEAGG_WORKLOAD_REQUEST_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+enum class ReqType { kCombine, kWrite };
+
+const char* ToString(ReqType t);
+
+struct Request {
+  NodeId node = kInvalidNode;
+  ReqType op = ReqType::kCombine;
+  Real arg = 0;  // write argument; ignored for combines
+
+  static Request Combine(NodeId node) { return {node, ReqType::kCombine, 0}; }
+  static Request Write(NodeId node, Real arg) {
+    return {node, ReqType::kWrite, arg};
+  }
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Request& r);
+
+// A request sequence sigma, plus bookkeeping helpers.
+using RequestSequence = std::vector<Request>;
+
+// Counts of each op type in a sequence.
+struct RequestMix {
+  std::size_t combines = 0;
+  std::size_t writes = 0;
+};
+RequestMix CountMix(const RequestSequence& sigma);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_WORKLOAD_REQUEST_H_

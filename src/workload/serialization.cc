@@ -1,0 +1,65 @@
+#include "workload/serialization.h"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace treeagg {
+
+RequestSequence ReadWorkload(std::istream& in) {
+  RequestSequence sigma;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op[0] == '#') continue;
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("workload line " +
+                                  std::to_string(line_number) + ": " + why);
+    };
+    if (op == "C" || op == "c") {
+      long node = 0;
+      if (!(ls >> node) || node < 0) fail("expected 'C <node>'");
+      sigma.push_back(Request::Combine(static_cast<NodeId>(node)));
+    } else if (op == "W" || op == "w") {
+      long node = 0;
+      Real value = 0;
+      if (!(ls >> node >> value) || node < 0) {
+        fail("expected 'W <node> <value>'");
+      }
+      sigma.push_back(Request::Write(static_cast<NodeId>(node), value));
+    } else {
+      fail("unknown op '" + op + "'");
+    }
+    std::string extra;
+    if (ls >> extra) fail("trailing tokens");
+  }
+  return sigma;
+}
+
+void WriteWorkload(std::ostream& out, const RequestSequence& sigma) {
+  out << std::setprecision(std::numeric_limits<Real>::max_digits10);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      out << "C " << r.node << "\n";
+    } else {
+      out << "W " << r.node << " " << r.arg << "\n";
+    }
+  }
+}
+
+RequestSequence WorkloadFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadWorkload(in);
+}
+
+std::string WorkloadToString(const RequestSequence& sigma) {
+  std::ostringstream out;
+  WriteWorkload(out, sigma);
+  return out.str();
+}
+
+}  // namespace treeagg

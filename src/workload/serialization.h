@@ -1,0 +1,25 @@
+// Text serialization of request sequences: one request per line,
+//   "C <node>"            — combine at node
+//   "W <node> <value>"    — write value at node
+// Lines beginning with '#' and blank lines are ignored. Round-trips
+// exactly (values are printed with max_digits10 precision).
+#ifndef TREEAGG_WORKLOAD_SERIALIZATION_H_
+#define TREEAGG_WORKLOAD_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/request.h"
+
+namespace treeagg {
+
+RequestSequence WorkloadFromString(const std::string& text);
+std::string WorkloadToString(const RequestSequence& sigma);
+
+// Stream variants (for file I/O without loading into a string).
+RequestSequence ReadWorkload(std::istream& in);
+void WriteWorkload(std::ostream& out, const RequestSequence& sigma);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_WORKLOAD_SERIALIZATION_H_

@@ -1,0 +1,90 @@
+#include "analysis/competitive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(CompetitiveTest, ReportFieldsConsistent) {
+  Tree t = MakeKary(7, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 200, 3);
+  const CompetitiveReport report =
+      RunCompetitive(t, RwwFactory(), "RWW", sigma);
+  EXPECT_TRUE(report.strict_ok) << report.strict_error;
+  EXPECT_TRUE(report.partition_ok);
+  EXPECT_EQ(report.edges.size(), 2u * static_cast<std::size_t>(t.size() - 1));
+  std::int64_t sum = 0;
+  for (const EdgeReport& e : report.edges) sum += e.online_cost;
+  EXPECT_EQ(sum, report.online_total);
+}
+
+TEST(CompetitiveTest, RwwWithinFiveHalvesOfLeaseOpt) {
+  // Theorem 1, empirically: on every tree/workload pairing, RWW's total and
+  // per-edge costs stay within 5/2 of the per-edge offline optimum.
+  for (const std::string shape : {"path", "star", "kary2", "random"}) {
+    Tree t = MakeShape(shape, 16, 5);
+    for (const std::string wl : {"mixed25", "mixed50", "mixed75", "bursty"}) {
+      const RequestSequence sigma = MakeWorkload(wl, t, 400, 7);
+      const CompetitiveReport report =
+          RunCompetitive(t, RwwFactory(), "RWW", sigma);
+      EXPECT_TRUE(report.strict_ok) << shape << "/" << wl;
+      EXPECT_LE(report.RatioVsLeaseOpt(), 2.5 + 1e-12) << shape << "/" << wl;
+      EXPECT_LE(report.WorstEdgeRatio(), 2.5 + 1e-12) << shape << "/" << wl;
+      for (const EdgeReport& e : report.edges) {
+        // RWW is silent whenever OPT is (no additive term, Lemma 4.6).
+        if (e.opt_cost == 0) {
+          EXPECT_EQ(e.online_cost, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompetitiveTest, AdversarialSequenceApproachesFiveHalves) {
+  Tree t({0, 0});
+  const RequestSequence sigma = MakeAdversarial(1, 0, 1, 2, 200);
+  const CompetitiveReport report =
+      RunCompetitive(t, RwwFactory(), "RWW", sigma);
+  EXPECT_NEAR(report.RatioVsLeaseOpt(), 2.5, 0.02);
+}
+
+TEST(CompetitiveTest, RwwWithinFiveOfNiceBoundAsymptotically) {
+  // Theorem 2, empirically, on a churny workload where the additive
+  // lease-set-up term washes out.
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 3000, 9);
+  const CompetitiveReport report =
+      RunCompetitive(t, RwwFactory(), "RWW", sigma);
+  ASSERT_GT(report.nice_bound_total, 0);
+  EXPECT_LE(report.RatioVsNiceBound(), 5.0 + 0.5);
+}
+
+TEST(CompetitiveTest, EmptySequenceGivesZeroEverything) {
+  Tree t = MakePath(4);
+  const CompetitiveReport report = RunCompetitive(t, RwwFactory(), "RWW", {});
+  EXPECT_EQ(report.online_total, 0);
+  EXPECT_EQ(report.lease_opt_total, 0);
+  EXPECT_EQ(report.RatioVsLeaseOpt(), 0.0);
+  EXPECT_EQ(report.WorstEdgeRatio(), 0.0);
+}
+
+TEST(CompetitiveTest, PushAllCanExceedFiveHalvesOnWriteHeavy) {
+  // The static strategy is NOT competitive: write floods make it
+  // arbitrarily worse than the offline optimum.
+  Tree t = MakeKary(15, 2);
+  RequestSequence sigma;
+  for (NodeId u = 0; u < t.size(); ++u) sigma.push_back(Request::Combine(u));
+  for (int i = 0; i < 500; ++i) {
+    sigma.push_back(Request::Write(static_cast<NodeId>(i % t.size()), i));
+  }
+  const CompetitiveReport report =
+      RunCompetitive(t, PushAllFactory(), "push-all", sigma);
+  EXPECT_GT(report.RatioVsLeaseOpt(), 2.5);
+}
+
+}  // namespace
+}  // namespace treeagg

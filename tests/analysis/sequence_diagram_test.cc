@@ -1,0 +1,84 @@
+#include "analysis/sequence_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+Message Make(MsgType type, NodeId from, NodeId to) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+TEST(SequenceDiagramTest, HeaderListsNodes) {
+  const std::string s = RenderSequenceDiagram({}, 3);
+  EXPECT_NE(s.find("node:"), std::string::npos);
+  EXPECT_NE(s.find("0"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(SequenceDiagramTest, RightwardArrow) {
+  const std::string s =
+      RenderSequenceDiagram({Make(MsgType::kProbe, 0, 2)}, 3);
+  // Sender o, 9-dash shaft (two 5-wide lanes minus the endpoints),
+  // receiver >.
+  EXPECT_NE(s.find("probe"), std::string::npos);
+  EXPECT_NE(s.find("o--------->"), std::string::npos);
+}
+
+TEST(SequenceDiagramTest, LeftwardArrow) {
+  const std::string s =
+      RenderSequenceDiagram({Make(MsgType::kResponse, 2, 0)}, 3);
+  EXPECT_NE(s.find("<---------o"), std::string::npos);
+}
+
+TEST(SequenceDiagramTest, BystanderLanesShowPipes) {
+  const std::string s =
+      RenderSequenceDiagram({Make(MsgType::kUpdate, 1, 2)}, 4);
+  // Node 0 and node 3 are bystanders.
+  const std::size_t row = s.find("update");
+  ASSERT_NE(row, std::string::npos);
+  const std::string line = s.substr(row, s.find('\n', row) - row);
+  EXPECT_EQ(line.find('|'), 9u);          // node 0 lane
+  EXPECT_NE(line.find("o"), std::string::npos);
+}
+
+TEST(SequenceDiagramTest, RangeSelectsSubset) {
+  const std::vector<Message> log = {Make(MsgType::kProbe, 0, 1),
+                                    Make(MsgType::kRelease, 1, 0)};
+  const std::string s = RenderSequenceDiagram(log, 2, 1, 2);
+  EXPECT_EQ(s.find("probe"), std::string::npos);
+  EXPECT_NE(s.find("release"), std::string::npos);
+}
+
+TEST(SequenceDiagramTest, RendersRealProtocolRun) {
+  Tree t = MakePath(3);
+  AggregationSystem::Options options;
+  options.keep_message_log = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Combine(0);
+  const std::string s =
+      RenderSequenceDiagram(sys.trace().log(), t.size());
+  // Two probes out, two responses back.
+  std::size_t probes = 0, responses = 0;
+  for (std::size_t pos = 0; (pos = s.find("probe", pos)) != std::string::npos;
+       ++pos) {
+    ++probes;
+  }
+  for (std::size_t pos = 0;
+       (pos = s.find("response", pos)) != std::string::npos; ++pos) {
+    ++responses;
+  }
+  EXPECT_EQ(probes, 2u);
+  EXPECT_EQ(responses, 2u);
+}
+
+}  // namespace
+}  // namespace treeagg

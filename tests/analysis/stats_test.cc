@@ -1,0 +1,69 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace treeagg {
+namespace {
+
+TEST(SummarizeTest, EmptyInputYieldsZeros) {
+  const SummaryStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTest, SingleSample) {
+  const SummaryStats s = Summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.p99, 7.0);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+}
+
+TEST(SummarizeTest, KnownDistribution) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const SummaryStats s = Summarize(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(SummarizeTest, UnsortedInputHandled) {
+  const SummaryStats s = Summarize({5.0, 1.0, 3.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.p50, 3.0);
+  EXPECT_EQ(s.max, 5.0);
+}
+
+TEST(LatencyTest, ExtractsCombineLatencies) {
+  History h;
+  const ReqId w = h.BeginWrite(0, 1.0, 10);
+  h.CompleteWrite(w, 10);
+  const ReqId c1 = h.BeginCombine(1, 20);
+  h.CompleteCombine(c1, 1.0, {}, 0, 25);  // latency 5
+  const ReqId c2 = h.BeginCombine(1, 30);
+  h.CompleteCombine(c2, 1.0, {}, 0, 45);  // latency 15
+  const LatencyReport report = LatencyFromHistory(h);
+  EXPECT_EQ(report.writes, 1u);
+  EXPECT_EQ(report.combines, 2u);
+  EXPECT_EQ(report.combine_latency.count, 2u);
+  EXPECT_NEAR(report.combine_latency.mean, 10.0, 1e-9);
+  EXPECT_EQ(report.combine_latency.max, 15.0);
+}
+
+TEST(LatencyTest, IncompleteCombinesExcludedFromSamples) {
+  History h;
+  h.BeginCombine(0, 5);  // never completes
+  const LatencyReport report = LatencyFromHistory(h);
+  EXPECT_EQ(report.combines, 1u);
+  EXPECT_EQ(report.combine_latency.count, 0u);
+}
+
+}  // namespace
+}  // namespace treeagg

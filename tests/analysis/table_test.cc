@@ -1,0 +1,38 @@
+#include "analysis/table.h"
+
+#include <gtest/gtest.h>
+
+namespace treeagg {
+namespace {
+
+TEST(TableTest, FormatsAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorsPresent) {
+  TextTable table({"h"});
+  table.AddRow({"x"});
+  const std::string s = table.ToString();
+  // Three separator lines: top, under header, bottom.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = s.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Fmt(2.5), "2.50");
+  EXPECT_EQ(Fmt(2.5, 0), "2");  // rounds-to-even is fine ("2")
+  EXPECT_EQ(Fmt(1.0 / 3.0, 4), "0.3333");
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,147 @@
+#include "consistency/causal_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/concurrent.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+// Sequential executions are causally consistent a fortiori; the checker
+// must accept any sequential lease-based run.
+TEST(CausalCheckerTest, AcceptsSequentialExecution) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem::Options options;
+  options.ghost_logging = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Execute(MakeWorkload("mixed50", t, 120, 17));
+  const CheckResult r = CheckCausalConsistency(sys.history(),
+                                               sys.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(CausalCheckerTest, AcceptsConcurrentExecution) {
+  Tree t = MakePath(5);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 7;
+  options.seed = 3;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  Rng rng(9);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 150, 21);
+  sim.Run(ScheduleWithGaps(sigma, 3, rng));
+  ASSERT_TRUE(sim.history().AllCompleted());
+  const CheckResult r = CheckCausalConsistency(sim.history(),
+                                               sim.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+// Failure injection: corrupt a combine's return value; compatibility must
+// catch it.
+TEST(CausalCheckerTest, DetectsIncompatibleCombineValue) {
+  Tree t = MakePath(3);
+  AggregationSystem::Options options;
+  options.ghost_logging = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Write(0, 5.0);
+  sys.Combine(2);
+
+  History h;  // rebuild with a corrupted retval
+  for (const RequestRecord& r : sys.history().records()) {
+    if (r.op == ReqType::kWrite) {
+      const ReqId id = h.BeginWrite(r.node, r.arg, r.initiated_at);
+      h.CompleteWrite(id, r.completed_at);
+    } else {
+      const ReqId id = h.BeginCombine(r.node, r.initiated_at);
+      h.CompleteCombine(id, r.retval + 1.0, r.gather, r.log_prefix,
+                        r.completed_at);
+    }
+  }
+  const CheckResult r = CheckCausalConsistency(h, sys.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("incompatible"), std::string::npos);
+}
+
+// Failure injection: a gather claiming to have read a write that its node's
+// log prefix cannot contain violates the serialization check.
+TEST(CausalCheckerTest, DetectsFutureRead) {
+  History h;
+  std::int64_t t = 0;
+  const ReqId w = h.BeginWrite(0, 3.0, t++);
+  h.CompleteWrite(w, t++);
+  const ReqId c = h.BeginCombine(1, t++);
+  // Combine claims to return the write but with log_prefix 0 (placing the
+  // gather before any write in node 1's log).
+  h.CompleteCombine(c, 3.0, {{0, w}}, 0, t++);
+  std::vector<NodeGhostState> ghosts(2);
+  ghosts[0].node = 0;
+  ghosts[0].write_log = {{w, 0}};
+  ghosts[1].node = 1;
+  ghosts[1].write_log = {{w, 0}};
+  const CheckResult r = CheckCausalConsistency(h, ghosts, SumOp(), 2);
+  EXPECT_FALSE(r.ok);
+}
+
+// Failure injection: two nodes observing two writes of one writer in
+// opposite orders cannot both serialize program order.
+TEST(CausalCheckerTest, DetectsProgramOrderInversion) {
+  History h;
+  std::int64_t t = 0;
+  const ReqId w1 = h.BeginWrite(0, 1.0, t++);
+  h.CompleteWrite(w1, t++);
+  const ReqId w2 = h.BeginWrite(0, 2.0, t++);
+  h.CompleteWrite(w2, t++);
+  std::vector<NodeGhostState> ghosts(2);
+  ghosts[0].node = 0;
+  ghosts[0].write_log = {{w1, 0}, {w2, 0}};
+  ghosts[1].node = 1;
+  ghosts[1].write_log = {{w2, 0}, {w1, 0}};  // inverted arrival order
+  const CheckResult r = CheckCausalConsistency(h, ghosts, SumOp(), 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("causal order"), std::string::npos);
+}
+
+TEST(CausalCheckerTest, RejectsIncompleteHistory) {
+  History h;
+  h.BeginCombine(0, 0);
+  const CheckResult r = CheckCausalConsistency(h, {NodeGhostState{0, {}}},
+                                               SumOp(), 1);
+  EXPECT_FALSE(r.ok);
+}
+
+// Property sweep: every lease policy is causally consistent under
+// concurrency (Theorem 4 is policy-independent).
+class CausalPolicySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CausalPolicySweep, AllPoliciesCausallyConsistent) {
+  const auto policies = StandardPolicies();
+  const NamedPolicy& policy =
+      policies[static_cast<std::size_t>(GetParam())];
+  Tree t = MakeKary(9, 2);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 9;
+  options.seed = 100 + static_cast<std::uint64_t>(GetParam());
+  ConcurrentSimulator sim(t, policy.factory, options);
+  Rng rng(options.seed);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 200, options.seed);
+  sim.Run(ScheduleWithGaps(sigma, 2, rng));
+  ASSERT_TRUE(sim.history().AllCompleted()) << policy.name;
+  const CheckResult r = CheckCausalConsistency(sim.history(),
+                                               sim.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_TRUE(r.ok) << policy.name << ": " << r.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CausalPolicySweep,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace treeagg

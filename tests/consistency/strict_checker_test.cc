@@ -1,0 +1,98 @@
+#include "consistency/strict_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace treeagg {
+namespace {
+
+History MakeSimpleHistory() {
+  History h;
+  std::int64_t t = 0;
+  const ReqId w0 = h.BeginWrite(0, 5.0, t++);
+  h.CompleteWrite(w0, t++);
+  const ReqId c0 = h.BeginCombine(1, t++);
+  h.CompleteCombine(c0, 5.0, {}, 0, t++);
+  const ReqId w1 = h.BeginWrite(2, 2.0, t++);
+  h.CompleteWrite(w1, t++);
+  const ReqId c1 = h.BeginCombine(0, t++);
+  h.CompleteCombine(c1, 7.0, {}, 0, t++);
+  return h;
+}
+
+TEST(StrictCheckerTest, AcceptsCorrectHistory) {
+  const History h = MakeSimpleHistory();
+  EXPECT_TRUE(CheckStrictConsistency(h, SumOp(), 3).ok);
+}
+
+TEST(StrictCheckerTest, RejectsWrongCombineValue) {
+  History h;
+  std::int64_t t = 0;
+  const ReqId w0 = h.BeginWrite(0, 5.0, t++);
+  h.CompleteWrite(w0, t++);
+  const ReqId c0 = h.BeginCombine(1, t++);
+  h.CompleteCombine(c0, 4.0, {}, 0, t++);  // should be 5.0
+  const CheckResult r = CheckStrictConsistency(h, SumOp(), 3);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("combine"), std::string::npos);
+}
+
+TEST(StrictCheckerTest, RejectsStaleRead) {
+  History h;
+  std::int64_t t = 0;
+  ReqId w = h.BeginWrite(0, 1.0, t++);
+  h.CompleteWrite(w, t++);
+  w = h.BeginWrite(0, 9.0, t++);  // overwrite
+  h.CompleteWrite(w, t++);
+  const ReqId c = h.BeginCombine(1, t++);
+  h.CompleteCombine(c, 1.0, {}, 0, t++);  // stale: pre-overwrite value
+  EXPECT_FALSE(CheckStrictConsistency(h, SumOp(), 2).ok);
+}
+
+TEST(StrictCheckerTest, RejectsIncompleteHistory) {
+  History h;
+  h.BeginCombine(0, 0);
+  EXPECT_FALSE(CheckStrictConsistency(h, SumOp(), 1).ok);
+}
+
+TEST(StrictCheckerTest, MinOperatorWithNoWritesExpectsIdentity) {
+  History h;
+  const ReqId c = h.BeginCombine(0, 0);
+  h.CompleteCombine(c, MinOp().identity, {}, 0, 1);
+  EXPECT_TRUE(CheckStrictConsistency(h, MinOp(), 2).ok);
+}
+
+TEST(StrictCheckerTest, MinOperatorRejectsWrongIdentityHandling) {
+  History h;
+  const ReqId c = h.BeginCombine(0, 0);
+  h.CompleteCombine(c, 0.0, {}, 0, 1);  // 0 != +inf
+  EXPECT_FALSE(CheckStrictConsistency(h, MinOp(), 2).ok);
+}
+
+TEST(StrictCheckerTest, ToleratesTinyFloatingPointError) {
+  History h;
+  std::int64_t t = 0;
+  const ReqId w = h.BeginWrite(0, 0.1, t++);
+  h.CompleteWrite(w, t++);
+  const ReqId c = h.BeginCombine(0, t++);
+  h.CompleteCombine(c, 0.1 + 1e-13, {}, 0, t++);
+  EXPECT_TRUE(CheckStrictConsistency(h, SumOp(), 1).ok);
+}
+
+TEST(HistoryTest, NodeIndexCountsPerNodeCompletions) {
+  const History h = MakeSimpleHistory();
+  EXPECT_EQ(h.record(0).node_index, 0);  // first at node 0
+  EXPECT_EQ(h.record(3).node_index, 1);  // second at node 0
+  EXPECT_EQ(h.record(1).node_index, 0);  // first at node 1
+  EXPECT_TRUE(h.AllCompleted());
+}
+
+TEST(HistoryTest, ClearResets) {
+  History h = MakeSimpleHistory();
+  h.Clear();
+  EXPECT_EQ(h.size(), 0u);
+  const ReqId id = h.BeginWrite(5, 1.0, 0);
+  EXPECT_EQ(id, 0);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,82 @@
+#include "core/aggregate_op.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace treeagg {
+namespace {
+
+TEST(AggregateOpTest, SumBasics) {
+  const AggregateOp& op = SumOp();
+  EXPECT_EQ(op.identity, 0.0);
+  EXPECT_EQ(op(2.0, 3.0), 5.0);
+  EXPECT_EQ(op(op.identity, 7.0), 7.0);
+}
+
+TEST(AggregateOpTest, MinIdentityIsAbsorbing) {
+  const AggregateOp& op = MinOp();
+  EXPECT_EQ(op(op.identity, -5.0), -5.0);
+  EXPECT_EQ(op(3.0, 8.0), 3.0);
+  EXPECT_TRUE(std::isinf(op.identity));
+}
+
+TEST(AggregateOpTest, MaxIdentityIsAbsorbing) {
+  const AggregateOp& op = MaxOp();
+  EXPECT_EQ(op(op.identity, -5.0), -5.0);
+  EXPECT_EQ(op(3.0, 8.0), 8.0);
+}
+
+TEST(AggregateOpTest, BoolOr) {
+  const AggregateOp& op = BoolOrOp();
+  EXPECT_EQ(op(0.0, 0.0), 0.0);
+  EXPECT_EQ(op(1.0, 0.0), 1.0);
+  EXPECT_EQ(op(op.identity, 1.0), 1.0);
+}
+
+TEST(AggregateOpTest, LookupByName) {
+  EXPECT_STREQ(OpByName("sum").name, "sum");
+  EXPECT_STREQ(OpByName("min").name, "min");
+  EXPECT_STREQ(OpByName("max").name, "max");
+  EXPECT_STREQ(OpByName("or").name, "or");
+  EXPECT_THROW(OpByName("median"), std::invalid_argument);
+}
+
+// Property: each built-in operator is commutative and associative with the
+// declared identity, over a sample grid.
+class OpLawsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OpLawsTest, CommutativeAssociativeWithIdentity) {
+  const AggregateOp& op = OpByName(GetParam());
+  const double samples[] = {-3.5, -1.0, 0.0, 0.5, 2.0, 9.25};
+  for (const double a : samples) {
+    EXPECT_EQ(op(a, op.identity), a);
+    EXPECT_EQ(op(op.identity, a), a);
+    for (const double b : samples) {
+      EXPECT_EQ(op(a, b), op(b, a));
+      for (const double c : samples) {
+        EXPECT_EQ(op(op(a, b), c), op(a, op(b, c)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpLawsTest,
+                         ::testing::Values("sum", "min", "max"));
+
+// "or" is associative only over {0, 1}; test it on its own domain.
+TEST(AggregateOpTest, BoolOrLawsOnBooleanDomain) {
+  const AggregateOp& op = BoolOrOp();
+  for (const double a : {0.0, 1.0}) {
+    for (const double b : {0.0, 1.0}) {
+      EXPECT_EQ(op(a, b), op(b, a));
+      for (const double c : {0.0, 1.0}) {
+        EXPECT_EQ(op(op(a, b), c), op(a, op(b, c)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,331 @@
+// White-box unit tests of the LeaseNode automaton, driven message by
+// message through a recording transport (no simulator): exact emissions
+// for T1-T6, the onrelease() uaw-trimming logic, sntupdates bookkeeping
+// and garbage collection, empty release sets, and probe sharing.
+#include "core/lease_node.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/extra_policies.h"
+#include "core/policies.h"
+
+namespace treeagg {
+namespace {
+
+class RecordingTransport final : public Transport {
+ public:
+  void Send(Message m) override { sent.push_back(std::move(m)); }
+
+  Message Pop() {
+    EXPECT_FALSE(sent.empty());
+    Message m = sent.front();
+    sent.pop_front();
+    return m;
+  }
+
+  std::deque<Message> sent;
+};
+
+struct CombineResult {
+  bool done = false;
+  CombineToken token = -1;
+  Real value = 0;
+};
+
+// A LeaseNode under test with its transport and combine-callback capture.
+struct Harness {
+  Harness(NodeId self, std::vector<NodeId> nbrs,
+          std::unique_ptr<LeasePolicy> policy, bool ghost = false)
+      : node(self, std::move(nbrs), SumOp(), std::move(policy), &transport,
+             [this](NodeId, CombineToken token, Real value) {
+               results.push_back({true, token, value});
+             },
+             ghost) {}
+
+  RecordingTransport transport;
+  std::vector<CombineResult> results;
+  LeaseNode node;
+};
+
+Message MakeResponse(NodeId from, NodeId to, Real x, bool flag) {
+  Message m;
+  m.type = MsgType::kResponse;
+  m.from = from;
+  m.to = to;
+  m.x = x;
+  m.flag = flag;
+  return m;
+}
+
+Message MakeUpdate(NodeId from, NodeId to, Real x, UpdateId id) {
+  Message m;
+  m.type = MsgType::kUpdate;
+  m.from = from;
+  m.to = to;
+  m.x = x;
+  m.id = id;
+  return m;
+}
+
+Message MakeProbe(NodeId from, NodeId to) {
+  Message m;
+  m.type = MsgType::kProbe;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+Message MakeRelease(NodeId from, NodeId to, std::vector<UpdateId> ids) {
+  Message m;
+  m.type = MsgType::kRelease;
+  m.from = from;
+  m.to = to;
+  m.release_ids = std::move(ids);
+  return m;
+}
+
+TEST(LeaseNodeUnit, T1LeafCombineProbesAllNeighbors) {
+  Harness h(0, {1, 2, 3}, std::make_unique<RwwPolicy>());
+  h.node.LocalCombine(7);
+  ASSERT_EQ(h.transport.sent.size(), 3u);
+  for (const NodeId v : {1, 2, 3}) {
+    const Message m = h.transport.Pop();
+    EXPECT_EQ(m.type, MsgType::kProbe);
+    EXPECT_EQ(m.from, 0);
+    EXPECT_EQ(m.to, v);
+  }
+  EXPECT_TRUE(h.results.empty());  // waiting for responses
+  EXPECT_TRUE(h.node.InPndg(0));
+  EXPECT_EQ(h.node.SntSize(0), 3u);
+}
+
+TEST(LeaseNodeUnit, T4ResponsesCompleteTheCombine) {
+  Harness h(0, {1, 2}, std::make_unique<RwwPolicy>());
+  h.node.LocalCombine(9);
+  h.transport.sent.clear();
+  h.node.Deliver(MakeResponse(1, 0, 5.0, true));
+  EXPECT_TRUE(h.results.empty());
+  h.node.Deliver(MakeResponse(2, 0, 2.5, false));
+  ASSERT_EQ(h.results.size(), 1u);
+  EXPECT_EQ(h.results[0].token, 9);
+  EXPECT_EQ(h.results[0].value, 7.5);
+  EXPECT_TRUE(h.node.taken(1));
+  EXPECT_FALSE(h.node.taken(2));  // flag=false response does not set taken
+  EXPECT_EQ(h.node.PndgSize(), 0u);
+}
+
+TEST(LeaseNodeUnit, T3InteriorNodeForwardsProbeAndAggregatesResponse) {
+  Harness h(1, {0, 2}, std::make_unique<RwwPolicy>());
+  h.node.LocalWrite(10.0);
+  h.node.Deliver(MakeProbe(0, 1));  // 0 asks for subtree(1, 0)'s value
+  // Node must probe 2 before it can respond to 0.
+  Message probe = h.transport.Pop();
+  EXPECT_EQ(probe.type, MsgType::kProbe);
+  EXPECT_EQ(probe.to, 2);
+  EXPECT_TRUE(h.transport.sent.empty());
+  h.node.Deliver(MakeResponse(2, 1, 4.0, true));
+  Message response = h.transport.Pop();
+  EXPECT_EQ(response.type, MsgType::kResponse);
+  EXPECT_EQ(response.to, 0);
+  EXPECT_EQ(response.x, 14.0);  // own 10 + subtree 4
+  EXPECT_TRUE(response.flag);   // RWW grants (all others taken)
+  EXPECT_TRUE(h.node.granted(0));
+}
+
+TEST(LeaseNodeUnit, ResponseFlagFollowsPolicyRefusal) {
+  Harness h(1, {0}, std::make_unique<PullAllPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));
+  const Message response = h.transport.Pop();
+  EXPECT_EQ(response.type, MsgType::kResponse);
+  EXPECT_FALSE(response.flag);
+  EXPECT_FALSE(h.node.granted(0));
+}
+
+TEST(LeaseNodeUnit, T2WriteForwardsUpdatesToGrantedOnly) {
+  Harness h(1, {0, 2}, std::make_unique<RwwPolicy>());
+  // Take 2's lease, then grant to 0.
+  h.node.Deliver(MakeProbe(0, 1));
+  h.transport.sent.clear();
+  h.node.Deliver(MakeResponse(2, 1, 4.0, true));
+  h.transport.sent.clear();
+  h.node.LocalWrite(1.0);
+  ASSERT_EQ(h.transport.sent.size(), 1u);
+  const Message update = h.transport.Pop();
+  EXPECT_EQ(update.type, MsgType::kUpdate);
+  EXPECT_EQ(update.to, 0);
+  EXPECT_EQ(update.x, 5.0);  // own 1 + subtree(2) 4
+  EXPECT_EQ(update.id, 1);   // first id from upcntr
+}
+
+TEST(LeaseNodeUnit, T5ForwardsUpdateWithFreshIdAndRecordsSntupdates) {
+  Harness h(1, {0, 2}, std::make_unique<RwwPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));
+  h.node.Deliver(MakeResponse(2, 1, 4.0, true));  // grants to 0
+  h.transport.sent.clear();
+  h.node.Deliver(MakeUpdate(2, 1, 6.0, 17));  // 2's own id namespace
+  ASSERT_EQ(h.transport.sent.size(), 1u);
+  const Message fwd = h.transport.Pop();
+  EXPECT_EQ(fwd.type, MsgType::kUpdate);
+  EXPECT_EQ(fwd.to, 0);
+  EXPECT_EQ(fwd.x, 6.0);  // own 0 + subtree(2) 6
+  EXPECT_EQ(fwd.id, 1);   // renumbered with the local counter
+  EXPECT_EQ(h.node.SntUpdatesSize(), 1u);
+  EXPECT_EQ(h.node.uaw(2).size(), 1u);
+  EXPECT_TRUE(h.node.uaw(2).count(17));
+}
+
+TEST(LeaseNodeUnit, T5AtFrontierDecrementsAndEventuallyReleases) {
+  Harness h(0, {1}, std::make_unique<RwwPolicy>());
+  h.node.LocalCombine(1);
+  h.transport.sent.clear();
+  h.node.Deliver(MakeResponse(1, 0, 4.0, true));
+  h.transport.sent.clear();
+  h.node.Deliver(MakeUpdate(1, 0, 5.0, 1));
+  EXPECT_TRUE(h.transport.sent.empty());  // lt 2 -> 1: keep
+  h.node.Deliver(MakeUpdate(1, 0, 6.0, 2));
+  ASSERT_EQ(h.transport.sent.size(), 1u);  // lt -> 0: release
+  const Message release = h.transport.Pop();
+  EXPECT_EQ(release.type, MsgType::kRelease);
+  EXPECT_EQ(release.to, 1);
+  EXPECT_EQ(release.release_ids, (std::vector<UpdateId>{1, 2}));
+  EXPECT_FALSE(h.node.taken(1));
+  EXPECT_TRUE(h.node.uaw(1).empty());
+}
+
+TEST(LeaseNodeUnit, T6OnReleaseTrimsUawViaSntupdates) {
+  // Center node 1 with taken lease from 2 and granted lease to 0.
+  Harness h(1, {0, 2}, std::make_unique<RwwPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));
+  h.node.Deliver(MakeResponse(2, 1, 0.0, true));
+  h.transport.sent.clear();
+  // Two updates from 2, forwarded to 0 as local ids 1 and 2.
+  h.node.Deliver(MakeUpdate(2, 1, 1.0, 100));
+  h.node.Deliver(MakeUpdate(2, 1, 2.0, 101));
+  EXPECT_EQ(h.node.uaw(2).size(), 2u);
+  EXPECT_EQ(h.node.SntUpdatesSize(), 2u);
+  h.transport.sent.clear();
+  // 0 releases citing both forwarded ids: everything in uaw(2) is still
+  // unacknowledged, so nothing is trimmed away; RWW's releasepolicy then
+  // drops lt[2] to 0 and node 1 cascades the release to 2.
+  h.node.Deliver(MakeRelease(0, 1, {1, 2}));
+  EXPECT_FALSE(h.node.granted(0));
+  ASSERT_EQ(h.transport.sent.size(), 1u);
+  const Message cascade = h.transport.Pop();
+  EXPECT_EQ(cascade.type, MsgType::kRelease);
+  EXPECT_EQ(cascade.to, 2);
+  EXPECT_EQ(cascade.release_ids, (std::vector<UpdateId>{100, 101}));
+  EXPECT_FALSE(h.node.taken(2));
+  // With no grants left, the sntupdates bookkeeping is collected.
+  EXPECT_EQ(h.node.SntUpdatesSize(), 0u);
+}
+
+TEST(LeaseNodeUnit, T6ReleaseCitingOnlyLatestIdTrimsOlderUawEntries) {
+  Harness h(1, {0, 2}, std::make_unique<RwwPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));
+  h.node.Deliver(MakeResponse(2, 1, 0.0, true));
+  h.node.Deliver(MakeUpdate(2, 1, 1.0, 100));  // forwarded as id 1
+  h.node.Deliver(MakeUpdate(2, 1, 2.0, 101));  // forwarded as id 2
+  h.transport.sent.clear();
+  // 0's release cites only id 2: the beta tuple is (2, rcvid=101), so the
+  // trimmed uaw keeps ids >= 101 — i.e. update 100 was acknowledged.
+  h.node.Deliver(MakeRelease(0, 1, {2}));
+  // lt[2] = 2 - |{101}| = 1 > 0: lease from 2 survives.
+  EXPECT_TRUE(h.node.taken(2));
+  EXPECT_EQ(h.node.uaw(2), (std::set<UpdateId>{101}));
+  EXPECT_TRUE(h.transport.sent.empty());
+}
+
+TEST(LeaseNodeUnit, T6EmptyReleaseSetClearsUaw) {
+  Harness h(1, {0, 2}, std::make_unique<EagerBreakPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));
+  h.node.Deliver(MakeResponse(2, 1, 0.0, true));
+  h.transport.sent.clear();
+  h.node.Deliver(MakeRelease(0, 1, {}));
+  EXPECT_FALSE(h.node.granted(0));
+  // Eager policy then releases the taken lease with an empty uaw.
+  ASSERT_EQ(h.transport.sent.size(), 1u);
+  const Message cascade = h.transport.Pop();
+  EXPECT_EQ(cascade.type, MsgType::kRelease);
+  EXPECT_TRUE(cascade.release_ids.empty());
+}
+
+TEST(LeaseNodeUnit, ProbeWhileAlreadyPendingIsAbsorbed) {
+  Harness h(1, {0, 2}, std::make_unique<RwwPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));  // probes 2, pending for 0
+  h.transport.sent.clear();
+  h.node.Deliver(MakeProbe(0, 1));  // duplicate: no new messages
+  EXPECT_TRUE(h.transport.sent.empty());
+  // The one response from 2 still answers 0 exactly once.
+  h.node.Deliver(MakeResponse(2, 1, 1.0, false));
+  ASSERT_EQ(h.transport.sent.size(), 1u);
+  EXPECT_EQ(h.transport.Pop().to, 0);
+}
+
+TEST(LeaseNodeUnit, ConcurrentLocalCombinesShareOneProbeWave) {
+  Harness h(0, {1}, std::make_unique<RwwPolicy>());
+  h.node.LocalCombine(1);
+  h.node.LocalCombine(2);
+  h.node.LocalCombine(3);
+  ASSERT_EQ(h.transport.sent.size(), 1u);  // a single probe
+  h.node.Deliver(MakeResponse(1, 0, 8.0, true));
+  ASSERT_EQ(h.results.size(), 3u);
+  for (const CombineResult& r : h.results) EXPECT_EQ(r.value, 8.0);
+}
+
+TEST(LeaseNodeUnit, RemoteAndLocalRequestsShareProbes) {
+  Harness h(1, {0, 2, 3}, std::make_unique<RwwPolicy>());
+  h.node.Deliver(MakeProbe(0, 1));  // probes 2 and 3 on behalf of 0
+  EXPECT_EQ(h.transport.sent.size(), 2u);
+  h.transport.sent.clear();
+  h.node.LocalCombine(5);  // needs 0, 2, 3; 2 and 3 already probed
+  ASSERT_EQ(h.transport.sent.size(), 1u);
+  EXPECT_EQ(h.transport.Pop().to, 0);
+  // Responses from 2 and 3 complete the remote request; 0's response then
+  // completes the local combine.
+  h.node.Deliver(MakeResponse(2, 1, 1.0, true));
+  h.node.Deliver(MakeResponse(3, 1, 2.0, true));
+  ASSERT_EQ(h.transport.sent.size(), 1u);  // response to 0
+  EXPECT_EQ(h.transport.Pop().to, 0);
+  EXPECT_TRUE(h.results.empty());
+  h.node.Deliver(MakeResponse(0, 1, 4.0, false));
+  ASSERT_EQ(h.results.size(), 1u);
+  EXPECT_EQ(h.results[0].value, 7.0);
+}
+
+TEST(LeaseNodeUnit, GhostLogTracksWritesInOrder) {
+  Harness h(0, {1}, std::make_unique<RwwPolicy>(), /*ghost=*/true);
+  h.node.LocalWrite(1.0, /*write_id=*/10);
+  h.node.LocalWrite(2.0, /*write_id=*/11);
+  ASSERT_EQ(h.node.GhostLogEntries().size(), 2u);
+  EXPECT_EQ(h.node.GhostLogEntries()[0].id, 10);
+  EXPECT_EQ(h.node.GhostLogEntries()[1].id, 11);
+  EXPECT_EQ(h.node.LastWrites().at(0), 11);
+}
+
+TEST(LeaseNodeUnit, GhostMergeDeduplicates) {
+  Harness h(0, {1}, std::make_unique<RwwPolicy>(), /*ghost=*/true);
+  auto wlog = std::make_shared<GhostLog>(
+      GhostLog{{5, 1}, {6, 1}});
+  Message m = MakeResponse(1, 0, 0.0, false);
+  m.wlog = wlog;
+  h.node.Deliver(m);
+  Message m2 = MakeUpdate(1, 0, 0.0, 1);
+  m2.wlog = std::make_shared<GhostLog>(GhostLog{{5, 1}, {6, 1}, {7, 1}});
+  h.node.Deliver(m2);
+  ASSERT_EQ(h.node.GhostLogEntries().size(), 3u);
+  EXPECT_EQ(h.node.LastWrites().at(1), 7);
+}
+
+TEST(LeaseNodeUnit, InitialValuesAreOperatorIdentity) {
+  RecordingTransport transport;
+  LeaseNode node(0, {1}, MinOp(), std::make_unique<RwwPolicy>(), &transport,
+                 [](NodeId, CombineToken, Real) {});
+  EXPECT_EQ(node.val(), MinOp().identity);
+  EXPECT_EQ(node.aval(1), MinOp().identity);
+  EXPECT_EQ(node.Gval(), MinOp().identity);
+}
+
+}  // namespace
+}  // namespace treeagg

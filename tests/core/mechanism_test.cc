@@ -1,0 +1,207 @@
+// Unit tests of the Figure 1 mechanism driven sequentially, checking the
+// message-count lemmas (3.3, 3.5) and the value invariants on explicit
+// small scenarios.
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/system.h"
+#include "test_util.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(MechanismTest, CombineOnFreshTwoNodeTreeCostsProbePlusResponse) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, RwwFactory());
+  EXPECT_EQ(sys.Combine(0), 0.0);
+  EXPECT_EQ(sys.trace().totals().probes, 1);
+  EXPECT_EQ(sys.trace().totals().responses, 1);
+  EXPECT_EQ(sys.trace().TotalMessages(), 2);
+  // RWW sets the lease during the response (Lemma 4.3 part 1).
+  EXPECT_TRUE(sys.node(1).granted(0));
+  EXPECT_TRUE(sys.node(0).taken(1));
+}
+
+TEST(MechanismTest, SecondCombineAtSameNodeIsFree) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(0);
+  const std::int64_t before = sys.trace().TotalMessages();
+  sys.Combine(0);
+  EXPECT_EQ(sys.trace().TotalMessages(), before);
+}
+
+TEST(MechanismTest, CombineReturnsSumOfWrites) {
+  Tree t = MakePath(3);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Write(0, 5.0);
+  sys.Write(1, 7.0);
+  sys.Write(2, 1.5);
+  EXPECT_EQ(sys.Combine(1), 13.5);
+  sys.Write(0, 2.0);  // overwrite
+  EXPECT_EQ(sys.Combine(1), 10.5);
+}
+
+TEST(MechanismTest, WriteWithoutLeasesSendsNothing) {
+  Tree t = MakeStar(5);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Write(2, 9.0);
+  sys.Write(0, 3.0);
+  EXPECT_EQ(sys.trace().TotalMessages(), 0);
+}
+
+TEST(MechanismTest, WriteUnderLeaseSendsUpdatesAlongLeaseGraph) {
+  Tree t = MakePath(3);  // 0-1-2
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(0);  // leases 2->1->0 set
+  const std::int64_t before = sys.trace().TotalMessages();
+  sys.Write(2, 4.0);
+  // Lemma 3.5: one update per node reachable in G(Q) from the writer.
+  EXPECT_EQ(sys.trace().totals().updates, 2);
+  EXPECT_EQ(sys.trace().TotalMessages(), before + 2);
+  EXPECT_EQ(sys.node(0).Gval(), 4.0);
+}
+
+TEST(MechanismTest, SecondConsecutiveWriteBreaksLeases) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(0);
+  sys.Write(1, 1.0);  // update only
+  EXPECT_TRUE(sys.node(1).granted(0));
+  sys.Write(1, 2.0);  // update + release (RWW breaks after 2 writes)
+  EXPECT_FALSE(sys.node(1).granted(0));
+  EXPECT_FALSE(sys.node(0).taken(1));
+  EXPECT_EQ(sys.trace().totals().updates, 2);
+  EXPECT_EQ(sys.trace().totals().releases, 1);
+  // A third write is then free.
+  const std::int64_t before = sys.trace().TotalMessages();
+  sys.Write(1, 3.0);
+  EXPECT_EQ(sys.trace().TotalMessages(), before);
+  // And the next combine still returns the correct value.
+  EXPECT_EQ(sys.Combine(0), 3.0);
+}
+
+TEST(MechanismTest, CombineRefreshesWriteBudget) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(0);
+  sys.Write(1, 1.0);
+  sys.Combine(0);      // refresh: lease budget back to 2
+  sys.Write(1, 2.0);   // 1st write after refresh: update only
+  EXPECT_TRUE(sys.node(1).granted(0));
+  sys.Write(1, 3.0);   // 2nd: update + release
+  EXPECT_FALSE(sys.node(1).granted(0));
+}
+
+TEST(MechanismTest, ProbeCountMatchesLemma33OnStar) {
+  Tree t = MakeStar(6);
+  AggregationSystem sys(t, RwwFactory());
+  // Combine at leaf 1: probes must reach hub and the other 4 leaves.
+  sys.Combine(1);
+  EXPECT_EQ(sys.trace().totals().probes, 5);
+  EXPECT_EQ(sys.trace().totals().responses, 5);
+}
+
+TEST(MechanismTest, ProbeCountMatchesLemma33WithPartialLeases) {
+  Tree t = MakePath(4);  // 0-1-2-3
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(3);  // sets leases 0->1->2->3
+  sys.Write(0, 1.0);
+  sys.Write(0, 2.0);  // breaks lease 0->1 only (release propagates from 1? no:
+  // the double write breaks the whole chain 0->1, 1->2, 2->3 per Lemma 4.3)
+  EXPECT_FALSE(sys.node(0).granted(1));
+  // A fresh combine at 3 must re-probe the broken part of the chain.
+  const std::int64_t probes_before = sys.trace().totals().probes;
+  sys.Combine(3);
+  EXPECT_GT(sys.trace().totals().probes, probes_before);
+  EXPECT_EQ(sys.Combine(3), 2.0);
+}
+
+TEST(MechanismTest, MinOperatorAggregates) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem::Options options;
+  options.op = &MinOp();
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Write(3, 5.0);
+  sys.Write(6, -2.0);
+  EXPECT_EQ(sys.Combine(0), -2.0);
+  sys.Write(6, 9.0);
+  EXPECT_EQ(sys.Combine(0), 5.0);
+}
+
+TEST(MechanismTest, MaxOperatorAggregates) {
+  Tree t = MakePath(5);
+  AggregationSystem::Options options;
+  options.op = &MaxOp();
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Write(0, -1.0);
+  sys.Write(4, -3.0);
+  EXPECT_EQ(sys.Combine(2), -1.0);
+}
+
+TEST(MechanismTest, QuiescentInvariantsHoldThroughMixedScenario) {
+  Tree t = MakeKary(9, 2);
+  AggregationSystem sys(t, RwwFactory());
+  std::vector<Real> truth(9, SumOp().identity);
+  const auto write = [&](NodeId u, Real x) {
+    sys.Write(u, x);
+    truth[static_cast<std::size_t>(u)] = x;
+    ExpectQuiescentInvariants(sys, truth);
+  };
+  const auto combine = [&](NodeId u) {
+    sys.Combine(u);
+    ExpectQuiescentInvariants(sys, truth);
+  };
+  combine(4);
+  write(0, 3.0);
+  write(8, 2.0);
+  combine(7);
+  write(8, 5.0);
+  write(8, 6.0);
+  combine(0);
+  write(1, -4.0);
+  combine(8);
+}
+
+TEST(MechanismTest, GvalAndSubvalAgreeWithTruth) {
+  Tree t = MakePath(4);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Write(0, 1.0);
+  sys.Write(1, 2.0);
+  sys.Write(2, 3.0);
+  sys.Write(3, 4.0);
+  sys.Combine(1);
+  EXPECT_EQ(sys.node(1).Gval(), 10.0);
+  // subval(0) at node 1 aggregates everything except 0's side = 2+3+4.
+  EXPECT_EQ(sys.node(1).Subval(0), 9.0);
+  EXPECT_EQ(sys.node(1).Subval(2), 3.0);
+}
+
+TEST(MechanismTest, SingleNodeTreeCombineIsLocal) {
+  Tree t({0});
+  AggregationSystem sys(t, RwwFactory());
+  sys.Write(0, 42.0);
+  EXPECT_EQ(sys.Combine(0), 42.0);
+  EXPECT_EQ(sys.trace().TotalMessages(), 0);
+}
+
+TEST(MechanismTest, ReleasePropagatesDownChains) {
+  // Lemma 4.3 part 2: after two consecutive writes in sigma(u, v) every
+  // node on the lease path sends a release toward the writer's side.
+  Tree t = MakePath(4);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(3);  // grants 0->1, 1->2, 2->3
+  EXPECT_TRUE(sys.node(0).granted(1));
+  EXPECT_TRUE(sys.node(1).granted(2));
+  EXPECT_TRUE(sys.node(2).granted(3));
+  sys.Write(0, 1.0);
+  sys.Write(0, 2.0);
+  EXPECT_FALSE(sys.node(0).granted(1));
+  EXPECT_FALSE(sys.node(1).granted(2));
+  EXPECT_FALSE(sys.node(2).granted(3));
+  EXPECT_EQ(sys.trace().totals().releases, 3);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,77 @@
+#include "core/message.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/request.h"
+
+namespace treeagg {
+namespace {
+
+std::string Print(const Message& m) {
+  std::ostringstream os;
+  os << m;
+  return os.str();
+}
+
+TEST(MessagePrintTest, Probe) {
+  Message m;
+  m.type = MsgType::kProbe;
+  m.from = 3;
+  m.to = 5;
+  EXPECT_EQ(Print(m), "probe(3->5)");
+}
+
+TEST(MessagePrintTest, Response) {
+  Message m;
+  m.type = MsgType::kResponse;
+  m.from = 1;
+  m.to = 2;
+  m.x = 4.5;
+  m.flag = true;
+  EXPECT_EQ(Print(m), "response(1->2, x=4.5, flag=true)");
+}
+
+TEST(MessagePrintTest, Update) {
+  Message m;
+  m.type = MsgType::kUpdate;
+  m.from = 0;
+  m.to = 1;
+  m.x = -2;
+  m.id = 9;
+  EXPECT_EQ(Print(m), "update(0->1, x=-2, id=9)");
+}
+
+TEST(MessagePrintTest, Release) {
+  Message m;
+  m.type = MsgType::kRelease;
+  m.from = 2;
+  m.to = 0;
+  m.release_ids = {4, 5, 6};
+  EXPECT_EQ(Print(m), "release(2->0, |S|=3)");
+}
+
+TEST(MessagePrintTest, TypeNames) {
+  EXPECT_STREQ(ToString(MsgType::kProbe), "probe");
+  EXPECT_STREQ(ToString(MsgType::kResponse), "response");
+  EXPECT_STREQ(ToString(MsgType::kUpdate), "update");
+  EXPECT_STREQ(ToString(MsgType::kRelease), "release");
+}
+
+TEST(RequestPrintTest, Formats) {
+  std::ostringstream os;
+  os << Request::Combine(4) << " " << Request::Write(2, 3.5);
+  EXPECT_EQ(os.str(), "combine@4 write@2(3.5)");
+  EXPECT_STREQ(ToString(ReqType::kCombine), "combine");
+  EXPECT_STREQ(ToString(ReqType::kWrite), "write");
+}
+
+TEST(GhostWriteTest, Equality) {
+  const GhostWrite a{1, 2}, b{1, 2}, c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,176 @@
+// Tests of RWW's policy behaviour: the (1,2) classification of Corollary
+// 4.1, the lease-timer invariant I4 of Lemma 4.2, and Lemma 4.3's
+// set-on-combine / break-after-two-writes characterization.
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "offline/edge_dp.h"
+#include "offline/projection.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+// I4 (Lemma 4.2), restated for node u and neighbor v:
+//   if !u.taken[v]: uaw[v] is empty;
+//   else if u grants to nobody but v: lt[v] + |uaw[v]| == 2 and lt[v] > 0;
+//   else: lt[v] == 2.
+void ExpectI4(const AggregationSystem& sys) {
+  const Tree& tree = sys.tree();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    const auto* policy = dynamic_cast<const RwwPolicy*>(&sys.node(u).policy());
+    ASSERT_NE(policy, nullptr);
+    for (const NodeId v : tree.neighbors(u)) {
+      if (!sys.node(u).taken(v)) {
+        EXPECT_TRUE(sys.node(u).uaw(v).empty())
+            << "I4: node " << u << " has stale uaw[" << v << "]";
+        continue;
+      }
+      const int lt = policy->lt(v);
+      const int uaw = static_cast<int>(sys.node(u).UawSize(v));
+      if (!sys.node(u).GrantedToOtherThan(v)) {
+        EXPECT_EQ(lt + uaw, 2) << "I4 at node " << u << ", neighbor " << v;
+        EXPECT_GT(lt, 0) << "I4 at node " << u << ", neighbor " << v;
+      } else {
+        EXPECT_EQ(lt, 2) << "I4 at node " << u << ", neighbor " << v;
+      }
+    }
+  }
+}
+
+TEST(RwwPolicyTest, I4HoldsThroughScriptedScenario) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem sys(t, RwwFactory());
+  const RequestSequence sigma = {
+      Request::Combine(3), Request::Write(6, 1), Request::Write(6, 2),
+      Request::Combine(0), Request::Write(0, 5), Request::Combine(6),
+      Request::Write(3, 7), Request::Write(4, 2), Request::Combine(5),
+      Request::Write(1, 1), Request::Write(2, 2), Request::Write(2, 3),
+  };
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      sys.Combine(r.node);
+    } else {
+      sys.Write(r.node, r.arg);
+    }
+    ExpectI4(sys);
+  }
+}
+
+TEST(RwwPolicyTest, I4HoldsOnRandomWorkloads) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Tree t = MakeShape("random", 12, seed);
+    AggregationSystem sys(t, RwwFactory());
+    const RequestSequence sigma = MakeWorkload("mixed50", t, 150, seed + 100);
+    for (const Request& r : sigma) {
+      if (r.op == ReqType::kCombine) {
+        sys.Combine(r.node);
+      } else {
+        sys.Write(r.node, r.arg);
+      }
+      ExpectI4(sys);
+    }
+  }
+}
+
+TEST(RwwPolicyTest, LeaseSetAfterOneCombine) {
+  // Corollary 4.1 condition (1) with a = 1.
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, RwwFactory());
+  EXPECT_FALSE(sys.node(1).granted(0));
+  sys.Combine(0);
+  EXPECT_TRUE(sys.node(1).granted(0));
+}
+
+TEST(RwwPolicyTest, LeaseBrokenAfterTwoConsecutiveWrites) {
+  // Corollary 4.1 condition (2) with b = 2, on a longer chain.
+  Tree t = MakePath(5);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(4);
+  EXPECT_TRUE(sys.node(0).granted(1));
+  sys.Write(0, 1);
+  EXPECT_TRUE(sys.node(0).granted(1));  // one write: lease survives
+  sys.Write(0, 2);
+  EXPECT_FALSE(sys.node(0).granted(1));  // two writes: broken everywhere
+  for (NodeId u = 0; u + 1 < 5; ++u) {
+    EXPECT_FALSE(sys.node(u).granted(u + 1));
+  }
+}
+
+TEST(RwwPolicyTest, InterleavedWritesFromDifferentSidesDoNotConfuseTimers) {
+  // Writes at both endpoints of a path: each direction's budget is tracked
+  // independently (sigma(u, v) vs sigma(v, u)).
+  Tree t = MakePath(3);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(1);  // node 1 takes leases from both sides
+  sys.Write(0, 1);
+  sys.Write(2, 1);
+  // One write per side: both leases survive.
+  EXPECT_TRUE(sys.node(0).granted(1));
+  EXPECT_TRUE(sys.node(2).granted(1));
+  sys.Write(0, 2);
+  EXPECT_FALSE(sys.node(0).granted(1));
+  EXPECT_TRUE(sys.node(2).granted(1));
+}
+
+TEST(RwwPolicyTest, MeasuredEdgeCostMatchesAnalyticModel) {
+  // Lemma 4.5 + Figure 2: the protocol's measured per-edge cost equals the
+  // analytic RWW cost on the projected sequence.
+  for (const std::uint64_t seed : {10ull, 20ull, 30ull}) {
+    Tree t = MakeShape("kary2", 9, seed);
+    const RequestSequence sigma = MakeWorkload("mixed50", t, 300, seed);
+    AggregationSystem sys(t, RwwFactory());
+    sys.Execute(sigma);
+    for (const Edge& e : t.OrderedEdges()) {
+      const EdgeSequence projected = ProjectSequence(sigma, t, e.u, e.v);
+      EXPECT_EQ(sys.trace().EdgeCost(e.u, e.v).total(), RwwEdgeCost(projected))
+          << "edge (" << e.u << "," << e.v << ") seed " << seed;
+    }
+  }
+}
+
+TEST(RwwPolicyTest, AbPolicy12BehavesLikeRww) {
+  Tree t = MakePath(4);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 5);
+  AggregationSystem rww(t, RwwFactory());
+  AggregationSystem ab(t, AbFactory(1, 2));
+  rww.Execute(sigma);
+  ab.Execute(sigma);
+  EXPECT_EQ(rww.trace().TotalMessages(), ab.trace().TotalMessages());
+}
+
+TEST(RwwPolicyTest, Ab13BreaksAfterThreeWrites) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, AbFactory(1, 3));
+  sys.Combine(0);
+  sys.Write(1, 1);
+  sys.Write(1, 2);
+  EXPECT_TRUE(sys.node(1).granted(0));
+  sys.Write(1, 3);
+  EXPECT_FALSE(sys.node(1).granted(0));
+}
+
+TEST(RwwPolicyTest, Ab22NeedsTwoCombinesToSetLease) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, AbFactory(2, 2));
+  sys.Combine(0);
+  EXPECT_FALSE(sys.node(1).granted(0));
+  sys.Combine(0);
+  EXPECT_TRUE(sys.node(1).granted(0));
+}
+
+TEST(RwwPolicyTest, Ab22CombineRunInterruptedByWrite) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, AbFactory(2, 2));
+  sys.Combine(0);
+  sys.Write(1, 1);  // interrupts the combine run
+  sys.Combine(0);
+  EXPECT_FALSE(sys.node(1).granted(0));
+  sys.Combine(0);
+  EXPECT_TRUE(sys.node(1).granted(0));
+}
+
+}  // namespace
+}  // namespace treeagg

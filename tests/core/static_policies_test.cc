@@ -1,0 +1,109 @@
+// Tests of the static baseline policies from the paper's motivation:
+// push-all (Astrolabe-like) and pull-all (MDS-2-like).
+#include <gtest/gtest.h>
+
+#include "consistency/strict_checker.h"
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(PullAllTest, NeverGrantsLeases) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem sys(t, PullAllFactory());
+  sys.Execute(MakeWorkload("mixed50", t, 200, 1));
+  for (NodeId u = 0; u < t.size(); ++u) {
+    for (const NodeId v : t.neighbors(u)) {
+      EXPECT_FALSE(sys.node(u).granted(v));
+      EXPECT_FALSE(sys.node(u).taken(v));
+    }
+  }
+}
+
+TEST(PullAllTest, EveryCombineFloodsTheTree) {
+  Tree t = MakeStar(8);  // 7 leaves
+  AggregationSystem sys(t, PullAllFactory());
+  sys.Combine(0);  // hub probes 7 leaves
+  EXPECT_EQ(sys.trace().TotalMessages(), 14);
+  sys.Combine(0);  // no caching: same again
+  EXPECT_EQ(sys.trace().TotalMessages(), 28);
+}
+
+TEST(PullAllTest, WritesAreFree) {
+  Tree t = MakePath(6);
+  AggregationSystem sys(t, PullAllFactory());
+  for (int i = 0; i < 10; ++i) sys.Write(3, i);
+  EXPECT_EQ(sys.trace().TotalMessages(), 0);
+}
+
+TEST(PullAllTest, StillStrictlyConsistent) {
+  Tree t = MakeKary(10, 3);
+  AggregationSystem sys(t, PullAllFactory());
+  sys.Execute(MakeWorkload("mixed50", t, 300, 2));
+  EXPECT_TRUE(CheckStrictConsistency(sys.history(), SumOp(), t.size()).ok);
+}
+
+TEST(PushAllTest, LeasesNeverBreakOnceSet) {
+  Tree t = MakePath(4);
+  AggregationSystem sys(t, PushAllFactory());
+  // Warm up: one combine per node sets all leases in both directions.
+  for (NodeId u = 0; u < t.size(); ++u) sys.Combine(u);
+  for (const Edge& e : t.OrderedEdges()) {
+    EXPECT_TRUE(sys.node(e.u).granted(e.v))
+        << "(" << e.u << "," << e.v << ")";
+  }
+  // Heavy writes: every lease survives.
+  for (int i = 0; i < 20; ++i) sys.Write(0, i);
+  for (const Edge& e : t.OrderedEdges()) {
+    EXPECT_TRUE(sys.node(e.u).granted(e.v));
+  }
+}
+
+TEST(PushAllTest, AfterWarmupReadsAreFreeWritesFlood) {
+  Tree t = MakeKary(15, 2);
+  AggregationSystem sys(t, PushAllFactory());
+  for (NodeId u = 0; u < t.size(); ++u) sys.Combine(u);
+  const std::int64_t warmup = sys.trace().TotalMessages();
+  // Reads are local.
+  for (NodeId u = 0; u < t.size(); ++u) sys.Combine(u);
+  EXPECT_EQ(sys.trace().TotalMessages(), warmup);
+  // Each write floods the whole tree: n - 1 updates.
+  sys.Write(7, 1.0);
+  EXPECT_EQ(sys.trace().TotalMessages(), warmup + 14);
+}
+
+TEST(PushAllTest, StillStrictlyConsistent) {
+  Tree t = MakePath(8);
+  AggregationSystem sys(t, PushAllFactory());
+  sys.Execute(MakeWorkload("mixed25", t, 300, 3));
+  EXPECT_TRUE(CheckStrictConsistency(sys.history(), SumOp(), t.size()).ok);
+}
+
+TEST(StaticPoliciesTest, CrossoverMatchesMotivation) {
+  // Section 1: push-all wins on read-heavy workloads, pull-all wins on
+  // write-heavy ones; neither wins both. RWW is never the worst.
+  Tree t = MakeKary(31, 2);
+  const auto cost = [&](const PolicyFactory& f, const RequestSequence& s) {
+    AggregationSystem sys(t, f);
+    sys.Execute(s);
+    return sys.trace().TotalMessages();
+  };
+  const RequestSequence reads = MakeWorkload("readheavy", t, 600, 4);
+  const RequestSequence writes = MakeWorkload("writeheavy", t, 600, 4);
+  const auto push_r = cost(PushAllFactory(), reads);
+  const auto pull_r = cost(PullAllFactory(), reads);
+  const auto push_w = cost(PushAllFactory(), writes);
+  const auto pull_w = cost(PullAllFactory(), writes);
+  EXPECT_LT(push_r, pull_r);
+  EXPECT_LT(pull_w, push_w);
+  const auto rww_r = cost(RwwFactory(), reads);
+  const auto rww_w = cost(RwwFactory(), writes);
+  EXPECT_LT(rww_r, pull_r);
+  EXPECT_LT(rww_w, push_w);
+}
+
+}  // namespace
+}  // namespace treeagg

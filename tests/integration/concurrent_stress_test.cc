@@ -1,0 +1,124 @@
+// Concurrent stress sweep: heavy overlap, many seeds, every policy and
+// several topologies — all executions must complete and be causally
+// consistent (Theorem 4), under both delay regimes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "consistency/causal_checker.h"
+#include "core/extra_policies.h"
+#include "sim/concurrent.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+using StressParam = std::tuple<const char*, int, int>;  // shape, policy, seed
+
+class ConcurrentStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(ConcurrentStress, CausallyConsistent) {
+  const auto [shape, policy_index, seed] = GetParam();
+  const auto policies = AllPolicies();
+  const NamedPolicy& policy =
+      policies[static_cast<std::size_t>(policy_index)];
+  Tree t = MakeShape(shape, 11, 5);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 15;
+  options.seed = static_cast<std::uint64_t>(seed) * 7919 + 13;
+  ConcurrentSimulator sim(t, policy.factory, options);
+  Rng rng(options.seed + 1);
+  const RequestSequence sigma =
+      MakeWorkload("mixed50", t, 250, options.seed + 2);
+  sim.Run(ScheduleWithGaps(sigma, 2, rng));
+  ASSERT_TRUE(sim.history().AllCompleted())
+      << shape << "/" << policy.name << "/" << seed;
+  const CheckResult r = CheckCausalConsistency(sim.history(),
+                                               sim.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_TRUE(r.ok) << shape << "/" << policy.name << "/" << seed << ": "
+                    << r.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConcurrentStress,
+    ::testing::Combine(::testing::Values("path", "star", "kary2", "random"),
+                       ::testing::Range(0, 9), ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ConcurrentStressExtremes, EveryNodeCombinesSimultaneously) {
+  Tree t = MakeKary(21, 4);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 5;
+  options.seed = 3;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  std::vector<ScheduledRequest> schedule;
+  for (NodeId u = 0; u < t.size(); ++u) {
+    schedule.push_back({0, Request::Combine(u)});
+  }
+  sim.Run(schedule);
+  ASSERT_TRUE(sim.history().AllCompleted());
+  // All combines see the initial all-identity state.
+  for (const RequestRecord& r : sim.history().records()) {
+    EXPECT_EQ(r.retval, 0.0);
+  }
+}
+
+TEST(ConcurrentStressExtremes, WriteStormThenReadStorm) {
+  Tree t = MakePath(9);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 9;
+  options.seed = 4;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  std::vector<ScheduledRequest> schedule;
+  for (int i = 0; i < 200; ++i) {
+    schedule.push_back(
+        {i / 10, Request::Write(static_cast<NodeId>(i % 9), i)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    schedule.push_back({20 + i / 10,
+                        Request::Combine(static_cast<NodeId>(i % 9))});
+  }
+  sim.Run(schedule);
+  ASSERT_TRUE(sim.history().AllCompleted());
+  const CheckResult r = CheckCausalConsistency(sim.history(),
+                                               sim.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ConcurrentStressExtremes, TwoNodeContention) {
+  // The tightest tree: both nodes issue interleaved reads and writes.
+  Tree t({0, 0});
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 6;
+    options.seed = seed;
+    ConcurrentSimulator sim(t, RwwFactory(), options);
+    std::vector<ScheduledRequest> schedule;
+    Rng rng(seed);
+    for (int i = 0; i < 150; ++i) {
+      const NodeId node = static_cast<NodeId>(i % 2);
+      schedule.push_back({i / 3, rng.NextBool(0.5)
+                                     ? Request::Write(node, i)
+                                     : Request::Combine(node)});
+    }
+    sim.Run(schedule);
+    ASSERT_TRUE(sim.history().AllCompleted()) << "seed " << seed;
+    const CheckResult r = CheckCausalConsistency(
+        sim.history(), sim.GhostStates(), SumOp(), t.size());
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.message;
+  }
+}
+
+}  // namespace
+}  // namespace treeagg

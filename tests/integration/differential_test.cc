@@ -1,0 +1,165 @@
+// Differential tests: independent implementations of the same quantity
+// must agree.
+//
+//   * The real protocol's measured per-edge costs vs the analytic Figure 2
+//     cost models (RwwEdgeCost / AbEdgeCost) — Lemma 4.5 made executable,
+//     for the whole lease(1, b) family.
+//   * The sequential driver vs the concurrent simulator with huge request
+//     gaps: a concurrent execution that happens to be sequential must
+//     produce the exact same messages.
+//   * The concurrent simulator under per-hop delay 1 vs larger random
+//     delays: message COUNTS may differ (different interleavings), but
+//     both must remain causally consistent — covered elsewhere; here we
+//     pin the deterministic-replay property instead.
+#include <gtest/gtest.h>
+
+#include "consistency/causal_checker.h"
+#include "core/extra_policies.h"
+#include "offline/edge_dp.h"
+#include "offline/projection.h"
+#include "sim/concurrent.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+class LeaseFamilyDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeaseFamilyDifferential, MeasuredEdgeCostsMatchAnalyticModel) {
+  const int b = GetParam();
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    Tree t = MakeShape("random", 10, seed);
+    const RequestSequence sigma = MakeWorkload("mixed50", t, 400, seed + 50);
+    AggregationSystem sys(t, AbFactory(1, b));
+    sys.Execute(sigma);
+    for (const Edge& e : t.OrderedEdges()) {
+      const EdgeSequence projected = ProjectSequence(sigma, t, e.u, e.v);
+      ASSERT_EQ(sys.trace().EdgeCost(e.u, e.v).total(),
+                AbEdgeCost(projected, 1, b))
+          << "b=" << b << " edge (" << e.u << "," << e.v << ") seed "
+          << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WriteBudgets, LeaseFamilyDifferential,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(LeaseFamilyDifferentialTwoNode, GeneralAMatchesAnalyticModel) {
+  // For a > 1 the distributed (a, b)-policy matches the paper's definition
+  // exactly on two-node trees (where all sigma(u, v) activity is directly
+  // observable); verify against the analytic model for several (a, b).
+  Tree t({0, 0});
+  for (const int a : {1, 2, 3}) {
+    for (const int b : {1, 2, 4}) {
+      for (const std::uint64_t seed : {3ull, 8ull}) {
+        const RequestSequence sigma = MakeWorkload("mixed50", t, 500, seed);
+        AggregationSystem sys(t, AbFactory(a, b));
+        sys.Execute(sigma);
+        for (const Edge& e : t.OrderedEdges()) {
+          const EdgeSequence projected = ProjectSequence(sigma, t, e.u, e.v);
+          ASSERT_EQ(sys.trace().EdgeCost(e.u, e.v).total(),
+                    AbEdgeCost(projected, a, b))
+              << "(" << a << "," << b << ") edge (" << e.u << "," << e.v
+              << ") seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendDifferential, ConcurrentWithHugeGapsEqualsSequential) {
+  for (const std::uint64_t seed : {2ull, 5ull, 9ull}) {
+    Tree t = MakeShape("kary2", 15, seed);
+    const RequestSequence sigma = MakeWorkload("mixed50", t, 300, seed);
+
+    AggregationSystem seq(t, RwwFactory());
+    seq.Execute(sigma);
+
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 3;
+    options.ghost_logging = false;
+    options.seed = seed;
+    ConcurrentSimulator conc(t, RwwFactory(), options);
+    std::vector<ScheduledRequest> schedule;
+    std::int64_t time = 0;
+    for (const Request& r : sigma) {
+      schedule.push_back({time, r});
+      time += 10000;  // quiescence guaranteed between requests
+    }
+    conc.Run(schedule);
+
+    ASSERT_EQ(seq.trace().TotalMessages(), conc.trace().TotalMessages())
+        << "seed " << seed;
+    // Per-edge and per-type costs must match too.
+    for (const Edge& e : t.OrderedEdges()) {
+      const MessageCounts a = seq.trace().EdgeCost(e.u, e.v);
+      const MessageCounts b = conc.trace().EdgeCost(e.u, e.v);
+      ASSERT_EQ(a.probes, b.probes);
+      ASSERT_EQ(a.responses, b.responses);
+      ASSERT_EQ(a.updates, b.updates);
+      ASSERT_EQ(a.releases, b.releases);
+    }
+    // And the returned combine values.
+    ASSERT_EQ(seq.history().size(), conc.history().size());
+    for (std::size_t i = 0; i < seq.history().size(); ++i) {
+      const RequestRecord& a = seq.history().records()[i];
+      const RequestRecord& b = conc.history().records()[i];
+      ASSERT_EQ(a.op, b.op);
+      if (a.op == ReqType::kCombine) {
+        ASSERT_EQ(a.retval, b.retval);
+      }
+    }
+  }
+}
+
+TEST(BackendDifferential, EagerBreakStaysConsistentOnAllBackends) {
+  // The pathological policy exercises empty release sets and noop releases
+  // (Figure 2's true/N/false row); both consistency notions must hold.
+  Tree t = MakeKary(10, 3);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 3);
+  {
+    AggregationSystem sys(t, EagerBreakFactory());
+    sys.Execute(sigma);
+    EXPECT_TRUE(CheckStrictConsistency(sys.history(), SumOp(), t.size()).ok);
+  }
+  {
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 15;
+    options.seed = 21;
+    ConcurrentSimulator sim(t, EagerBreakFactory(), options);
+    Rng rng(8);
+    sim.Run(ScheduleWithGaps(sigma, 2, rng));
+    ASSERT_TRUE(sim.history().AllCompleted());
+    const CheckResult r = CheckCausalConsistency(
+        sim.history(), sim.GhostStates(), SumOp(), t.size());
+    EXPECT_TRUE(r.ok) << r.message;
+  }
+}
+
+TEST(BackendDifferential, ConcurrentReplayIsDeterministic) {
+  Tree t = MakeShape("pref", 20, 4);
+  const RequestSequence sigma = MakeWorkload("hotspot", t, 400, 6);
+  const auto fingerprint = [&]() {
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 12;
+    options.seed = 1234;
+    ConcurrentSimulator sim(t, RwwFactory(), options);
+    Rng rng(55);
+    sim.Run(ScheduleWithGaps(sigma, 3, rng));
+    std::int64_t acc = sim.trace().TotalMessages();
+    for (const RequestRecord& r : sim.history().records()) {
+      acc = acc * 31 + r.completed_at;
+    }
+    return acc;
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+}  // namespace
+}  // namespace treeagg

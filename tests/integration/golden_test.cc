@@ -1,0 +1,70 @@
+// Golden regression tests: total message counts for fixed
+// (tree, workload, policy, seed) configurations, pinned against the
+// extensively verified current implementation. Any behavioural drift in
+// the mechanism, the policies, the workload generators, or the PRNG shows
+// up here first, with an exact diff.
+//
+// If a change intentionally alters protocol behaviour, re-derive the
+// constants by running the listed configuration and update them in the
+// same commit that explains why.
+#include <gtest/gtest.h>
+
+#include "core/extra_policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+struct GoldenCase {
+  const char* shape;
+  NodeId n;
+  const char* workload;
+  std::size_t len;
+  const char* policy;
+  std::int64_t expected_total;
+};
+
+std::int64_t Measure(const GoldenCase& c) {
+  Tree t = MakeShape(c.shape, c.n, /*seed=*/1000);
+  const RequestSequence sigma = MakeWorkload(c.workload, t, c.len, 2000);
+  AggregationSystem sys(t, PolicyBySpec(c.policy));
+  sys.Execute(sigma);
+  return sys.trace().TotalMessages();
+}
+
+class GoldenSweep : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenSweep, TotalMessagesPinned) {
+  const GoldenCase c = GetParam();
+  EXPECT_EQ(Measure(c), c.expected_total)
+      << c.shape << "/" << c.workload << "/" << c.policy;
+}
+
+// GOLDEN_VALUES_BEGIN (regenerate with `./build/tests/golden_gen`)
+INSTANTIATE_TEST_SUITE_P(
+    Pinned, GoldenSweep,
+    ::testing::Values(
+        GoldenCase{"path", 16, "mixed50", 400, "RWW", 3343},
+        GoldenCase{"path", 16, "mixed50", 400, "pull-all", 6000},
+        GoldenCase{"path", 16, "mixed50", 400, "push-all", 3029},
+        GoldenCase{"star", 16, "bursty", 400, "RWW", 690},
+        GoldenCase{"kary2", 31, "hotspot", 400, "RWW", 2587},
+        GoldenCase{"kary2", 31, "hotspot", 400, "lease(1,3)", 2367},
+        GoldenCase{"random", 24, "readheavy", 400, "RWW", 726},
+        GoldenCase{"random", 24, "writeheavy", 400, "RWW", 1021},
+        GoldenCase{"pref", 24, "roundrobin", 400, "ewma", 1370},
+        GoldenCase{"broom", 20, "mixed25", 400, "timer(16)", 1856}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      std::string name = std::string(info.param.shape) + "_" +
+                         info.param.workload + "_" + info.param.policy;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+// GOLDEN_VALUES_END
+
+}  // namespace
+}  // namespace treeagg

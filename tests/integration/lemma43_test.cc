@@ -1,0 +1,66 @@
+// Systematic verification of Lemma 4.3 (with Lemma 4.1), sweeping tree
+// shapes and all (reader, writer) placements:
+//
+//  (1) after a combine at r, EVERY node x != r has granted the lease
+//      toward r: x.granted[UParent(x, r)];
+//  (2) one write anywhere leaves every lease in place (RWW's budget is 2);
+//  (3) a second consecutive write at w breaks exactly the leases whose
+//      sigma(x, p) contains the writes — the edges whose x-side contains
+//      w — and leaves every other lease untouched.
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+class Lemma43Sweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Lemma43Sweep, LeaseLifecycleMatchesLemma) {
+  Tree t = MakeShape(GetParam(), 9, 3);
+  for (NodeId reader = 0; reader < t.size(); ++reader) {
+    for (NodeId writer = 0; writer < t.size(); ++writer) {
+      if (writer == reader) continue;
+      AggregationSystem sys(t, RwwFactory());
+      sys.Combine(reader);
+      // (1) Every lease toward the reader is set.
+      for (NodeId x = 0; x < t.size(); ++x) {
+        if (x == reader) continue;
+        const NodeId p = t.UParent(x, reader);
+        ASSERT_TRUE(sys.node(x).granted(p))
+            << GetParam() << " r=" << reader << ": lease " << x << "->"
+            << p << " missing after combine";
+      }
+      // (2) One write: everything survives.
+      sys.Write(writer, 1.0);
+      for (NodeId x = 0; x < t.size(); ++x) {
+        if (x == reader) continue;
+        const NodeId p = t.UParent(x, reader);
+        ASSERT_TRUE(sys.node(x).granted(p))
+            << GetParam() << " r=" << reader << " w=" << writer
+            << ": lease " << x << "->" << p << " broke after ONE write";
+      }
+      // (3) Second consecutive write: exactly the leases whose sigma
+      // contains the writes break.
+      sys.Write(writer, 2.0);
+      for (NodeId x = 0; x < t.size(); ++x) {
+        if (x == reader) continue;
+        const NodeId p = t.UParent(x, reader);
+        const bool writes_in_sigma = t.InSubtree(writer, x, p);
+        ASSERT_EQ(sys.node(x).granted(p), !writes_in_sigma)
+            << GetParam() << " r=" << reader << " w=" << writer
+            << ": lease " << x << "->" << p
+            << (writes_in_sigma ? " should have broken" : " should survive");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Lemma43Sweep,
+                         ::testing::Values("path", "star", "kary2",
+                                           "caterpillar", "random"));
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,91 @@
+// Integration tests that check the paper's message-count lemmas request by
+// request against the lease graph G(Q) captured in the preceding quiescent
+// state:
+//   Lemma 3.3 — a combine at u sends exactly |A| probes and |A| responses
+//               (A = probe set of u in G(Q)) and no updates or releases;
+//   Lemma 3.5 — a write at u sends exactly |A| updates (A = nodes reachable
+//               from u in G(Q)) and no probes or responses.
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "tree/lease_graph.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+struct SweepParam {
+  const char* shape;
+  const char* workload;
+  const char* policy;
+};
+
+class LemmaSweep : public ::testing::TestWithParam<SweepParam> {};
+
+PolicyFactory FactoryByName(const std::string& name) {
+  for (NamedPolicy& p : StandardPolicies()) {
+    if (p.name == name) return p.factory;
+  }
+  throw std::invalid_argument("unknown policy " + name);
+}
+
+TEST_P(LemmaSweep, PerRequestMessageCounts) {
+  const SweepParam param = GetParam();
+  Tree t = MakeShape(param.shape, 14, 2024);
+  AggregationSystem sys(t, FactoryByName(param.policy));
+  const RequestSequence sigma = MakeWorkload(param.workload, t, 250, 99);
+  for (const Request& r : sigma) {
+    const LeaseGraph g = sys.CurrentLeaseGraph();
+    const MessageCounts before = sys.trace().totals();
+    if (r.op == ReqType::kCombine) {
+      const std::size_t expected = g.ProbeSetFor(r.node).size();
+      sys.Combine(r.node);
+      const MessageCounts after = sys.trace().totals();
+      ASSERT_EQ(after.probes - before.probes,
+                static_cast<std::int64_t>(expected))
+          << "Lemma 3.3 probes at " << r;
+      ASSERT_EQ(after.responses - before.responses,
+                static_cast<std::int64_t>(expected))
+          << "Lemma 3.3 responses at " << r;
+      ASSERT_EQ(after.updates, before.updates) << "Lemma 3.3 at " << r;
+      ASSERT_EQ(after.releases, before.releases) << "Lemma 3.3 at " << r;
+    } else {
+      const std::size_t expected = g.ReachableFrom(r.node).size();
+      sys.Write(r.node, r.arg);
+      const MessageCounts after = sys.trace().totals();
+      ASSERT_EQ(after.updates - before.updates,
+                static_cast<std::int64_t>(expected))
+          << "Lemma 3.5 updates at " << r;
+      ASSERT_EQ(after.probes, before.probes) << "Lemma 3.5 at " << r;
+      ASSERT_EQ(after.responses, before.responses) << "Lemma 3.5 at " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesWorkloadsPolicies, LemmaSweep,
+    ::testing::Values(SweepParam{"path", "mixed50", "RWW"},
+                      SweepParam{"star", "mixed50", "RWW"},
+                      SweepParam{"kary2", "mixed25", "RWW"},
+                      SweepParam{"kary4", "mixed75", "RWW"},
+                      SweepParam{"random", "bursty", "RWW"},
+                      SweepParam{"caterpillar", "hotspot", "RWW"},
+                      SweepParam{"broom", "roundrobin", "RWW"},
+                      SweepParam{"pref", "writeheavy", "RWW"},
+                      SweepParam{"path", "mixed50", "lease(1,1)"},
+                      SweepParam{"star", "mixed50", "lease(1,3)"},
+                      SweepParam{"kary2", "mixed50", "push-all"},
+                      SweepParam{"random", "mixed50", "pull-all"}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = std::string(info.param.shape) + "_" +
+                         info.param.workload + "_" + info.param.policy;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace treeagg

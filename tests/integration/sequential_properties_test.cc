@@ -1,0 +1,161 @@
+// Property-style sweeps over (tree shape x policy x workload):
+//   * strict consistency (Lemma 3.12 — property of EVERY lease policy);
+//   * quiescent-state lemmas 3.1, 3.2, 3.4 after every request;
+//   * per-edge cost partition (Lemma 3.9);
+//   * RWW's 5/2 bound against the per-edge offline optimum (Theorem 1).
+#include <gtest/gtest.h>
+
+#include "analysis/competitive.h"
+#include "consistency/strict_checker.h"
+#include "core/policies.h"
+#include "sim/system.h"
+#include "test_util.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+struct Param {
+  const char* shape;
+  const char* policy;
+  const char* workload;
+};
+
+class SequentialSweep : public ::testing::TestWithParam<Param> {};
+
+PolicyFactory FactoryByName(const std::string& name) {
+  for (NamedPolicy& p : StandardPolicies()) {
+    if (p.name == name) return p.factory;
+  }
+  throw std::invalid_argument("unknown policy " + name);
+}
+
+TEST_P(SequentialSweep, StrictConsistencyAndQuiescentInvariants) {
+  const Param param = GetParam();
+  Tree t = MakeShape(param.shape, 12, 7);
+  AggregationSystem sys(t, FactoryByName(param.policy));
+  const RequestSequence sigma = MakeWorkload(param.workload, t, 200, 555);
+  std::vector<Real> truth(static_cast<std::size_t>(t.size()),
+                          SumOp().identity);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      sys.Combine(r.node);
+    } else {
+      sys.Write(r.node, r.arg);
+      truth[static_cast<std::size_t>(r.node)] = r.arg;
+    }
+    ExpectQuiescentInvariants(sys, truth);
+    if (::testing::Test::HasFailure()) break;
+  }
+  EXPECT_TRUE(CheckStrictConsistency(sys.history(), SumOp(), t.size()).ok);
+}
+
+std::vector<Param> MakeSweep() {
+  std::vector<Param> params;
+  const char* shapes[] = {"path", "star", "kary2", "random"};
+  const char* policies[] = {"RWW",        "lease(1,1)", "lease(1,3)",
+                            "lease(2,2)", "push-all",   "pull-all"};
+  const char* workloads[] = {"mixed50", "readheavy", "writeheavy"};
+  for (const char* s : shapes) {
+    for (const char* p : policies) {
+      for (const char* w : workloads) {
+        params.push_back({s, p, w});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SequentialSweep, ::testing::ValuesIn(MakeSweep()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::string(info.param.shape) + "_" +
+                         info.param.policy + "_" + info.param.workload;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Operator sweep: strict consistency and the quiescent value invariants
+// are operator-generic; run the full pipeline under min/max/or as well.
+class OperatorSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(OperatorSweep, StrictConsistencyUnderEveryOperator) {
+  const auto [op_name, policy_name] = GetParam();
+  const AggregateOp& op = OpByName(op_name);
+  Tree t = MakeShape("random", 10, 31);
+  AggregationSystem::Options options;
+  options.op = &op;
+  AggregationSystem sys(t, FactoryByName(policy_name), options);
+  RequestSequence sigma = MakeWorkload("mixed50", t, 200, 77);
+  if (std::string(op_name) == "or") {
+    // Keep arguments in the operator's domain {0, 1}.
+    for (Request& r : sigma) {
+      if (r.op == ReqType::kWrite) r.arg = (r.arg > 50.0) ? 1.0 : 0.0;
+    }
+  }
+  std::vector<Real> truth(static_cast<std::size_t>(t.size()), op.identity);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      sys.Combine(r.node);
+    } else {
+      sys.Write(r.node, r.arg);
+      truth[static_cast<std::size_t>(r.node)] = r.arg;
+    }
+  }
+  ExpectQuiescentInvariants(sys, truth);
+  EXPECT_TRUE(CheckStrictConsistency(sys.history(), op, t.size()).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndPolicies, OperatorSweep,
+    ::testing::Combine(::testing::Values("sum", "min", "max", "or"),
+                       ::testing::Values("RWW", "lease(1,1)", "push-all",
+                                         "pull-all")),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+           info) {
+      std::string name = std::string(std::get<0>(info.param)) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Theorem 1 sweep: RWW within 5/2 of the per-edge offline optimum on every
+// shape x workload pairing, totals and per-edge.
+class Theorem1Sweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(Theorem1Sweep, RwwWithinFiveHalves) {
+  const auto [shape, workload] = GetParam();
+  Tree t = MakeShape(shape, 20, 12);
+  const RequestSequence sigma = MakeWorkload(workload, t, 600, 34);
+  const CompetitiveReport report =
+      RunCompetitive(t, RwwFactory(), "RWW", sigma);
+  EXPECT_TRUE(report.strict_ok) << report.strict_error;
+  EXPECT_TRUE(report.partition_ok);
+  EXPECT_LE(report.RatioVsLeaseOpt(), 2.5 + 1e-12);
+  EXPECT_LE(report.WorstEdgeRatio(), 2.5 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndWorkloads, Theorem1Sweep,
+    ::testing::Combine(
+        ::testing::Values("path", "star", "kary2", "kary4", "caterpillar",
+                          "broom", "random", "pref"),
+        ::testing::Values("mixed25", "mixed50", "mixed75", "bursty",
+                          "hotspot", "readheavy", "writeheavy",
+                          "roundrobin")),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace treeagg

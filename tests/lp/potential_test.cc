@@ -1,0 +1,138 @@
+#include "lp/potential.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace treeagg {
+namespace {
+
+TEST(PotentialTest, PaperCertificateValid) {
+  std::string error;
+  EXPECT_TRUE(VerifyCertificate(PaperLpSolution(), &error)) << error;
+}
+
+TEST(PotentialTest, RejectsWrongArity) {
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate({1.0, 2.0}, &error));
+}
+
+TEST(PotentialTest, RejectsNonzeroInitialPotential) {
+  auto cert = PaperLpSolution();
+  cert[0] = 1.0;  // Phi(0,0) must be 0
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate(cert, &error));
+  EXPECT_NE(error.find("Phi(0,0)"), std::string::npos);
+}
+
+TEST(PotentialTest, RejectsTooSmallC) {
+  auto cert = PaperLpSolution();
+  cert.back() = 2.0;  // c = 2 < 5/2 cannot certify
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate(cert, &error));
+  EXPECT_NE(error.find("violated"), std::string::npos);
+}
+
+TEST(PotentialTest, RejectsBrokenPhi) {
+  auto cert = PaperLpSolution();
+  cert[static_cast<std::size_t>(PhiIndex(1, 2))] = 3.0;  // was 1/2
+  std::string error;
+  EXPECT_FALSE(VerifyCertificate(cert, &error));
+}
+
+TEST(PotentialTest, ReplayAdversarialSequence) {
+  EdgeSequence seq;
+  for (int i = 0; i < 100; ++i) {
+    seq.push_back(EdgeReq::kR);
+    seq.push_back(EdgeReq::kW);
+    seq.push_back(EdgeReq::kW);
+  }
+  const OptimalPlan plan = OptimalEdgePlan(seq);
+  std::int64_t rww = 0, opt = 0;
+  std::string error;
+  EXPECT_TRUE(ReplayAmortized(seq, plan, PaperLpSolution(), &rww, &opt,
+                              &error))
+      << error;
+  EXPECT_EQ(rww, 500);  // 5 per period
+  EXPECT_EQ(opt, 200);  // 2 per period
+}
+
+TEST(PotentialTest, ReplayRandomSequences) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    EdgeSequence seq;
+    const int len = static_cast<int>(rng.NextInt(0, 200));
+    for (int i = 0; i < len; ++i) {
+      seq.push_back(rng.NextBool(0.5) ? EdgeReq::kW : EdgeReq::kR);
+    }
+    const OptimalPlan plan = OptimalEdgePlan(seq);
+    std::int64_t rww = 0, opt = 0;
+    std::string error;
+    ASSERT_TRUE(ReplayAmortized(seq, plan, PaperLpSolution(), &rww, &opt,
+                                &error))
+        << "trial " << trial << ": " << error;
+    ASSERT_EQ(opt, OptimalEdgeCost(seq));
+    ASSERT_EQ(rww, RwwEdgeCost(seq));
+    ASSERT_LE(2 * rww, 5 * opt);
+  }
+}
+
+TEST(OptimalPlanTest, CostMatchesDp) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    EdgeSequence seq;
+    const int len = static_cast<int>(rng.NextInt(0, 30));
+    for (int i = 0; i < len; ++i) {
+      seq.push_back(rng.NextBool(0.4) ? EdgeReq::kW : EdgeReq::kR);
+    }
+    const OptimalPlan plan = OptimalEdgePlan(seq);
+    ASSERT_EQ(plan.cost, OptimalEdgeCost(seq));
+    ASSERT_EQ(plan.state_after.size(), seq.size());
+    ASSERT_EQ(plan.noop_release.size(), seq.size());
+  }
+}
+
+TEST(OptimalPlanTest, PlanTransitionsAreLegal) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    EdgeSequence seq;
+    const int len = static_cast<int>(rng.NextInt(1, 40));
+    for (int i = 0; i < len; ++i) {
+      seq.push_back(rng.NextBool(0.6) ? EdgeReq::kW : EdgeReq::kR);
+    }
+    const OptimalPlan plan = OptimalEdgePlan(seq);
+    int state = 0;
+    std::int64_t cost = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const int mid = plan.state_after[i];
+      if (seq[i] == EdgeReq::kR) {
+        cost += (state == 0) ? 2 : 0;
+        if (state == 1) {
+          ASSERT_EQ(mid, 1);  // cannot drop a lease on a read
+        }
+      } else {
+        if (state == 0) {
+          ASSERT_EQ(mid, 0);  // cannot acquire a lease on a write
+        } else {
+          cost += (mid == 1) ? 1 : 2;
+        }
+      }
+      state = mid;
+      if (plan.noop_release[i]) {
+        ASSERT_EQ(mid, 1);  // can only release a held lease
+        cost += 1;
+        state = 0;
+      }
+    }
+    ASSERT_EQ(cost, plan.cost) << "trial " << trial;
+  }
+}
+
+TEST(OptimalPlanTest, EmptySequence) {
+  const OptimalPlan plan = OptimalEdgePlan({});
+  EXPECT_EQ(plan.cost, 0);
+  EXPECT_TRUE(plan.state_after.empty());
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,107 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace treeagg {
+namespace {
+
+TEST(SimplexTest, TrivialUnconstrainedMinimumAtZero) {
+  LpProblem lp;
+  lp.objective = {1.0, 1.0};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, 0.0, 1e-9);
+}
+
+TEST(SimplexTest, SimpleBoundedMinimization) {
+  // min x0 s.t. -x0 <= -3  (x0 >= 3)
+  LpProblem lp;
+  lp.objective = {1.0};
+  lp.AddRow({-1.0}, -3.0);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, TwoVariableClassic) {
+  // min -x - 2y s.t. x + y <= 4, x <= 2  (opt at x=2? y=2: value -6; or
+  // x=0, y=4: value -8 — the optimum).
+  LpProblem lp;
+  lp.objective = {-1.0, -2.0};
+  lp.AddRow({1.0, 1.0}, 4.0);
+  lp.AddRow({1.0, 0.0}, 2.0);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, -8.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1 and -x <= -2 (x >= 2): infeasible.
+  LpProblem lp;
+  lp.objective = {1.0};
+  lp.AddRow({1.0}, 1.0);
+  lp.AddRow({-1.0}, -2.0);
+  const LpSolution sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpSolution::Status::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x, x unconstrained above.
+  LpProblem lp;
+  lp.objective = {-1.0};
+  lp.AddRow({0.0}, 5.0);  // vacuous row
+  const LpSolution sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpSolution::Status::kUnbounded);
+}
+
+TEST(SimplexTest, EqualityViaTwoInequalities) {
+  // min x + y s.t. x + y = 5 (as <= and >=), y <= 2.
+  LpProblem lp;
+  lp.objective = {1.0, 1.0};
+  lp.AddRow({1.0, 1.0}, 5.0);
+  lp.AddRow({-1.0, -1.0}, -5.0);
+  lp.AddRow({0.0, 1.0}, 2.0);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (degeneracy);
+  // Bland's rule must not cycle.
+  LpProblem lp;
+  lp.objective = {1.0, 1.0, 1.0};
+  lp.AddRow({-1.0, -1.0, 0.0}, -2.0);
+  lp.AddRow({-1.0, -1.0, 0.0}, -2.0);
+  lp.AddRow({0.0, -1.0, -1.0}, -2.0);
+  lp.AddRow({-1.0, 0.0, -1.0}, -2.0);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, 3.0, 1e-7);
+}
+
+TEST(SimplexTest, FeasibilityHelper) {
+  LpProblem lp;
+  lp.objective = {1.0, 1.0};
+  lp.AddRow({1.0, 1.0}, 4.0);
+  EXPECT_TRUE(IsFeasible(lp, {1.0, 1.0}));
+  EXPECT_FALSE(IsFeasible(lp, {3.0, 2.0}));
+  EXPECT_FALSE(IsFeasible(lp, {-0.5, 0.0}));  // x >= 0 violated
+  EXPECT_FALSE(IsFeasible(lp, {1.0}));        // wrong arity
+}
+
+TEST(SimplexTest, SolutionIsFeasibleForItsOwnProblem) {
+  LpProblem lp;
+  lp.objective = {2.0, 3.0, 1.0};
+  lp.AddRow({-1.0, -2.0, 0.0}, -4.0);
+  lp.AddRow({0.0, -1.0, -3.0}, -6.0);
+  lp.AddRow({1.0, 1.0, 1.0}, 10.0);
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_TRUE(IsFeasible(lp, sol.x, 1e-7));
+}
+
+}  // namespace
+}  // namespace treeagg

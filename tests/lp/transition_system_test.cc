@@ -1,0 +1,102 @@
+#include "lp/transition_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace treeagg {
+namespace {
+
+std::tuple<int, int, char, int, int, int, int> Key(const Transition& t) {
+  return {t.from_x, t.from_y, t.request, t.to_x, t.to_y, t.rww_cost,
+          t.opt_cost};
+}
+
+TEST(TransitionSystemTest, RwwMovesMatchFigure2) {
+  EXPECT_EQ(RwwMove(0, 'R'), (std::pair{2, 2}));
+  EXPECT_EQ(RwwMove(1, 'R'), (std::pair{2, 0}));
+  EXPECT_EQ(RwwMove(2, 'R'), (std::pair{2, 0}));
+  EXPECT_EQ(RwwMove(0, 'W'), (std::pair{0, 0}));
+  EXPECT_EQ(RwwMove(1, 'W'), (std::pair{0, 2}));
+  EXPECT_EQ(RwwMove(2, 'W'), (std::pair{1, 1}));
+  EXPECT_EQ(RwwMove(2, 'N'), (std::pair{2, 0}));
+}
+
+TEST(TransitionSystemTest, OptMovesMatchFigure2) {
+  EXPECT_EQ(OptMoves(0, 'R').size(), 2u);
+  EXPECT_EQ(OptMoves(1, 'R'), (std::vector<std::pair<int, int>>{{1, 0}}));
+  EXPECT_EQ(OptMoves(1, 'W').size(), 2u);
+  EXPECT_EQ(OptMoves(0, 'N'), (std::vector<std::pair<int, int>>{{0, 0}}));
+  EXPECT_EQ(OptMoves(1, 'N').size(), 2u);
+}
+
+TEST(TransitionSystemTest, JointSystemHas27Transitions) {
+  const auto transitions = BuildJointTransitions();
+  EXPECT_EQ(transitions.size(), 27u);
+  std::size_t trivial = 0;
+  for (const Transition& t : transitions) {
+    if (t.trivial()) ++trivial;
+  }
+  EXPECT_EQ(trivial, 6u);  // the self-loops Figure 5 omits
+}
+
+TEST(TransitionSystemTest, NontrivialTransitionsEqualFigure5) {
+  // The generated system, minus trivial self-loops, must be exactly the 21
+  // inequalities printed in Figure 5 of the paper.
+  std::set<std::tuple<int, int, char, int, int, int, int>> generated;
+  for (const Transition& t : BuildJointTransitions()) {
+    if (!t.trivial()) generated.insert(Key(t));
+  }
+  std::set<std::tuple<int, int, char, int, int, int, int>> paper;
+  for (const Transition& t : Figure5Transitions()) paper.insert(Key(t));
+  EXPECT_EQ(generated, paper);
+}
+
+TEST(TransitionSystemTest, InequalityFormatting) {
+  const Transition t{0, 0, 'R', 0, 2, 2, 2};
+  EXPECT_EQ(t.ToInequality(), "Phi(0,2) - Phi(0,0) + 2 <= 2c");
+  const Transition n{1, 0, 'N', 0, 0, 0, 1};
+  EXPECT_EQ(n.ToInequality(), "Phi(0,0) - Phi(1,0) <= c");
+}
+
+TEST(TransitionSystemTest, LpOptimumIsFiveHalves) {
+  const LpProblem lp = BuildCompetitiveLp(BuildJointTransitions());
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, 2.5, 1e-7);
+}
+
+TEST(TransitionSystemTest, Figure5LpOptimumIsFiveHalves) {
+  const LpProblem lp = BuildCompetitiveLp(Figure5Transitions());
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.value, 2.5, 1e-7);
+}
+
+TEST(TransitionSystemTest, PaperSolutionIsFeasible) {
+  const LpProblem lp = BuildCompetitiveLp(BuildJointTransitions());
+  EXPECT_TRUE(IsFeasible(lp, PaperLpSolution(), 1e-9));
+}
+
+TEST(TransitionSystemTest, PaperSolutionIsTightSomewhere) {
+  // c cannot be reduced below 5/2: verify 5/2 - epsilon is infeasible by
+  // re-solving with the extra constraint c <= 5/2 - 0.01.
+  LpProblem lp = BuildCompetitiveLp(BuildJointTransitions());
+  std::vector<double> row(kNumLpVars, 0.0);
+  row[kNumLpVars - 1] = 1.0;
+  lp.AddRow(std::move(row), 2.5 - 0.01);
+  const LpSolution sol = SolveLp(lp);
+  EXPECT_EQ(sol.status, LpSolution::Status::kInfeasible);
+}
+
+TEST(TransitionSystemTest, PhiIndexLayout) {
+  EXPECT_EQ(PhiIndex(0, 0), 0);
+  EXPECT_EQ(PhiIndex(0, 2), 2);
+  EXPECT_EQ(PhiIndex(1, 0), 3);
+  EXPECT_EQ(PhiIndex(1, 2), 5);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,61 @@
+#include "offline/nice_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "offline/edge_dp.h"
+#include "offline/projection.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(NiceBoundTest, NoEpochsWithoutChurn) {
+  EXPECT_EQ(EpochCount({}), 0);
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("RRRR")), 0);
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("WWWW")), 0);
+}
+
+TEST(NiceBoundTest, OneEpochPerWriteReadTransition) {
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("WR")), 1);
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("WWWR")), 1);
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("WRWR")), 2);
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("WRRRWR")), 2);
+  EXPECT_EQ(EpochCount(ParseEdgeSequence("RWRWRW")), 2);  // trailing W open
+}
+
+TEST(NiceBoundTest, RwwWithinFivePerEpochPlusSetup) {
+  // Lemma 4.3 / Theorem 2: RWW pays at most 5 messages per completed
+  // epoch, plus at most 5 for the trailing incomplete epoch (e.g. "RWW"
+  // alone costs 2 + 1 + 2 with zero completed epochs). Exhaustive check.
+  for (int len = 1; len <= 14; ++len) {
+    for (int mask = 0; mask < (1 << len); ++mask) {
+      EdgeSequence seq;
+      for (int i = 0; i < len; ++i) {
+        seq.push_back((mask >> i) & 1 ? EdgeReq::kW : EdgeReq::kR);
+      }
+      const std::int64_t epochs = EpochCount(seq);
+      const std::int64_t rww = RwwEdgeCost(seq);
+      ASSERT_LE(rww, 5 * epochs + 5) << "len=" << len << " mask=" << mask;
+    }
+  }
+}
+
+TEST(NiceBoundTest, TreeLevelBoundSumsOverOrderedPairs) {
+  Tree t = MakePath(3);
+  RequestSequence sigma = {
+      Request::Write(0, 1), Request::Combine(2),  // epoch for (0,1) and (1,2)
+      Request::Write(2, 5), Request::Combine(0),  // epoch for (2,1) and (1,0)
+  };
+  EXPECT_EQ(NiceAlgorithmLowerBound(sigma, t), 4);
+}
+
+TEST(NiceBoundTest, ReadOnlyWorkloadHasZeroBound) {
+  Tree t = MakeStar(6);
+  RequestSequence sigma;
+  for (int i = 0; i < 20; ++i) sigma.push_back(Request::Combine(i % 6));
+  EXPECT_EQ(NiceAlgorithmLowerBound(sigma, t), 0);
+}
+
+}  // namespace
+}  // namespace treeagg

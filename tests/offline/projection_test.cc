@@ -1,0 +1,73 @@
+#include "offline/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(ProjectionTest, ParseAndRoundTrip) {
+  const EdgeSequence seq = ParseEdgeSequence("RwWr");
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], EdgeReq::kR);
+  EXPECT_EQ(seq[1], EdgeReq::kW);
+  EXPECT_EQ(seq[2], EdgeReq::kW);
+  EXPECT_EQ(seq[3], EdgeReq::kR);
+  EXPECT_THROW(ParseEdgeSequence("RX"), std::invalid_argument);
+}
+
+TEST(ProjectionTest, TwoNodeTree) {
+  Tree t({0, 0});
+  const RequestSequence sigma = {
+      Request::Combine(1),  // in subtree(1, 0): R for (0, 1)
+      Request::Write(0, 1),  // in subtree(0, 1): W for (0, 1)
+      Request::Combine(0),  // R for (1, 0)
+      Request::Write(1, 2),  // W for (1, 0)
+  };
+  EXPECT_EQ(ProjectSequence(sigma, t, 0, 1), ParseEdgeSequence("RW"));
+  EXPECT_EQ(ProjectSequence(sigma, t, 1, 0), ParseEdgeSequence("RW"));
+}
+
+TEST(ProjectionTest, PathMiddleEdge) {
+  Tree t = MakePath(4);  // 0-1-2-3; edge (1, 2)
+  const RequestSequence sigma = {
+      Request::Write(0, 1),   // u-side write
+      Request::Write(1, 1),   // u-side write
+      Request::Combine(3),    // v-side combine
+      Request::Write(2, 1),   // v-side write: only in sigma(2, 1)
+      Request::Combine(0),    // u-side combine: only in sigma(2, 1)
+  };
+  EXPECT_EQ(ProjectSequence(sigma, t, 1, 2), ParseEdgeSequence("WWR"));
+  EXPECT_EQ(ProjectSequence(sigma, t, 2, 1), ParseEdgeSequence("WR"));
+}
+
+TEST(ProjectionTest, EveryRequestAppearsInExactlyDPlusProjections) {
+  // A write at node x appears in sigma(u, v) iff x is on u's side: over all
+  // 2(n-1) ordered pairs, that's exactly n-1 appearances (one per
+  // undirected edge). Same for combines.
+  Rng rng(5);
+  Tree t = MakeRandomTree(12, rng);
+  const RequestSequence sigma = {Request::Write(4, 1), Request::Combine(7)};
+  std::size_t write_hits = 0, combine_hits = 0;
+  for (const Edge& e : t.OrderedEdges()) {
+    const EdgeSequence p = ProjectSequence(sigma, t, e.u, e.v);
+    for (const EdgeReq r : p) {
+      (r == EdgeReq::kW ? write_hits : combine_hits) += 1;
+    }
+  }
+  EXPECT_EQ(write_hits, static_cast<std::size_t>(t.size() - 1));
+  EXPECT_EQ(combine_hits, static_cast<std::size_t>(t.size() - 1));
+}
+
+TEST(ProjectionTest, PreservesRelativeOrder) {
+  Tree t = MakePath(2);
+  RequestSequence sigma;
+  for (int i = 0; i < 6; ++i) {
+    sigma.push_back(i % 2 == 0 ? Request::Combine(1) : Request::Write(0, i));
+  }
+  EXPECT_EQ(ProjectSequence(sigma, t, 0, 1), ParseEdgeSequence("RWRWRW"));
+}
+
+}  // namespace
+}  // namespace treeagg

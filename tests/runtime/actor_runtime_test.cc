@@ -1,0 +1,113 @@
+#include "runtime/actor_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/causal_checker.h"
+#include "consistency/strict_checker.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(ActorRuntimeTest, SingleWriteAndCombine) {
+  Tree t = MakePath(3);
+  ActorRuntime rt(t, RwwFactory());
+  rt.Start();
+  rt.InjectWrite(0, 5.0);
+  const ReqId c = rt.InjectCombine(2);
+  rt.DrainAndStop();
+  ASSERT_TRUE(rt.history().AllCompleted());
+  // Concurrent semantics: the combine may or may not see the write; its
+  // value must match its own gather set, which the causal checker verifies.
+  const Real v = rt.history().record(c).retval;
+  EXPECT_TRUE(v == 0.0 || v == 5.0);
+  const CheckResult r = CheckCausalConsistency(rt.history(), rt.GhostStates(),
+                                               SumOp(), t.size());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ActorRuntimeTest, SequentialInjectionIsStrictlyConsistent) {
+  // If the driver waits for quiescence between requests the execution is
+  // sequential; here requests pipeline, but injecting from one thread into
+  // one node still totally orders them at that node.
+  Tree t({0, 0});
+  ActorRuntime rt(t, RwwFactory());
+  rt.Start();
+  for (int i = 1; i <= 20; ++i) rt.InjectWrite(0, i);
+  rt.DrainAndStop();
+  EXPECT_TRUE(rt.history().AllCompleted());
+  EXPECT_EQ(rt.history().size(), 20u);
+}
+
+TEST(ActorRuntimeTest, ConcurrentMixedWorkloadIsCausallyConsistent) {
+  Tree t = MakeKary(9, 2);
+  ActorRuntime rt(t, RwwFactory());
+  rt.Start();
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 3);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      rt.InjectCombine(r.node);
+    } else {
+      rt.InjectWrite(r.node, r.arg);
+    }
+  }
+  rt.DrainAndStop();
+  ASSERT_TRUE(rt.history().AllCompleted());
+  ASSERT_EQ(rt.history().size(), sigma.size());
+  const CheckResult r = CheckCausalConsistency(rt.history(), rt.GhostStates(),
+                                               SumOp(), t.size());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ActorRuntimeTest, AllPoliciesSurviveConcurrency) {
+  for (const NamedPolicy& policy : StandardPolicies()) {
+    Tree t = MakePath(5);
+    ActorRuntime rt(t, policy.factory);
+    rt.Start();
+    const RequestSequence sigma = MakeWorkload("mixed50", t, 150, 5);
+    for (const Request& r : sigma) {
+      if (r.op == ReqType::kCombine) {
+        rt.InjectCombine(r.node);
+      } else {
+        rt.InjectWrite(r.node, r.arg);
+      }
+    }
+    rt.DrainAndStop();
+    ASSERT_TRUE(rt.history().AllCompleted()) << policy.name;
+    const CheckResult r = CheckCausalConsistency(
+        rt.history(), rt.GhostStates(), SumOp(), t.size());
+    EXPECT_TRUE(r.ok) << policy.name << ": " << r.message;
+  }
+}
+
+TEST(ActorRuntimeTest, PerTypeAccountingMatchesTotal) {
+  Tree t = MakePath(3);
+  ActorRuntime rt(t, RwwFactory());
+  rt.Start();
+  rt.InjectCombine(0);
+  rt.DrainAndStop();
+  const MessageCounts totals = rt.MessageTotals();
+  EXPECT_EQ(totals.total(), rt.MessagesSent());
+  EXPECT_EQ(totals.probes, 2);
+  EXPECT_EQ(totals.responses, 2);
+  EXPECT_EQ(totals.updates, 0);
+  // Per-edge classification works across the thread-safe snapshot too.
+  EXPECT_EQ(rt.EdgeCost(1, 0).probes, 1);
+  EXPECT_EQ(rt.EdgeCost(2, 1).responses, 1);
+}
+
+TEST(ActorRuntimeTest, MessageCounterMatchesGhostFreeRun) {
+  Tree t = MakePath(2);
+  ActorRuntime::Options options;
+  options.ghost_logging = false;
+  ActorRuntime rt(t, RwwFactory(), options);
+  rt.Start();
+  const ReqId c = rt.InjectCombine(0);
+  rt.DrainAndStop();
+  EXPECT_EQ(rt.MessagesSent(), 2);  // probe + response
+  EXPECT_TRUE(rt.history().record(c).completed());
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,119 @@
+#include "sdims/sdims_system.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/strict_checker.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(SdimsTest, StrategyNames) {
+  EXPECT_STREQ(ToString(SdimsStrategy::kUpdateNone), "update-none");
+  EXPECT_STREQ(ToString(SdimsStrategy::kUpdateUp), "update-up");
+  EXPECT_STREQ(ToString(SdimsStrategy::kUpdateAll), "update-all");
+}
+
+class SdimsStrategyTest
+    : public ::testing::TestWithParam<SdimsStrategy> {};
+
+TEST_P(SdimsStrategyTest, CombineReturnsGlobalAggregate) {
+  Tree t = MakeKary(10, 3);
+  SdimsSystem sys(t, GetParam());
+  sys.Write(3, 5.0);
+  sys.Write(9, 2.5);
+  EXPECT_EQ(sys.Combine(0), 7.5);
+  EXPECT_EQ(sys.Combine(7), 7.5);
+  sys.Write(3, 1.0);  // overwrite
+  EXPECT_EQ(sys.Combine(9), 3.5);
+}
+
+TEST_P(SdimsStrategyTest, StrictlyConsistentOnRandomWorkloads) {
+  Tree t = MakeShape("random", 12, 5);
+  SdimsSystem sys(t, GetParam());
+  sys.Execute(MakeWorkload("mixed50", t, 300, 6));
+  EXPECT_TRUE(CheckStrictConsistency(sys.history(), SumOp(), t.size()).ok)
+      << ToString(GetParam());
+}
+
+TEST_P(SdimsStrategyTest, MinOperatorWorks) {
+  Tree t = MakePath(5);
+  SdimsSystem::Options options;
+  options.op = &MinOp();
+  SdimsSystem sys(t, GetParam(), options);
+  sys.Write(1, 4.0);
+  sys.Write(4, -2.0);
+  EXPECT_EQ(sys.Combine(2), -2.0);
+}
+
+TEST_P(SdimsStrategyTest, NonZeroRootWorks) {
+  Tree t = MakePath(5);
+  SdimsSystem::Options options;
+  options.root = 2;
+  SdimsSystem sys(t, GetParam(), options);
+  sys.Write(0, 1.0);
+  sys.Write(4, 2.0);
+  EXPECT_EQ(sys.Combine(3), 3.0);
+  EXPECT_EQ(sys.Combine(2), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SdimsStrategyTest,
+                         ::testing::Values(SdimsStrategy::kUpdateNone,
+                                           SdimsStrategy::kUpdateUp,
+                                           SdimsStrategy::kUpdateAll),
+                         [](const auto& info) {
+                           std::string name = ToString(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Exact message-cost characterizations per strategy ------------------
+
+TEST(SdimsCostTest, UpdateNoneWriteIsFreeReadPaysTreePlusPath) {
+  Tree t = MakeKary(7, 2);  // depths: root 0; 1,2 -> 1; 3..6 -> 2
+  SdimsSystem sys(t, SdimsStrategy::kUpdateNone);
+  sys.Write(5, 1.0);
+  EXPECT_EQ(sys.trace().TotalMessages(), 0);
+  sys.Combine(0);  // reader at root: collect = 2 * 6 edges
+  EXPECT_EQ(sys.trace().TotalMessages(), 12);
+  sys.Combine(5);  // depth 2: + 2*2 routing + 12 collect
+  EXPECT_EQ(sys.trace().TotalMessages(), 12 + 16);
+}
+
+TEST(SdimsCostTest, UpdateUpWritePaysDepthReadPaysPath) {
+  Tree t = MakeKary(7, 2);
+  SdimsSystem sys(t, SdimsStrategy::kUpdateUp);
+  sys.Write(5, 1.0);  // depth 2
+  EXPECT_EQ(sys.trace().TotalMessages(), 2);
+  sys.Write(0, 2.0);  // root write: free
+  EXPECT_EQ(sys.trace().TotalMessages(), 2);
+  sys.Combine(0);  // root read: free
+  EXPECT_EQ(sys.trace().TotalMessages(), 2);
+  sys.Combine(6);  // depth 2: up + down
+  EXPECT_EQ(sys.trace().TotalMessages(), 6);
+}
+
+TEST(SdimsCostTest, UpdateAllWritePaysDepthPlusBroadcastReadFree) {
+  Tree t = MakeKary(7, 2);
+  SdimsSystem sys(t, SdimsStrategy::kUpdateAll);
+  sys.Write(5, 1.0);  // depth 2 up + 6 broadcast
+  EXPECT_EQ(sys.trace().TotalMessages(), 8);
+  for (NodeId u = 0; u < t.size(); ++u) sys.Combine(u);
+  EXPECT_EQ(sys.trace().TotalMessages(), 8);  // reads all free
+}
+
+TEST(SdimsCostTest, UpdateNoneCachesGoStale) {
+  Tree t = MakePath(3);
+  SdimsSystem sys(t, SdimsStrategy::kUpdateNone);
+  sys.Write(2, 9.0);
+  // Cached subtree aggregate at the root is stale until a read collects.
+  EXPECT_EQ(sys.SubtreeAggregate(0), 0.0);
+  EXPECT_EQ(sys.Combine(0), 9.0);
+  EXPECT_EQ(sys.SubtreeAggregate(0), 9.0);
+}
+
+}  // namespace
+}  // namespace treeagg

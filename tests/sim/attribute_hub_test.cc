@@ -1,0 +1,100 @@
+#include "sim/attribute_hub.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(AttributeHubTest, DefineAndList) {
+  Tree t = MakePath(4);
+  AttributeHub hub(t);
+  hub.Define("load", SumOp(), RwwFactory());
+  hub.Define("alarm", BoolOrOp(), PushAllFactory());
+  EXPECT_TRUE(hub.Has("load"));
+  EXPECT_FALSE(hub.Has("disk"));
+  EXPECT_EQ(hub.AttributeNames(),
+            (std::vector<std::string>{"alarm", "load"}));
+}
+
+TEST(AttributeHubTest, DuplicateDefinitionThrows) {
+  Tree t = MakePath(3);
+  AttributeHub hub(t);
+  hub.Define("x", SumOp(), RwwFactory());
+  EXPECT_THROW(hub.Define("x", MinOp(), RwwFactory()),
+               std::invalid_argument);
+}
+
+TEST(AttributeHubTest, UnknownAttributeThrows) {
+  Tree t = MakePath(3);
+  AttributeHub hub(t);
+  EXPECT_THROW(hub.Write("nope", 0, 1.0), std::out_of_range);
+  EXPECT_THROW(hub.Combine("nope", 0), std::out_of_range);
+}
+
+TEST(AttributeHubTest, AttributesAggregateIndependently) {
+  Tree t = MakeKary(7, 2);
+  AttributeHub hub(t);
+  hub.Define("load", SumOp(), RwwFactory());
+  hub.Define("min_free", MinOp(), RwwFactory());
+  hub.Define("alarm", BoolOrOp(), RwwFactory());
+  hub.Write("load", 3, 10.0);
+  hub.Write("load", 5, 2.5);
+  hub.Write("min_free", 3, 80.0);
+  hub.Write("min_free", 6, 15.0);
+  hub.Write("alarm", 2, 1.0);
+  EXPECT_EQ(hub.Combine("load", 0), 12.5);
+  EXPECT_EQ(hub.Combine("min_free", 0), 15.0);
+  EXPECT_EQ(hub.Combine("alarm", 0), 1.0);
+  hub.Write("alarm", 2, 0.0);
+  EXPECT_EQ(hub.Combine("alarm", 0), 0.0);
+}
+
+TEST(AttributeHubTest, CombineAllReadsEveryAttribute) {
+  Tree t = MakePath(3);
+  AttributeHub hub(t);
+  hub.Define("a", SumOp(), RwwFactory());
+  hub.Define("b", MaxOp(), RwwFactory());
+  hub.Write("a", 1, 4.0);
+  hub.Write("b", 2, -1.0);
+  const auto values = hub.CombineAll(0);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("a"), 4.0);
+  EXPECT_EQ(values.at("b"), -1.0);
+}
+
+TEST(AttributeHubTest, MessageAccountingSeparatesAndSums) {
+  Tree t = MakePath(2);
+  AttributeHub hub(t);
+  hub.Define("a", SumOp(), RwwFactory());
+  hub.Define("b", SumOp(), PullAllFactory());
+  hub.Combine("a", 0);  // probe + response, lease set
+  hub.Combine("a", 0);  // free
+  hub.Combine("b", 0);  // probe + response
+  hub.Combine("b", 0);  // probe + response again (no lease)
+  EXPECT_EQ(hub.MessagesFor("a"), 2);
+  EXPECT_EQ(hub.MessagesFor("b"), 4);
+  EXPECT_EQ(hub.TotalMessages(), 6);
+}
+
+TEST(AttributeHubTest, ReadCachedIsFreeAndEventuallyExact) {
+  Tree t = MakePath(3);
+  AttributeHub hub(t);
+  hub.Define("load", SumOp(), RwwFactory());
+  hub.Write("load", 2, 7.0);
+  // Before any combine, node 0 has no leases: the cached view is stale.
+  EXPECT_EQ(hub.ReadCached("load", 0), 0.0);
+  const std::int64_t before = hub.TotalMessages();
+  EXPECT_EQ(hub.ReadCached("load", 0), 0.0);
+  EXPECT_EQ(hub.TotalMessages(), before);  // zero cost
+  // After one combine the leases are in place and the cache is exact,
+  // even across subsequent (single) writes.
+  hub.Combine("load", 0);
+  hub.Write("load", 2, 9.0);
+  EXPECT_EQ(hub.ReadCached("load", 0), 9.0);
+}
+
+}  // namespace
+}  // namespace treeagg

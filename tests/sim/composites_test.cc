@@ -1,0 +1,112 @@
+#include "sim/composites.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+class CompositesTest : public ::testing::Test {
+ protected:
+  CompositesTest() : tree_(MakeKary(7, 2)), hub_(tree_) {}
+
+  Tree tree_;
+  AttributeHub hub_;
+};
+
+TEST_F(CompositesTest, AverageOfNothingIsFallback) {
+  AverageTracker avg(hub_, "temp", RwwFactory());
+  EXPECT_EQ(avg.Read(0, -1.0), -1.0);
+  EXPECT_EQ(avg.Count(0), 0.0);
+}
+
+TEST_F(CompositesTest, AverageTracksObservations) {
+  AverageTracker avg(hub_, "temp", RwwFactory());
+  avg.Record(1, 10.0);
+  avg.Record(2, 20.0);
+  avg.Record(3, 30.0);
+  EXPECT_NEAR(avg.Read(0), 20.0, 1e-9);
+  EXPECT_EQ(avg.Count(0), 3.0);
+  // Overwriting replaces, not accumulates.
+  avg.Record(1, 40.0);
+  EXPECT_NEAR(avg.Read(0), 30.0, 1e-9);
+  EXPECT_EQ(avg.Count(0), 3.0);
+  // Clearing removes the observation and its count.
+  avg.Clear(2);
+  EXPECT_NEAR(avg.Read(0), 35.0, 1e-9);
+  EXPECT_EQ(avg.Count(0), 2.0);
+  avg.Clear(2);  // idempotent
+  EXPECT_EQ(avg.Count(0), 2.0);
+}
+
+TEST_F(CompositesTest, AverageReadableFromAnyNode) {
+  AverageTracker avg(hub_, "temp", RwwFactory());
+  avg.Record(4, 6.0);
+  avg.Record(6, 2.0);
+  for (NodeId reader = 0; reader < tree_.size(); ++reader) {
+    EXPECT_NEAR(avg.Read(reader), 4.0, 1e-9) << "reader " << reader;
+  }
+}
+
+TEST_F(CompositesTest, VarianceBasics) {
+  VarianceTracker var(hub_, "load", RwwFactory());
+  EXPECT_EQ(var.Variance(0, -1.0), -1.0);
+  var.Record(1, 2.0);
+  var.Record(2, 4.0);
+  var.Record(3, 6.0);
+  EXPECT_NEAR(var.Mean(0), 4.0, 1e-9);
+  // Population variance of {2, 4, 6} = 8/3.
+  EXPECT_NEAR(var.Variance(0), 8.0 / 3.0, 1e-9);
+  // Identical observations: zero variance (and no negative from FP).
+  var.Record(1, 4.0);
+  var.Record(3, 4.0);
+  EXPECT_NEAR(var.Variance(0), 0.0, 1e-9);
+  EXPECT_GE(var.Variance(0), 0.0);
+}
+
+TEST_F(CompositesTest, VarianceClearRemovesContribution) {
+  VarianceTracker var(hub_, "load", RwwFactory());
+  var.Record(1, 1.0);
+  var.Record(2, 100.0);
+  var.Clear(2);
+  EXPECT_NEAR(var.Mean(0), 1.0, 1e-9);
+  EXPECT_NEAR(var.Variance(0), 0.0, 1e-9);
+}
+
+TEST_F(CompositesTest, HistogramBucketsAndMovement) {
+  HistogramTracker hist(hub_, "lat", {10.0, 100.0}, RwwFactory());
+  ASSERT_EQ(hist.NumBuckets(), 3u);
+  hist.Record(1, 5.0);     // bucket 0
+  hist.Record(2, 50.0);    // bucket 1
+  hist.Record(3, 500.0);   // bucket 2 (overflow)
+  hist.Record(4, 10.0);    // boundary value goes up: bucket 1
+  EXPECT_EQ(hist.Read(0), (std::vector<Real>{1.0, 2.0, 1.0}));
+  // A node moving between buckets leaves its old one.
+  hist.Record(2, 1.0);  // bucket 1 -> 0
+  EXPECT_EQ(hist.Read(0), (std::vector<Real>{2.0, 1.0, 1.0}));
+  // Same-bucket updates are free (no writes issued).
+  const std::int64_t before = hub_.TotalMessages();
+  hist.Record(2, 2.0);  // still bucket 0
+  EXPECT_EQ(hub_.TotalMessages(), before);
+  hist.Clear(3);
+  EXPECT_EQ(hist.Read(0), (std::vector<Real>{2.0, 1.0, 0.0}));
+}
+
+TEST_F(CompositesTest, TrackersCoexistInOneHub) {
+  AverageTracker avg(hub_, "a", RwwFactory());
+  VarianceTracker var(hub_, "v", RwwFactory());
+  HistogramTracker hist(hub_, "h", {1.0}, RwwFactory());
+  avg.Record(1, 3.0);
+  var.Record(1, 3.0);
+  hist.Record(1, 3.0);
+  EXPECT_EQ(avg.Read(0), 3.0);
+  EXPECT_EQ(var.Mean(0), 3.0);
+  EXPECT_EQ(hist.Read(0), (std::vector<Real>{0.0, 1.0}));
+  // 2 (avg) + 3 (var) + 2 (hist) component attributes registered.
+  EXPECT_EQ(hub_.AttributeNames().size(), 7u);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,138 @@
+#include "sim/concurrent.h"
+
+#include <gtest/gtest.h>
+
+#include "consistency/causal_checker.h"
+#include "consistency/strict_checker.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(ConcurrentSimTest, WidelySpacedRequestsBehaveSequentially) {
+  // With gaps far larger than any message delay, the concurrent execution
+  // degenerates to a sequential one and must be strictly consistent.
+  Tree t = MakeKary(7, 2);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 1;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  std::vector<ScheduledRequest> schedule;
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 100, 31);
+  std::int64_t time = 0;
+  for (const Request& r : sigma) {
+    schedule.push_back({time, r});
+    time += 1000;  // guaranteed quiescence between requests
+  }
+  sim.Run(schedule);
+  ASSERT_TRUE(sim.history().AllCompleted());
+  EXPECT_TRUE(CheckStrictConsistency(sim.history(), SumOp(), t.size()).ok);
+}
+
+TEST(ConcurrentSimTest, OverlappingRequestsAllComplete) {
+  Tree t = MakePath(8);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 20;
+  options.seed = 7;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  std::vector<ScheduledRequest> schedule;
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 13);
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    schedule.push_back({static_cast<std::int64_t>(i / 4), sigma[i]});
+  }
+  sim.Run(schedule);
+  EXPECT_TRUE(sim.history().AllCompleted());
+  EXPECT_EQ(sim.history().size(), sigma.size());
+}
+
+TEST(ConcurrentSimTest, SimultaneousCombinesAtSameNodeShareProbes) {
+  Tree t = MakeStar(6);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 5;
+  options.max_delay = 5;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  // Three combines at the hub at the same instant: the probe wave is
+  // shared, so the cost is that of one combine.
+  sim.Run({{0, Request::Combine(0)},
+           {0, Request::Combine(0)},
+           {1, Request::Combine(0)}});
+  EXPECT_TRUE(sim.history().AllCompleted());
+  EXPECT_EQ(sim.trace().totals().probes, 5);
+  EXPECT_EQ(sim.trace().totals().responses, 5);
+}
+
+TEST(ConcurrentSimTest, FifoPreservedPerChannel) {
+  // Delays vary, but per-edge delivery must preserve send order; the
+  // protocol relies on it, and a causally consistent run is the witness.
+  Tree t = MakePath(4);
+  ConcurrentSimulator::Options options;
+  options.min_delay = 1;
+  options.max_delay = 30;
+  options.seed = 11;
+  ConcurrentSimulator sim(t, RwwFactory(), options);
+  Rng rng(5);
+  const RequestSequence sigma = MakeWorkload("mixed75", t, 200, 19);
+  sim.Run(ScheduleWithGaps(sigma, 2, rng));
+  ASSERT_TRUE(sim.history().AllCompleted());
+  const CheckResult r = CheckCausalConsistency(sim.history(),
+                                               sim.GhostStates(), SumOp(),
+                                               t.size());
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ConcurrentSimTest, QuiescentLeaseSymmetryAfterConcurrentRuns) {
+  // Lemma 3.1 (taken/granted symmetry) is proven for sequential
+  // executions; empirically it also holds in the final quiescent state of
+  // concurrent runs — every lease handshake and release pair has settled
+  // once no messages remain.
+  for (const std::uint64_t seed : {1ull, 4ull, 9ull, 16ull}) {
+    Tree t = MakeShape("kary2", 9, 3);
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 17;
+    options.seed = seed;
+    options.ghost_logging = false;
+    ConcurrentSimulator sim(t, RwwFactory(), options);
+    Rng rng(seed + 50);
+    sim.Run(ScheduleWithGaps(MakeWorkload("mixed50", t, 300, seed), 2, rng));
+    for (const Edge& e : t.OrderedEdges()) {
+      EXPECT_EQ(sim.node(e.u).taken(e.v), sim.node(e.v).granted(e.u))
+          << "seed " << seed << " edge (" << e.u << "," << e.v << ")";
+    }
+    // Lemma 3.4 counterpart: no pending probe fan-outs remain.
+    for (NodeId u = 0; u < t.size(); ++u) {
+      EXPECT_EQ(sim.node(u).PndgSize(), 0u);
+    }
+  }
+}
+
+TEST(ConcurrentSimTest, DeterministicAcrossRuns) {
+  Tree t = MakeKary(9, 2);
+  const RequestSequence sigma = MakeWorkload("bursty", t, 150, 23);
+  const auto run = [&] {
+    ConcurrentSimulator::Options options;
+    options.min_delay = 1;
+    options.max_delay = 10;
+    options.seed = 77;
+    ConcurrentSimulator sim(t, RwwFactory(), options);
+    Rng rng(42);
+    sim.Run(ScheduleWithGaps(sigma, 3, rng));
+    return sim.trace().TotalMessages();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ConcurrentSimTest, ScheduleWithGapsIsMonotone) {
+  Rng rng(1);
+  const RequestSequence sigma = {Request::Combine(0), Request::Write(0, 1),
+                                 Request::Combine(0)};
+  const auto schedule = ScheduleWithGaps(sigma, 5, rng);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_LE(schedule[0].time, schedule[1].time);
+  EXPECT_LE(schedule[1].time, schedule[2].time);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,99 @@
+#include "sim/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/extra_policies.h"
+#include "core/policies.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(ExplorerTest, SingleRequestHasOneExecution) {
+  Tree t({0, 0});
+  const ExplorationResult r =
+      ExploreAllInterleavings(t, RwwFactory(), {Request::Write(0, 1.0)});
+  EXPECT_EQ(r.executions, 1);
+  EXPECT_TRUE(r.all_consistent);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(ExplorerTest, TwoIndependentRequestsInterleaveBothWays) {
+  Tree t({0, 0});
+  // Two writes at different nodes, no messages: exactly 2 interleavings.
+  const ExplorationResult r = ExploreAllInterleavings(
+      t, RwwFactory(), {Request::Write(0, 1.0), Request::Write(1, 2.0)});
+  EXPECT_EQ(r.executions, 2);
+  EXPECT_TRUE(r.all_consistent);
+}
+
+TEST(ExplorerTest, ProgramOrderPreservedPerNode) {
+  Tree t({0, 0});
+  // Two writes at the SAME node: program order pins them; one execution.
+  const ExplorationResult r = ExploreAllInterleavings(
+      t, RwwFactory(), {Request::Write(0, 1.0), Request::Write(0, 2.0)});
+  EXPECT_EQ(r.executions, 1);
+  EXPECT_TRUE(r.all_consistent);
+}
+
+TEST(ExplorerTest, WriteRacingCombineAllConsistent) {
+  Tree t({0, 0});
+  const ExplorationResult r = ExploreAllInterleavings(
+      t, RwwFactory(),
+      {Request::Write(0, 5.0), Request::Combine(1), Request::Write(0, 7.0)});
+  EXPECT_GT(r.executions, 2);
+  EXPECT_TRUE(r.all_consistent) << r.first_violation;
+  EXPECT_GE(r.max_depth, 5);  // 3 initiations + probe/response at least
+}
+
+TEST(ExplorerTest, ThreeNodePathContention) {
+  Tree t = MakePath(3);
+  const ExplorationResult r = ExploreAllInterleavings(
+      t, RwwFactory(),
+      {Request::Combine(0), Request::Write(2, 1.0), Request::Combine(2),
+       Request::Write(0, 2.0)});
+  EXPECT_TRUE(r.all_consistent) << r.first_violation;
+  EXPECT_GT(r.executions, 50);  // genuine combinatorial coverage
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(ExplorerTest, EveryPolicySurvivesExhaustiveExploration) {
+  Tree t = MakePath(3);
+  const RequestSequence requests = {Request::Write(0, 1.0),
+                                    Request::Combine(2),
+                                    Request::Write(2, 3.0),
+                                    Request::Combine(0)};
+  for (const NamedPolicy& policy : AllPolicies()) {
+    const ExplorationResult r =
+        ExploreAllInterleavings(t, policy.factory, requests, SumOp(), 50000);
+    EXPECT_TRUE(r.all_consistent)
+        << policy.name << ": " << r.first_violation;
+    EXPECT_GT(r.executions, 0) << policy.name;
+  }
+}
+
+TEST(ExplorerTest, TruncationIsReportedNotSilent) {
+  Tree t = MakeStar(4);
+  RequestSequence requests;
+  for (int i = 0; i < 6; ++i) {
+    requests.push_back(Request::Combine(static_cast<NodeId>(i % 4)));
+  }
+  const ExplorationResult r =
+      ExploreAllInterleavings(t, RwwFactory(), requests, SumOp(),
+                              /*max_executions=*/100);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.executions, 100);
+}
+
+TEST(ExplorerTest, MinOperatorExploresConsistently) {
+  Tree t({0, 0});
+  const ExplorationResult r = ExploreAllInterleavings(
+      t, RwwFactory(),
+      {Request::Write(0, 5.0), Request::Combine(1), Request::Write(1, 2.0),
+       Request::Combine(0)},
+      MinOp());
+  EXPECT_TRUE(r.all_consistent) << r.first_violation;
+}
+
+}  // namespace
+}  // namespace treeagg

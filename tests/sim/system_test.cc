@@ -1,0 +1,119 @@
+// Tests of the AggregationSystem façade itself (drivers, history
+// recording, cached reads, lease-graph snapshots).
+#include "sim/system.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(SystemTest, ExecuteRecordsFullHistory) {
+  Tree t = MakePath(4);
+  AggregationSystem sys(t, RwwFactory());
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 50, 1);
+  sys.Execute(sigma);
+  ASSERT_EQ(sys.history().size(), sigma.size());
+  EXPECT_TRUE(sys.history().AllCompleted());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    EXPECT_EQ(sys.history().records()[i].node, sigma[i].node);
+    EXPECT_EQ(sys.history().records()[i].op, sigma[i].op);
+  }
+}
+
+TEST(SystemTest, ReadCachedIsExactUnderFullLeases) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Write(5, 3.0);
+  const Real combined = sys.Combine(2);
+  EXPECT_EQ(sys.ReadCached(2), combined);
+  // A single write keeps RWW's leases; the cache follows it.
+  sys.Write(5, 8.0);
+  EXPECT_EQ(sys.ReadCached(2), 8.0);
+  const std::int64_t before = sys.trace().TotalMessages();
+  sys.ReadCached(2);
+  EXPECT_EQ(sys.trace().TotalMessages(), before);  // free
+}
+
+TEST(SystemTest, ReadCachedGoesStaleWithoutLeases) {
+  Tree t = MakePath(3);
+  AggregationSystem sys(t, PullAllFactory());
+  sys.Write(2, 5.0);
+  EXPECT_EQ(sys.ReadCached(0), 0.0);   // stale
+  EXPECT_EQ(sys.Combine(0), 5.0);      // protocol read is exact
+  EXPECT_EQ(sys.ReadCached(0), 5.0);   // the probe refreshed the cache
+}
+
+TEST(SystemTest, CurrentLeaseGraphMatchesNodeFlags) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(3);
+  const LeaseGraph g = sys.CurrentLeaseGraph();
+  for (const Edge& e : t.OrderedEdges()) {
+    EXPECT_EQ(g.granted(e.u, e.v), sys.node(e.u).granted(e.v));
+  }
+  EXPECT_GT(g.GrantedCount(), 0);
+}
+
+TEST(SystemTest, KeepMessageLogCapturesEverything) {
+  Tree t = MakePath(3);
+  AggregationSystem::Options options;
+  options.keep_message_log = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Combine(0);
+  EXPECT_EQ(static_cast<std::int64_t>(sys.trace().log().size()),
+            sys.trace().TotalMessages());
+}
+
+TEST(SystemTest, HistoryGatherEmptyWithoutGhost) {
+  Tree t = MakePath(2);
+  AggregationSystem sys(t, RwwFactory());  // ghost off by default
+  sys.Write(1, 2.0);
+  sys.Combine(0);
+  for (const RequestRecord& r : sys.history().records()) {
+    EXPECT_TRUE(r.gather.empty());
+  }
+}
+
+TEST(SystemTest, HistoryGatherPopulatedWithGhost) {
+  Tree t = MakePath(2);
+  AggregationSystem::Options options;
+  options.ghost_logging = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Write(1, 2.0);
+  const Real v = sys.Combine(0);
+  EXPECT_EQ(v, 2.0);
+  const RequestRecord& combine = sys.history().records()[1];
+  ASSERT_EQ(combine.gather.size(), 1u);
+  EXPECT_EQ(combine.gather[0].first, 1);
+  EXPECT_EQ(combine.gather[0].second, 0);  // the write's request id
+  EXPECT_EQ(combine.log_prefix, 1);
+}
+
+TEST(SystemTest, OutOfRangeNodesThrow) {
+  Tree t = MakePath(3);
+  AggregationSystem sys(t, RwwFactory());
+  EXPECT_THROW(sys.Combine(3), std::out_of_range);
+  EXPECT_THROW(sys.Combine(-1), std::out_of_range);
+  EXPECT_THROW(sys.Write(99, 1.0), std::out_of_range);
+  EXPECT_THROW(sys.ReadCached(3), std::out_of_range);
+  // The system remains usable after a rejected request.
+  sys.Write(1, 2.0);
+  EXPECT_EQ(sys.Combine(0), 2.0);
+}
+
+TEST(SystemTest, MultipleSystemsShareATreeIndependently) {
+  Tree t = MakePath(4);
+  AggregationSystem a(t, RwwFactory());
+  AggregationSystem b(t, PullAllFactory());
+  a.Write(0, 1.0);
+  b.Write(0, 9.0);
+  EXPECT_EQ(a.Combine(3), 1.0);
+  EXPECT_EQ(b.Combine(3), 9.0);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,82 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace treeagg {
+namespace {
+
+Message Make(MsgType type, NodeId from, NodeId to) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+TEST(TraceTest, ClassifiesPerSection32) {
+  MessageTrace trace;
+  // For ordered pair (u=1, v=0): probe 0->1, response 1->0, update 1->0,
+  // release 0->1.
+  trace.Record(Make(MsgType::kProbe, 0, 1));
+  trace.Record(Make(MsgType::kResponse, 1, 0));
+  trace.Record(Make(MsgType::kUpdate, 1, 0));
+  trace.Record(Make(MsgType::kRelease, 0, 1));
+  const MessageCounts c = trace.EdgeCost(1, 0);
+  EXPECT_EQ(c.probes, 1);
+  EXPECT_EQ(c.responses, 1);
+  EXPECT_EQ(c.updates, 1);
+  EXPECT_EQ(c.releases, 1);
+  EXPECT_EQ(c.total(), 4);
+  EXPECT_EQ(trace.EdgeCost(0, 1).total(), 0);  // opposite pair untouched
+}
+
+TEST(TraceTest, TotalsAccumulate) {
+  MessageTrace trace;
+  for (int i = 0; i < 3; ++i) trace.Record(Make(MsgType::kProbe, 0, 1));
+  trace.Record(Make(MsgType::kUpdate, 2, 3));
+  EXPECT_EQ(trace.totals().probes, 3);
+  EXPECT_EQ(trace.totals().updates, 1);
+  EXPECT_EQ(trace.TotalMessages(), 4);
+}
+
+TEST(TraceTest, EdgeCostsPartitionTotal) {
+  MessageTrace trace;
+  trace.Record(Make(MsgType::kProbe, 0, 1));
+  trace.Record(Make(MsgType::kResponse, 1, 0));
+  trace.Record(Make(MsgType::kUpdate, 3, 2));
+  trace.Record(Make(MsgType::kRelease, 2, 3));
+  std::int64_t sum = 0;
+  for (const auto& [edge, counts] : trace.AllEdgeCosts()) {
+    sum += counts.total();
+  }
+  EXPECT_EQ(sum, trace.TotalMessages());
+}
+
+TEST(TraceTest, KeepLogRetainsMessages) {
+  MessageTrace trace(/*keep_log=*/true);
+  trace.Record(Make(MsgType::kProbe, 0, 1));
+  trace.Record(Make(MsgType::kResponse, 1, 0));
+  ASSERT_EQ(trace.log().size(), 2u);
+  EXPECT_EQ(trace.log()[0].type, MsgType::kProbe);
+}
+
+TEST(TraceTest, ResetClearsEverything) {
+  MessageTrace trace(true);
+  trace.Record(Make(MsgType::kProbe, 0, 1));
+  trace.Reset();
+  EXPECT_EQ(trace.TotalMessages(), 0);
+  EXPECT_TRUE(trace.log().empty());
+  EXPECT_TRUE(trace.AllEdgeCosts().empty());
+}
+
+TEST(TraceTest, CountsAddition) {
+  MessageCounts a{1, 2, 3, 4};
+  const MessageCounts b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.probes, 11);
+  EXPECT_EQ(a.releases, 44);
+  EXPECT_EQ(a.total(), 110);
+}
+
+}  // namespace
+}  // namespace treeagg

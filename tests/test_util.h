@@ -1,0 +1,90 @@
+// Shared test helpers: quiescent-state invariant checks corresponding to
+// the paper's lemmas, usable after any sequentially executed request.
+#ifndef TREEAGG_TESTS_TEST_UTIL_H_
+#define TREEAGG_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/system.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+
+// Lemma 3.1: u.taken[v] == v.granted[u] in every quiescent state.
+inline void ExpectLemma31(const AggregationSystem& sys) {
+  const Tree& tree = sys.tree();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    for (const NodeId v : tree.neighbors(u)) {
+      EXPECT_EQ(sys.node(u).taken(v), sys.node(v).granted(u))
+          << "Lemma 3.1 violated at edge (" << u << ", " << v << ")";
+    }
+  }
+}
+
+// Lemma 3.2: if u.granted[v] then u.taken[w] for every other neighbor w.
+inline void ExpectLemma32(const AggregationSystem& sys) {
+  const Tree& tree = sys.tree();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    for (const NodeId v : tree.neighbors(u)) {
+      if (!sys.node(u).granted(v)) continue;
+      for (const NodeId w : tree.neighbors(u)) {
+        if (w == v) continue;
+        EXPECT_TRUE(sys.node(u).taken(w))
+            << "Lemma 3.2 violated at node " << u << ": granted[" << v
+            << "] but not taken[" << w << "]";
+      }
+    }
+  }
+}
+
+// Lemma 3.4: pndg and all snt sets are empty in every quiescent state.
+inline void ExpectLemma34(const AggregationSystem& sys) {
+  const Tree& tree = sys.tree();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    EXPECT_EQ(sys.node(u).PndgSize(), 0u)
+        << "Lemma 3.4 violated: node " << u << " has pending requesters";
+  }
+}
+
+// Invariants I1/I3 (Lemma 3.11), checked against ground truth: u.val equals
+// the most recent write at u, and for every taken lease v -> u, u.aval[v]
+// equals the aggregate over subtree(v, u) of the current per-node values.
+inline void ExpectValueInvariants(const AggregationSystem& sys,
+                                  const std::vector<Real>& truth) {
+  const Tree& tree = sys.tree();
+  const AggregateOp& op = sys.op();
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    EXPECT_EQ(sys.node(u).val(), truth[static_cast<std::size_t>(u)])
+        << "I1 violated at node " << u;
+    for (const NodeId v : tree.neighbors(u)) {
+      if (!sys.node(u).taken(v)) continue;
+      Real expected = op.identity;
+      for (NodeId w = 0; w < tree.size(); ++w) {
+        if (tree.InSubtree(w, v, u)) {
+          expected = op(expected, truth[static_cast<std::size_t>(w)]);
+        }
+      }
+      const Real actual = sys.node(u).aval(v);
+      if (actual == expected) continue;  // exact (covers +-inf identities)
+      EXPECT_NEAR(actual, expected, 1e-9)
+          << "I3 violated at node " << u << " for neighbor " << v;
+    }
+  }
+}
+
+// Runs all quiescent-state invariants.
+inline void ExpectQuiescentInvariants(const AggregationSystem& sys,
+                                      const std::vector<Real>& truth) {
+  ASSERT_TRUE(sys.IsQuiescent());
+  ExpectLemma31(sys);
+  ExpectLemma32(sys);
+  ExpectLemma34(sys);
+  ExpectValueInvariants(sys, truth);
+}
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_TESTS_TEST_UTIL_H_

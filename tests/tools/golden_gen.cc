@@ -1,0 +1,30 @@
+#include <iostream>
+#include "core/extra_policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+using namespace treeagg;
+int main() {
+  struct C { const char* shape; NodeId n; const char* wl; std::size_t len; const char* pol; };
+  C cases[] = {
+    {"path", 16, "mixed50", 400, "RWW"},
+    {"path", 16, "mixed50", 400, "pull-all"},
+    {"path", 16, "mixed50", 400, "push-all"},
+    {"star", 16, "bursty", 400, "RWW"},
+    {"kary2", 31, "hotspot", 400, "RWW"},
+    {"kary2", 31, "hotspot", 400, "lease(1,3)"},
+    {"random", 24, "readheavy", 400, "RWW"},
+    {"random", 24, "writeheavy", 400, "RWW"},
+    {"pref", 24, "roundrobin", 400, "ewma"},
+    {"broom", 20, "mixed25", 400, "timer(16)"},
+  };
+  for (auto& c : cases) {
+    Tree t = MakeShape(c.shape, c.n, 1000);
+    auto sigma = MakeWorkload(c.wl, t, c.len, 2000);
+    AggregationSystem sys(t, PolicyBySpec(c.pol));
+    sys.Execute(sigma);
+    std::cout << "GoldenCase{\"" << c.shape << "\", " << c.n << ", \"" << c.wl
+              << "\", " << c.len << ", \"" << c.pol << "\", "
+              << sys.trace().TotalMessages() << "},\n";
+  }
+}

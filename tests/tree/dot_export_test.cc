@@ -1,0 +1,50 @@
+#include "tree/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(DotExportTest, TreeEmitsAllEdges) {
+  Tree t = MakePath(4);
+  const std::string dot = TreeToDot(t);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1 [dir=none"), std::string::npos);
+  EXPECT_NE(dot.find("1 -> 2 [dir=none"), std::string::npos);
+  EXPECT_NE(dot.find("2 -> 3 [dir=none"), std::string::npos);
+  EXPECT_EQ(dot.find("lease"), std::string::npos);
+}
+
+TEST(DotExportTest, LeaseOverlayShowsGrants) {
+  Tree t = MakePath(3);
+  LeaseGraph g(t);
+  g.SetGranted(0, 1, true);
+  const std::string dot = LeaseGraphToDot(g);
+  EXPECT_NE(dot.find("0 -> 1 [color=black"), std::string::npos);
+  EXPECT_EQ(dot.find("1 -> 0 [color=black"), std::string::npos);
+}
+
+TEST(DotExportTest, RendersSystemLeaseGraph) {
+  Tree t = MakePath(3);
+  AggregationSystem sys(t, RwwFactory());
+  sys.Combine(0);  // leases 2->1->0
+  const std::string dot = LeaseGraphToDot(sys.CurrentLeaseGraph());
+  EXPECT_NE(dot.find("2 -> 1 [color=black"), std::string::npos);
+  EXPECT_NE(dot.find("1 -> 0 [color=black"), std::string::npos);
+  EXPECT_EQ(dot.find("0 -> 1 [color=black"), std::string::npos);
+}
+
+TEST(DotExportTest, OutputIsBalanced) {
+  Tree t = MakeStar(5);
+  const std::string dot = TreeToDot(t);
+  EXPECT_EQ(dot.front(), 'd');
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treeagg

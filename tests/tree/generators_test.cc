@@ -1,0 +1,89 @@
+#include "tree/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace treeagg {
+namespace {
+
+TEST(GeneratorsTest, PathShape) {
+  Tree t = MakePath(10);
+  EXPECT_EQ(t.Diameter(), 9);
+  EXPECT_EQ(t.edges().size(), 9u);
+}
+
+TEST(GeneratorsTest, StarShape) {
+  Tree t = MakeStar(10);
+  EXPECT_EQ(t.Diameter(), 2);
+  EXPECT_EQ(t.degree(0), 9);
+}
+
+TEST(GeneratorsTest, KaryChildCounts) {
+  Tree t = MakeKary(13, 3);  // root with 3 children, each with 3 children
+  EXPECT_EQ(t.degree(0), 3);
+  EXPECT_EQ(t.degree(1), 4);  // parent + 3 children
+  EXPECT_EQ(t.degree(12), 1);
+}
+
+TEST(GeneratorsTest, KaryDegreeBound) {
+  Tree t = MakeKary(100, 4);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    EXPECT_LE(t.degree(u), 5);  // k children + 1 parent
+  }
+}
+
+TEST(GeneratorsTest, CaterpillarSize) {
+  Tree t = MakeCaterpillar(5, 3);
+  EXPECT_EQ(t.size(), 20);
+  EXPECT_EQ(t.Diameter(), 6);  // leg - spine(4 edges) - leg
+}
+
+TEST(GeneratorsTest, BroomShape) {
+  Tree t = MakeBroom(4, 6);
+  EXPECT_EQ(t.size(), 10);
+  EXPECT_EQ(t.degree(3), 7);  // end of handle + bristles
+  EXPECT_EQ(t.Diameter(), 4);
+}
+
+TEST(GeneratorsTest, RandomTreeIsDeterministicPerSeed) {
+  Rng rng1(42), rng2(42), rng3(43);
+  Tree a = MakeRandomTree(50, rng1);
+  Tree b = MakeRandomTree(50, rng2);
+  Tree c = MakeRandomTree(50, rng3);
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+  bool identical_ab = true, identical_ac = true;
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    identical_ab &= a.edges()[i] == b.edges()[i];
+    identical_ac &= a.edges()[i] == c.edges()[i];
+  }
+  EXPECT_TRUE(identical_ab);
+  EXPECT_FALSE(identical_ac);
+}
+
+TEST(GeneratorsTest, PreferentialTreeHasHub) {
+  Rng rng(1);
+  Tree t = MakePreferentialTree(200, rng);
+  NodeId max_deg = 0;
+  for (NodeId u = 0; u < t.size(); ++u) max_deg = std::max(max_deg, t.degree(u));
+  EXPECT_GE(max_deg, 5);  // preferential attachment grows hubs
+}
+
+TEST(GeneratorsTest, AllShapesProduceRequestedSize) {
+  for (const std::string& shape : AllShapeNames()) {
+    if (shape == "caterpillar") continue;  // size is rounded by construction
+    Tree t = MakeShape(shape, 32, 9);
+    EXPECT_EQ(t.size(), 32) << shape;
+  }
+}
+
+TEST(GeneratorsTest, UnknownShapeThrows) {
+  EXPECT_THROW(MakeShape("torus", 8, 1), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, KaryRequiresPositiveK) {
+  EXPECT_THROW(MakeKary(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treeagg

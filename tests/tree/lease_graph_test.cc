@@ -1,0 +1,72 @@
+#include "tree/lease_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(LeaseGraphTest, InitiallyNoGrants) {
+  Tree t = MakePath(4);
+  LeaseGraph g(t);
+  EXPECT_EQ(g.GrantedCount(), 0);
+  EXPECT_FALSE(g.granted(0, 1));
+  EXPECT_TRUE(g.ReachableFrom(0).empty());
+}
+
+TEST(LeaseGraphTest, SetAndClearDirectedEdges) {
+  Tree t = MakePath(3);
+  LeaseGraph g(t);
+  g.SetGranted(0, 1, true);
+  EXPECT_TRUE(g.granted(0, 1));
+  EXPECT_FALSE(g.granted(1, 0));  // directed
+  g.SetGranted(0, 1, false);
+  EXPECT_FALSE(g.granted(0, 1));
+}
+
+TEST(LeaseGraphTest, ReachabilityFollowsGrantDirection) {
+  Tree t = MakePath(4);  // 0-1-2-3
+  LeaseGraph g(t);
+  g.SetGranted(0, 1, true);
+  g.SetGranted(1, 2, true);
+  const auto from0 = g.ReachableFrom(0);
+  EXPECT_EQ(from0, (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(g.ReachableFrom(3).empty());
+}
+
+TEST(LeaseGraphTest, ProbeSetIsWholeTreeWithoutLeases) {
+  Tree t = MakeStar(5);
+  LeaseGraph g(t);
+  EXPECT_EQ(g.ProbeSetFor(0).size(), 4u);
+  EXPECT_EQ(g.ProbeSetFor(1).size(), 4u);
+}
+
+TEST(LeaseGraphTest, ProbeSetShrinksWithLeasesTowardRequester) {
+  Tree t = MakePath(4);  // 0-1-2-3, combine at 3
+  LeaseGraph g(t);
+  // 0 granted its value to 1: probing from 3 stops at 1.
+  g.SetGranted(0, 1, true);
+  const auto probe = g.ProbeSetFor(3);
+  EXPECT_EQ(probe, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(LeaseGraphTest, ProbeSetEmptyWhenEverythingGrantedInward) {
+  Tree t = MakePath(3);
+  LeaseGraph g(t);
+  g.SetGranted(0, 1, true);
+  g.SetGranted(1, 2, true);
+  EXPECT_TRUE(g.ProbeSetFor(2).empty());
+}
+
+TEST(LeaseGraphTest, GrantedCountTracksUpdates) {
+  Tree t = MakeStar(4);
+  LeaseGraph g(t);
+  g.SetGranted(0, 1, true);
+  g.SetGranted(1, 0, true);
+  g.SetGranted(0, 2, true);
+  EXPECT_EQ(g.GrantedCount(), 3);
+}
+
+}  // namespace
+}  // namespace treeagg

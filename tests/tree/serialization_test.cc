@@ -1,0 +1,51 @@
+#include "tree/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(TreeSerializationTest, ParsesSimpleTree) {
+  Tree t = TreeFromString("0 0 1 1 2");
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_TRUE(t.HasEdge(0, 1));
+  EXPECT_TRUE(t.HasEdge(1, 2));
+  EXPECT_TRUE(t.HasEdge(1, 3));
+  EXPECT_TRUE(t.HasEdge(2, 4));
+}
+
+TEST(TreeSerializationTest, RoundTripsGeneratedTrees) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree original = MakeRandomTree(static_cast<NodeId>(rng.NextInt(1, 60)),
+                                   rng);
+    Tree reparsed = TreeFromString(TreeToString(original));
+    ASSERT_EQ(original.size(), reparsed.size());
+    ASSERT_EQ(original.edges().size(), reparsed.edges().size());
+    for (std::size_t i = 0; i < original.edges().size(); ++i) {
+      ASSERT_EQ(original.edges()[i], reparsed.edges()[i]);
+    }
+  }
+}
+
+TEST(TreeSerializationTest, AcceptsArbitraryWhitespace) {
+  Tree t = TreeFromString("  0\n0\t1 ");
+  EXPECT_EQ(t.size(), 3);
+}
+
+TEST(TreeSerializationTest, RejectsGarbage) {
+  EXPECT_THROW(TreeFromString(""), std::invalid_argument);
+  EXPECT_THROW(TreeFromString("0 x"), std::invalid_argument);
+  EXPECT_THROW(TreeFromString("0 1.5"), std::invalid_argument);
+  EXPECT_THROW(TreeFromString("0 2 0"), std::invalid_argument);  // bad parent
+}
+
+TEST(TreeSerializationTest, SingleNode) {
+  EXPECT_EQ(TreeToString(TreeFromString("0")), "0");
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,199 @@
+#include "tree/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/rng.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(TopologyTest, SingleNode) {
+  Tree t({0});
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_TRUE(t.neighbors(0).empty());
+  EXPECT_EQ(t.Diameter(), 0);
+}
+
+TEST(TopologyTest, PathStructure) {
+  Tree t = MakePath(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_EQ(t.degree(4), 1);
+  EXPECT_TRUE(t.HasEdge(1, 2));
+  EXPECT_TRUE(t.HasEdge(2, 1));
+  EXPECT_FALSE(t.HasEdge(0, 2));
+  EXPECT_FALSE(t.HasEdge(0, 0));
+  EXPECT_EQ(t.Diameter(), 4);
+}
+
+TEST(TopologyTest, StarStructure) {
+  Tree t = MakeStar(6);
+  EXPECT_EQ(t.degree(0), 5);
+  for (NodeId i = 1; i < 6; ++i) {
+    EXPECT_EQ(t.degree(i), 1);
+    EXPECT_TRUE(t.HasEdge(0, i));
+  }
+  EXPECT_EQ(t.Diameter(), 2);
+}
+
+TEST(TopologyTest, EdgesEnumerationCountsNMinus1) {
+  Tree t = MakeKary(10, 3);
+  EXPECT_EQ(t.edges().size(), 9u);
+  EXPECT_EQ(t.OrderedEdges().size(), 18u);
+}
+
+TEST(TopologyTest, OrderedEdgesContainsBothDirections) {
+  Tree t = MakePath(3);
+  const auto ordered = t.OrderedEdges();
+  int forward = 0, backward = 0;
+  for (const Edge& e : ordered) {
+    if (e.u == 0 && e.v == 1) ++forward;
+    if (e.u == 1 && e.v == 0) ++backward;
+  }
+  EXPECT_EQ(forward, 1);
+  EXPECT_EQ(backward, 1);
+}
+
+TEST(TopologyTest, InvalidParentVectorThrows) {
+  EXPECT_THROW(Tree({0, 2, 0}), std::invalid_argument);  // parent[1]=2 >= 1
+  EXPECT_THROW(Tree({}), std::invalid_argument);
+}
+
+TEST(TopologyTest, SubtreeMembershipOnPath) {
+  Tree t = MakePath(5);  // 0-1-2-3-4
+  // subtree(1, 2) = {0, 1}; subtree(2, 1) = {2, 3, 4}.
+  EXPECT_TRUE(t.InSubtree(0, 1, 2));
+  EXPECT_TRUE(t.InSubtree(1, 1, 2));
+  EXPECT_FALSE(t.InSubtree(2, 1, 2));
+  EXPECT_FALSE(t.InSubtree(4, 1, 2));
+  EXPECT_TRUE(t.InSubtree(2, 2, 1));
+  EXPECT_TRUE(t.InSubtree(4, 2, 1));
+  EXPECT_FALSE(t.InSubtree(0, 2, 1));
+}
+
+TEST(TopologyTest, SubtreeSizesPartitionTheTree) {
+  Rng rng(7);
+  Tree t = MakeRandomTree(40, rng);
+  for (const Edge& e : t.edges()) {
+    EXPECT_EQ(t.SubtreeSize(e.u, e.v) + t.SubtreeSize(e.v, e.u), t.size());
+    NodeId count_u = 0;
+    for (NodeId w = 0; w < t.size(); ++w) {
+      const bool in_u = t.InSubtree(w, e.u, e.v);
+      const bool in_v = t.InSubtree(w, e.v, e.u);
+      EXPECT_NE(in_u, in_v) << "node " << w << " must be on exactly one side";
+      if (in_u) ++count_u;
+    }
+    EXPECT_EQ(count_u, t.SubtreeSize(e.u, e.v));
+  }
+}
+
+TEST(TopologyTest, UParentIsNextHopTowardsU) {
+  Rng rng(3);
+  Tree t = MakeRandomTree(30, rng);
+  // Reference: BFS parent pointers from every root.
+  for (NodeId u = 0; u < t.size(); ++u) {
+    std::vector<NodeId> parent(static_cast<std::size_t>(t.size()),
+                               kInvalidNode);
+    std::queue<NodeId> q;
+    q.push(u);
+    std::vector<bool> seen(static_cast<std::size_t>(t.size()), false);
+    seen[static_cast<std::size_t>(u)] = true;
+    while (!q.empty()) {
+      const NodeId x = q.front();
+      q.pop();
+      for (const NodeId w : t.neighbors(x)) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = true;
+          parent[static_cast<std::size_t>(w)] = x;
+          q.push(w);
+        }
+      }
+    }
+    for (NodeId w = 0; w < t.size(); ++w) {
+      if (w == u) continue;
+      EXPECT_EQ(t.UParent(w, u), parent[static_cast<std::size_t>(w)])
+          << "u=" << u << " w=" << w;
+    }
+  }
+}
+
+TEST(TopologyTest, DistanceMatchesBfs) {
+  Rng rng(11);
+  Tree t = MakeRandomTree(25, rng);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    std::vector<NodeId> dist(static_cast<std::size_t>(t.size()), -1);
+    std::queue<NodeId> q;
+    q.push(u);
+    dist[static_cast<std::size_t>(u)] = 0;
+    while (!q.empty()) {
+      const NodeId x = q.front();
+      q.pop();
+      for (const NodeId w : t.neighbors(x)) {
+        if (dist[static_cast<std::size_t>(w)] < 0) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(x)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    for (NodeId v = 0; v < t.size(); ++v) {
+      EXPECT_EQ(t.Distance(u, v), dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(TopologyTest, BfsOrderVisitsAllNodesOnce) {
+  Tree t = MakeKary(31, 2);
+  const auto order = t.BfsOrder(5);
+  EXPECT_EQ(order.size(), 31u);
+  std::vector<bool> seen(31, false);
+  for (const NodeId v : order) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  EXPECT_EQ(order.front(), 5);
+}
+
+TEST(TopologyTest, LcaOnKnownTree) {
+  Tree t = MakeKary(15, 2);  // node i's parent is (i-1)/2
+  EXPECT_EQ(t.Lca(7, 8), 3);
+  EXPECT_EQ(t.Lca(7, 9), 1);
+  EXPECT_EQ(t.Lca(7, 14), 0);
+  EXPECT_EQ(t.Lca(3, 7), 3);   // ancestor case
+  EXPECT_EQ(t.Lca(5, 5), 5);   // reflexive
+  EXPECT_EQ(t.Lca(0, 12), 0);  // root
+}
+
+TEST(TopologyTest, LcaSymmetry) {
+  Rng rng(21);
+  Tree t = MakeRandomTree(30, rng);
+  for (NodeId u = 0; u < t.size(); u += 3) {
+    for (NodeId v = 0; v < t.size(); v += 5) {
+      EXPECT_EQ(t.Lca(u, v), t.Lca(v, u));
+    }
+  }
+}
+
+TEST(TopologyTest, RootedParentChain) {
+  Tree t = MakePath(5);
+  EXPECT_EQ(t.RootedParent(0), kInvalidNode);
+  for (NodeId i = 1; i < 5; ++i) EXPECT_EQ(t.RootedParent(i), i - 1);
+}
+
+TEST(TopologyTest, DescribeMentionsSize) {
+  Tree t = MakePath(7);
+  EXPECT_NE(t.Describe().find("n=7"), std::string::npos);
+}
+
+TEST(TopologyTest, DeepPathDoesNotOverflowStack) {
+  Tree t = MakePath(100000);
+  EXPECT_EQ(t.Diameter(), 99999);
+  EXPECT_EQ(t.UParent(0, 99999), 1);
+  EXPECT_TRUE(t.InSubtree(0, 0, 1));
+}
+
+}  // namespace
+}  // namespace treeagg

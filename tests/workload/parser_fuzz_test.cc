@@ -1,0 +1,114 @@
+// Deterministic fuzzing of the text parsers: random byte soup and random
+// near-miss inputs must never crash, hang, or silently mis-parse — they
+// either produce a valid result or throw std::invalid_argument.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "tree/serialization.h"
+#include "workload/serialization.h"
+
+namespace treeagg {
+namespace {
+
+std::string RandomBytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.NextBounded(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.NextInt(1, 126)));  // no NUL
+  }
+  return s;
+}
+
+std::string RandomNearMissWorkload(Rng& rng) {
+  static const char* kTokens[] = {"C",  "W",   "c",  "w",  "X",  "0",
+                                  "1",  "-1",  "2.5", "#", "\n", " ",
+                                  "nan", "1e9", "..", "W 1"};
+  std::string s;
+  const int parts = static_cast<int>(rng.NextInt(0, 20));
+  for (int i = 0; i < parts; ++i) {
+    s += kTokens[rng.NextBounded(std::size(kTokens))];
+    s += rng.NextBool(0.3) ? "\n" : " ";
+  }
+  return s;
+}
+
+TEST(ParserFuzzTest, WorkloadParserNeverCrashesOnByteSoup) {
+  Rng rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string input = RandomBytes(rng, 120);
+    try {
+      const RequestSequence sigma = WorkloadFromString(input);
+      // If it parsed, every request must be structurally sane.
+      for (const Request& r : sigma) {
+        ASSERT_GE(r.node, 0);
+      }
+    } catch (const std::invalid_argument&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST(ParserFuzzTest, WorkloadParserNearMisses) {
+  Rng rng(202);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string input = RandomNearMissWorkload(rng);
+    try {
+      (void)WorkloadFromString(input);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(ParserFuzzTest, TreeParserNeverCrashesOnByteSoup) {
+  Rng rng(303);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string input = RandomBytes(rng, 80);
+    try {
+      const Tree t = TreeFromString(input);
+      ASSERT_GE(t.size(), 1);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(ParserFuzzTest, TreeParserRandomIntegerVectors) {
+  // Random integer vectors: valid iff each parent[i] is in [0, i).
+  Rng rng(404);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input = "0";
+    const int n = static_cast<int>(rng.NextInt(0, 12));
+    bool valid = true;
+    for (int i = 1; i <= n; ++i) {
+      const long p = rng.NextInt(-2, i + 1);
+      valid &= (p >= 0 && p < i);
+      input += " " + std::to_string(p);
+    }
+    try {
+      const Tree t = TreeFromString(input);
+      ASSERT_TRUE(valid) << "accepted invalid vector: " << input;
+      ASSERT_EQ(t.size(), n + 1);
+    } catch (const std::invalid_argument&) {
+      ASSERT_FALSE(valid) << "rejected valid vector: " << input;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RoundTripSurvivesFuzzeddValues) {
+  // Workloads with extreme-but-finite values round-trip exactly.
+  Rng rng(505);
+  RequestSequence sigma;
+  for (int i = 0; i < 200; ++i) {
+    const double magnitude = std::pow(10.0, rng.NextInt(-300, 300));
+    sigma.push_back(Request::Write(
+        static_cast<NodeId>(rng.NextBounded(100)),
+        (rng.NextBool(0.5) ? 1 : -1) * magnitude * rng.NextDouble()));
+  }
+  EXPECT_EQ(WorkloadFromString(WorkloadToString(sigma)), sigma);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,57 @@
+#include "workload/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(WorkloadSerializationTest, ParsesBasicFormat) {
+  const RequestSequence sigma = WorkloadFromString(
+      "# a comment\n"
+      "C 3\n"
+      "W 1 2.5\n"
+      "\n"
+      "w 0 -7\n"
+      "c 2\n");
+  ASSERT_EQ(sigma.size(), 4u);
+  EXPECT_EQ(sigma[0], Request::Combine(3));
+  EXPECT_EQ(sigma[1], Request::Write(1, 2.5));
+  EXPECT_EQ(sigma[2], Request::Write(0, -7.0));
+  EXPECT_EQ(sigma[3], Request::Combine(2));
+}
+
+TEST(WorkloadSerializationTest, RoundTripsExactly) {
+  Tree t = MakePath(8);
+  const RequestSequence original = MakeWorkload("mixed50", t, 500, 42);
+  const RequestSequence reparsed =
+      WorkloadFromString(WorkloadToString(original));
+  EXPECT_EQ(original, reparsed);  // bitwise value round-trip
+}
+
+TEST(WorkloadSerializationTest, RejectsMalformedLines) {
+  EXPECT_THROW(WorkloadFromString("C"), std::invalid_argument);
+  EXPECT_THROW(WorkloadFromString("W 1"), std::invalid_argument);
+  EXPECT_THROW(WorkloadFromString("X 1 2"), std::invalid_argument);
+  EXPECT_THROW(WorkloadFromString("C -1"), std::invalid_argument);
+  EXPECT_THROW(WorkloadFromString("C 1 extra"), std::invalid_argument);
+}
+
+TEST(WorkloadSerializationTest, ErrorNamesLineNumber) {
+  try {
+    WorkloadFromString("C 1\nW oops\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(WorkloadSerializationTest, EmptyInputIsEmptySequence) {
+  EXPECT_TRUE(WorkloadFromString("").empty());
+  EXPECT_TRUE(WorkloadFromString("# only comments\n").empty());
+}
+
+}  // namespace
+}  // namespace treeagg

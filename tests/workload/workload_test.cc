@@ -1,0 +1,129 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(WorkloadTest, MixedRespectsLengthAndNodes) {
+  Tree t = MakePath(8);
+  Rng rng(1);
+  MixedWorkloadConfig config;
+  config.length = 500;
+  RequestSequence sigma = MakeMixed(t, config, rng);
+  EXPECT_EQ(sigma.size(), 500u);
+  for (const Request& r : sigma) {
+    EXPECT_GE(r.node, 0);
+    EXPECT_LT(r.node, t.size());
+  }
+}
+
+TEST(WorkloadTest, MixedWriteFractionApproximatelyHolds) {
+  Tree t = MakePath(4);
+  Rng rng(2);
+  MixedWorkloadConfig config;
+  config.length = 4000;
+  config.write_fraction = 0.25;
+  const RequestMix mix = CountMix(MakeMixed(t, config, rng));
+  EXPECT_NEAR(static_cast<double>(mix.writes) / 4000.0, 0.25, 0.04);
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardsLowIds) {
+  Tree t = MakePath(16);
+  Rng rng(3);
+  MixedWorkloadConfig config;
+  config.length = 4000;
+  config.zipf_s = 1.2;
+  RequestSequence sigma = MakeMixed(t, config, rng);
+  std::size_t node0 = 0, node15 = 0;
+  for (const Request& r : sigma) {
+    if (r.node == 0) ++node0;
+    if (r.node == 15) ++node15;
+  }
+  EXPECT_GT(node0, 4 * node15);
+}
+
+TEST(WorkloadTest, AdversarialPattern) {
+  RequestSequence sigma = MakeAdversarial(1, 0, 2, 3, 4);
+  EXPECT_EQ(sigma.size(), 20u);
+  // Period: R R W W W.
+  EXPECT_EQ(sigma[0], Request::Combine(1));
+  EXPECT_EQ(sigma[1], Request::Combine(1));
+  EXPECT_EQ(sigma[2].op, ReqType::kWrite);
+  EXPECT_EQ(sigma[2].node, 0);
+  EXPECT_EQ(sigma[4].op, ReqType::kWrite);
+  EXPECT_EQ(sigma[5], Request::Combine(1));
+}
+
+TEST(WorkloadTest, PingPongPattern) {
+  const RequestSequence sigma = MakePingPong(3, 0, 2, 2);
+  ASSERT_EQ(sigma.size(), 6u);
+  EXPECT_EQ(sigma[0].op, ReqType::kWrite);
+  EXPECT_EQ(sigma[0].node, 0);
+  EXPECT_EQ(sigma[1].op, ReqType::kWrite);
+  EXPECT_EQ(sigma[2], Request::Combine(3));
+  EXPECT_EQ(sigma[5], Request::Combine(3));
+  // Write arguments are all distinct (monotone counter).
+  EXPECT_NE(sigma[0].arg, sigma[1].arg);
+}
+
+TEST(WorkloadTest, RoundRobinAlternatesPhases) {
+  Tree t = MakePath(3);
+  RequestSequence sigma = MakeRoundRobin(t, 2);
+  EXPECT_EQ(sigma.size(), 12u);
+  EXPECT_EQ(sigma[0].op, ReqType::kWrite);
+  EXPECT_EQ(sigma[3].op, ReqType::kCombine);
+  EXPECT_EQ(sigma[6].op, ReqType::kWrite);
+}
+
+TEST(WorkloadTest, ReadHeavyAndWriteHeavySkews) {
+  Tree t = MakePath(6);
+  Rng rng1(5), rng2(5);
+  const RequestMix rh = CountMix(MakeReadHeavy(t, 2000, rng1));
+  const RequestMix wh = CountMix(MakeWriteHeavy(t, 2000, rng2));
+  EXPECT_LT(rh.writes, 300u);
+  EXPECT_GT(wh.writes, 1700u);
+}
+
+TEST(WorkloadTest, BurstyCoversRequestedLength) {
+  Tree t = MakePath(6);
+  Rng rng(7);
+  RequestSequence sigma = MakeBursty(t, 777, 50, rng);
+  EXPECT_EQ(sigma.size(), 777u);
+}
+
+TEST(WorkloadTest, HotspotConcentratesTraffic) {
+  Tree t = MakePath(32);
+  Rng rng(8);
+  RequestSequence sigma = MakeHotspot(t, 4000, 2, 0.9, 0.5, rng);
+  std::vector<std::size_t> counts(32, 0);
+  for (const Request& r : sigma) ++counts[static_cast<std::size_t>(r.node)];
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  // Two hot nodes should absorb most of the traffic.
+  EXPECT_GT(counts[0] + counts[1], 2800u);
+}
+
+TEST(WorkloadTest, NamedWorkloadsAllProduceRequests) {
+  Tree t = MakeKary(16, 2);
+  for (const std::string& name : AllWorkloadNames()) {
+    RequestSequence sigma = MakeWorkload(name, t, 200, 11);
+    EXPECT_FALSE(sigma.empty()) << name;
+  }
+}
+
+TEST(WorkloadTest, UnknownWorkloadThrows) {
+  Tree t = MakePath(4);
+  EXPECT_THROW(MakeWorkload("nope", t, 10, 1), std::invalid_argument);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  Tree t = MakePath(8);
+  RequestSequence a = MakeWorkload("mixed50", t, 300, 99);
+  RequestSequence b = MakeWorkload("mixed50", t, 300, 99);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace treeagg
