@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_b.dir/bench_ablation_b.cpp.o"
+  "CMakeFiles/bench_ablation_b.dir/bench_ablation_b.cpp.o.d"
+  "bench_ablation_b"
+  "bench_ablation_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

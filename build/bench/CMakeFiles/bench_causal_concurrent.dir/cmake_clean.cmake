@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_causal_concurrent.dir/bench_causal_concurrent.cpp.o"
+  "CMakeFiles/bench_causal_concurrent.dir/bench_causal_concurrent.cpp.o.d"
+  "bench_causal_concurrent"
+  "bench_causal_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_causal_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lp.dir/bench_fig5_lp.cpp.o"
+  "CMakeFiles/bench_fig5_lp.dir/bench_fig5_lp.cpp.o.d"
+  "bench_fig5_lp"
+  "bench_fig5_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

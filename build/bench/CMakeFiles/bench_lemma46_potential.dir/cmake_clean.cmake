@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma46_potential.dir/bench_lemma46_potential.cpp.o"
+  "CMakeFiles/bench_lemma46_potential.dir/bench_lemma46_potential.cpp.o.d"
+  "bench_lemma46_potential"
+  "bench_lemma46_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma46_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

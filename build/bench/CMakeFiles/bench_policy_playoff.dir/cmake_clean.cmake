@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_playoff.dir/bench_policy_playoff.cpp.o"
+  "CMakeFiles/bench_policy_playoff.dir/bench_policy_playoff.cpp.o.d"
+  "bench_policy_playoff"
+  "bench_policy_playoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_playoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

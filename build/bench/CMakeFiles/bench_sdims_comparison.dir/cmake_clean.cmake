@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdims_comparison.dir/bench_sdims_comparison.cpp.o"
+  "CMakeFiles/bench_sdims_comparison.dir/bench_sdims_comparison.cpp.o.d"
+  "bench_sdims_comparison"
+  "bench_sdims_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdims_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

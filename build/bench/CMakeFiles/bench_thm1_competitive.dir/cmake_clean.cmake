@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_competitive.dir/bench_thm1_competitive.cpp.o"
+  "CMakeFiles/bench_thm1_competitive.dir/bench_thm1_competitive.cpp.o.d"
+  "bench_thm1_competitive"
+  "bench_thm1_competitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_nice.dir/bench_thm2_nice.cpp.o"
+  "CMakeFiles/bench_thm2_nice.dir/bench_thm2_nice.cpp.o.d"
+  "bench_thm2_nice"
+  "bench_thm2_nice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_nice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

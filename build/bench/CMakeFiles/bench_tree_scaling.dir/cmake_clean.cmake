@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_scaling.dir/bench_tree_scaling.cpp.o"
+  "CMakeFiles/bench_tree_scaling.dir/bench_tree_scaling.cpp.o.d"
+  "bench_tree_scaling"
+  "bench_tree_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_audit.dir/concurrent_audit.cpp.o"
+  "CMakeFiles/concurrent_audit.dir/concurrent_audit.cpp.o.d"
+  "concurrent_audit"
+  "concurrent_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_analysis.dir/competitive.cc.o"
+  "CMakeFiles/treeagg_analysis.dir/competitive.cc.o.d"
+  "CMakeFiles/treeagg_analysis.dir/sequence_diagram.cc.o"
+  "CMakeFiles/treeagg_analysis.dir/sequence_diagram.cc.o.d"
+  "CMakeFiles/treeagg_analysis.dir/stats.cc.o"
+  "CMakeFiles/treeagg_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/treeagg_analysis.dir/table.cc.o"
+  "CMakeFiles/treeagg_analysis.dir/table.cc.o.d"
+  "libtreeagg_analysis.a"
+  "libtreeagg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

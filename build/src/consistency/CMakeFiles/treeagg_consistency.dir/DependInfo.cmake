@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/causal_checker.cc" "src/consistency/CMakeFiles/treeagg_consistency.dir/causal_checker.cc.o" "gcc" "src/consistency/CMakeFiles/treeagg_consistency.dir/causal_checker.cc.o.d"
+  "/root/repo/src/consistency/history.cc" "src/consistency/CMakeFiles/treeagg_consistency.dir/history.cc.o" "gcc" "src/consistency/CMakeFiles/treeagg_consistency.dir/history.cc.o.d"
+  "/root/repo/src/consistency/strict_checker.cc" "src/consistency/CMakeFiles/treeagg_consistency.dir/strict_checker.cc.o" "gcc" "src/consistency/CMakeFiles/treeagg_consistency.dir/strict_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treeagg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

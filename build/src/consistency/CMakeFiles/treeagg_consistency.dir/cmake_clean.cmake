@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_consistency.dir/causal_checker.cc.o"
+  "CMakeFiles/treeagg_consistency.dir/causal_checker.cc.o.d"
+  "CMakeFiles/treeagg_consistency.dir/history.cc.o"
+  "CMakeFiles/treeagg_consistency.dir/history.cc.o.d"
+  "CMakeFiles/treeagg_consistency.dir/strict_checker.cc.o"
+  "CMakeFiles/treeagg_consistency.dir/strict_checker.cc.o.d"
+  "libtreeagg_consistency.a"
+  "libtreeagg_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

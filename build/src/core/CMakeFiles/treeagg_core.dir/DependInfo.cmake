@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate_op.cc" "src/core/CMakeFiles/treeagg_core.dir/aggregate_op.cc.o" "gcc" "src/core/CMakeFiles/treeagg_core.dir/aggregate_op.cc.o.d"
+  "/root/repo/src/core/extra_policies.cc" "src/core/CMakeFiles/treeagg_core.dir/extra_policies.cc.o" "gcc" "src/core/CMakeFiles/treeagg_core.dir/extra_policies.cc.o.d"
+  "/root/repo/src/core/lease_node.cc" "src/core/CMakeFiles/treeagg_core.dir/lease_node.cc.o" "gcc" "src/core/CMakeFiles/treeagg_core.dir/lease_node.cc.o.d"
+  "/root/repo/src/core/message.cc" "src/core/CMakeFiles/treeagg_core.dir/message.cc.o" "gcc" "src/core/CMakeFiles/treeagg_core.dir/message.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/treeagg_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/treeagg_core.dir/policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

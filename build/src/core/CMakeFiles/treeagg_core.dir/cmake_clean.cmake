@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_core.dir/aggregate_op.cc.o"
+  "CMakeFiles/treeagg_core.dir/aggregate_op.cc.o.d"
+  "CMakeFiles/treeagg_core.dir/extra_policies.cc.o"
+  "CMakeFiles/treeagg_core.dir/extra_policies.cc.o.d"
+  "CMakeFiles/treeagg_core.dir/lease_node.cc.o"
+  "CMakeFiles/treeagg_core.dir/lease_node.cc.o.d"
+  "CMakeFiles/treeagg_core.dir/message.cc.o"
+  "CMakeFiles/treeagg_core.dir/message.cc.o.d"
+  "CMakeFiles/treeagg_core.dir/policies.cc.o"
+  "CMakeFiles/treeagg_core.dir/policies.cc.o.d"
+  "libtreeagg_core.a"
+  "libtreeagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

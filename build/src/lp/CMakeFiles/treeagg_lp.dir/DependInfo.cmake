@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/potential.cc" "src/lp/CMakeFiles/treeagg_lp.dir/potential.cc.o" "gcc" "src/lp/CMakeFiles/treeagg_lp.dir/potential.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/lp/CMakeFiles/treeagg_lp.dir/simplex.cc.o" "gcc" "src/lp/CMakeFiles/treeagg_lp.dir/simplex.cc.o.d"
+  "/root/repo/src/lp/transition_system.cc" "src/lp/CMakeFiles/treeagg_lp.dir/transition_system.cc.o" "gcc" "src/lp/CMakeFiles/treeagg_lp.dir/transition_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/offline/CMakeFiles/treeagg_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

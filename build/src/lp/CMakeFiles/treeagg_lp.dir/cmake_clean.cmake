@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_lp.dir/potential.cc.o"
+  "CMakeFiles/treeagg_lp.dir/potential.cc.o.d"
+  "CMakeFiles/treeagg_lp.dir/simplex.cc.o"
+  "CMakeFiles/treeagg_lp.dir/simplex.cc.o.d"
+  "CMakeFiles/treeagg_lp.dir/transition_system.cc.o"
+  "CMakeFiles/treeagg_lp.dir/transition_system.cc.o.d"
+  "libtreeagg_lp.a"
+  "libtreeagg_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/edge_dp.cc" "src/offline/CMakeFiles/treeagg_offline.dir/edge_dp.cc.o" "gcc" "src/offline/CMakeFiles/treeagg_offline.dir/edge_dp.cc.o.d"
+  "/root/repo/src/offline/nice_bound.cc" "src/offline/CMakeFiles/treeagg_offline.dir/nice_bound.cc.o" "gcc" "src/offline/CMakeFiles/treeagg_offline.dir/nice_bound.cc.o.d"
+  "/root/repo/src/offline/projection.cc" "src/offline/CMakeFiles/treeagg_offline.dir/projection.cc.o" "gcc" "src/offline/CMakeFiles/treeagg_offline.dir/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_offline.dir/edge_dp.cc.o"
+  "CMakeFiles/treeagg_offline.dir/edge_dp.cc.o.d"
+  "CMakeFiles/treeagg_offline.dir/nice_bound.cc.o"
+  "CMakeFiles/treeagg_offline.dir/nice_bound.cc.o.d"
+  "CMakeFiles/treeagg_offline.dir/projection.cc.o"
+  "CMakeFiles/treeagg_offline.dir/projection.cc.o.d"
+  "libtreeagg_offline.a"
+  "libtreeagg_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreeagg_offline.a"
+)

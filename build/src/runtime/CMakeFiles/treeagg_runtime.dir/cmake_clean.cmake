@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_runtime.dir/actor_runtime.cc.o"
+  "CMakeFiles/treeagg_runtime.dir/actor_runtime.cc.o.d"
+  "libtreeagg_runtime.a"
+  "libtreeagg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdims/sdims_system.cc" "src/sdims/CMakeFiles/treeagg_sdims.dir/sdims_system.cc.o" "gcc" "src/sdims/CMakeFiles/treeagg_sdims.dir/sdims_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treeagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treeagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/treeagg_consistency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

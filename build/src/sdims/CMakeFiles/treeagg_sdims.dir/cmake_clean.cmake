@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_sdims.dir/sdims_system.cc.o"
+  "CMakeFiles/treeagg_sdims.dir/sdims_system.cc.o.d"
+  "libtreeagg_sdims.a"
+  "libtreeagg_sdims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_sdims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

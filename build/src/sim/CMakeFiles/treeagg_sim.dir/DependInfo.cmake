@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attribute_hub.cc" "src/sim/CMakeFiles/treeagg_sim.dir/attribute_hub.cc.o" "gcc" "src/sim/CMakeFiles/treeagg_sim.dir/attribute_hub.cc.o.d"
+  "/root/repo/src/sim/composites.cc" "src/sim/CMakeFiles/treeagg_sim.dir/composites.cc.o" "gcc" "src/sim/CMakeFiles/treeagg_sim.dir/composites.cc.o.d"
+  "/root/repo/src/sim/concurrent.cc" "src/sim/CMakeFiles/treeagg_sim.dir/concurrent.cc.o" "gcc" "src/sim/CMakeFiles/treeagg_sim.dir/concurrent.cc.o.d"
+  "/root/repo/src/sim/explorer.cc" "src/sim/CMakeFiles/treeagg_sim.dir/explorer.cc.o" "gcc" "src/sim/CMakeFiles/treeagg_sim.dir/explorer.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/treeagg_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/treeagg_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/treeagg_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/treeagg_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treeagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/treeagg_consistency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_sim.dir/attribute_hub.cc.o"
+  "CMakeFiles/treeagg_sim.dir/attribute_hub.cc.o.d"
+  "CMakeFiles/treeagg_sim.dir/composites.cc.o"
+  "CMakeFiles/treeagg_sim.dir/composites.cc.o.d"
+  "CMakeFiles/treeagg_sim.dir/concurrent.cc.o"
+  "CMakeFiles/treeagg_sim.dir/concurrent.cc.o.d"
+  "CMakeFiles/treeagg_sim.dir/explorer.cc.o"
+  "CMakeFiles/treeagg_sim.dir/explorer.cc.o.d"
+  "CMakeFiles/treeagg_sim.dir/system.cc.o"
+  "CMakeFiles/treeagg_sim.dir/system.cc.o.d"
+  "CMakeFiles/treeagg_sim.dir/trace.cc.o"
+  "CMakeFiles/treeagg_sim.dir/trace.cc.o.d"
+  "libtreeagg_sim.a"
+  "libtreeagg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/treeagg_cli.cc" "src/tools/CMakeFiles/treeagg_cli.dir/treeagg_cli.cc.o" "gcc" "src/tools/CMakeFiles/treeagg_cli.dir/treeagg_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdims/CMakeFiles/treeagg_sdims.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/treeagg_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/treeagg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/treeagg_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/treeagg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treeagg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/treeagg_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treeagg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/treeagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treeagg_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_cli.dir/treeagg_cli.cc.o"
+  "CMakeFiles/treeagg_cli.dir/treeagg_cli.cc.o.d"
+  "treeagg_cli"
+  "treeagg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/dot_export.cc" "src/tree/CMakeFiles/treeagg_tree.dir/dot_export.cc.o" "gcc" "src/tree/CMakeFiles/treeagg_tree.dir/dot_export.cc.o.d"
+  "/root/repo/src/tree/generators.cc" "src/tree/CMakeFiles/treeagg_tree.dir/generators.cc.o" "gcc" "src/tree/CMakeFiles/treeagg_tree.dir/generators.cc.o.d"
+  "/root/repo/src/tree/lease_graph.cc" "src/tree/CMakeFiles/treeagg_tree.dir/lease_graph.cc.o" "gcc" "src/tree/CMakeFiles/treeagg_tree.dir/lease_graph.cc.o.d"
+  "/root/repo/src/tree/serialization.cc" "src/tree/CMakeFiles/treeagg_tree.dir/serialization.cc.o" "gcc" "src/tree/CMakeFiles/treeagg_tree.dir/serialization.cc.o.d"
+  "/root/repo/src/tree/topology.cc" "src/tree/CMakeFiles/treeagg_tree.dir/topology.cc.o" "gcc" "src/tree/CMakeFiles/treeagg_tree.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_tree.dir/dot_export.cc.o"
+  "CMakeFiles/treeagg_tree.dir/dot_export.cc.o.d"
+  "CMakeFiles/treeagg_tree.dir/generators.cc.o"
+  "CMakeFiles/treeagg_tree.dir/generators.cc.o.d"
+  "CMakeFiles/treeagg_tree.dir/lease_graph.cc.o"
+  "CMakeFiles/treeagg_tree.dir/lease_graph.cc.o.d"
+  "CMakeFiles/treeagg_tree.dir/serialization.cc.o"
+  "CMakeFiles/treeagg_tree.dir/serialization.cc.o.d"
+  "CMakeFiles/treeagg_tree.dir/topology.cc.o"
+  "CMakeFiles/treeagg_tree.dir/topology.cc.o.d"
+  "libtreeagg_tree.a"
+  "libtreeagg_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeagg_workload.dir/generators.cc.o"
+  "CMakeFiles/treeagg_workload.dir/generators.cc.o.d"
+  "CMakeFiles/treeagg_workload.dir/request.cc.o"
+  "CMakeFiles/treeagg_workload.dir/request.cc.o.d"
+  "CMakeFiles/treeagg_workload.dir/serialization.cc.o"
+  "CMakeFiles/treeagg_workload.dir/serialization.cc.o.d"
+  "libtreeagg_workload.a"
+  "libtreeagg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeagg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

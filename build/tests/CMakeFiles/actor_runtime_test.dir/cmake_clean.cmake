@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_runtime_test.dir/runtime/actor_runtime_test.cc.o"
+  "CMakeFiles/actor_runtime_test.dir/runtime/actor_runtime_test.cc.o.d"
+  "actor_runtime_test"
+  "actor_runtime_test.pdb"
+  "actor_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_op_test.dir/core/aggregate_op_test.cc.o"
+  "CMakeFiles/aggregate_op_test.dir/core/aggregate_op_test.cc.o.d"
+  "aggregate_op_test"
+  "aggregate_op_test.pdb"
+  "aggregate_op_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

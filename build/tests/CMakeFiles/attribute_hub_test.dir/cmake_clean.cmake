@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_hub_test.dir/sim/attribute_hub_test.cc.o"
+  "CMakeFiles/attribute_hub_test.dir/sim/attribute_hub_test.cc.o.d"
+  "attribute_hub_test"
+  "attribute_hub_test.pdb"
+  "attribute_hub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_hub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

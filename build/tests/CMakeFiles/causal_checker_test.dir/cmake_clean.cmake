@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_checker_test.dir/consistency/causal_checker_test.cc.o"
+  "CMakeFiles/causal_checker_test.dir/consistency/causal_checker_test.cc.o.d"
+  "causal_checker_test"
+  "causal_checker_test.pdb"
+  "causal_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

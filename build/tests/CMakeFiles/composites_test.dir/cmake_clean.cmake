@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composites_test.dir/sim/composites_test.cc.o"
+  "CMakeFiles/composites_test.dir/sim/composites_test.cc.o.d"
+  "composites_test"
+  "composites_test.pdb"
+  "composites_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

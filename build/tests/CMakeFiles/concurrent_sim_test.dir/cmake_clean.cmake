@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_sim_test.dir/sim/concurrent_sim_test.cc.o"
+  "CMakeFiles/concurrent_sim_test.dir/sim/concurrent_sim_test.cc.o.d"
+  "concurrent_sim_test"
+  "concurrent_sim_test.pdb"
+  "concurrent_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

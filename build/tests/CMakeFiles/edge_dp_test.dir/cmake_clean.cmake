@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_dp_test.dir/offline/edge_dp_test.cc.o"
+  "CMakeFiles/edge_dp_test.dir/offline/edge_dp_test.cc.o.d"
+  "edge_dp_test"
+  "edge_dp_test.pdb"
+  "edge_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_gen.dir/tools/golden_gen.cc.o"
+  "CMakeFiles/golden_gen.dir/tools/golden_gen.cc.o.d"
+  "golden_gen"
+  "golden_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_graph_test.dir/tree/lease_graph_test.cc.o"
+  "CMakeFiles/lease_graph_test.dir/tree/lease_graph_test.cc.o.d"
+  "lease_graph_test"
+  "lease_graph_test.pdb"
+  "lease_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_node_unit_test.dir/core/lease_node_unit_test.cc.o"
+  "CMakeFiles/lease_node_unit_test.dir/core/lease_node_unit_test.cc.o.d"
+  "lease_node_unit_test"
+  "lease_node_unit_test.pdb"
+  "lease_node_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_node_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

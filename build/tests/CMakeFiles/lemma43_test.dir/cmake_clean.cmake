@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma43_test.dir/integration/lemma43_test.cc.o"
+  "CMakeFiles/lemma43_test.dir/integration/lemma43_test.cc.o.d"
+  "lemma43_test"
+  "lemma43_test.pdb"
+  "lemma43_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma43_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma_invariants_test.dir/integration/lemma_invariants_test.cc.o"
+  "CMakeFiles/lemma_invariants_test.dir/integration/lemma_invariants_test.cc.o.d"
+  "lemma_invariants_test"
+  "lemma_invariants_test.pdb"
+  "lemma_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nice_bound_test.dir/offline/nice_bound_test.cc.o"
+  "CMakeFiles/nice_bound_test.dir/offline/nice_bound_test.cc.o.d"
+  "nice_bound_test"
+  "nice_bound_test.pdb"
+  "nice_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nice_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

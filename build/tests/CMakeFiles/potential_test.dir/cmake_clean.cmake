@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potential_test.dir/lp/potential_test.cc.o"
+  "CMakeFiles/potential_test.dir/lp/potential_test.cc.o.d"
+  "potential_test"
+  "potential_test.pdb"
+  "potential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rww_policy_test.dir/core/rww_policy_test.cc.o"
+  "CMakeFiles/rww_policy_test.dir/core/rww_policy_test.cc.o.d"
+  "rww_policy_test"
+  "rww_policy_test.pdb"
+  "rww_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rww_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

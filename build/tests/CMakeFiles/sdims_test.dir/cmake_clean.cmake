@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdims_test.dir/sdims/sdims_test.cc.o"
+  "CMakeFiles/sdims_test.dir/sdims/sdims_test.cc.o.d"
+  "sdims_test"
+  "sdims_test.pdb"
+  "sdims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

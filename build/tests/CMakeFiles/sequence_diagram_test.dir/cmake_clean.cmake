@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_diagram_test.dir/analysis/sequence_diagram_test.cc.o"
+  "CMakeFiles/sequence_diagram_test.dir/analysis/sequence_diagram_test.cc.o.d"
+  "sequence_diagram_test"
+  "sequence_diagram_test.pdb"
+  "sequence_diagram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_diagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

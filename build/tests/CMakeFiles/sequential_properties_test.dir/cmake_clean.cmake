@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_properties_test.dir/integration/sequential_properties_test.cc.o"
+  "CMakeFiles/sequential_properties_test.dir/integration/sequential_properties_test.cc.o.d"
+  "sequential_properties_test"
+  "sequential_properties_test.pdb"
+  "sequential_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

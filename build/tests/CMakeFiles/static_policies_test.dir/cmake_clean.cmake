@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_policies_test.dir/core/static_policies_test.cc.o"
+  "CMakeFiles/static_policies_test.dir/core/static_policies_test.cc.o.d"
+  "static_policies_test"
+  "static_policies_test.pdb"
+  "static_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

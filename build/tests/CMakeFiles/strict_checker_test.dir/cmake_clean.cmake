@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strict_checker_test.dir/consistency/strict_checker_test.cc.o"
+  "CMakeFiles/strict_checker_test.dir/consistency/strict_checker_test.cc.o.d"
+  "strict_checker_test"
+  "strict_checker_test.pdb"
+  "strict_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strict_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

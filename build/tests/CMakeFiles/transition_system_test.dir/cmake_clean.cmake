@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_system_test.dir/lp/transition_system_test.cc.o"
+  "CMakeFiles/transition_system_test.dir/lp/transition_system_test.cc.o.d"
+  "transition_system_test"
+  "transition_system_test.pdb"
+  "transition_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_serialization_test.dir/workload/serialization_test.cc.o"
+  "CMakeFiles/workload_serialization_test.dir/workload/serialization_test.cc.o.d"
+  "workload_serialization_test"
+  "workload_serialization_test.pdb"
+  "workload_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
