@@ -1,0 +1,76 @@
+// RingQueue<T>: a FIFO over a power-of-two ring of reusable slots.
+//
+// The sequential driver's message queue cycles through millions of
+// push/pop pairs per run. std::deque churns through chunk allocations and
+// destroys every popped element; a ring instead *recycles* slots — a
+// popped Message's storage (including any heap buffer its SmallVec ever
+// grew) is move-assigned over by a later push, so steady-state traffic
+// performs no allocation at all.
+#ifndef TREEAGG_COMMON_RING_QUEUE_H_
+#define TREEAGG_COMMON_RING_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace treeagg {
+
+template <typename T>
+class RingQueue {
+ public:
+  explicit RingQueue(std::size_t initial_capacity = 64)
+      : buf_(RoundUp(initial_capacity)) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void Push(T&& value) {
+    if (size_ == buf_.size()) Grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  T& Front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  // Moves the front element out into `out` (recycling both buffers) and
+  // advances the queue.
+  void PopInto(T& out) {
+    assert(size_ > 0);
+    out = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static std::size_t RoundUp(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void Grow() {
+    std::vector<T> bigger(buf_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_COMMON_RING_QUEUE_H_

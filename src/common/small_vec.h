@@ -1,0 +1,200 @@
+// SmallVec<T, N>: a contiguous sequence with inline storage for the first
+// N elements — the protocol's small-buffer optimization.
+//
+// Protocol messages carry tiny id sets (a release's uaw set S is almost
+// always <= 4 ids) and nodes track tiny per-neighbor sets, so the hot path
+// of the sequential driver used to be dominated by std::vector / std::set
+// heap churn. SmallVec keeps the common case allocation-free and falls
+// back to the heap only beyond N elements.
+//
+// Restricted to trivially copyable T (NodeId, UpdateId, ...): growth is a
+// memcpy and no destructors ever run, which keeps moves O(N) worst-case
+// and branch-light.
+#ifndef TREEAGG_COMMON_SMALL_VEC_H_
+#define TREEAGG_COMMON_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+
+namespace treeagg {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is specialized for trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() : data_(inline_data()), size_(0), capacity_(N) {}
+
+  SmallVec(std::initializer_list<T> init) : SmallVec() {
+    assign(init.begin(), init.end());
+  }
+
+  SmallVec(const SmallVec& other) : SmallVec() {
+    assign(other.begin(), other.end());
+  }
+
+  SmallVec(SmallVec&& other) noexcept : SmallVec() { MoveFrom(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (data_ != inline_data()) std::free(data_);
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(T value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = value;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    size_ = 0;
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  iterator insert(iterator pos, T value) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    std::memmove(data_ + at + 1, data_ + at, (size_ - at) * sizeof(T));
+    data_[at] = value;
+    ++size_;
+    return data_ + at;
+  }
+
+  iterator erase(iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(iterator first, iterator last) {
+    const std::size_t at = static_cast<std::size_t>(first - data_);
+    const std::size_t count = static_cast<std::size_t>(last - first);
+    std::memmove(first, last, (size_ - at - count) * sizeof(T));
+    size_ -= count;
+    return data_ + at;
+  }
+
+  // Set-style helpers for sorted contents (uaw sets, pending-probe sets).
+  bool contains(T value) const {
+    return std::binary_search(begin(), end(), value);
+  }
+
+  // Inserts into sorted position unless already present. The common case —
+  // monotonically increasing ids — appends without a search.
+  void InsertSorted(T value) {
+    if (empty() || back() < value) {
+      push_back(value);
+      return;
+    }
+    iterator pos = std::lower_bound(begin(), end(), value);
+    if (pos != end() && *pos == value) return;
+    insert(pos, value);
+  }
+
+  // Removes value if present; returns whether it was.
+  bool EraseSorted(T value) {
+    iterator pos = std::lower_bound(begin(), end(), value);
+    if (pos == end() || *pos != value) return false;
+    erase(pos);
+    return true;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T* inline_data() { return reinterpret_cast<T*>(inline_); }
+  const T* inline_data() const { return reinterpret_cast<const T*>(inline_); }
+
+  void Grow(std::size_t n) {
+    if (n < size_ + 1) n = size_ + 1;
+    T* fresh = static_cast<T*>(std::malloc(n * sizeof(T)));
+    if (fresh == nullptr) throw std::bad_alloc();
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (data_ != inline_data()) std::free(data_);
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  void MoveFrom(SmallVec& other) noexcept {
+    if (other.data_ != other.inline_data()) {
+      // Steal the heap buffer.
+      if (data_ != inline_data()) std::free(data_);
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_data();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      // other.size_ <= N <= capacity_: inline contents always fit.
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  T* data_;
+  std::size_t size_;
+  std::size_t capacity_;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_COMMON_SMALL_VEC_H_

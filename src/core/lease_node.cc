@@ -77,6 +77,19 @@ std::vector<NodeId> LeaseNode::Grntd() const {
   return result;
 }
 
+bool LeaseNode::AnyGranted() const {
+  for (const PerNeighbor& p : per_) {
+    if (p.granted) return true;
+  }
+  return false;
+}
+
+std::size_t LeaseNode::SntUpdatesSize() const {
+  std::size_t total = 0;
+  for (const PerNeighbor& p : per_) total += p.snt_updates.size();
+  return total;
+}
+
 Real LeaseNode::Gval() const {
   Real x = val_;
   for (const PerNeighbor& p : per_) x = op_(x, p.aval);
@@ -93,7 +106,7 @@ Real LeaseNode::Subval(NodeId w) const {
 
 bool LeaseNode::AlreadyProbed(NodeId v) const {
   for (const Pending& p : pndg_) {
-    if (p.waiting.count(v) != 0) return true;
+    if (p.waiting.contains(v)) return true;
   }
   return false;
 }
@@ -201,7 +214,7 @@ void LeaseNode::ForwardRelease() {
   }
 }
 
-void LeaseNode::OnRelease(NodeId w, const std::vector<UpdateId>& s) {
+void LeaseNode::OnRelease(NodeId w, const ReleaseIdSet& s) {
   // Let id be the smallest id in S (S is sorted by construction; guard the
   // degenerate empty-S case, which only exotic policies can produce: it
   // means the releasing node had no unacknowledged updates).
@@ -215,13 +228,15 @@ void LeaseNode::OnRelease(NodeId w, const std::vector<UpdateId>& s) {
     } else {
       // A := {α ∈ sntupdates : α.node = v ∧ α.sntid >= min_id};
       // β := the tuple in A with minimum rcvid.
-      bool found = false;
+      // The node = v tuples are exactly p.snt_updates, stored with sntid
+      // ascending, so A is the suffix found by binary search.
+      const auto first = std::lower_bound(
+          p.snt_updates.begin(), p.snt_updates.end(), min_id,
+          [](const SntUpdate& t, UpdateId id) { return t.sntid < id; });
+      const bool found = first != p.snt_updates.end();
       UpdateId beta_rcvid = std::numeric_limits<UpdateId>::max();
-      for (const SntUpdate& t : sntupdates_) {
-        if (t.node == p.id && t.sntid >= min_id) {
-          found = true;
-          beta_rcvid = std::min(beta_rcvid, t.rcvid);
-        }
+      for (auto it = first; it != p.snt_updates.end(); ++it) {
+        beta_rcvid = std::min(beta_rcvid, it->rcvid);
       }
       if (!found) {
         // Every update received from v was already propagated and is
@@ -229,7 +244,8 @@ void LeaseNode::OnRelease(NodeId w, const std::vector<UpdateId>& s) {
         p.uaw.clear();
       } else {
         // uaw[v] := {ids in uaw[v] with id >= β.rcvid}.
-        p.uaw.erase(p.uaw.begin(), p.uaw.lower_bound(beta_rcvid));
+        p.uaw.erase(p.uaw.begin(),
+                    std::lower_bound(p.uaw.begin(), p.uaw.end(), beta_rcvid));
       }
     }
     if (IsGoodForRelease(p.id)) policy_->OnReleaseTrim(*this, p.id);
@@ -238,7 +254,9 @@ void LeaseNode::OnRelease(NodeId w, const std::vector<UpdateId>& s) {
   // Garbage collection (not in the paper, which keeps ghost state forever):
   // once no lease is granted, no further release can arrive, so the
   // sntupdates bookkeeping is dead.
-  if (Grntd().empty()) sntupdates_.clear();
+  if (!AnyGranted()) {
+    for (PerNeighbor& p : per_) p.snt_updates.clear();
+  }
 }
 
 // --- Transitions T1..T6 -------------------------------------------------
@@ -258,9 +276,9 @@ void LeaseNode::LocalCombine(CombineToken token) {  // T1
     if (p.taken) p.uaw.clear();
   }
   if (!InPndg(self_)) {
-    std::set<NodeId> missing;  // nbrs() \ tkn()
+    WaitSet missing;  // nbrs() \ tkn(); per_ is ascending, so sorted
     for (const PerNeighbor& p : per_) {
-      if (!p.taken) missing.insert(p.id);
+      if (!p.taken) missing.push_back(p.id);
     }
     if (missing.empty()) {
       // return gval(): completes immediately. No other combine can be
@@ -306,9 +324,9 @@ void LeaseNode::Deliver(const Message& m) {
         if (p.taken && p.id != w) p.uaw.clear();
       }
       if (!InPndg(w)) {
-        std::set<NodeId> missing;  // nbrs() \ {tkn() ∪ {w}}
+        WaitSet missing;  // nbrs() \ {tkn() ∪ {w}}; sorted by construction
         for (const PerNeighbor& p : per_) {
-          if (!p.taken && p.id != w) missing.insert(p.id);
+          if (!p.taken && p.id != w) missing.push_back(p.id);
         }
         if (missing.empty()) {
           SendResponse(w);
@@ -330,9 +348,9 @@ void LeaseNode::Deliver(const Message& m) {
       GhostMerge(m);
       per_[Idx(w)].taken = m.flag;
       // foreach v in pndg: snt[v] -= {w}; completed entries fire in order.
-      std::vector<NodeId> completed;
+      SmallVec<NodeId, 8> completed;
       for (Pending& p : pndg_) {
-        p.waiting.erase(w);
+        p.waiting.EraseSorted(w);
         if (p.waiting.empty()) completed.push_back(p.requester);
       }
       std::erase_if(pndg_, [](const Pending& p) { return p.waiting.empty(); });
@@ -349,10 +367,10 @@ void LeaseNode::Deliver(const Message& m) {
       policy_->OnUpdateReceived(*this, w);
       per_[Idx(w)].aval = m.x;
       GhostMerge(m);
-      per_[Idx(w)].uaw.insert(m.id);
+      per_[Idx(w)].uaw.InsertSorted(m.id);
       if (GrantedToOtherThan(w)) {
         const UpdateId nid = NewId();
-        sntupdates_.push_back({w, m.id, nid});
+        per_[Idx(w)].snt_updates.push_back({m.id, nid});
         ForwardUpdates(w, nid);
       } else {
         ForwardRelease();

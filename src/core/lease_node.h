@@ -16,10 +16,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 #include "core/aggregate_op.h"
 #include "core/message.h"
@@ -66,11 +66,11 @@ class LeaseNode final : public LeaseNodeView {
   // --- Observers for tests, checkers, and the quiescent-state lemmas ---
   Real val() const { return val_; }
   Real aval(NodeId v) const { return per_[Idx(v)].aval; }
-  const std::set<UpdateId>& uaw(NodeId v) const { return per_[Idx(v)].uaw; }
+  const ReleaseIdSet& uaw(NodeId v) const { return per_[Idx(v)].uaw; }
   bool InPndg(NodeId w) const;
   std::size_t PndgSize() const { return pndg_.size(); }
   std::size_t SntSize(NodeId w) const;
-  std::size_t SntUpdatesSize() const { return sntupdates_.size(); }
+  std::size_t SntUpdatesSize() const;
   std::vector<NodeId> Tkn() const;
   std::vector<NodeId> Grntd() const;
   // gval() / subval(w) of Figure 1.
@@ -89,34 +89,43 @@ class LeaseNode final : public LeaseNodeView {
   bool ghost_logging() const { return ghost_; }
 
  private:
+  // One of the paper's sntupdates tuples {node, rcvid, sntid}, with the
+  // node component implicit: tuples are stored on the PerNeighbor entry of
+  // the neighbor the update was received from, so onrelease only scans the
+  // tuples it can match instead of the whole pooled list. Within one
+  // neighbor's list sntid is strictly increasing (ids come from upcntr),
+  // so the `sntid >= min_id` filter selects a suffix.
+  struct SntUpdate {
+    UpdateId rcvid;
+    UpdateId sntid;
+  };
   struct PerNeighbor {
     NodeId id = kInvalidNode;
     bool taken = false;
     bool granted = false;
     Real aval = 0;
-    std::set<UpdateId> uaw;
-  };
-  struct SntUpdate {  // the paper's sntupdates tuples {node, rcvid, sntid}
-    NodeId node;
-    UpdateId rcvid;
-    UpdateId sntid;
+    ReleaseIdSet uaw;  // sorted; update ids from a sender arrive monotone
+    std::vector<SntUpdate> snt_updates;  // sntid ascending
   };
   // One pending requester (a neighbor, or self for a local combine) and the
   // set of neighbors whose responses are still outstanding (snt[w]).
+  // Sorted ascending, mirroring the std::set it replaces.
+  using WaitSet = SmallVec<NodeId, 8>;
   struct Pending {
     NodeId requester;
-    std::set<NodeId> waiting;
+    WaitSet waiting;
   };
 
   std::size_t Idx(NodeId v) const;
   bool IsNbr(NodeId v) const;
+  bool AnyGranted() const;  // Grntd().empty() without the allocation
 
   // Figure 1 procedures.
   void SendProbes(NodeId w);                       // sendprobes(w)
   void ForwardUpdates(NodeId w, UpdateId id);      // forwardupdates(w, id)
   void SendResponse(NodeId w);                     // sendresponse(w)
   bool IsGoodForRelease(NodeId w) const;           // isgoodforrelease(w)
-  void OnRelease(NodeId w, const std::vector<UpdateId>& s);  // onrelease
+  void OnRelease(NodeId w, const ReleaseIdSet& s);  // onrelease
   void ForwardRelease();                           // forwardrelease()
   UpdateId NewId() { return ++upcntr_; }           // newid()
 
@@ -141,7 +150,6 @@ class LeaseNode final : public LeaseNodeView {
   Real val_;
   std::vector<PerNeighbor> per_;  // parallel to nbrs_
   std::vector<Pending> pndg_;
-  std::vector<SntUpdate> sntupdates_;
   UpdateId upcntr_ = 0;
   std::vector<CombineToken> local_tokens_;  // combines awaiting gval()
 

@@ -44,13 +44,13 @@ bool RwwPolicy::SetLease(const LeaseNodeView& /*node*/, NodeId /*w*/) {
 }
 
 bool RwwPolicy::BreakLease(const LeaseNodeView& /*node*/, NodeId v) {
-  const auto it = lt_.find(v);
-  return it != lt_.end() && it->second <= 0;
+  const NeighborCounterMap::Entry* e = lt_.Find(v);
+  return e != nullptr && e->value <= 0;
 }
 
 int RwwPolicy::lt(NodeId v) const {
-  const auto it = lt_.find(v);
-  return it == lt_.end() ? 0 : it->second;
+  const NeighborCounterMap::Entry* e = lt_.Find(v);
+  return e == nullptr ? 0 : e->value;
 }
 
 // ------------------------------------------------------------- (a, b) ----
@@ -79,8 +79,8 @@ void AbPolicy::OnResponseReceived(const LeaseNodeView& /*node*/, bool flag,
 void AbPolicy::OnUpdateReceived(const LeaseNodeView& node, NodeId w) {
   if (!node.GrantedToOtherThan(w)) lt_[w] -= 1;
   // A write on w's side interrupts combine runs for every other direction.
-  for (auto& [v, count] : cc_) {
-    if (v != w) count = 0;
+  for (auto& e : cc_) {
+    if (e.key != w) e.value = 0;
   }
 }
 
@@ -91,7 +91,7 @@ void AbPolicy::OnReleaseTrim(const LeaseNodeView& node, NodeId v) {
 void AbPolicy::OnLocalWrite(const LeaseNodeView& /*node*/) {
   // A local write is a write in sigma(u, v) for every neighbor v: it
   // interrupts every consecutive-combine run.
-  for (auto& [v, count] : cc_) count = 0;
+  for (auto& e : cc_) e.value = 0;
 }
 
 bool AbPolicy::SetLease(const LeaseNodeView& /*node*/, NodeId w) {
@@ -103,13 +103,13 @@ bool AbPolicy::SetLease(const LeaseNodeView& /*node*/, NodeId w) {
 }
 
 bool AbPolicy::BreakLease(const LeaseNodeView& /*node*/, NodeId v) {
-  const auto it = lt_.find(v);
-  return it != lt_.end() && it->second <= 0;
+  const NeighborCounterMap::Entry* e = lt_.Find(v);
+  return e != nullptr && e->value <= 0;
 }
 
 int AbPolicy::lt(NodeId v) const {
-  const auto it = lt_.find(v);
-  return it == lt_.end() ? 0 : it->second;
+  const NeighborCounterMap::Entry* e = lt_.Find(v);
+  return e == nullptr ? 0 : e->value;
 }
 
 std::string AbPolicy::name() const {

@@ -1,0 +1,242 @@
+#include "exp/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <ostream>
+#include <thread>
+
+#include "analysis/competitive.h"
+#include "core/extra_policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+// FNV-1a over a string, used to fold cell identity into seeds.
+std::uint64_t HashString(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t Mix(std::uint64_t x) {  // SplitMix64 finalizer
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Deterministic seed for one cell: a function of the cell's identity only,
+// never of its index in the run order, so adding a shape to the sweep does
+// not perturb the other cells' results.
+std::uint64_t CellSeed(const CellSpec& c, std::uint64_t salt) {
+  std::uint64_t h = 1469598103934665603ull ^ salt;
+  h = HashString(h, c.shape);
+  h = Mix(h ^ static_cast<std::uint64_t>(c.n));
+  h = HashString(h, c.workload);
+  h = HashString(h, c.policy);
+  h = Mix(h ^ static_cast<std::uint64_t>(c.requests));
+  return Mix(h ^ c.seed);
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void JsonEscape(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+std::vector<CellSpec> ExpandCells(const SweepSpec& spec) {
+  std::vector<CellSpec> cells;
+  cells.reserve(spec.shapes.size() * spec.sizes.size() *
+                spec.workloads.size() * spec.policies.size() *
+                spec.seeds.size());
+  for (const std::string& shape : spec.shapes) {
+    for (const NodeId n : spec.sizes) {
+      for (const std::string& workload : spec.workloads) {
+        for (const std::string& policy : spec.policies) {
+          for (const std::uint64_t seed : spec.seeds) {
+            CellSpec c;
+            c.shape = shape;
+            c.n = n;
+            c.workload = workload;
+            c.policy = policy;
+            c.requests = spec.requests;
+            c.seed = seed;
+            c.tree_seed = CellSeed(c, /*salt=*/0x7472656583ull);
+            c.workload_seed = CellSeed(c, /*salt=*/0x776f726bull);
+            cells.push_back(std::move(c));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+CellResult RunCell(const CellSpec& cell, bool competitive) {
+  CellResult result;
+  result.spec = cell;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const Tree tree = MakeShape(cell.shape, cell.n, cell.tree_seed);
+    const RequestSequence sigma =
+        MakeWorkload(cell.workload, tree, cell.requests, cell.workload_seed);
+    if (competitive) {
+      const CompetitiveReport report = RunCompetitive(
+          tree, PolicyBySpec(cell.policy), cell.policy, sigma);
+      result.total_messages = report.online_total;
+      result.ratio_vs_lease_opt = report.RatioVsLeaseOpt();
+      result.ratio_vs_nice_bound = report.RatioVsNiceBound();
+      result.worst_edge_ratio = report.WorstEdgeRatio();
+      result.strict_ok = report.strict_ok;
+      if (!report.strict_ok) {
+        result.ok = false;
+        result.error = report.strict_error;
+      }
+    } else {
+      // Throughput configuration: totals only, no per-edge accounting, no
+      // message log — the cheapest instrumentation the driver offers.
+      AggregationSystem::Options options;
+      options.edge_accounting = false;
+      AggregationSystem sys(tree, PolicyBySpec(cell.policy), options);
+      sys.Execute(sigma);
+      result.counts = sys.trace().totals();
+      result.total_messages = sys.trace().TotalMessages();
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = Seconds(start, stop);
+  if (result.wall_seconds > 0) {
+    result.requests_per_sec =
+        static_cast<double>(cell.requests) / result.wall_seconds;
+  }
+  return result;
+}
+
+SweepResult RunSweep(const SweepSpec& spec) {
+  const std::vector<CellSpec> cells = ExpandCells(spec);
+  SweepResult result;
+  result.cells.resize(cells.size());
+  unsigned threads = spec.threads > 0
+                         ? static_cast<unsigned>(spec.threads)
+                         : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > cells.size() && !cells.empty()) {
+    threads = static_cast<unsigned>(cells.size());
+  }
+  result.threads_used = static_cast<int>(threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  // Work-stealing by atomic index: each worker claims the next unclaimed
+  // cell and writes into its own slot. No locks, no merging pass.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      result.cells[i] = RunCell(cells[i], spec.competitive);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = Seconds(start, stop);
+  for (const CellResult& c : result.cells) {
+    result.serial_seconds += c.wall_seconds;
+  }
+  return result;
+}
+
+void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
+                    const SweepResult& result) {
+  std::int64_t total_requests = 0;
+  std::int64_t total_messages = 0;
+  std::size_t failed = 0;
+  for (const CellResult& c : result.cells) {
+    total_requests += static_cast<std::int64_t>(c.spec.requests);
+    total_messages += c.total_messages;
+    if (!c.ok) ++failed;
+  }
+  const double speedup = result.wall_seconds > 0
+                             ? result.serial_seconds / result.wall_seconds
+                             : 0.0;
+  out << "{\n";
+  out << "  \"schema\": \"treeagg-sweep-v1\",\n";
+  out << "  \"threads\": " << result.threads_used << ",\n";
+  out << "  \"competitive\": " << (spec.competitive ? "true" : "false")
+      << ",\n";
+  out << "  \"cells_total\": " << result.cells.size() << ",\n";
+  out << "  \"cells_failed\": " << failed << ",\n";
+  out << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
+  out << "  \"serial_cell_seconds\": " << result.serial_seconds << ",\n";
+  out << "  \"parallel_speedup\": " << speedup << ",\n";
+  out << "  \"total_requests\": " << total_requests << ",\n";
+  out << "  \"total_messages\": " << total_messages << ",\n";
+  out << "  \"requests_per_second\": "
+      << (result.wall_seconds > 0
+              ? static_cast<double>(total_requests) / result.wall_seconds
+              : 0.0)
+      << ",\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& c = result.cells[i];
+    out << "    {\"shape\": \"";
+    JsonEscape(out, c.spec.shape);
+    out << "\", \"n\": " << c.spec.n << ", \"workload\": \"";
+    JsonEscape(out, c.spec.workload);
+    out << "\", \"policy\": \"";
+    JsonEscape(out, c.spec.policy);
+    out << "\", \"requests\": " << c.spec.requests
+        << ", \"seed\": " << c.spec.seed
+        << ", \"tree_seed\": " << c.spec.tree_seed
+        << ", \"workload_seed\": " << c.spec.workload_seed << ",\n";
+    out << "     \"ok\": " << (c.ok ? "true" : "false");
+    if (!c.ok) {
+      out << ", \"error\": \"";
+      JsonEscape(out, c.error);
+      out << "\"";
+    }
+    out << ", \"messages\": {\"probes\": " << c.counts.probes
+        << ", \"responses\": " << c.counts.responses
+        << ", \"updates\": " << c.counts.updates
+        << ", \"releases\": " << c.counts.releases
+        << ", \"total\": " << c.total_messages << "},\n";
+    out << "     \"wall_seconds\": " << c.wall_seconds
+        << ", \"requests_per_sec\": " << c.requests_per_sec;
+    if (spec.competitive) {
+      out << ",\n     \"competitive\": {\"ratio_vs_lease_opt\": "
+          << c.ratio_vs_lease_opt
+          << ", \"ratio_vs_nice_bound\": " << c.ratio_vs_nice_bound
+          << ", \"worst_edge_ratio\": " << c.worst_edge_ratio
+          << ", \"strict_ok\": " << (c.strict_ok ? "true" : "false") << "}";
+    }
+    out << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace treeagg

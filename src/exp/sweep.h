@@ -1,0 +1,98 @@
+// Parallel experiment-sweep engine.
+//
+// A sweep is the cross product of tree shapes x sizes x workloads x
+// policies x replicate seeds. Every cell is an independent sequential
+// experiment (build tree, build workload, run the driver to quiescence,
+// collect message counts), so cells fan out across a thread pool with no
+// shared mutable state: a worker claims cell indices from one atomic
+// counter and writes each finished CellResult into its preassigned slot.
+//
+// Determinism: a cell's RNG seeds are derived by hashing the cell's own
+// identity (shape, size, workload, policy, replicate seed) — never from
+// the cell's position in the run order or the thread that executes it —
+// so a sweep's results are a pure function of its SweepSpec. Running with
+// 1 thread or N threads produces identical cells; only the timing fields
+// differ. The sweep_test pins exactly that.
+#ifndef TREEAGG_EXP_SWEEP_H_
+#define TREEAGG_EXP_SWEEP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+namespace treeagg {
+
+struct SweepSpec {
+  std::vector<std::string> shapes;     // MakeShape names
+  std::vector<NodeId> sizes;           // nodes per tree
+  std::vector<std::string> workloads;  // MakeWorkload names
+  std::vector<std::string> policies;   // PolicyBySpec strings
+  std::vector<std::uint64_t> seeds;    // replicate seeds
+  std::size_t requests = 1000;         // workload length per cell
+  bool competitive = false;  // also compute the offline Section 4 bounds
+  int threads = 1;           // 0 = std::thread::hardware_concurrency()
+};
+
+// One point of the cross product, with its derived per-cell RNG seeds.
+struct CellSpec {
+  std::string shape;
+  NodeId n = 0;
+  std::string workload;
+  std::string policy;
+  std::size_t requests = 0;
+  std::uint64_t seed = 0;           // the replicate seed from SweepSpec
+  std::uint64_t tree_seed = 0;      // derived: hash of identity
+  std::uint64_t workload_seed = 0;  // derived: independent hash of identity
+};
+
+struct CellResult {
+  CellSpec spec;
+  MessageCounts counts;  // zero breakdown in competitive mode (totals only)
+  std::int64_t total_messages = 0;
+  double wall_seconds = 0;       // this cell alone
+  double requests_per_sec = 0;
+  // Filled only when SweepSpec::competitive:
+  double ratio_vs_lease_opt = 0;
+  double ratio_vs_nice_bound = 0;
+  double worst_edge_ratio = 0;
+  bool strict_ok = true;
+  // Per-cell failure capture: a throwing cell (bad spec, etc.) is reported
+  // instead of tearing down the sweep.
+  bool ok = true;
+  std::string error;
+};
+
+struct SweepResult {
+  std::vector<CellResult> cells;  // cross-product order, stable
+  int threads_used = 1;
+  double wall_seconds = 0;        // whole sweep, wall clock
+  // Sum of per-cell wall times: the serial cost of the same work, used to
+  // report the realized parallel speedup (serial_seconds / wall_seconds).
+  double serial_seconds = 0;
+};
+
+// The cross product in deterministic order (shapes, then sizes, then
+// workloads, then policies, then seeds; innermost varies fastest), with
+// per-cell seeds derived. Exposed separately so callers can inspect or
+// shard the cell list.
+std::vector<CellSpec> ExpandCells(const SweepSpec& spec);
+
+// Runs one cell. Pure function of the CellSpec; never throws (failures
+// are captured in the result).
+CellResult RunCell(const CellSpec& cell, bool competitive);
+
+// Runs the whole sweep across spec.threads workers.
+SweepResult RunSweep(const SweepSpec& spec);
+
+// Machine-readable report, schema "treeagg-sweep-v1". See
+// docs/EXPERIMENTS.md for the field-by-field description.
+void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
+                    const SweepResult& result);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_EXP_SWEEP_H_

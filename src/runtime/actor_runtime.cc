@@ -29,14 +29,19 @@ ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory)
 
 ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory,
                            Options options)
-    : tree_(&tree), op_(*options.op), options_(options), transport_(this) {
+    : tree_(&tree),
+      op_(*options.op),
+      options_(options),
+      transport_(this),
+      trace_(MessageTrace::Options{.tree_nodes = tree.size()}) {
   const std::size_t n = static_cast<std::size_t>(tree.size());
   mailboxes_.reserve(n);
   nodes_.reserve(n);
   for (NodeId u = 0; u < tree.size(); ++u) {
+    const std::vector<NodeId> nbrs = tree.neighbors(u).ToVector();
     mailboxes_.push_back(std::make_unique<Mailbox>());
     nodes_.push_back(std::make_unique<LeaseNode>(
-        u, tree.neighbors(u), op_, factory(u, tree.neighbors(u)), &transport_,
+        u, nbrs, op_, factory(u, nbrs), &transport_,
         [this](NodeId node, CombineToken token, Real value) {
           OnCombineDone(node, token, value);
         },

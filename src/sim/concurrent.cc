@@ -48,12 +48,13 @@ ConcurrentSimulator::ConcurrentSimulator(const Tree& tree,
       op_(*options.op),
       options_(options),
       rng_(options.seed),
-      trace_(false),
+      trace_(MessageTrace::Options{.tree_nodes = tree.size()}),
       transport_(this) {
   nodes_.reserve(static_cast<std::size_t>(tree.size()));
   for (NodeId u = 0; u < tree.size(); ++u) {
+    const std::vector<NodeId> nbrs = tree.neighbors(u).ToVector();
     nodes_.push_back(std::make_unique<LeaseNode>(
-        u, tree.neighbors(u), op_, factory(u, tree.neighbors(u)), &transport_,
+        u, nbrs, op_, factory(u, nbrs), &transport_,
         [this](NodeId node, CombineToken token, Real value) {
           OnCombineDone(node, token, value);
         },

@@ -40,8 +40,9 @@ class World {
     }
     next_request_.assign(static_cast<std::size_t>(tree.size()), 0);
     for (NodeId u = 0; u < tree.size(); ++u) {
+      const std::vector<NodeId> nbrs = tree.neighbors(u).ToVector();
       nodes_.push_back(std::make_unique<LeaseNode>(
-          u, tree.neighbors(u), op, factory(u, tree.neighbors(u)),
+          u, nbrs, op, factory(u, nbrs),
           &transport_,
           [this](NodeId node, CombineToken token, Real value) {
             const LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];

@@ -18,7 +18,7 @@ void CheckNode(const Tree& tree, NodeId u, const char* what) {
 
 void AggregationSystem::QueueTransport::Send(Message m) {
   sys_->trace_.Record(m);
-  sys_->queue_.push_back(std::move(m));
+  sys_->queue_.Push(std::move(m));
 }
 
 AggregationSystem::AggregationSystem(const Tree& tree,
@@ -30,13 +30,16 @@ AggregationSystem::AggregationSystem(const Tree& tree,
                                      Options options)
     : tree_(&tree),
       op_(*options.op),
-      trace_(options.keep_message_log),
+      trace_(MessageTrace::Options{.keep_log = options.keep_message_log,
+                                   .per_edge = options.edge_accounting,
+                                   .tree_nodes = tree.size()}),
       transport_(this),
       ghost_(options.ghost_logging) {
   nodes_.reserve(static_cast<std::size_t>(tree.size()));
   for (NodeId u = 0; u < tree.size(); ++u) {
+    const std::vector<NodeId> nbrs = tree.neighbors(u).ToVector();
     nodes_.push_back(std::make_unique<LeaseNode>(
-        u, tree.neighbors(u), op_, factory(u, tree.neighbors(u)), &transport_,
+        u, nbrs, op_, factory(u, nbrs), &transport_,
         [this](NodeId node, CombineToken token, Real value) {
           OnCombineDone(node, token, value);
         },
@@ -88,10 +91,11 @@ void AggregationSystem::Execute(const RequestSequence& sigma) {
 }
 
 void AggregationSystem::Drain() {
+  // Pop by move into a reusable scratch slot: delivery may enqueue further
+  // messages (growing the ring), so we must not hold a reference into it.
   while (!queue_.empty()) {
-    const Message m = std::move(queue_.front());
-    queue_.pop_front();
-    nodes_[static_cast<std::size_t>(m.to)]->Deliver(m);
+    queue_.PopInto(scratch_);
+    nodes_[static_cast<std::size_t>(scratch_.to)]->Deliver(scratch_);
   }
 }
 

@@ -16,10 +16,10 @@
 #ifndef TREEAGG_SIM_SYSTEM_H_
 #define TREEAGG_SIM_SYSTEM_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/ring_queue.h"
 #include "common/types.h"
 #include "consistency/causal_checker.h"  // NodeGhostState
 #include "consistency/history.h"
@@ -39,6 +39,10 @@ class AggregationSystem {
     const AggregateOp* op = &SumOp();
     bool ghost_logging = false;  // Section 5 instrumentation
     bool keep_message_log = false;
+    // Per-edge C(sigma, u, v) accounting. Disable when only message totals
+    // are consumed (throughput benches, parallel sweeps): Record() then
+    // costs two increments per message.
+    bool edge_accounting = true;
   };
 
   AggregationSystem(const Tree& tree, const PolicyFactory& factory);
@@ -98,7 +102,11 @@ class AggregationSystem {
   MessageTrace trace_;
   History history_;
   QueueTransport transport_;
-  std::deque<Message> queue_;
+  // In-flight messages; slots (and their SmallVec buffers) are recycled,
+  // so steady-state Send/Deliver traffic never allocates.
+  RingQueue<Message> queue_;
+  // Scratch message reused by Drain() so each delivery is a cheap move.
+  Message scratch_;
   std::vector<std::unique_ptr<LeaseNode>> nodes_;
   std::int64_t clock_ = 0;
   bool ghost_;

@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include <cstring>
+
 namespace treeagg {
 
 MessageCounts& MessageCounts::operator+=(const MessageCounts& other) {
@@ -10,60 +12,102 @@ MessageCounts& MessageCounts::operator+=(const MessageCounts& other) {
   return *this;
 }
 
-void MessageTrace::Record(const Message& m) {
-  // Classify into the ordered pair (u, v) per Section 3.2: probes and
-  // releases travel v -> u, responses and updates travel u -> v.
-  NodeId u, v;
-  if (m.type == MsgType::kProbe || m.type == MsgType::kRelease) {
-    u = m.to;
-    v = m.from;
-  } else {
-    u = m.from;
-    v = m.to;
+MessageTrace::MessageTrace(Options options)
+    : keep_log_(options.keep_log),
+      per_edge_(options.per_edge),
+      dense_(options.tree_nodes > 0) {
+  if (per_edge_) {
+    slots_.resize(dense_ ? 2 * static_cast<std::size_t>(options.tree_nodes)
+                         : 64);
   }
-  MessageCounts& c = per_edge_[Key(u, v)];
-  switch (m.type) {
-    case MsgType::kProbe:
-      ++c.probes;
-      ++totals_.probes;
+}
+
+MessageCounts& MessageTrace::SlotFor(std::uint64_t key) {
+  // Grow at 1/2 load to keep probe chains short.
+  if ((used_slots_ + 1) * 2 > slots_.size()) GrowSlots();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = Hash(key) & mask;
+  while (slots_[i].key != key) {
+    if (slots_[i].key == kEmptyKey) {
+      slots_[i].key = key;
+      ++used_slots_;
       break;
-    case MsgType::kResponse:
-      ++c.responses;
-      ++totals_.responses;
-      break;
-    case MsgType::kUpdate:
-      ++c.updates;
-      ++totals_.updates;
-      break;
-    case MsgType::kRelease:
-      ++c.releases;
-      ++totals_.releases;
-      break;
+    }
+    i = (i + 1) & mask;
   }
-  if (keep_log_) log_.push_back(m);
+  return slots_[i].counts;
+}
+
+void MessageTrace::GrowSlots() {
+  std::vector<EdgeSlot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, EdgeSlot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const EdgeSlot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    std::size_t i = Hash(s.key) & mask;
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
 }
 
 MessageCounts MessageTrace::EdgeCost(NodeId u, NodeId v) const {
-  const auto it = per_edge_.find(Key(u, v));
-  return it == per_edge_.end() ? MessageCounts{} : it->second;
+  if (slots_.empty()) return {};
+  const std::uint64_t key = Key(u, v);
+  if (dense_) {
+    const std::size_t i = DenseIndex(u, v);
+    if (i < slots_.size() && slots_[i].key == key) return slots_[i].counts;
+    return {};
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = Hash(key) & mask;
+  while (slots_[i].key != kEmptyKey) {
+    if (slots_[i].key == key) return slots_[i].counts;
+    i = (i + 1) & mask;
+  }
+  return {};
 }
 
 std::vector<std::pair<std::pair<NodeId, NodeId>, MessageCounts>>
 MessageTrace::AllEdgeCosts() const {
   std::vector<std::pair<std::pair<NodeId, NodeId>, MessageCounts>> result;
-  result.reserve(per_edge_.size());
-  for (const auto& [key, counts] : per_edge_) {
-    const NodeId u = static_cast<NodeId>(key >> 32);
-    const NodeId v = static_cast<NodeId>(key & 0xffffffffu);
-    result.push_back({{u, v}, counts});
+  result.reserve(used_slots_);
+  for (const EdgeSlot& s : slots_) {
+    if (s.key == kEmptyKey) continue;
+    const NodeId u = static_cast<NodeId>(s.key >> 32);
+    const NodeId v = static_cast<NodeId>(s.key & 0xffffffffu);
+    result.push_back({{u, v}, s.counts});
   }
   return result;
 }
 
 void MessageTrace::Reset() {
   totals_ = {};
-  per_edge_.clear();
+  if (per_edge_) slots_.assign(dense_ ? slots_.size() : 64, EdgeSlot{});
+  used_slots_ = 0;
   log_.clear();
+}
+
+std::uint64_t TraceHash(const std::vector<Message>& log) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  for (const Message& m : log) {
+    mix(static_cast<std::uint64_t>(m.type));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.from)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.to)));
+    std::uint64_t bits;
+    std::memcpy(&bits, &m.x, sizeof(bits));
+    mix(bits);
+    mix(m.flag ? 1u : 0u);
+    mix(static_cast<std::uint64_t>(m.id));
+    mix(static_cast<std::uint64_t>(m.release_ids.size()));
+    for (const UpdateId id : m.release_ids) {
+      mix(static_cast<std::uint64_t>(id));
+    }
+  }
+  return h;
 }
 
 }  // namespace treeagg

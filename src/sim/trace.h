@@ -6,11 +6,17 @@
 // updates u->v, and releases v->u. Every message contributes to exactly one
 // ordered pair, so the C values partition the total (Lemma 3.9) — a fact
 // the tests verify directly.
+//
+// Record() sits on the driver's hot path (once per protocol message), so
+// it is structured as: unconditional totals increments, plus two opt-out /
+// opt-in features — per-edge accounting (flat open-addressed table instead
+// of std::unordered_map; disable it via Options when only totals matter,
+// e.g. in throughput benches and parallel sweeps) and the full message log
+// (off by default; tests and diagram demos only).
 #ifndef TREEAGG_SIM_TRACE_H_
 #define TREEAGG_SIM_TRACE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -30,21 +36,58 @@ struct MessageCounts {
 
 class MessageTrace {
  public:
-  // When keep_log is true the full message sequence is retained (tests and
-  // small demos only; benches keep it off).
-  explicit MessageTrace(bool keep_log = false) : keep_log_(keep_log) {}
+  struct Options {
+    // Retain the full message sequence (tests and small demos only).
+    bool keep_log = false;
+    // Maintain C(sigma, u, v) per ordered neighbor pair. On by default;
+    // turn off when only totals are consumed — Record() then degenerates
+    // to a pair of increments.
+    bool per_edge = true;
+    // If nonzero, every recorded message travels an edge of a
+    // parent-encoded tree over nodes [0, tree_nodes): each edge connects
+    // its max endpoint (the child) to that child's unique parent, so the
+    // ordered pair (u, v) is perfectly indexed by 2*max(u,v) + direction.
+    // Per-edge accounting then uses a direct-indexed dense table — no
+    // hashing, no probing. Leave zero for arbitrary topologies (SDIMS),
+    // where two pairs can share a max endpoint and would collide.
+    NodeId tree_nodes = 0;
+  };
 
-  void Record(const Message& m);
+  MessageTrace() : MessageTrace(Options{}) {}
+  // Back-compat shorthand: MessageTrace(true) == keep the message log.
+  explicit MessageTrace(bool keep_log)
+      : MessageTrace(Options{.keep_log = keep_log, .per_edge = true}) {}
+  explicit MessageTrace(Options options);
+
+  void Record(const Message& m) {
+    switch (m.type) {
+      case MsgType::kProbe:
+        ++totals_.probes;
+        break;
+      case MsgType::kResponse:
+        ++totals_.responses;
+        break;
+      case MsgType::kUpdate:
+        ++totals_.updates;
+        break;
+      case MsgType::kRelease:
+        ++totals_.releases;
+        break;
+    }
+    if (per_edge_) RecordEdge(m);
+    if (keep_log_) log_.push_back(m);
+  }
 
   // Totals across all edges.
   const MessageCounts& totals() const { return totals_; }
   std::int64_t TotalMessages() const { return totals_.total(); }
 
   // C(sigma, u, v) for the ordered neighbor pair (u, v): probes v->u,
-  // responses u->v, updates u->v, releases v->u.
+  // responses u->v, updates u->v, releases v->u. Zero for every pair when
+  // per-edge accounting was disabled.
   MessageCounts EdgeCost(NodeId u, NodeId v) const;
 
-  // All ordered pairs with nonzero cost.
+  // All ordered pairs with nonzero cost (unspecified order).
   std::vector<std::pair<std::pair<NodeId, NodeId>, MessageCounts>>
   AllEdgeCosts() const;
 
@@ -56,16 +99,87 @@ class MessageTrace {
   void Reset();
 
  private:
+  // Open-addressed (linear probing) table from the ordered-pair key to its
+  // counts. kEmptyKey marks free slots; the ordered pair (0, 0) cannot
+  // occur because messages never travel node -> itself.
+  struct EdgeSlot {
+    std::uint64_t key = kEmptyKey;
+    MessageCounts counts;
+  };
+  static constexpr std::uint64_t kEmptyKey = 0;
+
   static std::uint64_t Key(NodeId u, NodeId v) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
            static_cast<std::uint32_t>(v);
   }
+  static std::size_t Hash(std::uint64_t key) {
+    // SplitMix64 finalizer: cheap and well-distributed.
+    key ^= key >> 30;
+    key *= 0xBF58476D1CE4E5B9ULL;
+    key ^= key >> 27;
+    key *= 0x94D049BB133111EBULL;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+
+  // Dense index of the ordered pair (u, v) under the tree_nodes scheme.
+  static std::size_t DenseIndex(NodeId u, NodeId v) {
+    const NodeId child = u > v ? u : v;
+    return 2 * static_cast<std::size_t>(child) + (u > v ? 1 : 0);
+  }
+
+  void RecordEdge(const Message& m) {
+    // Classify into the ordered pair (u, v) per Section 3.2: probes and
+    // releases travel v -> u, responses and updates travel u -> v.
+    NodeId u, v;
+    if (m.type == MsgType::kProbe || m.type == MsgType::kRelease) {
+      u = m.to;
+      v = m.from;
+    } else {
+      u = m.from;
+      v = m.to;
+    }
+    MessageCounts& c = dense_ ? DenseSlotFor(u, v) : SlotFor(Key(u, v));
+    switch (m.type) {
+      case MsgType::kProbe:
+        ++c.probes;
+        break;
+      case MsgType::kResponse:
+        ++c.responses;
+        break;
+      case MsgType::kUpdate:
+        ++c.updates;
+        break;
+      case MsgType::kRelease:
+        ++c.releases;
+        break;
+    }
+  }
+
+  MessageCounts& DenseSlotFor(NodeId u, NodeId v) {
+    EdgeSlot& s = slots_[DenseIndex(u, v)];
+    s.key = Key(u, v);
+    return s.counts;
+  }
+
+  MessageCounts& SlotFor(std::uint64_t key);
+  void GrowSlots();
 
   bool keep_log_;
+  bool per_edge_;
+  bool dense_;
   MessageCounts totals_;
-  std::unordered_map<std::uint64_t, MessageCounts> per_edge_;
+  std::vector<EdgeSlot> slots_;  // power-of-two size
+  std::size_t used_slots_ = 0;
   std::vector<Message> log_;
 };
+
+// Order-sensitive FNV-1a fingerprint of a full message log: every field of
+// every message (including release-id sets) feeds the hash, so two drivers
+// produce the same value iff they emitted bit-identical message sequences.
+// Used by the determinism regression tests to pin optimized drivers to the
+// seed implementation's exact behaviour.
+std::uint64_t TraceHash(const std::vector<Message>& log);
 
 }  // namespace treeagg
 

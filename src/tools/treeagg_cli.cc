@@ -24,6 +24,7 @@
 #include "analysis/table.h"
 #include "consistency/causal_checker.h"
 #include "core/extra_policies.h"
+#include "exp/sweep.h"
 #include "runtime/actor_runtime.h"
 #include "sim/concurrent.h"
 #include "sim/system.h"
@@ -241,7 +242,129 @@ RequestSequence LoadOrMakeWorkload(const CliOptions& options,
   return sigma;
 }
 
+// --- sweep subcommand ---------------------------------------------------
+//
+//   treeagg_cli sweep [--shapes S1,S2] [--sizes N1,N2] [--workloads W1,W2]
+//                     [--policies P1,P2] [--seeds X1,X2] [--len L]
+//                     [--threads T] [--competitive] [--out FILE]
+//
+// Runs the cross product on a thread pool and writes the
+// treeagg-sweep-v1 JSON report to --out (default: stdout).
+
+// Splits a comma-separated list, but not inside parentheses, so policy
+// specs like lease(1,3) survive: "RWW,lease(1,3),pull-all" is 3 items.
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (const char c : csv) {
+    if (c == '(') ++depth;
+    if (c == ')' && depth > 0) --depth;
+    if (c == ',' && depth == 0) {
+      if (!current.empty()) parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(std::move(current));
+  return parts;
+}
+
+int SweepUsage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " sweep [--shapes S1,S2,..] [--sizes N1,N2,..]"
+               " [--workloads W1,..] [--policies P1,..] [--seeds X1,..]"
+               " [--len L] [--threads T] [--competitive] [--out FILE]\n";
+  return 2;
+}
+
+int SweepMain(int argc, char** argv) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {31};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  std::string out_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--competitive") {
+      spec.competitive = true;
+    } else if (arg == "--shapes" && (value = next())) {
+      spec.shapes = SplitList(value);
+    } else if (arg == "--sizes" && (value = next())) {
+      spec.sizes.clear();
+      for (const std::string& s : SplitList(value)) {
+        spec.sizes.push_back(static_cast<NodeId>(std::stol(s)));
+      }
+    } else if (arg == "--workloads" && (value = next())) {
+      spec.workloads = SplitList(value);
+    } else if (arg == "--policies" && (value = next())) {
+      spec.policies = SplitList(value);
+    } else if (arg == "--seeds" && (value = next())) {
+      spec.seeds.clear();
+      for (const std::string& s : SplitList(value)) {
+        spec.seeds.push_back(std::stoull(s));
+      }
+    } else if (arg == "--len" && (value = next())) {
+      spec.requests = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--threads" && (value = next())) {
+      spec.threads = static_cast<int>(std::stol(value));
+    } else if (arg == "--out" && (value = next())) {
+      out_file = value;
+    } else {
+      return SweepUsage(argv[0]);
+    }
+  }
+  if (spec.shapes.empty() || spec.sizes.empty() || spec.workloads.empty() ||
+      spec.policies.empty() || spec.seeds.empty()) {
+    std::cerr << "error: sweep spec expands to zero cells (empty axis)\n";
+    return 2;
+  }
+  const SweepResult result = RunSweep(spec);
+  if (out_file.empty()) {
+    WriteSweepJson(std::cout, spec, result);
+  } else {
+    std::ofstream out(out_file);
+    if (!out) {
+      std::cerr << "error: cannot open " << out_file << "\n";
+      return 2;
+    }
+    WriteSweepJson(out, spec, result);
+    std::cerr << "sweep report written to " << out_file << "\n";
+  }
+  std::size_t failed = 0;
+  for (const CellResult& c : result.cells) {
+    if (!c.ok) {
+      ++failed;
+      std::cerr << "cell failed (" << c.spec.shape << "/" << c.spec.n << "/"
+                << c.spec.workload << "/" << c.spec.policy << "): " << c.error
+                << "\n";
+    }
+  }
+  std::cerr << result.cells.size() << " cells, " << result.threads_used
+            << " threads, " << result.wall_seconds << "s wall ("
+            << (result.wall_seconds > 0
+                    ? result.serial_seconds / result.wall_seconds
+                    : 0.0)
+            << "x vs serial)\n";
+  return failed == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "sweep") {
+    try {
+      return SweepMain(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
   CliOptions options;
   if (!Parse(argc, argv, &options)) return Usage(argv[0]);
   try {

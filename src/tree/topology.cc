@@ -10,20 +10,30 @@ namespace treeagg {
 Tree::Tree(std::vector<NodeId> parent) : parent_(std::move(parent)) {
   const NodeId n = size();
   if (n <= 0) throw std::invalid_argument("Tree: empty parent vector");
-  adj_.assign(n, {});
   for (NodeId i = 1; i < n; ++i) {
     const NodeId p = parent_[i];
     if (p < 0 || p >= i) {
       throw std::invalid_argument("Tree: parent[i] must be in [0, i)");
     }
-    adj_[i].push_back(p);
-    adj_[p].push_back(i);
-    edges_.push_back({std::min(p, i), std::max(p, i)});
+    edges_.push_back({p, i});  // p < i, so already (min, max)
   }
-  for (auto& nbrs : adj_) std::sort(nbrs.begin(), nbrs.end());
   std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
     return std::pair(a.u, a.v) < std::pair(b.u, b.v);
   });
+
+  // Flat CSR adjacency: count degrees, prefix-sum into offsets, then fill
+  // each node's slice with its parent first and children in ascending
+  // order — parent_[u] < u < child, so every slice comes out sorted.
+  adj_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId i = 1; i < n; ++i) {
+    ++adj_offset_[i + 1];
+    ++adj_offset_[parent_[i] + 1];
+  }
+  for (NodeId u = 0; u < n; ++u) adj_offset_[u + 1] += adj_offset_[u];
+  adj_flat_.resize(static_cast<std::size_t>(adj_offset_[n]));
+  std::vector<NodeId> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
+  for (NodeId i = 1; i < n; ++i) adj_flat_[cursor[i]++] = parent_[i];
+  for (NodeId i = 1; i < n; ++i) adj_flat_[cursor[parent_[i]]++] = i;
 
   // Iterative DFS from node 0 computing Euler intervals, depth, sizes.
   depth_.assign(n, 0);
@@ -65,7 +75,7 @@ Tree::Tree(std::vector<NodeId> parent) : parent_(std::move(parent)) {
 
 bool Tree::HasEdge(NodeId u, NodeId v) const {
   if (u < 0 || v < 0 || u >= size() || v >= size() || u == v) return false;
-  const auto& nbrs = adj_[u];
+  const NeighborSpan nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
@@ -134,7 +144,7 @@ std::vector<NodeId> Tree::BfsOrder(NodeId root) const {
   order.push_back(root);
   seen[root] = true;
   for (std::size_t head = 0; head < order.size(); ++head) {
-    for (const NodeId w : adj_[order[head]]) {
+    for (const NodeId w : neighbors(order[head])) {
       if (!seen[w]) {
         seen[w] = true;
         order.push_back(w);
@@ -154,7 +164,7 @@ NodeId Tree::Diameter() const {
     for (std::size_t head = 0; head < q.size(); ++head) {
       const NodeId x = q[head];
       if (dist[x] > dist[best]) best = x;
-      for (const NodeId w : adj_[x]) {
+      for (const NodeId w : neighbors(x)) {
         if (dist[w] < 0) {
           dist[w] = dist[x] + 1;
           q.push_back(w);

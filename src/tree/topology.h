@@ -29,6 +29,35 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+// Non-owning view of a node's neighbor list inside the tree's flat CSR
+// adjacency array. Iterates ascending, like the sorted std::vector it
+// replaced; ToVector() materializes a copy where an owning container is
+// genuinely needed (node construction, policy factories).
+class NeighborSpan {
+ public:
+  using value_type = NodeId;
+  using const_iterator = const NodeId*;
+
+  NeighborSpan(const NodeId* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const NodeId* begin() const { return data_; }
+  const NodeId* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](std::size_t i) const { return data_[i]; }
+  NodeId front() const { return data_[0]; }
+  NodeId back() const { return data_[size_ - 1]; }
+
+  std::vector<NodeId> ToVector() const {
+    return std::vector<NodeId>(begin(), end());
+  }
+
+ private:
+  const NodeId* data_;
+  std::size_t size_;
+};
+
 class Tree {
  public:
   // Builds a tree from a parent vector: parent[0] is ignored (node 0 is the
@@ -39,11 +68,16 @@ class Tree {
   // Number of nodes.
   NodeId size() const { return static_cast<NodeId>(parent_.size()); }
 
-  // Neighbors of u, sorted ascending.
-  const std::vector<NodeId>& neighbors(NodeId u) const { return adj_[u]; }
+  // Neighbors of u, sorted ascending. A view into the flat CSR adjacency
+  // array — valid as long as the Tree is alive.
+  NeighborSpan neighbors(NodeId u) const {
+    const std::size_t begin = static_cast<std::size_t>(adj_offset_[u]);
+    const std::size_t end = static_cast<std::size_t>(adj_offset_[u + 1]);
+    return NeighborSpan(adj_flat_.data() + begin, end - begin);
+  }
 
   NodeId degree(NodeId u) const {
-    return static_cast<NodeId>(adj_[u].size());
+    return adj_offset_[u + 1] - adj_offset_[u];
   }
 
   // True iff (u, v) is a tree edge.
@@ -97,7 +131,11 @@ class Tree {
   NodeId AncestorAtDepth(NodeId u, NodeId d) const;
 
   std::vector<NodeId> parent_;             // rooted at 0
-  std::vector<std::vector<NodeId>> adj_;   // sorted adjacency
+  // Flat CSR adjacency: node u's neighbors (sorted ascending) live in
+  // adj_flat_[adj_offset_[u] .. adj_offset_[u + 1]). One cache-friendly
+  // array of 2(n-1) ids instead of n separately allocated vectors.
+  std::vector<NodeId> adj_flat_;
+  std::vector<NodeId> adj_offset_;         // size n + 1
   std::vector<Edge> edges_;                // u < v
   std::vector<NodeId> depth_;
   std::vector<NodeId> tin_, tout_;         // Euler intervals

@@ -121,7 +121,7 @@ TEST(AllPoliciesTest, ListIsWellFormed) {
   Tree t = MakePath(3);
   for (const NamedPolicy& p : policies) {
     EXPECT_FALSE(p.name.empty());
-    auto instance = p.factory(0, t.neighbors(0));
+    auto instance = p.factory(0, t.neighbors(0).ToVector());
     ASSERT_NE(instance, nullptr) << p.name;
   }
 }

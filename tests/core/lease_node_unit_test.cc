@@ -77,12 +77,13 @@ Message MakeProbe(NodeId from, NodeId to) {
   return m;
 }
 
-Message MakeRelease(NodeId from, NodeId to, std::vector<UpdateId> ids) {
+Message MakeRelease(NodeId from, NodeId to,
+                    std::initializer_list<UpdateId> ids) {
   Message m;
   m.type = MsgType::kRelease;
   m.from = from;
   m.to = to;
-  m.release_ids = std::move(ids);
+  m.release_ids = ids;
   return m;
 }
 
@@ -173,7 +174,7 @@ TEST(LeaseNodeUnit, T5ForwardsUpdateWithFreshIdAndRecordsSntupdates) {
   EXPECT_EQ(fwd.id, 1);   // renumbered with the local counter
   EXPECT_EQ(h.node.SntUpdatesSize(), 1u);
   EXPECT_EQ(h.node.uaw(2).size(), 1u);
-  EXPECT_TRUE(h.node.uaw(2).count(17));
+  EXPECT_TRUE(h.node.uaw(2).contains(17));
 }
 
 TEST(LeaseNodeUnit, T5AtFrontierDecrementsAndEventuallyReleases) {
@@ -189,7 +190,7 @@ TEST(LeaseNodeUnit, T5AtFrontierDecrementsAndEventuallyReleases) {
   const Message release = h.transport.Pop();
   EXPECT_EQ(release.type, MsgType::kRelease);
   EXPECT_EQ(release.to, 1);
-  EXPECT_EQ(release.release_ids, (std::vector<UpdateId>{1, 2}));
+  EXPECT_EQ(release.release_ids, (ReleaseIdSet{1, 2}));
   EXPECT_FALSE(h.node.taken(1));
   EXPECT_TRUE(h.node.uaw(1).empty());
 }
@@ -215,7 +216,7 @@ TEST(LeaseNodeUnit, T6OnReleaseTrimsUawViaSntupdates) {
   const Message cascade = h.transport.Pop();
   EXPECT_EQ(cascade.type, MsgType::kRelease);
   EXPECT_EQ(cascade.to, 2);
-  EXPECT_EQ(cascade.release_ids, (std::vector<UpdateId>{100, 101}));
+  EXPECT_EQ(cascade.release_ids, (ReleaseIdSet{100, 101}));
   EXPECT_FALSE(h.node.taken(2));
   // With no grants left, the sntupdates bookkeeping is collected.
   EXPECT_EQ(h.node.SntUpdatesSize(), 0u);
@@ -233,7 +234,7 @@ TEST(LeaseNodeUnit, T6ReleaseCitingOnlyLatestIdTrimsOlderUawEntries) {
   h.node.Deliver(MakeRelease(0, 1, {2}));
   // lt[2] = 2 - |{101}| = 1 > 0: lease from 2 survives.
   EXPECT_TRUE(h.node.taken(2));
-  EXPECT_EQ(h.node.uaw(2), (std::set<UpdateId>{101}));
+  EXPECT_EQ(h.node.uaw(2), (ReleaseIdSet{101}));
   EXPECT_TRUE(h.transport.sent.empty());
 }
 

@@ -1,0 +1,168 @@
+// The sweep engine's contract: results are a pure function of the
+// SweepSpec — independent of thread count, run order, and which other
+// cells share the sweep. Timing fields are the only thing allowed to vary.
+#include "exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace treeagg {
+namespace {
+
+SweepSpec SmallSpec() {
+  SweepSpec spec;
+  spec.shapes = {"path", "kary2"};
+  spec.sizes = {8, 15};
+  spec.workloads = {"mixed50", "writeheavy"};
+  spec.policies = {"RWW", "lease(1,3)"};
+  spec.seeds = {1, 2};
+  spec.requests = 120;
+  return spec;
+}
+
+// Everything except timings, as a comparable fingerprint.
+struct CellKey {
+  std::string id;
+  std::int64_t total;
+  MessageCounts counts;
+  bool ok;
+
+  friend bool operator==(const CellKey& a, const CellKey& b) {
+    return a.id == b.id && a.total == b.total &&
+           a.counts.probes == b.counts.probes &&
+           a.counts.responses == b.counts.responses &&
+           a.counts.updates == b.counts.updates &&
+           a.counts.releases == b.counts.releases && a.ok == b.ok;
+  }
+};
+
+std::vector<CellKey> Keys(const SweepResult& r) {
+  std::vector<CellKey> keys;
+  for (const CellResult& c : r.cells) {
+    CellKey k;
+    k.id = c.spec.shape + "/" + std::to_string(c.spec.n) + "/" +
+           c.spec.workload + "/" + c.spec.policy + "/" +
+           std::to_string(c.spec.seed);
+    k.total = c.total_messages;
+    k.counts = c.counts;
+    k.ok = c.ok;
+    keys.push_back(std::move(k));
+  }
+  return keys;
+}
+
+TEST(SweepTest, ExpandCellsIsTheFullCrossProduct) {
+  const SweepSpec spec = SmallSpec();
+  const std::vector<CellSpec> cells = ExpandCells(spec);
+  EXPECT_EQ(cells.size(), 2u * 2u * 2u * 2u * 2u);
+  // Derived seeds are distinct across cells (identity feeds the hash).
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(cells[i].tree_seed, cells[j].tree_seed) << i << "," << j;
+    }
+  }
+}
+
+TEST(SweepTest, CellSeedsDependOnIdentityNotPosition) {
+  SweepSpec narrow = SmallSpec();
+  narrow.shapes = {"kary2"};  // drop "path": kary2 cells shift position
+  const std::vector<CellSpec> all = ExpandCells(SmallSpec());
+  const std::vector<CellSpec> sub = ExpandCells(narrow);
+  for (const CellSpec& c : sub) {
+    bool found = false;
+    for (const CellSpec& d : all) {
+      if (d.shape == c.shape && d.n == c.n && d.workload == c.workload &&
+          d.policy == c.policy && d.seed == c.seed) {
+        EXPECT_EQ(d.tree_seed, c.tree_seed);
+        EXPECT_EQ(d.workload_seed, c.workload_seed);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SweepTest, ResultsAreThreadCountInvariant) {
+  SweepSpec spec = SmallSpec();
+  spec.threads = 1;
+  const SweepResult serial = RunSweep(spec);
+  ASSERT_EQ(serial.cells.size(), 32u);
+  for (const CellResult& c : serial.cells) {
+    EXPECT_TRUE(c.ok) << c.error;
+    EXPECT_GT(c.total_messages, 0);
+  }
+  for (const int threads : {2, 8}) {
+    spec.threads = threads;
+    const SweepResult parallel = RunSweep(spec);
+    EXPECT_EQ(Keys(parallel), Keys(serial)) << threads << " threads";
+  }
+}
+
+TEST(SweepTest, RepeatedRunsAreIdentical) {
+  SweepSpec spec = SmallSpec();
+  spec.threads = 4;
+  EXPECT_EQ(Keys(RunSweep(spec)), Keys(RunSweep(spec)));
+}
+
+TEST(SweepTest, BadCellIsReportedNotFatal) {
+  SweepSpec spec;
+  spec.shapes = {"path", "no-such-shape"};
+  spec.sizes = {8};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  spec.requests = 50;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 2u);
+  EXPECT_TRUE(r.cells[0].ok);
+  EXPECT_FALSE(r.cells[1].ok);
+  EXPECT_FALSE(r.cells[1].error.empty());
+}
+
+TEST(SweepTest, CompetitiveModeFillsRatios) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  spec.requests = 200;
+  spec.competitive = true;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 1u);
+  const CellResult& c = r.cells[0];
+  ASSERT_TRUE(c.ok) << c.error;
+  EXPECT_TRUE(c.strict_ok);
+  EXPECT_GT(c.ratio_vs_lease_opt, 0.0);
+  // Theorem 1: RWW is 5/2-competitive on every edge.
+  EXPECT_LE(c.worst_edge_ratio, 2.5 + 1e-9);
+}
+
+TEST(SweepTest, JsonReportIsWellFormedEnough) {
+  SweepSpec spec;
+  spec.shapes = {"path"};
+  spec.sizes = {8};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"lease(1,3)"};
+  spec.seeds = {7};
+  spec.requests = 60;
+  spec.threads = 2;
+  const SweepResult r = RunSweep(spec);
+  std::ostringstream out;
+  WriteSweepJson(out, spec, r);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"lease(1,3)\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallel_speedup\""), std::string::npos);
+  // Balanced braces/brackets — catches truncated emission.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace treeagg
