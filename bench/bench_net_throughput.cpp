@@ -1,0 +1,136 @@
+// E20 — networked-backend throughput over loopback TCP.
+//
+// Runs one pipelined workload per policy (RWW, push-all, pull-all) on a
+// 32-node k-ary tree hosted by an in-process LocalCluster: every daemon is
+// a real poll-loop thread with an OS-assigned ephemeral port, and every
+// cross-daemon tree edge is a real TCP connection carrying treeagg-wire-v1
+// frames. Reported requests/s is end-to-end (inject over the wire -> all
+// completions observed -> cluster quiescent), so it prices the full
+// protocol: framing, syscalls, and the Figure 1/6 message rounds.
+//
+// Exits non-zero if any run fails the causal consistency checker (the
+// wire must not change the algorithm). With --out FILE, also writes the
+// machine-readable BENCH_net.json committed at the repo root.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "consistency/causal_checker.h"
+#include "core/aggregate_op.h"
+#include "net/local_cluster.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+struct BenchRow {
+  std::string policy;
+  std::uint64_t requests = 0;
+  std::uint64_t total_messages = 0;
+  double elapsed_sec = 0;
+  double requests_per_sec = 0;
+  bool causal_ok = false;
+};
+
+int Run(const std::string& out_path) {
+  const NodeId kNodes = 32;
+  const int kDaemons = 4;
+  const std::size_t kRequests = 400;
+  const Tree tree = MakeKary(kNodes, 2);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, kRequests, 29);
+  const AggregateOp& op = OpByName("sum");
+
+  std::cout << "Networked backend throughput — " << kNodes
+            << "-node kary2 tree, " << kDaemons
+            << " daemons (rr placement), loopback TCP,\npipelined mixed50 "
+               "workload of "
+            << sigma.size() << " requests\n\n";
+
+  TextTable table(
+      {"policy", "requests", "messages", "seconds", "req/s", "causal"});
+  std::vector<BenchRow> rows;
+  bool ok = true;
+  for (const std::string policy : {"RWW", "push-all", "pull-all"}) {
+    LocalCluster::Options options;
+    options.daemons = kDaemons;
+    options.placement = "rr";
+    options.policy = policy;
+    const NetRunResult result =
+        RunNetWorkload(parent, sigma, options, /*sequential=*/false);
+    const CheckResult causal =
+        CheckCausalConsistency(result.history, result.ghosts, op, kNodes);
+    ok &= causal.ok;
+
+    BenchRow row;
+    row.policy = policy;
+    row.requests = sigma.size();
+    row.total_messages = result.total_messages;
+    row.elapsed_sec = result.elapsed_sec;
+    row.requests_per_sec = result.requests_per_sec;
+    row.causal_ok = causal.ok;
+    rows.push_back(row);
+    table.AddRow({policy, std::to_string(row.requests),
+                  std::to_string(row.total_messages), Fmt(row.elapsed_sec, 3),
+                  Fmt(row.requests_per_sec, 0), causal.ok ? "ok" : "FAIL"});
+    if (!causal.ok) std::cout << "causal violation: " << causal.message << "\n";
+  }
+  std::cout << table.ToString();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"schema\": \"treeagg-bench-net-v1\",\n";
+    out << "  \"tree\": \"kary2\", \"nodes\": " << kNodes
+        << ", \"daemons\": " << kDaemons << ", \"placement\": \"rr\",\n";
+    out << "  \"workload\": \"mixed50\", \"transport\": \"loopback-tcp\",\n";
+    out << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const BenchRow& r = rows[i];
+      out << "    {\"policy\": \"" << r.policy
+          << "\", \"requests\": " << r.requests
+          << ", \"total_messages\": " << r.total_messages
+          << ", \"elapsed_sec\": " << r.elapsed_sec
+          << ", \"requests_per_sec\": " << r.requests_per_sec
+          << ", \"causal_ok\": " << (r.causal_ok ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+
+  std::cout << (ok ? "\nPASS: all runs causally consistent\n"
+                   : "\nFAIL: causal checker rejected a networked run\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_net_throughput [--out FILE]\n";
+      return 2;
+    }
+  }
+  return treeagg::Run(out_path);
+}

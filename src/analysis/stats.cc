@@ -22,6 +22,7 @@ SummaryStats Summarize(std::vector<double> samples) {
   };
   stats.p50 = percentile(0.50);
   stats.p90 = percentile(0.90);
+  stats.p95 = percentile(0.95);
   stats.p99 = percentile(0.99);
   stats.min = samples.front();
   stats.max = samples.back();

@@ -22,6 +22,7 @@ struct SummaryStats {
   double mean = 0;
   double p50 = 0;
   double p90 = 0;
+  double p95 = 0;
   double p99 = 0;
   double min = 0;
   double max = 0;

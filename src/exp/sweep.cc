@@ -1,9 +1,14 @@
 #include "exp/sweep.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <istream>
+#include <iterator>
 #include <ostream>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "analysis/competitive.h"
 #include "core/extra_policies.h"
@@ -116,6 +121,7 @@ CellResult RunCell(const CellSpec& cell, bool competitive) {
       sys.Execute(sigma);
       result.counts = sys.trace().totals();
       result.total_messages = sys.trace().TotalMessages();
+      result.latency = LatencyFromHistory(sys.history()).combine_latency;
     }
   } catch (const std::exception& e) {
     result.ok = false;
@@ -184,7 +190,7 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                              ? result.serial_seconds / result.wall_seconds
                              : 0.0;
   out << "{\n";
-  out << "  \"schema\": \"treeagg-sweep-v1\",\n";
+  out << "  \"schema\": \"treeagg-sweep-v2\",\n";
   out << "  \"threads\": " << result.threads_used << ",\n";
   out << "  \"competitive\": " << (spec.competitive ? "true" : "false")
       << ",\n";
@@ -224,6 +230,11 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
         << ", \"updates\": " << c.counts.updates
         << ", \"releases\": " << c.counts.releases
         << ", \"total\": " << c.total_messages << "},\n";
+    out << "     \"latency\": {\"count\": " << c.latency.count
+        << ", \"mean\": " << c.latency.mean << ", \"p50\": " << c.latency.p50
+        << ", \"p90\": " << c.latency.p90 << ", \"p95\": " << c.latency.p95
+        << ", \"p99\": " << c.latency.p99 << ", \"min\": " << c.latency.min
+        << ", \"max\": " << c.latency.max << "},\n";
     out << "     \"wall_seconds\": " << c.wall_seconds
         << ", \"requests_per_sec\": " << c.requests_per_sec;
     if (spec.competitive) {
@@ -237,6 +248,257 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
   }
   out << "  ]\n";
   out << "}\n";
+}
+
+// --- JSON reader --------------------------------------------------------
+//
+// A deliberately small recursive-descent JSON parser: just enough to read
+// back what WriteSweepJson emits (objects, arrays, strings with the two
+// escapes JsonEscape produces, numbers, booleans). No external dependency.
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double Num(const std::string& key, double fallback = 0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  std::string Str(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : "";
+  }
+  bool Bool(const std::string& key, bool fallback = false) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kBool ? v->boolean : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::invalid_argument("sweep json: " + what + " at byte " +
+                                std::to_string(pos_));
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool Consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipSpace();
+    JsonValue v;
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = ParseString();
+      return v;
+    }
+    if (Consume("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (Consume("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (Consume("null")) return v;
+    return ParseNumber();
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string s;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return s;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("unterminated escape");
+        s.push_back(text_[pos_++]);
+      } else {
+        s.push_back(c);
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      Fail("bad number");
+    }
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(ParseValue());
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      v.object.emplace_back(std::move(key), ParseValue());
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SweepJson ReadSweepJson(std::istream& in) {
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const JsonValue root = JsonParser(text).Parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("sweep json: top level is not an object");
+  }
+  SweepJson report;
+  report.schema = root.Str("schema");
+  if (report.schema != "treeagg-sweep-v1" &&
+      report.schema != "treeagg-sweep-v2") {
+    throw std::invalid_argument("sweep json: unknown schema '" +
+                                report.schema + "'");
+  }
+  report.threads = static_cast<int>(root.Num("threads"));
+  report.competitive = root.Bool("competitive");
+  report.cells_failed = static_cast<std::size_t>(root.Num("cells_failed"));
+  const JsonValue* cells = root.Find("cells");
+  if (cells == nullptr || cells->kind != JsonValue::Kind::kArray) {
+    throw std::invalid_argument("sweep json: missing cells array");
+  }
+  for (const JsonValue& cell : cells->array) {
+    if (cell.kind != JsonValue::Kind::kObject) {
+      throw std::invalid_argument("sweep json: cell is not an object");
+    }
+    CellResult c;
+    c.spec.shape = cell.Str("shape");
+    c.spec.n = static_cast<NodeId>(cell.Num("n"));
+    c.spec.workload = cell.Str("workload");
+    c.spec.policy = cell.Str("policy");
+    c.spec.requests = static_cast<std::size_t>(cell.Num("requests"));
+    c.spec.seed = static_cast<std::uint64_t>(cell.Num("seed"));
+    c.ok = cell.Bool("ok", true);
+    c.error = cell.Str("error");
+    c.wall_seconds = cell.Num("wall_seconds");
+    c.requests_per_sec = cell.Num("requests_per_sec");
+    if (const JsonValue* m = cell.Find("messages")) {
+      c.counts.probes = static_cast<std::int64_t>(m->Num("probes"));
+      c.counts.responses = static_cast<std::int64_t>(m->Num("responses"));
+      c.counts.updates = static_cast<std::int64_t>(m->Num("updates"));
+      c.counts.releases = static_cast<std::int64_t>(m->Num("releases"));
+      c.total_messages = static_cast<std::int64_t>(m->Num("total"));
+    }
+    // v1 has no latency block: the zeroed SummaryStats stands.
+    if (const JsonValue* l = cell.Find("latency")) {
+      c.latency.count = static_cast<std::size_t>(l->Num("count"));
+      c.latency.mean = l->Num("mean");
+      c.latency.p50 = l->Num("p50");
+      c.latency.p90 = l->Num("p90");
+      c.latency.p95 = l->Num("p95");
+      c.latency.p99 = l->Num("p99");
+      c.latency.min = l->Num("min");
+      c.latency.max = l->Num("max");
+    }
+    if (const JsonValue* comp = cell.Find("competitive")) {
+      c.ratio_vs_lease_opt = comp->Num("ratio_vs_lease_opt");
+      c.ratio_vs_nice_bound = comp->Num("ratio_vs_nice_bound");
+      c.worst_edge_ratio = comp->Num("worst_edge_ratio");
+      c.strict_ok = comp->Bool("strict_ok", true);
+    }
+    report.cells.push_back(std::move(c));
+  }
+  return report;
 }
 
 }  // namespace treeagg

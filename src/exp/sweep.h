@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/stats.h"
 #include "common/types.h"
 #include "sim/trace.h"
 
@@ -53,6 +54,10 @@ struct CellResult {
   CellSpec spec;
   MessageCounts counts;  // zero breakdown in competitive mode (totals only)
   std::int64_t total_messages = 0;
+  // Combine-latency distribution (driver clock units: events between
+  // initiation and completion). Zeros in competitive mode, which reports
+  // message bounds only.
+  SummaryStats latency;
   double wall_seconds = 0;       // this cell alone
   double requests_per_sec = 0;
   // Filled only when SweepSpec::competitive:
@@ -88,10 +93,26 @@ CellResult RunCell(const CellSpec& cell, bool competitive);
 // Runs the whole sweep across spec.threads workers.
 SweepResult RunSweep(const SweepSpec& spec);
 
-// Machine-readable report, schema "treeagg-sweep-v1". See
-// docs/EXPERIMENTS.md for the field-by-field description.
+// Machine-readable report, schema "treeagg-sweep-v2" (v2 added the
+// per-cell combine-latency percentiles). See docs/EXPERIMENTS.md for the
+// field-by-field description.
 void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                     const SweepResult& result);
+
+// A sweep report read back from JSON. Accepts schema v1 and v2: v1 files
+// have no latency block, so those cells keep zeroed SummaryStats.
+struct SweepJson {
+  std::string schema;
+  int threads = 0;
+  bool competitive = false;
+  std::size_t cells_failed = 0;
+  std::vector<CellResult> cells;
+};
+
+// Minimal reader for the JSON WriteSweepJson emits (and any
+// formatting-insensitive JSON with the same fields). Throws
+// std::invalid_argument on malformed input or an unknown schema.
+SweepJson ReadSweepJson(std::istream& in);
 
 }  // namespace treeagg
 

@@ -1,0 +1,181 @@
+#include "net/cluster.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace treeagg {
+
+std::vector<int> AssignNodes(NodeId n, int daemons,
+                             const std::string& placement) {
+  if (n <= 0) throw std::invalid_argument("AssignNodes: empty tree");
+  if (daemons <= 0) throw std::invalid_argument("AssignNodes: no daemons");
+  std::vector<int> assignment(static_cast<std::size_t>(n));
+  if (placement == "block") {
+    // Contiguous ranges, remainder spread over the first daemons.
+    const NodeId base = n / daemons;
+    const NodeId extra = n % daemons;
+    NodeId next = 0;
+    for (int d = 0; d < daemons; ++d) {
+      const NodeId take = base + (d < extra ? 1 : 0);
+      for (NodeId i = 0; i < take; ++i) {
+        assignment[static_cast<std::size_t>(next++)] = d;
+      }
+    }
+  } else if (placement == "rr") {
+    for (NodeId u = 0; u < n; ++u) {
+      assignment[static_cast<std::size_t>(u)] = static_cast<int>(u % daemons);
+    }
+  } else {
+    throw std::invalid_argument("AssignNodes: unknown placement '" +
+                                placement + "' (want block or rr)");
+  }
+  return assignment;
+}
+
+void ClusterConfig::Validate() const {
+  if (daemons.empty()) {
+    throw std::invalid_argument("cluster config: no daemons");
+  }
+  if (tree_parent.empty()) {
+    throw std::invalid_argument("cluster config: no tree");
+  }
+  for (NodeId u = 1; u < NumNodes(); ++u) {
+    const NodeId p = tree_parent[static_cast<std::size_t>(u)];
+    if (p < 0 || p >= u) {
+      throw std::invalid_argument(
+          "cluster config: parent[" + std::to_string(u) + "] = " +
+          std::to_string(p) + " is not in [0, " + std::to_string(u) + ")");
+    }
+  }
+  if (node_daemon.size() != tree_parent.size()) {
+    throw std::invalid_argument(
+        "cluster config: assignment covers " +
+        std::to_string(node_daemon.size()) + " nodes, tree has " +
+        std::to_string(tree_parent.size()));
+  }
+  for (std::size_t u = 0; u < node_daemon.size(); ++u) {
+    if (node_daemon[u] < 0 || node_daemon[u] >= NumDaemons()) {
+      throw std::invalid_argument("cluster config: node " + std::to_string(u) +
+                                  " assigned to unknown daemon " +
+                                  std::to_string(node_daemon[u]));
+    }
+  }
+}
+
+ClusterConfig ParseClusterConfig(std::istream& in) {
+  ClusterConfig config;
+  std::string placement;
+  std::vector<std::pair<NodeId, int>> assigns;
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("cluster config line " +
+                                std::to_string(lineno) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only line
+    if (!saw_header) {
+      if (word != "treeagg-cluster-v1") {
+        fail("expected header treeagg-cluster-v1, got '" + word + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word == "tree") {
+      NodeId p;
+      while (ls >> p) config.tree_parent.push_back(p);
+      if (config.tree_parent.empty()) fail("tree directive with no nodes");
+    } else if (word == "policy") {
+      if (!(ls >> config.policy)) fail("policy directive with no value");
+      std::string rest;
+      if (ls >> rest) config.policy += rest;  // tolerate "lease(1, 3)"
+    } else if (word == "op") {
+      if (!(ls >> config.op)) fail("op directive with no value");
+    } else if (word == "ghost") {
+      int v;
+      if (!(ls >> v)) fail("ghost directive with no value");
+      config.ghost_logging = v != 0;
+    } else if (word == "daemon") {
+      int id;
+      ClusterConfig::DaemonAddr addr;
+      int port;
+      if (!(ls >> id >> addr.host >> port)) {
+        fail("daemon directive wants: daemon <id> <host> <port>");
+      }
+      if (port < 0 || port > 65535) fail("port out of range");
+      addr.port = static_cast<std::uint16_t>(port);
+      if (id != static_cast<int>(config.daemons.size())) {
+        fail("daemon ids must appear in order 0, 1, ...");
+      }
+      config.daemons.push_back(std::move(addr));
+    } else if (word == "place") {
+      if (!(ls >> placement)) fail("place directive with no value");
+    } else if (word == "assign") {
+      NodeId node;
+      int daemon;
+      if (!(ls >> node >> daemon)) {
+        fail("assign directive wants: assign <node> <daemon>");
+      }
+      assigns.emplace_back(node, daemon);
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::invalid_argument("cluster config: missing treeagg-cluster-v1 header");
+  }
+  if (!assigns.empty() && !placement.empty()) {
+    throw std::invalid_argument(
+        "cluster config: 'place' and explicit 'assign' lines are exclusive");
+  }
+  if (!assigns.empty()) {
+    config.node_daemon.assign(config.tree_parent.size(), -1);
+    for (const auto& [node, daemon] : assigns) {
+      if (node < 0 || node >= config.NumNodes()) {
+        throw std::invalid_argument("cluster config: assign names node " +
+                                    std::to_string(node) +
+                                    " outside the tree");
+      }
+      config.node_daemon[static_cast<std::size_t>(node)] = daemon;
+    }
+    for (std::size_t u = 0; u < config.node_daemon.size(); ++u) {
+      if (config.node_daemon[u] < 0) {
+        throw std::invalid_argument("cluster config: node " +
+                                    std::to_string(u) + " never assigned");
+      }
+    }
+  } else {
+    config.node_daemon =
+        AssignNodes(config.NumNodes(), config.NumDaemons(),
+                    placement.empty() ? "block" : placement);
+  }
+  config.Validate();
+  return config;
+}
+
+void WriteClusterConfig(std::ostream& out, const ClusterConfig& config) {
+  out << "treeagg-cluster-v1\n";
+  out << "tree";
+  for (const NodeId p : config.tree_parent) out << ' ' << p;
+  out << '\n';
+  out << "policy " << config.policy << '\n';
+  out << "op " << config.op << '\n';
+  out << "ghost " << (config.ghost_logging ? 1 : 0) << '\n';
+  for (std::size_t d = 0; d < config.daemons.size(); ++d) {
+    out << "daemon " << d << ' ' << config.daemons[d].host << ' '
+        << config.daemons[d].port << '\n';
+  }
+  for (std::size_t u = 0; u < config.node_daemon.size(); ++u) {
+    out << "assign " << u << ' ' << config.node_daemon[u] << '\n';
+  }
+}
+
+}  // namespace treeagg

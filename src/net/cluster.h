@@ -1,0 +1,70 @@
+// Cluster configuration of the networked backend: one (tree, policy, op)
+// experiment mapped onto a set of node daemons.
+//
+// The config names every daemon's address and assigns every tree node to
+// exactly one daemon; a daemon may host many nodes (the tree's edge list
+// then splits into intra-daemon edges, delivered through a local queue,
+// and inter-daemon edges, delivered over TCP).
+//
+// Text format (treeagg-cluster-v1), one directive per line, '#' comments:
+//
+//   treeagg-cluster-v1
+//   tree 0 0 1 1 2 2            # parent vector (tree/serialization.h)
+//   policy RWW                  # any PolicyBySpec() string
+//   op sum                      # OpByName()
+//   ghost 1                     # ghost logging on/off (default 1)
+//   daemon 0 127.0.0.1 4701     # id host port — one line per daemon
+//   daemon 1 127.0.0.1 4702
+//   place block                 # block | rr — or explicit assignments:
+//   # assign 3 1                # node 3 hosted by daemon 1
+//
+// Port 0 is allowed (OS-assigned); it is what the in-process LocalCluster
+// uses, with the resolved ports distributed before the daemons start.
+#ifndef TREEAGG_NET_CLUSTER_H_
+#define TREEAGG_NET_CLUSTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+// node -> daemon assignment. "block" gives contiguous node ranges (keeps
+// subtrees together on the parent-vector encoding); "rr" round-robins
+// (adversarial placement: almost every tree edge crosses the network).
+std::vector<int> AssignNodes(NodeId n, int daemons,
+                             const std::string& placement);
+
+struct ClusterConfig {
+  struct DaemonAddr {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+  };
+
+  std::vector<NodeId> tree_parent;  // parent vector of the shared tree
+  std::string policy = "RWW";
+  std::string op = "sum";
+  bool ghost_logging = true;
+  std::vector<DaemonAddr> daemons;
+  std::vector<int> node_daemon;  // node -> daemon index
+
+  int NumDaemons() const { return static_cast<int>(daemons.size()); }
+  NodeId NumNodes() const { return static_cast<NodeId>(tree_parent.size()); }
+
+  // Throws std::invalid_argument on an inconsistent config (no daemons,
+  // assignment out of range or wrong length, bad parent vector shape).
+  void Validate() const;
+};
+
+// Parses the text format above. Throws std::invalid_argument with a
+// message naming the offending line.
+ClusterConfig ParseClusterConfig(std::istream& in);
+
+void WriteClusterConfig(std::ostream& out, const ClusterConfig& config);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_CLUSTER_H_

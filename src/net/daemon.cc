@@ -1,0 +1,488 @@
+#include "net/daemon.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "core/aggregate_op.h"
+#include "core/extra_policies.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+
+void NodeDaemon::NetTransport::Send(Message m) {
+  daemon_->RouteSend(std::move(m));
+}
+
+NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
+    : daemon_id_(daemon_id),
+      config_(std::move(config)),
+      options_(options),
+      transport_(this) {
+  config_.Validate();
+  if (daemon_id_ < 0 || daemon_id_ >= config_.NumDaemons()) {
+    throw std::invalid_argument("NodeDaemon: daemon id " +
+                                std::to_string(daemon_id_) +
+                                " not in the cluster config");
+  }
+  tree_ = std::make_unique<Tree>(config_.tree_parent);
+  peers_.resize(config_.daemons.size());
+  // Peer daemons this one shares a tree edge with.
+  for (const Edge& e : tree_->edges()) {
+    const int du = config_.node_daemon[static_cast<std::size_t>(e.u)];
+    const int dv = config_.node_daemon[static_cast<std::size_t>(e.v)];
+    if (du == dv) continue;
+    if (du == daemon_id_) peer_ids_.push_back(dv);
+    if (dv == daemon_id_) peer_ids_.push_back(du);
+  }
+  std::sort(peer_ids_.begin(), peer_ids_.end());
+  peer_ids_.erase(std::unique(peer_ids_.begin(), peer_ids_.end()),
+                  peer_ids_.end());
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error("NodeDaemon: pipe() failed");
+  }
+  for (const int fd : stop_pipe_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+std::unique_ptr<FrameConn> NodeDaemon::TakePending(FrameConn* conn) {
+  for (PendingConn& p : pending_) {
+    if (p.conn.get() == conn) {
+      std::unique_ptr<FrameConn> owned = std::move(p.conn);
+      pending_.erase(pending_.begin() + (&p - pending_.data()));
+      return owned;
+    }
+  }
+  return nullptr;
+}
+
+void NodeDaemon::ErasePending(FrameConn* conn) { TakePending(conn); }
+
+NodeDaemon::~NodeDaemon() {
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void NodeDaemon::Bind() {
+  const ClusterConfig::DaemonAddr& addr =
+      config_.daemons[static_cast<std::size_t>(daemon_id_)];
+  listener_ = TcpListener::Bind(addr.host, addr.port);
+}
+
+std::uint16_t NodeDaemon::BoundPort() const { return listener_.port(); }
+
+void NodeDaemon::SetResolvedPorts(const std::vector<std::uint16_t>& ports) {
+  if (ports.size() != config_.daemons.size()) {
+    throw std::invalid_argument("SetResolvedPorts: wrong port count");
+  }
+  for (std::size_t d = 0; d < ports.size(); ++d) {
+    config_.daemons[d].port = ports[d];
+  }
+}
+
+void NodeDaemon::RequestStop() {
+  stop_requested_.store(true);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void NodeDaemon::Fail(std::string why) {
+  if (error_.empty()) error_ = std::move(why);
+  shutdown_ = true;
+}
+
+void NodeDaemon::BuildNodes() {
+  const PolicyFactory factory = PolicyBySpec(config_.policy);
+  const AggregateOp& op = OpByName(config_.op);
+  nodes_.resize(static_cast<std::size_t>(tree_->size()));
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    if (!HostsNode(u)) continue;
+    const std::vector<NodeId> nbrs = tree_->neighbors(u).ToVector();
+    nodes_[static_cast<std::size_t>(u)] = std::make_unique<LeaseNode>(
+        u, nbrs, op, factory(u, nbrs), &transport_,
+        [this](NodeId node, CombineToken token, Real value) {
+          OnCombineDone(node, token, value);
+        },
+        config_.ghost_logging);
+  }
+}
+
+void NodeDaemon::ConnectPeers() {
+  // The smaller daemon id initiates; the larger side accepts. Backoff in
+  // ConnectWithBackoff absorbs any start-order race between processes.
+  for (const int peer : peer_ids_) {
+    if (peer < daemon_id_) continue;
+    const ClusterConfig::DaemonAddr& addr =
+        config_.daemons[static_cast<std::size_t>(peer)];
+    std::string err;
+    ScopedFd fd =
+        ConnectWithBackoff(addr.host, addr.port, options_.transport, &err);
+    if (!fd.valid()) {
+      Fail("peer " + std::to_string(peer) + ": " + err);
+      return;
+    }
+    auto conn = std::make_unique<FrameConn>(std::move(fd), options_.transport);
+    WireFrame hello;
+    hello.type = FrameType::kPeerHello;
+    hello.daemon_id = static_cast<std::uint32_t>(daemon_id_);
+    conn->SendFrame(hello);
+    conn->Flush();
+    peers_[static_cast<std::size_t>(peer)] = std::move(conn);
+  }
+}
+
+void NodeDaemon::RouteSend(Message m) {
+  ++sent_;
+  switch (m.type) {
+    case MsgType::kProbe: ++counts_.probes; break;
+    case MsgType::kResponse: ++counts_.responses; break;
+    case MsgType::kUpdate: ++counts_.updates; break;
+    case MsgType::kRelease: ++counts_.releases; break;
+  }
+  const int owner = config_.node_daemon[static_cast<std::size_t>(m.to)];
+  if (owner == daemon_id_) {
+    local_queue_.push_back(std::move(m));
+    return;
+  }
+  FrameConn* conn = peers_[static_cast<std::size_t>(owner)].get();
+  if (conn == nullptr || !conn->open()) {
+    Fail("send to daemon " + std::to_string(owner) +
+         " with no open connection");
+    return;
+  }
+  WireFrame f;
+  f.type = FrameType::kProtocol;
+  f.msg = std::move(m);
+  conn->SendFrame(f);
+}
+
+void NodeDaemon::DrainLocal() {
+  while (!local_queue_.empty()) {
+    const Message m = std::move(local_queue_.front());
+    local_queue_.pop_front();
+    ++received_;
+    NodeRef(m.to).Deliver(m);
+  }
+}
+
+void NodeDaemon::OnCombineDone(NodeId node, CombineToken token, Real value) {
+  if (driver_ == nullptr) return;  // combine not driver-initiated: ignore
+  const LeaseNode& n = NodeRef(node);
+  WireFrame f;
+  f.type = FrameType::kCombineDone;
+  f.req = static_cast<ReqId>(token);
+  f.value = value;
+  f.gather.assign(n.LastWrites().begin(), n.LastWrites().end());
+  f.log_prefix = static_cast<std::int64_t>(n.GhostLogEntries().size());
+  driver_->SendFrame(f);
+}
+
+void NodeDaemon::HandleFrame(WireFrame frame) {
+  switch (frame.type) {
+    case FrameType::kProtocol:
+      if (frame.msg.to < 0 || frame.msg.to >= tree_->size() ||
+          !HostsNode(frame.msg.to)) {
+        Fail("protocol message for node this daemon does not host");
+        return;
+      }
+      ++received_;
+      NodeRef(frame.msg.to).Deliver(frame.msg);
+      DrainLocal();
+      break;
+    case FrameType::kInjectWrite: {
+      if (frame.node < 0 || frame.node >= tree_->size() ||
+          !HostsNode(frame.node)) {
+        Fail("write injected at node this daemon does not host");
+        return;
+      }
+      NodeRef(frame.node).LocalWrite(frame.arg, frame.req);
+      WireFrame done;
+      done.type = FrameType::kWriteDone;
+      done.req = frame.req;
+      if (driver_) driver_->SendFrame(done);
+      DrainLocal();
+      break;
+    }
+    case FrameType::kInjectCombine:
+      if (frame.node < 0 || frame.node >= tree_->size() ||
+          !HostsNode(frame.node)) {
+        Fail("combine injected at node this daemon does not host");
+        return;
+      }
+      // Completion (possibly much later) flows through OnCombineDone.
+      NodeRef(frame.node).LocalCombine(static_cast<CombineToken>(frame.req));
+      DrainLocal();
+      break;
+    case FrameType::kStatusReq: {
+      WireFrame resp;
+      resp.type = FrameType::kStatusResp;
+      resp.status.probe = frame.status.probe;
+      resp.status.sent = sent_;
+      resp.status.received = received_;
+      resp.status.queued = local_queue_.size();
+      if (driver_) driver_->SendFrame(resp);
+      break;
+    }
+    case FrameType::kHarvestReq: {
+      WireFrame resp;
+      resp.type = FrameType::kHarvestResp;
+      for (NodeId u = 0; u < tree_->size(); ++u) {
+        if (!HostsNode(u)) continue;
+        NodeLogPayload nl;
+        nl.node = u;
+        nl.log = NodeRef(u).GhostLogEntries();
+        resp.harvest.logs.push_back(std::move(nl));
+      }
+      resp.harvest.counts = counts_;
+      if (driver_) driver_->SendFrame(resp);
+      break;
+    }
+    case FrameType::kShutdown:
+      shutdown_ = true;
+      break;
+    case FrameType::kPeerHello:
+    case FrameType::kDriverHello:
+      // Hellos are consumed during connection classification; a repeat is
+      // a protocol error.
+      Fail("unexpected hello frame on an established connection");
+      break;
+    case FrameType::kWriteDone:
+    case FrameType::kCombineDone:
+    case FrameType::kStatusResp:
+    case FrameType::kHarvestResp:
+      Fail(std::string("daemon received driver-bound frame ") +
+           ToString(frame.type));
+      break;
+  }
+}
+
+bool NodeDaemon::PeersReady() const {
+  for (const int p : peer_ids_) {
+    const auto& conn = peers_[static_cast<std::size_t>(p)];
+    if (conn == nullptr || !conn->open()) return false;
+  }
+  return true;
+}
+
+void NodeDaemon::DrainParkedFrames() {
+  const auto drain = [&](FrameConn* conn) {
+    if (conn == nullptr || !conn->open()) return;
+    WireFrame frame;
+    for (;;) {
+      const DecodeStatus status = conn->NextFrame(&frame);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status != DecodeStatus::kOk) {
+        Fail(conn->error());
+        break;
+      }
+      HandleFrame(std::move(frame));
+      frame = WireFrame{};
+      if (shutdown_) break;
+    }
+  };
+  drain(driver_.get());
+  for (auto& p : peers_) {
+    if (shutdown_) break;
+    drain(p.get());
+  }
+}
+
+void NodeDaemon::HandleDriverEof() {
+  // The driver vanishing (test teardown, crashed client) is an implicit
+  // shutdown, not an error.
+  shutdown_ = true;
+}
+
+// Reads everything available on `conn` and dispatches complete frames.
+// Returns false when the connection is closed or failed.
+bool NodeDaemon::DrainConn(FrameConn* conn) {
+  const bool read_ok = conn->ReadAvailable();
+  WireFrame frame;
+  for (;;) {
+    const DecodeStatus status = conn->NextFrame(&frame);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status != DecodeStatus::kOk) {
+      Fail(conn->error());
+      return false;
+    }
+    HandleFrame(std::move(frame));
+    frame = WireFrame{};
+    if (shutdown_) return true;
+  }
+  if (!read_ok && !conn->eof() && !conn->error().empty()) {
+    Fail(conn->error());
+  }
+  return read_ok;
+}
+
+void NodeDaemon::FlushAll() {
+  if (driver_) driver_->Flush();
+  for (auto& p : peers_) {
+    if (p) p->Flush();
+  }
+}
+
+void NodeDaemon::Run() {
+  try {
+    BuildNodes();
+    ConnectPeers();
+  } catch (const std::exception& e) {
+    Fail(e.what());
+  }
+  std::vector<pollfd> pfds;
+  // Parallel to pfds: the FrameConn each pollfd belongs to (nullptr for
+  // the stop pipe and the listener).
+  std::vector<FrameConn*> conns;
+  while (!shutdown_ && !stop_requested_.load()) {
+    // Bring-up gate: handle no frame until every peer link is open. When
+    // the last link comes up, first replay the frames that were read into
+    // FrameReaders behind hello frames during classification.
+    if (!peers_ready_ && PeersReady()) {
+      peers_ready_ = true;
+      DrainParkedFrames();
+      FlushAll();
+      if (shutdown_) break;
+    }
+    pfds.clear();
+    conns.clear();
+    pfds.push_back({stop_pipe_[0], POLLIN, 0});
+    conns.push_back(nullptr);
+    if (listener_.valid()) {
+      pfds.push_back({listener_.fd(), POLLIN, 0});
+      conns.push_back(nullptr);
+    }
+    const auto add_conn = [&](FrameConn* c) {
+      if (c == nullptr || !c->open()) return;
+      short events = POLLIN;
+      if (c->WantWrite()) events |= POLLOUT;
+      pfds.push_back({c->fd(), events, 0});
+      conns.push_back(c);
+    };
+    add_conn(driver_.get());
+    for (auto& p : peers_) add_conn(p.get());
+    for (PendingConn& p : pending_) add_conn(p.conn.get());
+
+    const int ready = ::poll(pfds.data(), pfds.size(), 500);
+    if (ready < 0 && errno != EINTR) {
+      Fail("poll failed");
+      break;
+    }
+    if (ready <= 0) continue;
+
+    std::size_t i = 0;
+    // Stop pipe.
+    if (pfds[i].revents & POLLIN) {
+      char buf[64];
+      while (::read(stop_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++i;
+    // Listener: accept every pending connection; its role is unknown
+    // until its hello frame arrives.
+    if (listener_.valid()) {
+      if (pfds[i].revents & POLLIN) {
+        for (;;) {
+          ScopedFd fd = listener_.Accept();
+          if (!fd.valid()) break;
+          pending_.push_back(PendingConn{std::make_unique<FrameConn>(
+              std::move(fd), options_.transport)});
+        }
+      }
+      ++i;
+    }
+    // Established connections (driver + peers). Note pfds beyond i map
+    // 1:1 onto the conns vector.
+    for (; i < pfds.size(); ++i) {
+      FrameConn* conn = conns[i];
+      if (conn == nullptr) continue;
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        const bool is_pending =
+            std::any_of(pending_.begin(), pending_.end(),
+                        [&](const PendingConn& p) { return p.conn.get() == conn; });
+        if (is_pending) {
+          // Classify on the hello frame, then process any frames that
+          // arrived in the same read batch.
+          const bool alive = conn->ReadAvailable();
+          WireFrame hello;
+          const DecodeStatus status = conn->NextFrame(&hello);
+          if (status == DecodeStatus::kNeedMore) {
+            if (!alive) ErasePending(conn);
+            continue;
+          }
+          if (status != DecodeStatus::kOk) {
+            ErasePending(conn);
+            continue;
+          }
+          std::unique_ptr<FrameConn> owned = TakePending(conn);
+          if (hello.type == FrameType::kDriverHello) {
+            driver_ = std::move(owned);
+            conn = driver_.get();
+          } else if (hello.type == FrameType::kPeerHello &&
+                     hello.daemon_id < peers_.size()) {
+            peers_[hello.daemon_id] = std::move(owned);
+            conn = peers_[hello.daemon_id].get();
+          } else {
+            continue;  // bogus hello: drop the connection
+          }
+          // Frames already buffered behind the hello. Before the bring-up
+          // gate opens they stay parked in the FrameReader; the gate
+          // replays them via DrainParkedFrames().
+          if (peers_ready_) {
+            WireFrame frame;
+            for (;;) {
+              const DecodeStatus s = conn->NextFrame(&frame);
+              if (s == DecodeStatus::kNeedMore) break;
+              if (s != DecodeStatus::kOk) {
+                Fail(conn->error());
+                break;
+              }
+              HandleFrame(std::move(frame));
+              frame = WireFrame{};
+              if (shutdown_) break;
+            }
+          }
+          if (!alive && conn == driver_.get()) HandleDriverEof();
+        } else if (!peers_ready_) {
+          // Bring-up gate: leave the bytes in the kernel buffer; poll is
+          // level-triggered, so POLLIN fires again once the gate opens.
+        } else if (!DrainConn(conn)) {
+          if (conn == driver_.get()) {
+            HandleDriverEof();
+          } else {
+            // A peer closing is normal during staggered teardown; a
+            // failed (vs EOF'd) peer is an error surfaced on next send.
+            conn->Close();
+          }
+        }
+        if (shutdown_) break;
+      }
+      if (conn->open() && (pfds[i].revents & POLLOUT)) conn->Flush();
+    }
+    // Opportunistic flush: frames generated while handling this batch.
+    FlushAll();
+  }
+  // Graceful exit: push out whatever is still buffered (completion and
+  // harvest frames racing the shutdown), bounded by the io timeout.
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  for (;;) {
+    FlushAll();
+    bool want = false;
+    if (driver_ && driver_->open() && driver_->WantWrite()) want = true;
+    for (auto& p : peers_) {
+      if (p && p->open() && p->WantWrite()) want = true;
+    }
+    if (!want || NowMs() >= deadline) break;
+    pollfd pfd{driver_ && driver_->WantWrite() ? driver_->fd() : -1, POLLOUT,
+               0};
+    ::poll(&pfd, 1, 50);
+  }
+}
+
+}  // namespace treeagg

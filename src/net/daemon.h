@@ -1,0 +1,155 @@
+// NodeDaemon: one process (or thread) of the networked backend, hosting
+// one-or-more tree nodes.
+//
+// The daemon runs the UNMODIFIED Figure 1/6 mechanism and policy objects
+// from src/core: each hosted node is a LeaseNode whose Transport routes by
+// the cluster's node -> daemon map — messages between two nodes of the
+// same daemon go through an in-memory FIFO queue, messages crossing a
+// daemon boundary are encoded as treeagg-wire-v1 frames over TCP. Channel
+// semantics therefore match the paper's model end to end: reliable FIFO
+// per directed edge (the local queue is FIFO; TCP is FIFO; every edge is
+// carried by exactly one of them).
+//
+// The daemon is single-threaded: a poll() loop over the listener, the
+// driver connection, and the peer connections. Each inbound frame is
+// handled to completion — including draining every intra-daemon message it
+// triggers — before the next frame is read, so a status snapshot taken
+// between frames observes no half-processed work.
+//
+// Quiescence accounting: `sent` counts every protocol message emitted by a
+// hosted node (local or remote), `received` counts every delivery to a
+// hosted node. Summed across daemons, sent == received with all local
+// queues empty means no protocol message is in flight; the driver confirms
+// with two identical snapshots (the counters are monotone).
+//
+// Connection bring-up: the daemon with the smaller id initiates each peer
+// link (ConnectWithBackoff tolerates daemons starting in any order); the
+// accepting side learns the initiator's identity from its kPeerHello. The
+// driver connection is recognized by kDriverHello.
+#ifndef TREEAGG_NET_DAEMON_H_
+#define TREEAGG_NET_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/lease_node.h"
+#include "net/cluster.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "sim/trace.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+
+class NodeDaemon {
+ public:
+  struct Options {
+    TransportOptions transport;
+  };
+
+  NodeDaemon(int daemon_id, ClusterConfig config, Options options = {});
+  ~NodeDaemon();
+
+  NodeDaemon(const NodeDaemon&) = delete;
+  NodeDaemon& operator=(const NodeDaemon&) = delete;
+
+  // Creates the listening socket on this daemon's configured address.
+  // Throws std::runtime_error on failure. Must precede Run().
+  void Bind();
+
+  // The actually-bound port; resolves a configured port 0 to the OS's
+  // ephemeral choice. Valid after Bind().
+  std::uint16_t BoundPort() const;
+
+  // Overwrites the peer address table with resolved ports (in-process
+  // clusters bind every daemon with port 0 first, then distribute the
+  // resolved ports before any Run() starts).
+  void SetResolvedPorts(const std::vector<std::uint16_t>& ports);
+
+  // Serves until a kShutdown frame, driver disconnect, or RequestStop().
+  // Never throws; a fatal problem is reported through error().
+  void Run();
+
+  // Thread-safe: wakes the poll loop and makes Run() return. Used by
+  // in-process clusters on abnormal teardown.
+  void RequestStop();
+
+  // Empty after a clean Run(); otherwise the reason it aborted.
+  const std::string& error() const { return error_; }
+
+ private:
+  class NetTransport final : public Transport {
+   public:
+    explicit NetTransport(NodeDaemon* daemon) : daemon_(daemon) {}
+    void Send(Message m) override;
+
+   private:
+    NodeDaemon* daemon_;
+  };
+
+  // A connection whose role is not yet known (no hello frame seen).
+  struct PendingConn {
+    std::unique_ptr<FrameConn> conn;
+  };
+
+  void BuildNodes();
+  void ConnectPeers();
+  bool HostsNode(NodeId u) const {
+    return config_.node_daemon[static_cast<std::size_t>(u)] == daemon_id_;
+  }
+  LeaseNode& NodeRef(NodeId u) { return *nodes_[static_cast<std::size_t>(u)]; }
+
+  // True once every peer link this daemon's tree edges need is open.
+  // Until then no inbound frame is handled (only hellos are classified):
+  // an inject or forwarded protocol message processed earlier could need
+  // to route onto a connection that does not exist yet. Deferred bytes
+  // wait in the kernel socket buffer (poll is level-triggered), except
+  // frames read behind a hello during classification, which wait in that
+  // connection's FrameReader until DrainParkedFrames().
+  bool PeersReady() const;
+  void DrainParkedFrames();
+
+  void RouteSend(Message m);        // NetTransport::Send body
+  void DrainLocal();                // deliver the intra-daemon queue
+  void OnCombineDone(NodeId node, CombineToken token, Real value);
+  void HandleFrame(WireFrame frame);
+  void HandleDriverEof();
+  bool DrainConn(FrameConn* conn);  // read + decode; false on close/error
+  void FlushAll();
+  void Fail(std::string why);
+  std::unique_ptr<FrameConn> TakePending(FrameConn* conn);
+  void ErasePending(FrameConn* conn);
+
+  const int daemon_id_;
+  ClusterConfig config_;
+  Options options_;
+  std::unique_ptr<Tree> tree_;
+  NetTransport transport_;
+  std::vector<std::unique_ptr<LeaseNode>> nodes_;  // by NodeId; null if remote
+  std::vector<int> peer_ids_;  // daemons sharing at least one tree edge
+
+  TcpListener listener_;
+  std::vector<std::unique_ptr<FrameConn>> peers_;  // by daemon id; may be null
+  std::unique_ptr<FrameConn> driver_;
+  std::vector<PendingConn> pending_;
+
+  std::deque<Message> local_queue_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  MessageCounts counts_;
+
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_requested_{false};
+  bool peers_ready_ = false;  // latched result of PeersReady()
+  bool shutdown_ = false;
+  std::string error_;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_DAEMON_H_

@@ -1,0 +1,297 @@
+#include "net/driver.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace treeagg {
+
+NetDriver::NetDriver(ClusterConfig config, Options options)
+    : config_(std::move(config)), options_(options) {
+  config_.Validate();
+}
+
+NetDriver::~NetDriver() {
+  try {
+    Shutdown();
+  } catch (...) {
+    // Destructor teardown is best-effort.
+  }
+}
+
+void NetDriver::Connect() {
+  conns_.clear();
+  for (const ClusterConfig::DaemonAddr& addr : config_.daemons) {
+    std::string err;
+    ScopedFd fd =
+        ConnectWithBackoff(addr.host, addr.port, options_.transport, &err);
+    if (!fd.valid()) {
+      throw std::runtime_error("NetDriver: " + err);
+    }
+    auto conn = std::make_unique<FrameConn>(std::move(fd), options_.transport);
+    WireFrame hello;
+    hello.type = FrameType::kDriverHello;
+    conn->SendFrame(hello);
+    conn->Flush();
+    conns_.push_back(std::move(conn));
+  }
+}
+
+FrameConn* NetDriver::ConnForNode(NodeId node) {
+  if (node < 0 || node >= config_.NumNodes()) {
+    throw std::invalid_argument("NetDriver: node " + std::to_string(node) +
+                                " outside the tree");
+  }
+  const int daemon = config_.node_daemon[static_cast<std::size_t>(node)];
+  FrameConn* conn = conns_[static_cast<std::size_t>(daemon)].get();
+  if (conn == nullptr || !conn->open()) {
+    throw std::runtime_error("NetDriver: connection to daemon " +
+                             std::to_string(daemon) +
+                             " is down: " + (conn ? conn->error() : ""));
+  }
+  return conn;
+}
+
+ReqId NetDriver::InjectWrite(NodeId node, Real arg) {
+  FrameConn* conn = ConnForNode(node);
+  const ReqId id = history_.BeginWrite(node, arg, clock_++);
+  WireFrame f;
+  f.type = FrameType::kInjectWrite;
+  f.req = id;
+  f.node = node;
+  f.arg = arg;
+  conn->SendFrame(f);
+  conn->Flush();
+  ++outstanding_;
+  return id;
+}
+
+ReqId NetDriver::InjectCombine(NodeId node) {
+  FrameConn* conn = ConnForNode(node);
+  const ReqId id = history_.BeginCombine(node, clock_++);
+  WireFrame f;
+  f.type = FrameType::kInjectCombine;
+  f.req = id;
+  f.node = node;
+  conn->SendFrame(f);
+  conn->Flush();
+  ++outstanding_;
+  return id;
+}
+
+void NetDriver::FlushAll() {
+  for (auto& c : conns_) {
+    if (c && c->open()) c->Flush();
+  }
+}
+
+void NetDriver::Timeout(const std::string& what) {
+  throw std::runtime_error("NetDriver: timed out waiting for " + what +
+                           " (io_timeout_ms = " +
+                           std::to_string(options_.transport.io_timeout_ms) +
+                           ")");
+}
+
+void NetDriver::DispatchFrame(std::size_t daemon, WireFrame frame) {
+  switch (frame.type) {
+    case FrameType::kWriteDone:
+      history_.CompleteWrite(frame.req, clock_++);
+      --outstanding_;
+      break;
+    case FrameType::kCombineDone:
+      history_.CompleteCombine(frame.req, frame.value, std::move(frame.gather),
+                               frame.log_prefix, clock_++);
+      --outstanding_;
+      break;
+    case FrameType::kStatusResp:
+      if (current_probe_ != 0 && frame.status.probe == current_probe_ &&
+          !status_seen_[daemon]) {
+        status_seen_[daemon] = true;
+        status_[daemon] = frame.status;
+      }
+      break;
+    case FrameType::kHarvestResp:
+      if (collecting_harvest_ && !harvest_seen_[daemon]) {
+        harvest_seen_[daemon] = true;
+        for (NodeLogPayload& nl : frame.harvest.logs) {
+          NodeGhostState g;
+          g.node = nl.node;
+          g.write_log = std::move(nl.log);
+          harvest_.ghosts.push_back(std::move(g));
+        }
+        harvest_.counts.probes += frame.harvest.counts.probes;
+        harvest_.counts.responses += frame.harvest.counts.responses;
+        harvest_.counts.updates += frame.harvest.counts.updates;
+        harvest_.counts.releases += frame.harvest.counts.releases;
+      }
+      break;
+    default:
+      throw std::runtime_error(
+          std::string("NetDriver: unexpected frame from daemon ") +
+          std::to_string(daemon) + ": " + ToString(frame.type));
+  }
+}
+
+void NetDriver::PumpOnce(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> owners;
+  for (std::size_t d = 0; d < conns_.size(); ++d) {
+    FrameConn* c = conns_[d].get();
+    if (c == nullptr || !c->open()) {
+      throw std::runtime_error("NetDriver: daemon " + std::to_string(d) +
+                               " connection failed: " +
+                               (c ? c->error() : "closed"));
+    }
+    short events = POLLIN;
+    if (c->WantWrite()) events |= POLLOUT;
+    pfds.push_back({c->fd(), events, 0});
+    owners.push_back(d);
+  }
+  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (ready <= 0) return;
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    FrameConn* c = conns_[owners[i]].get();
+    if (pfds[i].revents & POLLOUT) c->Flush();
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      const bool alive = c->ReadAvailable();
+      WireFrame frame;
+      for (;;) {
+        const DecodeStatus status = c->NextFrame(&frame);
+        if (status == DecodeStatus::kNeedMore) break;
+        if (status != DecodeStatus::kOk) {
+          throw std::runtime_error("NetDriver: daemon " +
+                                   std::to_string(owners[i]) + ": " +
+                                   c->error());
+        }
+        DispatchFrame(owners[i], std::move(frame));
+        frame = WireFrame{};
+      }
+      if (!alive) {
+        throw std::runtime_error(
+            "NetDriver: daemon " + std::to_string(owners[i]) +
+            (c->eof() ? " closed the connection" : " failed: " + c->error()));
+      }
+    }
+  }
+}
+
+void NetDriver::WaitAllCompleted() {
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (outstanding_ > 0) {
+    if (NowMs() >= deadline) Timeout("request completion");
+    PumpOnce(50);
+  }
+}
+
+void NetDriver::WaitCompleted(ReqId id) {
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!history_.record(id).completed()) {
+    if (NowMs() >= deadline) {
+      Timeout("completion of request " + std::to_string(id));
+    }
+    PumpOnce(50);
+  }
+}
+
+std::vector<StatusPayload> NetDriver::SnapshotStatus() {
+  current_probe_ = next_probe_++;
+  status_.assign(conns_.size(), StatusPayload{});
+  status_seen_.assign(conns_.size(), false);
+  WireFrame req;
+  req.type = FrameType::kStatusReq;
+  req.status.probe = current_probe_;
+  for (auto& c : conns_) {
+    c->SendFrame(req);
+    c->Flush();
+  }
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!std::all_of(status_seen_.begin(), status_seen_.end(),
+                      [](bool b) { return b; })) {
+    if (NowMs() >= deadline) Timeout("status snapshot");
+    PumpOnce(50);
+  }
+  current_probe_ = 0;
+  return status_;
+}
+
+void NetDriver::WaitQuiescent() {
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  std::vector<StatusPayload> prev;
+  for (;;) {
+    std::vector<StatusPayload> snap = SnapshotStatus();
+    std::uint64_t sent = 0, received = 0, queued = 0;
+    for (const StatusPayload& s : snap) {
+      sent += s.sent;
+      received += s.received;
+      queued += s.queued;
+    }
+    const bool settled = sent == received && queued == 0;
+    if (settled && !prev.empty()) {
+      bool same = true;
+      for (std::size_t d = 0; d < snap.size(); ++d) {
+        if (snap[d].sent != prev[d].sent ||
+            snap[d].received != prev[d].received) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        total_messages_ = sent;
+        return;
+      }
+    }
+    prev = settled ? std::move(snap) : std::vector<StatusPayload>{};
+    if (NowMs() >= deadline) Timeout("quiescence");
+  }
+}
+
+NetDriver::HarvestResult NetDriver::Harvest() {
+  collecting_harvest_ = true;
+  harvest_ = HarvestResult{};
+  harvest_seen_.assign(conns_.size(), false);
+  WireFrame req;
+  req.type = FrameType::kHarvestReq;
+  for (auto& c : conns_) {
+    c->SendFrame(req);
+    c->Flush();
+  }
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!std::all_of(harvest_seen_.begin(), harvest_seen_.end(),
+                      [](bool b) { return b; })) {
+    if (NowMs() >= deadline) Timeout("harvest");
+    PumpOnce(50);
+  }
+  collecting_harvest_ = false;
+  std::sort(harvest_.ghosts.begin(), harvest_.ghosts.end(),
+            [](const NodeGhostState& a, const NodeGhostState& b) {
+              return a.node < b.node;
+            });
+  return std::move(harvest_);
+}
+
+void NetDriver::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  WireFrame f;
+  f.type = FrameType::kShutdown;
+  for (auto& c : conns_) {
+    if (c == nullptr || !c->open()) continue;
+    c->SendFrame(f);
+    // Bounded blocking flush: the socket buffer has room for one tiny
+    // frame in any sane teardown; give up quietly if not.
+    const std::int64_t deadline = NowMs() + 1000;
+    while (c->open() && c->WantWrite() && NowMs() < deadline) {
+      if (!c->Flush()) break;
+      if (c->WantWrite()) {
+        pollfd pfd{c->fd(), POLLOUT, 0};
+        ::poll(&pfd, 1, 10);
+      }
+    }
+    c->Close();
+  }
+}
+
+}  // namespace treeagg

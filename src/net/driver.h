@@ -1,0 +1,121 @@
+// NetDriver: the workload client of the networked backend.
+//
+// The driver connects to every daemon of a cluster, injects write/combine
+// requests over the wire, and records the same consistency::History the
+// sim and runtime backends produce, so the Section 5 checkers run on
+// networked executions unchanged. A request is routed to the daemon
+// hosting its node; per-request answers come back as kWriteDone /
+// kCombineDone frames (with the ghost gather snapshot and log prefix
+// piggybacked on combines).
+//
+// Quiescence: the daemons keep monotone sent/received counters of protocol
+// messages, snapshotted by kStatusReq/kStatusResp. WaitQuiescent() takes
+// global snapshots until two consecutive ones are identical with
+// sum(sent) == sum(received) and no queued local deliveries — because the
+// counters are monotone and each daemon handles a frame to completion
+// before answering a status probe, that pair of snapshots proves no
+// protocol message was in flight between them.
+//
+// Every wait is bounded by TransportOptions::io_timeout_ms and throws
+// std::runtime_error on timeout or a failed daemon connection — a harness
+// bug hangs a test for seconds, not forever.
+#ifndef TREEAGG_NET_DRIVER_H_
+#define TREEAGG_NET_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "consistency/causal_checker.h"  // NodeGhostState
+#include "consistency/history.h"
+#include "net/cluster.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "sim/trace.h"
+
+namespace treeagg {
+
+class NetDriver {
+ public:
+  struct Options {
+    TransportOptions transport;
+  };
+
+  explicit NetDriver(ClusterConfig config, Options options = {});
+  ~NetDriver();
+
+  NetDriver(const NetDriver&) = delete;
+  NetDriver& operator=(const NetDriver&) = delete;
+
+  // Connects to every daemon (with backoff) and identifies itself with
+  // kDriverHello. Throws std::runtime_error on failure.
+  void Connect();
+
+  // Injects a request at `node`; returns its history id (also the wire
+  // request id / combine token). Requests may be pipelined: injection does
+  // not wait for completion.
+  ReqId InjectWrite(NodeId node, Real arg);
+  ReqId InjectCombine(NodeId node);
+
+  // Blocks until every injected request has completed.
+  void WaitAllCompleted();
+  // Blocks until request `id` has completed (other completions arriving
+  // first are recorded as usual).
+  void WaitCompleted(ReqId id);
+  // Blocks until the whole cluster is quiescent (see header comment).
+  // Outstanding combines also hold messages in flight, so callers normally
+  // WaitAllCompleted() first.
+  void WaitQuiescent();
+
+  struct HarvestResult {
+    std::vector<NodeGhostState> ghosts;  // every node, ordered by id
+    MessageCounts counts;                // summed over daemons (send side)
+  };
+  // Collects each node's final ghost write-log and the per-type message
+  // totals. Call after WaitAllCompleted()+WaitQuiescent().
+  HarvestResult Harvest();
+
+  // Sends kShutdown to every daemon and closes the connections. Idempotent.
+  void Shutdown();
+
+  const History& history() const { return history_; }
+  const ClusterConfig& config() const { return config_; }
+  // Total protocol messages sent, from the last status snapshot.
+  std::uint64_t TotalMessages() const { return total_messages_; }
+
+ private:
+  FrameConn* ConnForNode(NodeId node);
+  // Polls all connections once (bounded by timeout_ms), reading frames and
+  // dispatching them. Throws on connection failure.
+  void PumpOnce(int timeout_ms);
+  void DispatchFrame(std::size_t daemon, WireFrame frame);
+  // Sends kStatusReq(probe) everywhere and pumps until every daemon echoed
+  // `probe`. Returns the per-daemon payloads.
+  std::vector<StatusPayload> SnapshotStatus();
+  void FlushAll();
+  [[noreturn]] void Timeout(const std::string& what);
+
+  ClusterConfig config_;
+  Options options_;
+  std::vector<std::unique_ptr<FrameConn>> conns_;  // by daemon id
+  History history_;
+  std::int64_t clock_ = 0;  // initiation/completion sequence numbers
+  std::size_t outstanding_ = 0;
+
+  std::uint64_t next_probe_ = 1;
+  std::uint64_t current_probe_ = 0;  // probe being collected, 0 = none
+  std::vector<StatusPayload> status_;
+  std::vector<bool> status_seen_;
+
+  bool collecting_harvest_ = false;
+  std::vector<bool> harvest_seen_;
+  HarvestResult harvest_;
+  std::uint64_t total_messages_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_DRIVER_H_

@@ -1,0 +1,149 @@
+#include "net/equivalence.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "consistency/causal_checker.h"
+#include "consistency/history.h"
+#include "consistency/strict_checker.h"
+#include "core/aggregate_op.h"
+#include "core/extra_policies.h"
+#include "net/local_cluster.h"
+#include "runtime/actor_runtime.h"
+#include "sim/system.h"
+#include "tree/topology.h"
+
+namespace treeagg {
+namespace {
+
+// Every spec run appends one Combine at node 0 so even write-only
+// workloads have a comparable final aggregate.
+RequestSequence WithFinalCombine(const EquivalenceSpec& spec) {
+  RequestSequence sigma = spec.sigma;
+  sigma.push_back(Request::Combine(0));
+  return sigma;
+}
+
+// Combine answers in injection order, taken from a completed history
+// (request ids index records in injection order). The last record is the
+// appended final combine.
+void FillAnswers(const History& history, const AggregateOp& op, NodeId n,
+                 const std::vector<NodeGhostState>& ghosts, Real tolerance,
+                 BackendRun* run) {
+  for (const RequestRecord& r : history.records()) {
+    if (r.op == ReqType::kCombine) run->answers.push_back(r.retval);
+  }
+  run->final_value = run->answers.back();
+  const CheckResult strict = CheckStrictConsistency(history, op, n, tolerance);
+  const CheckResult causal =
+      CheckCausalConsistency(history, ghosts, op, n, tolerance);
+  run->strict_ok = strict.ok;
+  run->causal_ok = causal.ok;
+  if (!strict.ok) {
+    run->message = "strict: " + strict.message;
+  } else if (!causal.ok) {
+    run->message = "causal: " + causal.message;
+  }
+}
+
+}  // namespace
+
+BackendRun RunSimBackend(const EquivalenceSpec& spec) {
+  BackendRun run;
+  run.backend = "sim";
+  Tree tree(spec.tree_parent);
+  AggregationSystem::Options options;
+  options.op = &OpByName(spec.op);
+  options.ghost_logging = true;
+  AggregationSystem sys(tree, PolicyBySpec(spec.policy), options);
+  sys.Execute(WithFinalCombine(spec));
+  run.total_messages = sys.trace().totals().total();
+  FillAnswers(sys.history(), sys.op(), tree.size(), sys.GhostStates(),
+              spec.tolerance, &run);
+  return run;
+}
+
+BackendRun RunRuntimeBackend(const EquivalenceSpec& spec) {
+  BackendRun run;
+  run.backend = "runtime";
+  Tree tree(spec.tree_parent);
+  ActorRuntime::Options options;
+  options.op = &OpByName(spec.op);
+  options.ghost_logging = true;
+  ActorRuntime rt(tree, PolicyBySpec(spec.policy), options);
+  rt.Start();
+  // Sequential schedule: every request runs in a quiescent network.
+  for (const Request& r : WithFinalCombine(spec)) {
+    if (r.op == ReqType::kWrite) {
+      rt.InjectWrite(r.node, r.arg);
+    } else {
+      rt.InjectCombine(r.node);
+    }
+    rt.WaitQuiescent();
+  }
+  rt.DrainAndStop();
+  run.total_messages = rt.MessagesSent();
+  FillAnswers(rt.history(), OpByName(spec.op), tree.size(), rt.GhostStates(),
+              spec.tolerance, &run);
+  return run;
+}
+
+BackendRun RunNetBackend(const EquivalenceSpec& spec) {
+  BackendRun run;
+  run.backend = "net";
+  LocalCluster::Options options;
+  options.daemons = spec.net_daemons;
+  options.policy = spec.policy;
+  options.op = spec.op;
+  options.ghost_logging = true;
+  options.placement = spec.placement;
+  EquivalenceSpec with_final = spec;
+  with_final.sigma = WithFinalCombine(spec);
+  NetRunResult result = RunNetWorkload(spec.tree_parent, with_final.sigma,
+                                       options, /*sequential=*/true);
+  run.total_messages = result.counts.total();
+  FillAnswers(result.history, OpByName(spec.op),
+              static_cast<NodeId>(spec.tree_parent.size()), result.ghosts,
+              spec.tolerance, &run);
+  return run;
+}
+
+EquivalenceReport CheckBackendEquivalence(const EquivalenceSpec& spec) {
+  EquivalenceReport report;
+  report.runs.push_back(RunSimBackend(spec));
+  report.runs.push_back(RunRuntimeBackend(spec));
+  report.runs.push_back(RunNetBackend(spec));
+  const BackendRun& ref = report.runs.front();
+  for (const BackendRun& run : report.runs) {
+    if (!run.strict_ok || !run.causal_ok) {
+      report.message = run.backend + " checker failure: " + run.message;
+      return report;
+    }
+    if (run.answers.size() != ref.answers.size()) {
+      report.message = run.backend + " answered " +
+                       std::to_string(run.answers.size()) + " combines, " +
+                       ref.backend + " answered " +
+                       std::to_string(ref.answers.size());
+      return report;
+    }
+    for (std::size_t i = 0; i < run.answers.size(); ++i) {
+      if (std::fabs(run.answers[i] - ref.answers[i]) > spec.tolerance) {
+        report.message = run.backend + " combine #" + std::to_string(i) +
+                         " = " + std::to_string(run.answers[i]) + ", " +
+                         ref.backend + " = " + std::to_string(ref.answers[i]);
+        return report;
+      }
+    }
+    if (std::fabs(run.final_value - ref.final_value) > spec.tolerance) {
+      report.message = run.backend + " final aggregate " +
+                       std::to_string(run.final_value) + " != " +
+                       ref.backend + " " + std::to_string(ref.final_value);
+      return report;
+    }
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,69 @@
+// Cross-backend equivalence harness.
+//
+// The repo has three executors of the same (tree, workload, policy)
+// triple: the sequential simulator (src/sim), the thread-per-node actor
+// runtime (src/runtime), and the networked multi-process backend
+// (src/net). They share the LeaseNode mechanism and policy objects, so on
+// a SEQUENTIAL schedule — each request injected in a quiescent state and
+// run to quiescence — all three must produce:
+//
+//   * the same per-request combine answers (Lemma 3.12: every lease-based
+//     algorithm is strictly consistent on sequential executions),
+//   * the same final aggregate (an appended combine at node 0), and
+//   * histories that pass the strict and causal checkers.
+//
+// The harness runs one triple on each backend in that sequential mode
+// (runtime: inject + WaitQuiescent; net: inject + WaitCompleted +
+// WaitQuiescent) and diffs the results. It is both an integration test of
+// the networked backend and a machine-checked statement that the wire
+// protocol changes nothing about the algorithm.
+#ifndef TREEAGG_NET_EQUIVALENCE_H_
+#define TREEAGG_NET_EQUIVALENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+struct EquivalenceSpec {
+  std::vector<NodeId> tree_parent;
+  RequestSequence sigma;
+  std::string policy = "RWW";
+  std::string op = "sum";
+  int net_daemons = 2;             // daemons of the net backend run
+  std::string placement = "block";
+  Real tolerance = 1e-9;
+};
+
+// One backend's observation of the triple.
+struct BackendRun {
+  std::string backend;         // "sim" | "runtime" | "net"
+  std::vector<Real> answers;   // combine answers, injection order
+  Real final_value = 0;        // appended Combine at node 0
+  std::int64_t total_messages = 0;
+  bool strict_ok = false;
+  bool causal_ok = false;
+  std::string message;         // first checker violation, empty when ok
+};
+
+BackendRun RunSimBackend(const EquivalenceSpec& spec);
+BackendRun RunRuntimeBackend(const EquivalenceSpec& spec);
+BackendRun RunNetBackend(const EquivalenceSpec& spec);
+
+struct EquivalenceReport {
+  bool ok = false;
+  std::string message;  // first divergence, empty when ok
+  std::vector<BackendRun> runs;
+};
+
+// Runs the triple on all three backends and diffs answers, final
+// aggregates, and checker verdicts.
+EquivalenceReport CheckBackendEquivalence(const EquivalenceSpec& spec);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_EQUIVALENCE_H_

@@ -1,0 +1,112 @@
+#include "net/local_cluster.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace treeagg {
+
+LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
+                           const Options& options) {
+  config_.tree_parent = tree_parent;
+  config_.policy = options.policy;
+  config_.op = options.op;
+  config_.ghost_logging = options.ghost_logging;
+  config_.daemons.assign(static_cast<std::size_t>(options.daemons),
+                         ClusterConfig::DaemonAddr{"127.0.0.1", 0});
+  config_.node_daemon =
+      AssignNodes(config_.NumNodes(), options.daemons, options.placement);
+  config_.Validate();
+
+  NodeDaemon::Options daemon_options;
+  daemon_options.transport = options.transport;
+  try {
+    for (int d = 0; d < options.daemons; ++d) {
+      daemons_.push_back(
+          std::make_unique<NodeDaemon>(d, config_, daemon_options));
+      daemons_.back()->Bind();
+    }
+    std::vector<std::uint16_t> ports;
+    for (auto& daemon : daemons_) ports.push_back(daemon->BoundPort());
+    for (std::size_t d = 0; d < daemons_.size(); ++d) {
+      daemons_[d]->SetResolvedPorts(ports);
+      config_.daemons[d].port = ports[d];
+    }
+    for (auto& daemon : daemons_) {
+      threads_.emplace_back([raw = daemon.get()] { raw->Run(); });
+    }
+    NetDriver::Options driver_options;
+    driver_options.transport = options.transport;
+    driver_ = std::make_unique<NetDriver>(config_, driver_options);
+    driver_->Connect();
+  } catch (...) {
+    Stop();
+    throw;
+  }
+}
+
+LocalCluster::~LocalCluster() { Stop(); }
+
+void LocalCluster::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (driver_) driver_->Shutdown();
+  for (auto& daemon : daemons_) daemon->RequestStop();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::string LocalCluster::DaemonError() const {
+  for (const auto& daemon : daemons_) {
+    if (!daemon->error().empty()) {
+      return daemon->error();
+    }
+  }
+  return "";
+}
+
+NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
+                            const RequestSequence& sigma,
+                            const LocalCluster::Options& options,
+                            bool sequential) {
+  LocalCluster cluster(tree_parent, options);
+  NetDriver& driver = cluster.driver();
+  NetRunResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const auto inject = [&](const Request& r) {
+    return r.op == ReqType::kWrite ? driver.InjectWrite(r.node, r.arg)
+                                   : driver.InjectCombine(r.node);
+  };
+  if (sequential) {
+    for (const Request& r : sigma) {
+      const ReqId id = inject(r);
+      driver.WaitCompleted(id);
+      driver.WaitQuiescent();
+    }
+  } else {
+    for (const Request& r : sigma) inject(r);
+    driver.WaitAllCompleted();
+    driver.WaitQuiescent();
+  }
+  result.elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!sigma.empty() && result.elapsed_sec > 0) {
+    result.requests_per_sec =
+        static_cast<double>(sigma.size()) / result.elapsed_sec;
+  }
+  NetDriver::HarvestResult harvest = driver.Harvest();
+  result.ghosts = std::move(harvest.ghosts);
+  result.counts = harvest.counts;
+  result.total_messages = driver.TotalMessages();
+  cluster.Stop();
+  if (!cluster.DaemonError().empty()) {
+    throw std::runtime_error("net backend daemon failed: " +
+                             cluster.DaemonError());
+  }
+  result.history = driver.history();
+  return result;
+}
+
+}  // namespace treeagg

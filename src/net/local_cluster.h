@@ -1,0 +1,87 @@
+// LocalCluster: the whole networked backend inside one process.
+//
+// Every daemon of the cluster runs on its own thread, listening on
+// 127.0.0.1 with an OS-assigned ephemeral port; the driver talks to them
+// over real loopback TCP. This is the configuration tests and `treeagg_cli
+// drive --net-local` use — the full wire protocol and transport are
+// exercised with no hardcoded ports and no external processes.
+//
+// Port bootstrap: every daemon binds port 0 first, then the resolved ports
+// are distributed to all daemons (and the driver) before any Run() starts,
+// so peer connections always target a bound listener.
+#ifndef TREEAGG_NET_LOCAL_CLUSTER_H_
+#define TREEAGG_NET_LOCAL_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "net/cluster.h"
+#include "net/daemon.h"
+#include "net/driver.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+class LocalCluster {
+ public:
+  struct Options {
+    int daemons = 2;
+    std::string policy = "RWW";
+    std::string op = "sum";
+    bool ghost_logging = true;
+    std::string placement = "block";  // block | rr
+    TransportOptions transport;
+  };
+
+  // Spins up the daemons and connects the driver. Throws on any setup
+  // failure (everything already started is torn down).
+  LocalCluster(const std::vector<NodeId>& tree_parent, const Options& options);
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  NetDriver& driver() { return *driver_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // Shuts the driver connection down and joins every daemon thread.
+  // Idempotent; called by the destructor.
+  void Stop();
+
+  // First daemon-side error, if any (valid after Stop()).
+  std::string DaemonError() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<NodeDaemon>> daemons_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<NetDriver> driver_;
+  bool stopped_ = false;
+};
+
+// One workload run on a LocalCluster, packaged for tests, the CLI, and the
+// benchmark. `sequential` injects one request at a time, waiting for its
+// completion and for cluster quiescence before the next (strict-consistent
+// by construction; this is the mode the cross-backend equivalence harness
+// compares against the sequential simulator). Pipelined mode injects
+// everything up front and waits once.
+struct NetRunResult {
+  History history;
+  std::vector<NodeGhostState> ghosts;
+  MessageCounts counts;          // protocol messages by type (send side)
+  std::uint64_t total_messages = 0;
+  double elapsed_sec = 0;
+  double requests_per_sec = 0;
+};
+
+NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
+                            const RequestSequence& sigma,
+                            const LocalCluster::Options& options,
+                            bool sequential);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_LOCAL_CLUSTER_H_

@@ -1,0 +1,209 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace treeagg {
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool FillAddr(const std::string& host, std::uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  return ::inet_pton(AF_INET, resolved.c_str(), &addr->sin_addr) == 1;
+}
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+TcpListener TcpListener::Bind(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    throw std::runtime_error("TcpListener: bad host " + host);
+  }
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw std::runtime_error(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw std::runtime_error(Errno("bind " + host + ":" +
+                                   std::to_string(port)));
+  }
+  if (::listen(fd.get(), 64) != 0) throw std::runtime_error(Errno("listen"));
+  SetNonBlocking(fd.get());
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw std::runtime_error(Errno("getsockname"));
+  }
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+ScopedFd TcpListener::Accept() {
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) return ScopedFd();
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  return ScopedFd(fd);
+}
+
+void FrameConn::FailWith(std::string msg) {
+  failed_ = true;
+  if (error_.empty()) error_ = std::move(msg);
+}
+
+void FrameConn::SendFrame(const WireFrame& frame) {
+  if (!open()) return;
+  AppendFrame(&out_, frame);
+  if (OutboundBytes() > options_.max_write_buffer) {
+    FailWith("write buffer overflow (peer not draining)");
+  }
+}
+
+bool FrameConn::Flush() {
+  if (!open()) return false;
+  while (out_pos_ < out_.size()) {
+    const ssize_t n = ::send(fd_.get(), out_.data() + out_pos_,
+                             out_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    FailWith(Errno("send"));
+    return false;
+  }
+  if (out_pos_ == out_.size()) {
+    out_.clear();
+    out_pos_ = 0;
+  } else if (out_pos_ > (1u << 16) && out_pos_ * 2 > out_.size()) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(out_pos_));
+    out_pos_ = 0;
+  }
+  return true;
+}
+
+bool FrameConn::ReadAvailable() {
+  if (!open()) return false;
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<std::size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) return true;
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    FailWith(Errno("recv"));
+    return false;
+  }
+}
+
+DecodeStatus FrameConn::NextFrame(WireFrame* frame) {
+  const DecodeStatus status = reader_.Next(frame);
+  if (status != DecodeStatus::kOk && status != DecodeStatus::kNeedMore) {
+    FailWith(std::string("malformed frame: ") + ToString(status));
+  }
+  return status;
+}
+
+ScopedFd ConnectWithBackoff(const std::string& host, std::uint16_t port,
+                            const TransportOptions& options,
+                            std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) {
+    if (error) *error = "bad host " + host;
+    return ScopedFd();
+  }
+  const std::int64_t deadline = NowMs() + options.connect_timeout_ms;
+  std::int64_t backoff = options.backoff_initial_ms;
+  std::string last_error = "connect never attempted";
+  for (;;) {
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      last_error = Errno("socket");
+    } else {
+      SetNonBlocking(fd.get());
+      const int rc =
+          ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      bool pending = rc != 0 && errno == EINPROGRESS;
+      if (rc == 0 || pending) {
+        // Wait for the handshake to resolve, bounded by the deadline.
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        const std::int64_t budget = deadline - NowMs();
+        const int ready =
+            ::poll(&pfd, 1, budget > 0 ? static_cast<int>(budget) : 0);
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (ready > 0 && soerr == 0) {
+          SetNoDelay(fd.get());
+          return fd;
+        }
+        last_error = soerr != 0
+                         ? "connect: " + std::string(std::strerror(soerr))
+                         : "connect: handshake timed out";
+      } else {
+        last_error = Errno("connect");
+      }
+    }
+    if (NowMs() + backoff >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, options.backoff_max_ms);
+  }
+  if (error) {
+    *error = "connect to " + host + ":" + std::to_string(port) +
+             " failed after retries: " + last_error;
+  }
+  return ScopedFd();
+}
+
+}  // namespace treeagg

@@ -1,0 +1,161 @@
+// Non-blocking TCP building blocks of the networked backend.
+//
+// The daemon and the driver own poll() loops; this module supplies the
+// pieces those loops are built from:
+//
+//   ScopedFd           — RAII file descriptor
+//   TcpListener        — non-blocking listener; port 0 asks the OS for an
+//                        ephemeral port (the only mode tests use)
+//   FrameConn          — a framed connection: write buffering with a
+//                        backpressure cap, incremental frame decoding
+//   ConnectWithBackoff — connection establishment with exponential
+//                        backoff, bounded by a configurable total timeout
+//
+// All sockets are non-blocking with TCP_NODELAY (the protocol is chatty
+// request/response traffic; Nagle would serialize every probe round-trip).
+// Writes use MSG_NOSIGNAL: a peer that disappears surfaces as an error
+// return, never as SIGPIPE.
+//
+// Scope note: backoff-and-retry covers connection *establishment* (daemons
+// of one cluster start in arbitrary order). An established connection that
+// drops mid-run is a hard peer failure — the wire protocol has no
+// ack/replay layer, so re-sending from an arbitrary byte position could
+// corrupt the frame stream.
+#ifndef TREEAGG_NET_TRANSPORT_H_
+#define TREEAGG_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace treeagg {
+
+// Monotonic clock in milliseconds (steady_clock under the hood).
+std::int64_t NowMs();
+
+struct TransportOptions {
+  // Total budget for establishing one connection, retries included.
+  std::int64_t connect_timeout_ms = 10000;
+  // Exponential backoff between connect attempts: initial doubles up to max.
+  std::int64_t backoff_initial_ms = 10;
+  std::int64_t backoff_max_ms = 1000;
+  // Progress timeout for driver-side waits (completion, quiescence,
+  // harvest): if no awaited frame arrives within this budget the wait
+  // fails instead of hanging.
+  std::int64_t io_timeout_ms = 60000;
+  // Backpressure cap: a connection whose unsent backlog exceeds this is
+  // treated as failed (the peer has stopped draining).
+  std::size_t max_write_buffer = 64u << 20;
+};
+
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  // Binds and listens on host:port (numeric IPv4; port 0 = OS-assigned).
+  // Throws std::runtime_error on failure.
+  static TcpListener Bind(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  // The actually-bound port (resolves port 0 to the OS's choice).
+  std::uint16_t port() const { return port_; }
+
+  // Non-blocking accept: invalid ScopedFd when no connection is pending.
+  // The accepted socket is non-blocking with TCP_NODELAY set.
+  ScopedFd Accept();
+
+  void Close() { fd_.reset(); }
+
+ private:
+  ScopedFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+// One established connection carrying wire frames. Reads feed a
+// FrameReader; writes append to an outbound byte buffer flushed
+// opportunistically (callers poll for POLLOUT while WantWrite()).
+class FrameConn {
+ public:
+  FrameConn(ScopedFd fd, const TransportOptions& options)
+      : fd_(std::move(fd)), options_(options) {}
+
+  int fd() const { return fd_.get(); }
+  bool open() const { return fd_.valid() && !failed_; }
+  const std::string& error() const { return error_; }
+
+  // Serializes `frame` onto the outbound buffer. Fails the connection if
+  // the backlog exceeds the backpressure cap.
+  void SendFrame(const WireFrame& frame);
+
+  // Writes as much buffered data as the socket accepts. Returns false on
+  // a fatal socket error (connection is failed).
+  bool Flush();
+  bool WantWrite() const { return out_pos_ < out_.size(); }
+  std::size_t OutboundBytes() const { return out_.size() - out_pos_; }
+
+  // Reads all currently-available bytes into the frame reader. Returns
+  // false on EOF or a fatal error (eof()/error() distinguish them).
+  bool ReadAvailable();
+  bool eof() const { return eof_; }
+
+  // Next complete inbound frame; kNeedMore when none is buffered. A
+  // malformed stream fails the connection.
+  DecodeStatus NextFrame(WireFrame* frame);
+
+  void Close() { fd_.reset(); }
+
+ private:
+  void FailWith(std::string msg);
+
+  ScopedFd fd_;
+  TransportOptions options_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;
+  FrameReader reader_;
+  bool failed_ = false;
+  bool eof_ = false;
+  std::string error_;
+};
+
+// Establishes a connection to host:port, retrying with exponential backoff
+// until options.connect_timeout_ms elapses. Blocks the calling thread (it
+// is used during session setup, before the poll loops start). On failure
+// returns an invalid fd and fills *error.
+ScopedFd ConnectWithBackoff(const std::string& host, std::uint16_t port,
+                            const TransportOptions& options,
+                            std::string* error);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_TRANSPORT_H_

@@ -1,0 +1,451 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace treeagg {
+namespace {
+
+// --- little-endian primitives ------------------------------------------
+
+void PutU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutI32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+}
+
+void PutI64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+void PutF64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+// Bounds-checked cursor over the frame payload. Every Get* reports
+// underrun through ok(); decoding continues harmlessly (zeros) and the
+// caller maps !ok() to kBadPayload.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return len_ - pos_; }
+
+  std::uint8_t GetU8() {
+    if (remaining() < 1) return Fail<std::uint8_t>();
+    return data_[pos_++];
+  }
+
+  std::uint32_t GetU32() {
+    if (remaining() < 4) return Fail<std::uint32_t>();
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                      static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                      static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t GetU64() {
+    const std::uint64_t lo = GetU32();
+    const std::uint64_t hi = GetU32();
+    return lo | hi << 32;
+  }
+
+  std::int32_t GetI32() { return static_cast<std::int32_t>(GetU32()); }
+  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
+
+  double GetF64() {
+    const std::uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // A count followed by `count * elem_size` bytes: rejects counts that the
+  // remaining payload cannot possibly hold, so a corrupted count can never
+  // drive a giant reserve() or a long copy loop.
+  std::uint32_t GetCount(std::size_t elem_size) {
+    const std::uint32_t n = GetU32();
+    if (!ok_ || static_cast<std::uint64_t>(n) * elem_size > remaining()) {
+      return Fail<std::uint32_t>();
+    }
+    return n;
+  }
+
+ private:
+  template <typename T>
+  T Fail() {
+    ok_ = false;
+    pos_ = len_;  // park at the end: later reads keep failing
+    return T{};
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- payload encoders ---------------------------------------------------
+
+void EncodeMessage(std::vector<std::uint8_t>* out, const Message& m) {
+  PutU8(out, static_cast<std::uint8_t>(m.type));
+  PutI32(out, m.from);
+  PutI32(out, m.to);
+  PutF64(out, m.x);
+  PutU8(out, m.flag ? 1 : 0);
+  PutI64(out, m.id);
+  PutU32(out, static_cast<std::uint32_t>(m.release_ids.size()));
+  for (const UpdateId id : m.release_ids) PutI64(out, id);
+  PutU8(out, m.wlog ? 1 : 0);
+  if (m.wlog) {
+    PutU32(out, static_cast<std::uint32_t>(m.wlog->size()));
+    for (const GhostWrite& w : *m.wlog) {
+      PutI64(out, w.id);
+      PutI32(out, w.node);
+    }
+  }
+}
+
+bool DecodeMessage(Cursor* c, Message* m) {
+  const std::uint8_t type = c->GetU8();
+  if (!c->ok() || type > static_cast<std::uint8_t>(MsgType::kRelease)) {
+    return false;
+  }
+  m->type = static_cast<MsgType>(type);
+  m->from = c->GetI32();
+  m->to = c->GetI32();
+  m->x = c->GetF64();
+  const std::uint8_t flag = c->GetU8();
+  if (!c->ok() || flag > 1) return false;
+  m->flag = flag != 0;
+  m->id = c->GetI64();
+  const std::uint32_t nrelease = c->GetCount(8);
+  if (!c->ok()) return false;
+  m->release_ids.clear();
+  for (std::uint32_t i = 0; i < nrelease; ++i) {
+    m->release_ids.push_back(c->GetI64());
+  }
+  const std::uint8_t has_wlog = c->GetU8();
+  if (!c->ok() || has_wlog > 1) return false;
+  m->wlog.reset();
+  if (has_wlog) {
+    const std::uint32_t nwlog = c->GetCount(12);
+    if (!c->ok()) return false;
+    auto log = std::make_shared<GhostLog>();
+    log->reserve(nwlog);
+    for (std::uint32_t i = 0; i < nwlog; ++i) {
+      GhostWrite w;
+      w.id = c->GetI64();
+      w.node = c->GetI32();
+      log->push_back(w);
+    }
+    m->wlog = std::move(log);
+  }
+  return c->ok();
+}
+
+void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f) {
+  switch (f.type) {
+    case FrameType::kPeerHello:
+      PutU32(out, f.daemon_id);
+      break;
+    case FrameType::kDriverHello:
+    case FrameType::kHarvestReq:
+    case FrameType::kShutdown:
+      break;  // no payload
+    case FrameType::kProtocol:
+      EncodeMessage(out, f.msg);
+      break;
+    case FrameType::kInjectWrite:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      PutF64(out, f.arg);
+      break;
+    case FrameType::kInjectCombine:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      break;
+    case FrameType::kWriteDone:
+      PutI64(out, f.req);
+      break;
+    case FrameType::kCombineDone:
+      PutI64(out, f.req);
+      PutF64(out, f.value);
+      PutU32(out, static_cast<std::uint32_t>(f.gather.size()));
+      for (const auto& [node, id] : f.gather) {
+        PutI32(out, node);
+        PutI64(out, id);
+      }
+      PutI64(out, f.log_prefix);
+      break;
+    case FrameType::kStatusReq:
+      PutU64(out, f.status.probe);
+      break;
+    case FrameType::kStatusResp:
+      PutU64(out, f.status.probe);
+      PutU64(out, f.status.sent);
+      PutU64(out, f.status.received);
+      PutU64(out, f.status.queued);
+      break;
+    case FrameType::kHarvestResp:
+      PutU32(out, static_cast<std::uint32_t>(f.harvest.logs.size()));
+      for (const NodeLogPayload& nl : f.harvest.logs) {
+        PutI32(out, nl.node);
+        PutU32(out, static_cast<std::uint32_t>(nl.log.size()));
+        for (const GhostWrite& w : nl.log) {
+          PutI64(out, w.id);
+          PutI32(out, w.node);
+        }
+      }
+      PutI64(out, f.harvest.counts.probes);
+      PutI64(out, f.harvest.counts.responses);
+      PutI64(out, f.harvest.counts.updates);
+      PutI64(out, f.harvest.counts.releases);
+      break;
+  }
+}
+
+bool DecodePayload(Cursor* c, WireFrame* f) {
+  switch (f->type) {
+    case FrameType::kPeerHello:
+      f->daemon_id = c->GetU32();
+      break;
+    case FrameType::kDriverHello:
+    case FrameType::kHarvestReq:
+    case FrameType::kShutdown:
+      break;
+    case FrameType::kProtocol:
+      if (!DecodeMessage(c, &f->msg)) return false;
+      break;
+    case FrameType::kInjectWrite:
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      f->arg = c->GetF64();
+      break;
+    case FrameType::kInjectCombine:
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      break;
+    case FrameType::kWriteDone:
+      f->req = c->GetI64();
+      break;
+    case FrameType::kCombineDone: {
+      f->req = c->GetI64();
+      f->value = c->GetF64();
+      const std::uint32_t n = c->GetCount(12);
+      if (!c->ok()) return false;
+      f->gather.clear();
+      f->gather.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const NodeId node = c->GetI32();
+        const ReqId id = c->GetI64();
+        f->gather.emplace_back(node, id);
+      }
+      f->log_prefix = c->GetI64();
+      break;
+    }
+    case FrameType::kStatusReq:
+      f->status.probe = c->GetU64();
+      break;
+    case FrameType::kStatusResp:
+      f->status.probe = c->GetU64();
+      f->status.sent = c->GetU64();
+      f->status.received = c->GetU64();
+      f->status.queued = c->GetU64();
+      break;
+    case FrameType::kHarvestResp: {
+      const std::uint32_t nlogs = c->GetCount(8);
+      if (!c->ok()) return false;
+      f->harvest.logs.clear();
+      f->harvest.logs.reserve(nlogs);
+      for (std::uint32_t i = 0; i < nlogs; ++i) {
+        NodeLogPayload nl;
+        nl.node = c->GetI32();
+        const std::uint32_t nlog = c->GetCount(12);
+        if (!c->ok()) return false;
+        nl.log.reserve(nlog);
+        for (std::uint32_t j = 0; j < nlog; ++j) {
+          GhostWrite w;
+          w.id = c->GetI64();
+          w.node = c->GetI32();
+          nl.log.push_back(w);
+        }
+        f->harvest.logs.push_back(std::move(nl));
+      }
+      f->harvest.counts.probes = c->GetI64();
+      f->harvest.counts.responses = c->GetI64();
+      f->harvest.counts.updates = c->GetI64();
+      f->harvest.counts.releases = c->GetI64();
+      break;
+    }
+  }
+  // Trailing payload bytes are as malformed as missing ones.
+  return c->ok() && c->remaining() == 0;
+}
+
+}  // namespace
+
+const char* ToString(FrameType t) {
+  switch (t) {
+    case FrameType::kPeerHello: return "peer-hello";
+    case FrameType::kDriverHello: return "driver-hello";
+    case FrameType::kProtocol: return "protocol";
+    case FrameType::kInjectWrite: return "inject-write";
+    case FrameType::kInjectCombine: return "inject-combine";
+    case FrameType::kWriteDone: return "write-done";
+    case FrameType::kCombineDone: return "combine-done";
+    case FrameType::kStatusReq: return "status-req";
+    case FrameType::kStatusResp: return "status-resp";
+    case FrameType::kHarvestReq: return "harvest-req";
+    case FrameType::kHarvestResp: return "harvest-resp";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* ToString(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadLength: return "bad-length";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kBadPayload: return "bad-payload";
+  }
+  return "?";
+}
+
+bool FramesEqual(const WireFrame& a, const WireFrame& b) {
+  if (a.type != b.type) return false;
+  const Message& ma = a.msg;
+  const Message& mb = b.msg;
+  const bool msg_equal =
+      ma.type == mb.type && ma.from == mb.from && ma.to == mb.to &&
+      ma.x == mb.x && ma.flag == mb.flag && ma.id == mb.id &&
+      std::equal(ma.release_ids.begin(), ma.release_ids.end(),
+                 mb.release_ids.begin(), mb.release_ids.end()) &&
+      static_cast<bool>(ma.wlog) == static_cast<bool>(mb.wlog) &&
+      (!ma.wlog || *ma.wlog == *mb.wlog);
+  return msg_equal && a.daemon_id == b.daemon_id && a.req == b.req &&
+         a.node == b.node && a.arg == b.arg && a.value == b.value &&
+         a.gather == b.gather && a.log_prefix == b.log_prefix &&
+         a.status == b.status && a.harvest == b.harvest;
+}
+
+void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame) {
+  const std::size_t len_at = out->size();
+  PutU32(out, 0);  // patched below
+  PutU8(out, kWireMagic);
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<std::uint8_t>(frame.type));
+  EncodePayload(out, frame);
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(out->size() - len_at - 4);
+  (*out)[len_at] = static_cast<std::uint8_t>(body_len);
+  (*out)[len_at + 1] = static_cast<std::uint8_t>(body_len >> 8);
+  (*out)[len_at + 2] = static_cast<std::uint8_t>(body_len >> 16);
+  (*out)[len_at + 3] = static_cast<std::uint8_t>(body_len >> 24);
+}
+
+std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame) {
+  std::vector<std::uint8_t> out;
+  AppendFrame(&out, frame);
+  return out;
+}
+
+DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len) {
+  DecodeResult r;
+  if (len < 4) return r;  // kNeedMore
+  const std::uint32_t body_len = static_cast<std::uint32_t>(data[0]) |
+                                 static_cast<std::uint32_t>(data[1]) << 8 |
+                                 static_cast<std::uint32_t>(data[2]) << 16 |
+                                 static_cast<std::uint32_t>(data[3]) << 24;
+  // A body shorter than the fixed header or longer than the cap is a
+  // corrupted prefix: reject immediately, before waiting for (up to 4 GiB
+  // of) bytes that will never arrive.
+  if (body_len < 3 || body_len > kMaxFrameLen) {
+    r.status = DecodeStatus::kBadLength;
+    return r;
+  }
+  // Magic and version are validated as soon as they are available, so a
+  // stream speaking the wrong protocol fails fast.
+  if (len >= 5 && data[4] != kWireMagic) {
+    r.status = DecodeStatus::kBadMagic;
+    return r;
+  }
+  if (len >= 6 && data[5] != kWireVersion) {
+    r.status = DecodeStatus::kBadVersion;
+    return r;
+  }
+  if (len < 4 + static_cast<std::size_t>(body_len)) return r;  // kNeedMore
+  const std::uint8_t type = data[6];
+  if (type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    r.status = DecodeStatus::kBadType;
+    return r;
+  }
+  r.frame.type = static_cast<FrameType>(type);
+  Cursor c(data + 7, body_len - 3);
+  if (!DecodePayload(&c, &r.frame)) {
+    r.frame = WireFrame{};
+    r.status = DecodeStatus::kBadPayload;
+    return r;
+  }
+  r.status = DecodeStatus::kOk;
+  r.consumed = 4 + static_cast<std::size_t>(body_len);
+  return r;
+}
+
+void FrameReader::Feed(const std::uint8_t* data, std::size_t len) {
+  if (error_ != DecodeStatus::kOk) return;  // poisoned: drop everything
+  // Compact once the consumed prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+DecodeStatus FrameReader::Next(WireFrame* frame) {
+  if (error_ != DecodeStatus::kOk) return error_;
+  DecodeResult r = DecodeFrame(buf_.data() + pos_, buf_.size() - pos_);
+  if (r.status == DecodeStatus::kOk) {
+    pos_ += r.consumed;
+    if (pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    *frame = std::move(r.frame);
+    return DecodeStatus::kOk;
+  }
+  if (r.status != DecodeStatus::kNeedMore) error_ = r.status;
+  return r.status;
+}
+
+void FrameReader::Reset() {
+  buf_.clear();
+  pos_ = 0;
+  error_ = DecodeStatus::kOk;
+}
+
+}  // namespace treeagg

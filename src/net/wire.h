@@ -1,0 +1,169 @@
+// treeagg-wire-v1: the versioned binary wire format of the networked
+// backend.
+//
+// A frame on the wire is a 4-byte little-endian length prefix followed by
+// `length` bytes of body:
+//
+//   [u32 length] [u8 magic 0xA6] [u8 version 0x01] [u8 frame type] [payload]
+//
+// `length` counts the body (magic byte onward) and is bounded by
+// kMaxFrameLen; a length outside [3, kMaxFrameLen] poisons the stream
+// before any payload byte is read, so a corrupted prefix can never trigger
+// a giant allocation. All integers are little-endian; Real travels as the
+// IEEE-754 bit pattern of a double.
+//
+// Frame types cover the three conversations of the backend:
+//   daemon <-> daemon : kPeerHello, kProtocol (a core::Message, including
+//                       the ghost-log piggyback of Figure 6)
+//   driver  -> daemon : kDriverHello, kInjectWrite, kInjectCombine,
+//                       kStatusReq, kHarvestReq, kShutdown
+//   daemon  -> driver : kWriteDone, kCombineDone, kStatusResp, kHarvestResp
+//
+// Decoding never throws and never crashes on malformed input: every error
+// is reported as a DecodeStatus and poisons the FrameReader (a byte stream
+// that framed garbage cannot be resynchronized safely).
+#ifndef TREEAGG_NET_WIRE_H_
+#define TREEAGG_NET_WIRE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/message.h"
+#include "sim/trace.h"  // MessageCounts
+
+namespace treeagg {
+
+inline constexpr std::uint8_t kWireMagic = 0xA6;
+inline constexpr std::uint8_t kWireVersion = 1;  // treeagg-wire-v1
+// Upper bound on the frame body (magic byte onward). Harvest frames carry
+// whole ghost logs, so the cap is generous; anything larger is rejected as
+// a corrupted length prefix.
+inline constexpr std::size_t kMaxFrameLen = 1u << 22;
+
+enum class FrameType : std::uint8_t {
+  kPeerHello = 0,      // daemon_id of the connecting daemon
+  kDriverHello = 1,    // no payload; identifies the driver connection
+  kProtocol = 2,       // a core::Message crossing a daemon boundary
+  kInjectWrite = 3,    // req, node, arg
+  kInjectCombine = 4,  // req, node
+  kWriteDone = 5,      // req
+  kCombineDone = 6,    // req, value, gather pairs, log_prefix
+  kStatusReq = 7,      // probe token
+  kStatusResp = 8,     // probe token + quiescence counters
+  kHarvestReq = 9,     // no payload
+  kHarvestResp = 10,   // ghost logs of hosted nodes + message counts
+  kShutdown = 11,      // no payload
+};
+
+const char* ToString(FrameType t);
+
+// Quiescence counters of one daemon (see NetDriver::WaitQuiescent): a
+// global state where every daemon reports sent == received twice in a row
+// has no protocol message in flight (the counters are monotone).
+struct StatusPayload {
+  std::uint64_t probe = 0;     // echo of the request's token
+  std::uint64_t sent = 0;      // protocol messages sent by hosted nodes
+  std::uint64_t received = 0;  // protocol messages delivered to hosted nodes
+  std::uint64_t queued = 0;    // intra-daemon messages awaiting delivery
+
+  friend bool operator==(const StatusPayload&, const StatusPayload&) = default;
+};
+
+// Final ghost write-log of one hosted node (kHarvestResp).
+struct NodeLogPayload {
+  NodeId node = kInvalidNode;
+  GhostLog log;
+
+  friend bool operator==(const NodeLogPayload&, const NodeLogPayload&) =
+      default;
+};
+
+struct HarvestPayload {
+  std::vector<NodeLogPayload> logs;
+  MessageCounts counts;  // send-side totals, mirroring MessageTrace
+
+  friend bool operator==(const HarvestPayload&, const HarvestPayload&) =
+      default;
+};
+
+// One decoded frame. Only the fields of the active `type` are meaningful;
+// the rest keep their defaults (and encode to nothing).
+struct WireFrame {
+  FrameType type = FrameType::kShutdown;
+
+  std::uint32_t daemon_id = 0;  // kPeerHello
+
+  Message msg;  // kProtocol
+
+  ReqId req = kNoRequest;      // kInject*, k*Done
+  NodeId node = kInvalidNode;  // kInject*
+  Real arg = 0;                // kInjectWrite
+
+  Real value = 0;                                // kCombineDone
+  std::vector<std::pair<NodeId, ReqId>> gather;  // kCombineDone
+  std::int64_t log_prefix = -1;                  // kCombineDone
+
+  StatusPayload status;    // kStatusReq (probe only) / kStatusResp
+  HarvestPayload harvest;  // kHarvestResp
+};
+
+// Deep structural equality, including the protocol message and the pointed-to
+// ghost log (Message itself compares the wlog pointer, not its contents).
+bool FramesEqual(const WireFrame& a, const WireFrame& b);
+
+// Serializes `frame` (length prefix included) onto the end of `out`.
+void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame);
+std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame);
+
+enum class DecodeStatus {
+  kOk = 0,
+  kNeedMore,    // not an error: the frame is still in flight
+  kBadLength,   // length prefix outside [3, kMaxFrameLen]
+  kBadMagic,    // first body byte is not kWireMagic
+  kBadVersion,  // unsupported wire version
+  kBadType,     // frame type byte out of range
+  kBadPayload,  // payload truncated, over-long, or internally inconsistent
+};
+
+const char* ToString(DecodeStatus s);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  std::size_t consumed = 0;  // bytes to drop from the stream when kOk
+  WireFrame frame;
+};
+
+// Decodes the first frame of [data, data + len). Never throws; never reads
+// past `len`.
+DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len);
+
+// Incremental decoder over a TCP byte stream: Feed() appends raw bytes,
+// Next() yields complete frames. The first malformed frame poisons the
+// reader (every later Next() repeats the error) — framing errors on a byte
+// stream are not recoverable.
+class FrameReader {
+ public:
+  void Feed(const std::uint8_t* data, std::size_t len);
+
+  // kOk fills *frame and consumes it from the stream; kNeedMore means no
+  // complete frame is buffered; anything else is a sticky stream error.
+  DecodeStatus Next(WireFrame* frame);
+
+  // Drops all buffered bytes and clears a sticky error (used when a
+  // connection is re-established: a partial frame from the old connection
+  // must not prefix the new byte stream).
+  void Reset();
+
+  std::size_t BufferedBytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  DecodeStatus error_ = DecodeStatus::kOk;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_WIRE_H_

@@ -150,12 +150,14 @@ void ActorRuntime::NodeLoop(NodeId node) {
   }
 }
 
+void ActorRuntime::WaitQuiescent() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
+}
+
 void ActorRuntime::DrainAndStop() {
   assert(started_ && !stopped_);
-  {
-    std::unique_lock<std::mutex> lock(quiesce_mu_);
-    quiesce_cv_.wait(lock, [&] { return in_flight_.load() == 0; });
-  }
+  WaitQuiescent();
   stopped_ = true;
   for (NodeId u = 0; u < tree_->size(); ++u) {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(u)];

@@ -59,6 +59,12 @@ class ActorRuntime {
   ReqId InjectWrite(NodeId node, Real arg);
   ReqId InjectCombine(NodeId node);
 
+  // Blocks until the network is quiescent (all injected requests completed,
+  // no message in flight) WITHOUT stopping the node threads — the
+  // cross-backend equivalence harness uses this to inject requests one at
+  // a time, making the concurrent runtime behave sequentially.
+  void WaitQuiescent();
+
   // Blocks until the network is quiescent (all requests completed, no
   // message in flight), then stops and joins all node threads.
   void DrainAndStop();

@@ -32,6 +32,7 @@ struct MessageCounts {
 
   std::int64_t total() const { return probes + responses + updates + releases; }
   MessageCounts& operator+=(const MessageCounts& other);
+  friend bool operator==(const MessageCounts&, const MessageCounts&) = default;
 };
 
 class MessageTrace {

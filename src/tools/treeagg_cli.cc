@@ -1,22 +1,28 @@
-// treeagg_cli: run a configurable aggregation experiment from the command
-// line and print a cost / consistency / competitiveness report.
+// treeagg_cli: run aggregation experiments from the command line.
 //
-//   treeagg_cli [--shape path|star|kary2|kary4|caterpillar|broom|random|pref]
-//               [--n <nodes>] [--workload <name>] [--len <requests>]
-//               [--policy RWW|push-all|pull-all|lease(a,b)|timer(k)|prob(p)|ewma]
-//               [--op sum|min|max|or] [--seed <u64>]
-//               [--mode seq|concurrent|threads] [--edges] [--csv <file>]
-//               [--tree-file <parent-vector file>]
-//               [--workload-file <file>] [--save-workload <file>]
+// Subcommands:
+//   run    (default when the first argument is a flag)
+//          single-process experiment with a cost / consistency /
+//          competitiveness report; --mode seq|concurrent|threads
+//   sweep  parallel cross-product of shapes x sizes x workloads x
+//          policies; writes a treeagg-sweep-v2 JSON report
+//   serve  one node daemon of the networked backend:
+//          treeagg_cli serve --cluster FILE --daemon ID
+//   drive  workload client of the networked backend:
+//          treeagg_cli drive --cluster FILE [workload flags], or
+//          treeagg_cli drive --net-local --daemons N [workload flags]
 //
 // Examples:
 //   treeagg_cli --shape kary2 --n 64 --workload mixed50 --len 5000
 //   treeagg_cli --policy "lease(1,3)" --workload writeheavy --edges
-//   treeagg_cli --tree-file mytree.txt --workload-file trace.txt --mode threads
+//   treeagg_cli serve --cluster cluster.txt --daemon 0
+//   treeagg_cli drive --net-local --daemons 4 --n 32 --len 500
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "analysis/competitive.h"
@@ -25,6 +31,10 @@
 #include "consistency/causal_checker.h"
 #include "core/extra_policies.h"
 #include "exp/sweep.h"
+#include "net/cluster.h"
+#include "net/daemon.h"
+#include "net/driver.h"
+#include "net/local_cluster.h"
 #include "runtime/actor_runtime.h"
 #include "sim/concurrent.h"
 #include "sim/system.h"
@@ -356,17 +366,209 @@ int SweepMain(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
-int Main(int argc, char** argv) {
-  if (argc > 1 && std::string(argv[1]) == "sweep") {
-    try {
-      return SweepMain(argc, argv);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 2;
+// --- serve subcommand ---------------------------------------------------
+
+int ServeUsage() {
+  std::cerr << "usage: treeagg_cli serve --cluster FILE --daemon ID"
+               " (valid subcommands: run, sweep, serve, drive)\n";
+  return 2;
+}
+
+int ServeMain(int argc, char** argv) {
+  std::string cluster_file;
+  int daemon_id = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--cluster" && (value = next())) {
+      cluster_file = value;
+    } else if (arg == "--daemon" && (value = next())) {
+      daemon_id = static_cast<int>(std::stol(value));
+    } else {
+      return ServeUsage();
     }
   }
+  if (cluster_file.empty() || daemon_id < 0) return ServeUsage();
+  std::ifstream in(cluster_file);
+  if (!in) {
+    std::cerr << "error: cannot open cluster file " << cluster_file << "\n";
+    return 2;
+  }
+  const ClusterConfig config = ParseClusterConfig(in);
+  NodeDaemon daemon(daemon_id, config);
+  daemon.Bind();
+  std::cerr << "daemon " << daemon_id << " listening on port "
+            << daemon.BoundPort() << "\n";
+  daemon.Run();
+  if (!daemon.error().empty()) {
+    std::cerr << "error: " << daemon.error() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// --- drive subcommand ---------------------------------------------------
+
+int DriveUsage() {
+  std::cerr << "usage: treeagg_cli drive (--cluster FILE | --net-local"
+               " [--daemons N] [--placement block|rr] [--shape S] [--n N]"
+               " [--policy P] [--op O]) [--workload W] [--len L] [--seed X]"
+               " [--sequential] (valid subcommands: run, sweep, serve,"
+               " drive)\n";
+  return 2;
+}
+
+int ReportNetRun(const History& history,
+                 const std::vector<NodeGhostState>& ghosts,
+                 const MessageCounts& counts, const AggregateOp& op,
+                 NodeId num_nodes, double requests_per_sec) {
+  const CheckResult causal =
+      CheckCausalConsistency(history, ghosts, op, num_nodes);
+  const LatencyReport latency = LatencyFromHistory(history);
+  TextTable table({"metric", "value"});
+  table.AddRow({"total messages", std::to_string(counts.total())});
+  table.AddRow({"requests completed",
+                history.AllCompleted() ? "all" : "NOT ALL"});
+  table.AddRow({"causally consistent", causal.ok ? "yes" : "NO"});
+  table.AddRow({"combines", std::to_string(latency.combines)});
+  table.AddRow({"latency p50", Fmt(latency.combine_latency.p50, 1)});
+  table.AddRow({"latency p95", Fmt(latency.combine_latency.p95, 1)});
+  table.AddRow({"latency p99", Fmt(latency.combine_latency.p99, 1)});
+  table.AddRow({"requests/sec", Fmt(requests_per_sec, 1)});
+  std::cout << table.ToString();
+  if (!causal.ok) std::cout << "  " << causal.message << "\n";
+  return causal.ok ? 0 : 1;
+}
+
+int DriveMain(int argc, char** argv) {
+  std::string cluster_file;
+  bool net_local = false;
+  LocalCluster::Options local;
+  std::string shape = "kary2";
+  NodeId n = 32;
+  std::string workload = "mixed50";
+  std::size_t len = 500;
+  std::uint64_t seed = 1;
+  bool sequential = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--net-local") {
+      net_local = true;
+    } else if (arg == "--sequential") {
+      sequential = true;
+    } else if (arg == "--cluster" && (value = next())) {
+      cluster_file = value;
+    } else if (arg == "--daemons" && (value = next())) {
+      local.daemons = static_cast<int>(std::stol(value));
+    } else if (arg == "--placement" && (value = next())) {
+      local.placement = value;
+    } else if (arg == "--shape" && (value = next())) {
+      shape = value;
+    } else if (arg == "--n" && (value = next())) {
+      n = static_cast<NodeId>(std::stol(value));
+    } else if (arg == "--policy" && (value = next())) {
+      local.policy = value;
+    } else if (arg == "--op" && (value = next())) {
+      local.op = value;
+    } else if (arg == "--workload" && (value = next())) {
+      workload = value;
+    } else if (arg == "--len" && (value = next())) {
+      len = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--seed" && (value = next())) {
+      seed = std::stoull(value);
+    } else {
+      return DriveUsage();
+    }
+  }
+  if (net_local == !cluster_file.empty()) return DriveUsage();
+
+  if (net_local) {
+    const Tree tree = MakeShape(shape, n, seed);
+    std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()));
+    for (NodeId u = 1; u < tree.size(); ++u) {
+      parent[static_cast<std::size_t>(u)] = tree.RootedParent(u);
+    }
+    const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
+    std::cout << "tree: " << tree.Describe() << "\nworkload: " << workload
+              << " x" << sigma.size() << ", policy: " << local.policy
+              << ", op: " << local.op << ", daemons: " << local.daemons
+              << " (" << local.placement << " placement, loopback TCP), "
+              << (sequential ? "sequential" : "pipelined") << "\n\n";
+    const NetRunResult result =
+        RunNetWorkload(parent, sigma, local, sequential);
+    return ReportNetRun(result.history, result.ghosts, result.counts,
+                        OpByName(local.op), tree.size(),
+                        result.requests_per_sec);
+  }
+
+  std::ifstream in(cluster_file);
+  if (!in) {
+    std::cerr << "error: cannot open cluster file " << cluster_file << "\n";
+    return 2;
+  }
+  const ClusterConfig config = ParseClusterConfig(in);
+  const Tree tree(config.tree_parent);
+  const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
+  NetDriver driver(config);
+  driver.Connect();
+  const auto start = std::chrono::steady_clock::now();
+  for (const Request& r : sigma) {
+    const ReqId id = r.op == ReqType::kWrite
+                         ? driver.InjectWrite(r.node, r.arg)
+                         : driver.InjectCombine(r.node);
+    if (sequential) {
+      driver.WaitCompleted(id);
+      driver.WaitQuiescent();
+    }
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  driver.Shutdown();
+  return ReportNetRun(driver.history(), harvest.ghosts, harvest.counts,
+                      OpByName(config.op), config.NumNodes(),
+                      elapsed > 0 ? static_cast<double>(sigma.size()) / elapsed
+                                  : 0.0);
+}
+
+int TopUsage() {
+  std::cerr << "usage: treeagg_cli [run|sweep|serve|drive] [flags]"
+               " (valid subcommands: run, sweep, serve, drive)\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const std::string sub = argc > 1 ? argv[1] : "";
+  try {
+    if (sub == "sweep") return SweepMain(argc, argv);
+    if (sub == "serve") return ServeMain(argc, argv);
+    if (sub == "drive") return DriveMain(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  // Bare flags (or nothing) fall through to the single-process runner;
+  // anything else that does not look like a flag is an unknown subcommand.
+  int arg_offset = 0;
+  if (sub == "run") {
+    arg_offset = 1;
+  } else if (!sub.empty() && sub[0] != '-') {
+    return TopUsage();
+  }
   CliOptions options;
-  if (!Parse(argc, argv, &options)) return Usage(argv[0]);
+  if (!Parse(argc - arg_offset, argv + arg_offset, &options)) {
+    return Usage(argv[0]);
+  }
   try {
     Tree tree = LoadOrMakeTree(options);
     const RequestSequence sigma = LoadOrMakeWorkload(options, tree);

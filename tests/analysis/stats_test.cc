@@ -30,8 +30,21 @@ TEST(SummarizeTest, KnownDistribution) {
   EXPECT_NEAR(s.mean, 50.5, 1e-9);
   EXPECT_NEAR(s.p50, 50.5, 1e-9);
   EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
   EXPECT_EQ(s.min, 1.0);
   EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(SummarizeTest, PercentilesAreMonotone) {
+  std::vector<double> samples;
+  for (int i = 0; i < 37; ++i) samples.push_back(static_cast<double>(i * i));
+  const SummaryStats s = Summarize(samples);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
 }
 
 TEST(SummarizeTest, UnsortedInputHandled) {

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace treeagg {
 namespace {
@@ -152,16 +155,105 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   std::ostringstream out;
   WriteSweepJson(out, spec, r);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"cells_total\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"policy\": \"lease(1,3)\""), std::string::npos);
   EXPECT_NE(json.find("\"total_messages\""), std::string::npos);
   EXPECT_NE(json.find("\"parallel_speedup\""), std::string::npos);
+  // v2 added the per-cell latency percentiles.
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
   // Balanced braces/brackets — catches truncated emission.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SweepJsonTest, V2RoundTripsThroughTheReader) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"mixed50", "readheavy"};
+  spec.policies = {"RWW"};
+  spec.seeds = {3};
+  spec.requests = 80;
+  const SweepResult r = RunSweep(spec);
+  std::stringstream io;
+  WriteSweepJson(io, spec, r);
+  const SweepJson back = ReadSweepJson(io);
+
+  EXPECT_EQ(back.schema, "treeagg-sweep-v2");
+  EXPECT_EQ(back.threads, r.threads_used);
+  EXPECT_FALSE(back.competitive);
+  EXPECT_EQ(back.cells_failed, 0u);
+  ASSERT_EQ(back.cells.size(), r.cells.size());
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const CellResult& want = r.cells[i];
+    const CellResult& got = back.cells[i];
+    EXPECT_EQ(got.spec.shape, want.spec.shape);
+    EXPECT_EQ(got.spec.workload, want.spec.workload);
+    EXPECT_EQ(got.spec.policy, want.spec.policy);
+    EXPECT_EQ(got.spec.seed, want.spec.seed);
+    EXPECT_EQ(got.total_messages, want.total_messages);
+    EXPECT_EQ(got.counts.probes, want.counts.probes);
+    EXPECT_EQ(got.latency.count, want.latency.count);
+    // Latency values pass through ostream default precision (6 significant
+    // digits), so compare with a relative tolerance.
+    EXPECT_NEAR(got.latency.p95, want.latency.p95,
+                1e-4 * (1 + std::abs(want.latency.p95)));
+    EXPECT_NEAR(got.latency.p99, want.latency.p99,
+                1e-4 * (1 + std::abs(want.latency.p99)));
+    EXPECT_TRUE(got.ok);
+  }
+}
+
+TEST(SweepJsonTest, ReadsHandwrittenV1Document) {
+  // A v1 file predates the latency block; the reader must accept it and
+  // leave the cell's SummaryStats zeroed.
+  std::stringstream in(
+      "{\n"
+      "  \"schema\": \"treeagg-sweep-v1\",\n"
+      "  \"threads\": 2,\n"
+      "  \"competitive\": false,\n"
+      "  \"cells_total\": 1,\n"
+      "  \"cells_failed\": 0,\n"
+      "  \"cells\": [\n"
+      "    {\"shape\": \"path\", \"n\": 8, \"workload\": \"mixed50\",\n"
+      "     \"policy\": \"RWW\", \"requests\": 100, \"seed\": 7,\n"
+      "     \"ok\": true,\n"
+      "     \"messages\": {\"probes\": 10, \"responses\": 11,\n"
+      "                    \"updates\": 12, \"releases\": 13, \"total\": 46},\n"
+      "     \"wall_seconds\": 0.5, \"requests_per_sec\": 200}\n"
+      "  ]\n"
+      "}\n");
+  const SweepJson report = ReadSweepJson(in);
+  EXPECT_EQ(report.schema, "treeagg-sweep-v1");
+  EXPECT_EQ(report.threads, 2);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const CellResult& c = report.cells[0];
+  EXPECT_EQ(c.spec.shape, "path");
+  EXPECT_EQ(c.total_messages, 46);
+  EXPECT_EQ(c.counts.releases, 13);
+  EXPECT_EQ(c.latency.count, 0u);  // v1: no latency block
+  EXPECT_EQ(c.latency.p95, 0.0);
+}
+
+TEST(SweepJsonTest, RejectsUnknownSchema) {
+  std::stringstream in(
+      "{\"schema\": \"treeagg-sweep-v3\", \"threads\": 1,"
+      " \"competitive\": false, \"cells_failed\": 0, \"cells\": []}");
+  EXPECT_THROW(ReadSweepJson(in), std::invalid_argument);
+}
+
+TEST(SweepJsonTest, RejectsMalformedJson) {
+  std::stringstream truncated("{\"schema\": \"treeagg-sweep-v2\", \"cells\": [");
+  EXPECT_THROW(ReadSweepJson(truncated), std::invalid_argument);
+  std::stringstream not_object("[1, 2, 3]");
+  EXPECT_THROW(ReadSweepJson(not_object), std::invalid_argument);
+  std::stringstream trailing("{\"schema\": \"treeagg-sweep-v2\"} garbage");
+  EXPECT_THROW(ReadSweepJson(trailing), std::invalid_argument);
 }
 
 }  // namespace

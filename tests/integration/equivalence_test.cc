@@ -1,0 +1,113 @@
+// Cross-backend equivalence: the sequential simulator, the actor runtime,
+// and the networked backend run the same (tree, workload, policy) triple
+// under sequential injection and must agree on per-request combine
+// answers, the final aggregate, and both consistency-checker verdicts
+// (Lemma 3.12: lease-based algorithms are strictly consistent on
+// sequential executions). The networked runs use LocalCluster — real
+// loopback TCP with OS-assigned ephemeral ports.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/equivalence.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+struct Triple {
+  std::string shape;
+  NodeId n;
+  std::string workload;
+  std::string policy;
+  std::string op;
+  int daemons;
+  std::string placement;
+};
+
+EquivalenceSpec MakeSpec(const Triple& t, std::uint64_t seed) {
+  const Tree tree = MakeShape(t.shape, t.n, seed);
+  EquivalenceSpec spec;
+  spec.tree_parent = ParentVector(tree);
+  spec.sigma = MakeWorkload(t.workload, tree, /*length=*/40, seed + 7);
+  spec.policy = t.policy;
+  spec.op = t.op;
+  spec.net_daemons = t.daemons;
+  spec.placement = t.placement;
+  return spec;
+}
+
+void ExpectEquivalent(const Triple& t, std::uint64_t seed) {
+  SCOPED_TRACE(t.shape + "/" + std::to_string(t.n) + "/" + t.workload + "/" +
+               t.policy + "/" + t.op + "/d" + std::to_string(t.daemons) + "/" +
+               t.placement);
+  const EquivalenceReport report = CheckBackendEquivalence(MakeSpec(t, seed));
+  EXPECT_TRUE(report.ok) << report.message;
+  ASSERT_EQ(report.runs.size(), 3u);
+  for (const BackendRun& run : report.runs) {
+    EXPECT_TRUE(run.strict_ok) << run.backend << ": " << run.message;
+    EXPECT_TRUE(run.causal_ok) << run.backend << ": " << run.message;
+  }
+}
+
+// The acceptance set: >= 6 distinct triples spanning shapes, workloads,
+// policies, ops, daemon counts, and placements.
+TEST(BackendEquivalence, KaryMixedRww) {
+  ExpectEquivalent({"kary2", 15, "mixed50", "RWW", "sum", 2, "block"}, 1);
+}
+
+TEST(BackendEquivalence, PathReadHeavyPushAll) {
+  ExpectEquivalent({"path", 9, "readheavy", "push-all", "sum", 2, "rr"}, 2);
+}
+
+TEST(BackendEquivalence, StarWriteHeavyPullAll) {
+  ExpectEquivalent({"star", 12, "writeheavy", "pull-all", "sum", 3, "block"},
+                   3);
+}
+
+TEST(BackendEquivalence, Kary4HotspotRwwMax) {
+  ExpectEquivalent({"kary4", 13, "hotspot", "RWW", "max", 2, "rr"}, 4);
+}
+
+TEST(BackendEquivalence, RandomMixedLeaseMin) {
+  ExpectEquivalent({"random", 10, "mixed25", "RWW", "min", 4, "rr"}, 5);
+}
+
+TEST(BackendEquivalence, PathRoundRobinPushAllSingleDaemon) {
+  ExpectEquivalent({"path", 7, "roundrobin", "push-all", "sum", 1, "block"},
+                   6);
+}
+
+TEST(BackendEquivalence, KaryMixed75PullAllFourDaemons) {
+  ExpectEquivalent({"kary2", 15, "mixed75", "pull-all", "sum", 4, "block"}, 7);
+}
+
+TEST(BackendEquivalence, ReportNamesDivergingBackendOnPolicyMismatch) {
+  // Not an equivalence failure of the system — a sanity check that the
+  // harness itself detects divergence. Different ops produce different
+  // answers, so diffing a sum run against a max run must fail.
+  const Tree tree = MakeShape("kary2", 7, 9);
+  EquivalenceSpec spec;
+  spec.tree_parent = ParentVector(tree);
+  spec.sigma = MakeWorkload("mixed50", tree, 20, 10);
+  spec.policy = "RWW";
+  spec.op = "sum";
+  const BackendRun sum_run = RunSimBackend(spec);
+  spec.op = "max";
+  const BackendRun max_run = RunSimBackend(spec);
+  // With >= 2 writes of distinct values, sum and max answers diverge.
+  EXPECT_NE(sum_run.final_value, max_run.final_value);
+}
+
+}  // namespace
+}  // namespace treeagg

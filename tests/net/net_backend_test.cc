@@ -1,0 +1,231 @@
+// Networked-backend tests above the transport layer: node placement,
+// cluster-config parsing, and full LocalCluster runs (real loopback TCP,
+// ephemeral ports) checked against the consistency checkers.
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "consistency/causal_checker.h"
+#include "consistency/strict_checker.h"
+#include "core/aggregate_op.h"
+#include "net/cluster.h"
+#include "net/local_cluster.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+TEST(AssignNodes, BlockKeepsContiguousRanges) {
+  const std::vector<int> a = AssignNodes(10, 3, "block");
+  ASSERT_EQ(a.size(), 10u);
+  // Non-decreasing, uses every daemon, sizes differ by at most one.
+  std::vector<int> per_daemon(3, 0);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+  for (int d : a) {
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 3);
+    ++per_daemon[d];
+  }
+  for (int count : per_daemon) {
+    EXPECT_GE(count, 3);
+    EXPECT_LE(count, 4);
+  }
+}
+
+TEST(AssignNodes, RoundRobinCycles) {
+  const std::vector<int> a = AssignNodes(7, 3, "rr");
+  ASSERT_EQ(a.size(), 7u);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_EQ(a[u], u % 3);
+}
+
+TEST(AssignNodes, MoreDaemonsThanNodesStillCoversEveryNode) {
+  const std::vector<int> a = AssignNodes(2, 5, "block");
+  ASSERT_EQ(a.size(), 2u);
+  for (int d : a) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 5);
+  }
+}
+
+TEST(AssignNodes, RejectsUnknownPlacement) {
+  EXPECT_THROW(AssignNodes(4, 2, "striped"), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, WriteParseRoundTrip) {
+  ClusterConfig config;
+  config.tree_parent = {0, 0, 1, 1, 2, 2};
+  config.policy = "push-all";
+  config.op = "max";
+  config.ghost_logging = false;
+  config.daemons = {{"127.0.0.1", 4701}, {"127.0.0.1", 4702}};
+  config.node_daemon = AssignNodes(6, 2, "rr");
+  config.Validate();
+
+  std::stringstream text;
+  WriteClusterConfig(text, config);
+  const ClusterConfig parsed = ParseClusterConfig(text);
+  EXPECT_EQ(parsed.tree_parent, config.tree_parent);
+  EXPECT_EQ(parsed.policy, config.policy);
+  EXPECT_EQ(parsed.op, config.op);
+  EXPECT_EQ(parsed.ghost_logging, config.ghost_logging);
+  ASSERT_EQ(parsed.daemons.size(), config.daemons.size());
+  for (std::size_t i = 0; i < parsed.daemons.size(); ++i) {
+    EXPECT_EQ(parsed.daemons[i].host, config.daemons[i].host);
+    EXPECT_EQ(parsed.daemons[i].port, config.daemons[i].port);
+  }
+  EXPECT_EQ(parsed.node_daemon, config.node_daemon);
+}
+
+TEST(ClusterConfigTest, ParsesPlaceDirective) {
+  std::stringstream in(
+      "treeagg-cluster-v1\n"
+      "# a comment line\n"
+      "tree 0 0 1 1\n"
+      "policy RWW\n"
+      "daemon 0 127.0.0.1 0\n"
+      "daemon 1 127.0.0.1 0\n"
+      "place block\n");
+  const ClusterConfig config = ParseClusterConfig(in);
+  EXPECT_EQ(config.NumNodes(), 4);
+  EXPECT_EQ(config.NumDaemons(), 2);
+  EXPECT_EQ(config.node_daemon, AssignNodes(4, 2, "block"));
+  EXPECT_TRUE(config.ghost_logging);  // default
+}
+
+TEST(ClusterConfigTest, RejectsMissingHeader) {
+  std::stringstream in("tree 0 0\ndaemon 0 127.0.0.1 0\nplace block\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RejectsUnknownDirective) {
+  std::stringstream in(
+      "treeagg-cluster-v1\ntree 0 0\nshard 0 127.0.0.1 0\nplace block\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RejectsAssignmentOutOfRange) {
+  std::stringstream in(
+      "treeagg-cluster-v1\n"
+      "tree 0 0\n"
+      "daemon 0 127.0.0.1 0\n"
+      "assign 0 0\n"
+      "assign 1 3\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RejectsConfigWithNoDaemons) {
+  std::stringstream in("treeagg-cluster-v1\ntree 0 0 1\nplace block\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, ValidateRejectsWrongAssignmentLength) {
+  ClusterConfig config;
+  config.tree_parent = {0, 0, 1};
+  config.daemons = {{"127.0.0.1", 0}};
+  config.node_daemon = {0, 0};  // one short
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+// --- LocalCluster end-to-end -------------------------------------------
+
+struct EndToEndCase {
+  int daemons;
+  std::string placement;
+  std::string policy;
+  bool sequential;
+};
+
+void RunEndToEnd(const EndToEndCase& c) {
+  SCOPED_TRACE("daemons=" + std::to_string(c.daemons) + " placement=" +
+               c.placement + " policy=" + c.policy +
+               (c.sequential ? " sequential" : " pipelined"));
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 60, /*seed=*/11);
+
+  LocalCluster::Options options;
+  options.daemons = c.daemons;
+  options.placement = c.placement;
+  options.policy = c.policy;
+  const NetRunResult result =
+      RunNetWorkload(ParentVector(tree), sigma, options, c.sequential);
+
+  // Every injected request completed and is on record.
+  EXPECT_EQ(result.history.size(), sigma.size());
+  EXPECT_TRUE(result.history.AllCompleted());
+
+  const AggregateOp& op = OpByName("sum");
+  const CheckResult causal =
+      CheckCausalConsistency(result.history, result.ghosts, op, tree.size());
+  EXPECT_TRUE(causal.ok) << causal.message;
+  if (c.sequential) {
+    const CheckResult strict =
+        CheckStrictConsistency(result.history, op, tree.size());
+    EXPECT_TRUE(strict.ok) << strict.message;
+  }
+  if (c.daemons > 1 && c.placement == "rr") {
+    // Adversarial placement forces protocol traffic across TCP.
+    EXPECT_GT(result.total_messages, 0u);
+  }
+}
+
+TEST(LocalClusterTest, SingleDaemonPipelined) {
+  RunEndToEnd({1, "block", "RWW", false});
+}
+
+TEST(LocalClusterTest, TwoDaemonsBlockPipelined) {
+  RunEndToEnd({2, "block", "RWW", false});
+}
+
+TEST(LocalClusterTest, TwoDaemonsRoundRobinSequential) {
+  RunEndToEnd({2, "rr", "RWW", true});
+}
+
+TEST(LocalClusterTest, FourDaemonsRoundRobinPipelined) {
+  RunEndToEnd({4, "rr", "RWW", false});
+}
+
+TEST(LocalClusterTest, PushAllPolicyAcrossDaemons) {
+  RunEndToEnd({2, "rr", "push-all", false});
+}
+
+TEST(LocalClusterTest, PullAllPolicySequential) {
+  RunEndToEnd({2, "block", "pull-all", true});
+}
+
+TEST(LocalClusterTest, ReportsThroughput) {
+  const Tree tree = MakeShape("star", 8, /*seed=*/3);
+  const RequestSequence sigma = MakeWorkload("readheavy", tree, 40, 5);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  const NetRunResult result =
+      RunNetWorkload(ParentVector(tree), sigma, options, /*sequential=*/false);
+  EXPECT_GT(result.elapsed_sec, 0.0);
+  EXPECT_GT(result.requests_per_sec, 0.0);
+}
+
+TEST(LocalClusterTest, StopIsIdempotent) {
+  const Tree tree = MakeShape("path", 6, /*seed=*/2);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  LocalCluster cluster(ParentVector(tree), options);
+  cluster.driver().InjectWrite(0, 1.0);
+  cluster.driver().WaitAllCompleted();
+  cluster.Stop();
+  cluster.Stop();  // second call must be a no-op
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,206 @@
+// TCP transport tests: ephemeral-port listeners, framed exchange over
+// loopback, write buffering, and connect backoff/timeout behavior. Every
+// socket binds 127.0.0.1 with an OS-assigned port — no hardcoded port
+// numbers, so suites can run concurrently under any sanitizer.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <poll.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "net/wire.h"
+
+namespace treeagg {
+namespace {
+
+// Polls until `conn` has a complete frame, with a test-local deadline.
+DecodeStatus AwaitFrame(FrameConn* conn, WireFrame* frame,
+                        std::int64_t timeout_ms = 5000) {
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const DecodeStatus status = conn->NextFrame(frame);
+    if (status != DecodeStatus::kNeedMore) return status;
+    if (NowMs() >= deadline) return DecodeStatus::kNeedMore;
+    pollfd pfd{conn->fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    if (!conn->ReadAvailable() && conn->eof()) {
+      return conn->NextFrame(frame);
+    }
+  }
+}
+
+TEST(TcpListener, BindsEphemeralPortAndReportsIt) {
+  TcpListener listener = TcpListener::Bind("127.0.0.1", 0);
+  EXPECT_TRUE(listener.valid());
+  EXPECT_GT(listener.port(), 0);
+  // A second listener gets a different port — nothing is hardcoded.
+  TcpListener other = TcpListener::Bind("127.0.0.1", 0);
+  EXPECT_NE(listener.port(), other.port());
+}
+
+TEST(TcpListener, AcceptWithoutPendingConnectionIsInvalid) {
+  TcpListener listener = TcpListener::Bind("127.0.0.1", 0);
+  EXPECT_FALSE(listener.Accept().valid());
+}
+
+TEST(TcpListener, RejectsUnparseableHost) {
+  EXPECT_THROW(TcpListener::Bind("not-a-host", 0), std::runtime_error);
+}
+
+TEST(FrameConnTest, ExchangesFramesOverLoopback) {
+  TcpListener listener = TcpListener::Bind("127.0.0.1", 0);
+  TransportOptions options;
+  std::string err;
+  ScopedFd client_fd =
+      ConnectWithBackoff("127.0.0.1", listener.port(), options, &err);
+  ASSERT_TRUE(client_fd.valid()) << err;
+
+  ScopedFd server_fd;
+  const std::int64_t deadline = NowMs() + 5000;
+  while (!server_fd.valid() && NowMs() < deadline) {
+    server_fd = listener.Accept();
+  }
+  ASSERT_TRUE(server_fd.valid());
+
+  FrameConn client(std::move(client_fd), options);
+  FrameConn server(std::move(server_fd), options);
+
+  WireFrame out;
+  out.type = FrameType::kCombineDone;
+  out.req = 9;
+  out.value = 3.25;
+  out.gather = {{0, 1}, {4, 7}};
+  out.log_prefix = 2;
+  client.SendFrame(out);
+  ASSERT_TRUE(client.Flush());
+  EXPECT_FALSE(client.WantWrite());
+
+  WireFrame in;
+  ASSERT_EQ(AwaitFrame(&server, &in), DecodeStatus::kOk);
+  EXPECT_TRUE(FramesEqual(in, out));
+
+  // And the other direction on the same connection.
+  WireFrame reply;
+  reply.type = FrameType::kShutdown;
+  server.SendFrame(reply);
+  ASSERT_TRUE(server.Flush());
+  WireFrame got;
+  ASSERT_EQ(AwaitFrame(&client, &got), DecodeStatus::kOk);
+  EXPECT_EQ(got.type, FrameType::kShutdown);
+}
+
+TEST(FrameConnTest, PeerCloseSurfacesAsEof) {
+  TcpListener listener = TcpListener::Bind("127.0.0.1", 0);
+  TransportOptions options;
+  std::string err;
+  ScopedFd client_fd =
+      ConnectWithBackoff("127.0.0.1", listener.port(), options, &err);
+  ASSERT_TRUE(client_fd.valid()) << err;
+  ScopedFd server_fd;
+  const std::int64_t deadline = NowMs() + 5000;
+  while (!server_fd.valid() && NowMs() < deadline) {
+    server_fd = listener.Accept();
+  }
+  ASSERT_TRUE(server_fd.valid());
+
+  FrameConn client(std::move(client_fd), options);
+  client.Close();
+
+  FrameConn server(std::move(server_fd), options);
+  const std::int64_t eof_deadline = NowMs() + 5000;
+  bool saw_eof = false;
+  while (NowMs() < eof_deadline) {
+    pollfd pfd{server.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    if (!server.ReadAvailable()) {
+      saw_eof = server.eof();
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_eof);
+  EXPECT_TRUE(server.error().empty());
+}
+
+TEST(FrameConnTest, BackpressureCapFailsTheConnection) {
+  TcpListener listener = TcpListener::Bind("127.0.0.1", 0);
+  TransportOptions options;
+  options.max_write_buffer = 256;  // tiny cap, immediately exceeded
+  std::string err;
+  ScopedFd client_fd =
+      ConnectWithBackoff("127.0.0.1", listener.port(), options, &err);
+  ASSERT_TRUE(client_fd.valid()) << err;
+  FrameConn client(std::move(client_fd), options);
+  WireFrame f;
+  f.type = FrameType::kHarvestResp;
+  for (int i = 0; i < 64; ++i) {
+    NodeLogPayload nl;
+    nl.node = i;
+    nl.log.assign(16, GhostWrite{i, i});
+    f.harvest.logs.push_back(std::move(nl));
+  }
+  // No Flush between sends: the unsent backlog crosses the cap.
+  client.SendFrame(f);
+  client.SendFrame(f);
+  EXPECT_FALSE(client.open());
+  EXPECT_FALSE(client.error().empty());
+}
+
+TEST(ConnectWithBackoff, FailsCleanlyWhenNothingListens) {
+  // Bind-then-close gives a port that is (momentarily) guaranteed dead.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener = TcpListener::Bind("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  TransportOptions options;
+  options.connect_timeout_ms = 200;
+  options.backoff_initial_ms = 10;
+  std::string err;
+  const std::int64_t start = NowMs();
+  ScopedFd fd = ConnectWithBackoff("127.0.0.1", dead_port, options, &err);
+  EXPECT_FALSE(fd.valid());
+  EXPECT_FALSE(err.empty());
+  // Bounded by the configured budget (plus scheduling slack).
+  EXPECT_LT(NowMs() - start, 5000);
+}
+
+TEST(ConnectWithBackoff, RetriesUntilTheListenerAppears) {
+  // Reserve a port, drop the listener, start connecting, then re-bind the
+  // same port: the backoff loop must pick up the late listener.
+  TcpListener first = TcpListener::Bind("127.0.0.1", 0);
+  const std::uint16_t port = first.port();
+  first.Close();
+
+  TransportOptions options;
+  options.connect_timeout_ms = 5000;
+  options.backoff_initial_ms = 10;
+  std::string err;
+  std::thread rebind([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // SO_REUSEADDR makes the re-bind race-free on loopback.
+    static TcpListener* late = nullptr;
+    late = new TcpListener(TcpListener::Bind("127.0.0.1", port));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    delete late;
+  });
+  ScopedFd fd = ConnectWithBackoff("127.0.0.1", port, options, &err);
+  rebind.join();
+  EXPECT_TRUE(fd.valid()) << err;
+}
+
+TEST(ConnectWithBackoff, RejectsUnparseableHost) {
+  TransportOptions options;
+  options.connect_timeout_ms = 100;
+  std::string err;
+  ScopedFd fd = ConnectWithBackoff("no such host", 1, options, &err);
+  EXPECT_FALSE(fd.valid());
+  EXPECT_NE(err.find("bad host"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treeagg
