@@ -1,0 +1,251 @@
+// E30 — fault-injection overhead and crash recovery on the networked
+// backend.
+//
+// Section 1 prices frame corruption: a 32-node k-ary tree on 4 loopback
+// daemons runs the same pipelined mixed50 workload with every peer link's
+// fault injector armed at corruption rates 0% / 1% / 5% / 20%. Every
+// corrupted frame is detected by the wire codec, tears the link down, and
+// is retransmitted from the session log, so the cost shows up as wall
+// time, never as a wrong answer: after quiescence a root probe must equal
+// the fault-free ground truth at every rate.
+//
+// Section 2 prices a fail-stop crash: the chaos harness kills the daemon
+// hosting node 10 mid-workload, restarts it from durable state, defers and
+// re-injects the requests that targeted it, and the ConvergenceChecker
+// signs off on the full history.
+//
+// Exits non-zero if any run diverges. With --out FILE, also writes the
+// machine-readable BENCH_fault.json committed at the repo root.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "core/aggregate_op.h"
+#include "fault/convergence.h"
+#include "fault/schedule.h"
+#include "net/chaos.h"
+#include "net/local_cluster.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+struct DropRow {
+  double rate = 0;
+  std::uint64_t corrupted = 0;
+  double elapsed_sec = 0;
+  double requests_per_sec = 0;
+  double slowdown = 1.0;  // vs the 0% row
+  bool converged = false;
+};
+
+// One full pipelined run with every injector armed at `rate` from first
+// injection through quiescence (the chaos harness's index-space windows
+// close too early in real time to price corruption; here the window is the
+// whole run).
+DropRow RunDropRate(const std::vector<NodeId>& parent,
+                    const RequestSequence& sigma, NodeId num_nodes,
+                    double rate) {
+  LocalCluster::Options options;
+  options.daemons = 4;
+  options.placement = "rr";
+  for (int d = 0; d < options.daemons; ++d) {
+    PeerFaultInjector::Options inj;
+    inj.corrupt_probability = rate;
+    inj.seed = 1000 + static_cast<std::uint64_t>(d);
+    options.fault_injectors.push_back(std::make_shared<PeerFaultInjector>(inj));
+  }
+  LocalCluster cluster(parent, options);
+  NetDriver& driver = cluster.driver();
+
+  for (auto& inj : options.fault_injectors) inj->Arm();
+  const auto start = std::chrono::steady_clock::now();
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  }
+  driver.WaitAllCompleted();
+  for (auto& inj : options.fault_injectors) inj->Disarm();
+  driver.WaitQuiescent();
+  const auto end = std::chrono::steady_clock::now();
+
+  DropRow row;
+  row.rate = rate;
+  row.elapsed_sec = std::chrono::duration<double>(end - start).count();
+  row.requests_per_sec =
+      row.elapsed_sec > 0 ? static_cast<double>(sigma.size()) / row.elapsed_sec
+                          : 0;
+  for (const auto& inj : options.fault_injectors) {
+    row.corrupted += inj->corrupted_count();
+  }
+
+  const ReqId probe = driver.InjectCombine(0);
+  driver.WaitCompleted(probe);
+  driver.WaitQuiescent();
+  const Real truth = GroundTruth(driver.history(), SumOp(), num_nodes);
+  const Real got = driver.history().record(probe).retval;
+  row.converged = std::abs(got - truth) <= 1e-9 * (1 + std::abs(truth));
+  cluster.Stop();
+  if (!cluster.DaemonError().empty()) {
+    std::cerr << "daemon error at rate " << rate << ": "
+              << cluster.DaemonError() << "\n";
+    row.converged = false;
+  }
+  return row;
+}
+
+struct CrashRow {
+  std::size_t kills = 0;
+  std::size_t deferred = 0;
+  std::size_t reinjected = 0;
+  double elapsed_sec = 0;
+  bool converged = false;
+};
+
+CrashRow RunCrash(const std::vector<NodeId>& parent,
+                  const RequestSequence& sigma, NodeId num_nodes) {
+  FaultSchedule schedule;
+  // Block placement over 32 nodes / 4 daemons hosts nodes 8..15 on daemon
+  // 1; fail-stop it across the middle of the workload.
+  schedule.WithSeed(41).Crash(10, 100, 250);
+  ChaosNetOptions options;
+  options.cluster.daemons = 4;
+  options.cluster.placement = "block";
+
+  const auto start = std::chrono::steady_clock::now();
+  const ChaosNetResult result =
+      RunChaosNetWorkload(parent, sigma, schedule, options);
+  const auto end = std::chrono::steady_clock::now();
+
+  ConvergenceOptions check;
+  check.fault_windows = result.fault_windows;
+  // Crash re-injection is at-least-once (see ConvergenceOptions).
+  check.require_full_causal = result.reinjected == 0;
+  const ConvergenceReport report =
+      CheckConvergence(result.history, result.ghosts, SumOp(), num_nodes,
+                       result.final_probe_ids, check);
+  if (!report.ok) std::cerr << "crash run: " << report.message << "\n";
+
+  CrashRow row;
+  row.kills = result.kills;
+  row.deferred = result.deferred;
+  row.reinjected = result.reinjected;
+  row.elapsed_sec = std::chrono::duration<double>(end - start).count();
+  row.converged = report.ok;
+  return row;
+}
+
+int Run(const std::string& out_path) {
+  const NodeId kNodes = 32;
+  const std::size_t kRequests = 400;
+  const Tree tree = MakeKary(kNodes, 2);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, kRequests, 37);
+
+  std::cout << "Fault-injection overhead — " << kNodes
+            << "-node kary2 tree, 4 daemons, loopback TCP,\npipelined "
+               "mixed50 workload of "
+            << sigma.size() << " requests\n\n";
+
+  TextTable table(
+      {"corrupt", "frames hit", "seconds", "req/s", "slowdown", "converged"});
+  std::vector<DropRow> rows;
+  bool ok = true;
+  for (const double rate : {0.0, 0.01, 0.05, 0.20}) {
+    DropRow row = RunDropRate(parent, sigma, kNodes, rate);
+    if (!rows.empty() && row.elapsed_sec > 0 && rows[0].elapsed_sec > 0) {
+      row.slowdown = row.elapsed_sec / rows[0].elapsed_sec;
+    }
+    ok &= row.converged;
+    table.AddRow({Fmt(100 * rate, 0) + "%", std::to_string(row.corrupted),
+                  Fmt(row.elapsed_sec, 3), Fmt(row.requests_per_sec, 0),
+                  Fmt(row.slowdown, 2) + "x", row.converged ? "ok" : "FAIL"});
+    rows.push_back(row);
+  }
+  std::cout << table.ToString();
+
+  std::cout << "\nCrash recovery — daemon hosting node 10 fail-stopped over "
+               "injections [100, 250)\n\n";
+  const CrashRow crash = RunCrash(parent, sigma, kNodes);
+  ok &= crash.converged;
+  TextTable crash_table(
+      {"kills", "deferred", "reinjected", "seconds", "converged"});
+  crash_table.AddRow({std::to_string(crash.kills),
+                      std::to_string(crash.deferred),
+                      std::to_string(crash.reinjected),
+                      Fmt(crash.elapsed_sec, 3),
+                      crash.converged ? "ok" : "FAIL"});
+  std::cout << crash_table.ToString();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"schema\": \"treeagg-bench-fault-v1\",\n";
+    out << "  \"tree\": \"kary2\", \"nodes\": " << kNodes
+        << ", \"daemons\": 4, \"workload\": \"mixed50\",\n";
+    out << "  \"requests\": " << sigma.size()
+        << ", \"transport\": \"loopback-tcp\",\n";
+    out << "  \"drop_runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const DropRow& r = rows[i];
+      out << "    {\"corrupt_rate\": " << r.rate
+          << ", \"frames_corrupted\": " << r.corrupted
+          << ", \"elapsed_sec\": " << r.elapsed_sec
+          << ", \"requests_per_sec\": " << r.requests_per_sec
+          << ", \"slowdown\": " << r.slowdown
+          << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"crash_run\": {\"schedule\": \"seed=41;crash(10)@100..250\", "
+           "\"kills\": "
+        << crash.kills << ", \"deferred\": " << crash.deferred
+        << ", \"reinjected\": " << crash.reinjected
+        << ", \"elapsed_sec\": " << crash.elapsed_sec
+        << ", \"converged\": " << (crash.converged ? "true" : "false")
+        << "}\n";
+    out << "}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+
+  std::cout << (ok ? "\nPASS: every faulted run converged to the fault-free "
+                     "ground truth\n"
+                   : "\nFAIL: a faulted run diverged\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_fault [--out FILE]\n";
+      return 2;
+    }
+  }
+  return treeagg::Run(out_path);
+}

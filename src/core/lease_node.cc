@@ -28,6 +28,72 @@ LeaseNode::LeaseNode(NodeId self, std::vector<NodeId> nbrs,
   }
 }
 
+LeaseNode::DurableState LeaseNode::ExportState() const {
+  DurableState state;
+  state.val = val_;
+  state.upcntr = upcntr_;
+  state.neighbors.reserve(per_.size());
+  for (const PerNeighbor& p : per_) {
+    DurableState::NeighborState ns;
+    ns.id = p.id;
+    ns.taken = p.taken;
+    ns.granted = p.granted;
+    ns.aval = p.aval;
+    ns.uaw.assign(p.uaw.begin(), p.uaw.end());
+    ns.snt_updates.reserve(p.snt_updates.size());
+    for (const SntUpdate& su : p.snt_updates) {
+      ns.snt_updates.emplace_back(su.rcvid, su.sntid);
+    }
+    state.neighbors.push_back(std::move(ns));
+  }
+  state.pndg.reserve(pndg_.size());
+  for (const Pending& p : pndg_) {
+    DurableState::PendingState ps;
+    ps.requester = p.requester;
+    ps.waiting.assign(p.waiting.begin(), p.waiting.end());
+    state.pndg.push_back(std::move(ps));
+  }
+  state.local_tokens = local_tokens_;
+  state.ghost_log = log_writes_;
+  return state;
+}
+
+void LeaseNode::ImportState(const DurableState& state) {
+  assert(state.neighbors.size() == per_.size());
+  val_ = state.val;
+  upcntr_ = state.upcntr;
+  for (std::size_t i = 0; i < per_.size(); ++i) {
+    const DurableState::NeighborState& ns = state.neighbors[i];
+    assert(ns.id == per_[i].id);
+    per_[i].taken = ns.taken;
+    per_[i].granted = ns.granted;
+    per_[i].aval = ns.aval;
+    per_[i].uaw.assign(ns.uaw.begin(), ns.uaw.end());
+    per_[i].snt_updates.clear();
+    per_[i].snt_updates.reserve(ns.snt_updates.size());
+    for (const auto& [rcvid, sntid] : ns.snt_updates) {
+      per_[i].snt_updates.push_back({rcvid, sntid});
+    }
+  }
+  pndg_.clear();
+  pndg_.reserve(state.pndg.size());
+  for (const DurableState::PendingState& ps : state.pndg) {
+    Pending p;
+    p.requester = ps.requester;
+    p.waiting.assign(ps.waiting.begin(), ps.waiting.end());
+    pndg_.push_back(std::move(p));
+  }
+  local_tokens_ = state.local_tokens;
+  log_writes_ = state.ghost_log;
+  last_write_.clear();
+  ghost_seen_.clear();
+  for (const GhostWrite& gw : log_writes_) {
+    last_write_[gw.node] = gw.id;
+    ghost_seen_[gw.id] = true;
+  }
+  ghost_snapshot_.reset();
+}
+
 std::size_t LeaseNode::Idx(NodeId v) const {
   for (std::size_t i = 0; i < nbrs_.size(); ++i) {
     if (nbrs_[i] == v) return i;
@@ -123,6 +189,10 @@ std::shared_ptr<const GhostLog> LeaseNode::GhostSnapshot() {
 
 void LeaseNode::GhostAppendLocalWrite(ReqId id) {
   if (!ghost_ || id == kNoRequest) return;
+  // Idempotent: a write re-applied during crash recovery (the driver
+  // re-injects requests whose completion it never saw) keeps its original
+  // log position instead of appending a duplicate entry.
+  if (ghost_seen_.count(id) != 0) return;
   log_writes_.push_back({id, self_});
   last_write_[self_] = id;
   ghost_seen_[id] = true;

@@ -39,6 +39,37 @@ using CombineDoneFn =
 
 class LeaseNode final : public LeaseNodeView {
  public:
+  // Snapshot of the node's protocol state for crash-restart recovery
+  // (fail-stop with durable state: the networked backend models a node
+  // that write-ahead-logs its state at frame-processing boundaries). The
+  // snapshot covers everything Figure 1/6 carries across deliveries —
+  // including pndg and the tokens of in-flight local combines, which are
+  // plain data — so a node restored from it resumes exactly where the
+  // crashed instance stopped. Policy-internal state is NOT captured: a
+  // restarted node gets a fresh policy object, which may change future
+  // lease decisions but never correctness (the mechanism is correct under
+  // every policy). last-write/seen ghost indices are rebuilt from the log.
+  struct DurableState {
+    Real val = 0;
+    UpdateId upcntr = 0;
+    struct NeighborState {
+      NodeId id = kInvalidNode;
+      bool taken = false;
+      bool granted = false;
+      Real aval = 0;
+      std::vector<UpdateId> uaw;
+      std::vector<std::pair<UpdateId, UpdateId>> snt_updates;  // (rcvid, sntid)
+    };
+    std::vector<NeighborState> neighbors;  // parallel to nbrs
+    struct PendingState {
+      NodeId requester = kInvalidNode;
+      std::vector<NodeId> waiting;
+    };
+    std::vector<PendingState> pndg;
+    std::vector<CombineToken> local_tokens;
+    GhostLog ghost_log;
+  };
+
   LeaseNode(NodeId self, std::vector<NodeId> nbrs, const AggregateOp& op,
             std::unique_ptr<LeasePolicy> policy, Transport* transport,
             CombineDoneFn combine_done, bool ghost_logging = false);
@@ -54,6 +85,13 @@ class LeaseNode final : public LeaseNodeView {
   void LocalWrite(Real arg, ReqId write_id = kNoRequest);
   // T3..T6: a message delivered from a neighbor.
   void Deliver(const Message& m);
+
+  // --- Crash-restart recovery ------------------------------------------
+  // Snapshot / restore of the durable protocol state (see DurableState).
+  // ImportState requires the node to be freshly constructed with the same
+  // (self, nbrs, op, ghost_logging) as the exporting instance.
+  DurableState ExportState() const;
+  void ImportState(const DurableState& state);
 
   // --- LeaseNodeView ---------------------------------------------------
   NodeId self() const override { return self_; }

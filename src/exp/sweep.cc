@@ -12,6 +12,9 @@
 
 #include "analysis/competitive.h"
 #include "core/extra_policies.h"
+#include "fault/convergence.h"
+#include "fault/schedule.h"
+#include "sim/chaos.h"
 #include "sim/system.h"
 #include "tree/generators.h"
 #include "workload/generators.h"
@@ -47,6 +50,9 @@ std::uint64_t CellSeed(const CellSpec& c, std::uint64_t salt) {
   h = HashString(h, c.workload);
   h = HashString(h, c.policy);
   h = Mix(h ^ static_cast<std::uint64_t>(c.requests));
+  // Folded in only for fault cells: the fault-free cells of a v3 sweep
+  // must reproduce the exact cells a pre-v3 sweep produced.
+  if (c.fault != "none") h = HashString(h, c.fault);
   return Mix(h ^ c.seed);
 }
 
@@ -66,24 +72,29 @@ void JsonEscape(std::ostream& out, const std::string& s) {
 
 std::vector<CellSpec> ExpandCells(const SweepSpec& spec) {
   std::vector<CellSpec> cells;
+  const std::vector<std::string>& faults =
+      spec.faults.empty() ? std::vector<std::string>{"none"} : spec.faults;
   cells.reserve(spec.shapes.size() * spec.sizes.size() *
                 spec.workloads.size() * spec.policies.size() *
-                spec.seeds.size());
+                spec.seeds.size() * faults.size());
   for (const std::string& shape : spec.shapes) {
     for (const NodeId n : spec.sizes) {
       for (const std::string& workload : spec.workloads) {
         for (const std::string& policy : spec.policies) {
           for (const std::uint64_t seed : spec.seeds) {
-            CellSpec c;
-            c.shape = shape;
-            c.n = n;
-            c.workload = workload;
-            c.policy = policy;
-            c.requests = spec.requests;
-            c.seed = seed;
-            c.tree_seed = CellSeed(c, /*salt=*/0x7472656583ull);
-            c.workload_seed = CellSeed(c, /*salt=*/0x776f726bull);
-            cells.push_back(std::move(c));
+            for (const std::string& fault : faults) {
+              CellSpec c;
+              c.shape = shape;
+              c.n = n;
+              c.workload = workload;
+              c.policy = policy;
+              c.requests = spec.requests;
+              c.fault = fault;
+              c.seed = seed;
+              c.tree_seed = CellSeed(c, /*salt=*/0x7472656583ull);
+              c.workload_seed = CellSeed(c, /*salt=*/0x776f726bull);
+              cells.push_back(std::move(c));
+            }
           }
         }
       }
@@ -100,7 +111,36 @@ CellResult RunCell(const CellSpec& cell, bool competitive) {
     const Tree tree = MakeShape(cell.shape, cell.n, cell.tree_seed);
     const RequestSequence sigma =
         MakeWorkload(cell.workload, tree, cell.requests, cell.workload_seed);
-    if (competitive) {
+    if (cell.fault != "none") {
+      if (competitive) {
+        throw std::invalid_argument(
+            "competitive mode computes offline sequential bounds; it has no "
+            "meaning under a fault schedule");
+      }
+      // Fault cell: run on the ChaosSimulator and demand convergence.
+      ChaosSimulator::Options options;
+      options.seed = Mix(cell.workload_seed ^ 0x6368616F73ull);  // "chaos"
+      options.min_delay = 1;
+      options.max_delay = 4;
+      const FaultSchedule schedule = FaultSchedule::Named(cell.fault);
+      ChaosSimulator sim(tree, PolicyBySpec(cell.policy), schedule, options);
+      Rng gaps(cell.workload_seed + 1);
+      const std::vector<ReqId> probes =
+          sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+      ConvergenceOptions copts;
+      copts.fault_windows = schedule.Windows();
+      const ConvergenceReport report =
+          CheckConvergence(sim.history(), sim.GhostStates(), sim.op(),
+                           tree.size(), probes, copts);
+      result.counts = sim.trace().totals();
+      result.total_messages = sim.trace().TotalMessages();
+      result.latency = LatencyFromHistory(sim.history()).combine_latency;
+      result.converged = report.ok;
+      if (!report.ok) {
+        result.ok = false;
+        result.error = report.message;
+      }
+    } else if (competitive) {
       const CompetitiveReport report = RunCompetitive(
           tree, PolicyBySpec(cell.policy), cell.policy, sigma);
       result.total_messages = report.online_total;
@@ -190,7 +230,7 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                              ? result.serial_seconds / result.wall_seconds
                              : 0.0;
   out << "{\n";
-  out << "  \"schema\": \"treeagg-sweep-v2\",\n";
+  out << "  \"schema\": \"treeagg-sweep-v3\",\n";
   out << "  \"threads\": " << result.threads_used << ",\n";
   out << "  \"competitive\": " << (spec.competitive ? "true" : "false")
       << ",\n";
@@ -215,11 +255,13 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
     JsonEscape(out, c.spec.workload);
     out << "\", \"policy\": \"";
     JsonEscape(out, c.spec.policy);
-    out << "\", \"requests\": " << c.spec.requests
-        << ", \"seed\": " << c.spec.seed
+    out << "\", \"requests\": " << c.spec.requests << ", \"fault\": \"";
+    JsonEscape(out, c.spec.fault);
+    out << "\", \"seed\": " << c.spec.seed
         << ", \"tree_seed\": " << c.spec.tree_seed
         << ", \"workload_seed\": " << c.spec.workload_seed << ",\n";
-    out << "     \"ok\": " << (c.ok ? "true" : "false");
+    out << "     \"ok\": " << (c.ok ? "true" : "false")
+        << ", \"converged\": " << (c.converged ? "true" : "false");
     if (!c.ok) {
       out << ", \"error\": \"";
       JsonEscape(out, c.error);
@@ -446,7 +488,8 @@ SweepJson ReadSweepJson(std::istream& in) {
   SweepJson report;
   report.schema = root.Str("schema");
   if (report.schema != "treeagg-sweep-v1" &&
-      report.schema != "treeagg-sweep-v2") {
+      report.schema != "treeagg-sweep-v2" &&
+      report.schema != "treeagg-sweep-v3") {
     throw std::invalid_argument("sweep json: unknown schema '" +
                                 report.schema + "'");
   }
@@ -467,8 +510,12 @@ SweepJson ReadSweepJson(std::istream& in) {
     c.spec.workload = cell.Str("workload");
     c.spec.policy = cell.Str("policy");
     c.spec.requests = static_cast<std::size_t>(cell.Num("requests"));
+    // Pre-v3 files have no fault axis: every cell was fault-free.
+    const std::string fault = cell.Str("fault");
+    c.spec.fault = fault.empty() ? "none" : fault;
     c.spec.seed = static_cast<std::uint64_t>(cell.Num("seed"));
     c.ok = cell.Bool("ok", true);
+    c.converged = cell.Bool("converged", true);
     c.error = cell.Str("error");
     c.wall_seconds = cell.Num("wall_seconds");
     c.requests_per_sec = cell.Num("requests_per_sec");

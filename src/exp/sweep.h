@@ -33,6 +33,10 @@ struct SweepSpec {
   std::vector<std::string> workloads;  // MakeWorkload names
   std::vector<std::string> policies;   // PolicyBySpec strings
   std::vector<std::uint64_t> seeds;    // replicate seeds
+  // Fault-schedule axis: FaultSchedule::Named presets or spec strings.
+  // "none" (the default) runs the plain sequential driver; any other value
+  // runs the cell on the ChaosSimulator and checks convergence.
+  std::vector<std::string> faults = {"none"};
   std::size_t requests = 1000;         // workload length per cell
   bool competitive = false;  // also compute the offline Section 4 bounds
   int threads = 1;           // 0 = std::thread::hardware_concurrency()
@@ -45,6 +49,10 @@ struct CellSpec {
   std::string workload;
   std::string policy;
   std::size_t requests = 0;
+  // Fault schedule ("none" = fault-free). Folded into the derived seeds
+  // ONLY when not "none", so adding the fault axis leaves every existing
+  // fault-free cell's seeds — and therefore its results — untouched.
+  std::string fault = "none";
   std::uint64_t seed = 0;           // the replicate seed from SweepSpec
   std::uint64_t tree_seed = 0;      // derived: hash of identity
   std::uint64_t workload_seed = 0;  // derived: independent hash of identity
@@ -65,6 +73,9 @@ struct CellResult {
   double ratio_vs_nice_bound = 0;
   double worst_edge_ratio = 0;
   bool strict_ok = true;
+  // Fault cells only (spec.fault != "none"): the ConvergenceChecker's
+  // verdict. Fault-free cells keep the default true.
+  bool converged = true;
   // Per-cell failure capture: a throwing cell (bad spec, etc.) is reported
   // instead of tearing down the sweep.
   bool ok = true;
@@ -93,14 +104,16 @@ CellResult RunCell(const CellSpec& cell, bool competitive);
 // Runs the whole sweep across spec.threads workers.
 SweepResult RunSweep(const SweepSpec& spec);
 
-// Machine-readable report, schema "treeagg-sweep-v2" (v2 added the
-// per-cell combine-latency percentiles). See docs/EXPERIMENTS.md for the
+// Machine-readable report, schema "treeagg-sweep-v3" (v2 added the
+// per-cell combine-latency percentiles; v3 the fault axis with the
+// per-cell converged verdict). See docs/EXPERIMENTS.md for the
 // field-by-field description.
 void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                     const SweepResult& result);
 
-// A sweep report read back from JSON. Accepts schema v1 and v2: v1 files
-// have no latency block, so those cells keep zeroed SummaryStats.
+// A sweep report read back from JSON. Accepts schema v1, v2, and v3:
+// v1 files have no latency block, so those cells keep zeroed SummaryStats;
+// pre-v3 files have no fault axis, so cells read back as fault "none".
 struct SweepJson {
   std::string schema;
   int threads = 0;

@@ -1,0 +1,195 @@
+#include "fault/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "workload/request.h"
+
+namespace treeagg {
+namespace {
+
+bool ValuesMatch(Real a, Real b, Real tolerance) {
+  // Exact equality first: min/max ground truths can be +-inf, where the
+  // difference is NaN.
+  return a == b || std::abs(a - b) <= tolerance;
+}
+
+bool Overlaps(std::int64_t lo, std::int64_t hi,
+              const std::vector<std::pair<std::int64_t, std::int64_t>>& w) {
+  for (const auto& [begin, end] : w) {
+    if (lo < end && begin <= hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Real GroundTruth(const History& history, const AggregateOp& op,
+                 NodeId num_nodes) {
+  // Last completed write per node, by initiation order. Write requests at a
+  // node are applied in initiation order on every backend (the driver
+  // connection and the DES queue are both FIFO), so the final local value
+  // is the argument of the latest-initiated completed write.
+  std::vector<ReqId> last(static_cast<std::size_t>(num_nodes), kNoRequest);
+  for (const RequestRecord& r : history.records()) {
+    if (r.op != ReqType::kWrite || !r.completed()) continue;
+    auto& slot = last[static_cast<std::size_t>(r.node)];
+    if (slot == kNoRequest || r.id > slot) slot = r.id;
+  }
+  Real acc = op.identity;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const ReqId id = last[static_cast<std::size_t>(u)];
+    acc = op(acc, id == kNoRequest ? op.identity
+                                   : history.record(id).arg);
+  }
+  return acc;
+}
+
+History FilterHistoryOutsideWindows(
+    const History& history,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& windows,
+    std::size_t* dropped, std::vector<NodeGhostState>* ghosts) {
+  const auto& records = history.records();
+  std::vector<bool> keep(records.size(), false);
+  std::size_t n_dropped = 0;
+  for (const RequestRecord& r : records) {
+    if (r.op == ReqType::kWrite) {
+      keep[static_cast<std::size_t>(r.id)] = true;
+      continue;
+    }
+    const bool in_window =
+        !r.completed() || Overlaps(r.initiated_at, r.completed_at, windows);
+    keep[static_cast<std::size_t>(r.id)] = !in_window;
+    if (in_window) ++n_dropped;
+  }
+  if (dropped != nullptr) *dropped = n_dropped;
+
+  // Begins replay in id order (ids are assigned in initiation order), which
+  // yields the dense remapping; completions replay sorted by their recorded
+  // completion time so per-node completion indices rebuild consistently.
+  History out;
+  std::vector<ReqId> remap(records.size(), kNoRequest);
+  for (const RequestRecord& r : records) {
+    if (!keep[static_cast<std::size_t>(r.id)]) continue;
+    remap[static_cast<std::size_t>(r.id)] =
+        r.op == ReqType::kWrite
+            ? out.BeginWrite(r.node, r.arg, r.initiated_at)
+            : out.BeginCombine(r.node, r.initiated_at);
+  }
+  std::vector<ReqId> completed;
+  completed.reserve(records.size());
+  for (const RequestRecord& r : records) {
+    if (keep[static_cast<std::size_t>(r.id)] && r.completed()) {
+      completed.push_back(r.id);
+    }
+  }
+  // Same-timestamp ties break by (node, original node_index): per-node
+  // completion order must replay exactly, or the rebuilt node_index values
+  // would flip program-order edges in the causal graph.
+  std::sort(completed.begin(), completed.end(), [&](ReqId a, ReqId b) {
+    const auto& ra = records[static_cast<std::size_t>(a)];
+    const auto& rb = records[static_cast<std::size_t>(b)];
+    return std::tuple(ra.completed_at, ra.node, ra.node_index) <
+           std::tuple(rb.completed_at, rb.node, rb.node_index);
+  });
+  for (ReqId old_id : completed) {
+    const RequestRecord& r = records[static_cast<std::size_t>(old_id)];
+    const ReqId new_id = remap[static_cast<std::size_t>(old_id)];
+    if (r.op == ReqType::kWrite) {
+      out.CompleteWrite(new_id, r.completed_at);
+    } else {
+      std::vector<std::pair<NodeId, ReqId>> gather = r.gather;
+      for (auto& [node, write_id] : gather) {
+        if (write_id >= 0) {
+          write_id = remap[static_cast<std::size_t>(write_id)];
+        }
+      }
+      out.CompleteCombine(new_id, r.retval, std::move(gather), r.log_prefix,
+                          r.completed_at);
+    }
+  }
+  if (ghosts != nullptr) {
+    for (NodeGhostState& g : *ghosts) {
+      for (GhostWrite& gw : g.write_log) {
+        if (gw.id >= 0 &&
+            static_cast<std::size_t>(gw.id) < remap.size()) {
+          gw.id = remap[static_cast<std::size_t>(gw.id)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ConvergenceReport CheckConvergence(const History& history,
+                                   const std::vector<NodeGhostState>& ghosts,
+                                   const AggregateOp& op, NodeId num_nodes,
+                                   const std::vector<ReqId>& final_probe_ids,
+                                   const ConvergenceOptions& options) {
+  ConvergenceReport report;
+  std::ostringstream fail;
+
+  report.all_completed = history.AllCompleted();
+  if (!report.all_completed) {
+    std::size_t incomplete = 0;
+    ReqId first = kNoRequest;
+    for (const RequestRecord& r : history.records()) {
+      if (!r.completed()) {
+        if (first == kNoRequest) first = r.id;
+        ++incomplete;
+      }
+    }
+    fail << "liveness: " << incomplete
+         << " request(s) never completed (first: id " << first << "); ";
+  }
+
+  report.ground_truth = GroundTruth(history, op, num_nodes);
+  report.final_probes = final_probe_ids.size();
+  for (ReqId id : final_probe_ids) {
+    const RequestRecord& r = history.record(id);
+    const bool good = r.op == ReqType::kCombine && r.completed() &&
+                      ValuesMatch(r.retval, report.ground_truth,
+                                  options.tolerance);
+    if (!good) {
+      if (report.divergent_probes == 0) {
+        fail << "convergence: final combine at node " << r.node
+             << " returned " << r.retval << ", ground truth "
+             << report.ground_truth << "; ";
+      }
+      ++report.divergent_probes;
+    }
+  }
+
+  if (options.check_causal) {
+    const CheckResult full =
+        CheckCausalConsistency(history, ghosts, op, num_nodes,
+                               options.tolerance);
+    report.causal_ok = full.ok;
+    if (!full.ok && options.require_full_causal) {
+      fail << "causal(full): " << full.message << "; ";
+    }
+
+    if (!options.fault_windows.empty()) {
+      std::vector<NodeGhostState> remapped_ghosts = ghosts;
+      const History outside = FilterHistoryOutsideWindows(
+          history, options.fault_windows, &report.excluded_combines,
+          &remapped_ghosts);
+      const CheckResult restricted = CheckCausalConsistency(
+          outside, remapped_ghosts, op, num_nodes, options.tolerance);
+      report.outside_ok = restricted.ok;
+      if (!restricted.ok) {
+        fail << "causal(outside-windows): " << restricted.message << "; ";
+      }
+    }
+  }
+
+  report.ok = report.all_completed && report.divergent_probes == 0 &&
+              (report.causal_ok || !options.require_full_causal) &&
+              report.outside_ok;
+  report.message = fail.str();
+  return report;
+}
+
+}  // namespace treeagg

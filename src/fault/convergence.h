@@ -1,0 +1,98 @@
+// ConvergenceChecker: the correctness contract for runs under fault
+// injection.
+//
+// The paper's guarantees (strict consistency sequentially, causal
+// consistency concurrently) are stated for reliable FIFO channels. Under
+// the convergence-safe fault model (fault/schedule.h) the contract we can
+// still demand is:
+//   (1) liveness  — once the schedule ends and the network heals, every
+//       injected request completes;
+//   (2) convergence — combines probed at every node after the heal return
+//       the fault-free ground truth: f folded over the final write at
+//       each node (identity where a node was never written);
+//   (3) outside-window consistency — restricting the history to combines
+//       whose lifetimes avoid every fault window (all writes kept), the
+//       Section 5 causal checker still passes, i.e. faults may delay
+//       operations but must not corrupt operations that ran clear of
+//       them.
+// Checker-validation faults (dup/reorder) intentionally break (3) and
+// sometimes (2); runs using them should not be fed to this checker.
+#ifndef TREEAGG_FAULT_CONVERGENCE_H_
+#define TREEAGG_FAULT_CONVERGENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "consistency/causal_checker.h"
+#include "consistency/history.h"
+#include "core/aggregate_op.h"
+
+namespace treeagg {
+
+struct ConvergenceOptions {
+  Real tolerance = 1e-9;
+  // Run the Section 5 causal checker on the full history and on the
+  // outside-window restriction. Requires ghost logging to have been on.
+  bool check_causal = true;
+  // Whether a full-history causal failure vetoes `ok`. Crash recovery on
+  // the networked backend re-injects requests that may have died with the
+  // killed daemon's connection — at-least-once, not exactly-once — so a
+  // combine whose completion frame was lost can execute twice and leave a
+  // duplicate ghost gather that the full-history checker rejects. Those
+  // duplicates live inside the fault windows by construction, so the
+  // outside-window restriction is the sound check there: callers set this
+  // false when re-injection occurred. causal_ok is still computed and
+  // reported either way.
+  bool require_full_causal = true;
+  // Merged [begin, end) fault windows in the history's clock units
+  // (FaultSchedule::Windows() for sim runs; driver-clock spans recorded by
+  // the net harness). Empty means the whole run counts as fault-free.
+  std::vector<std::pair<std::int64_t, std::int64_t>> fault_windows;
+};
+
+struct ConvergenceReport {
+  bool ok = false;            // conjunction of everything below
+  bool all_completed = false;
+  Real ground_truth = 0;      // f over final writes, identity baseline
+  std::size_t final_probes = 0;
+  std::size_t divergent_probes = 0;  // final probes off ground truth
+  bool causal_ok = true;      // full history (when check_causal)
+  bool outside_ok = true;     // outside-window restriction
+  std::size_t excluded_combines = 0;  // combines overlapping fault windows
+  std::string message;        // first failure, empty when ok
+};
+
+// `final_probe_ids`: ids of the post-heal combines (one per probed node)
+// whose return values are compared against the ground truth. They are part
+// of `history` like any other request.
+ConvergenceReport CheckConvergence(const History& history,
+                                   const std::vector<NodeGhostState>& ghosts,
+                                   const AggregateOp& op, NodeId num_nodes,
+                                   const std::vector<ReqId>& final_probe_ids,
+                                   const ConvergenceOptions& options = {});
+
+// The fault-free ground truth by itself: f folded over the argument of the
+// last completed write at each node (op.identity for unwritten nodes).
+Real GroundTruth(const History& history, const AggregateOp& op,
+                 NodeId num_nodes);
+
+// Rebuilds `history` keeping every write but dropping combines whose
+// [initiated_at, completed_at] lifetime overlaps any of the merged
+// [begin, end) `windows` (and combines that never completed). Request ids
+// are remapped densely; combine gathers are remapped with them, and if
+// `ghosts` is non-null the write ids inside the ghost logs are remapped in
+// place to match (ghost logs reference writes by id, and dropping combines
+// shifts every later id). The result is a self-consistent
+// (History, ghosts) pair suitable for the consistency checkers.
+History FilterHistoryOutsideWindows(
+    const History& history,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& windows,
+    std::size_t* dropped = nullptr,
+    std::vector<NodeGhostState>* ghosts = nullptr);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_FAULT_CONVERGENCE_H_

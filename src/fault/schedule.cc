@@ -1,0 +1,395 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace treeagg {
+namespace {
+
+// Formats a double with enough precision to round-trip through Parse while
+// keeping "0.05" readable (no trailing zero noise).
+std::string FormatProb(double p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+[[noreturn]] void BadSpec(const std::string& clause, const std::string& why) {
+  throw std::invalid_argument("bad fault spec clause '" + clause + "': " +
+                              why);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "dup";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kCut:
+      return "cut";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::WithSeed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Drop(double p, std::int64_t begin,
+                                   std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kDrop;
+  e.p = p;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Delay(std::int64_t delay_min,
+                                    std::int64_t delay_max, std::int64_t begin,
+                                    std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kDelay;
+  e.delay_min = delay_min;
+  e.delay_max = delay_max;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Duplicate(double p, std::int64_t begin,
+                                        std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kDuplicate;
+  e.p = p;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Reorder(double p, std::int64_t begin,
+                                      std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kReorder;
+  e.p = p;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Cut(NodeId u, NodeId v, std::int64_t begin,
+                                  std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kCut;
+  e.u = u;
+  e.v = v;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Crash(NodeId u, std::int64_t begin,
+                                    std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.u = u;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+std::int64_t FaultSchedule::HealTime() const {
+  std::int64_t heal = 0;
+  for (const FaultEvent& e : events_) heal = std::max(heal, e.end);
+  return heal;
+}
+
+bool FaultSchedule::CrashedAt(NodeId u, std::int64_t t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kCrash && e.u == u && e.begin <= t && t < e.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultSchedule::EdgeCutAt(NodeId u, NodeId v, std::int64_t t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kCut || e.begin > t || t >= e.end) continue;
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return true;
+  }
+  return false;
+}
+
+std::int64_t FaultSchedule::CrashEnd(NodeId u, std::int64_t t) const {
+  std::int64_t end = t;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kCrash && e.u == u && e.begin <= t && t < e.end) {
+      end = std::max(end, e.end);
+    }
+  }
+  return end;
+}
+
+std::int64_t FaultSchedule::CutEnd(NodeId u, NodeId v, std::int64_t t) const {
+  std::int64_t end = t;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kCut || e.begin > t || t >= e.end) continue;
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) {
+      end = std::max(end, e.end);
+    }
+  }
+  return end;
+}
+
+const FaultEvent* FaultSchedule::ActiveAt(FaultKind kind,
+                                          std::int64_t t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == kind && e.begin <= t && t < e.end) return &e;
+  }
+  return nullptr;
+}
+
+bool FaultSchedule::HasFifoViolations() const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDuplicate || e.kind == FaultKind::kReorder) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultSchedule::HasCrashes() const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kCrash) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> FaultSchedule::Windows()
+    const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  spans.reserve(events_.size());
+  for (const FaultEvent& e : events_) {
+    if (e.begin < e.end) spans.emplace_back(e.begin, e.end);
+  }
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+  for (const auto& s : spans) {
+    if (!merged.empty() && s.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, s.second);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+// Minimal recursive-free clause parser. A clause is either "seed=N" or
+// "<kind>(<args>)@T0..T1".
+struct ClauseParser {
+  const std::string& clause;
+  std::size_t pos = 0;
+
+  explicit ClauseParser(const std::string& c) : clause(c) {}
+
+  bool Done() const { return pos >= clause.size(); }
+  char Peek() const { return Done() ? '\0' : clause[pos]; }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      BadSpec(clause, std::string("expected '") + c + "' at offset " +
+                          std::to_string(pos));
+    }
+    ++pos;
+  }
+
+  std::string Ident() {
+    std::size_t start = pos;
+    while (!Done() && (std::isalpha(static_cast<unsigned char>(Peek())) != 0)) {
+      ++pos;
+    }
+    if (pos == start) BadSpec(clause, "expected a keyword");
+    return clause.substr(start, pos - start);
+  }
+
+  std::int64_t Int() {
+    std::size_t start = pos;
+    if (Peek() == '-') ++pos;
+    while (!Done() && (std::isdigit(static_cast<unsigned char>(Peek())) != 0)) {
+      ++pos;
+    }
+    if (pos == start || (pos == start + 1 && clause[start] == '-')) {
+      BadSpec(clause, "expected an integer at offset " + std::to_string(start));
+    }
+    return std::stoll(clause.substr(start, pos - start));
+  }
+
+  double Double() {
+    std::size_t start = pos;
+    while (!Done() &&
+           (std::isdigit(static_cast<unsigned char>(Peek())) != 0 ||
+            Peek() == '.' || Peek() == '-' || Peek() == 'e' || Peek() == 'E' ||
+            Peek() == '+')) {
+      ++pos;
+    }
+    if (pos == start) {
+      BadSpec(clause, "expected a number at offset " + std::to_string(start));
+    }
+    try {
+      return std::stod(clause.substr(start, pos - start));
+    } catch (const std::exception&) {
+      BadSpec(clause, "unparseable number");
+    }
+  }
+
+  // "@T0..T1" suffix.
+  void Window(FaultEvent* e) {
+    Expect('@');
+    e->begin = Int();
+    Expect('.');
+    Expect('.');
+    e->end = Int();
+    if (e->end < e->begin) BadSpec(clause, "window ends before it begins");
+    if (!Done()) BadSpec(clause, "trailing characters after window");
+  }
+};
+
+std::string StripSpaces(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::Parse(const std::string& spec) {
+  FaultSchedule schedule;
+  const std::string cleaned = StripSpaces(spec);
+  std::size_t start = 0;
+  while (start <= cleaned.size()) {
+    std::size_t sep = cleaned.find(';', start);
+    if (sep == std::string::npos) sep = cleaned.size();
+    const std::string clause = cleaned.substr(start, sep - start);
+    start = sep + 1;
+    if (clause.empty()) continue;
+
+    ClauseParser p(clause);
+    const std::string kind = p.Ident();
+    if (kind == "seed") {
+      p.Expect('=');
+      const std::int64_t s = p.Int();
+      if (s < 0) BadSpec(clause, "seed must be non-negative");
+      if (!p.Done()) BadSpec(clause, "trailing characters after seed");
+      schedule.WithSeed(static_cast<std::uint64_t>(s));
+      continue;
+    }
+
+    FaultEvent e;
+    p.Expect('(');
+    if (kind == "drop" || kind == "dup" || kind == "reorder") {
+      e.kind = kind == "drop"    ? FaultKind::kDrop
+               : kind == "dup"   ? FaultKind::kDuplicate
+                                 : FaultKind::kReorder;
+      e.p = p.Double();
+      if (e.p < 0.0 || e.p > 1.0) BadSpec(clause, "probability outside [0,1]");
+    } else if (kind == "delay") {
+      e.kind = FaultKind::kDelay;
+      e.delay_min = p.Int();
+      p.Expect('.');
+      p.Expect('.');
+      e.delay_max = p.Int();
+      if (e.delay_min < 0 || e.delay_max < e.delay_min) {
+        BadSpec(clause, "bad delay range");
+      }
+    } else if (kind == "cut") {
+      e.kind = FaultKind::kCut;
+      e.u = static_cast<NodeId>(p.Int());
+      p.Expect('-');
+      e.v = static_cast<NodeId>(p.Int());
+      if (e.u < 0 || e.v < 0 || e.u == e.v) BadSpec(clause, "bad edge");
+    } else if (kind == "crash") {
+      e.kind = FaultKind::kCrash;
+      e.u = static_cast<NodeId>(p.Int());
+      if (e.u < 0) BadSpec(clause, "bad node id");
+    } else {
+      BadSpec(clause, "unknown fault kind '" + kind + "'");
+    }
+    p.Expect(')');
+    p.Window(&e);
+    schedule.events_.push_back(e);
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::ToSpec() const {
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  for (const FaultEvent& e : events_) {
+    os << ';' << FaultKindName(e.kind) << '(';
+    switch (e.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kDuplicate:
+      case FaultKind::kReorder:
+        os << FormatProb(e.p);
+        break;
+      case FaultKind::kDelay:
+        os << e.delay_min << ".." << e.delay_max;
+        break;
+      case FaultKind::kCut:
+        os << e.u << '-' << e.v;
+        break;
+      case FaultKind::kCrash:
+        os << e.u;
+        break;
+    }
+    os << ")@" << e.begin << ".." << e.end;
+  }
+  return os.str();
+}
+
+FaultSchedule FaultSchedule::Named(const std::string& name) {
+  if (name == "drops") {
+    return FaultSchedule().WithSeed(11).Drop(0.05, 50, 400);
+  }
+  if (name == "partition") {
+    // Severs the edge {0,1} — present in every MakeShape topology — for a
+    // transient window, partitioning node 1's subtree from the root.
+    return FaultSchedule().WithSeed(12).Cut(0, 1, 100, 300);
+  }
+  if (name == "crash") {
+    return FaultSchedule().WithSeed(13).Crash(1, 100, 300);
+  }
+  if (name == "chaos") {
+    return FaultSchedule()
+        .WithSeed(14)
+        .Delay(1, 10, 0, 500)
+        .Drop(0.05, 50, 400)
+        .Crash(2, 150, 350);
+  }
+  return Parse(name);
+}
+
+}  // namespace treeagg

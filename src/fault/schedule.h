@@ -1,0 +1,132 @@
+// FaultSchedule: a deterministic, seed-driven timeline of fault events.
+//
+// The schedule is the single source of truth for "what goes wrong and
+// when" across every backend. Times are abstract ticks: the DES backend
+// (sim/chaos.h) reads them as simulated delivery ticks; the networked
+// backend (net/local_cluster.h) maps them onto request-injection indices,
+// which is the only deterministic clock a real TCP cluster has. Either
+// way, the same spec string + seed names the same experiment, and the
+// ConvergenceChecker (fault/convergence.h) closes the loop by asserting
+// the run still reaches the fault-free ground truth after the network
+// heals.
+//
+// Event kinds fall into two classes:
+//  * Convergence-safe faults — delay, cut (link down/up), crash
+//    (fail-stop + restart from durable state), and drop interpreted as
+//    park-until-heal (sim) / sever-and-resume (net). Runs under these
+//    faults must still converge; tests assert it.
+//  * Checker-validation faults — duplicate and reorder violate the
+//    paper's reliable-FIFO channel assumption outright. They exist so
+//    the consistency checkers can be shown to catch real violations
+//    (see tests/sim/faults_test.cc); no convergence claim is made.
+//
+// Spec string grammar (';'-separated, whitespace ignored):
+//   seed=S
+//   drop(P)@T0..T1        probability P in [0,1]
+//   delay(D0..D1)@T0..T1  extra per-message delay ticks in [D0,D1]
+//   dup(P)@T0..T1         duplicate a message with probability P
+//   reorder(P)@T0..T1     per-message FIFO violation with probability P
+//   cut(U-V)@T0..T1       tree edge {U,V} carries no traffic in [T0,T1)
+//   crash(U)@T0..T1       node U (its daemon, on net) is down in [T0,T1)
+// Example: "seed=7;drop(0.05)@50..400;crash(2)@100..300"
+//
+// Named presets (FaultSchedule::Named) give the CLI and CI stable
+// shorthand schedules; they assume n >= 4 and that nodes 1..2 exist with
+// node 1 adjacent to node 0 (true for every MakeShape shape).
+#ifndef TREEAGG_FAULT_SCHEDULE_H_
+#define TREEAGG_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kReorder,
+  kCut,
+  kCrash,
+};
+
+// Human-readable keyword, matching the spec grammar ("drop", "cut", ...).
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDrop;
+  std::int64_t begin = 0;  // active in [begin, end)
+  std::int64_t end = 0;
+  NodeId u = kInvalidNode;  // crash: the node; cut: one endpoint
+  NodeId v = kInvalidNode;  // cut: the other endpoint
+  double p = 0.0;           // drop/dup/reorder probability
+  std::int64_t delay_min = 0;  // delay: extra ticks, uniform in range
+  std::int64_t delay_max = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // Builder API. All return *this for chaining; windows are [begin, end).
+  FaultSchedule& WithSeed(std::uint64_t seed);
+  FaultSchedule& Drop(double p, std::int64_t begin, std::int64_t end);
+  FaultSchedule& Delay(std::int64_t delay_min, std::int64_t delay_max,
+                       std::int64_t begin, std::int64_t end);
+  FaultSchedule& Duplicate(double p, std::int64_t begin, std::int64_t end);
+  FaultSchedule& Reorder(double p, std::int64_t begin, std::int64_t end);
+  FaultSchedule& Cut(NodeId u, NodeId v, std::int64_t begin, std::int64_t end);
+  FaultSchedule& Crash(NodeId u, std::int64_t begin, std::int64_t end);
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // The earliest tick from which no fault is active any more (0 when the
+  // schedule is empty). After HealTime() the network is fault-free.
+  std::int64_t HealTime() const;
+
+  // Point queries, all O(#events).
+  bool CrashedAt(NodeId u, std::int64_t t) const;
+  bool EdgeCutAt(NodeId u, NodeId v, std::int64_t t) const;  // undirected
+  // End of the latest crash/cut window covering t (t when none does).
+  std::int64_t CrashEnd(NodeId u, std::int64_t t) const;
+  std::int64_t CutEnd(NodeId u, NodeId v, std::int64_t t) const;
+  // First event of `kind` active at t, or nullptr.
+  const FaultEvent* ActiveAt(FaultKind kind, std::int64_t t) const;
+  // True if any event carries a checker-validation fault (dup/reorder).
+  bool HasFifoViolations() const;
+  // True if any crash event exists.
+  bool HasCrashes() const;
+
+  // Merged [begin, end) windows over every event: the periods during which
+  // at least one fault is active. Used to classify which operations ran
+  // "outside fault windows" for the consistency verdicts.
+  std::vector<std::pair<std::int64_t, std::int64_t>> Windows() const;
+
+  // Spec round-trip. Parse throws std::invalid_argument with a message
+  // naming the offending clause; ToSpec() output re-parses to an equal
+  // schedule.
+  static FaultSchedule Parse(const std::string& spec);
+  std::string ToSpec() const;
+
+  // Named presets ("drops", "partition", "crash", "chaos"); falls back to
+  // Parse(name) so any spec string is accepted where a preset name is.
+  static FaultSchedule Named(const std::string& name);
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+
+ private:
+  std::uint64_t seed_ = 1;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_FAULT_SCHEDULE_H_

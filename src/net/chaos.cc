@@ -1,0 +1,233 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "net/faulty_transport.h"
+
+namespace treeagg {
+namespace {
+
+struct Action {
+  enum Kind { kRestart, kDisarm, kKill, kSever, kArm } kind;
+  int a = 0;  // daemon id (kill/restart), first daemon (sever)
+  int b = 0;  // second daemon (sever)
+  std::size_t window = 0;  // index into open-window bookkeeping
+};
+
+std::int64_t ClampIndex(std::int64_t t, std::size_t n) {
+  return std::clamp<std::int64_t>(t, 0, static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
+                                   const RequestSequence& sigma,
+                                   const FaultSchedule& schedule,
+                                   const ChaosNetOptions& options) {
+  if (schedule.HasFifoViolations()) {
+    throw std::invalid_argument(
+        "net chaos: dup/reorder are checker-validation faults with no "
+        "convergence-safe network interpretation");
+  }
+  if (!options.cluster.fault_injectors.empty()) {
+    throw std::invalid_argument(
+        "net chaos: leave ChaosNetOptions::cluster.fault_injectors empty "
+        "(the harness owns them)");
+  }
+
+  LocalCluster::Options cluster_options = options.cluster;
+  const bool wants_drop =
+      std::any_of(schedule.events().begin(), schedule.events().end(),
+                  [](const FaultEvent& e) { return e.kind == FaultKind::kDrop; });
+  double max_drop_p = 0;
+  for (const FaultEvent& e : schedule.events()) {
+    if (e.kind == FaultKind::kDrop) max_drop_p = std::max(max_drop_p, e.p);
+  }
+  if (wants_drop) {
+    for (int d = 0; d < cluster_options.daemons; ++d) {
+      PeerFaultInjector::Options inj;
+      inj.corrupt_probability = max_drop_p;
+      inj.seed = schedule.seed() * 0x9E3779B97F4A7C15ull +
+                 static_cast<std::uint64_t>(d) + 1;
+      cluster_options.fault_injectors.push_back(
+          std::make_shared<PeerFaultInjector>(inj));
+    }
+  }
+
+  LocalCluster cluster(tree_parent, cluster_options);
+  NetDriver& driver = cluster.driver();
+  const ClusterConfig& config = cluster.config();
+  ChaosNetResult result;
+
+  // Plan: injection index -> actions, heal actions (restart/disarm) sorted
+  // before fault actions so a window ending where another begins heals
+  // first.
+  std::map<std::int64_t, std::vector<Action>> plan;
+  std::vector<std::int64_t> window_begin_clock;  // filled as windows open
+  for (const FaultEvent& e : schedule.events()) {
+    const std::int64_t b = ClampIndex(e.begin, sigma.size());
+    const std::int64_t t_end = ClampIndex(e.end, sigma.size());
+    const std::size_t w = window_begin_clock.size();
+    switch (e.kind) {
+      case FaultKind::kCrash: {
+        const int d = config.node_daemon[static_cast<std::size_t>(e.u)];
+        plan[b].push_back({Action::kKill, d, 0, w});
+        plan[t_end].push_back({Action::kRestart, d, 0, w});
+        window_begin_clock.push_back(-1);
+        break;
+      }
+      case FaultKind::kCut: {
+        const int d1 = config.node_daemon[static_cast<std::size_t>(e.u)];
+        const int d2 = config.node_daemon[static_cast<std::size_t>(e.v)];
+        if (d1 != d2) {
+          plan[b].push_back({Action::kSever, d1, d2, w});
+          window_begin_clock.push_back(-1);
+        }
+        break;
+      }
+      case FaultKind::kDrop: {
+        plan[b].push_back({Action::kArm, 0, 0, w});
+        plan[t_end].push_back({Action::kDisarm, 0, 0, w});
+        window_begin_clock.push_back(-1);
+        break;
+      }
+      case FaultKind::kDelay:
+        break;  // real TCP has real delays; nothing to inject
+      case FaultKind::kDuplicate:
+      case FaultKind::kReorder:
+        break;  // rejected above
+    }
+  }
+  for (auto& [index, actions] : plan) {
+    std::stable_sort(actions.begin(), actions.end(),
+                     [](const Action& x, const Action& y) {
+                       return x.kind < y.kind;  // heals before faults
+                     });
+  }
+
+  std::vector<char> down(static_cast<std::size_t>(cluster_options.daemons), 0);
+  std::vector<RequestSequence> deferred(
+      static_cast<std::size_t>(cluster_options.daemons));
+  const auto inject = [&](const Request& r) {
+    return r.op == ReqType::kWrite ? driver.InjectWrite(r.node, r.arg)
+                                   : driver.InjectCombine(r.node);
+  };
+  const auto apply = [&](const Action& action) {
+    switch (action.kind) {
+      case Action::kKill: {
+        const std::size_t d = static_cast<std::size_t>(action.a);
+        if (down[d]) break;  // overlapping crash windows: one kill
+        window_begin_clock[action.window] = driver.clock();
+        cluster.KillDaemon(action.a);
+        down[d] = 1;
+        ++result.kills;
+        break;
+      }
+      case Action::kRestart: {
+        const std::size_t d = static_cast<std::size_t>(action.a);
+        if (!down[d]) break;
+        result.reinjected += cluster.RestartDaemon(action.a);
+        down[d] = 0;
+        for (const Request& r : deferred[d]) {
+          inject(r);
+          ++result.deferred;
+        }
+        deferred[d].clear();
+        break;
+      }
+      case Action::kSever:
+        window_begin_clock[action.window] = driver.clock();
+        cluster.SeverPeerLink(action.a, action.b);
+        ++result.severs;
+        break;
+      case Action::kArm:
+        window_begin_clock[action.window] = driver.clock();
+        for (auto& inj : cluster_options.fault_injectors) inj->Arm();
+        break;
+      case Action::kDisarm:
+        for (auto& inj : cluster_options.fault_injectors) inj->Disarm();
+        break;
+    }
+  };
+
+  for (std::int64_t idx = 0;
+       idx <= static_cast<std::int64_t>(sigma.size()); ++idx) {
+    if (auto it = plan.find(idx); it != plan.end()) {
+      for (const Action& action : it->second) apply(action);
+    }
+    if (idx < static_cast<std::int64_t>(sigma.size())) {
+      const Request& r = sigma[static_cast<std::size_t>(idx)];
+      const std::size_t d = static_cast<std::size_t>(
+          config.node_daemon[static_cast<std::size_t>(r.node)]);
+      if (down[d]) {
+        deferred[d].push_back(r);
+      } else {
+        inject(r);
+      }
+    }
+  }
+  // Schedules can leave a daemon down past the clamp point (begin == end
+  // after clamping); make sure everything is healed before waiting.
+  for (std::size_t d = 0; d < down.size(); ++d) {
+    if (down[d]) {
+      result.reinjected += cluster.RestartDaemon(static_cast<int>(d));
+      down[d] = 0;
+      for (const Request& r : deferred[d]) {
+        inject(r);
+        ++result.deferred;
+      }
+      deferred[d].clear();
+    }
+  }
+  for (auto& inj : cluster_options.fault_injectors) inj->Disarm();
+
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const std::int64_t heal_clock = driver.clock();
+
+  // Conservative windows: every window closes at the post-heal quiescence
+  // clock (recovery outlasts the nominal event end); see header comment.
+  for (const std::int64_t begin : window_begin_clock) {
+    if (begin >= 0) result.fault_windows.emplace_back(begin, heal_clock + 1);
+  }
+  std::sort(result.fault_windows.begin(), result.fault_windows.end());
+  std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+  for (const auto& w : result.fault_windows) {
+    if (!merged.empty() && w.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, w.second);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  result.fault_windows = std::move(merged);
+
+  if (options.final_probes) {
+    for (NodeId u = 0; u < config.NumNodes(); ++u) {
+      result.final_probe_ids.push_back(driver.InjectCombine(u));
+    }
+    driver.WaitAllCompleted();
+    driver.WaitQuiescent();
+  }
+
+  for (const auto& inj : cluster_options.fault_injectors) {
+    result.corrupted += inj->corrupted_count();
+  }
+
+  NetDriver::HarvestResult harvest = driver.Harvest();
+  result.ghosts = std::move(harvest.ghosts);
+  result.counts = harvest.counts;
+  result.total_messages = driver.TotalMessages();
+  cluster.Stop();
+  if (!cluster.DaemonError().empty()) {
+    throw std::runtime_error("net chaos: daemon failed: " +
+                             cluster.DaemonError());
+  }
+  result.history = driver.history();
+  return result;
+}
+
+}  // namespace treeagg

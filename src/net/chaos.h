@@ -1,0 +1,92 @@
+// Chaos harness for the networked backend: a FaultSchedule driven against
+// a LocalCluster.
+//
+// A real TCP cluster has no simulated clock, so fault event times are read
+// as REQUEST-INJECTION INDICES: an event active over [b, e) begins just
+// before the b-th request of sigma is injected and ends just before the
+// e-th (indices clamp to [0, sigma.size()], so windows reaching past the
+// workload are applied right after the last injection). The same spec
+// string therefore names the same experiment on both backends — ticks on
+// the DES, injection indices here — which is what the cross-backend chaos
+// equivalence test leans on.
+//
+// Fault mapping (convergence-safe subset only):
+//   crash(u) — fail-stop of the daemon hosting u: LocalCluster::KillDaemon
+//              at index b, RestartDaemon at index e. Requests addressed to
+//              a down daemon are deferred and injected right after its
+//              restart (the real client would retry exactly like this).
+//   cut(u-v) — LocalCluster::SeverPeerLink on the daemons hosting u and v
+//              at index b (no-op when co-located). The session layer heals
+//              the link on its own, so the window end needs no action.
+//   drop(P)  — every daemon's PeerFaultInjector armed over [b, e) with
+//              corrupt probability P. On a TCP transport a silent drop
+//              would just stall, so "drop" means detectable corruption:
+//              the receiver tears the link down and session resume
+//              retransmits from the log.
+//   delay    — ignored (loopback TCP has real, uncontrollable delays).
+//   dup / reorder — rejected with std::invalid_argument: they violate the
+//              channel assumption and exist only to validate the checkers
+//              on the DES backend.
+//
+// Fault windows are recorded in the DRIVER clock (the clock the history's
+// initiated_at/completed_at use) and are conservative: each window opens
+// at the clock of its begin action and every window closes at the clock
+// observed after the post-workload quiescence wait, because recovery
+// (reconnect backoff, session replay, re-injection) extends past the
+// nominal event end. Final probes run after that, so they always count as
+// outside every window.
+#ifndef TREEAGG_NET_CHAOS_H_
+#define TREEAGG_NET_CHAOS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "consistency/causal_checker.h"  // NodeGhostState
+#include "consistency/history.h"
+#include "fault/schedule.h"
+#include "net/local_cluster.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+struct ChaosNetOptions {
+  // Cluster shape; `fault_injectors` is populated by the harness (one per
+  // daemon, seeded from the schedule) and must be left empty.
+  LocalCluster::Options cluster;
+  // Probe one combine at every node after the network heals (the
+  // ConvergenceChecker's ground-truth comparison). On by default.
+  bool final_probes = true;
+};
+
+struct ChaosNetResult {
+  History history;
+  std::vector<NodeGhostState> ghosts;
+  MessageCounts counts;
+  std::uint64_t total_messages = 0;
+  // Ids of the post-heal per-node combines (empty if final_probes off).
+  std::vector<ReqId> final_probe_ids;
+  // Merged fault windows in driver-clock units (see header comment);
+  // feed to ConvergenceOptions::fault_windows.
+  std::vector<std::pair<std::int64_t, std::int64_t>> fault_windows;
+  // Recovery statistics.
+  std::size_t kills = 0;       // daemons crashed (and restarted)
+  std::size_t severs = 0;      // peer links severed
+  std::size_t deferred = 0;    // requests deferred past a crash window
+  std::size_t reinjected = 0;  // requests re-sent after daemon restarts
+  std::size_t corrupted = 0;   // frames damaged by the drop injectors
+};
+
+// Runs sigma (pipelined) against a LocalCluster while driving `schedule`,
+// waits for completion + quiescence after the schedule heals, then probes
+// (optionally) and harvests. Throws std::runtime_error on daemon failure
+// or wedged recovery, std::invalid_argument on dup/reorder events.
+ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
+                                   const RequestSequence& sigma,
+                                   const FaultSchedule& schedule,
+                                   const ChaosNetOptions& options);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_CHAOS_H_

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,7 +22,7 @@ void NodeDaemon::NetTransport::Send(Message m) {
 NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
     : daemon_id_(daemon_id),
       config_(std::move(config)),
-      options_(options),
+      options_(std::move(options)),
       transport_(this) {
   config_.Validate();
   if (daemon_id_ < 0 || daemon_id_ >= config_.NumDaemons()) {
@@ -31,6 +32,7 @@ NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
   }
   tree_ = std::make_unique<Tree>(config_.tree_parent);
   peers_.resize(config_.daemons.size());
+  sessions_.resize(config_.daemons.size());
   // Peer daemons this one shares a tree edge with.
   for (const Edge& e : tree_->edges()) {
     const int du = config_.node_daemon[static_cast<std::size_t>(e.u)];
@@ -93,6 +95,12 @@ void NodeDaemon::RequestStop() {
   [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
 }
 
+void NodeDaemon::RequestSeverPeer(int peer) {
+  sever_peer_.store(peer);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
 void NodeDaemon::Fail(std::string why) {
   if (error_.empty()) error_ = std::move(why);
   shutdown_ = true;
@@ -114,11 +122,72 @@ void NodeDaemon::BuildNodes() {
   }
 }
 
+void NodeDaemon::ApplyRestore() {
+  if (restore_ == nullptr) return;
+  for (auto& [u, state] : restore_->nodes) {
+    if (u >= 0 && u < tree_->size() && HostsNode(u)) {
+      NodeRef(u).ImportState(state);
+    }
+  }
+  sent_ = restore_->sent;
+  received_ = restore_->received;
+  counts_ = restore_->counts;
+  for (DurableState::SessionState& ss : restore_->sessions) {
+    if (ss.peer < 0 || ss.peer >= static_cast<int>(sessions_.size())) continue;
+    PeerSession& s = sessions_[static_cast<std::size_t>(ss.peer)];
+    s.log = std::move(ss.log);
+    s.processed = ss.processed;
+  }
+  local_queue_.assign(restore_->local_queue.begin(),
+                      restore_->local_queue.end());
+  restore_.reset();
+}
+
+NodeDaemon::DurableState NodeDaemon::ExportDurable() const {
+  DurableState state;
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    const auto& node = nodes_[static_cast<std::size_t>(u)];
+    if (node == nullptr) continue;
+    state.nodes.emplace_back(u, node->ExportState());
+  }
+  state.sent = sent_;
+  state.received = received_;
+  state.counts = counts_;
+  for (const int p : peer_ids_) {
+    const PeerSession& s = sessions_[static_cast<std::size_t>(p)];
+    DurableState::SessionState ss;
+    ss.peer = p;
+    ss.log = s.log;
+    ss.processed = s.processed;
+    state.sessions.push_back(std::move(ss));
+  }
+  state.local_queue.assign(local_queue_.begin(), local_queue_.end());
+  return state;
+}
+
+void NodeDaemon::RestoreDurable(DurableState state) {
+  restore_ = std::make_unique<DurableState>(std::move(state));
+}
+
+void NodeDaemon::SendPeerHello(int peer) {
+  PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
+  FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = static_cast<std::uint32_t>(daemon_id_);
+  hello.resume = s.processed;
+  conn->SendFrame(hello);
+  conn->Flush();
+  s.state = PeerSession::State::kAwaitResume;
+}
+
 void NodeDaemon::ConnectPeers() {
   // The smaller daemon id initiates; the larger side accepts. Backoff in
-  // ConnectWithBackoff absorbs any start-order race between processes.
+  // ConnectWithBackoff absorbs any start-order race between processes. A
+  // restarted daemon takes the same path: its hello carries the restored
+  // processed count, so the accepting side resumes the session.
   for (const int peer : peer_ids_) {
-    if (peer < daemon_id_) continue;
+    if (!Initiates(peer)) continue;
     const ClusterConfig::DaemonAddr& addr =
         config_.daemons[static_cast<std::size_t>(peer)];
     std::string err;
@@ -128,13 +197,90 @@ void NodeDaemon::ConnectPeers() {
       Fail("peer " + std::to_string(peer) + ": " + err);
       return;
     }
-    auto conn = std::make_unique<FrameConn>(std::move(fd), options_.transport);
-    WireFrame hello;
-    hello.type = FrameType::kPeerHello;
-    hello.daemon_id = static_cast<std::uint32_t>(daemon_id_);
-    conn->SendFrame(hello);
-    conn->Flush();
-    peers_[static_cast<std::size_t>(peer)] = std::move(conn);
+    peers_[static_cast<std::size_t>(peer)] =
+        std::make_unique<FrameConn>(std::move(fd), options_.transport);
+    SendPeerHello(peer);
+  }
+}
+
+void NodeDaemon::MarkPeerDown(int peer) {
+  peers_[static_cast<std::size_t>(peer)].reset();
+  PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
+  if (s.state == PeerSession::State::kDown) return;
+  s.state = PeerSession::State::kDown;
+  if (Initiates(peer)) {
+    s.backoff_ms = options_.transport.backoff_initial_ms;
+    s.next_attempt_ms = NowMs();
+    s.give_up_ms = NowMs() + options_.transport.connect_timeout_ms;
+  }
+}
+
+void NodeDaemon::TransmitToPeer(int peer, const WireFrame& frame) {
+  FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
+  if (conn == nullptr || !conn->open()) return;
+  PeerFaultInjector* injector = options_.fault_injector.get();
+  const PeerFaultInjector::Action action =
+      injector ? injector->Decide() : PeerFaultInjector::Action::kNone;
+  if (action == PeerFaultInjector::Action::kCorrupt) {
+    // The damaged bytes take the frame's place on the wire; the receiver's
+    // decoder rejects them and resets the link, and the clean copy in the
+    // session log is retransmitted by the resume handshake.
+    conn->SendRawBytes(injector->Corrupt(frame));
+    return;
+  }
+  conn->SendFrame(frame);
+  if (action == PeerFaultInjector::Action::kSever) {
+    ::shutdown(conn->fd(), SHUT_RDWR);
+  }
+}
+
+void NodeDaemon::GoLive(int peer, std::uint64_t resume) {
+  PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
+  if (resume > s.log.size()) {
+    Fail("peer " + std::to_string(peer) +
+         " resume count ahead of our session log");
+    return;
+  }
+  s.sent_upto = static_cast<std::size_t>(resume);
+  while (s.sent_upto < s.log.size()) {
+    TransmitToPeer(peer, s.log[s.sent_upto]);
+    ++s.sent_upto;
+    FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
+    if (conn == nullptr || !conn->open()) {
+      MarkPeerDown(peer);
+      return;
+    }
+  }
+  s.state = PeerSession::State::kLive;
+}
+
+void NodeDaemon::MaybeReconnectPeers() {
+  for (const int peer : peer_ids_) {
+    if (!Initiates(peer)) continue;  // the other side re-initiates
+    PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
+    if (s.state != PeerSession::State::kDown) continue;
+    const std::int64_t now = NowMs();
+    if (s.give_up_ms > 0 && now >= s.give_up_ms) {
+      Fail("peer " + std::to_string(peer) + ": reconnect timed out");
+      return;
+    }
+    if (now < s.next_attempt_ms) continue;
+    const ClusterConfig::DaemonAddr& addr =
+        config_.daemons[static_cast<std::size_t>(peer)];
+    TransportOptions attempt = options_.transport;
+    attempt.connect_timeout_ms = 100;  // short: the poll loop must not stall
+    std::string err;
+    ScopedFd fd = ConnectWithBackoff(addr.host, addr.port, attempt, &err);
+    if (fd.valid()) {
+      peers_[static_cast<std::size_t>(peer)] =
+          std::make_unique<FrameConn>(std::move(fd), options_.transport);
+      SendPeerHello(peer);
+    } else {
+      s.backoff_ms = std::min(
+          std::max(s.backoff_ms * 2, options_.transport.backoff_initial_ms),
+          options_.transport.backoff_max_ms);
+      s.next_attempt_ms = NowMs() + s.backoff_ms;
+    }
   }
 }
 
@@ -151,16 +297,21 @@ void NodeDaemon::RouteSend(Message m) {
     local_queue_.push_back(std::move(m));
     return;
   }
-  FrameConn* conn = peers_[static_cast<std::size_t>(owner)].get();
-  if (conn == nullptr || !conn->open()) {
-    Fail("send to daemon " + std::to_string(owner) +
-         " with no open connection");
-    return;
-  }
+  // Every cross-daemon frame is appended to the session log first — the
+  // durable copy replayed on resume. A link that is not Live just parks
+  // the frame; a send onto a dead connection downgrades the link and the
+  // resume handshake retransmits.
+  PeerSession& s = sessions_[static_cast<std::size_t>(owner)];
   WireFrame f;
   f.type = FrameType::kProtocol;
   f.msg = std::move(m);
-  conn->SendFrame(f);
+  s.log.push_back(std::move(f));
+  if (s.state == PeerSession::State::kLive) {
+    TransmitToPeer(owner, s.log.back());
+    s.sent_upto = s.log.size();
+    FrameConn* conn = peers_[static_cast<std::size_t>(owner)].get();
+    if (conn == nullptr || !conn->open()) MarkPeerDown(owner);
+  }
 }
 
 void NodeDaemon::DrainLocal() {
@@ -172,8 +323,17 @@ void NodeDaemon::DrainLocal() {
   }
 }
 
+void NodeDaemon::SendToDriver(const WireFrame& frame) {
+  if (driver_ != nullptr && driver_->open()) {
+    driver_->SendFrame(frame);
+  } else {
+    // No driver connection (restart in progress): park the frame; it is
+    // flushed when the driver's kDriverHello classifies a new connection.
+    driver_outbox_.push_back(frame);
+  }
+}
+
 void NodeDaemon::OnCombineDone(NodeId node, CombineToken token, Real value) {
-  if (driver_ == nullptr) return;  // combine not driver-initiated: ignore
   const LeaseNode& n = NodeRef(node);
   WireFrame f;
   f.type = FrameType::kCombineDone;
@@ -181,10 +341,10 @@ void NodeDaemon::OnCombineDone(NodeId node, CombineToken token, Real value) {
   f.value = value;
   f.gather.assign(n.LastWrites().begin(), n.LastWrites().end());
   f.log_prefix = static_cast<std::int64_t>(n.GhostLogEntries().size());
-  driver_->SendFrame(f);
+  SendToDriver(f);
 }
 
-void NodeDaemon::HandleFrame(WireFrame frame) {
+void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
   switch (frame.type) {
     case FrameType::kProtocol:
       if (frame.msg.to < 0 || frame.msg.to >= tree_->size() ||
@@ -193,6 +353,9 @@ void NodeDaemon::HandleFrame(WireFrame frame) {
         return;
       }
       ++received_;
+      if (from_peer >= 0) {
+        ++sessions_[static_cast<std::size_t>(from_peer)].processed;
+      }
       NodeRef(frame.msg.to).Deliver(frame.msg);
       DrainLocal();
       break;
@@ -206,7 +369,7 @@ void NodeDaemon::HandleFrame(WireFrame frame) {
       WireFrame done;
       done.type = FrameType::kWriteDone;
       done.req = frame.req;
-      if (driver_) driver_->SendFrame(done);
+      SendToDriver(done);
       DrainLocal();
       break;
     }
@@ -227,7 +390,7 @@ void NodeDaemon::HandleFrame(WireFrame frame) {
       resp.status.sent = sent_;
       resp.status.received = received_;
       resp.status.queued = local_queue_.size();
-      if (driver_) driver_->SendFrame(resp);
+      SendToDriver(resp);
       break;
     }
     case FrameType::kHarvestReq: {
@@ -241,16 +404,24 @@ void NodeDaemon::HandleFrame(WireFrame frame) {
         resp.harvest.logs.push_back(std::move(nl));
       }
       resp.harvest.counts = counts_;
-      if (driver_) driver_->SendFrame(resp);
+      SendToDriver(resp);
       break;
     }
     case FrameType::kShutdown:
       shutdown_ = true;
       break;
     case FrameType::kPeerHello:
+      // On an AwaitResume link this is the acceptor's handshake reply:
+      // its processed count tells us where to replay from.
+      if (from_peer >= 0 &&
+          sessions_[static_cast<std::size_t>(from_peer)].state ==
+              PeerSession::State::kAwaitResume) {
+        GoLive(from_peer, frame.resume);
+        break;
+      }
+      Fail("unexpected hello frame on an established connection");
+      break;
     case FrameType::kDriverHello:
-      // Hellos are consumed during connection classification; a repeat is
-      // a protocol error.
       Fail("unexpected hello frame on an established connection");
       break;
     case FrameType::kWriteDone:
@@ -265,61 +436,94 @@ void NodeDaemon::HandleFrame(WireFrame frame) {
 
 bool NodeDaemon::PeersReady() const {
   for (const int p : peer_ids_) {
-    const auto& conn = peers_[static_cast<std::size_t>(p)];
-    if (conn == nullptr || !conn->open()) return false;
+    if (sessions_[static_cast<std::size_t>(p)].state !=
+        PeerSession::State::kLive) {
+      return false;
+    }
   }
   return true;
 }
 
 void NodeDaemon::DrainParkedFrames() {
-  const auto drain = [&](FrameConn* conn) {
+  const auto drain = [&](FrameConn* conn, int from_peer) {
     if (conn == nullptr || !conn->open()) return;
     WireFrame frame;
     for (;;) {
       const DecodeStatus status = conn->NextFrame(&frame);
       if (status == DecodeStatus::kNeedMore) break;
       if (status != DecodeStatus::kOk) {
-        Fail(conn->error());
+        if (from_peer >= 0) {
+          MarkPeerDown(from_peer);
+        } else {
+          Fail(conn->error());
+        }
         break;
       }
-      HandleFrame(std::move(frame));
+      HandleFrame(std::move(frame), from_peer);
       frame = WireFrame{};
       if (shutdown_) break;
     }
   };
-  drain(driver_.get());
-  for (auto& p : peers_) {
+  drain(driver_.get(), -1);
+  for (const int p : peer_ids_) {
     if (shutdown_) break;
-    drain(p.get());
+    drain(peers_[static_cast<std::size_t>(p)].get(), p);
   }
 }
 
 void NodeDaemon::HandleDriverEof() {
-  // The driver vanishing (test teardown, crashed client) is an implicit
-  // shutdown, not an error.
+  // The driver vanishing (test teardown, crashed client, or the chaos
+  // harness's kill) is an implicit shutdown, not an error.
   shutdown_ = true;
 }
 
 // Reads everything available on `conn` and dispatches complete frames.
-// Returns false when the connection is closed or failed.
-bool NodeDaemon::DrainConn(FrameConn* conn) {
+// Returns false when the connection is closed or failed; a damaged frame
+// stream from a peer is a link failure (the caller resets the session),
+// from the driver a fatal error.
+bool NodeDaemon::DrainConn(FrameConn* conn, int from_peer) {
   const bool read_ok = conn->ReadAvailable();
   WireFrame frame;
   for (;;) {
     const DecodeStatus status = conn->NextFrame(&frame);
     if (status == DecodeStatus::kNeedMore) break;
     if (status != DecodeStatus::kOk) {
-      Fail(conn->error());
+      if (from_peer < 0) Fail(conn->error());
       return false;
     }
-    HandleFrame(std::move(frame));
+    HandleFrame(std::move(frame), from_peer);
     frame = WireFrame{};
     if (shutdown_) return true;
   }
-  if (!read_ok && !conn->eof() && !conn->error().empty()) {
+  if (!read_ok && from_peer < 0 && !conn->eof() && !conn->error().empty()) {
     Fail(conn->error());
   }
   return read_ok;
+}
+
+void NodeDaemon::HandleAwaitResume(int peer) {
+  FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
+  const bool alive = conn->ReadAvailable();
+  WireFrame frame;
+  const DecodeStatus status = conn->NextFrame(&frame);
+  if (status == DecodeStatus::kOk) {
+    if (frame.type == FrameType::kPeerHello) {
+      // GoLive via the normal path. Frames buffered behind the hello stay
+      // parked in the FrameReader until the bring-up gate opens.
+      HandleFrame(std::move(frame), peer);
+    } else {
+      MarkPeerDown(peer);  // protocol frame before the resume reply
+      return;
+    }
+  } else if (status != DecodeStatus::kNeedMore) {
+    MarkPeerDown(peer);
+    return;
+  }
+  if (!alive &&
+      sessions_[static_cast<std::size_t>(peer)].state !=
+          PeerSession::State::kLive) {
+    MarkPeerDown(peer);
+  }
 }
 
 void NodeDaemon::FlushAll() {
@@ -332,18 +536,31 @@ void NodeDaemon::FlushAll() {
 void NodeDaemon::Run() {
   try {
     BuildNodes();
+    ApplyRestore();
     ConnectPeers();
   } catch (const std::exception& e) {
     Fail(e.what());
   }
   std::vector<pollfd> pfds;
   // Parallel to pfds: the FrameConn each pollfd belongs to (nullptr for
-  // the stop pipe and the listener).
+  // the stop pipe and the listener) and which peer owns it (-1 driver,
+  // -2 pending/none).
   std::vector<FrameConn*> conns;
+  std::vector<int> conn_peer;
   while (!shutdown_ && !stop_requested_.load()) {
-    // Bring-up gate: handle no frame until every peer link is open. When
-    // the last link comes up, first replay the frames that were read into
-    // FrameReaders behind hello frames during classification.
+    // Deferred link sever requested by the chaos harness: performed here,
+    // on the daemon thread, so no other thread touches the fd.
+    const int sever = sever_peer_.exchange(-1);
+    if (sever >= 0 && sever < static_cast<int>(peers_.size())) {
+      FrameConn* conn = peers_[static_cast<std::size_t>(sever)].get();
+      if (conn != nullptr && conn->open()) {
+        ::shutdown(conn->fd(), SHUT_RDWR);
+      }
+    }
+    MaybeReconnectPeers();
+    // Bring-up gate: handle no non-hello frame until every peer session is
+    // Live. When the last session comes up, first replay the frames that
+    // were read into FrameReaders behind hello frames.
     if (!peers_ready_ && PeersReady()) {
       peers_ready_ = true;
       DrainParkedFrames();
@@ -352,22 +569,28 @@ void NodeDaemon::Run() {
     }
     pfds.clear();
     conns.clear();
+    conn_peer.clear();
     pfds.push_back({stop_pipe_[0], POLLIN, 0});
     conns.push_back(nullptr);
+    conn_peer.push_back(-2);
     if (listener_.valid()) {
       pfds.push_back({listener_.fd(), POLLIN, 0});
       conns.push_back(nullptr);
+      conn_peer.push_back(-2);
     }
-    const auto add_conn = [&](FrameConn* c) {
+    const auto add_conn = [&](FrameConn* c, int peer) {
       if (c == nullptr || !c->open()) return;
       short events = POLLIN;
       if (c->WantWrite()) events |= POLLOUT;
       pfds.push_back({c->fd(), events, 0});
       conns.push_back(c);
+      conn_peer.push_back(peer);
     };
-    add_conn(driver_.get());
-    for (auto& p : peers_) add_conn(p.get());
-    for (PendingConn& p : pending_) add_conn(p.conn.get());
+    add_conn(driver_.get(), -1);
+    for (const int p : peer_ids_) {
+      add_conn(peers_[static_cast<std::size_t>(p)].get(), p);
+    }
+    for (PendingConn& p : pending_) add_conn(p.conn.get(), -2);
 
     const int ready = ::poll(pfds.data(), pfds.size(), 500);
     if (ready < 0 && errno != EINTR) {
@@ -397,11 +620,14 @@ void NodeDaemon::Run() {
       }
       ++i;
     }
-    // Established connections (driver + peers). Note pfds beyond i map
-    // 1:1 onto the conns vector.
+    // Established connections (driver + peers) then pending ones; pfds
+    // beyond i map 1:1 onto conns/conn_peer. Pending entries come last, so
+    // a classification that replaces a dead driver/peer connection only
+    // destroys an object whose index was already processed.
     for (; i < pfds.size(); ++i) {
       FrameConn* conn = conns[i];
       if (conn == nullptr) continue;
+      int from_peer = conn_peer[i];
       if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
         const bool is_pending =
             std::any_of(pending_.begin(), pending_.end(),
@@ -424,10 +650,29 @@ void NodeDaemon::Run() {
           if (hello.type == FrameType::kDriverHello) {
             driver_ = std::move(owned);
             conn = driver_.get();
+            from_peer = -1;
+            // A reconnecting driver (daemon restart) picks up the frames
+            // produced while no driver was attached.
+            while (!driver_outbox_.empty()) {
+              driver_->SendFrame(driver_outbox_.front());
+              driver_outbox_.pop_front();
+            }
           } else if (hello.type == FrameType::kPeerHello &&
                      hello.daemon_id < peers_.size()) {
+            const int p = static_cast<int>(hello.daemon_id);
             peers_[hello.daemon_id] = std::move(owned);
             conn = peers_[hello.daemon_id].get();
+            from_peer = p;
+            // Acceptor handshake: reply with our processed count, then
+            // resume the session from the initiator's.
+            WireFrame reply;
+            reply.type = FrameType::kPeerHello;
+            reply.daemon_id = static_cast<std::uint32_t>(daemon_id_);
+            reply.resume = sessions_[static_cast<std::size_t>(p)].processed;
+            conn->SendFrame(reply);
+            conn->Flush();
+            GoLive(p, hello.resume);
+            if (peers_[static_cast<std::size_t>(p)] == nullptr) continue;
           } else {
             continue;  // bogus hello: drop the connection
           }
@@ -440,24 +685,44 @@ void NodeDaemon::Run() {
               const DecodeStatus s = conn->NextFrame(&frame);
               if (s == DecodeStatus::kNeedMore) break;
               if (s != DecodeStatus::kOk) {
-                Fail(conn->error());
+                if (from_peer >= 0) {
+                  MarkPeerDown(from_peer);
+                } else {
+                  Fail(conn->error());
+                }
                 break;
               }
-              HandleFrame(std::move(frame));
+              HandleFrame(std::move(frame), from_peer);
               frame = WireFrame{};
               if (shutdown_) break;
+            }
+            if (from_peer >= 0 &&
+                peers_[static_cast<std::size_t>(from_peer)] == nullptr) {
+              continue;  // link was torn down while draining
             }
           }
           if (!alive && conn == driver_.get()) HandleDriverEof();
         } else if (!peers_ready_) {
-          // Bring-up gate: leave the bytes in the kernel buffer; poll is
+          if (from_peer >= 0 &&
+              sessions_[static_cast<std::size_t>(from_peer)].state ==
+                  PeerSession::State::kAwaitResume) {
+            // The resume reply must be processed before the gate can open.
+            HandleAwaitResume(from_peer);
+            if (peers_[static_cast<std::size_t>(from_peer)] == nullptr) {
+              continue;
+            }
+          }
+          // Otherwise: leave the bytes in the kernel buffer; poll is
           // level-triggered, so POLLIN fires again once the gate opens.
-        } else if (!DrainConn(conn)) {
+        } else if (!DrainConn(conn, from_peer)) {
           if (conn == driver_.get()) {
             HandleDriverEof();
+          } else if (from_peer >= 0) {
+            // A dropped peer link is recoverable: mark the session down
+            // and let the resume handshake pick it back up.
+            MarkPeerDown(from_peer);
+            continue;
           } else {
-            // A peer closing is normal during staggered teardown; a
-            // failed (vs EOF'd) peer is an error surfaced on next send.
             conn->Close();
           }
         }

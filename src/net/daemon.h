@@ -5,10 +5,11 @@
 // from src/core: each hosted node is a LeaseNode whose Transport routes by
 // the cluster's node -> daemon map — messages between two nodes of the
 // same daemon go through an in-memory FIFO queue, messages crossing a
-// daemon boundary are encoded as treeagg-wire-v1 frames over TCP. Channel
+// daemon boundary are encoded as treeagg-wire-v2 frames over TCP. Channel
 // semantics therefore match the paper's model end to end: reliable FIFO
 // per directed edge (the local queue is FIFO; TCP is FIFO; every edge is
-// carried by exactly one of them).
+// carried by exactly one of them), even across connection drops and
+// crash-restarts, thanks to the peer-session layer below.
 //
 // The daemon is single-threaded: a poll() loop over the listener, the
 // driver connection, and the peer connections. Each inbound frame is
@@ -16,16 +17,38 @@
 // triggers — before the next frame is read, so a status snapshot taken
 // between frames observes no half-processed work.
 //
+// Peer sessions (crash-restart recovery): every peer link keeps a session
+// that outlives its TCP connection — a replay log of every kProtocol frame
+// ever routed to that peer, and a count of frames *processed* from it.
+// The kPeerHello handshake carries the processed count both directions;
+// each side resumes by replaying its log from the other's count, then goes
+// Live. Outbound frames routed while a link is not Live park in the log
+// (RouteSend never fails on a closed connection). Because `received` is
+// only counted at processing time and replay retransmits exactly the
+// unprocessed suffix, every protocol message is delivered exactly once per
+// directed edge, in order, no matter how often the connection drops.
+//
+// Crash-restart: ExportDurable() (after Run() returns) snapshots the full
+// protocol state — every hosted LeaseNode's durable state, the quiescence
+// counters, and the peer-session logs/counts. RestoreDurable() on a fresh
+// NodeDaemon re-applies it before Run(); ConnectPeers then resumes every
+// session via the hello handshake. A crash is thereby a pure pause of
+// protocol state: the Figure 1/6 mechanism itself is untouched.
+//
 // Quiescence accounting: `sent` counts every protocol message emitted by a
-// hosted node (local or remote), `received` counts every delivery to a
-// hosted node. Summed across daemons, sent == received with all local
-// queues empty means no protocol message is in flight; the driver confirms
-// with two identical snapshots (the counters are monotone).
+// hosted node (local or remote, transmitted or parked), `received` counts
+// every delivery to a hosted node. Summed across daemons, sent == received
+// with all local queues empty means no protocol message is in flight; the
+// driver confirms with two identical snapshots (the counters are monotone,
+// and both survive crash-restarts inside the durable snapshot).
 //
 // Connection bring-up: the daemon with the smaller id initiates each peer
-// link (ConnectWithBackoff tolerates daemons starting in any order); the
-// accepting side learns the initiator's identity from its kPeerHello. The
-// driver connection is recognized by kDriverHello.
+// link (ConnectWithBackoff tolerates daemons starting in any order) and
+// re-initiates it with backoff when an established link drops; the
+// accepting side learns the initiator's identity from its kPeerHello and
+// replies with its own. The driver connection is recognized by
+// kDriverHello; driver-bound frames produced while no driver is connected
+// (mid-restart) wait in an outbox.
 #ifndef TREEAGG_NET_DAEMON_H_
 #define TREEAGG_NET_DAEMON_H_
 
@@ -39,6 +62,7 @@
 #include "common/types.h"
 #include "core/lease_node.h"
 #include "net/cluster.h"
+#include "net/faulty_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "sim/trace.h"
@@ -50,6 +74,26 @@ class NodeDaemon {
  public:
   struct Options {
     TransportOptions transport;
+    // Optional frame-level fault injection on outbound peer frames (chaos
+    // runs). The injector is shared so the harness can arm/disarm it.
+    std::shared_ptr<PeerFaultInjector> fault_injector;
+  };
+
+  // Everything a crashed daemon must remember to resume as if it had only
+  // paused: hosted-node protocol state, quiescence counters, and the peer
+  // sessions (replay logs + processed counts). Plain data, copyable.
+  struct DurableState {
+    std::vector<std::pair<NodeId, LeaseNode::DurableState>> nodes;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    MessageCounts counts;
+    struct SessionState {
+      int peer = -1;
+      std::vector<WireFrame> log;    // every kProtocol frame routed there
+      std::uint64_t processed = 0;   // frames from `peer` processed so far
+    };
+    std::vector<SessionState> sessions;
+    std::vector<Message> local_queue;  // empty between frames, kept for form
   };
 
   NodeDaemon(int daemon_id, ClusterConfig config, Options options = {});
@@ -76,8 +120,22 @@ class NodeDaemon {
   void Run();
 
   // Thread-safe: wakes the poll loop and makes Run() return. Used by
-  // in-process clusters on abnormal teardown.
+  // in-process clusters on teardown and by the chaos harness as the kill.
   void RequestStop();
+
+  // Thread-safe: severs the TCP connection to `peer` (the daemon thread
+  // performs the shutdown on its next loop turn). Both sides recover
+  // through the session-resume handshake — this is the transient-partition
+  // fault, not an error.
+  void RequestSeverPeer(int peer);
+
+  // Snapshot of the durable state; call after Run() has returned (the
+  // in-process cluster joins the daemon thread first).
+  DurableState ExportDurable() const;
+  // Stages `state` to be re-applied inside Run() after the nodes are
+  // built. Call before Bind()/Run() on a freshly constructed daemon with
+  // the same id and cluster config.
+  void RestoreDurable(DurableState state);
 
   // Empty after a clean Run(); otherwise the reason it aborted.
   const std::string& error() const { return error_; }
@@ -97,33 +155,74 @@ class NodeDaemon {
     std::unique_ptr<FrameConn> conn;
   };
 
+  // One peer link's state across TCP connections. Down: no usable
+  // connection (initiator side schedules reconnect attempts). AwaitResume:
+  // connection open, our hello sent, waiting for the peer's resume count.
+  // Live: resume done, frames flow; RouteSend transmits immediately.
+  struct PeerSession {
+    enum class State { kDown, kAwaitResume, kLive };
+    State state = State::kDown;
+    std::vector<WireFrame> log;  // replay log; GC'd never (ROADMAP item)
+    std::size_t sent_upto = 0;   // log prefix transmitted on current conn
+    std::uint64_t processed = 0;  // inbound frames processed from the peer
+    std::int64_t next_attempt_ms = 0;  // initiator reconnect schedule
+    std::int64_t backoff_ms = 0;
+    std::int64_t give_up_ms = 0;  // Fail when still down past this
+  };
+
   void BuildNodes();
+  void ApplyRestore();
   void ConnectPeers();
   bool HostsNode(NodeId u) const {
     return config_.node_daemon[static_cast<std::size_t>(u)] == daemon_id_;
   }
   LeaseNode& NodeRef(NodeId u) { return *nodes_[static_cast<std::size_t>(u)]; }
+  bool Initiates(int peer) const { return daemon_id_ < peer; }
 
-  // True once every peer link this daemon's tree edges need is open.
-  // Until then no inbound frame is handled (only hellos are classified):
-  // an inject or forwarded protocol message processed earlier could need
-  // to route onto a connection that does not exist yet. Deferred bytes
-  // wait in the kernel socket buffer (poll is level-triggered), except
-  // frames read behind a hello during classification, which wait in that
-  // connection's FrameReader until DrainParkedFrames().
+  // True once every peer session is Live. Until then no non-hello frame is
+  // handled: an inject or forwarded protocol message processed earlier
+  // could need to route onto a link that is not resumed yet. Deferred
+  // bytes wait in the kernel socket buffer (poll is level-triggered),
+  // except frames read behind a hello during classification, which wait in
+  // that connection's FrameReader until DrainParkedFrames().
   bool PeersReady() const;
   void DrainParkedFrames();
 
   void RouteSend(Message m);        // NetTransport::Send body
   void DrainLocal();                // deliver the intra-daemon queue
   void OnCombineDone(NodeId node, CombineToken token, Real value);
-  void HandleFrame(WireFrame frame);
+  // `from_peer`: daemon id of the peer connection the frame arrived on,
+  // or -1 for the driver connection (session accounting needs the origin).
+  void HandleFrame(WireFrame frame, int from_peer);
   void HandleDriverEof();
-  bool DrainConn(FrameConn* conn);  // read + decode; false on close/error
+  bool DrainConn(FrameConn* conn, int from_peer);
   void FlushAll();
   void Fail(std::string why);
   std::unique_ptr<FrameConn> TakePending(FrameConn* conn);
   void ErasePending(FrameConn* conn);
+
+  // --- peer-session layer -----------------------------------------------
+  // Sends `frame` on the live connection to `peer`, consulting the fault
+  // injector (which may put a damaged copy on the wire or sever the link
+  // afterwards). The caller has already appended the frame to the log.
+  void TransmitToPeer(int peer, const WireFrame& frame);
+  // Marks the link Down, drops the connection, and (initiator side)
+  // schedules reconnect attempts.
+  void MarkPeerDown(int peer);
+  // Replays log[resume:] and marks the link Live.
+  void GoLive(int peer, std::uint64_t resume);
+  // Handshake step on a newly established link: our hello with our
+  // processed count.
+  void SendPeerHello(int peer);
+  // Initiator side: attempts due reconnects (bounded short connects).
+  void MaybeReconnectPeers();
+  // Pre-gate handling of an AwaitResume connection: consume the hello
+  // (and only the hello); later frames stay parked for the gate replay.
+  void HandleAwaitResume(int peer);
+
+  // Driver-bound frames park here while no driver connection is open
+  // (e.g. the daemon restarted and the driver has not reconnected yet).
+  void SendToDriver(const WireFrame& frame);
 
   const int daemon_id_;
   ClusterConfig config_;
@@ -135,16 +234,21 @@ class NodeDaemon {
 
   TcpListener listener_;
   std::vector<std::unique_ptr<FrameConn>> peers_;  // by daemon id; may be null
+  std::vector<PeerSession> sessions_;              // by daemon id
   std::unique_ptr<FrameConn> driver_;
   std::vector<PendingConn> pending_;
+  std::deque<WireFrame> driver_outbox_;
 
   std::deque<Message> local_queue_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   MessageCounts counts_;
 
+  std::unique_ptr<DurableState> restore_;  // staged by RestoreDurable()
+
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<int> sever_peer_{-1};
   bool peers_ready_ = false;  // latched result of PeersReady()
   bool shutdown_ = false;
   std::string error_;

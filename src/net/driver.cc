@@ -9,6 +9,9 @@
 
 namespace treeagg {
 
+NetDriver::NetDriver(ClusterConfig config)
+    : NetDriver(std::move(config), Options()) {}
+
 NetDriver::NetDriver(ClusterConfig config, Options options)
     : config_(std::move(config)), options_(options) {
   config_.Validate();
@@ -24,6 +27,7 @@ NetDriver::~NetDriver() {
 
 void NetDriver::Connect() {
   conns_.clear();
+  down_.assign(config_.daemons.size(), 0);
   for (const ClusterConfig::DaemonAddr& addr : config_.daemons) {
     std::string err;
     ScopedFd fd =
@@ -46,6 +50,10 @@ FrameConn* NetDriver::ConnForNode(NodeId node) {
                                 " outside the tree");
   }
   const int daemon = config_.node_daemon[static_cast<std::size_t>(node)];
+  if (down_[static_cast<std::size_t>(daemon)]) {
+    throw std::runtime_error("NetDriver: daemon " + std::to_string(daemon) +
+                             " is marked down (inject after restart)");
+  }
   FrameConn* conn = conns_[static_cast<std::size_t>(daemon)].get();
   if (conn == nullptr || !conn->open()) {
     throw std::runtime_error("NetDriver: connection to daemon " +
@@ -53,6 +61,59 @@ FrameConn* NetDriver::ConnForNode(NodeId node) {
                              " is down: " + (conn ? conn->error() : ""));
   }
   return conn;
+}
+
+void NetDriver::MarkDaemonDown(int d) {
+  down_[static_cast<std::size_t>(d)] = 1;
+  auto& conn = conns_[static_cast<std::size_t>(d)];
+  if (conn) conn->Close();
+}
+
+void NetDriver::ReconnectDaemon(int d) {
+  const ClusterConfig::DaemonAddr& addr =
+      config_.daemons[static_cast<std::size_t>(d)];
+  std::string err;
+  ScopedFd fd =
+      ConnectWithBackoff(addr.host, addr.port, options_.transport, &err);
+  if (!fd.valid()) {
+    throw std::runtime_error("NetDriver: reconnect to daemon " +
+                             std::to_string(d) + ": " + err);
+  }
+  auto conn = std::make_unique<FrameConn>(std::move(fd), options_.transport);
+  WireFrame hello;
+  hello.type = FrameType::kDriverHello;
+  conn->SendFrame(hello);
+  conn->Flush();
+  conns_[static_cast<std::size_t>(d)] = std::move(conn);
+  down_[static_cast<std::size_t>(d)] = 0;
+}
+
+std::size_t NetDriver::ReinjectIncomplete(const std::vector<int>& daemons) {
+  std::size_t resent = 0;
+  // records() is in id (= initiation) order; the driver connection is
+  // FIFO, so re-applied writes land in initiation order and the final
+  // value at every node is unchanged.
+  for (const RequestRecord& r : history_.records()) {
+    if (r.completed()) continue;
+    const int owner = config_.node_daemon[static_cast<std::size_t>(r.node)];
+    if (std::find(daemons.begin(), daemons.end(), owner) == daemons.end()) {
+      continue;
+    }
+    FrameConn* conn = ConnForNode(r.node);
+    WireFrame f;
+    f.req = r.id;
+    f.node = r.node;
+    if (r.op == ReqType::kWrite) {
+      f.type = FrameType::kInjectWrite;
+      f.arg = r.arg;
+    } else {
+      f.type = FrameType::kInjectCombine;
+    }
+    conn->SendFrame(f);
+    ++resent;
+  }
+  FlushAll();
+  return resent;
 }
 
 ReqId NetDriver::InjectWrite(NodeId node, Real arg) {
@@ -89,19 +150,25 @@ void NetDriver::FlushAll() {
 }
 
 void NetDriver::Timeout(const std::string& what) {
-  throw std::runtime_error("NetDriver: timed out waiting for " + what +
-                           " (io_timeout_ms = " +
-                           std::to_string(options_.transport.io_timeout_ms) +
-                           ")");
+  throw std::runtime_error(
+      "NetDriver: timed out waiting for " + what + " (io_timeout_ms = " +
+      std::to_string(options_.transport.io_timeout_ms) +
+      ", quiescence_deadline_ms = " +
+      std::to_string(options_.quiescence_deadline_ms) + ")");
 }
 
 void NetDriver::DispatchFrame(std::size_t daemon, WireFrame frame) {
   switch (frame.type) {
     case FrameType::kWriteDone:
+      // Re-injection after a crash-restart can complete a request twice
+      // (once from the restored daemon state, once from the re-sent
+      // frame); the first completion wins.
+      if (history_.record(frame.req).completed()) break;
       history_.CompleteWrite(frame.req, clock_++);
       --outstanding_;
       break;
     case FrameType::kCombineDone:
+      if (history_.record(frame.req).completed()) break;
       history_.CompleteCombine(frame.req, frame.value, std::move(frame.gather),
                                frame.log_prefix, clock_++);
       --outstanding_;
@@ -139,6 +206,7 @@ void NetDriver::PumpOnce(int timeout_ms) {
   std::vector<pollfd> pfds;
   std::vector<std::size_t> owners;
   for (std::size_t d = 0; d < conns_.size(); ++d) {
+    if (down_[d]) continue;  // killed by the chaos harness, not a failure
     FrameConn* c = conns_[d].get();
     if (c == nullptr || !c->open()) {
       throw std::runtime_error("NetDriver: daemon " + std::to_string(d) +
@@ -197,6 +265,13 @@ void NetDriver::WaitCompleted(ReqId id) {
 }
 
 std::vector<StatusPayload> NetDriver::SnapshotStatus() {
+  for (std::size_t d = 0; d < conns_.size(); ++d) {
+    if (down_[d]) {
+      throw std::runtime_error("NetDriver: status snapshot with daemon " +
+                               std::to_string(d) +
+                               " down (restart it first)");
+    }
+  }
   current_probe_ = next_probe_++;
   status_.assign(conns_.size(), StatusPayload{});
   status_seen_.assign(conns_.size(), false);
@@ -207,10 +282,23 @@ std::vector<StatusPayload> NetDriver::SnapshotStatus() {
     c->SendFrame(req);
     c->Flush();
   }
-  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  const std::int64_t deadline =
+      NowMs() + std::min(options_.transport.io_timeout_ms,
+                         options_.quiescence_deadline_ms);
   while (!std::all_of(status_seen_.begin(), status_seen_.end(),
                       [](bool b) { return b; })) {
-    if (NowMs() >= deadline) Timeout("status snapshot");
+    if (NowMs() >= deadline) {
+      // Name the first daemon that never answered: the usual cause is a
+      // dead or hung daemon, and "which one" is the whole diagnosis.
+      std::string who;
+      for (std::size_t d = 0; d < status_seen_.size(); ++d) {
+        if (!status_seen_[d]) {
+          who = "daemon " + std::to_string(d) + " unresponsive";
+          break;
+        }
+      }
+      Timeout("status snapshot (" + who + ")");
+    }
     PumpOnce(50);
   }
   current_probe_ = 0;
@@ -218,7 +306,7 @@ std::vector<StatusPayload> NetDriver::SnapshotStatus() {
 }
 
 void NetDriver::WaitQuiescent() {
-  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  const std::int64_t deadline = NowMs() + options_.quiescence_deadline_ms;
   std::vector<StatusPayload> prev;
   for (;;) {
     std::vector<StatusPayload> snap = SnapshotStatus();

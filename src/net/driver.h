@@ -41,9 +41,15 @@ class NetDriver {
  public:
   struct Options {
     TransportOptions transport;
+    // Upper bound on WaitQuiescent(): a dead or hung daemon fails the wait
+    // with a one-line diagnostic naming it instead of hanging the caller.
+    // Generous by default (recovery from injected faults takes reconnect
+    // backoffs); tests tighten it.
+    std::int64_t quiescence_deadline_ms = 120000;
   };
 
-  explicit NetDriver(ClusterConfig config, Options options = {});
+  explicit NetDriver(ClusterConfig config);
+  NetDriver(ClusterConfig config, Options options);
   ~NetDriver();
 
   NetDriver(const NetDriver&) = delete;
@@ -80,6 +86,26 @@ class NetDriver {
   // Sends kShutdown to every daemon and closes the connections. Idempotent.
   void Shutdown();
 
+  // --- crash-restart support (chaos harness) ----------------------------
+  // Marks daemon `d` down: its connection is closed and PumpOnce stops
+  // treating the dead connection as fatal. Injections to its nodes throw
+  // until ReconnectDaemon().
+  void MarkDaemonDown(int d);
+  // Re-establishes the connection to a restarted daemon `d` (kDriverHello
+  // handshake) and clears its down mark. Throws on failure.
+  void ReconnectDaemon(int d);
+  // Re-sends every incomplete request hosted by one of `daemons`, in id
+  // order, WITHOUT creating new history records: frames to a killed daemon
+  // may have died with its connection, and the daemon-side state restore
+  // plus this re-injection make the pair exactly-once (duplicate
+  // completions are ignored by DispatchFrame). Returns how many requests
+  // were re-sent.
+  std::size_t ReinjectIncomplete(const std::vector<int>& daemons);
+  // The driver's logical clock (initiation/completion sequence). The chaos
+  // harness records fault windows in this clock for the convergence
+  // checker's outside-window restriction.
+  std::int64_t clock() const { return clock_; }
+
   const History& history() const { return history_; }
   const ClusterConfig& config() const { return config_; }
   // Total protocol messages sent, from the last status snapshot.
@@ -100,6 +126,7 @@ class NetDriver {
   ClusterConfig config_;
   Options options_;
   std::vector<std::unique_ptr<FrameConn>> conns_;  // by daemon id
+  std::vector<char> down_;  // daemons marked down by MarkDaemonDown
   History history_;
   std::int64_t clock_ = 0;  // initiation/completion sequence numbers
   std::size_t outstanding_ = 0;

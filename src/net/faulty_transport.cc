@@ -1,0 +1,68 @@
+#include "net/faulty_transport.h"
+
+#include <algorithm>
+
+namespace treeagg {
+namespace {
+
+void PatchLength(std::vector<std::uint8_t>* bytes, std::uint32_t body_len) {
+  (*bytes)[0] = static_cast<std::uint8_t>(body_len);
+  (*bytes)[1] = static_cast<std::uint8_t>(body_len >> 8);
+  (*bytes)[2] = static_cast<std::uint8_t>(body_len >> 16);
+  (*bytes)[3] = static_cast<std::uint8_t>(body_len >> 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> TruncatedFrame(const WireFrame& frame,
+                                         std::size_t drop_bytes) {
+  std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+  const std::size_t body = bytes.size() - 4;
+  // Keep the magic/version/type header; drop at least one payload byte
+  // when there is one (a payload-free frame keeps its header and stays
+  // valid — callers wanting guaranteed breakage pass payload frames).
+  const std::size_t cut = std::min(drop_bytes, body - 3);
+  bytes.resize(bytes.size() - cut);
+  PatchLength(&bytes, static_cast<std::uint32_t>(body - cut));
+  return bytes;
+}
+
+std::vector<std::uint8_t> OversizedLengthFrame(const WireFrame& frame) {
+  std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+  PatchLength(&bytes, static_cast<std::uint32_t>(kMaxFrameLen) + 1);
+  return bytes;
+}
+
+std::vector<std::uint8_t> DuplicatedFrame(const WireFrame& frame) {
+  std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+  const std::size_t n = bytes.size();
+  bytes.resize(2 * n);
+  std::copy(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n),
+            bytes.begin() + static_cast<std::ptrdiff_t>(n));
+  return bytes;
+}
+
+PeerFaultInjector::Action PeerFaultInjector::Decide() {
+  if (!armed()) return Action::kNone;
+  if (rng_.NextBool(options_.corrupt_probability)) {
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kCorrupt;
+  }
+  if (rng_.NextBool(options_.sever_probability)) {
+    severed_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kSever;
+  }
+  return Action::kNone;
+}
+
+std::vector<std::uint8_t> PeerFaultInjector::Corrupt(const WireFrame& frame) {
+  // Both mutations are detected before any payload field is trusted:
+  // truncation underruns the payload cursor (kBadPayload), the oversized
+  // length is rejected straight off the prefix (kBadLength).
+  if (rng_.NextBool(0.5)) {
+    return TruncatedFrame(frame, 1 + rng_.NextBounded(8));
+  }
+  return OversizedLengthFrame(frame);
+}
+
+}  // namespace treeagg

@@ -1,0 +1,99 @@
+// Frame-level fault injection for the networked backend.
+//
+// Two pieces live here:
+//
+//   Frame mutators — pure functions that take a well-formed WireFrame and
+//   return deliberately damaged encodings (truncated inside a multi-byte
+//   integer with a consistent length prefix, oversized length prefix,
+//   duplicated frame). They are the single source of malformed-frame
+//   material for both the wire-format tests and live chaos runs, so the
+//   corpus and the injector can never drift apart.
+//
+//   PeerFaultInjector — a seeded decision source consulted by NodeDaemon
+//   on every outbound peer frame while "armed". It can corrupt the frame
+//   on the wire (ahead of the codec) or sever the socket after sending.
+//   Every injected fault is *detectable*: a corrupted frame poisons the
+//   receiver's FrameReader, which tears the peer connection down, and the
+//   kPeerHello resume handshake replays the clean copy from the sender's
+//   session log. Faults therefore cost retransmissions and reconnects but
+//   never silently alter protocol state — the recovery path, not the
+//   fault, is what is being exercised.
+//
+// Thread model: Arm()/Disarm() are called from the harness thread;
+// Decide()/Corrupt() only from the owning daemon's thread. The armed flag
+// is the only cross-thread state.
+#ifndef TREEAGG_NET_FAULTY_TRANSPORT_H_
+#define TREEAGG_NET_FAULTY_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace treeagg {
+
+// `frame` encoded, then cut `drop_bytes` off the end of the body with the
+// length prefix rewritten to match the shortened body. The cut lands
+// inside the payload's fixed-width integers, so decoding fails with
+// kBadPayload (never a crash, never a partial frame accepted).
+// `drop_bytes` is clamped to keep the 3-byte body header intact.
+std::vector<std::uint8_t> TruncatedFrame(const WireFrame& frame,
+                                         std::size_t drop_bytes);
+
+// `frame` encoded with its length prefix overwritten by a value above
+// kMaxFrameLen: the decoder must reject it as kBadLength before waiting
+// for (or allocating) the claimed body.
+std::vector<std::uint8_t> OversizedLengthFrame(const WireFrame& frame);
+
+// Two back-to-back copies of `frame`'s encoding: both decode cleanly, so
+// a receiver without exactly-once protection processes the frame twice.
+std::vector<std::uint8_t> DuplicatedFrame(const WireFrame& frame);
+
+class PeerFaultInjector {
+ public:
+  struct Options {
+    // Probability an outbound peer frame is corrupted on the wire.
+    double corrupt_probability = 0;
+    // Probability the socket is severed right after an outbound frame.
+    double sever_probability = 0;
+    std::uint64_t seed = 1;
+  };
+
+  enum class Action { kNone, kCorrupt, kSever };
+
+  explicit PeerFaultInjector(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  // Window control (harness thread): faults fire only while armed.
+  void Arm() { armed_.store(true, std::memory_order_relaxed); }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Daemon thread: the fate of one outbound frame.
+  Action Decide();
+
+  // Daemon thread: a damaged encoding of `frame` (random mutator choice).
+  std::vector<std::uint8_t> Corrupt(const WireFrame& frame);
+
+  // How often each fault actually fired (tests assert the fault window was
+  // not vacuously empty; the chaos harness reports them).
+  std::size_t corrupted_count() const {
+    return corrupted_.load(std::memory_order_relaxed);
+  }
+  std::size_t severed_count() const {
+    return severed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::size_t> corrupted_{0};
+  std::atomic<std::size_t> severed_{0};
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_FAULTY_TRANSPORT_H_

@@ -18,10 +18,15 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
       AssignNodes(config_.NumNodes(), options.daemons, options.placement);
   config_.Validate();
 
-  NodeDaemon::Options daemon_options;
-  daemon_options.transport = options.transport;
+  daemon_options_.transport = options.transport;
+  injectors_ = options.fault_injectors;
+  durable_.resize(static_cast<std::size_t>(options.daemons));
   try {
     for (int d = 0; d < options.daemons; ++d) {
+      NodeDaemon::Options daemon_options = daemon_options_;
+      if (static_cast<std::size_t>(d) < injectors_.size()) {
+        daemon_options.fault_injector = injectors_[static_cast<std::size_t>(d)];
+      }
       daemons_.push_back(
           std::make_unique<NodeDaemon>(d, config_, daemon_options));
       daemons_.back()->Bind();
@@ -37,11 +42,52 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
     }
     NetDriver::Options driver_options;
     driver_options.transport = options.transport;
+    driver_options.quiescence_deadline_ms = options.quiescence_deadline_ms;
     driver_ = std::make_unique<NetDriver>(config_, driver_options);
     driver_->Connect();
   } catch (...) {
     Stop();
     throw;
+  }
+}
+
+void LocalCluster::KillDaemon(int d) {
+  const std::size_t idx = static_cast<std::size_t>(d);
+  driver_->MarkDaemonDown(d);
+  daemons_[idx]->RequestStop();
+  if (threads_[idx].joinable()) threads_[idx].join();
+  durable_[idx] = std::make_unique<NodeDaemon::DurableState>(
+      daemons_[idx]->ExportDurable());
+  // Destroying the daemon closes its listener so the restart can rebind
+  // the same (already-resolved) port.
+  daemons_[idx].reset();
+}
+
+std::size_t LocalCluster::RestartDaemon(int d) {
+  const std::size_t idx = static_cast<std::size_t>(d);
+  NodeDaemon::Options daemon_options = daemon_options_;
+  if (idx < injectors_.size()) {
+    daemon_options.fault_injector = injectors_[idx];
+  }
+  auto daemon = std::make_unique<NodeDaemon>(d, config_, daemon_options);
+  daemon->RestoreDurable(std::move(*durable_[idx]));
+  durable_[idx].reset();
+  daemon->Bind();  // same resolved port: SO_REUSEADDR covers TIME_WAIT
+  daemons_[idx] = std::move(daemon);
+  threads_[idx] = std::thread([raw = daemons_[idx].get()] { raw->Run(); });
+  driver_->ReconnectDaemon(d);
+  // Frames that died with the old driver connection (injects never
+  // processed, completions never delivered): re-send every incomplete
+  // request hosted by the restarted daemon. Duplicates are resolved by
+  // the daemon's idempotent write-log append and the driver's completion
+  // dedup.
+  return driver_->ReinjectIncomplete({d});
+}
+
+void LocalCluster::SeverPeerLink(int d1, int d2) {
+  const std::size_t i1 = static_cast<std::size_t>(d1);
+  if (i1 < daemons_.size() && daemons_[i1] != nullptr) {
+    daemons_[i1]->RequestSeverPeer(d2);
   }
 }
 
@@ -51,7 +97,9 @@ void LocalCluster::Stop() {
   if (stopped_) return;
   stopped_ = true;
   if (driver_) driver_->Shutdown();
-  for (auto& daemon : daemons_) daemon->RequestStop();
+  for (auto& daemon : daemons_) {
+    if (daemon) daemon->RequestStop();
+  }
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -59,7 +107,7 @@ void LocalCluster::Stop() {
 
 std::string LocalCluster::DaemonError() const {
   for (const auto& daemon : daemons_) {
-    if (!daemon->error().empty()) {
+    if (daemon && !daemon->error().empty()) {
       return daemon->error();
     }
   }

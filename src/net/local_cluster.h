@@ -34,6 +34,11 @@ class LocalCluster {
     bool ghost_logging = true;
     std::string placement = "block";  // block | rr
     TransportOptions transport;
+    // Upper bound on driver quiescence waits (see NetDriver::Options).
+    std::int64_t quiescence_deadline_ms = 120000;
+    // Per-daemon frame-level fault injectors (chaos runs); empty = none.
+    // Indexed by daemon id; shared so the harness can arm/disarm them.
+    std::vector<std::shared_ptr<PeerFaultInjector>> fault_injectors;
   };
 
   // Spins up the daemons and connects the driver. Throws on any setup
@@ -54,11 +59,32 @@ class LocalCluster {
   // First daemon-side error, if any (valid after Stop()).
   std::string DaemonError() const;
 
+  // --- fault injection (chaos harness) ----------------------------------
+  // Fail-stop crash of daemon `d`: the driver marks it down, the daemon
+  // thread is stopped and joined, the durable state is extracted, and the
+  // daemon object (with its listener socket) is destroyed. Requests
+  // in flight on its driver connection may be lost — RestartDaemon
+  // re-injects them.
+  void KillDaemon(int d);
+  // Brings daemon `d` back: a fresh NodeDaemon with the extracted durable
+  // state rebinds the same port, peer sessions resume via the kPeerHello
+  // handshake, the driver reconnects and re-injects the requests that may
+  // have died with the old connection. Returns how many requests were
+  // re-injected.
+  std::size_t RestartDaemon(int d);
+  // Transient partition: severs the TCP link between two daemons (no-op
+  // if they share no tree edge). Both sides recover through session
+  // resume; convergence is delayed, never lost.
+  void SeverPeerLink(int d1, int d2);
+
  private:
   ClusterConfig config_;
+  NodeDaemon::Options daemon_options_;
   std::vector<std::unique_ptr<NodeDaemon>> daemons_;
+  std::vector<std::unique_ptr<NodeDaemon::DurableState>> durable_;
   std::vector<std::thread> threads_;
   std::unique_ptr<NetDriver> driver_;
+  std::vector<std::shared_ptr<PeerFaultInjector>> injectors_;
   bool stopped_ = false;
 };
 

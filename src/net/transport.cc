@@ -102,6 +102,14 @@ void FrameConn::SendFrame(const WireFrame& frame) {
   }
 }
 
+void FrameConn::SendRawBytes(const std::vector<std::uint8_t>& bytes) {
+  if (!open()) return;
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+  if (OutboundBytes() > options_.max_write_buffer) {
+    FailWith("write buffer overflow (peer not draining)");
+  }
+}
+
 bool FrameConn::Flush() {
   if (!open()) return false;
   while (out_pos_ < out_.size()) {

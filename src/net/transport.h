@@ -17,10 +17,12 @@
 // return, never as SIGPIPE.
 //
 // Scope note: backoff-and-retry covers connection *establishment* (daemons
-// of one cluster start in arbitrary order). An established connection that
-// drops mid-run is a hard peer failure — the wire protocol has no
-// ack/replay layer, so re-sending from an arbitrary byte position could
-// corrupt the frame stream.
+// of one cluster start in arbitrary order). An established peer connection
+// that drops mid-run is recovered one layer up: the daemon keeps a replay
+// log of sent protocol frames per peer session, and the kPeerHello resume
+// handshake retransmits exactly the frames the other side never processed
+// (see net/daemon.h). Recovery is frame-granular, never from an arbitrary
+// byte position, so the frame stream cannot be corrupted by a resend.
 #ifndef TREEAGG_NET_TRANSPORT_H_
 #define TREEAGG_NET_TRANSPORT_H_
 
@@ -117,6 +119,11 @@ class FrameConn {
   // Serializes `frame` onto the outbound buffer. Fails the connection if
   // the backlog exceeds the backpressure cap.
   void SendFrame(const WireFrame& frame);
+
+  // Appends pre-encoded (possibly deliberately malformed) frame bytes to
+  // the outbound buffer. Used by fault injection to put a damaged frame on
+  // the wire ahead of the codec; same backpressure rules as SendFrame.
+  void SendRawBytes(const std::vector<std::uint8_t>& bytes);
 
   // Writes as much buffered data as the socket accepts. Returns false on
   // a fatal socket error (connection is failed).

@@ -168,6 +168,7 @@ void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f) {
   switch (f.type) {
     case FrameType::kPeerHello:
       PutU32(out, f.daemon_id);
+      PutU64(out, f.resume);
       break;
     case FrameType::kDriverHello:
     case FrameType::kHarvestReq:
@@ -229,6 +230,7 @@ bool DecodePayload(Cursor* c, WireFrame* f) {
   switch (f->type) {
     case FrameType::kPeerHello:
       f->daemon_id = c->GetU32();
+      f->resume = c->GetU64();
       break;
     case FrameType::kDriverHello:
     case FrameType::kHarvestReq:
@@ -347,7 +349,8 @@ bool FramesEqual(const WireFrame& a, const WireFrame& b) {
                  mb.release_ids.begin(), mb.release_ids.end()) &&
       static_cast<bool>(ma.wlog) == static_cast<bool>(mb.wlog) &&
       (!ma.wlog || *ma.wlog == *mb.wlog);
-  return msg_equal && a.daemon_id == b.daemon_id && a.req == b.req &&
+  return msg_equal && a.daemon_id == b.daemon_id && a.resume == b.resume &&
+         a.req == b.req &&
          a.node == b.node && a.arg == b.arg && a.value == b.value &&
          a.gather == b.gather && a.log_prefix == b.log_prefix &&
          a.status == b.status && a.harvest == b.harvest;

@@ -1,4 +1,4 @@
-// treeagg-wire-v1: the versioned binary wire format of the networked
+// treeagg-wire-v2: the versioned binary wire format of the networked
 // backend.
 //
 // A frame on the wire is a 4-byte little-endian length prefix followed by
@@ -36,14 +36,16 @@
 namespace treeagg {
 
 inline constexpr std::uint8_t kWireMagic = 0xA6;
-inline constexpr std::uint8_t kWireVersion = 1;  // treeagg-wire-v1
+// v2 added the resume count to kPeerHello (crash-restart session resume);
+// every other payload is unchanged from v1.
+inline constexpr std::uint8_t kWireVersion = 2;  // treeagg-wire-v2
 // Upper bound on the frame body (magic byte onward). Harvest frames carry
 // whole ghost logs, so the cap is generous; anything larger is rejected as
 // a corrupted length prefix.
 inline constexpr std::size_t kMaxFrameLen = 1u << 22;
 
 enum class FrameType : std::uint8_t {
-  kPeerHello = 0,      // daemon_id of the connecting daemon
+  kPeerHello = 0,      // daemon_id + resume count (session handshake)
   kDriverHello = 1,    // no payload; identifies the driver connection
   kProtocol = 2,       // a core::Message crossing a daemon boundary
   kInjectWrite = 3,    // req, node, arg
@@ -94,6 +96,11 @@ struct WireFrame {
   FrameType type = FrameType::kShutdown;
 
   std::uint32_t daemon_id = 0;  // kPeerHello
+  // kPeerHello: how many kProtocol frames from the receiving daemon this
+  // sender has already processed. The receiver resumes the peer session by
+  // replaying its send log from this position (exactly-once across
+  // connection drops and crash-restarts).
+  std::uint64_t resume = 0;
 
   Message msg;  // kProtocol
 

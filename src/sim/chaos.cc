@@ -1,0 +1,200 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace treeagg {
+
+namespace {
+std::uint64_t EdgeKey(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+}  // namespace
+
+ChaosSimulator::ChaosSimulator(const Tree& tree, const PolicyFactory& factory,
+                               FaultSchedule schedule)
+    : ChaosSimulator(tree, factory, std::move(schedule), Options{}) {}
+
+ChaosSimulator::ChaosSimulator(const Tree& tree, const PolicyFactory& factory,
+                               FaultSchedule schedule, Options options)
+    : tree_(&tree),
+      op_(*options.op),
+      options_(options),
+      faults_(std::move(schedule)),
+      rng_(options.seed),
+      fault_rng_(faults_.seed()),
+      trace_(MessageTrace::Options{.keep_log = options.keep_message_log,
+                                   .per_edge = true,
+                                   .tree_nodes = tree.size()}),
+      transport_(this) {
+  nodes_.reserve(static_cast<std::size_t>(tree.size()));
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    const std::vector<NodeId> nbrs = tree.neighbors(u).ToVector();
+    nodes_.push_back(std::make_unique<LeaseNode>(
+        u, nbrs, op_, factory(u, nbrs), &transport_,
+        [this](NodeId node, CombineToken token, Real value) {
+          OnCombineDone(node, token, value);
+        },
+        options_.ghost_logging));
+  }
+}
+
+void ChaosSimulator::PushDelivery(Message m, std::int64_t at) {
+  Event e;
+  e.time = at;
+  e.seq = seq_++;
+  e.is_delivery = true;
+  e.message = std::move(m);
+  events_.push(std::move(e));
+}
+
+void ChaosSimulator::ChaosTransport::Send(Message m) {
+  ChaosSimulator& sim = *sim_;
+  sim.trace_.Record(m);
+  const std::int64_t now = sim.now_;
+  const FaultSchedule& faults = sim.faults_;
+
+  std::int64_t delay =
+      sim.rng_.NextInt(sim.options_.min_delay, sim.options_.max_delay);
+  if (const FaultEvent* d = faults.ActiveAt(FaultKind::kDelay, now)) {
+    delay += sim.fault_rng_.NextInt(d->delay_min, d->delay_max);
+  }
+
+  // Earliest admissible slot for this message, before FIFO clamping. Every
+  // fault decision happens here at send time, so per-edge slots stay
+  // monotone in send order and FIFO is preserved by construction.
+  std::int64_t earliest = now + delay;
+
+  if (const FaultEvent* drop = faults.ActiveAt(FaultKind::kDrop, now)) {
+    if (sim.fault_rng_.NextBool(drop->p)) {
+      // Parked until the loss window closes: loss + retransmit-after-heal.
+      earliest = std::max(earliest, drop->end);
+    }
+  }
+  if (faults.EdgeCutAt(m.from, m.to, now)) {
+    earliest = std::max(earliest, faults.CutEnd(m.from, m.to, now));
+  }
+  // A delivery that would land while the destination is down waits for its
+  // restart (the durable-state recovery replays it, in order).
+  if (faults.CrashedAt(m.to, earliest)) {
+    earliest = std::max(earliest, faults.CrashEnd(m.to, earliest));
+  }
+
+  const std::uint64_t key = EdgeKey(m.from, m.to);
+  std::int64_t& front = sim.channel_front_[key];
+  bool fifo = true;
+  if (const FaultEvent* ro = faults.ActiveAt(FaultKind::kReorder, now)) {
+    if (sim.fault_rng_.NextBool(ro->p)) fifo = false;
+  }
+  const std::int64_t at = fifo ? std::max(earliest, front + 1) : earliest;
+  front = std::max(front, at);
+
+  bool duplicate = false;
+  if (const FaultEvent* dup = faults.ActiveAt(FaultKind::kDuplicate, now)) {
+    duplicate = sim.fault_rng_.NextBool(dup->p);
+  }
+  if (duplicate) {
+    std::int64_t& dup_front = sim.channel_front_[key];
+    const std::int64_t dup_at = std::max(at + 1, dup_front + 1);
+    dup_front = std::max(dup_front, dup_at);
+    sim.PushDelivery(m, dup_at);
+  }
+  sim.PushDelivery(std::move(m), at);
+}
+
+void ChaosSimulator::OnCombineDone(NodeId node, CombineToken token,
+                                   Real value) {
+  const LeaseNode& n = *nodes_[static_cast<std::size_t>(node)];
+  std::vector<std::pair<NodeId, ReqId>> gather(n.LastWrites().begin(),
+                                               n.LastWrites().end());
+  history_.CompleteCombine(
+      static_cast<ReqId>(token), value, std::move(gather),
+      static_cast<std::int64_t>(n.GhostLogEntries().size()), now_);
+}
+
+void ChaosSimulator::Dispatch(const Event& e) {
+  if (e.is_delivery) {
+    nodes_[static_cast<std::size_t>(e.message.to)]->Deliver(e.message);
+    return;
+  }
+  const Request& r = e.request;
+  // A request at a down node waits for the restart (fail-stop nodes accept
+  // no requests; the driver retries after recovery).
+  if (faults_.CrashedAt(r.node, now_)) {
+    Event deferred;
+    deferred.time = faults_.CrashEnd(r.node, now_);
+    deferred.seq = seq_++;
+    deferred.is_delivery = false;
+    deferred.request = r;
+    events_.push(std::move(deferred));
+    return;
+  }
+  if (r.op == ReqType::kCombine) {
+    const ReqId id = history_.BeginCombine(r.node, now_);
+    nodes_[static_cast<std::size_t>(r.node)]->LocalCombine(id);
+  } else {
+    const ReqId id = history_.BeginWrite(r.node, r.arg, now_);
+    nodes_[static_cast<std::size_t>(r.node)]->LocalWrite(r.arg, id);
+    history_.CompleteWrite(id, now_);
+  }
+}
+
+void ChaosSimulator::DrainEvents() {
+  while (!events_.empty()) {
+    Event e = events_.top();
+    events_.pop();
+    assert(e.time >= now_);
+    now_ = e.time;
+    Dispatch(e);
+  }
+}
+
+void ChaosSimulator::Run(const std::vector<ScheduledRequest>& schedule) {
+  for (const ScheduledRequest& s : schedule) {
+    Event e;
+    e.time = s.time;
+    e.seq = seq_++;
+    e.is_delivery = false;
+    e.request = s.request;
+    events_.push(std::move(e));
+  }
+  DrainEvents();
+}
+
+std::vector<ReqId> ChaosSimulator::RunWithFinalProbes(
+    const std::vector<ScheduledRequest>& schedule) {
+  Run(schedule);
+  // The network has healed (nothing in flight, HealTime() passed) — probe
+  // every node once for the convergence verdict.
+  const std::int64_t probe_at = std::max(now_, faults_.HealTime()) + 1;
+  const ReqId first = static_cast<ReqId>(history_.size());
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    Event e;
+    e.time = probe_at;
+    e.seq = seq_++;
+    e.is_delivery = false;
+    e.request = Request::Combine(u);
+    events_.push(std::move(e));
+  }
+  DrainEvents();
+  std::vector<ReqId> probes;
+  probes.reserve(static_cast<std::size_t>(tree_->size()));
+  for (ReqId id = first; id < static_cast<ReqId>(history_.size()); ++id) {
+    if (history_.record(id).op == ReqType::kCombine) probes.push_back(id);
+  }
+  return probes;
+}
+
+std::vector<NodeGhostState> ChaosSimulator::GhostStates() const {
+  std::vector<NodeGhostState> ghosts(static_cast<std::size_t>(tree_->size()));
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    ghosts[static_cast<std::size_t>(u)].node = u;
+    ghosts[static_cast<std::size_t>(u)].write_log =
+        nodes_[static_cast<std::size_t>(u)]->GhostLogEntries();
+  }
+  return ghosts;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,137 @@
+// ChaosSimulator: the concurrent DES of sim/concurrent.h driven through a
+// FaultSchedule (fault/schedule.h).
+//
+// Fault semantics are chosen so that the convergence-safe subset (drop,
+// delay, cut, crash) PRESERVES the paper's reliable-FIFO channel
+// assumption in the limit: every message is eventually delivered exactly
+// once, per-edge order intact. Concretely, all fault decisions are made at
+// send time, and a faulted message is parked — its delivery slot pushed to
+// the end of the fault window, clamped behind the edge's FIFO front:
+//   drop(P)   — the message is parked until the drop window closes
+//               (models loss + retransmit-after-heal);
+//   delay     — extra delivery delay in [D0, D1];
+//   cut(u-v)  — messages sent across the edge while it is down are parked
+//               until the window closes (messages already in flight when
+//               the cut begins still arrive, like packets on the wire);
+//   crash(u)  — u is fail-stop with durable state: deliveries that would
+//               arrive during u's down window are parked past it, and
+//               requests scheduled at u are deferred to its restart. The
+//               node object persists across the window, which models a
+//               crashed daemon restarting from its durable snapshot
+//               (LeaseNode::ExportState) — exactly the networked
+//               backend's recovery path.
+// The checker-validation faults dup(P) / reorder(P) deliberately break
+// exactly-once / FIFO; runs using them are expected to fail consistency
+// checks (see tests/sim/faults_test.cc for the unstructured originals).
+//
+// Determinism: one seeded Rng drives delays (Options::seed) and a second
+// drives fault decisions (FaultSchedule::seed()); both are consumed in
+// DES dispatch order, so a (schedule, options) pair replays bit-identical
+// — pinned by TraceHash over the message log in tests.
+#ifndef TREEAGG_SIM_CHAOS_H_
+#define TREEAGG_SIM_CHAOS_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "consistency/causal_checker.h"  // NodeGhostState
+#include "consistency/history.h"
+#include "core/aggregate_op.h"
+#include "core/lease_node.h"
+#include "core/policies.h"
+#include "fault/schedule.h"
+#include "sim/concurrent.h"  // ScheduledRequest
+#include "sim/trace.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+class ChaosSimulator {
+ public:
+  struct Options {
+    const AggregateOp* op = &SumOp();
+    bool ghost_logging = true;
+    std::int64_t min_delay = 1;
+    std::int64_t max_delay = 1;
+    std::uint64_t seed = 1;
+    // Keep the full message log so TraceHash can pin determinism.
+    bool keep_message_log = false;
+  };
+
+  ChaosSimulator(const Tree& tree, const PolicyFactory& factory,
+                 FaultSchedule schedule);
+  ChaosSimulator(const Tree& tree, const PolicyFactory& factory,
+                 FaultSchedule schedule, Options options);
+
+  // Runs the workload to completion (all events drained).
+  void Run(const std::vector<ScheduledRequest>& schedule);
+
+  // Run() + one combine probed at every node after the schedule heals;
+  // returns the probes' request ids for ConvergenceChecker.
+  std::vector<ReqId> RunWithFinalProbes(
+      const std::vector<ScheduledRequest>& schedule);
+
+  const History& history() const { return history_; }
+  const MessageTrace& trace() const { return trace_; }
+  const FaultSchedule& faults() const { return faults_; }
+  const Tree& tree() const { return *tree_; }
+  const AggregateOp& op() const { return op_; }
+  std::vector<NodeGhostState> GhostStates() const;
+  std::int64_t now() const { return now_; }
+  const LeaseNode& node(NodeId u) const {
+    return *nodes_[static_cast<std::size_t>(u)];
+  }
+
+ private:
+  struct Event {
+    std::int64_t time;
+    std::int64_t seq;
+    bool is_delivery;
+    Message message;
+    Request request;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return std::pair(a.time, a.seq) > std::pair(b.time, b.seq);
+    }
+  };
+
+  class ChaosTransport final : public Transport {
+   public:
+    explicit ChaosTransport(ChaosSimulator* sim) : sim_(sim) {}
+    void Send(Message m) override;
+
+   private:
+    ChaosSimulator* sim_;
+  };
+
+  void OnCombineDone(NodeId node, CombineToken token, Real value);
+  void Dispatch(const Event& e);
+  void PushDelivery(Message m, std::int64_t at);
+  void DrainEvents();
+
+  const Tree* tree_;
+  AggregateOp op_;
+  Options options_;
+  FaultSchedule faults_;
+  Rng rng_;        // delays
+  Rng fault_rng_;  // drop/dup/reorder coin flips, fault-delay draws
+  MessageTrace trace_;
+  History history_;
+  ChaosTransport transport_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_map<std::uint64_t, std::int64_t> channel_front_;
+  std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  std::int64_t now_ = 0;
+  std::int64_t seq_ = 0;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_SIM_CHAOS_H_

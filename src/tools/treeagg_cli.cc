@@ -5,18 +5,24 @@
 //          single-process experiment with a cost / consistency /
 //          competitiveness report; --mode seq|concurrent|threads
 //   sweep  parallel cross-product of shapes x sizes x workloads x
-//          policies; writes a treeagg-sweep-v2 JSON report
+//          policies x faults; writes a treeagg-sweep-v3 JSON report
 //   serve  one node daemon of the networked backend:
 //          treeagg_cli serve --cluster FILE --daemon ID
 //   drive  workload client of the networked backend:
 //          treeagg_cli drive --cluster FILE [workload flags], or
 //          treeagg_cli drive --net-local --daemons N [workload flags]
+//   chaos  fault-injection run checked by the ConvergenceChecker:
+//          treeagg_cli chaos --backend sim|net-local --schedule SPEC
+//          (SPEC is a preset name or a fault/schedule.h spec string;
+//          exits non-zero when the run fails to converge)
 //
 // Examples:
 //   treeagg_cli --shape kary2 --n 64 --workload mixed50 --len 5000
 //   treeagg_cli --policy "lease(1,3)" --workload writeheavy --edges
 //   treeagg_cli serve --cluster cluster.txt --daemon 0
 //   treeagg_cli drive --net-local --daemons 4 --n 32 --len 500
+//   treeagg_cli chaos --backend sim --schedule "seed=7;drop(0.1)@20..200"
+//   treeagg_cli chaos --backend net-local --schedule crash --daemons 3
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -31,10 +37,14 @@
 #include "consistency/causal_checker.h"
 #include "core/extra_policies.h"
 #include "exp/sweep.h"
+#include "fault/convergence.h"
+#include "fault/schedule.h"
+#include "net/chaos.h"
 #include "net/cluster.h"
 #include "net/daemon.h"
 #include "net/driver.h"
 #include "net/local_cluster.h"
+#include "sim/chaos.h"
 #include "runtime/actor_runtime.h"
 #include "sim/concurrent.h"
 #include "sim/system.h"
@@ -255,11 +265,11 @@ RequestSequence LoadOrMakeWorkload(const CliOptions& options,
 // --- sweep subcommand ---------------------------------------------------
 //
 //   treeagg_cli sweep [--shapes S1,S2] [--sizes N1,N2] [--workloads W1,W2]
-//                     [--policies P1,P2] [--seeds X1,X2] [--len L]
-//                     [--threads T] [--competitive] [--out FILE]
+//                     [--policies P1,P2] [--seeds X1,X2] [--faults F1,F2]
+//                     [--len L] [--threads T] [--competitive] [--out FILE]
 //
 // Runs the cross product on a thread pool and writes the
-// treeagg-sweep-v1 JSON report to --out (default: stdout).
+// treeagg-sweep-v3 JSON report to --out (default: stdout).
 
 // Splits a comma-separated list, but not inside parentheses, so policy
 // specs like lease(1,3) survive: "RWW,lease(1,3),pull-all" is 3 items.
@@ -285,7 +295,8 @@ int SweepUsage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " sweep [--shapes S1,S2,..] [--sizes N1,N2,..]"
                " [--workloads W1,..] [--policies P1,..] [--seeds X1,..]"
-               " [--len L] [--threads T] [--competitive] [--out FILE]\n";
+               " [--faults none,drops,..] [--len L] [--threads T]"
+               " [--competitive] [--out FILE]\n";
   return 2;
 }
 
@@ -321,6 +332,8 @@ int SweepMain(int argc, char** argv) {
       for (const std::string& s : SplitList(value)) {
         spec.seeds.push_back(std::stoull(s));
       }
+    } else if (arg == "--faults" && (value = next())) {
+      spec.faults = SplitList(value);
     } else if (arg == "--len" && (value = next())) {
       spec.requests = static_cast<std::size_t>(std::stoul(value));
     } else if (arg == "--threads" && (value = next())) {
@@ -332,7 +345,7 @@ int SweepMain(int argc, char** argv) {
     }
   }
   if (spec.shapes.empty() || spec.sizes.empty() || spec.workloads.empty() ||
-      spec.policies.empty() || spec.seeds.empty()) {
+      spec.policies.empty() || spec.seeds.empty() || spec.faults.empty()) {
     std::cerr << "error: sweep spec expands to zero cells (empty axis)\n";
     return 2;
   }
@@ -370,7 +383,7 @@ int SweepMain(int argc, char** argv) {
 
 int ServeUsage() {
   std::cerr << "usage: treeagg_cli serve --cluster FILE --daemon ID"
-               " (valid subcommands: run, sweep, serve, drive)\n";
+               " (valid subcommands: run, sweep, serve, drive, chaos)\n";
   return 2;
 }
 
@@ -417,7 +430,7 @@ int DriveUsage() {
                " [--daemons N] [--placement block|rr] [--shape S] [--n N]"
                " [--policy P] [--op O]) [--workload W] [--len L] [--seed X]"
                " [--sequential] (valid subcommands: run, sweep, serve,"
-               " drive)\n";
+               " drive, chaos)\n";
   return 2;
 }
 
@@ -541,9 +554,143 @@ int DriveMain(int argc, char** argv) {
                                   : 0.0);
 }
 
+// --- chaos subcommand ---------------------------------------------------
+
+int ChaosUsage() {
+  std::cerr << "usage: treeagg_cli chaos [--backend sim|net-local]"
+               " [--schedule PRESET|SPEC] [--shape S] [--n N] [--workload W]"
+               " [--len L] [--seed X] [--policy P] [--op O]"
+               " [--daemons N] [--placement block|rr]"
+               " (presets: drops, partition, crash, chaos; spec grammar:"
+               " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
+               " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+  return 2;
+}
+
+int ChaosMain(int argc, char** argv) {
+  std::string backend = "sim";
+  std::string schedule_spec = "chaos";
+  std::string shape = "kary2";
+  NodeId n = 31;
+  std::string workload = "mixed50";
+  std::size_t len = 400;
+  std::uint64_t seed = 1;
+  std::string policy = "RWW";
+  std::string op_name = "sum";
+  int daemons = 3;
+  std::string placement = "rr";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--backend" && (value = next())) {
+      backend = value;
+    } else if (arg == "--schedule" && (value = next())) {
+      schedule_spec = value;
+    } else if (arg == "--shape" && (value = next())) {
+      shape = value;
+    } else if (arg == "--n" && (value = next())) {
+      n = static_cast<NodeId>(std::stol(value));
+    } else if (arg == "--workload" && (value = next())) {
+      workload = value;
+    } else if (arg == "--len" && (value = next())) {
+      len = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--seed" && (value = next())) {
+      seed = std::stoull(value);
+    } else if (arg == "--policy" && (value = next())) {
+      policy = value;
+    } else if (arg == "--op" && (value = next())) {
+      op_name = value;
+    } else if (arg == "--daemons" && (value = next())) {
+      daemons = static_cast<int>(std::stol(value));
+    } else if (arg == "--placement" && (value = next())) {
+      placement = value;
+    } else {
+      return ChaosUsage();
+    }
+  }
+  if (backend != "sim" && backend != "net-local") return ChaosUsage();
+
+  const FaultSchedule schedule = FaultSchedule::Named(schedule_spec);
+  const Tree tree = MakeShape(shape, n, seed);
+  const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
+  const AggregateOp& op = OpByName(op_name);
+
+  std::cout << "tree: " << tree.Describe() << "\nworkload: " << workload
+            << " x" << sigma.size() << ", policy: " << policy << ", op: "
+            << op_name << ", backend: " << backend << "\nschedule: "
+            << schedule.ToSpec() << "\n\n";
+
+  ConvergenceReport report;
+  std::uint64_t total_messages = 0;
+  TextTable faults({"fault stat", "value"});
+  if (backend == "sim") {
+    ChaosSimulator::Options sim_options;
+    sim_options.op = &op;
+    sim_options.seed = seed;
+    sim_options.min_delay = 1;
+    sim_options.max_delay = 4;
+    ChaosSimulator sim(tree, PolicyBySpec(policy), schedule, sim_options);
+    Rng gaps(seed + 1);
+    const std::vector<ReqId> probes =
+        sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+    ConvergenceOptions copts;
+    copts.fault_windows = schedule.Windows();
+    report = CheckConvergence(sim.history(), sim.GhostStates(), op,
+                              tree.size(), probes, copts);
+    total_messages = sim.trace().TotalMessages();
+  } else {
+    std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()));
+    for (NodeId u = 1; u < tree.size(); ++u) {
+      parent[static_cast<std::size_t>(u)] = tree.RootedParent(u);
+    }
+    ChaosNetOptions net_options;
+    net_options.cluster.daemons = daemons;
+    net_options.cluster.placement = placement;
+    net_options.cluster.policy = policy;
+    net_options.cluster.op = op_name;
+    const ChaosNetResult result =
+        RunChaosNetWorkload(parent, sigma, schedule, net_options);
+    ConvergenceOptions copts;
+    copts.fault_windows = result.fault_windows;
+    // Crash re-injection is at-least-once; duplicated in-window combines
+    // can fail the full-history causal check (see ConvergenceOptions).
+    copts.require_full_causal = result.reinjected == 0;
+    report = CheckConvergence(result.history, result.ghosts, op, tree.size(),
+                              result.final_probe_ids, copts);
+    total_messages = result.total_messages;
+    faults.AddRow({"daemons killed+restarted", std::to_string(result.kills)});
+    faults.AddRow({"peer links severed", std::to_string(result.severs)});
+    faults.AddRow({"frames corrupted", std::to_string(result.corrupted)});
+    faults.AddRow({"requests deferred", std::to_string(result.deferred)});
+    faults.AddRow({"requests re-injected",
+                   std::to_string(result.reinjected)});
+  }
+
+  TextTable table({"metric", "value"});
+  table.AddRow({"total messages", std::to_string(total_messages)});
+  table.AddRow({"requests completed", report.all_completed ? "all"
+                                                           : "NOT ALL"});
+  table.AddRow({"ground truth", Fmt(report.ground_truth, 6)});
+  table.AddRow({"final probes", std::to_string(report.final_probes)});
+  table.AddRow({"divergent probes", std::to_string(report.divergent_probes)});
+  table.AddRow({"causal (full history)", report.causal_ok ? "yes" : "NO"});
+  table.AddRow({"causal (outside windows)", report.outside_ok ? "yes"
+                                                              : "NO"});
+  table.AddRow({"combines excluded",
+                std::to_string(report.excluded_combines)});
+  table.AddRow({"converged", report.ok ? "yes" : "NO"});
+  std::cout << table.ToString();
+  if (backend == "net-local") std::cout << faults.ToString();
+  if (!report.ok) std::cout << "  " << report.message << "\n";
+  return report.ok ? 0 : 1;
+}
+
 int TopUsage() {
-  std::cerr << "usage: treeagg_cli [run|sweep|serve|drive] [flags]"
-               " (valid subcommands: run, sweep, serve, drive)\n";
+  std::cerr << "usage: treeagg_cli [run|sweep|serve|drive|chaos] [flags]"
+               " (valid subcommands: run, sweep, serve, drive, chaos)\n";
   return 2;
 }
 
@@ -553,6 +700,7 @@ int Main(int argc, char** argv) {
     if (sub == "sweep") return SweepMain(argc, argv);
     if (sub == "serve") return ServeMain(argc, argv);
     if (sub == "drive") return DriveMain(argc, argv);
+    if (sub == "chaos") return ChaosMain(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -142,6 +142,106 @@ TEST(SweepTest, CompetitiveModeFillsRatios) {
   EXPECT_LE(c.worst_edge_ratio, 2.5 + 1e-9);
 }
 
+TEST(SweepFaultTest, FaultAxisMultipliesTheCrossProduct) {
+  SweepSpec spec = SmallSpec();
+  spec.faults = {"none", "drops"};
+  const std::vector<CellSpec> cells = ExpandCells(spec);
+  EXPECT_EQ(cells.size(), 2u * 32u);
+  // The fault tag varies fastest (innermost loop).
+  EXPECT_EQ(cells[0].fault, "none");
+  EXPECT_EQ(cells[1].fault, "drops");
+  // Fault cells get distinct derived seeds from their fault-free twin.
+  EXPECT_NE(cells[0].workload_seed, cells[1].workload_seed);
+}
+
+TEST(SweepFaultTest, FaultFreeCellSeedsIgnoreTheFaultAxis) {
+  // The backward-compat guarantee: adding faults to a spec must not
+  // change any existing fault-free cell's derived seeds (and therefore
+  // results). "none" is deliberately not folded into the hash.
+  SweepSpec plain = SmallSpec();
+  SweepSpec chaotic = SmallSpec();
+  chaotic.faults = {"none", "drops", "chaos"};
+  const std::vector<CellSpec> before = ExpandCells(plain);
+  std::vector<CellSpec> after;
+  for (const CellSpec& c : ExpandCells(chaotic)) {
+    if (c.fault == "none") after.push_back(c);
+  }
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].tree_seed, before[i].tree_seed) << i;
+    EXPECT_EQ(after[i].workload_seed, before[i].workload_seed) << i;
+  }
+}
+
+TEST(SweepFaultTest, FaultCellRunsOnChaosSimulatorAndConverges) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  spec.faults = {"none", "drops"};
+  spec.requests = 150;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 2u);
+  for (const CellResult& c : r.cells) {
+    EXPECT_TRUE(c.ok) << c.spec.fault << ": " << c.error;
+    EXPECT_TRUE(c.converged) << c.spec.fault;
+    EXPECT_GT(c.total_messages, 0) << c.spec.fault;
+  }
+  // The chaos run is a different execution: message totals differ.
+  EXPECT_NE(r.cells[0].total_messages, r.cells[1].total_messages);
+}
+
+TEST(SweepFaultTest, FaultCellsAreDeterministicAcrossThreadCounts) {
+  SweepSpec spec;
+  spec.shapes = {"path", "kary2"};
+  spec.sizes = {8};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1, 2};
+  spec.faults = {"none", "drops", "crash"};
+  spec.requests = 100;
+  spec.threads = 1;
+  const SweepResult serial = RunSweep(spec);
+  ASSERT_EQ(serial.cells.size(), 12u);
+  spec.threads = 4;
+  EXPECT_EQ(Keys(RunSweep(spec)), Keys(serial));
+}
+
+TEST(SweepFaultTest, CompetitiveModeRejectsFaultCells) {
+  // Competitive mode compares against offline sequential bounds, which
+  // have no meaning under a fault schedule; the cell reports the error.
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  spec.faults = {"drops"};
+  spec.requests = 100;
+  spec.competitive = true;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_FALSE(r.cells[0].ok);
+  EXPECT_NE(r.cells[0].error.find("competitive"), std::string::npos);
+}
+
+TEST(SweepFaultTest, BadFaultSpecIsReportedNotFatal) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  spec.faults = {"no-such-preset"};
+  spec.requests = 50;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_FALSE(r.cells[0].ok);
+  EXPECT_FALSE(r.cells[0].error.empty());
+}
+
 TEST(SweepTest, JsonReportIsWellFormedEnough) {
   SweepSpec spec;
   spec.shapes = {"path"};
@@ -155,7 +255,7 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   std::ostringstream out;
   WriteSweepJson(out, spec, r);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"cells_total\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"policy\": \"lease(1,3)\""), std::string::npos);
   EXPECT_NE(json.find("\"total_messages\""), std::string::npos);
@@ -164,6 +264,9 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   EXPECT_NE(json.find("\"latency\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // v3 added the fault axis and the per-cell convergence verdict.
+  EXPECT_NE(json.find("\"fault\": \"none\""), std::string::npos);
+  EXPECT_NE(json.find("\"converged\": true"), std::string::npos);
   // Balanced braces/brackets — catches truncated emission.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
@@ -171,20 +274,21 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
             std::count(json.begin(), json.end(), ']'));
 }
 
-TEST(SweepJsonTest, V2RoundTripsThroughTheReader) {
+TEST(SweepJsonTest, V3RoundTripsThroughTheReader) {
   SweepSpec spec;
   spec.shapes = {"kary2"};
   spec.sizes = {15};
   spec.workloads = {"mixed50", "readheavy"};
   spec.policies = {"RWW"};
   spec.seeds = {3};
+  spec.faults = {"none", "drops"};  // exercise a non-"none" fault round trip
   spec.requests = 80;
   const SweepResult r = RunSweep(spec);
   std::stringstream io;
   WriteSweepJson(io, spec, r);
   const SweepJson back = ReadSweepJson(io);
 
-  EXPECT_EQ(back.schema, "treeagg-sweep-v2");
+  EXPECT_EQ(back.schema, "treeagg-sweep-v3");
   EXPECT_EQ(back.threads, r.threads_used);
   EXPECT_FALSE(back.competitive);
   EXPECT_EQ(back.cells_failed, 0u);
@@ -205,6 +309,8 @@ TEST(SweepJsonTest, V2RoundTripsThroughTheReader) {
                 1e-4 * (1 + std::abs(want.latency.p95)));
     EXPECT_NEAR(got.latency.p99, want.latency.p99,
                 1e-4 * (1 + std::abs(want.latency.p99)));
+    EXPECT_EQ(got.spec.fault, want.spec.fault);
+    EXPECT_EQ(got.converged, want.converged);
     EXPECT_TRUE(got.ok);
   }
 }
@@ -238,11 +344,13 @@ TEST(SweepJsonTest, ReadsHandwrittenV1Document) {
   EXPECT_EQ(c.counts.releases, 13);
   EXPECT_EQ(c.latency.count, 0u);  // v1: no latency block
   EXPECT_EQ(c.latency.p95, 0.0);
+  EXPECT_EQ(c.spec.fault, "none");  // pre-v3: no fault axis
+  EXPECT_TRUE(c.converged);
 }
 
 TEST(SweepJsonTest, RejectsUnknownSchema) {
   std::stringstream in(
-      "{\"schema\": \"treeagg-sweep-v3\", \"threads\": 1,"
+      "{\"schema\": \"treeagg-sweep-v99\", \"threads\": 1,"
       " \"competitive\": false, \"cells_failed\": 0, \"cells\": []}");
   EXPECT_THROW(ReadSweepJson(in), std::invalid_argument);
 }

@@ -1,0 +1,99 @@
+#include "fault/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace treeagg {
+namespace {
+
+TEST(FaultScheduleTest, BuilderRecordsEvents) {
+  FaultSchedule s;
+  s.WithSeed(7)
+      .Drop(0.1, 10, 20)
+      .Delay(2, 5, 0, 100)
+      .Cut(1, 3, 30, 40)
+      .Crash(2, 50, 80);
+  EXPECT_EQ(s.seed(), 7u);
+  ASSERT_EQ(s.events().size(), 4u);
+  EXPECT_EQ(s.events()[0].kind, FaultKind::kDrop);
+  EXPECT_EQ(s.events()[3].kind, FaultKind::kCrash);
+  EXPECT_EQ(s.HealTime(), 100);
+}
+
+TEST(FaultScheduleTest, PointQueries) {
+  FaultSchedule s;
+  s.Crash(2, 50, 80).Cut(1, 3, 30, 40);
+  EXPECT_FALSE(s.CrashedAt(2, 49));
+  EXPECT_TRUE(s.CrashedAt(2, 50));
+  EXPECT_TRUE(s.CrashedAt(2, 79));
+  EXPECT_FALSE(s.CrashedAt(2, 80));  // [begin, end)
+  EXPECT_FALSE(s.CrashedAt(1, 60));
+  EXPECT_EQ(s.CrashEnd(2, 60), 80);
+  EXPECT_EQ(s.CrashEnd(2, 90), 90);  // not crashed: identity
+
+  EXPECT_TRUE(s.EdgeCutAt(1, 3, 35));
+  EXPECT_TRUE(s.EdgeCutAt(3, 1, 35));  // undirected
+  EXPECT_FALSE(s.EdgeCutAt(1, 3, 40));
+  EXPECT_FALSE(s.EdgeCutAt(1, 2, 35));
+  EXPECT_EQ(s.CutEnd(3, 1, 35), 40);
+
+  EXPECT_TRUE(s.HasCrashes());
+  EXPECT_FALSE(s.HasFifoViolations());
+  FaultSchedule r;
+  r.Reorder(0.5, 0, 10);
+  EXPECT_TRUE(r.HasFifoViolations());
+}
+
+TEST(FaultScheduleTest, WindowsMergeOverlaps) {
+  FaultSchedule s;
+  s.Drop(0.1, 10, 30).Crash(1, 20, 50).Cut(0, 1, 70, 90);
+  const auto w = s.Windows();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], (std::pair<std::int64_t, std::int64_t>{10, 50}));
+  EXPECT_EQ(w[1], (std::pair<std::int64_t, std::int64_t>{70, 90}));
+}
+
+TEST(FaultScheduleTest, ParseRoundTripsThroughToSpec) {
+  const FaultSchedule s = FaultSchedule::Parse(
+      "seed=42; drop(0.05)@50..400; delay(1..10)@0..500; dup(0.2)@5..6; "
+      "reorder(0.1)@7..9; cut(0-3)@100..300; crash(2)@150..350");
+  EXPECT_EQ(s.seed(), 42u);
+  EXPECT_EQ(s.events().size(), 6u);
+  const FaultSchedule round = FaultSchedule::Parse(s.ToSpec());
+  EXPECT_EQ(round, s);
+}
+
+TEST(FaultScheduleTest, ParseRejectsMalformedClauses) {
+  EXPECT_THROW(FaultSchedule::Parse("drop(1.5)@0..10"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("drop(0.1)@10..5"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("frob(1)@0..10"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("crash(-2)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("cut(1-1)@0..10"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("crash(1)@0..10trailing"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("seed=-1"), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("crash(1)"), std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, EmptySpecParsesToEmptySchedule) {
+  const FaultSchedule s = FaultSchedule::Parse("");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.HealTime(), 0);
+  EXPECT_TRUE(s.Windows().empty());
+}
+
+TEST(FaultScheduleTest, NamedPresetsExistAndFallBackToParse) {
+  for (const char* name : {"drops", "partition", "crash", "chaos"}) {
+    const FaultSchedule s = FaultSchedule::Named(name);
+    EXPECT_FALSE(s.empty()) << name;
+  }
+  // An arbitrary spec is accepted where a preset name is.
+  const FaultSchedule s = FaultSchedule::Named("crash(1)@5..9");
+  ASSERT_EQ(s.events().size(), 1u);
+  EXPECT_EQ(s.events()[0].kind, FaultKind::kCrash);
+}
+
+}  // namespace
+}  // namespace treeagg

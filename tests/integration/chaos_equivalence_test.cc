@@ -1,0 +1,129 @@
+// Cross-backend chaos equivalence: one FaultSchedule spec names one
+// experiment on both backends — simulated ticks on the DES, injection
+// indices on the TCP cluster. Under the convergence-safe fault subset both
+// backends must converge, and because writes to a node are applied in
+// injection order on either backend, the final per-node values — and so
+// the post-heal probe answers — must be identical across backends.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate_op.h"
+#include "core/policies.h"
+#include "fault/convergence.h"
+#include "fault/schedule.h"
+#include "net/chaos.h"
+#include "sim/chaos.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+struct BackendOutcome {
+  ConvergenceReport report;
+  Real ground_truth = 0;
+  std::vector<Real> probe_values;  // by node id
+};
+
+BackendOutcome RunSim(const Tree& tree, const RequestSequence& sigma,
+                      const FaultSchedule& schedule) {
+  ChaosSimulator::Options options;
+  options.seed = 33;
+  options.min_delay = 1;
+  options.max_delay = 3;
+  ChaosSimulator sim(tree, RwwFactory(), schedule, options);
+  Rng gaps(34);
+  const std::vector<ReqId> probes =
+      sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+  ConvergenceOptions copts;
+  copts.fault_windows = schedule.Windows();
+  BackendOutcome out;
+  out.report = CheckConvergence(sim.history(), sim.GhostStates(), sim.op(),
+                                tree.size(), probes, copts);
+  out.ground_truth = GroundTruth(sim.history(), sim.op(), tree.size());
+  for (const ReqId id : probes) {
+    out.probe_values.push_back(sim.history().record(id).retval);
+  }
+  return out;
+}
+
+BackendOutcome RunNet(const Tree& tree, const RequestSequence& sigma,
+                      const FaultSchedule& schedule, int daemons,
+                      const std::string& placement) {
+  ChaosNetOptions options;
+  options.cluster.daemons = daemons;
+  options.cluster.placement = placement;
+  const ChaosNetResult result =
+      RunChaosNetWorkload(ParentVector(tree), sigma, schedule, options);
+  ConvergenceOptions copts;
+  copts.fault_windows = result.fault_windows;
+  // Crash re-injection is at-least-once (see ConvergenceOptions). The
+  // crash workload here is write-once, so re-executed writes are ghost-
+  // idempotent, but in-flight combines at kill time are not.
+  copts.require_full_causal = result.reinjected == 0;
+  BackendOutcome out;
+  out.report = CheckConvergence(result.history, result.ghosts, SumOp(),
+                                tree.size(), result.final_probe_ids, copts);
+  out.ground_truth = GroundTruth(result.history, SumOp(), tree.size());
+  for (const ReqId id : result.final_probe_ids) {
+    out.probe_values.push_back(result.history.record(id).retval);
+  }
+  return out;
+}
+
+void ExpectEquivalent(const BackendOutcome& sim, const BackendOutcome& net) {
+  EXPECT_TRUE(sim.report.ok) << "sim: " << sim.report.message;
+  EXPECT_TRUE(net.report.ok) << "net: " << net.report.message;
+  EXPECT_EQ(sim.ground_truth, net.ground_truth);
+  ASSERT_EQ(sim.probe_values.size(), net.probe_values.size());
+  for (std::size_t i = 0; i < sim.probe_values.size(); ++i) {
+    EXPECT_EQ(sim.probe_values[i], net.probe_values[i]) << "node " << i;
+  }
+}
+
+TEST(ChaosEquivalenceTest, FaultFreeBackendsAgree) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 80, /*seed=*/21);
+  const FaultSchedule schedule;  // empty
+  ExpectEquivalent(RunSim(tree, sigma, schedule),
+                   RunNet(tree, sigma, schedule, /*daemons=*/3, "rr"));
+}
+
+// Acceptance criterion: the same spec string drives drops and a partition
+// on both backends, and the post-heal aggregates are identical.
+TEST(ChaosEquivalenceTest, DropAndCutBackendsAgree) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 80, /*seed=*/23);
+  const FaultSchedule schedule =
+      FaultSchedule::Parse("seed=17;drop(0.15)@10..60;cut(0-1)@20..50");
+  ExpectEquivalent(RunSim(tree, sigma, schedule),
+                   RunNet(tree, sigma, schedule, /*daemons=*/3, "rr"));
+}
+
+// Crashes defer requests (to the node on sim, to the daemon on net), so
+// per-node write order is only backend-independent when each node is
+// written at most once — which is exactly the workload used here.
+TEST(ChaosEquivalenceTest, CrashBackendsAgreeOnWriteOnceWorkload) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  RequestSequence sigma;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    sigma.push_back(Request::Write(u, static_cast<Real>(u + 1)));
+    sigma.push_back(Request::Combine(tree.size() - 1 - u));
+  }
+  const FaultSchedule schedule = FaultSchedule::Parse("seed=5;crash(6)@8..20");
+  ExpectEquivalent(RunSim(tree, sigma, schedule),
+                   RunNet(tree, sigma, schedule, /*daemons=*/3, "block"));
+}
+
+}  // namespace
+}  // namespace treeagg

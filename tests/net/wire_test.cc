@@ -1,16 +1,20 @@
-// treeagg-wire-v1 codec tests: exhaustive encode -> decode round-trips
+// treeagg-wire-v2 codec tests: exhaustive encode -> decode round-trips
 // over every frame type (including the ghost-log piggyback on protocol
 // messages) and a malformed-frame corpus — truncations at every byte
 // boundary, corrupted length prefixes, bad magic/version/type bytes, and
 // internally inconsistent payloads — all of which must be rejected with a
-// DecodeStatus, never a crash. The whole file runs under ASan/UBSan and
-// TSan in CI.
+// DecodeStatus, never a crash. The corpus is extended through the shared
+// frame mutators of net/faulty_transport.h, so the bytes rejected here are
+// byte-identical to what the live chaos injector puts on the wire. The
+// whole file runs under ASan/UBSan and TSan in CI.
 #include "net/wire.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
+
+#include "net/faulty_transport.h"
 
 namespace treeagg {
 namespace {
@@ -41,6 +45,7 @@ std::vector<WireFrame> AllFrameTypes() {
     WireFrame f;
     f.type = FrameType::kPeerHello;
     f.daemon_id = 3;
+    f.resume = 41;  // v2 session-resume count
     frames.push_back(f);
   }
   {
@@ -305,6 +310,82 @@ TEST(WireCodec, FrameReaderPoisonsOnMalformedStream) {
   EXPECT_EQ(reader.BufferedBytes(), 0u);
   reader.Feed(good.data(), good.size());
   EXPECT_EQ(reader.Next(&frame), DecodeStatus::kOk);
+}
+
+// --- shared-mutator corpus (net/faulty_transport.h) --------------------
+// The same functions the chaos injector uses to damage live traffic are
+// run over every frame type here: every mutation must be detected by the
+// codec (that detectability is what the recovery path relies on).
+
+TEST(WireMutators, TruncationDetectedForEveryFrameType) {
+  for (const WireFrame& frame : AllFrameTypes()) {
+    SCOPED_TRACE(ToString(frame.type));
+    const std::size_t encoded = EncodeFrame(frame).size();
+    for (std::size_t cut = 1; cut <= 8; ++cut) {
+      const std::vector<std::uint8_t> bytes = TruncatedFrame(frame, cut);
+      const DecodeResult r = DecodeFrame(bytes.data(), bytes.size());
+      if (encoded > 7) {
+        // At least one payload byte existed, so some payload byte is gone.
+        EXPECT_EQ(r.status, DecodeStatus::kBadPayload) << "cut " << cut;
+      } else {
+        // Payload-free frames cannot lose payload; the mutator documents
+        // that it keeps them valid.
+        EXPECT_EQ(r.status, DecodeStatus::kOk);
+      }
+    }
+  }
+}
+
+TEST(WireMutators, OversizedLengthDetectedForEveryFrameType) {
+  for (const WireFrame& frame : AllFrameTypes()) {
+    SCOPED_TRACE(ToString(frame.type));
+    const std::vector<std::uint8_t> bytes = OversizedLengthFrame(frame);
+    EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+              DecodeStatus::kBadLength);
+  }
+}
+
+TEST(WireMutators, DuplicatedFrameDecodesAsTwoCleanCopies) {
+  // Duplication is NOT detectable at the codec layer — both copies decode
+  // fine. Exactly-once is the session layer's job (the processed counter
+  // in the kPeerHello resume handshake); this pins the codec-side fact.
+  WireFrame f;
+  f.type = FrameType::kInjectWrite;
+  f.req = 9;
+  f.node = 2;
+  f.arg = 1.5;
+  const std::vector<std::uint8_t> bytes = DuplicatedFrame(f);
+  FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  WireFrame decoded;
+  ASSERT_EQ(reader.Next(&decoded), DecodeStatus::kOk);
+  EXPECT_TRUE(FramesEqual(decoded, f));
+  decoded = WireFrame{};
+  ASSERT_EQ(reader.Next(&decoded), DecodeStatus::kOk);
+  EXPECT_TRUE(FramesEqual(decoded, f));
+  EXPECT_EQ(reader.Next(&decoded), DecodeStatus::kNeedMore);
+}
+
+TEST(WireMutators, ReaderRecoversFromCorruptionAfterResetAndReplay) {
+  // The live recovery sequence in miniature: a corrupted frame poisons the
+  // reader, the link is torn down (Reset), and the clean copy replayed
+  // from the session log decodes fine.
+  WireFrame f;
+  f.type = FrameType::kProtocol;
+  f.msg = RichMessage();
+  const std::vector<std::uint8_t> corrupted = TruncatedFrame(f, 3);
+  FrameReader reader;
+  reader.Feed(corrupted.data(), corrupted.size());
+  WireFrame decoded;
+  EXPECT_EQ(reader.Next(&decoded), DecodeStatus::kBadPayload);
+  // Sticky until the reset that models the reconnect.
+  const std::vector<std::uint8_t> clean = EncodeFrame(f);
+  reader.Feed(clean.data(), clean.size());
+  EXPECT_EQ(reader.Next(&decoded), DecodeStatus::kBadPayload);
+  reader.Reset();
+  reader.Feed(clean.data(), clean.size());
+  ASSERT_EQ(reader.Next(&decoded), DecodeStatus::kOk);
+  EXPECT_TRUE(FramesEqual(decoded, f));
 }
 
 TEST(WireCodec, DecodeNeverReadsPastLen) {

@@ -1,0 +1,141 @@
+// ChaosSimulator: convergence-safe faults must leave the protocol's
+// guarantees intact (every request completes, post-heal probes return the
+// ground truth, the Section 5 causal checker passes), and a seeded
+// schedule must replay bit-identically.
+#include "sim/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "fault/convergence.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+ConvergenceReport RunAndCheck(const Tree& t, const FaultSchedule& faults,
+                              const RequestSequence& sigma,
+                              std::uint64_t seed) {
+  ChaosSimulator::Options options;
+  options.seed = seed;
+  options.min_delay = 1;
+  options.max_delay = 4;
+  ChaosSimulator sim(t, RwwFactory(), faults, options);
+  Rng gaps(seed + 1);
+  const std::vector<ReqId> probes =
+      sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+  ConvergenceOptions copts;
+  copts.fault_windows = faults.Windows();
+  return CheckConvergence(sim.history(), sim.GhostStates(), sim.op(),
+                          t.size(), probes, copts);
+}
+
+TEST(ChaosSimTest, NoFaultsConverges) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 5);
+  const ConvergenceReport r = RunAndCheck(t, FaultSchedule(), sigma, 9);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.excluded_combines, 0u);
+}
+
+TEST(ChaosSimTest, DropsParkedUntilHealConverge) {
+  Tree t = MakePath(8);
+  const RequestSequence sigma = MakeWorkload("mixed75", t, 400, 6);
+  FaultSchedule faults;
+  faults.WithSeed(3).Drop(0.2, 20, 200);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 10);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ChaosSimTest, TransientPartitionConverges) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 7);
+  FaultSchedule faults;
+  faults.WithSeed(4).Cut(0, 1, 50, 250).Cut(1, 3, 80, 220);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 11);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ChaosSimTest, CrashRestartConverges) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 8);
+  FaultSchedule faults;
+  faults.WithSeed(5).Crash(1, 60, 300);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 12);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_GT(r.final_probes, 0u);
+}
+
+TEST(ChaosSimTest, FullChaosPresetConverges) {
+  Tree t = MakeKary(31, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 500, 9);
+  const ConvergenceReport r =
+      RunAndCheck(t, FaultSchedule::Named("chaos"), sigma, 13);
+  EXPECT_TRUE(r.ok) << r.message;
+  // The chaos preset's windows actually exclude some combines, so the
+  // outside-window verdict is not vacuous.
+  EXPECT_GT(r.excluded_combines, 0u);
+}
+
+// Acceptance criterion: a seeded schedule replayed twice produces
+// bit-identical traces and verdicts.
+TEST(ChaosSimTest, SeededScheduleReplaysBitIdentically) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 21);
+  const FaultSchedule faults =
+      FaultSchedule::Parse("seed=17;drop(0.1)@10..150;crash(2)@40..200;"
+                           "delay(1..5)@0..250");
+
+  auto run = [&](std::uint64_t* hash, ConvergenceReport* report) {
+    ChaosSimulator::Options options;
+    options.seed = 33;
+    options.min_delay = 1;
+    options.max_delay = 4;
+    options.keep_message_log = true;
+    ChaosSimulator sim(t, RwwFactory(), faults, options);
+    Rng gaps(34);
+    const std::vector<ReqId> probes =
+        sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+    *hash = TraceHash(sim.trace().log());
+    ConvergenceOptions copts;
+    copts.fault_windows = faults.Windows();
+    *report = CheckConvergence(sim.history(), sim.GhostStates(), sim.op(),
+                               t.size(), probes, copts);
+  };
+
+  std::uint64_t hash_a = 0, hash_b = 0;
+  ConvergenceReport report_a, report_b;
+  run(&hash_a, &report_a);
+  run(&hash_b, &report_b);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(report_a.ok, report_b.ok);
+  EXPECT_EQ(report_a.ground_truth, report_b.ground_truth);
+  EXPECT_EQ(report_a.excluded_combines, report_b.excluded_combines);
+  EXPECT_TRUE(report_a.ok) << report_a.message;
+}
+
+// Checker-validation faults: duplicates/reordering violate the paper's
+// channel assumptions, and the checker must be able to notice (mirrors
+// tests/sim/faults_test.cc for the schedule-driven path).
+TEST(ChaosSimTest, FifoViolationsAreDetectedOnSomeSeed) {
+  Tree t = MakePath(5);
+  int violations = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    FaultSchedule faults;
+    faults.WithSeed(seed).Reorder(0.6, 0, 2000).Delay(1, 40, 0, 2000);
+    ChaosSimulator::Options options;
+    options.seed = seed;
+    ChaosSimulator sim(t, RwwFactory(), faults, options);
+    Rng gaps(seed + 50);
+    const RequestSequence sigma = MakeWorkload("mixed75", t, 300, seed);
+    sim.Run(ScheduleWithGaps(sigma, 1, gaps));
+    const CheckResult r = CheckCausalConsistency(
+        sim.history(), sim.GhostStates(), SumOp(), t.size());
+    if (!r.ok) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+}  // namespace
+}  // namespace treeagg
