@@ -59,15 +59,23 @@ class LeaseNode final : public LeaseNodeView {
       Real aval = 0;
       std::vector<UpdateId> uaw;
       std::vector<std::pair<UpdateId, UpdateId>> snt_updates;  // (rcvid, sntid)
+
+      friend bool operator==(const NeighborState&, const NeighborState&) =
+          default;
     };
     std::vector<NeighborState> neighbors;  // parallel to nbrs
     struct PendingState {
       NodeId requester = kInvalidNode;
       std::vector<NodeId> waiting;
+
+      friend bool operator==(const PendingState&, const PendingState&) =
+          default;
     };
     std::vector<PendingState> pndg;
     std::vector<CombineToken> local_tokens;
     GhostLog ghost_log;
+
+    friend bool operator==(const DurableState&, const DurableState&) = default;
   };
 
   LeaseNode(NodeId self, std::vector<NodeId> nbrs, const AggregateOp& op,

@@ -221,6 +221,7 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
   result.ghosts = std::move(harvest.ghosts);
   result.counts = harvest.counts;
   result.total_messages = driver.TotalMessages();
+  result.replay_log_hwm = cluster.ReplayLogHighWater();
   cluster.Stop();
   if (!cluster.DaemonError().empty()) {
     throw std::runtime_error("net chaos: daemon failed: " +

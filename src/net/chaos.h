@@ -76,6 +76,10 @@ struct ChaosNetResult {
   std::size_t deferred = 0;    // requests deferred past a crash window
   std::size_t reinjected = 0;  // requests re-sent after daemon restarts
   std::size_t corrupted = 0;   // frames damaged by the drop injectors
+  // Largest replay-log length any peer session reached (across restarts).
+  // With cumulative acks on, this stays bounded by the unacked window
+  // instead of growing with the workload.
+  std::uint64_t replay_log_hwm = 0;
 };
 
 // Runs sigma (pipelined) against a LocalCluster while driving `schedule`,

@@ -136,14 +136,19 @@ void NodeDaemon::ApplyRestore() {
     if (ss.peer < 0 || ss.peer >= static_cast<int>(sessions_.size())) continue;
     PeerSession& s = sessions_[static_cast<std::size_t>(ss.peer)];
     s.log = std::move(ss.log);
+    s.log_base = ss.log_base;
     s.processed = ss.processed;
+    // The restored snapshot IS the durable state: everything it covers may
+    // be acked. (last_acked stays 0 — re-acking a cumulative count the
+    // peer already GC'd is a no-op on its side.)
+    s.durable_processed = ss.processed;
   }
   local_queue_.assign(restore_->local_queue.begin(),
                       restore_->local_queue.end());
   restore_.reset();
 }
 
-NodeDaemon::DurableState NodeDaemon::ExportDurable() const {
+NodeDaemon::DurableState NodeDaemon::BuildDurable() const {
   DurableState state;
   for (NodeId u = 0; u < tree_->size(); ++u) {
     const auto& node = nodes_[static_cast<std::size_t>(u)];
@@ -158,11 +163,80 @@ NodeDaemon::DurableState NodeDaemon::ExportDurable() const {
     DurableState::SessionState ss;
     ss.peer = p;
     ss.log = s.log;
+    ss.log_base = s.log_base;
     ss.processed = s.processed;
     state.sessions.push_back(std::move(ss));
   }
   state.local_queue.assign(local_queue_.begin(), local_queue_.end());
   return state;
+}
+
+NodeDaemon::DurableState NodeDaemon::ExportDurable() const {
+  return BuildDurable();
+}
+
+void NodeDaemon::MarkDirty() {
+  dirty_ = true;
+  ++frames_since_snapshot_;
+}
+
+void NodeDaemon::PersistIfDue(bool force) {
+  if (!DurableToDisk() || !dirty_) return;
+  if (!force &&
+      frames_since_snapshot_ < options_.durability.snapshot_interval_frames) {
+    return;
+  }
+  std::string err;
+  if (!SaveSnapshot(options_.durability.state_dir, BuildDurable(), daemon_id_,
+                    &err)) {
+    Fail("durability: " + err);
+    return;
+  }
+  dirty_ = false;
+  frames_since_snapshot_ = 0;
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  // Everything processed so far is now covered by the snapshot, so it is
+  // safe to ack: the peer may GC it permanently.
+  for (const int p : peer_ids_) {
+    PeerSession& s = sessions_[static_cast<std::size_t>(p)];
+    s.durable_processed = s.processed;
+  }
+}
+
+void NodeDaemon::GcSessionLog(int peer, std::uint64_t ack) {
+  PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
+  if (ack <= s.log_base) return;  // stale or duplicate ack
+  if (ack > s.log_base + s.log.size()) {
+    Fail("peer " + std::to_string(peer) +
+         " acked frames we never logged (ack " + std::to_string(ack) +
+         ", log end " + std::to_string(s.log_base + s.log.size()) + ")");
+    return;
+  }
+  s.log.erase(s.log.begin(),
+              s.log.begin() + static_cast<std::ptrdiff_t>(ack - s.log_base));
+  s.log_base = ack;
+  dirty_ = true;  // the persisted log shrank
+}
+
+void NodeDaemon::MaybeSendAcks() {
+  const std::uint64_t interval = options_.durability.ack_interval;
+  if (interval == 0) return;
+  for (const int p : peer_ids_) {
+    PeerSession& s = sessions_[static_cast<std::size_t>(p)];
+    if (s.state != PeerSession::State::kLive) continue;
+    if (s.wire_version < 3) continue;  // v2 peers cannot decode kPeerAck
+    if (s.durable_processed < s.last_acked + interval) continue;
+    // Acks are control traffic: not logged, not counted, not replayed.
+    // Losing one is harmless (the next ack or hello is cumulative).
+    WireFrame f;
+    f.type = FrameType::kPeerAck;
+    f.ack = s.durable_processed;
+    f.ack_valid = true;
+    TransmitToPeer(p, f);
+    s.last_acked = s.durable_processed;
+    FrameConn* conn = peers_[static_cast<std::size_t>(p)].get();
+    if (conn == nullptr || !conn->open()) MarkPeerDown(p);
+  }
 }
 
 void NodeDaemon::RestoreDurable(DurableState state) {
@@ -176,6 +250,10 @@ void NodeDaemon::SendPeerHello(int peer) {
   hello.type = FrameType::kPeerHello;
   hello.daemon_id = static_cast<std::uint32_t>(daemon_id_);
   hello.resume = s.processed;
+  // Piggybacked cumulative ack: only the durably-covered count (the peer
+  // GCs on it permanently, so an in-memory-only count would be unsound).
+  hello.ack = s.durable_processed;
+  hello.ack_valid = true;
   conn->SendFrame(hello);
   conn->Flush();
   s.state = PeerSession::State::kAwaitResume;
@@ -236,14 +314,28 @@ void NodeDaemon::TransmitToPeer(int peer, const WireFrame& frame) {
 
 void NodeDaemon::GoLive(int peer, std::uint64_t resume) {
   PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
-  if (resume > s.log.size()) {
-    Fail("peer " + std::to_string(peer) +
-         " resume count ahead of our session log");
+  if (resume < s.log_base) {
+    // The peer lost durable memory of frames we already GC'd on its own
+    // ack. Replaying is impossible; amnesia restarts are only supported
+    // where no acked cross-daemon traffic exists.
+    Fail("peer " + std::to_string(peer) + " resumed below our GC'd log base (" +
+         std::to_string(resume) + " < " + std::to_string(s.log_base) +
+         "): peer lost acked state");
     return;
   }
-  s.sent_upto = static_cast<std::size_t>(resume);
-  while (s.sent_upto < s.log.size()) {
-    TransmitToPeer(peer, s.log[s.sent_upto]);
+  if (resume > s.log_base + s.log.size()) {
+    // The peer durably processed more than we remember sending — we are
+    // the amnesiac side (restarted from an older snapshot than the frames
+    // the peer saw, only possible with snapshot_interval_frames > 1, or
+    // restarted with no snapshot at all). Adopt the peer's count: those
+    // frames cannot be regenerated, and the mechanism state that produced
+    // them is gone too, so the sessions agree to start from `resume`.
+    s.log.clear();
+    s.log_base = resume;
+  }
+  s.sent_upto = resume;
+  while (s.sent_upto < s.log_base + s.log.size()) {
+    TransmitToPeer(peer, s.log[static_cast<std::size_t>(s.sent_upto - s.log_base)]);
     ++s.sent_upto;
     FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
     if (conn == nullptr || !conn->open()) {
@@ -306,9 +398,12 @@ void NodeDaemon::RouteSend(Message m) {
   f.type = FrameType::kProtocol;
   f.msg = std::move(m);
   s.log.push_back(std::move(f));
+  if (s.log.size() > replay_log_hwm_.load(std::memory_order_relaxed)) {
+    replay_log_hwm_.store(s.log.size(), std::memory_order_relaxed);
+  }
   if (s.state == PeerSession::State::kLive) {
     TransmitToPeer(owner, s.log.back());
-    s.sent_upto = s.log.size();
+    s.sent_upto = s.log_base + s.log.size();
     FrameConn* conn = peers_[static_cast<std::size_t>(owner)].get();
     if (conn == nullptr || !conn->open()) MarkPeerDown(owner);
   }
@@ -354,10 +449,15 @@ void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
       }
       ++received_;
       if (from_peer >= 0) {
-        ++sessions_[static_cast<std::size_t>(from_peer)].processed;
+        PeerSession& s = sessions_[static_cast<std::size_t>(from_peer)];
+        ++s.processed;
+        // Memory-durable mode: fail-stop export captures everything, so
+        // the in-memory count is already the durable one.
+        if (!DurableToDisk()) s.durable_processed = s.processed;
       }
       NodeRef(frame.msg.to).Deliver(frame.msg);
       DrainLocal();
+      MarkDirty();
       break;
     case FrameType::kInjectWrite: {
       if (frame.node < 0 || frame.node >= tree_->size() ||
@@ -371,6 +471,7 @@ void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
       done.req = frame.req;
       SendToDriver(done);
       DrainLocal();
+      MarkDirty();
       break;
     }
     case FrameType::kInjectCombine:
@@ -382,8 +483,15 @@ void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
       // Completion (possibly much later) flows through OnCombineDone.
       NodeRef(frame.node).LocalCombine(static_cast<CombineToken>(frame.req));
       DrainLocal();
+      MarkDirty();
       break;
     case FrameType::kStatusReq: {
+      // The driver's quiescence probe is the natural snapshot point: the
+      // daemon is (locally) idle, so one save here covers a whole burst.
+      if (options_.durability.snapshot_on_quiescence && sent_ == received_ &&
+          local_queue_.empty()) {
+        PersistIfDue(true);
+      }
       WireFrame resp;
       resp.type = FrameType::kStatusResp;
       resp.status.probe = frame.status.probe;
@@ -412,14 +520,27 @@ void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
       break;
     case FrameType::kPeerHello:
       // On an AwaitResume link this is the acceptor's handshake reply:
-      // its processed count tells us where to replay from.
+      // its processed count tells us where to replay from. Its ack (v3)
+      // lets us GC first, so the replay starts from a trimmed log.
       if (from_peer >= 0 &&
           sessions_[static_cast<std::size_t>(from_peer)].state ==
               PeerSession::State::kAwaitResume) {
+        PeerSession& s = sessions_[static_cast<std::size_t>(from_peer)];
+        s.wire_version = frame.ack_valid ? kWireVersion : std::uint8_t{2};
+        peers_[static_cast<std::size_t>(from_peer)]->set_wire_version(
+            s.wire_version);
+        if (frame.ack_valid) GcSessionLog(from_peer, frame.ack);
         GoLive(from_peer, frame.resume);
         break;
       }
       Fail("unexpected hello frame on an established connection");
+      break;
+    case FrameType::kPeerAck:
+      if (from_peer >= 0) {
+        if (frame.ack_valid) GcSessionLog(from_peer, frame.ack);
+      } else {
+        Fail("peer-ack frame on the driver connection");
+      }
       break;
     case FrameType::kDriverHello:
       Fail("unexpected hello frame on an established connection");
@@ -527,6 +648,11 @@ void NodeDaemon::HandleAwaitResume(int peer) {
 }
 
 void NodeDaemon::FlushAll() {
+  // Write-ahead rule: nothing leaves a socket before a snapshot covers the
+  // state that generated it — otherwise a restart would forget effects a
+  // peer or the driver already observed.
+  PersistIfDue(/*force=*/false);
+  MaybeSendAcks();
   if (driver_) driver_->Flush();
   for (auto& p : peers_) {
     if (p) p->Flush();
@@ -536,8 +662,26 @@ void NodeDaemon::FlushAll() {
 void NodeDaemon::Run() {
   try {
     BuildNodes();
+    // Disk recovery: a staged in-memory restore (in-process clusters)
+    // takes precedence; otherwise a snapshot in the state dir is the
+    // authoritative pre-crash state. No snapshot means a fresh start.
+    if (restore_ == nullptr && DurableToDisk()) {
+      DaemonDurableState st;
+      std::string err;
+      switch (LoadSnapshot(options_.durability.state_dir, &st, daemon_id_,
+                           &err)) {
+        case SnapshotLoad::kOk:
+          restore_ = std::make_unique<DurableState>(std::move(st));
+          break;
+        case SnapshotLoad::kError:
+          Fail("durability: " + err);
+          break;
+        case SnapshotLoad::kNotFound:
+          break;
+      }
+    }
     ApplyRestore();
-    ConnectPeers();
+    if (!shutdown_) ConnectPeers();
   } catch (const std::exception& e) {
     Fail(e.what());
   }
@@ -663,12 +807,20 @@ void NodeDaemon::Run() {
             peers_[hello.daemon_id] = std::move(owned);
             conn = peers_[hello.daemon_id].get();
             from_peer = p;
-            // Acceptor handshake: reply with our processed count, then
+            PeerSession& sess = sessions_[static_cast<std::size_t>(p)];
+            // A v2 hello carries no ack: encode v2 back and never ack it.
+            sess.wire_version = hello.ack_valid ? kWireVersion : std::uint8_t{2};
+            conn->set_wire_version(sess.wire_version);
+            if (hello.ack_valid) GcSessionLog(p, hello.ack);
+            // Acceptor handshake: reply with our processed count (and our
+            // cumulative ack, dropped automatically on a v2 encode), then
             // resume the session from the initiator's.
             WireFrame reply;
             reply.type = FrameType::kPeerHello;
             reply.daemon_id = static_cast<std::uint32_t>(daemon_id_);
-            reply.resume = sessions_[static_cast<std::size_t>(p)].processed;
+            reply.resume = sess.processed;
+            reply.ack = sess.durable_processed;
+            reply.ack_valid = true;
             conn->SendFrame(reply);
             conn->Flush();
             GoLive(p, hello.resume);
@@ -728,11 +880,17 @@ void NodeDaemon::Run() {
         }
         if (shutdown_) break;
       }
-      if (conn->open() && (pfds[i].revents & POLLOUT)) conn->Flush();
+      if (conn->open() && (pfds[i].revents & POLLOUT)) {
+        PersistIfDue(/*force=*/false);  // write-ahead rule (see FlushAll)
+        conn->Flush();
+      }
     }
     // Opportunistic flush: frames generated while handling this batch.
     FlushAll();
   }
+  // Final snapshot on a clean shutdown: a later restart from the state dir
+  // resumes from exactly where this run ended.
+  PersistIfDue(/*force=*/true);
   // Graceful exit: push out whatever is still buffered (completion and
   // harvest frames racing the shutdown), bounded by the io timeout.
   const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;

@@ -35,6 +35,23 @@
 // session via the hello handshake. A crash is thereby a pure pause of
 // protocol state: the Figure 1/6 mechanism itself is untouched.
 //
+// Disk durability (treeagg-snap-v1, net/durability.h): with
+// Options::durability.state_dir set, the same DurableState is persisted
+// atomically to disk and reloaded by Run() on start, so the daemon
+// survives real process death (SIGKILL), not just a fail-stop pause.
+// Soundness hinges on the write-ahead rule: the daemon persists before
+// every socket flush (PersistIfDue), so no peer or driver ever observes an
+// effect of state a restart would forget. The `snapshot_interval_frames`
+// knob relaxes this deliberately; 1 (the default) is the sound mode.
+//
+// Replay-log GC (wire v3): each session advertises its durably-processed
+// count — piggybacked on kPeerHello and sent periodically as kPeerAck
+// every `ack_interval` frames — and the peer garbage-collects the acked
+// prefix of its replay log (`log_base` counts the frames dropped off the
+// front). Replay-log memory is thereby bounded by the unacked window. A
+// session whose peer spoke a v2 hello never receives acks and keeps its
+// full log, and we encode v2 on that connection — old endpoints interop.
+//
 // Quiescence accounting: `sent` counts every protocol message emitted by a
 // hosted node (local or remote, transmitted or parked), `received` counts
 // every delivery to a hosted node. Summed across daemons, sent == received
@@ -62,6 +79,7 @@
 #include "common/types.h"
 #include "core/lease_node.h"
 #include "net/cluster.h"
+#include "net/durability.h"
 #include "net/faulty_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
@@ -77,24 +95,16 @@ class NodeDaemon {
     // Optional frame-level fault injection on outbound peer frames (chaos
     // runs). The injector is shared so the harness can arm/disarm it.
     std::shared_ptr<PeerFaultInjector> fault_injector;
+    // Disk snapshots + cumulative-ack GC (see net/durability.h). The
+    // state_dir, when set, is THIS daemon's own directory (callers
+    // hosting several daemons give each its own subdirectory).
+    DurabilityOptions durability;
   };
 
   // Everything a crashed daemon must remember to resume as if it had only
-  // paused: hosted-node protocol state, quiescence counters, and the peer
-  // sessions (replay logs + processed counts). Plain data, copyable.
-  struct DurableState {
-    std::vector<std::pair<NodeId, LeaseNode::DurableState>> nodes;
-    std::uint64_t sent = 0;
-    std::uint64_t received = 0;
-    MessageCounts counts;
-    struct SessionState {
-      int peer = -1;
-      std::vector<WireFrame> log;    // every kProtocol frame routed there
-      std::uint64_t processed = 0;   // frames from `peer` processed so far
-    };
-    std::vector<SessionState> sessions;
-    std::vector<Message> local_queue;  // empty between frames, kept for form
-  };
+  // paused (see DaemonDurableState in net/durability.h, where it lives so
+  // the snapshot codec can share it).
+  using DurableState = DaemonDurableState;
 
   NodeDaemon(int daemon_id, ClusterConfig config, Options options = {});
   ~NodeDaemon();
@@ -140,6 +150,18 @@ class NodeDaemon {
   // Empty after a clean Run(); otherwise the reason it aborted.
   const std::string& error() const { return error_; }
 
+  // Thread-safe observability counters (tests and the chaos harness read
+  // them while the daemon runs).
+  // Largest replay-log length any peer session ever reached — the number
+  // the cumulative-ack GC is supposed to keep bounded.
+  std::uint64_t ReplayLogHighWater() const {
+    return replay_log_hwm_.load(std::memory_order_relaxed);
+  }
+  // Snapshots persisted to the state dir (0 when disk durability is off).
+  std::uint64_t SnapshotsWritten() const {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
+
  private:
   class NetTransport final : public Transport {
    public:
@@ -162,9 +184,21 @@ class NodeDaemon {
   struct PeerSession {
     enum class State { kDown, kAwaitResume, kLive };
     State state = State::kDown;
-    std::vector<WireFrame> log;  // replay log; GC'd never (ROADMAP item)
-    std::size_t sent_upto = 0;   // log prefix transmitted on current conn
+    // Replay log of un-GC'd kProtocol frames. Frame numbers are absolute
+    // per directed edge: log[i] is frame number log_base + i, and the
+    // peer's cumulative acks erase the durably-processed prefix.
+    std::vector<WireFrame> log;
+    std::uint64_t log_base = 0;   // frames GC'd off the front (absolute)
+    std::uint64_t sent_upto = 0;  // absolute count transmitted on this conn
     std::uint64_t processed = 0;  // inbound frames processed from the peer
+    // `processed` as of the last persisted snapshot — the only count safe
+    // to ack (the peer GCs on it permanently). Tracks `processed` exactly
+    // when disk durability is off (memory-durable fail-stop model).
+    std::uint64_t durable_processed = 0;
+    std::uint64_t last_acked = 0;  // highest ack value sent to the peer
+    // Wire dialect of this session, set from the peer's hello. A v2 peer
+    // gets v2 frames back and never receives kPeerAck.
+    std::uint8_t wire_version = kWireVersion;
     std::int64_t next_attempt_ms = 0;  // initiator reconnect schedule
     std::int64_t backoff_ms = 0;
     std::int64_t give_up_ms = 0;  // Fail when still down past this
@@ -224,6 +258,23 @@ class NodeDaemon {
   // (e.g. the daemon restarted and the driver has not reconnected yet).
   void SendToDriver(const WireFrame& frame);
 
+  // --- durability layer ---------------------------------------------------
+  bool DurableToDisk() const { return !options_.durability.state_dir.empty(); }
+  // Records a protocol-state mutation (drives the snapshot trigger).
+  void MarkDirty();
+  // Persists a snapshot when dirty and (unless `force`) the frame-count
+  // trigger has fired. Called before every socket flush (the write-ahead
+  // rule), at quiescence, and once more on exit. A failed save is fatal.
+  void PersistIfDue(bool force);
+  // Erases the log prefix the peer has durably processed (cumulative ack).
+  void GcSessionLog(int peer, std::uint64_t ack);
+  // Sends kPeerAck on every live v3 session whose durable count moved by
+  // at least ack_interval since the last ack.
+  void MaybeSendAcks();
+  // Shared body of ExportDurable() (which the cluster calls after Run()
+  // returns) and the snapshot writer (which runs on the daemon thread).
+  DurableState BuildDurable() const;
+
   const int daemon_id_;
   ClusterConfig config_;
   Options options_;
@@ -245,6 +296,12 @@ class NodeDaemon {
   MessageCounts counts_;
 
   std::unique_ptr<DurableState> restore_;  // staged by RestoreDurable()
+
+  // Durability bookkeeping (daemon thread only, except the atomics).
+  bool dirty_ = false;  // exported state changed since the last snapshot
+  std::uint64_t frames_since_snapshot_ = 0;
+  std::atomic<std::uint64_t> replay_log_hwm_{0};
+  std::atomic<std::uint64_t> snapshots_written_{0};
 
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_requested_{false};

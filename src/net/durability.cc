@@ -1,0 +1,498 @@
+#include "net/durability.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace treeagg {
+namespace {
+
+// --- little-endian primitives (mirrors the wire codec; the payload is a
+// different container format, so the helpers are deliberately local) -----
+
+void PutU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutI32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+}
+
+void PutI64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+void PutF64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+// Bounds-checked payload cursor; exposes the raw position so embedded wire
+// frames can be handed to DecodeFrame in place.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return len_ - pos_; }
+  const std::uint8_t* here() const { return data_ + pos_; }
+  void Skip(std::size_t n) {
+    if (remaining() < n) {
+      Fail<int>();
+    } else {
+      pos_ += n;
+    }
+  }
+
+  std::uint8_t GetU8() {
+    if (remaining() < 1) return Fail<std::uint8_t>();
+    return data_[pos_++];
+  }
+
+  std::uint32_t GetU32() {
+    if (remaining() < 4) return Fail<std::uint32_t>();
+    std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                      static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                      static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t GetU64() {
+    const std::uint64_t lo = GetU32();
+    const std::uint64_t hi = GetU32();
+    return lo | hi << 32;
+  }
+
+  std::int32_t GetI32() { return static_cast<std::int32_t>(GetU32()); }
+  std::int64_t GetI64() { return static_cast<std::int64_t>(GetU64()); }
+
+  double GetF64() {
+    const std::uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // A count whose elements occupy at least `elem_size` bytes each: rejects
+  // counts the remaining payload cannot possibly hold (a corrupted count
+  // must never drive a giant reserve()).
+  std::uint32_t GetCount(std::size_t elem_size) {
+    const std::uint32_t n = GetU32();
+    if (!ok_ || static_cast<std::uint64_t>(n) * elem_size > remaining()) {
+      return Fail<std::uint32_t>();
+    }
+    return n;
+  }
+
+ private:
+  template <typename T>
+  T Fail() {
+    ok_ = false;
+    pos_ = len_;
+    return T{};
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+constexpr std::size_t kMagicLen = 16;
+constexpr std::size_t kHeaderLen = kMagicLen + 4 + 8 + 4;
+
+void EncodeNodeState(std::vector<std::uint8_t>* out,
+                     const LeaseNode::DurableState& s) {
+  PutF64(out, s.val);
+  PutI64(out, s.upcntr);
+  PutU32(out, static_cast<std::uint32_t>(s.neighbors.size()));
+  for (const auto& nb : s.neighbors) {
+    PutI32(out, nb.id);
+    PutU8(out, nb.taken ? 1 : 0);
+    PutU8(out, nb.granted ? 1 : 0);
+    PutF64(out, nb.aval);
+    PutU32(out, static_cast<std::uint32_t>(nb.uaw.size()));
+    for (const UpdateId id : nb.uaw) PutI64(out, id);
+    PutU32(out, static_cast<std::uint32_t>(nb.snt_updates.size()));
+    for (const auto& [rcvid, sntid] : nb.snt_updates) {
+      PutI64(out, rcvid);
+      PutI64(out, sntid);
+    }
+  }
+  PutU32(out, static_cast<std::uint32_t>(s.pndg.size()));
+  for (const auto& p : s.pndg) {
+    PutI32(out, p.requester);
+    PutU32(out, static_cast<std::uint32_t>(p.waiting.size()));
+    for (const NodeId w : p.waiting) PutI32(out, w);
+  }
+  PutU32(out, static_cast<std::uint32_t>(s.local_tokens.size()));
+  for (const CombineToken t : s.local_tokens) PutI64(out, t);
+  PutU32(out, static_cast<std::uint32_t>(s.ghost_log.size()));
+  for (const GhostWrite& w : s.ghost_log) {
+    PutI64(out, w.id);
+    PutI32(out, w.node);
+  }
+}
+
+bool DecodeNodeState(Cursor* c, LeaseNode::DurableState* s) {
+  s->val = c->GetF64();
+  s->upcntr = c->GetI64();
+  const std::uint32_t nnbrs = c->GetCount(18);
+  if (!c->ok()) return false;
+  s->neighbors.resize(nnbrs);
+  for (auto& nb : s->neighbors) {
+    nb.id = c->GetI32();
+    nb.taken = c->GetU8() != 0;
+    nb.granted = c->GetU8() != 0;
+    nb.aval = c->GetF64();
+    const std::uint32_t nuaw = c->GetCount(8);
+    if (!c->ok()) return false;
+    nb.uaw.resize(nuaw);
+    for (auto& id : nb.uaw) id = c->GetI64();
+    const std::uint32_t nsnt = c->GetCount(16);
+    if (!c->ok()) return false;
+    nb.snt_updates.resize(nsnt);
+    for (auto& [rcvid, sntid] : nb.snt_updates) {
+      rcvid = c->GetI64();
+      sntid = c->GetI64();
+    }
+  }
+  const std::uint32_t npndg = c->GetCount(8);
+  if (!c->ok()) return false;
+  s->pndg.resize(npndg);
+  for (auto& p : s->pndg) {
+    p.requester = c->GetI32();
+    const std::uint32_t nwait = c->GetCount(4);
+    if (!c->ok()) return false;
+    p.waiting.resize(nwait);
+    for (auto& w : p.waiting) w = c->GetI32();
+  }
+  const std::uint32_t ntokens = c->GetCount(8);
+  if (!c->ok()) return false;
+  s->local_tokens.resize(ntokens);
+  for (auto& t : s->local_tokens) t = c->GetI64();
+  const std::uint32_t nghost = c->GetCount(12);
+  if (!c->ok()) return false;
+  s->ghost_log.resize(nghost);
+  for (auto& w : s->ghost_log) {
+    w.id = c->GetI64();
+    w.node = c->GetI32();
+  }
+  return c->ok();
+}
+
+// Embedded wire frame: decoded in place by the wire codec, then skipped.
+bool DecodeEmbeddedFrame(Cursor* c, WireFrame* frame) {
+  const DecodeResult r = DecodeFrame(c->here(), c->remaining());
+  if (r.status != DecodeStatus::kOk) return false;
+  *frame = r.frame;
+  c->Skip(r.consumed);
+  return c->ok();
+}
+
+bool DecodePayload(Cursor* c, DaemonDurableState* state) {
+  const std::uint32_t nnodes = c->GetCount(4);
+  if (!c->ok()) return false;
+  state->nodes.resize(nnodes);
+  for (auto& [id, ns] : state->nodes) {
+    id = c->GetI32();
+    if (!DecodeNodeState(c, &ns)) return false;
+  }
+  state->sent = c->GetU64();
+  state->received = c->GetU64();
+  state->counts.probes = c->GetI64();
+  state->counts.responses = c->GetI64();
+  state->counts.updates = c->GetI64();
+  state->counts.releases = c->GetI64();
+  const std::uint32_t nsessions = c->GetCount(24);
+  if (!c->ok()) return false;
+  state->sessions.resize(nsessions);
+  for (auto& ss : state->sessions) {
+    ss.peer = c->GetI32();
+    ss.log_base = c->GetU64();
+    ss.processed = c->GetU64();
+    const std::uint32_t nlog = c->GetCount(7);  // min wire frame: 4+3 bytes
+    if (!c->ok()) return false;
+    ss.log.resize(nlog);
+    for (auto& f : ss.log) {
+      if (!DecodeEmbeddedFrame(c, &f)) return false;
+    }
+  }
+  const std::uint32_t nqueue = c->GetCount(7);
+  if (!c->ok()) return false;
+  state->local_queue.resize(nqueue);
+  for (auto& m : state->local_queue) {
+    WireFrame f;
+    if (!DecodeEmbeddedFrame(c, &f) || f.type != FrameType::kProtocol) {
+      return false;
+    }
+    m = std::move(f.msg);
+  }
+  return c->ok() && c->remaining() == 0;
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// mkdir -p: every component of `dir` (EEXIST is success).
+bool EnsureDir(const std::string& dir, std::string* error) {
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      partial.push_back(dir[i]);
+      continue;
+    }
+    if (i < dir.size()) partial.push_back('/');
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      *error = "mkdir " + partial + ": " + std::strerror(errno);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FsyncDir(const std::string& dir, std::string* error) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    *error = "open dir " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok) *error = Errno("fsync dir");
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t len) {
+  // Table-driven CRC-32 (reflected 0x04C11DB7, as in zlib); the table is
+  // built once on first use.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool DurableStatesEqual(const DaemonDurableState& a,
+                        const DaemonDurableState& b) {
+  if (a.nodes != b.nodes || a.sent != b.sent || a.received != b.received ||
+      !(a.counts == b.counts) || a.sessions.size() != b.sessions.size() ||
+      a.local_queue.size() != b.local_queue.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const auto& sa = a.sessions[i];
+    const auto& sb = b.sessions[i];
+    if (sa.peer != sb.peer || sa.log_base != sb.log_base ||
+        sa.processed != sb.processed || sa.log.size() != sb.log.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < sa.log.size(); ++j) {
+      if (!FramesEqual(sa.log[j], sb.log[j])) return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.local_queue.size(); ++i) {
+    WireFrame fa, fb;
+    fa.type = fb.type = FrameType::kProtocol;
+    fa.msg = a.local_queue[i];
+    fb.msg = b.local_queue[i];
+    if (!FramesEqual(fa, fb)) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeSnapshot(const DaemonDurableState& state,
+                                         int daemon_id) {
+  std::vector<std::uint8_t> payload;
+  PutU32(&payload, static_cast<std::uint32_t>(state.nodes.size()));
+  for (const auto& [id, ns] : state.nodes) {
+    PutI32(&payload, id);
+    EncodeNodeState(&payload, ns);
+  }
+  PutU64(&payload, state.sent);
+  PutU64(&payload, state.received);
+  PutI64(&payload, state.counts.probes);
+  PutI64(&payload, state.counts.responses);
+  PutI64(&payload, state.counts.updates);
+  PutI64(&payload, state.counts.releases);
+  PutU32(&payload, static_cast<std::uint32_t>(state.sessions.size()));
+  for (const auto& ss : state.sessions) {
+    PutI32(&payload, ss.peer);
+    PutU64(&payload, ss.log_base);
+    PutU64(&payload, ss.processed);
+    PutU32(&payload, static_cast<std::uint32_t>(ss.log.size()));
+    for (const WireFrame& f : ss.log) AppendFrame(&payload, f);
+  }
+  PutU32(&payload, static_cast<std::uint32_t>(state.local_queue.size()));
+  for (const Message& m : state.local_queue) {
+    WireFrame f;
+    f.type = FrameType::kProtocol;
+    f.msg = m;
+    AppendFrame(&payload, f);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderLen + payload.size());
+  out.insert(out.end(), kSnapshotMagic, kSnapshotMagic + kMagicLen);
+  PutU32(&out, static_cast<std::uint32_t>(daemon_id));
+  PutU64(&out, payload.size());
+  PutU32(&out, Crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool DecodeSnapshot(const std::uint8_t* data, std::size_t len,
+                    DaemonDurableState* state, int* daemon_id,
+                    std::string* error) {
+  if (len < kHeaderLen) {
+    *error = "snapshot truncated (no header)";
+    return false;
+  }
+  if (std::memcmp(data, kSnapshotMagic, kMagicLen) != 0) {
+    *error = "bad snapshot magic (not a treeagg-snap-v1 file)";
+    return false;
+  }
+  Cursor header(data + kMagicLen, kHeaderLen - kMagicLen);
+  const std::uint32_t id = header.GetU32();
+  const std::uint64_t payload_len = header.GetU64();
+  const std::uint32_t crc = header.GetU32();
+  if (payload_len != len - kHeaderLen) {
+    *error = "snapshot truncated (payload length mismatch)";
+    return false;
+  }
+  const std::uint8_t* payload = data + kHeaderLen;
+  if (Crc32(payload, static_cast<std::size_t>(payload_len)) != crc) {
+    *error = "snapshot checksum mismatch (corrupted file)";
+    return false;
+  }
+  DaemonDurableState decoded;
+  Cursor c(payload, static_cast<std::size_t>(payload_len));
+  if (!DecodePayload(&c, &decoded)) {
+    *error = "snapshot payload inconsistent";
+    return false;
+  }
+  *state = std::move(decoded);
+  *daemon_id = static_cast<int>(id);
+  return true;
+}
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/daemon.snap";
+}
+
+std::string SnapshotTempPath(const std::string& dir) {
+  return dir + "/daemon.snap.tmp";
+}
+
+bool SaveSnapshot(const std::string& dir, const DaemonDurableState& state,
+                  int daemon_id, std::string* error) {
+  if (!EnsureDir(dir, error)) return false;
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(state, daemon_id);
+  const std::string tmp = SnapshotTempPath(dir);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *error = "open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = Errno("write");
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    *error = Errno("fsync");
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), SnapshotPath(dir).c_str()) != 0) {
+    *error = Errno("rename");
+    return false;
+  }
+  return FsyncDir(dir, error);
+}
+
+SnapshotLoad LoadSnapshot(const std::string& dir, DaemonDurableState* state,
+                          int expected_daemon_id, std::string* error) {
+  const std::string path = SnapshotPath(dir);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return SnapshotLoad::kNotFound;
+    *error = "open " + path + ": " + std::strerror(errno);
+    return SnapshotLoad::kError;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = Errno("read");
+      ::close(fd);
+      return SnapshotLoad::kError;
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  int daemon_id = -1;
+  if (!DecodeSnapshot(bytes.data(), bytes.size(), state, &daemon_id, error)) {
+    return SnapshotLoad::kError;
+  }
+  if (daemon_id != expected_daemon_id) {
+    *error = "snapshot belongs to daemon " + std::to_string(daemon_id) +
+             ", expected " + std::to_string(expected_daemon_id) +
+             " (two daemons sharing one state dir?)";
+    return SnapshotLoad::kError;
+  }
+  return SnapshotLoad::kOk;
+}
+
+void RemoveSnapshot(const std::string& dir) {
+  ::unlink(SnapshotPath(dir).c_str());
+  ::unlink(SnapshotTempPath(dir).c_str());
+}
+
+}  // namespace treeagg

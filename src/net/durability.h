@@ -1,0 +1,137 @@
+// treeagg-snap-v1: disk durability for the networked backend.
+//
+// A snapshot file persists one daemon's full durable protocol state — the
+// DaemonDurableState below (hosted LeaseNode states, quiescence counters,
+// peer-session replay logs and processed counts, the local queue) — so a
+// daemon killed with SIGKILL can restart from `--state-dir` and resume as
+// if it had only paused.
+//
+// File layout (all integers little-endian):
+//
+//   [16B magic "treeagg-snap-v1\n"] [u32 daemon_id] [u64 payload_len]
+//   [u32 crc32(payload)] [payload_len bytes of payload]
+//
+// The payload serializes the state with the same primitives as the wire
+// codec; logged frames and queued messages are embedded as complete wire
+// frames, so the one battle-tested Message codec covers both formats.
+// Decoding never throws: a wrong magic, truncated file, checksum mismatch,
+// or inconsistent payload is reported as a clean error string.
+//
+// Atomicity: SaveSnapshot writes `daemon.snap.tmp`, fsyncs it, renames it
+// over `daemon.snap`, and fsyncs the directory. A crash at any point
+// leaves either the old snapshot or the new one, never a torn file; a
+// stale `.tmp` from a crashed writer is ignored by LoadSnapshot and
+// overwritten by the next save.
+//
+// Soundness (write-ahead rule): recovery is only exactly-once if no frame
+// reaches a socket before the snapshot covers the state that generated it.
+// The daemon therefore persists before every flush point; the
+// `snapshot_interval_frames` knob weakens this deliberately (fewer fsyncs,
+// a crash inside the lag window may lose convergence) and is 1 by default.
+#ifndef TREEAGG_NET_DURABILITY_H_
+#define TREEAGG_NET_DURABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/lease_node.h"
+#include "core/message.h"
+#include "net/wire.h"
+#include "sim/trace.h"  // MessageCounts
+
+namespace treeagg {
+
+// Durability knobs of one daemon (NodeDaemon::Options::durability).
+struct DurabilityOptions {
+  // Per-daemon snapshot directory. Empty disables disk durability: the
+  // state stays exportable in memory (the fail-stop model of LocalCluster)
+  // but does not survive real process death.
+  std::string state_dir;
+  // Persist once this many protocol frames have been processed since the
+  // last snapshot, checked before every socket flush. 1 (the default) is
+  // the write-ahead rule above; larger values trade durability lag for
+  // fewer fsyncs.
+  std::uint64_t snapshot_interval_frames = 1;
+  // Also persist whenever a status probe observes the daemon locally
+  // quiescent (sent == received, empty local queue).
+  bool snapshot_on_quiescence = true;
+  // Send a cumulative kPeerAck after this many durably-processed frames
+  // per peer session, letting the peer GC its replay log. 0 disables acks
+  // (sessions then retain their full logs, the pre-v3 behaviour).
+  std::uint64_t ack_interval = 16;
+};
+
+// Everything a crashed daemon must remember to resume as if it had only
+// paused: hosted-node protocol state, quiescence counters, and the peer
+// sessions (replay logs + processed counts). Plain data, copyable. Lives
+// here (not in NodeDaemon) so the snapshot codec and the daemon can share
+// it without an include cycle; NodeDaemon::DurableState aliases it.
+struct DaemonDurableState {
+  std::vector<std::pair<NodeId, LeaseNode::DurableState>> nodes;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  MessageCounts counts;
+  struct SessionState {
+    int peer = -1;
+    std::vector<WireFrame> log;   // kProtocol frames routed there, unGC'd
+    std::uint64_t log_base = 0;   // frames GC'd off the front (cumulative)
+    std::uint64_t processed = 0;  // frames from `peer` processed so far
+  };
+  std::vector<SessionState> sessions;
+  std::vector<Message> local_queue;  // empty between frames, kept for form
+};
+
+// Deep structural equality (WireFrame and Message have no operator==; the
+// ghost-log piggybacks are compared by contents, not by pointer).
+bool DurableStatesEqual(const DaemonDurableState& a,
+                        const DaemonDurableState& b);
+
+inline constexpr char kSnapshotMagic[] = "treeagg-snap-v1\n";  // 16 bytes + NUL
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `data`.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t len);
+
+// --- codec --------------------------------------------------------------
+
+std::vector<std::uint8_t> EncodeSnapshot(const DaemonDurableState& state,
+                                         int daemon_id);
+
+// Decodes a whole snapshot image. On failure returns false and fills
+// *error with a one-line reason; *state and *daemon_id are untouched then.
+bool DecodeSnapshot(const std::uint8_t* data, std::size_t len,
+                    DaemonDurableState* state, int* daemon_id,
+                    std::string* error);
+
+// --- files --------------------------------------------------------------
+
+std::string SnapshotPath(const std::string& dir);
+std::string SnapshotTempPath(const std::string& dir);
+
+// Atomically persists `state` under `dir` (created if missing):
+// write-temp + fsync + rename + directory fsync. Returns false (and fills
+// *error) on any filesystem failure.
+bool SaveSnapshot(const std::string& dir, const DaemonDurableState& state,
+                  int daemon_id, std::string* error);
+
+enum class SnapshotLoad {
+  kOk = 0,
+  kNotFound,  // no snapshot file: a fresh start, not an error
+  kError,     // unreadable, corrupted, or written by a different daemon
+};
+
+// Loads and validates `dir`'s snapshot. A snapshot whose recorded daemon
+// id differs from `expected_daemon_id` is kError (two daemons pointed at
+// one directory). A stale `.tmp` is ignored.
+SnapshotLoad LoadSnapshot(const std::string& dir, DaemonDurableState* state,
+                          int expected_daemon_id, std::string* error);
+
+// Deletes the snapshot (and any stale temp file) under `dir`, for
+// fail-stop-with-amnesia restarts. Missing files are not an error.
+void RemoveSnapshot(const std::string& dir);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_DURABILITY_H_

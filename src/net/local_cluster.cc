@@ -1,5 +1,6 @@
 #include "net/local_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -19,16 +20,13 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
   config_.Validate();
 
   daemon_options_.transport = options.transport;
+  daemon_options_.durability = options.durability;
   injectors_ = options.fault_injectors;
   durable_.resize(static_cast<std::size_t>(options.daemons));
   try {
     for (int d = 0; d < options.daemons; ++d) {
-      NodeDaemon::Options daemon_options = daemon_options_;
-      if (static_cast<std::size_t>(d) < injectors_.size()) {
-        daemon_options.fault_injector = injectors_[static_cast<std::size_t>(d)];
-      }
       daemons_.push_back(
-          std::make_unique<NodeDaemon>(d, config_, daemon_options));
+          std::make_unique<NodeDaemon>(d, config_, DaemonOptionsFor(d)));
       daemons_.back()->Bind();
     }
     std::vector<std::uint16_t> ports;
@@ -51,11 +49,25 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
   }
 }
 
+NodeDaemon::Options LocalCluster::DaemonOptionsFor(int d) const {
+  NodeDaemon::Options daemon_options = daemon_options_;
+  const std::size_t idx = static_cast<std::size_t>(d);
+  if (idx < injectors_.size()) {
+    daemon_options.fault_injector = injectors_[idx];
+  }
+  if (!daemon_options_.durability.state_dir.empty()) {
+    daemon_options.durability.state_dir =
+        daemon_options_.durability.state_dir + "/daemon-" + std::to_string(d);
+  }
+  return daemon_options;
+}
+
 void LocalCluster::KillDaemon(int d) {
   const std::size_t idx = static_cast<std::size_t>(d);
   driver_->MarkDaemonDown(d);
   daemons_[idx]->RequestStop();
   if (threads_[idx].joinable()) threads_[idx].join();
+  replay_hwm_ = std::max(replay_hwm_, daemons_[idx]->ReplayLogHighWater());
   durable_[idx] = std::make_unique<NodeDaemon::DurableState>(
       daemons_[idx]->ExportDurable());
   // Destroying the daemon closes its listener so the restart can rebind
@@ -63,15 +75,27 @@ void LocalCluster::KillDaemon(int d) {
   daemons_[idx].reset();
 }
 
-std::size_t LocalCluster::RestartDaemon(int d) {
+std::size_t LocalCluster::RestartDaemon(int d, RestartMode mode) {
   const std::size_t idx = static_cast<std::size_t>(d);
-  NodeDaemon::Options daemon_options = daemon_options_;
-  if (idx < injectors_.size()) {
-    daemon_options.fault_injector = injectors_[idx];
-  }
+  NodeDaemon::Options daemon_options = DaemonOptionsFor(d);
   auto daemon = std::make_unique<NodeDaemon>(d, config_, daemon_options);
-  daemon->RestoreDurable(std::move(*durable_[idx]));
-  durable_[idx].reset();
+  if (mode == RestartMode::kAmnesia) {
+    // The daemon rejoins blank: forget the kill-time export and (disk
+    // mode) the snapshot its Run() would otherwise rehydrate from.
+    durable_[idx].reset();
+    if (!daemon_options.durability.state_dir.empty()) {
+      RemoveSnapshot(daemon_options.durability.state_dir);
+    }
+  } else if (!daemon_options.durability.state_dir.empty()) {
+    // Disk mode: the daemon reloads its own snapshot inside Run() — the
+    // same path a real process restart takes. The kill-time export is
+    // redundant with (never newer than observable effects of) the disk
+    // snapshot, so drop it.
+    durable_[idx].reset();
+  } else if (durable_[idx] != nullptr) {
+    daemon->RestoreDurable(std::move(*durable_[idx]));
+    durable_[idx].reset();
+  }
   daemon->Bind();  // same resolved port: SO_REUSEADDR covers TIME_WAIT
   daemons_[idx] = std::move(daemon);
   threads_[idx] = std::thread([raw = daemons_[idx].get()] { raw->Run(); });
@@ -103,6 +127,14 @@ void LocalCluster::Stop() {
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
+}
+
+std::uint64_t LocalCluster::ReplayLogHighWater() const {
+  std::uint64_t hwm = replay_hwm_;
+  for (const auto& daemon : daemons_) {
+    if (daemon) hwm = std::max(hwm, daemon->ReplayLogHighWater());
+  }
+  return hwm;
 }
 
 std::string LocalCluster::DaemonError() const {

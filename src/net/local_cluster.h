@@ -39,7 +39,19 @@ class LocalCluster {
     // Per-daemon frame-level fault injectors (chaos runs); empty = none.
     // Indexed by daemon id; shared so the harness can arm/disarm them.
     std::vector<std::shared_ptr<PeerFaultInjector>> fault_injectors;
+    // Disk snapshots + cumulative-ack GC (see net/durability.h). Here
+    // `state_dir` is the cluster ROOT: daemon `d` gets its own
+    // `<state_dir>/daemon-<d>` subdirectory. Empty = memory-durable only.
+    DurabilityOptions durability;
   };
+
+  // How RestartDaemon rebuilds a killed daemon's state.
+  //   kDurable: restore the state captured at kill time (or, with a
+  //     state_dir, let the daemon reload its own disk snapshot) — the
+  //     crash is a pure pause.
+  //   kAmnesia: discard it (and delete the disk snapshot) — the daemon
+  //     rejoins blank, the model for a node replaced by fresh hardware.
+  enum class RestartMode { kDurable, kAmnesia };
 
   // Spins up the daemons and connects the driver. Throws on any setup
   // failure (everything already started is torn down).
@@ -59,6 +71,10 @@ class LocalCluster {
   // First daemon-side error, if any (valid after Stop()).
   std::string DaemonError() const;
 
+  // Largest replay-log length any daemon's peer session ever reached,
+  // across kills and restarts — the quantity the cumulative-ack GC bounds.
+  std::uint64_t ReplayLogHighWater() const;
+
   // --- fault injection (chaos harness) ----------------------------------
   // Fail-stop crash of daemon `d`: the driver marks it down, the daemon
   // thread is stopped and joined, the durable state is extracted, and the
@@ -67,19 +83,24 @@ class LocalCluster {
   // re-injects them.
   void KillDaemon(int d);
   // Brings daemon `d` back: a fresh NodeDaemon with the extracted durable
-  // state rebinds the same port, peer sessions resume via the kPeerHello
-  // handshake, the driver reconnects and re-injects the requests that may
-  // have died with the old connection. Returns how many requests were
-  // re-injected.
-  std::size_t RestartDaemon(int d);
+  // state (kDurable) or none of it (kAmnesia) rebinds the same port, peer
+  // sessions resume via the kPeerHello handshake, the driver reconnects
+  // and re-injects the requests that may have died with the old
+  // connection. Returns how many requests were re-injected.
+  std::size_t RestartDaemon(int d, RestartMode mode = RestartMode::kDurable);
   // Transient partition: severs the TCP link between two daemons (no-op
   // if they share no tree edge). Both sides recover through session
   // resume; convergence is delayed, never lost.
   void SeverPeerLink(int d1, int d2);
 
  private:
+  // Daemon options for daemon `d`: the shared template plus its injector
+  // and (disk mode) its own state subdirectory.
+  NodeDaemon::Options DaemonOptionsFor(int d) const;
+
   ClusterConfig config_;
   NodeDaemon::Options daemon_options_;
+  std::uint64_t replay_hwm_ = 0;  // carried across KillDaemon
   std::vector<std::unique_ptr<NodeDaemon>> daemons_;
   std::vector<std::unique_ptr<NodeDaemon::DurableState>> durable_;
   std::vector<std::thread> threads_;

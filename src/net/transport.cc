@@ -96,7 +96,7 @@ void FrameConn::FailWith(std::string msg) {
 
 void FrameConn::SendFrame(const WireFrame& frame) {
   if (!open()) return;
-  AppendFrame(&out_, frame);
+  AppendFrame(&out_, frame, wire_version_);
   if (OutboundBytes() > options_.max_write_buffer) {
     FailWith("write buffer overflow (peer not draining)");
   }

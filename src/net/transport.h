@@ -120,6 +120,12 @@ class FrameConn {
   // the backlog exceeds the backpressure cap.
   void SendFrame(const WireFrame& frame);
 
+  // Wire dialect of outbound frames (kWireVersion by default). A daemon
+  // downgrades a peer connection to v2 when the peer's hello spoke v2, so
+  // old endpoints keep decoding everything we send.
+  void set_wire_version(std::uint8_t v) { wire_version_ = v; }
+  std::uint8_t wire_version() const { return wire_version_; }
+
   // Appends pre-encoded (possibly deliberately malformed) frame bytes to
   // the outbound buffer. Used by fault injection to put a damaged frame on
   // the wire ahead of the codec; same backpressure rules as SendFrame.
@@ -150,6 +156,7 @@ class FrameConn {
   std::vector<std::uint8_t> out_;
   std::size_t out_pos_ = 0;
   FrameReader reader_;
+  std::uint8_t wire_version_ = kWireVersion;
   bool failed_ = false;
   bool eof_ = false;
   std::string error_;

@@ -164,11 +164,16 @@ bool DecodeMessage(Cursor* c, Message* m) {
   return c->ok();
 }
 
-void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f) {
+void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f,
+                   std::uint8_t version) {
   switch (f.type) {
     case FrameType::kPeerHello:
       PutU32(out, f.daemon_id);
       PutU64(out, f.resume);
+      if (version >= 3) PutU64(out, f.ack);  // v2 hellos carry no ack
+      break;
+    case FrameType::kPeerAck:
+      PutU64(out, f.ack);
       break;
     case FrameType::kDriverHello:
     case FrameType::kHarvestReq:
@@ -226,11 +231,19 @@ void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f) {
   }
 }
 
-bool DecodePayload(Cursor* c, WireFrame* f) {
+bool DecodePayload(Cursor* c, WireFrame* f, std::uint8_t version) {
   switch (f->type) {
     case FrameType::kPeerHello:
       f->daemon_id = c->GetU32();
       f->resume = c->GetU64();
+      if (version >= 3) {
+        f->ack = c->GetU64();
+        f->ack_valid = true;
+      }
+      break;
+    case FrameType::kPeerAck:
+      f->ack = c->GetU64();
+      f->ack_valid = true;
       break;
     case FrameType::kDriverHello:
     case FrameType::kHarvestReq:
@@ -321,6 +334,7 @@ const char* ToString(FrameType t) {
     case FrameType::kHarvestReq: return "harvest-req";
     case FrameType::kHarvestResp: return "harvest-resp";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kPeerAck: return "peer-ack";
   }
   return "?";
 }
@@ -350,19 +364,20 @@ bool FramesEqual(const WireFrame& a, const WireFrame& b) {
       static_cast<bool>(ma.wlog) == static_cast<bool>(mb.wlog) &&
       (!ma.wlog || *ma.wlog == *mb.wlog);
   return msg_equal && a.daemon_id == b.daemon_id && a.resume == b.resume &&
-         a.req == b.req &&
+         a.ack == b.ack && a.ack_valid == b.ack_valid && a.req == b.req &&
          a.node == b.node && a.arg == b.arg && a.value == b.value &&
          a.gather == b.gather && a.log_prefix == b.log_prefix &&
          a.status == b.status && a.harvest == b.harvest;
 }
 
-void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame) {
+void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame,
+                 std::uint8_t version) {
   const std::size_t len_at = out->size();
   PutU32(out, 0);  // patched below
   PutU8(out, kWireMagic);
-  PutU8(out, kWireVersion);
+  PutU8(out, version);
   PutU8(out, static_cast<std::uint8_t>(frame.type));
-  EncodePayload(out, frame);
+  EncodePayload(out, frame, version);
   const std::uint32_t body_len =
       static_cast<std::uint32_t>(out->size() - len_at - 4);
   (*out)[len_at] = static_cast<std::uint8_t>(body_len);
@@ -371,9 +386,10 @@ void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame) {
   (*out)[len_at + 3] = static_cast<std::uint8_t>(body_len >> 24);
 }
 
-std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame) {
+std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame,
+                                      std::uint8_t version) {
   std::vector<std::uint8_t> out;
-  AppendFrame(&out, frame);
+  AppendFrame(&out, frame, version);
   return out;
 }
 
@@ -397,19 +413,24 @@ DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len) {
     r.status = DecodeStatus::kBadMagic;
     return r;
   }
-  if (len >= 6 && data[5] != kWireVersion) {
+  if (len >= 6 && (data[5] < kWireMinVersion || data[5] > kWireVersion)) {
     r.status = DecodeStatus::kBadVersion;
     return r;
   }
   if (len < 4 + static_cast<std::size_t>(body_len)) return r;  // kNeedMore
+  const std::uint8_t version = data[5];
   const std::uint8_t type = data[6];
-  if (type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+  // kPeerAck (12) exists only from v3 on; in a v2 frame it is out of range.
+  const std::uint8_t max_type =
+      version >= 3 ? static_cast<std::uint8_t>(FrameType::kPeerAck)
+                   : static_cast<std::uint8_t>(FrameType::kShutdown);
+  if (type > max_type) {
     r.status = DecodeStatus::kBadType;
     return r;
   }
   r.frame.type = static_cast<FrameType>(type);
   Cursor c(data + 7, body_len - 3);
-  if (!DecodePayload(&c, &r.frame)) {
+  if (!DecodePayload(&c, &r.frame, version)) {
     r.frame = WireFrame{};
     r.status = DecodeStatus::kBadPayload;
     return r;

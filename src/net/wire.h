@@ -1,10 +1,10 @@
-// treeagg-wire-v2: the versioned binary wire format of the networked
+// treeagg-wire-v3: the versioned binary wire format of the networked
 // backend.
 //
 // A frame on the wire is a 4-byte little-endian length prefix followed by
 // `length` bytes of body:
 //
-//   [u32 length] [u8 magic 0xA6] [u8 version 0x01] [u8 frame type] [payload]
+//   [u32 length] [u8 magic 0xA6] [u8 version] [u8 frame type] [payload]
 //
 // `length` counts the body (magic byte onward) and is bounded by
 // kMaxFrameLen; a length outside [3, kMaxFrameLen] poisons the stream
@@ -14,7 +14,8 @@
 //
 // Frame types cover the three conversations of the backend:
 //   daemon <-> daemon : kPeerHello, kProtocol (a core::Message, including
-//                       the ghost-log piggyback of Figure 6)
+//                       the ghost-log piggyback of Figure 6), kPeerAck
+//                       (cumulative replay-log GC, v3)
 //   driver  -> daemon : kDriverHello, kInjectWrite, kInjectCombine,
 //                       kStatusReq, kHarvestReq, kShutdown
 //   daemon  -> driver : kWriteDone, kCombineDone, kStatusResp, kHarvestResp
@@ -36,9 +37,13 @@
 namespace treeagg {
 
 inline constexpr std::uint8_t kWireMagic = 0xA6;
-// v2 added the resume count to kPeerHello (crash-restart session resume);
-// every other payload is unchanged from v1.
-inline constexpr std::uint8_t kWireVersion = 2;  // treeagg-wire-v2
+// v2 added the resume count to kPeerHello (crash-restart session resume).
+// v3 adds cumulative acks for replay-log GC: a durably-processed count
+// piggybacked on kPeerHello and the periodic kPeerAck frame. A v3 endpoint
+// still decodes v2 frames (a v2 hello simply carries no ack, so GC stays
+// off for that session), and can encode v2 for a peer that spoke it.
+inline constexpr std::uint8_t kWireVersion = 3;  // treeagg-wire-v3
+inline constexpr std::uint8_t kWireMinVersion = 2;  // oldest accepted
 // Upper bound on the frame body (magic byte onward). Harvest frames carry
 // whole ghost logs, so the cap is generous; anything larger is rejected as
 // a corrupted length prefix.
@@ -57,6 +62,7 @@ enum class FrameType : std::uint8_t {
   kHarvestReq = 9,     // no payload
   kHarvestResp = 10,   // ghost logs of hosted nodes + message counts
   kShutdown = 11,      // no payload
+  kPeerAck = 12,       // cumulative durably-processed count (v3)
 };
 
 const char* ToString(FrameType t);
@@ -101,6 +107,13 @@ struct WireFrame {
   // replaying its send log from this position (exactly-once across
   // connection drops and crash-restarts).
   std::uint64_t resume = 0;
+  // kPeerAck, and kPeerHello at v3: how many kProtocol frames from the
+  // receiving daemon the sender has DURABLY processed — the receiver may
+  // garbage-collect that prefix of its replay log. `ack_valid` is false
+  // when the field was absent on the wire (a v2 hello): GC stays disabled
+  // for that session.
+  std::uint64_t ack = 0;
+  bool ack_valid = false;
 
   Message msg;  // kProtocol
 
@@ -121,8 +134,12 @@ struct WireFrame {
 bool FramesEqual(const WireFrame& a, const WireFrame& b);
 
 // Serializes `frame` (length prefix included) onto the end of `out`.
-void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame);
-std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame);
+// `version` selects the encoded dialect (a session downgrades to v2 when
+// the peer's hello spoke v2); it must be in [kWireMinVersion, kWireVersion].
+void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame,
+                 std::uint8_t version = kWireVersion);
+std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame,
+                                      std::uint8_t version = kWireVersion);
 
 enum class DecodeStatus {
   kOk = 0,

@@ -7,7 +7,9 @@
 //   sweep  parallel cross-product of shapes x sizes x workloads x
 //          policies x faults; writes a treeagg-sweep-v3 JSON report
 //   serve  one node daemon of the networked backend:
-//          treeagg_cli serve --cluster FILE --daemon ID
+//          treeagg_cli serve --cluster FILE --daemon ID [--state-dir DIR]
+//          (with --state-dir the daemon snapshots its durable state to
+//          disk and recovers from it on restart, surviving SIGKILL)
 //   drive  workload client of the networked backend:
 //          treeagg_cli drive --cluster FILE [workload flags], or
 //          treeagg_cli drive --net-local --daemons N [workload flags]
@@ -383,6 +385,7 @@ int SweepMain(int argc, char** argv) {
 
 int ServeUsage() {
   std::cerr << "usage: treeagg_cli serve --cluster FILE --daemon ID"
+               " [--state-dir DIR] [--snapshot-every N] [--ack-interval N]"
                " (valid subcommands: run, sweep, serve, drive, chaos)\n";
   return 2;
 }
@@ -390,6 +393,7 @@ int ServeUsage() {
 int ServeMain(int argc, char** argv) {
   std::string cluster_file;
   int daemon_id = -1;
+  NodeDaemon::Options daemon_options;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -400,6 +404,12 @@ int ServeMain(int argc, char** argv) {
       cluster_file = value;
     } else if (arg == "--daemon" && (value = next())) {
       daemon_id = static_cast<int>(std::stol(value));
+    } else if (arg == "--state-dir" && (value = next())) {
+      daemon_options.durability.state_dir = value;
+    } else if (arg == "--snapshot-every" && (value = next())) {
+      daemon_options.durability.snapshot_interval_frames = std::stoull(value);
+    } else if (arg == "--ack-interval" && (value = next())) {
+      daemon_options.durability.ack_interval = std::stoull(value);
     } else {
       return ServeUsage();
     }
@@ -411,10 +421,14 @@ int ServeMain(int argc, char** argv) {
     return 2;
   }
   const ClusterConfig config = ParseClusterConfig(in);
-  NodeDaemon daemon(daemon_id, config);
+  NodeDaemon daemon(daemon_id, config, daemon_options);
   daemon.Bind();
   std::cerr << "daemon " << daemon_id << " listening on port "
-            << daemon.BoundPort() << "\n";
+            << daemon.BoundPort();
+  if (!daemon_options.durability.state_dir.empty()) {
+    std::cerr << " (state dir: " << daemon_options.durability.state_dir << ")";
+  }
+  std::cerr << "\n";
   daemon.Run();
   if (!daemon.error().empty()) {
     std::cerr << "error: " << daemon.error() << "\n";
@@ -560,7 +574,7 @@ int ChaosUsage() {
   std::cerr << "usage: treeagg_cli chaos [--backend sim|net-local]"
                " [--schedule PRESET|SPEC] [--shape S] [--n N] [--workload W]"
                " [--len L] [--seed X] [--policy P] [--op O]"
-               " [--daemons N] [--placement block|rr]"
+               " [--daemons N] [--placement block|rr] [--ack-interval N]"
                " (presets: drops, partition, crash, chaos; spec grammar:"
                " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
                " (valid subcommands: run, sweep, serve, drive, chaos)\n";
@@ -579,6 +593,7 @@ int ChaosMain(int argc, char** argv) {
   std::string op_name = "sum";
   int daemons = 3;
   std::string placement = "rr";
+  std::uint64_t ack_interval = 16;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -607,6 +622,8 @@ int ChaosMain(int argc, char** argv) {
       daemons = static_cast<int>(std::stol(value));
     } else if (arg == "--placement" && (value = next())) {
       placement = value;
+    } else if (arg == "--ack-interval" && (value = next())) {
+      ack_interval = std::stoull(value);
     } else {
       return ChaosUsage();
     }
@@ -651,6 +668,7 @@ int ChaosMain(int argc, char** argv) {
     net_options.cluster.placement = placement;
     net_options.cluster.policy = policy;
     net_options.cluster.op = op_name;
+    net_options.cluster.durability.ack_interval = ack_interval;
     const ChaosNetResult result =
         RunChaosNetWorkload(parent, sigma, schedule, net_options);
     ConvergenceOptions copts;
@@ -667,6 +685,8 @@ int ChaosMain(int argc, char** argv) {
     faults.AddRow({"requests deferred", std::to_string(result.deferred)});
     faults.AddRow({"requests re-injected",
                    std::to_string(result.reinjected)});
+    faults.AddRow({"replay-log high water",
+                   std::to_string(result.replay_log_hwm)});
   }
 
   TextTable table({"metric", "value"});

@@ -2,17 +2,43 @@
 // daemons on loopback TCP are killed, restarted from durable state,
 // partitioned, and fed corrupted frames while a workload runs — and the
 // ConvergenceChecker must still sign off on the result.
+//
+// The ProcessDeathMatrix suite goes beyond the in-process fail-stop model:
+// each daemon is a real `treeagg_cli serve --state-dir` child process,
+// SIGKILLed mid-workload and restarted from its disk snapshot. Nothing of
+// the killed process survives except the snapshot file, so these tests are
+// the ground truth for the durability layer's write-ahead persistence.
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/aggregate_op.h"
+#include "core/message.h"
 #include "fault/convergence.h"
 #include "fault/schedule.h"
 #include "net/chaos.h"
+#include "net/cluster.h"
+#include "net/daemon.h"
+#include "net/driver.h"
+#include "net/durability.h"
 #include "net/local_cluster.h"
+#include "net/transport.h"
+#include "net/wire.h"
 #include "tree/generators.h"
 #include "workload/generators.h"
 
@@ -218,6 +244,585 @@ TEST(CrashRestartTest, DownDaemonFailsFastThenRecovers) {
   EXPECT_EQ(driver.history().record(probe).retval, 3.0);
   cluster.Stop();
   EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+// --- RestartMode coverage (satellite e) ---------------------------------
+
+// kDurable vs kAmnesia on the in-process cluster, memory-durable mode: the
+// durable restart remembers a quiesced write, the amnesia restart forgets
+// it (the daemon rejoins blank, modeling replaced hardware).
+TEST(RestartModes, DurableRemembersAndAmnesiaForgets) {
+  const Tree tree = MakeShape("path", 3, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 1;
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  driver.InjectWrite(1, 5.0);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+
+  cluster.KillDaemon(0);
+  cluster.RestartDaemon(0, LocalCluster::RestartMode::kDurable);
+  const ReqId durable_probe = driver.InjectCombine(0);
+  driver.WaitCompleted(durable_probe);
+  EXPECT_EQ(driver.history().record(durable_probe).retval, 5.0);
+
+  cluster.KillDaemon(0);
+  cluster.RestartDaemon(0, LocalCluster::RestartMode::kAmnesia);
+  const ReqId amnesia_probe = driver.InjectCombine(0);
+  driver.WaitCompleted(amnesia_probe);
+  EXPECT_EQ(driver.history().record(amnesia_probe).retval, 0.0);
+
+  cluster.Stop();
+  EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+std::string ScratchDir(const std::string& name) {
+  ::mkdir("crash_restart_scratch", 0755);
+  const std::string dir = "crash_restart_scratch/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// Same matrix in disk mode: a durable restart drops the kill-time export
+// and reloads the daemon's own `daemon.snap` (the exact path a real
+// process restart takes), so a remembered value proves the disk snapshot
+// is complete at kill time; an amnesia restart deletes the snapshot.
+TEST(RestartModes, DiskModeReloadsTheSnapshotAndAmnesiaDeletesIt) {
+  const std::string root = ScratchDir("restart_modes_disk");
+  RemoveSnapshot(root + "/daemon-0");
+
+  const Tree tree = MakeShape("path", 3, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 1;
+  options.durability.state_dir = root;
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  driver.InjectWrite(1, 5.0);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+
+  cluster.KillDaemon(0);
+  EXPECT_TRUE(std::ifstream(SnapshotPath(root + "/daemon-0")).good());
+  cluster.RestartDaemon(0, LocalCluster::RestartMode::kDurable);
+  const ReqId durable_probe = driver.InjectCombine(0);
+  driver.WaitCompleted(durable_probe);
+  EXPECT_EQ(driver.history().record(durable_probe).retval, 5.0);
+
+  cluster.KillDaemon(0);
+  cluster.RestartDaemon(0, LocalCluster::RestartMode::kAmnesia);
+  EXPECT_FALSE(std::ifstream(SnapshotPath(root + "/daemon-0")).good());
+  const ReqId amnesia_probe = driver.InjectCombine(0);
+  driver.WaitCompleted(amnesia_probe);
+  EXPECT_EQ(driver.history().record(amnesia_probe).retval, 0.0);
+
+  cluster.Stop();
+  EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+// --- replay-log GC bound under chaos (satellite c) ----------------------
+
+// The memory-bound claim itself, on a fault-free cluster where it is
+// deterministic: with acks off a session log NEVER shrinks (hello-ack GC
+// only fires on resume handshakes, and nothing reconnects fault-free), so
+// its high water equals the total frames ever routed on the busiest
+// directed edge and grows with the workload. With periodic acks the high
+// water is capped by the unacked window — frames in flight plus
+// ack_interval — independent of how much traffic the workload generates.
+TEST(ReplayLogGc, AcksBoundTheLogThatOtherwiseGrowsWithTraffic) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  // pull-all + readheavy: no leases are ever granted, so every combine
+  // probes across the daemon cut — per-edge traffic is linear in the
+  // request count instead of being suppressed by leases, which is exactly
+  // the regime where an unbounded replay log hurts.
+  const RequestSequence sigma =
+      MakeWorkload("readheavy", tree, 160, /*seed=*/21);
+
+  const auto hwm_for = [&](std::uint64_t ack_interval) {
+    LocalCluster::Options options;
+    options.daemons = 2;
+    options.placement = "rr";  // almost every edge crosses TCP
+    options.policy = "pull-all";
+    options.durability.ack_interval = ack_interval;
+    LocalCluster cluster(ParentVector(tree), options);
+    NetDriver& driver = cluster.driver();
+    // Sequential injection: pipelined combines coalesce into shared probe
+    // waves (pndg de-duplication), which would keep traffic — and thus
+    // the ungated log — artificially small. One wave per request makes
+    // per-edge traffic scale with the workload.
+    for (const Request& r : sigma) {
+      const ReqId id = r.op == ReqType::kWrite
+                           ? driver.InjectWrite(r.node, r.arg)
+                           : driver.InjectCombine(r.node);
+      driver.WaitCompleted(id);
+    }
+    driver.WaitAllCompleted();
+    driver.WaitQuiescent();
+    const std::uint64_t hwm = cluster.ReplayLogHighWater();
+    cluster.Stop();
+    EXPECT_EQ(cluster.DaemonError(), "");
+    return hwm;
+  };
+
+  const std::uint64_t no_acks = hwm_for(/*ack_interval=*/0);
+  const std::uint64_t acked = hwm_for(/*ack_interval=*/4);
+  ASSERT_GT(acked, 0u);
+  // 160 readheavy requests on rr-placed kary2/15 under pull-all route
+  // hundreds of frames per directed edge; the unacked window stays in the
+  // tens. The 2x gap (instead of a strict <) absorbs protocol
+  // nondeterminism under pipelined injection while a GC regression — high
+  // water back at traffic scale — still fails loudly.
+  EXPECT_GT(no_acks, 2 * acked)
+      << "no_acks hwm " << no_acks << " vs acked hwm " << acked;
+}
+
+// The same bound under the "chaos" preset (corruption-triggered link
+// resets plus a crash-restart): sessions accumulate parked frames while
+// links are down, but hello acks on resume plus periodic kPeerAck frames
+// keep the high water at unacked-window scale. The absolute cap is
+// calibrated at ~4x the typically observed high water (tens) so a
+// scheduling hiccup cannot flake it.
+TEST(ReplayLogGc, HighWaterStaysBoundedUnderChaosWithAcks) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma =
+      MakeWorkload("mixed50", tree, 120, /*seed=*/21);
+  const FaultSchedule schedule = FaultSchedule::Named("chaos");
+
+  ChaosNetOptions options;
+  options.cluster.daemons = 2;
+  options.cluster.placement = "rr";
+  options.cluster.durability.ack_interval = 4;
+  const ChaosNetResult result =
+      RunChaosNetWorkload(ParentVector(tree), sigma, schedule, options);
+
+  ASSERT_GT(result.replay_log_hwm, 0u);
+  EXPECT_LE(result.replay_log_hwm, 192u);
+}
+
+// --- wire-v2 peer interop (satellite d, daemon side) --------------------
+
+// A raw frame as it appeared on the wire: the decoded form plus the
+// version byte the sender actually encoded.
+struct RawFrame {
+  std::uint8_t version = 0;
+  WireFrame frame;
+};
+
+bool SendAllBytes(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+// Reads from `fd` until `want` complete frames have accumulated in *out
+// (or `timeout_ms` passes / the peer closes). Unlike FrameConn this keeps
+// the on-wire version byte of every frame, which is the point: the test
+// asserts the daemon encodes v2 on a session whose peer spoke v2.
+bool PumpRawFrames(int fd, std::vector<std::uint8_t>* buf,
+                   std::vector<RawFrame>* out, std::size_t want,
+                   int timeout_ms) {
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  while (out->size() < want) {
+    const std::int64_t left = deadline - NowMs();
+    if (left <= 0) return false;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left)) <= 0) continue;
+    std::uint8_t tmp[4096];
+    const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    buf->insert(buf->end(), tmp, tmp + static_cast<std::size_t>(n));
+    while (buf->size() >= 4) {
+      const std::uint32_t len = static_cast<std::uint32_t>((*buf)[0]) |
+                                (static_cast<std::uint32_t>((*buf)[1]) << 8) |
+                                (static_cast<std::uint32_t>((*buf)[2]) << 16) |
+                                (static_cast<std::uint32_t>((*buf)[3]) << 24);
+      if (buf->size() < 4u + len) break;
+      RawFrame rf;
+      rf.version = (*buf)[5];
+      DecodeResult dr = DecodeFrame(buf->data(), 4u + len);
+      if (dr.status != DecodeStatus::kOk) return false;
+      rf.frame = std::move(dr.frame);
+      out->push_back(std::move(rf));
+      buf->erase(buf->begin(), buf->begin() + 4u + static_cast<long>(len));
+    }
+  }
+  return true;
+}
+
+// A v3 daemon faces a fake peer that speaks treeagg-wire-v2: every frame
+// the daemon sends back on that session must be v2-encoded, it must never
+// send kPeerAck there (the frame would poison a v2 decoder), and with no
+// acks arriving the session's replay log is fully retained (log_base
+// stays 0) — GC is simply off for that peer.
+TEST(WireV2Interop, V2PeerGetsV2FramesNoAcksAndFullLogRetention) {
+  // A 2-node path: node 1 (a leaf) on the real daemon, node 0 on the fake
+  // peer "daemon 0". 0 < 1, so the fake peer is the connection initiator
+  // and the real daemon just accepts.
+  ClusterConfig config;
+  config.tree_parent = {0, 0};
+  config.policy = "push-all";
+  config.op = "sum";
+  config.daemons = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  config.node_daemon = {0, 1};
+  config.Validate();
+
+  NodeDaemon::Options options;
+  // Eager acks: one processed frame past the last ack is enough to send
+  // kPeerAck on a v3 session, so "no ack arrived" below is a real
+  // statement about the v2 downgrade, not about the interval.
+  options.durability.ack_interval = 1;
+  NodeDaemon daemon(1, config, options);
+  daemon.Bind();
+  const std::uint16_t port = daemon.BoundPort();
+  daemon.SetResolvedPorts({0, port});
+  std::thread runner([&daemon] { daemon.Run(); });
+
+  const TransportOptions topts;
+  std::string err;
+  ScopedFd peer_fd = ConnectWithBackoff("127.0.0.1", port, topts, &err);
+  ASSERT_TRUE(peer_fd.valid()) << err;
+
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = 0;
+  hello.resume = 0;
+  ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(hello, /*version=*/2)));
+
+  std::vector<std::uint8_t> peer_buf;
+  std::vector<RawFrame> peer_frames;
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 1, 10000));
+  ASSERT_EQ(peer_frames[0].frame.type, FrameType::kPeerHello);
+  EXPECT_EQ(peer_frames[0].frame.daemon_id, 1u);
+  // The reply hello came back v2-encoded — no ack field on the wire.
+  EXPECT_EQ(peer_frames[0].version, 2);
+  EXPECT_FALSE(peer_frames[0].frame.ack_valid);
+
+  // Driver connection: v3 as always (dialects are per-session).
+  ScopedFd driver_fd = ConnectWithBackoff("127.0.0.1", port, topts, &err);
+  ASSERT_TRUE(driver_fd.valid()) << err;
+  FrameConn driver(std::move(driver_fd), topts);
+  WireFrame driver_hello;
+  driver_hello.type = FrameType::kDriverHello;
+  driver.SendFrame(driver_hello);
+  while (driver.WantWrite()) ASSERT_TRUE(driver.Flush());
+
+  const auto next_driver_frame = [&](WireFrame* frame) {
+    const std::int64_t deadline = NowMs() + 10000;
+    while (NowMs() < deadline) {
+      if (driver.NextFrame(frame) == DecodeStatus::kOk) return true;
+      struct pollfd pfd = {driver.fd(), POLLIN, 0};
+      ::poll(&pfd, 1, 100);
+      if (!driver.ReadAvailable()) return false;
+    }
+    return false;
+  };
+
+  // Probe node 1 from the fake peer: the leaf responds immediately and
+  // push-all grants the lease, so the driver writes below each push an
+  // update back to us.
+  WireFrame probe;
+  probe.type = FrameType::kProtocol;
+  probe.msg.type = MsgType::kProbe;
+  probe.msg.from = 0;
+  probe.msg.to = 1;
+  ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(probe, /*version=*/2)));
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 2, 10000));
+  ASSERT_EQ(peer_frames[1].frame.type, FrameType::kProtocol);
+  EXPECT_EQ(peer_frames[1].frame.msg.type, MsgType::kResponse);
+
+  // Three driver writes at node 1 (each pushes an update to the fake
+  // peer), interleaved with three v2 kUpdate frames FROM the fake peer —
+  // they drive the daemon's processed count well past ack_interval, so a
+  // v3 session in its place would have been acked repeatedly.
+  for (int i = 0; i < 3; ++i) {
+    WireFrame write;
+    write.type = FrameType::kInjectWrite;
+    write.req = i + 1;
+    write.node = 1;
+    write.arg = 1.5 * (i + 1);
+    driver.SendFrame(write);
+    while (driver.WantWrite()) ASSERT_TRUE(driver.Flush());
+    WireFrame done;
+    ASSERT_TRUE(next_driver_frame(&done));
+    EXPECT_EQ(done.type, FrameType::kWriteDone);
+
+    WireFrame update;
+    update.type = FrameType::kProtocol;
+    update.msg.type = MsgType::kUpdate;
+    update.msg.from = 0;
+    update.msg.to = 1;
+    update.msg.x = static_cast<Real>(i);
+    update.msg.id = i + 1;
+    ASSERT_TRUE(
+        SendAllBytes(peer_fd.get(), EncodeFrame(update, /*version=*/2)));
+  }
+
+  // hello + response + 3 pushed updates = 5 frames from the daemon. Any
+  // kPeerAck triggered by our updates would have been flushed in the same
+  // batch as the pushed update, so the grace pump below would catch it.
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 5, 10000));
+  EXPECT_FALSE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 6, 300));
+  for (const RawFrame& rf : peer_frames) {
+    EXPECT_EQ(rf.version, 2) << "daemon sent a v3 frame to a v2 peer";
+    EXPECT_NE(rf.frame.type, FrameType::kPeerAck)
+        << "daemon sent kPeerAck to a v2 peer";
+  }
+
+  WireFrame shutdown;
+  shutdown.type = FrameType::kShutdown;
+  driver.SendFrame(shutdown);
+  while (driver.WantWrite()) ASSERT_TRUE(driver.Flush());
+  runner.join();
+  EXPECT_EQ(daemon.error(), "");
+
+  // No acks ever arrived, so nothing was GC'd: the session log still
+  // holds every frame routed to peer 0 (1 response + 3 updates).
+  const NodeDaemon::DurableState durable = daemon.ExportDurable();
+  ASSERT_EQ(durable.sessions.size(), 1u);
+  EXPECT_EQ(durable.sessions[0].peer, 0);
+  EXPECT_EQ(durable.sessions[0].log_base, 0u);
+  EXPECT_EQ(durable.sessions[0].log.size(), 4u);
+  EXPECT_EQ(durable.sessions[0].processed, 4u);  // probe + 3 updates
+  EXPECT_EQ(daemon.ReplayLogHighWater(), 4u);
+}
+
+// --- real-process death matrix (satellite b) ----------------------------
+
+// Reserves `n` distinct loopback ports by binding ephemeral listeners,
+// recording their ports, and closing them; the serve children re-bind the
+// same ports (SO_REUSEADDR) moments later.
+std::vector<std::uint16_t> ReservePorts(int n) {
+  std::vector<TcpListener> listeners;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < n; ++i) {
+    listeners.push_back(TcpListener::Bind("127.0.0.1", 0));
+    ports.push_back(listeners.back().port());
+  }
+  return ports;
+}
+
+// fork+exec of `treeagg_cli serve` (only async-signal-safe calls between
+// fork and exec — this test binary may have run threads before).
+pid_t SpawnServe(const std::string& cluster_file, int daemon_id,
+                 const std::string& state_dir) {
+  std::vector<std::string> args = {TREEAGG_CLI_PATH,
+                                   "serve",
+                                   "--cluster",
+                                   cluster_file,
+                                   "--daemon",
+                                   std::to_string(daemon_id),
+                                   "--state-dir",
+                                   state_dir};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) ::dup2(null_fd, 1);  // silence "listening" chatter
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+// Waits for a child to exit after the driver's kShutdown; escalates to
+// SIGKILL if it has not exited within ~5s.
+void ReapChild(pid_t pid) {
+  if (pid <= 0) return;
+  for (int i = 0; i < 500; ++i) {
+    if (::waitpid(pid, nullptr, WNOHANG) == pid) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+struct DeathTriple {
+  std::string shape;
+  NodeId n = 0;
+  std::string workload;
+  std::string policy;
+  std::string op;
+  int daemons = 1;
+  std::string placement;
+  std::uint64_t seed = 0;
+};
+
+// One cell of the matrix: spawn a real serve process per daemon, SIGKILL
+// one mid-workload, restart it from its --state-dir, and require the
+// ConvergenceChecker's full verdict on the same triples the cross-backend
+// equivalence suite uses. The driver edge is drained before the kill
+// (re-injection on that edge is at-least-once, a documented caveat shared
+// with the in-process harness), but peer-protocol traffic is in whatever
+// state the workload left it — exactly-once there is what the write-ahead
+// snapshot rule has to deliver.
+void RunDeathMatrixCell(const DeathTriple& t) {
+  SCOPED_TRACE(t.shape + "/" + std::to_string(t.n) + "/" + t.workload + "/" +
+               t.policy + "/" + t.op + "/d" + std::to_string(t.daemons) + "/" +
+               t.placement);
+  const Tree tree = MakeShape(t.shape, t.n, t.seed);
+  const RequestSequence sigma = MakeWorkload(t.workload, tree, 40, t.seed + 7);
+
+  ClusterConfig config;
+  config.tree_parent = ParentVector(tree);
+  config.policy = t.policy;
+  config.op = t.op;
+  const std::vector<std::uint16_t> ports = ReservePorts(t.daemons);
+  for (int d = 0; d < t.daemons; ++d) {
+    config.daemons.push_back({"127.0.0.1", ports[static_cast<std::size_t>(d)]});
+  }
+  config.node_daemon = AssignNodes(tree.size(), t.daemons, t.placement);
+  config.Validate();
+
+  const std::string root = ScratchDir("matrix_" + t.shape + "_" + t.workload +
+                                      "_s" + std::to_string(t.seed));
+  std::vector<std::string> state_dirs;
+  for (int d = 0; d < t.daemons; ++d) {
+    state_dirs.push_back(root + "/daemon-" + std::to_string(d));
+    RemoveSnapshot(state_dirs.back());  // stale state from a previous run
+  }
+  const std::string cluster_file = root + "/cluster.txt";
+  {
+    std::ofstream out(cluster_file);
+    WriteClusterConfig(out, config);
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(t.daemons), -1);
+  for (int d = 0; d < t.daemons; ++d) {
+    pids[static_cast<std::size_t>(d)] = SpawnServe(cluster_file, d,
+                                                   state_dirs[d]);
+    ASSERT_GT(pids[static_cast<std::size_t>(d)], 0);
+  }
+
+  NetDriver driver(config);
+  driver.Connect();
+
+  const int victim = t.daemons == 1 ? 0 : 1;
+  const std::size_t kill_at = sigma.size() / 3;
+  const std::size_t respawn_at = 2 * sigma.size() / 3;
+  bool down = false;
+  std::int64_t kill_clock = -1;
+  std::size_t reinjected = 0;
+  RequestSequence deferred;
+
+  const auto inject = [&](const Request& r) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  };
+
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    if (i == kill_at) {
+      driver.WaitAllCompleted();  // drain the driver edge before the kill
+      kill_clock = driver.clock();
+      ASSERT_EQ(::kill(pids[static_cast<std::size_t>(victim)], SIGKILL), 0);
+      ::waitpid(pids[static_cast<std::size_t>(victim)], nullptr, 0);
+      pids[static_cast<std::size_t>(victim)] = -1;
+      driver.MarkDaemonDown(victim);
+      down = true;
+    }
+    if (i == respawn_at) {
+      pids[static_cast<std::size_t>(victim)] =
+          SpawnServe(cluster_file, victim, state_dirs[victim]);
+      ASSERT_GT(pids[static_cast<std::size_t>(victim)], 0);
+      driver.ReconnectDaemon(victim);
+      reinjected = driver.ReinjectIncomplete({victim});
+      down = false;
+      for (const Request& r : deferred) inject(r);
+      deferred.clear();
+    }
+    const Request& r = sigma[i];
+    if (down && config.node_daemon[static_cast<std::size_t>(r.node)] ==
+                    victim) {
+      deferred.push_back(r);
+    } else {
+      inject(r);
+    }
+  }
+
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const std::int64_t heal_clock = driver.clock();
+
+  std::vector<ReqId> probe_ids;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    probe_ids.push_back(driver.InjectCombine(u));
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+
+  ConvergenceOptions check;
+  check.fault_windows = {{kill_clock, heal_clock + 1}};
+  check.require_full_causal = reinjected == 0;
+  const ConvergenceReport report =
+      CheckConvergence(driver.history(), harvest.ghosts, OpByName(t.op),
+                       tree.size(), probe_ids, check);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_TRUE(report.all_completed);
+  EXPECT_EQ(report.divergent_probes, 0u);
+  EXPECT_TRUE(report.outside_ok);
+
+  // The victim really did restart from disk: its snapshot file exists.
+  EXPECT_TRUE(std::ifstream(SnapshotPath(state_dirs[victim])).good());
+
+  driver.Shutdown();
+  for (const pid_t pid : pids) ReapChild(pid);
+}
+
+// The same 7 triples as tests/integration/equivalence_test.cc.
+TEST(ProcessDeathMatrix, KaryMixedRww) {
+  RunDeathMatrixCell({"kary2", 15, "mixed50", "RWW", "sum", 2, "block", 1});
+}
+
+TEST(ProcessDeathMatrix, PathReadHeavyPushAll) {
+  RunDeathMatrixCell({"path", 9, "readheavy", "push-all", "sum", 2, "rr", 2});
+}
+
+TEST(ProcessDeathMatrix, StarWriteHeavyPullAll) {
+  RunDeathMatrixCell(
+      {"star", 12, "writeheavy", "pull-all", "sum", 3, "block", 3});
+}
+
+TEST(ProcessDeathMatrix, Kary4HotspotRwwMax) {
+  RunDeathMatrixCell({"kary4", 13, "hotspot", "RWW", "max", 2, "rr", 4});
+}
+
+TEST(ProcessDeathMatrix, RandomMixedLeaseMin) {
+  RunDeathMatrixCell({"random", 10, "mixed25", "RWW", "min", 4, "rr", 5});
+}
+
+TEST(ProcessDeathMatrix, PathRoundRobinPushAllSingleDaemon) {
+  RunDeathMatrixCell(
+      {"path", 7, "roundrobin", "push-all", "sum", 1, "block", 6});
+}
+
+TEST(ProcessDeathMatrix, KaryMixed75PullAllFourDaemons) {
+  RunDeathMatrixCell(
+      {"kary2", 15, "mixed75", "pull-all", "sum", 4, "block", 7});
 }
 
 }  // namespace

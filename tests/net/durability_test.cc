@@ -1,0 +1,305 @@
+// treeagg-snap-v1 codec and file tests: byte-level round-trips of the
+// durable daemon state (empty, fully populated, multi-session), clean
+// rejection of every corruption class (wrong magic, truncation, flipped
+// payload bytes, daemon-id mismatch), and the atomic-rename file contract
+// (a crash mid-write leaves old-or-new, a stale .tmp is ignored). These
+// are the invariants the real-process-death matrix in
+// crash_restart_test.cc relies on.
+#include "net/durability.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/message.h"
+#include "net/wire.h"
+
+namespace treeagg {
+namespace {
+
+// A scratch directory under the test's working directory, wiped per test.
+class SnapDir {
+ public:
+  explicit SnapDir(const std::string& name)
+      : dir_("durability_test_scratch/" + name) {
+    RemoveSnapshot(dir_);  // clear leftovers from a previous run
+  }
+  ~SnapDir() {
+    RemoveSnapshot(dir_);
+    std::remove(dir_.c_str());
+    std::remove("durability_test_scratch");
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+Message RichMessage() {
+  Message m;
+  m.type = MsgType::kRelease;
+  m.from = 2;
+  m.to = 5;
+  m.x = -3.375;
+  m.flag = true;
+  m.id = 987654321ll;
+  m.release_ids = {7, -1, 12};
+  auto log = std::make_shared<GhostLog>();
+  log->push_back({4, 1});
+  log->push_back({9, 0});
+  m.wlog = std::move(log);
+  return m;
+}
+
+WireFrame LoggedFrame(NodeId to) {
+  WireFrame f;
+  f.type = FrameType::kProtocol;
+  f.msg = RichMessage();
+  f.msg.to = to;
+  return f;
+}
+
+// A state exercising every field of the format: two hosted nodes with
+// full neighbor/pending/ghost detail, two peer sessions with non-trivial
+// logs and GC'd prefixes, and a non-empty local queue.
+DaemonDurableState PopulatedState() {
+  DaemonDurableState state;
+  LeaseNode::DurableState n0;
+  n0.val = 4.25;
+  n0.upcntr = 11;
+  LeaseNode::DurableState::NeighborState nb;
+  nb.id = 1;
+  nb.taken = true;
+  nb.granted = false;
+  nb.aval = -0.5;
+  nb.uaw = {3, 5, 9};
+  nb.snt_updates = {{2, 4}, {6, 8}};
+  n0.neighbors.push_back(nb);
+  nb.id = 2;
+  nb.taken = false;
+  nb.granted = true;
+  nb.uaw.clear();
+  nb.snt_updates.clear();
+  n0.neighbors.push_back(nb);
+  LeaseNode::DurableState::PendingState p;
+  p.requester = 2;
+  p.waiting = {1};
+  n0.pndg = {p, LeaseNode::DurableState::PendingState{}};
+  n0.local_tokens = {41, 42};
+  n0.ghost_log = {{1, 0}, {7, 3}};
+  state.nodes.emplace_back(0, std::move(n0));
+
+  LeaseNode::DurableState n3;  // mostly-default second node
+  n3.val = -2;
+  n3.neighbors.resize(1);
+  n3.neighbors[0].id = 0;
+  n3.pndg.resize(1);
+  state.nodes.emplace_back(3, std::move(n3));
+
+  state.sent = 120;
+  state.received = 118;
+  state.counts = {30, 29, 40, 19};
+
+  DaemonDurableState::SessionState s1;
+  s1.peer = 1;
+  s1.log = {LoggedFrame(4), LoggedFrame(6)};
+  s1.log_base = 55;  // a GC'd prefix
+  s1.processed = 77;
+  state.sessions.push_back(std::move(s1));
+  DaemonDurableState::SessionState s2;
+  s2.peer = 2;  // empty log, nothing GC'd
+  s2.processed = 3;
+  state.sessions.push_back(std::move(s2));
+
+  state.local_queue = {RichMessage()};
+  state.local_queue[0].wlog.reset();  // also cover the no-wlog shape
+  return state;
+}
+
+TEST(SnapshotCodec, RoundTripsEmptyState) {
+  const DaemonDurableState empty;
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(empty, 0);
+  DaemonDurableState decoded;
+  int daemon_id = -1;
+  std::string error;
+  ASSERT_TRUE(DecodeSnapshot(bytes.data(), bytes.size(), &decoded, &daemon_id,
+                             &error))
+      << error;
+  EXPECT_EQ(daemon_id, 0);
+  EXPECT_TRUE(DurableStatesEqual(decoded, empty));
+}
+
+TEST(SnapshotCodec, RoundTripsPopulatedState) {
+  const DaemonDurableState state = PopulatedState();
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(state, 7);
+  DaemonDurableState decoded;
+  int daemon_id = -1;
+  std::string error;
+  ASSERT_TRUE(DecodeSnapshot(bytes.data(), bytes.size(), &decoded, &daemon_id,
+                             &error))
+      << error;
+  EXPECT_EQ(daemon_id, 7);
+  EXPECT_TRUE(DurableStatesEqual(decoded, state));
+  // Spot-check the deep fields the equality walks through.
+  ASSERT_EQ(decoded.sessions.size(), 2u);
+  EXPECT_EQ(decoded.sessions[0].log_base, 55u);
+  ASSERT_EQ(decoded.sessions[0].log.size(), 2u);
+  ASSERT_NE(decoded.sessions[0].log[1].msg.wlog, nullptr);
+  EXPECT_EQ(decoded.sessions[0].log[1].msg.wlog->size(), 2u);
+  EXPECT_EQ(decoded.nodes[0].second.neighbors[0].uaw,
+            (std::vector<UpdateId>{3, 5, 9}));
+}
+
+TEST(SnapshotCodec, EqualityIsDeepNotPointerBased) {
+  // Two encodes of the same state produce distinct wlog allocations; the
+  // comparison must still see them as equal — and must catch a one-entry
+  // difference buried three levels down.
+  const DaemonDurableState a = PopulatedState();
+  DaemonDurableState b = PopulatedState();
+  EXPECT_TRUE(DurableStatesEqual(a, b));
+  b.sessions[0].log[1].msg.wlog = std::make_shared<GhostLog>(
+      GhostLog{{4, 1}, {9, 1}});  // node differs in the last entry
+  EXPECT_FALSE(DurableStatesEqual(a, b));
+}
+
+TEST(SnapshotCodec, RejectsWrongMagic) {
+  std::vector<std::uint8_t> bytes = EncodeSnapshot(PopulatedState(), 1);
+  bytes[0] ^= 0xFF;
+  DaemonDurableState decoded;
+  int daemon_id = -1;
+  std::string error;
+  EXPECT_FALSE(DecodeSnapshot(bytes.data(), bytes.size(), &decoded, &daemon_id,
+                              &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(SnapshotCodec, RejectsTruncationAtEveryBoundary) {
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(PopulatedState(), 1);
+  // Every strict prefix must fail cleanly — header cuts and payload cuts.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    DaemonDurableState decoded;
+    int daemon_id = -1;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes.data(), len, &decoded, &daemon_id,
+                                &error))
+        << "prefix length " << len;
+  }
+}
+
+TEST(SnapshotCodec, RejectsFlippedPayloadByteViaChecksum) {
+  const DaemonDurableState state = PopulatedState();
+  const std::vector<std::uint8_t> clean = EncodeSnapshot(state, 1);
+  const std::size_t header = 16 + 4 + 8 + 4;
+  ASSERT_GT(clean.size(), header);
+  for (const std::size_t at :
+       {header, header + (clean.size() - header) / 2, clean.size() - 1}) {
+    std::vector<std::uint8_t> bytes = clean;
+    bytes[at] ^= 0x01;
+    DaemonDurableState decoded;
+    int daemon_id = -1;
+    std::string error;
+    EXPECT_FALSE(DecodeSnapshot(bytes.data(), bytes.size(), &decoded,
+                                &daemon_id, &error))
+        << "flip at " << at;
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  }
+}
+
+TEST(SnapshotCodec, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = EncodeSnapshot(DaemonDurableState{}, 1);
+  bytes.push_back(0xAB);
+  DaemonDurableState decoded;
+  int daemon_id = -1;
+  std::string error;
+  EXPECT_FALSE(DecodeSnapshot(bytes.data(), bytes.size(), &decoded, &daemon_id,
+                              &error));
+}
+
+TEST(SnapshotFiles, SaveThenLoadRoundTrips) {
+  SnapDir dir("roundtrip");
+  const DaemonDurableState state = PopulatedState();
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(dir.path(), state, 3, &error)) << error;
+  DaemonDurableState loaded;
+  ASSERT_EQ(LoadSnapshot(dir.path(), &loaded, 3, &error), SnapshotLoad::kOk)
+      << error;
+  EXPECT_TRUE(DurableStatesEqual(loaded, state));
+}
+
+TEST(SnapshotFiles, MissingSnapshotIsNotFoundNotError) {
+  SnapDir dir("missing");
+  DaemonDurableState loaded;
+  std::string error;
+  EXPECT_EQ(LoadSnapshot(dir.path(), &loaded, 0, &error),
+            SnapshotLoad::kNotFound);
+}
+
+TEST(SnapshotFiles, DaemonIdMismatchIsAnError) {
+  // Two daemons pointed at one directory must be caught, not silently
+  // cross-restored.
+  SnapDir dir("mismatch");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(dir.path(), DaemonDurableState{}, 1, &error));
+  DaemonDurableState loaded;
+  EXPECT_EQ(LoadSnapshot(dir.path(), &loaded, 2, &error), SnapshotLoad::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotFiles, CorruptedFileOnDiskIsAnError) {
+  SnapDir dir("corrupt");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(dir.path(), PopulatedState(), 0, &error));
+  // Flip one payload byte in place.
+  std::fstream f(SnapshotPath(dir.path()),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  f.seekp(size - 1);
+  f.put(static_cast<char>(0xEE));
+  f.close();
+  DaemonDurableState loaded;
+  EXPECT_EQ(LoadSnapshot(dir.path(), &loaded, 0, &error), SnapshotLoad::kError);
+}
+
+TEST(SnapshotFiles, SimulatedMidWriteCrashLeavesOldSnapshotIntact) {
+  // Model a writer that died after creating the temp file but before the
+  // rename: the .tmp (torn, half-written — here: garbage) must be ignored
+  // by Load and silently replaced by the next Save.
+  SnapDir dir("midwrite");
+  DaemonDurableState old_state = PopulatedState();
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(dir.path(), old_state, 5, &error)) << error;
+  {
+    std::ofstream tmp(SnapshotTempPath(dir.path()), std::ios::binary);
+    tmp << "half-written garbage from a crashed writer";
+  }
+  DaemonDurableState loaded;
+  ASSERT_EQ(LoadSnapshot(dir.path(), &loaded, 5, &error), SnapshotLoad::kOk)
+      << error;
+  EXPECT_TRUE(DurableStatesEqual(loaded, old_state));
+  // The next save overwrites the stale temp and the snapshot.
+  DaemonDurableState new_state;
+  new_state.sent = 1;
+  ASSERT_TRUE(SaveSnapshot(dir.path(), new_state, 5, &error)) << error;
+  ASSERT_EQ(LoadSnapshot(dir.path(), &loaded, 5, &error), SnapshotLoad::kOk);
+  EXPECT_TRUE(DurableStatesEqual(loaded, new_state));
+  EXPECT_FALSE(DurableStatesEqual(loaded, old_state));
+}
+
+TEST(SnapshotFiles, RemoveSnapshotForgetsEverything) {
+  SnapDir dir("remove");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(dir.path(), PopulatedState(), 0, &error));
+  RemoveSnapshot(dir.path());
+  DaemonDurableState loaded;
+  EXPECT_EQ(LoadSnapshot(dir.path(), &loaded, 0, &error),
+            SnapshotLoad::kNotFound);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,12 +1,14 @@
-// treeagg-wire-v2 codec tests: exhaustive encode -> decode round-trips
+// treeagg-wire-v3 codec tests: exhaustive encode -> decode round-trips
 // over every frame type (including the ghost-log piggyback on protocol
 // messages) and a malformed-frame corpus — truncations at every byte
 // boundary, corrupted length prefixes, bad magic/version/type bytes, and
 // internally inconsistent payloads — all of which must be rejected with a
 // DecodeStatus, never a crash. The corpus is extended through the shared
 // frame mutators of net/faulty_transport.h, so the bytes rejected here are
-// byte-identical to what the live chaos injector puts on the wire. The
-// whole file runs under ASan/UBSan and TSan in CI.
+// byte-identical to what the live chaos injector puts on the wire. A
+// back-compat section pins the v2 dialect: v2 encodes still round-trip
+// (ackless hellos, no kPeerAck), and a v2 frame claiming the v3-only type
+// is rejected. The whole file runs under ASan/UBSan and TSan in CI.
 #include "net/wire.h"
 
 #include <gtest/gtest.h>
@@ -45,7 +47,16 @@ std::vector<WireFrame> AllFrameTypes() {
     WireFrame f;
     f.type = FrameType::kPeerHello;
     f.daemon_id = 3;
-    f.resume = 41;  // v2 session-resume count
+    f.resume = 41;  // session-resume count
+    f.ack = 17;     // v3 piggybacked cumulative ack
+    f.ack_valid = true;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kPeerAck;
+    f.ack = 123456789ull;
+    f.ack_valid = true;
     frames.push_back(f);
   }
   {
@@ -229,9 +240,66 @@ TEST(WireCodec, RejectsBadVersionByte) {
 
 TEST(WireCodec, RejectsBadFrameType) {
   std::vector<std::uint8_t> bytes = ValidBytes();
-  bytes[6] = static_cast<std::uint8_t>(FrameType::kShutdown) + 1;
+  bytes[6] = static_cast<std::uint8_t>(FrameType::kPeerAck) + 1;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
             DecodeStatus::kBadType);
+}
+
+// --- wire v2 back-compat ------------------------------------------------
+// A v3 endpoint must keep decoding the v2 dialect (ackless hellos, no
+// kPeerAck) and must encode it on demand — the daemon downgrades a peer
+// connection to v2 when the peer's hello spoke v2.
+
+TEST(WireV2Compat, V2EncodesRoundTripForEveryV2FrameType) {
+  for (const WireFrame& frame : AllFrameTypes()) {
+    if (frame.type == FrameType::kPeerAck) continue;  // v3-only
+    SCOPED_TRACE(ToString(frame.type));
+    const std::vector<std::uint8_t> bytes = EncodeFrame(frame, 2);
+    EXPECT_EQ(bytes[5], 2u);  // version byte
+    const DecodeResult r = DecodeFrame(bytes.data(), bytes.size());
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_EQ(r.consumed, bytes.size());
+    // Everything except the v3-only ack fields survives.
+    WireFrame expect = frame;
+    expect.ack = 0;
+    expect.ack_valid = false;
+    EXPECT_TRUE(FramesEqual(r.frame, expect));
+  }
+}
+
+TEST(WireV2Compat, V2HelloDecodesWithoutAck) {
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = 1;
+  hello.resume = 9;
+  hello.ack = 999;  // dropped by the v2 encode
+  hello.ack_valid = true;
+  const std::vector<std::uint8_t> bytes = EncodeFrame(hello, 2);
+  const DecodeResult r = DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.frame.resume, 9u);
+  EXPECT_FALSE(r.frame.ack_valid);
+  EXPECT_EQ(r.frame.ack, 0u);
+}
+
+TEST(WireV2Compat, PeerAckInAV2FrameIsABadType) {
+  // kPeerAck did not exist in v2; a v2 frame claiming it is malformed,
+  // not a forward reference.
+  WireFrame ack;
+  ack.type = FrameType::kPeerAck;
+  ack.ack = 5;
+  ack.ack_valid = true;
+  std::vector<std::uint8_t> bytes = EncodeFrame(ack);
+  bytes[5] = 2;  // rewrite the version byte: v2 framing, v3-only type
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+            DecodeStatus::kBadType);
+}
+
+TEST(WireV2Compat, VersionOneIsRejectedNotGrandfathered) {
+  std::vector<std::uint8_t> bytes = ValidBytes();
+  bytes[5] = 1;  // below kWireMinVersion
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+            DecodeStatus::kBadVersion);
 }
 
 TEST(WireCodec, RejectsTrailingPayloadBytes) {
