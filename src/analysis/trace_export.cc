@@ -1,0 +1,59 @@
+#include "analysis/trace_export.h"
+
+#include <algorithm>
+
+namespace treeagg {
+
+namespace {
+
+// Dedicated track for fault-window spans, below every real node id.
+constexpr std::int64_t kFaultTid = -1;
+
+}  // namespace
+
+void ExportHistoryTrace(const History& history,
+                        const TraceExportOptions& options,
+                        obs::TraceEventSink* sink) {
+  sink->NameProcess(options.pid, options.process_name);
+  for (const RequestRecord& r : history.records()) {
+    const bool is_combine = r.op == ReqType::kCombine;
+    const double ts = static_cast<double>(r.initiated_at);
+    // Chrome drops spans of zero duration from some views; a same-tick
+    // completion still deserves a visible sliver.
+    const double dur =
+        r.completed() ? std::max<double>(
+                            1.0, static_cast<double>(r.completed_at -
+                                                     r.initiated_at))
+                      : 1.0;
+    obs::TraceEventSink::NumArgs args = {
+        {"id", static_cast<double>(r.id)},
+        {"node", static_cast<double>(r.node)},
+        {"completed", r.completed() ? 1.0 : 0.0},
+    };
+    if (is_combine) {
+      args.emplace_back("retval", static_cast<double>(r.retval));
+    } else {
+      args.emplace_back("arg", static_cast<double>(r.arg));
+    }
+    sink->CompleteEvent(is_combine ? "combine" : "write", "request",
+                        options.pid, r.node, ts, dur, std::move(args));
+  }
+  for (const auto& [begin, end] : options.fault_windows) {
+    const double ts = static_cast<double>(begin);
+    const double dur = std::max<double>(1.0, static_cast<double>(end - begin));
+    sink->CompleteEvent("fault window", "fault", options.pid, kFaultTid, ts,
+                        dur);
+    sink->InstantEvent("fault begin", "fault", options.pid, kFaultTid, ts);
+    sink->InstantEvent("fault end", "fault", options.pid, kFaultTid,
+                       static_cast<double>(end));
+  }
+}
+
+bool WriteHistoryTraceFile(const std::string& path, const History& history,
+                           const TraceExportOptions& options) {
+  obs::TraceEventSink sink;
+  ExportHistoryTrace(history, options, &sink);
+  return sink.WriteFile(path);
+}
+
+}  // namespace treeagg

@@ -1,0 +1,54 @@
+// History -> Chrome trace-event export, unified across backends.
+//
+// Every backend already produces a History whose initiated_at/completed_at
+// use that backend's driver clock (DES ticks, actor-runtime logical clock,
+// or the net driver's event counter). This module renders any of them into
+// one obs::TraceEventSink shape — a span per request on the initiating
+// node's track, instants for fault-window boundaries — so a sim trace and
+// a net trace of the same workload can be loaded side by side in
+// about://tracing or Perfetto and diffed visually.
+//
+// Clock units: one driver-clock tick is mapped to one microsecond. The
+// absolute scale is meaningless across backends (ticks are not seconds);
+// what lines up is the ORDER and nesting of spans, which is exactly what
+// the clocks preserve.
+#ifndef TREEAGG_ANALYSIS_TRACE_EXPORT_H_
+#define TREEAGG_ANALYSIS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consistency/history.h"
+#include "obs/trace_event.h"
+
+namespace treeagg {
+
+struct TraceExportOptions {
+  // Names the pid track ("sim", "net-local", "seq", ...).
+  std::string process_name = "treeagg";
+  // The pid all request spans land on (several backends can share a sink
+  // by using distinct pids).
+  std::int64_t pid = 1;
+  // Fault windows in the same driver clock as the history (sim:
+  // FaultSchedule::Windows(); net: ChaosNetResult::fault_windows). Each
+  // becomes a span on a dedicated "faults" track plus begin/end instants.
+  std::vector<std::pair<std::int64_t, std::int64_t>> fault_windows;
+};
+
+// Appends one complete event per request record (incomplete requests get a
+// zero-length span at initiation, flagged completed=0) and the fault
+// windows to `sink`.
+void ExportHistoryTrace(const History& history,
+                        const TraceExportOptions& options,
+                        obs::TraceEventSink* sink);
+
+// Convenience: export + write `{"traceEvents": ...}` to `path`.
+// Returns false on I/O failure.
+bool WriteHistoryTraceFile(const std::string& path, const History& history,
+                           const TraceExportOptions& options = {});
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_ANALYSIS_TRACE_EXPORT_H_

@@ -7,6 +7,13 @@
 
 namespace treeagg {
 
+// The obs message-kind index space mirrors MsgType declaration order.
+static_assert(obs::kMsgKinds == 4);
+static_assert(static_cast<int>(MsgType::kProbe) == 0 &&
+              static_cast<int>(MsgType::kResponse) == 1 &&
+              static_cast<int>(MsgType::kUpdate) == 2 &&
+              static_cast<int>(MsgType::kRelease) == 3);
+
 LeaseNode::LeaseNode(NodeId self, std::vector<NodeId> nbrs,
                      const AggregateOp& op,
                      std::unique_ptr<LeasePolicy> policy, Transport* transport,
@@ -177,6 +184,15 @@ bool LeaseNode::AlreadyProbed(NodeId v) const {
   return false;
 }
 
+void LeaseNode::Emit(Message m) {
+  if (obs_) [[unlikely]] {
+    obs_->sent[static_cast<int>(m.type)]->Inc();
+    if (m.type == MsgType::kResponse && m.flag) obs_->lease_grants->Inc();
+    if (m.type == MsgType::kRelease) obs_->lease_revokes->Inc();
+  }
+  transport_->Send(std::move(m));
+}
+
 // --- Ghost log helpers (Figure 6) -------------------------------------
 
 std::shared_ptr<const GhostLog> LeaseNode::GhostSnapshot() {
@@ -224,7 +240,7 @@ void LeaseNode::SendProbes(NodeId w) {
     m.type = MsgType::kProbe;
     m.from = self_;
     m.to = p.id;
-    transport_->Send(std::move(m));
+    Emit(std::move(m));
   }
 }
 
@@ -238,7 +254,7 @@ void LeaseNode::ForwardUpdates(NodeId w, UpdateId id) {
     m.x = Subval(p.id);
     m.id = id;
     m.wlog = GhostSnapshot();
-    transport_->Send(std::move(m));
+    Emit(std::move(m));
   }
 }
 
@@ -261,7 +277,7 @@ void LeaseNode::SendResponse(NodeId w) {
   m.x = Subval(w);
   m.flag = pw.granted;
   m.wlog = GhostSnapshot();
-  transport_->Send(std::move(m));
+  Emit(std::move(m));
 }
 
 bool LeaseNode::IsGoodForRelease(NodeId w) const {
@@ -280,7 +296,7 @@ void LeaseNode::ForwardRelease() {
     m.to = p.id;
     m.release_ids.assign(p.uaw.begin(), p.uaw.end());
     p.uaw.clear();
-    transport_->Send(std::move(m));
+    Emit(std::move(m));
   }
 }
 
@@ -386,6 +402,9 @@ void LeaseNode::LocalWrite(Real arg, ReqId write_id) {  // T2
 void LeaseNode::Deliver(const Message& m) {
   assert(m.to == self_);
   assert(IsNbr(m.from));
+  if (obs_) [[unlikely]] {
+    obs_->recv[static_cast<int>(m.type)]->Inc();
+  }
   const NodeId w = m.from;
   switch (m.type) {
     case MsgType::kProbe: {  // T3

@@ -24,6 +24,7 @@
 #include "core/aggregate_op.h"
 #include "core/message.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
 
 namespace treeagg {
 
@@ -134,6 +135,15 @@ class LeaseNode final : public LeaseNodeView {
   }
   bool ghost_logging() const { return ghost_; }
 
+  // --- Observability ----------------------------------------------------
+  // Attaches per-message-kind send/receive and lease grant/revoke counters
+  // (the Figure 2 cost categories). Null — the default — disables
+  // instrumentation: the hot paths then pay one never-taken branch, and
+  // the sequential driver bench never attaches a bundle. The bundle must
+  // outlive the node; counters are lock-free, so any backend (DES, actor
+  // runtime, daemon poll loop) may share one bundle across nodes.
+  void set_metrics(obs::ProtocolMetrics* metrics) { obs_ = metrics; }
+
  private:
   // One of the paper's sntupdates tuples {node, rcvid, sntid}, with the
   // node component implicit: tuples are stored on the PerNeighbor entry of
@@ -178,6 +188,10 @@ class LeaseNode final : public LeaseNodeView {
   // Union of all snt[w]: the paper's sntprobes().
   bool AlreadyProbed(NodeId v) const;
 
+  // Counts the outgoing message (send by kind; grants on flagged
+  // responses; revokes on releases) and forwards it to the transport.
+  void Emit(Message m);
+
   void CompleteLocalCombines();
 
   // Ghost helpers.
@@ -192,6 +206,7 @@ class LeaseNode final : public LeaseNodeView {
   Transport* const transport_;
   const CombineDoneFn combine_done_;
   const bool ghost_;
+  obs::ProtocolMetrics* obs_ = nullptr;
 
   Real val_;
   std::vector<PerNeighbor> per_;  // parallel to nbrs_

@@ -221,16 +221,21 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
   std::int64_t total_requests = 0;
   std::int64_t total_messages = 0;
   std::size_t failed = 0;
+  MessageCounts kinds;  // Figure-2 categories summed across cells
   for (const CellResult& c : result.cells) {
     total_requests += static_cast<std::int64_t>(c.spec.requests);
     total_messages += c.total_messages;
+    kinds.probes += c.counts.probes;
+    kinds.responses += c.counts.responses;
+    kinds.updates += c.counts.updates;
+    kinds.releases += c.counts.releases;
     if (!c.ok) ++failed;
   }
   const double speedup = result.wall_seconds > 0
                              ? result.serial_seconds / result.wall_seconds
                              : 0.0;
   out << "{\n";
-  out << "  \"schema\": \"treeagg-sweep-v3\",\n";
+  out << "  \"schema\": \"treeagg-sweep-v4\",\n";
   out << "  \"threads\": " << result.threads_used << ",\n";
   out << "  \"competitive\": " << (spec.competitive ? "true" : "false")
       << ",\n";
@@ -241,6 +246,11 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
   out << "  \"parallel_speedup\": " << speedup << ",\n";
   out << "  \"total_requests\": " << total_requests << ",\n";
   out << "  \"total_messages\": " << total_messages << ",\n";
+  out << "  \"metrics\": {\"messages\": {\"probes\": " << kinds.probes
+      << ", \"responses\": " << kinds.responses
+      << ", \"updates\": " << kinds.updates
+      << ", \"releases\": " << kinds.releases
+      << ", \"total\": " << total_messages << "}},\n";
   out << "  \"requests_per_second\": "
       << (result.wall_seconds > 0
               ? static_cast<double>(total_requests) / result.wall_seconds
@@ -489,13 +499,30 @@ SweepJson ReadSweepJson(std::istream& in) {
   report.schema = root.Str("schema");
   if (report.schema != "treeagg-sweep-v1" &&
       report.schema != "treeagg-sweep-v2" &&
-      report.schema != "treeagg-sweep-v3") {
+      report.schema != "treeagg-sweep-v3" &&
+      report.schema != "treeagg-sweep-v4") {
     throw std::invalid_argument("sweep json: unknown schema '" +
                                 report.schema + "'");
   }
   report.threads = static_cast<int>(root.Num("threads"));
   report.competitive = root.Bool("competitive");
   report.cells_failed = static_cast<std::size_t>(root.Num("cells_failed"));
+  // v4 aggregate metrics block; pre-v4 files simply lack it.
+  if (const JsonValue* metrics = root.Find("metrics")) {
+    if (const JsonValue* m = metrics->Find("messages")) {
+      report.has_metrics = true;
+      report.metrics_messages.probes =
+          static_cast<std::int64_t>(m->Num("probes"));
+      report.metrics_messages.responses =
+          static_cast<std::int64_t>(m->Num("responses"));
+      report.metrics_messages.updates =
+          static_cast<std::int64_t>(m->Num("updates"));
+      report.metrics_messages.releases =
+          static_cast<std::int64_t>(m->Num("releases"));
+      report.metrics_total_messages =
+          static_cast<std::int64_t>(m->Num("total"));
+    }
+  }
   const JsonValue* cells = root.Find("cells");
   if (cells == nullptr || cells->kind != JsonValue::Kind::kArray) {
     throw std::invalid_argument("sweep json: missing cells array");

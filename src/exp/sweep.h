@@ -104,21 +104,27 @@ CellResult RunCell(const CellSpec& cell, bool competitive);
 // Runs the whole sweep across spec.threads workers.
 SweepResult RunSweep(const SweepSpec& spec);
 
-// Machine-readable report, schema "treeagg-sweep-v3" (v2 added the
+// Machine-readable report, schema "treeagg-sweep-v4" (v2 added the
 // per-cell combine-latency percentiles; v3 the fault axis with the
-// per-cell converged verdict). See docs/EXPERIMENTS.md for the
-// field-by-field description.
+// per-cell converged verdict; v4 the aggregate `metrics` block with the
+// Figure-2 message-kind totals summed across cells). See
+// docs/EXPERIMENTS.md for the field-by-field description.
 void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                     const SweepResult& result);
 
-// A sweep report read back from JSON. Accepts schema v1, v2, and v3:
+// A sweep report read back from JSON. Accepts schema v1 through v4:
 // v1 files have no latency block, so those cells keep zeroed SummaryStats;
-// pre-v3 files have no fault axis, so cells read back as fault "none".
+// pre-v3 files have no fault axis, so cells read back as fault "none";
+// pre-v4 files have no metrics block (has_metrics stays false).
 struct SweepJson {
   std::string schema;
   int threads = 0;
   bool competitive = false;
   std::size_t cells_failed = 0;
+  // v4 aggregate metrics block: per-kind message totals across all cells.
+  bool has_metrics = false;
+  MessageCounts metrics_messages;
+  std::int64_t metrics_total_messages = 0;
   std::vector<CellResult> cells;
 };
 

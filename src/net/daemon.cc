@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <utility>
 
 #include "core/aggregate_op.h"
 #include "core/extra_policies.h"
+#include "obs/http.h"
 #include "tree/topology.h"
 
 namespace treeagg {
@@ -51,6 +53,38 @@ NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
+  if (options_.metrics || options_.metrics_port >= 0) SetUpMetrics();
+}
+
+void NodeDaemon::SetUpMetrics() {
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  const std::vector<obs::Label> base = {
+      {"daemon", std::to_string(daemon_id_)}};
+  proto_metrics_ = obs::ProtocolMetrics::Register(*registry_, base);
+  transport_metrics_ = obs::TransportMetrics::Register(*registry_, base);
+  g_local_queue_ = registry_->AddGauge(
+      "treeagg_daemon_local_queue_depth",
+      "Intra-daemon messages waiting in the local FIFO.", base);
+  g_replay_log_ = registry_->AddGauge(
+      "treeagg_daemon_replay_log_frames",
+      "Un-GC'd frames across all peer-session replay logs.", base);
+  g_replay_log_hwm_ = registry_->AddGauge(
+      "treeagg_daemon_replay_log_hwm",
+      "Largest replay-log length any peer session ever reached.", base);
+  c_snapshots_ = registry_->AddCounter(
+      "treeagg_daemon_snapshots_written_total",
+      "Durable state snapshots persisted to the state dir.", base);
+  h_frame_ms_ = registry_->AddHistogram(
+      "treeagg_daemon_frame_handle_ms",
+      "Wall time to handle one inbound frame to completion, including "
+      "draining the intra-daemon messages it triggered.",
+      obs::Histogram::DefaultLatencyBoundsMs(), base);
+}
+
+std::unique_ptr<FrameConn> NodeDaemon::NewFrameConn(ScopedFd fd) {
+  auto conn = std::make_unique<FrameConn>(std::move(fd), options_.transport);
+  if (registry_ != nullptr) conn->set_metrics(&transport_metrics_);
+  return conn;
 }
 
 std::unique_ptr<FrameConn> NodeDaemon::TakePending(FrameConn* conn) {
@@ -76,9 +110,17 @@ void NodeDaemon::Bind() {
   const ClusterConfig::DaemonAddr& addr =
       config_.daemons[static_cast<std::size_t>(daemon_id_)];
   listener_ = TcpListener::Bind(addr.host, addr.port);
+  if (options_.metrics_port >= 0) {
+    metrics_listener_ = TcpListener::Bind(
+        addr.host, static_cast<std::uint16_t>(options_.metrics_port));
+  }
 }
 
 std::uint16_t NodeDaemon::BoundPort() const { return listener_.port(); }
+
+std::uint16_t NodeDaemon::MetricsPort() const {
+  return metrics_listener_.valid() ? metrics_listener_.port() : 0;
+}
 
 void NodeDaemon::SetResolvedPorts(const std::vector<std::uint16_t>& ports) {
   if (ports.size() != config_.daemons.size()) {
@@ -119,6 +161,9 @@ void NodeDaemon::BuildNodes() {
           OnCombineDone(node, token, value);
         },
         config_.ghost_logging);
+    if (registry_ != nullptr) {
+      nodes_[static_cast<std::size_t>(u)]->set_metrics(&proto_metrics_);
+    }
   }
 }
 
@@ -145,6 +190,17 @@ void NodeDaemon::ApplyRestore() {
   }
   local_queue_.assign(restore_->local_queue.begin(),
                       restore_->local_queue.end());
+  // Fold the restored lifetime counts into the per-kind send counters so
+  // /metrics stays monotone across crash-restarts and keeps summing to the
+  // same Figure 2 totals the harvest reports. (Per-kind receive and
+  // grant/revoke splits are not in the durable state; those counters
+  // restart from the respawn.)
+  if (registry_ != nullptr) {
+    proto_metrics_.sent[0]->Add(counts_.probes);
+    proto_metrics_.sent[1]->Add(counts_.responses);
+    proto_metrics_.sent[2]->Add(counts_.updates);
+    proto_metrics_.sent[3]->Add(counts_.releases);
+  }
   restore_.reset();
 }
 
@@ -195,6 +251,7 @@ void NodeDaemon::PersistIfDue(bool force) {
   dirty_ = false;
   frames_since_snapshot_ = 0;
   snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  if (c_snapshots_ != nullptr) c_snapshots_->Inc();
   // Everything processed so far is now covered by the snapshot, so it is
   // safe to ack: the peer may GC it permanently.
   for (const int p : peer_ids_) {
@@ -246,6 +303,8 @@ void NodeDaemon::RestoreDurable(DurableState state) {
 void NodeDaemon::SendPeerHello(int peer) {
   PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
   FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
+  // Each hello we initiate is one (re)establishment of this peer link.
+  if (registry_ != nullptr) transport_metrics_.reconnects->Inc();
   WireFrame hello;
   hello.type = FrameType::kPeerHello;
   hello.daemon_id = static_cast<std::uint32_t>(daemon_id_);
@@ -275,8 +334,7 @@ void NodeDaemon::ConnectPeers() {
       Fail("peer " + std::to_string(peer) + ": " + err);
       return;
     }
-    peers_[static_cast<std::size_t>(peer)] =
-        std::make_unique<FrameConn>(std::move(fd), options_.transport);
+    peers_[static_cast<std::size_t>(peer)] = NewFrameConn(std::move(fd));
     SendPeerHello(peer);
   }
 }
@@ -364,8 +422,7 @@ void NodeDaemon::MaybeReconnectPeers() {
     std::string err;
     ScopedFd fd = ConnectWithBackoff(addr.host, addr.port, attempt, &err);
     if (fd.valid()) {
-      peers_[static_cast<std::size_t>(peer)] =
-          std::make_unique<FrameConn>(std::move(fd), options_.transport);
+      peers_[static_cast<std::size_t>(peer)] = NewFrameConn(std::move(fd));
       SendPeerHello(peer);
     } else {
       s.backoff_ms = std::min(
@@ -440,6 +497,18 @@ void NodeDaemon::OnCombineDone(NodeId node, CombineToken token, Real value) {
 }
 
 void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
+  if (h_frame_ms_ == nullptr) {
+    HandleFrameInner(std::move(frame), from_peer);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  HandleFrameInner(std::move(frame), from_peer);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  h_frame_ms_->Observe(
+      std::chrono::duration<double, std::milli>(dt).count());
+}
+
+void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
   switch (frame.type) {
     case FrameType::kProtocol:
       if (frame.msg.to < 0 || frame.msg.to >= tree_->size() ||
@@ -647,6 +716,73 @@ void NodeDaemon::HandleAwaitResume(int peer) {
   }
 }
 
+std::string NodeDaemon::RenderMetricsPage() {
+  // Point-in-time gauges are refreshed at scrape time; we are on the
+  // daemon thread, so reading the queues and sessions is race-free.
+  std::uint64_t log_frames = 0;
+  for (const int p : peer_ids_) {
+    log_frames += sessions_[static_cast<std::size_t>(p)].log.size();
+  }
+  g_replay_log_->Set(static_cast<std::int64_t>(log_frames));
+  g_replay_log_hwm_->Set(
+      static_cast<std::int64_t>(replay_log_hwm_.load(std::memory_order_relaxed)));
+  g_local_queue_->Set(static_cast<std::int64_t>(local_queue_.size()));
+  return registry_->RenderPrometheus();
+}
+
+bool NodeDaemon::ServiceMetricsConn(MetricsConn& mc, short revents) {
+  if (revents & (POLLERR | POLLNVAL)) return false;
+  if (!mc.closing && (revents & (POLLIN | POLLHUP))) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(mc.fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        mc.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // client went away before the request end
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    obs::HttpRequest req;
+    switch (obs::ParseHttpRequest(mc.in, &req)) {
+      case obs::HttpParse::kNeedMore:
+        break;
+      case obs::HttpParse::kBad:
+        mc.out = obs::BuildHttpResponse(400, "text/plain", "bad request\n");
+        mc.closing = true;
+        break;
+      case obs::HttpParse::kOk: {
+        if (req.method != "GET") {
+          mc.out = obs::BuildHttpResponse(405, "text/plain",
+                                          "method not allowed\n");
+        } else if (req.target == "/metrics" ||
+                   req.target.rfind("/metrics?", 0) == 0) {
+          mc.out = obs::BuildHttpResponse(200, obs::kPrometheusContentType,
+                                          RenderMetricsPage());
+        } else {
+          mc.out = obs::BuildHttpResponse(404, "text/plain", "not found\n");
+        }
+        mc.closing = true;
+        break;
+      }
+    }
+  }
+  while (mc.out_pos < mc.out.size()) {
+    const ssize_t n = ::send(mc.fd.get(), mc.out.data() + mc.out_pos,
+                             mc.out.size() - mc.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      mc.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return !(mc.closing && mc.out_pos == mc.out.size() && !mc.out.empty());
+}
+
 void NodeDaemon::FlushAll() {
   // Write-ahead rule: nothing leaves a socket before a snapshot covers the
   // state that generated it — otherwise a restart would forget effects a
@@ -722,6 +858,22 @@ void NodeDaemon::Run() {
       conns.push_back(nullptr);
       conn_peer.push_back(-2);
     }
+    // /metrics listener + its HTTP connections ride the same poll set.
+    // Their pfds carry null conns, so the frame-connection loop below
+    // skips them; they are serviced positionally before it runs.
+    if (metrics_listener_.valid()) {
+      pfds.push_back({metrics_listener_.fd(), POLLIN, 0});
+      conns.push_back(nullptr);
+      conn_peer.push_back(-2);
+    }
+    const std::size_t metrics_conn_count = metrics_conns_.size();
+    for (MetricsConn& mc : metrics_conns_) {
+      short events = POLLIN;
+      if (mc.out_pos < mc.out.size()) events |= POLLOUT;
+      pfds.push_back({mc.fd.get(), events, 0});
+      conns.push_back(nullptr);
+      conn_peer.push_back(-2);
+    }
     const auto add_conn = [&](FrameConn* c, int peer) {
       if (c == nullptr || !c->open()) return;
       short events = POLLIN;
@@ -758,11 +910,36 @@ void NodeDaemon::Run() {
         for (;;) {
           ScopedFd fd = listener_.Accept();
           if (!fd.valid()) break;
-          pending_.push_back(PendingConn{std::make_unique<FrameConn>(
-              std::move(fd), options_.transport)});
+          pending_.push_back(PendingConn{NewFrameConn(std::move(fd))});
         }
       }
       ++i;
+    }
+    // Metrics listener + HTTP connections (serviced before the frame
+    // connections; indices line up with the pfds built above).
+    if (metrics_listener_.valid()) {
+      if (pfds[i].revents & POLLIN) {
+        for (;;) {
+          ScopedFd fd = metrics_listener_.Accept();
+          if (!fd.valid()) break;
+          MetricsConn mc;
+          mc.fd = std::move(fd);
+          metrics_conns_.push_back(std::move(mc));
+        }
+      }
+      ++i;
+    }
+    if (metrics_conn_count > 0) {
+      std::vector<bool> keep(metrics_conn_count, true);
+      for (std::size_t m = 0; m < metrics_conn_count; ++m, ++i) {
+        if (pfds[i].revents == 0) continue;
+        keep[m] = ServiceMetricsConn(metrics_conns_[m], pfds[i].revents);
+      }
+      std::size_t m = 0;
+      std::erase_if(metrics_conns_, [&](const MetricsConn&) {
+        const std::size_t idx = m++;
+        return idx < metrics_conn_count && !keep[idx];
+      });
     }
     // Established connections (driver + peers) then pending ones; pfds
     // beyond i map 1:1 onto conns/conn_peer. Pending entries come last, so

@@ -83,23 +83,40 @@
 #include "net/faulty_transport.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "sim/trace.h"
 #include "tree/topology.h"
 
 namespace treeagg {
 
+// NodeDaemon construction options. A namespace-scope struct (rather than a
+// nested one) because its default member initializers are needed by the
+// constructor's default argument, which C++ forbids for a nested class
+// still being parsed; NodeDaemon::Options remains valid via the alias.
+struct NodeDaemonOptions {
+  TransportOptions transport;
+  // Optional frame-level fault injection on outbound peer frames (chaos
+  // runs). The injector is shared so the harness can arm/disarm it.
+  std::shared_ptr<PeerFaultInjector> fault_injector;
+  // Disk snapshots + cumulative-ack GC (see net/durability.h). The
+  // state_dir, when set, is THIS daemon's own directory (callers
+  // hosting several daemons give each its own subdirectory).
+  DurabilityOptions durability;
+  // Observability. metrics=true instruments the daemon (per-kind
+  // message counters, transport byte/frame counters, queue-depth
+  // gauges, frame-handling latency histogram) into a per-daemon
+  // registry. metrics_port >= 0 additionally serves Prometheus
+  // text-format /metrics over HTTP on that port (0 = OS-assigned;
+  // implies metrics=true). -1 (the default) serves nothing, and with
+  // metrics=false the daemon carries no registry at all — the hot
+  // paths then take their null-hook branch.
+  bool metrics = false;
+  int metrics_port = -1;
+};
+
 class NodeDaemon {
  public:
-  struct Options {
-    TransportOptions transport;
-    // Optional frame-level fault injection on outbound peer frames (chaos
-    // runs). The injector is shared so the harness can arm/disarm it.
-    std::shared_ptr<PeerFaultInjector> fault_injector;
-    // Disk snapshots + cumulative-ack GC (see net/durability.h). The
-    // state_dir, when set, is THIS daemon's own directory (callers
-    // hosting several daemons give each its own subdirectory).
-    DurabilityOptions durability;
-  };
+  using Options = NodeDaemonOptions;
 
   // Everything a crashed daemon must remember to resume as if it had only
   // paused (see DaemonDurableState in net/durability.h, where it lives so
@@ -161,6 +178,14 @@ class NodeDaemon {
   std::uint64_t SnapshotsWritten() const {
     return snapshots_written_.load(std::memory_order_relaxed);
   }
+
+  // The daemon's metrics registry; null unless Options enabled metrics.
+  // Counters are lock-free, so reading while the daemon runs is safe.
+  const obs::MetricsRegistry* metrics() const { return registry_.get(); }
+
+  // The bound /metrics port (resolves port 0 to the OS's choice); 0 when
+  // no metrics listener is configured. Valid after Bind().
+  std::uint16_t MetricsPort() const;
 
  private:
   class NetTransport final : public Transport {
@@ -227,7 +252,10 @@ class NodeDaemon {
   void OnCombineDone(NodeId node, CombineToken token, Real value);
   // `from_peer`: daemon id of the peer connection the frame arrived on,
   // or -1 for the driver connection (session accounting needs the origin).
+  // The outer function wraps the dispatch in the frame-handling latency
+  // histogram when metrics are on.
   void HandleFrame(WireFrame frame, int from_peer);
+  void HandleFrameInner(WireFrame frame, int from_peer);
   void HandleDriverEof();
   bool DrainConn(FrameConn* conn, int from_peer);
   void FlushAll();
@@ -275,6 +303,26 @@ class NodeDaemon {
   // returns) and the snapshot writer (which runs on the daemon thread).
   DurableState BuildDurable() const;
 
+  // --- observability layer ----------------------------------------------
+  // One half-open HTTP connection on the /metrics listener. Tiny state
+  // machine: buffer the request head, write one response, close.
+  struct MetricsConn {
+    ScopedFd fd;
+    std::string in;
+    std::string out;
+    std::size_t out_pos = 0;
+    bool closing = false;
+  };
+  // Builds the registry and the hot-path metric bundles (constructor).
+  void SetUpMetrics();
+  // Wraps a freshly accepted/established socket, attaching the shared
+  // transport counters when metrics are on.
+  std::unique_ptr<FrameConn> NewFrameConn(ScopedFd fd);
+  // Refreshes point-in-time gauges, then renders the exposition text.
+  std::string RenderMetricsPage();
+  // Advances one HTTP connection; returns false when it should be closed.
+  bool ServiceMetricsConn(MetricsConn& mc, short revents);
+
   const int daemon_id_;
   ClusterConfig config_;
   Options options_;
@@ -302,6 +350,20 @@ class NodeDaemon {
   std::uint64_t frames_since_snapshot_ = 0;
   std::atomic<std::uint64_t> replay_log_hwm_{0};
   std::atomic<std::uint64_t> snapshots_written_{0};
+
+  // Observability (null/empty unless Options enabled metrics). The
+  // registry owns every metric object; the bundles below are stable
+  // pointers into it, shared by all hosted nodes and all connections.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  obs::ProtocolMetrics proto_metrics_;
+  obs::TransportMetrics transport_metrics_;
+  obs::Gauge* g_local_queue_ = nullptr;
+  obs::Gauge* g_replay_log_ = nullptr;
+  obs::Gauge* g_replay_log_hwm_ = nullptr;
+  obs::Counter* c_snapshots_ = nullptr;
+  obs::Histogram* h_frame_ms_ = nullptr;
+  TcpListener metrics_listener_;
+  std::vector<MetricsConn> metrics_conns_;
 
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_requested_{false};

@@ -21,6 +21,8 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
 
   daemon_options_.transport = options.transport;
   daemon_options_.durability = options.durability;
+  daemon_options_.metrics = options.metrics;
+  daemon_options_.metrics_port = options.metrics_port;
   injectors_ = options.fault_injectors;
   durable_.resize(static_cast<std::size_t>(options.daemons));
   try {
@@ -59,7 +61,17 @@ NodeDaemon::Options LocalCluster::DaemonOptionsFor(int d) const {
     daemon_options.durability.state_dir =
         daemon_options_.durability.state_dir + "/daemon-" + std::to_string(d);
   }
+  // A fixed metrics port cannot be shared by co-hosted daemons: spread them.
+  if (daemon_options_.metrics_port > 0) {
+    daemon_options.metrics_port = daemon_options_.metrics_port + d;
+  }
   return daemon_options;
+}
+
+std::uint16_t LocalCluster::DaemonMetricsPort(int d) const {
+  const std::size_t idx = static_cast<std::size_t>(d);
+  if (idx >= daemons_.size() || daemons_[idx] == nullptr) return 0;
+  return daemons_[idx]->MetricsPort();
 }
 
 void LocalCluster::KillDaemon(int d) {

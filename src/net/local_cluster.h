@@ -43,6 +43,12 @@ class LocalCluster {
     // `state_dir` is the cluster ROOT: daemon `d` gets its own
     // `<state_dir>/daemon-<d>` subdirectory. Empty = memory-durable only.
     DurabilityOptions durability;
+    // Observability (see NodeDaemonOptions). metrics instruments every
+    // daemon; metrics_port >= 0 additionally serves /metrics per daemon —
+    // 0 gives each daemon an OS-assigned port (query DaemonMetricsPort),
+    // a positive P gives daemon d port P + d.
+    bool metrics = false;
+    int metrics_port = -1;
   };
 
   // How RestartDaemon rebuilds a killed daemon's state.
@@ -70,6 +76,10 @@ class LocalCluster {
 
   // First daemon-side error, if any (valid after Stop()).
   std::string DaemonError() const;
+
+  // The port daemon d's /metrics endpoint is bound to (0 when the cluster
+  // runs without metrics serving, or while d is killed).
+  std::uint16_t DaemonMetricsPort(int d) const;
 
   // Largest replay-log length any daemon's peer session ever reached,
   // across kills and restarts — the quantity the cumulative-ack GC bounds.

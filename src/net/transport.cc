@@ -97,7 +97,9 @@ void FrameConn::FailWith(std::string msg) {
 void FrameConn::SendFrame(const WireFrame& frame) {
   if (!open()) return;
   AppendFrame(&out_, frame, wire_version_);
+  if (obs_) obs_->frames_sent->Inc();
   if (OutboundBytes() > options_.max_write_buffer) {
+    if (obs_) obs_->backpressure_stalls->Inc();
     FailWith("write buffer overflow (peer not draining)");
   }
 }
@@ -106,6 +108,7 @@ void FrameConn::SendRawBytes(const std::vector<std::uint8_t>& bytes) {
   if (!open()) return;
   out_.insert(out_.end(), bytes.begin(), bytes.end());
   if (OutboundBytes() > options_.max_write_buffer) {
+    if (obs_) obs_->backpressure_stalls->Inc();
     FailWith("write buffer overflow (peer not draining)");
   }
 }
@@ -117,6 +120,7 @@ bool FrameConn::Flush() {
                              out_.size() - out_pos_, MSG_NOSIGNAL);
     if (n > 0) {
       out_pos_ += static_cast<std::size_t>(n);
+      if (obs_) obs_->bytes_sent->Add(static_cast<std::uint64_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -141,6 +145,7 @@ bool FrameConn::ReadAvailable() {
     const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
     if (n > 0) {
       reader_.Feed(buf, static_cast<std::size_t>(n));
+      if (obs_) obs_->bytes_received->Add(static_cast<std::uint64_t>(n));
       if (n < static_cast<ssize_t>(sizeof(buf))) return true;
       continue;
     }
@@ -157,7 +162,9 @@ bool FrameConn::ReadAvailable() {
 
 DecodeStatus FrameConn::NextFrame(WireFrame* frame) {
   const DecodeStatus status = reader_.Next(frame);
-  if (status != DecodeStatus::kOk && status != DecodeStatus::kNeedMore) {
+  if (status == DecodeStatus::kOk) {
+    if (obs_) obs_->frames_received->Inc();
+  } else if (status != DecodeStatus::kNeedMore) {
     FailWith(std::string("malformed frame: ") + ToString(status));
   }
   return status;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace treeagg {
 
@@ -148,11 +149,17 @@ class FrameConn {
 
   void Close() { fd_.reset(); }
 
+  // Attaches byte/frame/backpressure counters. Null (the default)
+  // disables instrumentation; the bundle must outlive the connection and
+  // may be shared by every connection of one daemon.
+  void set_metrics(obs::TransportMetrics* metrics) { obs_ = metrics; }
+
  private:
   void FailWith(std::string msg);
 
   ScopedFd fd_;
   TransportOptions options_;
+  obs::TransportMetrics* obs_ = nullptr;
   std::vector<std::uint8_t> out_;
   std::size_t out_pos_ = 0;
   FrameReader reader_;

@@ -1,0 +1,60 @@
+#include "obs/http.h"
+
+#include <sstream>
+
+namespace treeagg::obs {
+
+HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out) {
+  // A request head ends at the first blank line. Accept bare-LF line
+  // endings too (curl never sends them, but humans with netcat do).
+  const std::size_t head_end = data.find("\r\n\r\n");
+  const std::size_t lf_end = data.find("\n\n");
+  if (head_end == std::string_view::npos && lf_end == std::string_view::npos) {
+    // Bound the buffer we are willing to accumulate for a request head.
+    return data.size() > 16 * 1024 ? HttpParse::kBad : HttpParse::kNeedMore;
+  }
+  const std::size_t line_end = data.find_first_of("\r\n");
+  std::string_view line = data.substr(0, line_end);
+  // Request line: METHOD SP TARGET SP VERSION
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return HttpParse::kBad;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return HttpParse::kBad;
+  std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return HttpParse::kBad;
+  out->method = std::string(line.substr(0, sp1));
+  out->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  return HttpParse::kOk;
+}
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200:
+      reason = "OK";
+      break;
+    case 400:
+      reason = "Bad Request";
+      break;
+    case 404:
+      reason = "Not Found";
+      break;
+    case 405:
+      reason = "Method Not Allowed";
+      break;
+    default:
+      reason = "Internal Server Error";
+      break;
+  }
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n"
+      << "\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace treeagg::obs

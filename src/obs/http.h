@@ -1,0 +1,43 @@
+// Minimal HTTP/1.1 request parsing and response building for the
+// /metrics endpoint.
+//
+// This is deliberately not a web server: the daemon's poll loop reads
+// whatever bytes arrive on an accepted connection, calls ParseHttpRequest
+// until a full request head is buffered, writes one response, and closes.
+// Bodies are ignored (GET has none), keep-alive is not offered
+// (Connection: close on every response), and anything that is not a
+// well-formed request line earns a 400.
+#ifndef TREEAGG_OBS_HTTP_H_
+#define TREEAGG_OBS_HTTP_H_
+
+#include <string>
+#include <string_view>
+
+namespace treeagg::obs {
+
+struct HttpRequest {
+  std::string method;  // e.g. "GET"
+  std::string target;  // e.g. "/metrics"
+};
+
+enum class HttpParse {
+  kNeedMore,  // no terminating CRLFCRLF yet; read more bytes
+  kOk,        // parsed; `out` is filled
+  kBad,       // malformed request line; answer 400 and close
+};
+
+// Parses the request head out of `data` (everything buffered so far).
+HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out);
+
+// Builds a complete HTTP/1.1 response with Content-Length and
+// Connection: close. `status` must be one of 200, 400, 404, 405.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body);
+
+// The standard Prometheus exposition content type.
+inline constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace treeagg::obs
+
+#endif  // TREEAGG_OBS_HTTP_H_

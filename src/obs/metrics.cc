@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace treeagg::obs {
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), matching the nearest-rank
+  // convention of analysis::Summarize.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double lo_count = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (i >= bounds.size()) return lo;  // +Inf bucket: clamp to lower bound
+    const double hi = bounds[i];
+    const double frac = (rank - lo_count) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double v) noexcept {
+  const std::size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  for (double b = 0.001; b <= 1e5; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name, std::string help,
+                                     std::vector<Label> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counter* c = &counters_.emplace_back();
+  entries_.push_back(Entry{Kind::kCounter, std::move(name), std::move(help),
+                           std::move(labels), c, nullptr, nullptr});
+  return c;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name, std::string help,
+                                 std::vector<Label> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Gauge* g = &gauges_.emplace_back();
+  entries_.push_back(Entry{Kind::kGauge, std::move(name), std::move(help),
+                           std::move(labels), nullptr, g, nullptr});
+  return g;
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name, std::string help,
+                                         std::vector<double> bounds,
+                                         std::vector<Label> labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram* h = &histograms_.emplace_back(std::move(bounds));
+  entries_.push_back(Entry{Kind::kHistogram, std::move(name), std::move(help),
+                           std::move(labels), nullptr, nullptr, h});
+  return h;
+}
+
+std::uint64_t MetricsRegistry::SumCounters(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) {
+    if (e.kind == Kind::kCounter && e.name == name) total += e.counter->Value();
+  }
+  return total;
+}
+
+ProtocolMetrics ProtocolMetrics::Register(MetricsRegistry& reg,
+                                          std::vector<Label> base) {
+  ProtocolMetrics m;
+  for (int k = 0; k < kMsgKinds; ++k) {
+    std::vector<Label> labels = base;
+    labels.emplace_back("kind", kMsgKindNames[k]);
+    m.sent[k] = reg.AddCounter("treeagg_node_messages_sent_total",
+                               "Protocol messages sent, by Message kind "
+                               "(the Figure 2 cost categories).",
+                               labels);
+    m.recv[k] = reg.AddCounter("treeagg_node_messages_received_total",
+                               "Protocol messages delivered, by Message kind.",
+                               std::move(labels));
+  }
+  m.lease_grants =
+      reg.AddCounter("treeagg_node_lease_grants_total",
+                     "Leases granted (responses sent with flag=true).", base);
+  m.lease_revokes =
+      reg.AddCounter("treeagg_node_lease_revokes_total",
+                     "Leases revoked (release messages sent).", std::move(base));
+  return m;
+}
+
+TransportMetrics TransportMetrics::Register(MetricsRegistry& reg,
+                                            std::vector<Label> base) {
+  TransportMetrics m;
+  m.bytes_sent = reg.AddCounter("treeagg_transport_bytes_sent_total",
+                                "Framed bytes flushed to the socket.", base);
+  m.frames_sent = reg.AddCounter("treeagg_transport_frames_sent_total",
+                                 "Wire frames enqueued for send.", base);
+  m.bytes_received =
+      reg.AddCounter("treeagg_transport_bytes_received_total",
+                     "Bytes drained from the socket.", base);
+  m.frames_received =
+      reg.AddCounter("treeagg_transport_frames_received_total",
+                     "Complete wire frames parsed from the stream.", base);
+  m.reconnects = reg.AddCounter("treeagg_transport_reconnects_total",
+                                "Connection (re)establishment attempts.", base);
+  m.backpressure_stalls = reg.AddCounter(
+      "treeagg_transport_backpressure_stalls_total",
+      "Sends rejected because the write buffer hit its cap.", std::move(base));
+  return m;
+}
+
+}  // namespace treeagg::obs

@@ -1,0 +1,206 @@
+// Lock-free metrics primitives: monotonic counters, gauges, and
+// fixed-bucket latency histograms.
+//
+// All mutators are single atomic RMW operations with relaxed ordering —
+// metrics are statistical, not synchronization: a scrape may observe a
+// counter incremented by a message whose side effects are not yet visible,
+// and that is fine. What must hold (and what the TSan job checks) is that
+// concurrent recording from N threads loses no increments and that
+// snapshots taken during recording are internally consistent enough to
+// render (bucket counts may trail `count` by in-flight observations).
+//
+// The no-op mirrors in noop.h expose the same call surface as these types
+// but are empty classes; static_asserts there make "disabled instrumentation
+// costs nothing" a compile-time fact instead of a benchmark hope.
+#ifndef TREEAGG_OBS_METRICS_H_
+#define TREEAGG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace treeagg::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc() noexcept { v_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Instantaneous level (queue depth, replay-log length). Signed so that
+// paired Add(+1)/Add(-1) from different threads cannot wrap through zero.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  // Raises the gauge to `v` if below it (high-water marks).
+  void MaxTo(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Point-in-time copy of a histogram, plus the quantile math shared with
+// analysis::Summarize (same tail percentiles: p50/p90/p95/p99).
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // bucket upper bounds, ascending
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (+Inf bucket)
+  std::uint64_t count = 0;
+  double sum = 0;
+
+  // Quantile estimate by linear interpolation inside the owning bucket
+  // (the +Inf bucket clamps to its lower bound). q in [0, 1].
+  double Quantile(double q) const;
+};
+
+// Fixed-bucket histogram. Bucket bounds are set at construction and never
+// change, so Observe is two relaxed RMWs plus a CAS-loop sum update — no
+// locks, no allocation, safe from any thread.
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v) noexcept;
+  HistogramSnapshot Snapshot() const;
+
+  // 1us .. ~100s in exponential steps: the default for latency-in-
+  // milliseconds series across backends.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  const std::vector<double> bounds_;
+  const std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// A metric label (Prometheus key/value pair).
+using Label = std::pair<std::string, std::string>;
+
+class MetricsRegistry;
+
+// --- Hot-path metric groups ---------------------------------------------
+// Plain pointer bundles handed to the instrumented objects. A null bundle
+// pointer (the default everywhere) disables instrumentation entirely; the
+// sequential driver and the benches never construct one.
+
+// Message-kind index space. Mirrors core MsgType declaration order
+// (probe, response, update, release) — the Figure 2 cost categories —
+// without obs depending on core.
+inline constexpr int kMsgKinds = 4;
+inline constexpr const char* kMsgKindNames[kMsgKinds] = {
+    "probe", "response", "update", "release"};
+
+// LeaseNode instrumentation: sends/receives by message kind plus lease
+// grant (response carrying flag=true) and revoke (release sent) counts.
+struct ProtocolMetrics {
+  Counter* sent[kMsgKinds] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* recv[kMsgKinds] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* lease_grants = nullptr;
+  Counter* lease_revokes = nullptr;
+
+  // Registers the full family under treeagg_node_* with `base` labels.
+  static ProtocolMetrics Register(MetricsRegistry& reg,
+                                  std::vector<Label> base = {});
+};
+
+// FrameConn instrumentation (both directions plus failure modes).
+struct TransportMetrics {
+  Counter* bytes_sent = nullptr;
+  Counter* frames_sent = nullptr;
+  Counter* bytes_received = nullptr;
+  Counter* frames_received = nullptr;
+  Counter* reconnects = nullptr;
+  Counter* backpressure_stalls = nullptr;
+
+  static TransportMetrics Register(MetricsRegistry& reg,
+                                   std::vector<Label> base = {});
+};
+
+// --- Registry ------------------------------------------------------------
+// Owns the metric objects; hands out stable pointers. Registration takes a
+// mutex; the returned objects are lock-free and remain valid for the
+// registry's lifetime (deque storage, no reallocation of elements).
+// Rendering walks the same structures with atomic loads, so scraping
+// concurrently with recording is safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(std::string name, std::string help,
+                      std::vector<Label> labels = {});
+  Gauge* AddGauge(std::string name, std::string help,
+                  std::vector<Label> labels = {});
+  Histogram* AddHistogram(std::string name, std::string help,
+                          std::vector<double> bounds,
+                          std::vector<Label> labels = {});
+
+  // Prometheus text exposition format 0.0.4.
+  std::string RenderPrometheus() const;
+
+  // Sums the values of every counter whose name matches exactly,
+  // across all label sets. Used by report writers and tests.
+  std::uint64_t SumCounters(const std::string& name) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;  // empty after the first entry of a family
+    std::vector<Label> labels;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace treeagg::obs
+
+#endif  // TREEAGG_OBS_METRICS_H_

@@ -1,0 +1,83 @@
+// Compile-time-checked no-op mirrors of the metrics API.
+//
+// Every type here exposes the exact call surface of its real counterpart
+// in metrics.h, but every method is an empty inline body on an empty
+// class. The static_asserts below make the zero-cost claim a property the
+// compiler enforces rather than one a benchmark estimates: an empty class
+// with empty inline methods generates no loads, no stores, and no calls
+// at any optimization level, so a driver templated over the registry type
+// (see tests/obs/noop_registry_test.cc, which instantiates the same
+// generic exerciser against both registries) compiles the no-op flavor to
+// the uninstrumented machine code.
+//
+// The hot paths in core/sim/runtime/net additionally keep the runtime
+// off-switch — a null ProtocolMetrics*/TransportMetrics* bundle — so the
+// sequential driver bench pays only a never-taken branch.
+#ifndef TREEAGG_OBS_NOOP_H_
+#define TREEAGG_OBS_NOOP_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace treeagg::obs {
+
+struct NoopCounter {
+  void Inc() noexcept {}
+  void Add(std::uint64_t) noexcept {}
+  static constexpr std::uint64_t Value() noexcept { return 0; }
+};
+
+struct NoopGauge {
+  void Set(std::int64_t) noexcept {}
+  void Add(std::int64_t) noexcept {}
+  void MaxTo(std::int64_t) noexcept {}
+  static constexpr std::int64_t Value() noexcept { return 0; }
+};
+
+struct NoopHistogram {
+  void Observe(double) noexcept {}
+  static HistogramSnapshot Snapshot() { return {}; }
+};
+
+// Same registration surface as MetricsRegistry; hands out pointers to
+// shared empty instances (they carry no state, so sharing is harmless).
+class NoopRegistry {
+ public:
+  static NoopCounter* AddCounter(const std::string&, const std::string&,
+                                 std::vector<Label> = {}) {
+    static NoopCounter c;
+    return &c;
+  }
+  static NoopGauge* AddGauge(const std::string&, const std::string&,
+                             std::vector<Label> = {}) {
+    static NoopGauge g;
+    return &g;
+  }
+  static NoopHistogram* AddHistogram(const std::string&, const std::string&,
+                                     const std::vector<double>&,
+                                     std::vector<Label> = {}) {
+    static NoopHistogram h;
+    return &h;
+  }
+  static std::string RenderPrometheus() { return ""; }
+  static constexpr std::uint64_t SumCounters(const std::string&) { return 0; }
+};
+
+// The zero-cost claim, compiler-enforced.
+static_assert(std::is_empty_v<NoopCounter>,
+              "NoopCounter must carry no state");
+static_assert(std::is_empty_v<NoopGauge>, "NoopGauge must carry no state");
+static_assert(std::is_empty_v<NoopHistogram>,
+              "NoopHistogram must carry no state");
+static_assert(std::is_empty_v<NoopRegistry>,
+              "NoopRegistry must carry no state");
+static_assert(std::is_trivially_destructible_v<NoopRegistry>,
+              "NoopRegistry must cost nothing to tear down");
+
+}  // namespace treeagg::obs
+
+#endif  // TREEAGG_OBS_NOOP_H_

@@ -1,0 +1,131 @@
+#include "obs/prometheus.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace treeagg::obs {
+
+std::string EscapePrometheus(std::string_view s, bool label_value) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        if (label_value) {
+          out += "\\\"";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const std::vector<Label>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapePrometheus(labels[i].second, /*label_value=*/true);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string RenderValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+// Appends labels plus one extra `le` pair (histogram bucket lines).
+std::string LabelsWithLe(const std::vector<Label>& labels,
+                         const std::string& le) {
+  std::vector<Label> all = labels;
+  all.emplace_back("le", le);
+  return RenderLabels(all);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  // The exposition format requires every sample of a family to form one
+  // contiguous group under a single HELP/TYPE header. Registration order
+  // interleaves families (ProtocolMetrics::Register alternates sent/recv),
+  // so render family by family: for each name, in first-appearance order,
+  // emit the header and then every entry bearing that name.
+  std::vector<std::string> seen;
+  auto first_of_family = [&](const std::string& name) {
+    for (const std::string& s : seen) {
+      if (s == name) return false;
+    }
+    seen.push_back(name);
+    return true;
+  };
+  for (const Entry& first : entries_) {
+    if (!first_of_family(first.name)) continue;
+    const char* type = first.kind == Kind::kCounter ? "counter"
+                       : first.kind == Kind::kGauge ? "gauge"
+                                                    : "histogram";
+    out << "# HELP " << first.name << " "
+        << EscapePrometheus(first.help, /*label_value=*/false) << "\n";
+    out << "# TYPE " << first.name << " " << type << "\n";
+    for (const Entry& e : entries_) {
+      if (e.name != first.name) continue;
+      switch (e.kind) {
+        case Kind::kCounter:
+          out << e.name << RenderLabels(e.labels) << " " << e.counter->Value()
+              << "\n";
+          break;
+        case Kind::kGauge:
+          out << e.name << RenderLabels(e.labels) << " " << e.gauge->Value()
+              << "\n";
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot snap = e.histogram->Snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cumulative += snap.counts[i];
+            out << e.name << "_bucket"
+                << LabelsWithLe(e.labels, RenderValue(snap.bounds[i])) << " "
+                << cumulative << "\n";
+          }
+          // Derive the total from the buckets themselves so the rendered
+          // family is internally consistent even if `count` trails an
+          // in-flight Observe between the two loads.
+          cumulative += snap.counts.back();
+          out << e.name << "_bucket" << LabelsWithLe(e.labels, "+Inf") << " "
+              << cumulative << "\n";
+          out << e.name << "_sum" << RenderLabels(e.labels) << " "
+              << RenderValue(snap.sum) << "\n";
+          out << e.name << "_count" << RenderLabels(e.labels) << " "
+              << cumulative << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace treeagg::obs

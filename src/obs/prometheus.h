@@ -1,0 +1,31 @@
+// Prometheus text exposition format 0.0.4 rendering.
+//
+// The renderer lives behind MetricsRegistry::RenderPrometheus(); this
+// header only exposes the small formatting helpers so tests and the
+// grep-based CI checker have a single definition of "well-formed" to
+// agree on.
+#ifndef TREEAGG_OBS_PROMETHEUS_H_
+#define TREEAGG_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace treeagg::obs {
+
+// Escapes a HELP string or label value per the exposition format
+// (backslash, newline, and — for label values — double quote).
+std::string EscapePrometheus(std::string_view s, bool label_value);
+
+// Renders `{k1="v1",k2="v2"}`, or "" when `labels` is empty.
+std::string RenderLabels(const std::vector<Label>& labels);
+
+// Formats a double the way the exposition format expects: "+Inf"/"-Inf"/
+// "NaN" for non-finite values, shortest-round-trip decimal otherwise.
+std::string RenderValue(double v);
+
+}  // namespace treeagg::obs
+
+#endif  // TREEAGG_OBS_PROMETHEUS_H_

@@ -1,0 +1,132 @@
+#include "obs/trace_event.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace treeagg::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void TraceEventSink::CompleteEvent(std::string name, std::string category,
+                                   std::int64_t pid, std::int64_t tid,
+                                   double ts_us, double dur_us,
+                                   NumArgs num_args, StrArgs str_args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'X', std::move(name), std::move(category), pid, tid,
+                          ts_us, dur_us, std::move(num_args),
+                          std::move(str_args)});
+}
+
+void TraceEventSink::InstantEvent(std::string name, std::string category,
+                                  std::int64_t pid, std::int64_t tid,
+                                  double ts_us, NumArgs num_args,
+                                  StrArgs str_args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'i', std::move(name), std::move(category), pid, tid,
+                          ts_us, 0, std::move(num_args),
+                          std::move(str_args)});
+}
+
+void TraceEventSink::NameProcess(std::int64_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'M', "process_name", "__metadata", pid, 0, 0, 0,
+                          {},
+                          {{"name", std::move(name)}}});
+}
+
+std::size_t TraceEventSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+namespace {
+
+void WriteNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "0";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void TraceEventSink::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << EscapeJson(e.name) << "\",\"cat\":\""
+        << EscapeJson(e.category) << "\",\"ph\":\"" << e.ph
+        << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"ts\":";
+    WriteNumber(out, e.ts_us);
+    if (e.ph == 'X') {
+      out << ",\"dur\":";
+      WriteNumber(out, e.dur_us);
+    }
+    if (e.ph == 'i') out << ",\"s\":\"g\"";
+    if (!e.num_args.empty() || !e.str_args.empty()) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.num_args) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"" << EscapeJson(k) << "\":";
+        WriteNumber(out, v);
+      }
+      for (const auto& [k, v] : e.str_args) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"" << EscapeJson(k) << "\":\"" << EscapeJson(v) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool TraceEventSink::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace treeagg::obs

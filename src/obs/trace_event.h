@@ -1,0 +1,78 @@
+// Chrome trace-event JSON emission (the `about://tracing` / Perfetto
+// "JSON Array Format" with a traceEvents wrapper object).
+//
+// One sink collects events from any backend — the sequential simulator,
+// the DES, the actor runtime, or a daemon cluster — in a unified shape:
+//   - complete events (ph "X"): one span per request, initiation ->
+//     completion, on the initiating node's track;
+//   - instant events (ph "i"): faults, crashes, restarts, link severs.
+// pid groups tracks (backend or daemon), tid is the node id, timestamps
+// are microseconds. Traces from two backends driven by the same workload
+// line up event-for-event, so the backends can be diffed visually.
+#ifndef TREEAGG_OBS_TRACE_EVENT_H_
+#define TREEAGG_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace treeagg::obs {
+
+class TraceEventSink {
+ public:
+  TraceEventSink() = default;
+  TraceEventSink(const TraceEventSink&) = delete;
+  TraceEventSink& operator=(const TraceEventSink&) = delete;
+
+  using NumArgs = std::vector<std::pair<std::string, double>>;
+  using StrArgs = std::vector<std::pair<std::string, std::string>>;
+
+  // ph "X": a span [ts_us, ts_us + dur_us] on track (pid, tid).
+  void CompleteEvent(std::string name, std::string category,
+                     std::int64_t pid, std::int64_t tid, double ts_us,
+                     double dur_us, NumArgs num_args = {},
+                     StrArgs str_args = {});
+
+  // ph "i" with global scope: a moment-in-time marker.
+  void InstantEvent(std::string name, std::string category, std::int64_t pid,
+                    std::int64_t tid, double ts_us, NumArgs num_args = {},
+                    StrArgs str_args = {});
+
+  // ph "M" metadata: names a pid track ("process_name") so about://tracing
+  // shows "sim" / "daemon 2" instead of bare numbers.
+  void NameProcess(std::int64_t pid, std::string name);
+
+  std::size_t size() const;
+
+  // Writes `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+  void WriteJson(std::ostream& out) const;
+  // Convenience: WriteJson to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;
+    std::string name;
+    std::string category;
+    std::int64_t pid;
+    std::int64_t tid;
+    double ts_us;
+    double dur_us;  // ph "X" only
+    NumArgs num_args;
+    StrArgs str_args;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// JSON string escaping (shared with the sweep report writer's needs).
+std::string EscapeJson(std::string_view s);
+
+}  // namespace treeagg::obs
+
+#endif  // TREEAGG_OBS_TRACE_EVENT_H_

@@ -47,6 +47,15 @@ ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory,
         },
         options_.ghost_logging));
   }
+  if (options_.metrics != nullptr) {
+    proto_metrics_ = obs::ProtocolMetrics::Register(*options_.metrics,
+                                                    {{"backend", "runtime"}});
+    g_inflight_hwm_ = options_.metrics->AddGauge(
+        "treeagg_runtime_inflight_hwm",
+        "High-water mark of queued + in-processing work items",
+        {{"backend", "runtime"}});
+    for (auto& node : nodes_) node->set_metrics(&proto_metrics_);
+  }
 }
 
 ActorRuntime::~ActorRuntime() {
@@ -63,7 +72,8 @@ void ActorRuntime::Start() {
 }
 
 void ActorRuntime::Enqueue(NodeId node, Item item, ReqId req_id) {
-  in_flight_.fetch_add(1);
+  const std::int64_t depth = in_flight_.fetch_add(1) + 1;
+  if (g_inflight_hwm_) g_inflight_hwm_->MaxTo(depth);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(node)];
   {
     std::lock_guard<std::mutex> lock(box.mu);

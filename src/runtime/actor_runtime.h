@@ -31,6 +31,7 @@
 #include "core/aggregate_op.h"
 #include "core/lease_node.h"
 #include "core/policies.h"
+#include "obs/metrics.h"
 #include "sim/trace.h"
 #include "tree/topology.h"
 #include "workload/request.h"
@@ -42,6 +43,11 @@ class ActorRuntime {
   struct Options {
     const AggregateOp* op = &SumOp();
     bool ghost_logging = true;
+    // Optional metrics sink (must outlive the runtime). When set, nodes
+    // report per-kind message counters under backend="runtime" (counters
+    // are lock-free, so node threads record concurrently) and Enqueue
+    // maintains an in-flight-work high-water gauge.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   ActorRuntime(const Tree& tree, const PolicyFactory& factory);
@@ -108,6 +114,8 @@ class ActorRuntime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<LeaseNode>> nodes_;
   std::vector<std::thread> threads_;
+  obs::ProtocolMetrics proto_metrics_;
+  obs::Gauge* g_inflight_hwm_ = nullptr;
 
   std::mutex history_mu_;
   History history_;

@@ -60,6 +60,17 @@ ConcurrentSimulator::ConcurrentSimulator(const Tree& tree,
         },
         options_.ghost_logging));
   }
+  if (options_.metrics != nullptr) {
+    proto_metrics_ =
+        obs::ProtocolMetrics::Register(*options_.metrics, {{"backend", "sim"}});
+    g_queue_depth_ = options_.metrics->AddGauge(
+        "treeagg_sim_event_queue_depth",
+        "Pending events in the DES priority queue", {{"backend", "sim"}});
+    g_queue_hwm_ = options_.metrics->AddGauge(
+        "treeagg_sim_event_queue_hwm",
+        "High-water mark of the DES event queue", {{"backend", "sim"}});
+    for (auto& n : nodes_) n->set_metrics(&proto_metrics_);
+  }
 }
 
 void ConcurrentSimulator::OnCombineDone(NodeId node, CombineToken token,
@@ -98,12 +109,18 @@ void ConcurrentSimulator::Run(const std::vector<ScheduledRequest>& schedule) {
     events_.push(std::move(e));
   }
   while (!events_.empty()) {
+    if (g_queue_depth_ != nullptr) {
+      const auto depth = static_cast<std::int64_t>(events_.size());
+      g_queue_depth_->Set(depth);
+      g_queue_hwm_->MaxTo(depth);
+    }
     Event e = events_.top();
     events_.pop();
     assert(e.time >= now_);
     now_ = e.time;
     Dispatch(e);
   }
+  if (g_queue_depth_ != nullptr) g_queue_depth_->Set(0);
 }
 
 std::vector<NodeGhostState> ConcurrentSimulator::GhostStates() const {

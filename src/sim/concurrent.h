@@ -24,6 +24,7 @@
 #include "core/aggregate_op.h"
 #include "core/lease_node.h"
 #include "core/policies.h"
+#include "obs/metrics.h"
 #include "sim/trace.h"
 #include "tree/topology.h"
 #include "workload/request.h"
@@ -52,6 +53,11 @@ class ConcurrentSimulator {
     // must detect the resulting violations).
     double drop_probability = 0.0;  // silently lose a message
     bool violate_fifo = false;      // allow per-edge reordering
+
+    // Optional metrics sink (must outlive the simulator). When set, nodes
+    // report per-kind message counters under backend="sim" and the run
+    // loop maintains event-queue depth/high-water gauges.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   ConcurrentSimulator(const Tree& tree, const PolicyFactory& factory);
@@ -108,6 +114,9 @@ class ConcurrentSimulator {
   // Per directed edge: last scheduled delivery time, to preserve FIFO.
   std::unordered_map<std::uint64_t, std::int64_t> channel_front_;
   std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  obs::ProtocolMetrics proto_metrics_;
+  obs::Gauge* g_queue_depth_ = nullptr;
+  obs::Gauge* g_queue_hwm_ = nullptr;
   std::int64_t now_ = 0;
   std::int64_t seq_ = 0;
 };

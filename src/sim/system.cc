@@ -45,6 +45,15 @@ AggregationSystem::AggregationSystem(const Tree& tree,
         },
         ghost_));
   }
+  if (options.metrics != nullptr) {
+    proto_metrics_ =
+        obs::ProtocolMetrics::Register(*options.metrics, {{"backend", "seq"}});
+    g_queue_hwm_ = options.metrics->AddGauge(
+        "treeagg_driver_queue_depth_hwm",
+        "High-water mark of the in-process message queue",
+        {{"backend", "seq"}});
+    for (auto& n : nodes_) n->set_metrics(&proto_metrics_);
+  }
 }
 
 void AggregationSystem::OnCombineDone(NodeId node, CombineToken token,
@@ -94,6 +103,9 @@ void AggregationSystem::Drain() {
   // Pop by move into a reusable scratch slot: delivery may enqueue further
   // messages (growing the ring), so we must not hold a reference into it.
   while (!queue_.empty()) {
+    if (g_queue_hwm_) {
+      g_queue_hwm_->MaxTo(static_cast<std::int64_t>(queue_.size()));
+    }
     queue_.PopInto(scratch_);
     nodes_[static_cast<std::size_t>(scratch_.to)]->Deliver(scratch_);
   }

@@ -21,6 +21,7 @@
 
 #include "common/ring_queue.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "consistency/causal_checker.h"  // NodeGhostState
 #include "consistency/history.h"
 #include "core/aggregate_op.h"
@@ -43,6 +44,12 @@ class AggregationSystem {
     // are consumed (throughput benches, parallel sweeps): Record() then
     // costs two increments per message.
     bool edge_accounting = true;
+    // Optional metrics sink (must outlive the system). When set, every
+    // node reports per-kind send/receive and lease grant/revoke counters
+    // under backend="seq", and Drain() maintains a queue-depth high-water
+    // gauge. Null (the default) leaves the hot paths on their untaken
+    // null-hook branch — the throughput benches never set this.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   AggregationSystem(const Tree& tree, const PolicyFactory& factory);
@@ -108,6 +115,8 @@ class AggregationSystem {
   // Scratch message reused by Drain() so each delivery is a cheap move.
   Message scratch_;
   std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  obs::ProtocolMetrics proto_metrics_;
+  obs::Gauge* g_queue_hwm_ = nullptr;
   std::int64_t clock_ = 0;
   bool ghost_;
 };

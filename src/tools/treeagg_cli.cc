@@ -5,11 +5,13 @@
 //          single-process experiment with a cost / consistency /
 //          competitiveness report; --mode seq|concurrent|threads
 //   sweep  parallel cross-product of shapes x sizes x workloads x
-//          policies x faults; writes a treeagg-sweep-v3 JSON report
+//          policies x faults; writes a treeagg-sweep-v4 JSON report
 //   serve  one node daemon of the networked backend:
 //          treeagg_cli serve --cluster FILE --daemon ID [--state-dir DIR]
 //          (with --state-dir the daemon snapshots its durable state to
-//          disk and recovers from it on restart, surviving SIGKILL)
+//          disk and recovers from it on restart, surviving SIGKILL;
+//          with --metrics-port P it serves Prometheus /metrics on P,
+//          printing "metrics port N" to stdout — P=0 is OS-assigned)
 //   drive  workload client of the networked backend:
 //          treeagg_cli drive --cluster FILE [workload flags], or
 //          treeagg_cli drive --net-local --daemons N [workload flags]
@@ -25,6 +27,7 @@
 //   treeagg_cli drive --net-local --daemons 4 --n 32 --len 500
 //   treeagg_cli chaos --backend sim --schedule "seed=7;drop(0.1)@20..200"
 //   treeagg_cli chaos --backend net-local --schedule crash --daemons 3
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -32,10 +35,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "analysis/competitive.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
+#include "analysis/trace_export.h"
 #include "consistency/causal_checker.h"
 #include "core/extra_policies.h"
 #include "exp/sweep.h"
@@ -76,12 +81,31 @@ struct CliOptions {
   std::string dot_file;  // lease graph after the run (seq mode only)
 };
 
+// Usage printers take the destination stream: --help routes them to
+// stdout (exit 0), parse errors to stderr (exit 2).
+void PrintRunUsage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " [run] [--shape S] [--n N] [--workload W] [--len L]"
+         " [--policy P] [--op O] [--seed X] [--mode seq|concurrent|threads]"
+         " [--edges] [--csv FILE] [--tree-file F] [--workload-file F]"
+         " [--save-workload F] [--dot F]\n";
+}
+
 int Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--shape S] [--n N] [--workload W] [--len L]"
-               " [--policy P] [--op O] [--seed X] [--mode seq|concurrent]"
-               " [--edges] [--csv FILE]\n";
+  PrintRunUsage(std::cerr, argv0);
   return 2;
+}
+
+bool IsHelpFlag(const std::string& arg) {
+  return arg == "--help" || arg == "-h";
+}
+
+// True when any argument of the subcommand (argv[2:]) asks for help.
+bool WantsHelp(int argc, char** argv, int first = 2) {
+  for (int i = first; i < argc; ++i) {
+    if (IsHelpFlag(argv[i])) return true;
+  }
+  return false;
 }
 
 bool Parse(int argc, char** argv, CliOptions* options) {
@@ -271,7 +295,7 @@ RequestSequence LoadOrMakeWorkload(const CliOptions& options,
 //                     [--len L] [--threads T] [--competitive] [--out FILE]
 //
 // Runs the cross product on a thread pool and writes the
-// treeagg-sweep-v3 JSON report to --out (default: stdout).
+// treeagg-sweep-v4 JSON report to --out (default: stdout).
 
 // Splits a comma-separated list, but not inside parentheses, so policy
 // specs like lease(1,3) survive: "RWW,lease(1,3),pull-all" is 3 items.
@@ -293,16 +317,24 @@ std::vector<std::string> SplitList(const std::string& csv) {
   return parts;
 }
 
+void PrintSweepUsage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " sweep [--shapes S1,S2,..] [--sizes N1,N2,..]"
+         " [--workloads W1,..] [--policies P1,..] [--seeds X1,..]"
+         " [--faults none,drops,..] [--len L] [--threads T]"
+         " [--competitive] [--out FILE] [--trace-out FILE]\n";
+}
+
 int SweepUsage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " sweep [--shapes S1,S2,..] [--sizes N1,N2,..]"
-               " [--workloads W1,..] [--policies P1,..] [--seeds X1,..]"
-               " [--faults none,drops,..] [--len L] [--threads T]"
-               " [--competitive] [--out FILE]\n";
+  PrintSweepUsage(std::cerr, argv0);
   return 2;
 }
 
 int SweepMain(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    PrintSweepUsage(std::cout, argv[0]);
+    return 0;
+  }
   SweepSpec spec;
   spec.shapes = {"kary2"};
   spec.sizes = {31};
@@ -310,6 +342,7 @@ int SweepMain(int argc, char** argv) {
   spec.policies = {"RWW"};
   spec.seeds = {1};
   std::string out_file;
+  std::string trace_file;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -342,6 +375,8 @@ int SweepMain(int argc, char** argv) {
       spec.threads = static_cast<int>(std::stol(value));
     } else if (arg == "--out" && (value = next())) {
       out_file = value;
+    } else if (arg == "--trace-out" && (value = next())) {
+      trace_file = value;
     } else {
       return SweepUsage(argv[0]);
     }
@@ -352,6 +387,29 @@ int SweepMain(int argc, char** argv) {
     return 2;
   }
   const SweepResult result = RunSweep(spec);
+  if (!trace_file.empty()) {
+    // One span per cell, laid end to end on the serial timeline (cells run
+    // in parallel; their individual start offsets are not recorded).
+    obs::TraceEventSink sink;
+    sink.NameProcess(1, "sweep");
+    double ts = 0;
+    for (const CellResult& c : result.cells) {
+      const double dur = std::max(1.0, c.wall_seconds * 1e6);
+      sink.CompleteEvent(
+          c.spec.shape + "/" + std::to_string(c.spec.n) + "/" +
+              c.spec.workload + "/" + c.spec.policy,
+          "cell", 1, 0, ts, dur,
+          {{"requests_per_sec", c.requests_per_sec},
+           {"total_messages", static_cast<double>(c.total_messages)},
+           {"ok", c.ok ? 1.0 : 0.0}});
+      ts += dur;
+    }
+    if (!sink.WriteFile(trace_file)) {
+      std::cerr << "error: cannot write trace to " << trace_file << "\n";
+      return 2;
+    }
+    std::cerr << "trace written to " << trace_file << "\n";
+  }
   if (out_file.empty()) {
     WriteSweepJson(std::cout, spec, result);
   } else {
@@ -383,14 +441,23 @@ int SweepMain(int argc, char** argv) {
 
 // --- serve subcommand ---------------------------------------------------
 
+void PrintServeUsage(std::ostream& out) {
+  out << "usage: treeagg_cli serve --cluster FILE --daemon ID"
+         " [--state-dir DIR] [--snapshot-every N] [--ack-interval N]"
+         " [--metrics-port P]"
+         " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+}
+
 int ServeUsage() {
-  std::cerr << "usage: treeagg_cli serve --cluster FILE --daemon ID"
-               " [--state-dir DIR] [--snapshot-every N] [--ack-interval N]"
-               " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+  PrintServeUsage(std::cerr);
   return 2;
 }
 
 int ServeMain(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    PrintServeUsage(std::cout);
+    return 0;
+  }
   std::string cluster_file;
   int daemon_id = -1;
   NodeDaemon::Options daemon_options;
@@ -410,6 +477,8 @@ int ServeMain(int argc, char** argv) {
       daemon_options.durability.snapshot_interval_frames = std::stoull(value);
     } else if (arg == "--ack-interval" && (value = next())) {
       daemon_options.durability.ack_interval = std::stoull(value);
+    } else if (arg == "--metrics-port" && (value = next())) {
+      daemon_options.metrics_port = static_cast<int>(std::stol(value));
     } else {
       return ServeUsage();
     }
@@ -429,6 +498,11 @@ int ServeMain(int argc, char** argv) {
     std::cerr << " (state dir: " << daemon_options.durability.state_dir << ")";
   }
   std::cerr << "\n";
+  if (daemon_options.metrics_port >= 0) {
+    // Machine-readable (stdout, flushed before Run blocks): scrapers of a
+    // --metrics-port 0 daemon learn the OS-assigned port from this line.
+    std::cout << "metrics port " << daemon.MetricsPort() << std::endl;
+  }
   daemon.Run();
   if (!daemon.error().empty()) {
     std::cerr << "error: " << daemon.error() << "\n";
@@ -439,12 +513,16 @@ int ServeMain(int argc, char** argv) {
 
 // --- drive subcommand ---------------------------------------------------
 
+void PrintDriveUsage(std::ostream& out) {
+  out << "usage: treeagg_cli drive (--cluster FILE | --net-local"
+         " [--daemons N] [--placement block|rr] [--shape S] [--n N]"
+         " [--policy P] [--op O]) [--workload W] [--len L] [--seed X]"
+         " [--sequential] [--trace-out FILE] (valid subcommands: run,"
+         " sweep, serve, drive, chaos)\n";
+}
+
 int DriveUsage() {
-  std::cerr << "usage: treeagg_cli drive (--cluster FILE | --net-local"
-               " [--daemons N] [--placement block|rr] [--shape S] [--n N]"
-               " [--policy P] [--op O]) [--workload W] [--len L] [--seed X]"
-               " [--sequential] (valid subcommands: run, sweep, serve,"
-               " drive, chaos)\n";
+  PrintDriveUsage(std::cerr);
   return 2;
 }
 
@@ -471,7 +549,12 @@ int ReportNetRun(const History& history,
 }
 
 int DriveMain(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    PrintDriveUsage(std::cout);
+    return 0;
+  }
   std::string cluster_file;
+  std::string trace_file;
   bool net_local = false;
   LocalCluster::Options local;
   std::string shape = "kary2";
@@ -510,11 +593,25 @@ int DriveMain(int argc, char** argv) {
       len = static_cast<std::size_t>(std::stoul(value));
     } else if (arg == "--seed" && (value = next())) {
       seed = std::stoull(value);
+    } else if (arg == "--trace-out" && (value = next())) {
+      trace_file = value;
     } else {
       return DriveUsage();
     }
   }
   if (net_local == !cluster_file.empty()) return DriveUsage();
+
+  const auto maybe_write_trace = [&](const History& history,
+                                     const std::string& backend) {
+    if (trace_file.empty()) return;
+    TraceExportOptions trace_options;
+    trace_options.process_name = backend;
+    if (WriteHistoryTraceFile(trace_file, history, trace_options)) {
+      std::cerr << "trace written to " << trace_file << "\n";
+    } else {
+      std::cerr << "error: cannot write trace to " << trace_file << "\n";
+    }
+  };
 
   if (net_local) {
     const Tree tree = MakeShape(shape, n, seed);
@@ -530,6 +627,7 @@ int DriveMain(int argc, char** argv) {
               << (sequential ? "sequential" : "pipelined") << "\n\n";
     const NetRunResult result =
         RunNetWorkload(parent, sigma, local, sequential);
+    maybe_write_trace(result.history, "net-local");
     return ReportNetRun(result.history, result.ghosts, result.counts,
                         OpByName(local.op), tree.size(),
                         result.requests_per_sec);
@@ -562,6 +660,7 @@ int DriveMain(int argc, char** argv) {
           .count();
   const NetDriver::HarvestResult harvest = driver.Harvest();
   driver.Shutdown();
+  maybe_write_trace(driver.history(), "net");
   return ReportNetRun(driver.history(), harvest.ghosts, harvest.counts,
                       OpByName(config.op), config.NumNodes(),
                       elapsed > 0 ? static_cast<double>(sigma.size()) / elapsed
@@ -570,18 +669,28 @@ int DriveMain(int argc, char** argv) {
 
 // --- chaos subcommand ---------------------------------------------------
 
+void PrintChaosUsage(std::ostream& out) {
+  out << "usage: treeagg_cli chaos [--backend sim|net-local]"
+         " [--schedule PRESET|SPEC] [--shape S] [--n N] [--workload W]"
+         " [--len L] [--seed X] [--policy P] [--op O]"
+         " [--daemons N] [--placement block|rr] [--ack-interval N]"
+         " [--trace-out FILE]"
+         " (presets: drops, partition, crash, chaos; spec grammar:"
+         " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
+         " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+}
+
 int ChaosUsage() {
-  std::cerr << "usage: treeagg_cli chaos [--backend sim|net-local]"
-               " [--schedule PRESET|SPEC] [--shape S] [--n N] [--workload W]"
-               " [--len L] [--seed X] [--policy P] [--op O]"
-               " [--daemons N] [--placement block|rr] [--ack-interval N]"
-               " (presets: drops, partition, crash, chaos; spec grammar:"
-               " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
-               " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+  PrintChaosUsage(std::cerr);
   return 2;
 }
 
 int ChaosMain(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    PrintChaosUsage(std::cout);
+    return 0;
+  }
+  std::string trace_file;
   std::string backend = "sim";
   std::string schedule_spec = "chaos";
   std::string shape = "kary2";
@@ -624,6 +733,8 @@ int ChaosMain(int argc, char** argv) {
       placement = value;
     } else if (arg == "--ack-interval" && (value = next())) {
       ack_interval = std::stoull(value);
+    } else if (arg == "--trace-out" && (value = next())) {
+      trace_file = value;
     } else {
       return ChaosUsage();
     }
@@ -643,6 +754,19 @@ int ChaosMain(int argc, char** argv) {
   ConvergenceReport report;
   std::uint64_t total_messages = 0;
   TextTable faults({"fault stat", "value"});
+  const auto maybe_write_trace =
+      [&](const History& history,
+          std::vector<std::pair<std::int64_t, std::int64_t>> windows) {
+        if (trace_file.empty()) return;
+        TraceExportOptions trace_options;
+        trace_options.process_name = "chaos-" + backend;
+        trace_options.fault_windows = std::move(windows);
+        if (WriteHistoryTraceFile(trace_file, history, trace_options)) {
+          std::cerr << "trace written to " << trace_file << "\n";
+        } else {
+          std::cerr << "error: cannot write trace to " << trace_file << "\n";
+        }
+      };
   if (backend == "sim") {
     ChaosSimulator::Options sim_options;
     sim_options.op = &op;
@@ -658,6 +782,7 @@ int ChaosMain(int argc, char** argv) {
     report = CheckConvergence(sim.history(), sim.GhostStates(), op,
                               tree.size(), probes, copts);
     total_messages = sim.trace().TotalMessages();
+    maybe_write_trace(sim.history(), schedule.Windows());
   } else {
     std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()));
     for (NodeId u = 1; u < tree.size(); ++u) {
@@ -687,6 +812,7 @@ int ChaosMain(int argc, char** argv) {
                    std::to_string(result.reinjected)});
     faults.AddRow({"replay-log high water",
                    std::to_string(result.replay_log_hwm)});
+    maybe_write_trace(result.history, result.fault_windows);
   }
 
   TextTable table({"metric", "value"});
@@ -708,14 +834,23 @@ int ChaosMain(int argc, char** argv) {
   return report.ok ? 0 : 1;
 }
 
+void PrintTopUsage(std::ostream& out) {
+  out << "usage: treeagg_cli [run|sweep|serve|drive|chaos] [flags]"
+         " (valid subcommands: run, sweep, serve, drive, chaos;"
+         " `treeagg_cli SUBCOMMAND --help` lists each one's flags)\n";
+}
+
 int TopUsage() {
-  std::cerr << "usage: treeagg_cli [run|sweep|serve|drive|chaos] [flags]"
-               " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+  PrintTopUsage(std::cerr);
   return 2;
 }
 
 int Main(int argc, char** argv) {
   const std::string sub = argc > 1 ? argv[1] : "";
+  if (IsHelpFlag(sub) || sub == "help") {
+    PrintTopUsage(std::cout);
+    return 0;
+  }
   try {
     if (sub == "sweep") return SweepMain(argc, argv);
     if (sub == "serve") return ServeMain(argc, argv);
@@ -732,6 +867,10 @@ int Main(int argc, char** argv) {
     arg_offset = 1;
   } else if (!sub.empty() && sub[0] != '-') {
     return TopUsage();
+  }
+  if (WantsHelp(argc, argv, /*first=*/1 + arg_offset)) {
+    PrintRunUsage(std::cout, argv[0]);
+    return 0;
   }
   CliOptions options;
   if (!Parse(argc - arg_offset, argv + arg_offset, &options)) {

@@ -255,7 +255,7 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   std::ostringstream out;
   WriteSweepJson(out, spec, r);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v4\""), std::string::npos);
   EXPECT_NE(json.find("\"cells_total\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"policy\": \"lease(1,3)\""), std::string::npos);
   EXPECT_NE(json.find("\"total_messages\""), std::string::npos);
@@ -267,6 +267,9 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   // v3 added the fault axis and the per-cell convergence verdict.
   EXPECT_NE(json.find("\"fault\": \"none\""), std::string::npos);
   EXPECT_NE(json.find("\"converged\": true"), std::string::npos);
+  // v4 added the aggregate metrics block.
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"probes\""), std::string::npos);
   // Balanced braces/brackets — catches truncated emission.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
@@ -274,7 +277,7 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
             std::count(json.begin(), json.end(), ']'));
 }
 
-TEST(SweepJsonTest, V3RoundTripsThroughTheReader) {
+TEST(SweepJsonTest, V4RoundTripsThroughTheReader) {
   SweepSpec spec;
   spec.shapes = {"kary2"};
   spec.sizes = {15};
@@ -288,10 +291,26 @@ TEST(SweepJsonTest, V3RoundTripsThroughTheReader) {
   WriteSweepJson(io, spec, r);
   const SweepJson back = ReadSweepJson(io);
 
-  EXPECT_EQ(back.schema, "treeagg-sweep-v3");
+  EXPECT_EQ(back.schema, "treeagg-sweep-v4");
   EXPECT_EQ(back.threads, r.threads_used);
   EXPECT_FALSE(back.competitive);
   EXPECT_EQ(back.cells_failed, 0u);
+  // The v4 metrics block round-trips and equals the sum over cells.
+  EXPECT_TRUE(back.has_metrics);
+  MessageCounts want_kinds;
+  std::int64_t want_total = 0;
+  for (const CellResult& c : r.cells) {
+    want_kinds.probes += c.counts.probes;
+    want_kinds.responses += c.counts.responses;
+    want_kinds.updates += c.counts.updates;
+    want_kinds.releases += c.counts.releases;
+    want_total += c.total_messages;
+  }
+  EXPECT_EQ(back.metrics_messages.probes, want_kinds.probes);
+  EXPECT_EQ(back.metrics_messages.responses, want_kinds.responses);
+  EXPECT_EQ(back.metrics_messages.updates, want_kinds.updates);
+  EXPECT_EQ(back.metrics_messages.releases, want_kinds.releases);
+  EXPECT_EQ(back.metrics_total_messages, want_total);
   ASSERT_EQ(back.cells.size(), r.cells.size());
   for (std::size_t i = 0; i < r.cells.size(); ++i) {
     const CellResult& want = r.cells[i];
@@ -336,6 +355,7 @@ TEST(SweepJsonTest, ReadsHandwrittenV1Document) {
       "}\n");
   const SweepJson report = ReadSweepJson(in);
   EXPECT_EQ(report.schema, "treeagg-sweep-v1");
+  EXPECT_FALSE(report.has_metrics);  // pre-v4: no aggregate metrics block
   EXPECT_EQ(report.threads, 2);
   ASSERT_EQ(report.cells.size(), 1u);
   const CellResult& c = report.cells[0];

@@ -1,0 +1,306 @@
+// Unit tests for the lock-free metrics primitives, the registry, and the
+// Prometheus text renderer — including the multi-thread exactness checks
+// the TSan job runs (relaxed ordering must still lose no increments).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace treeagg::obs {
+namespace {
+
+TEST(CounterTest, IncAndAddAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc();
+  c.Add(40);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndValue) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);  // signed: paired +1/-1 cannot wrap
+}
+
+TEST(GaugeTest, MaxToOnlyRaises) {
+  Gauge g;
+  g.MaxTo(5);
+  EXPECT_EQ(g.Value(), 5);
+  g.MaxTo(3);
+  EXPECT_EQ(g.Value(), 5);
+  g.MaxTo(9);
+  EXPECT_EQ(g.Value(), 9);
+}
+
+TEST(HistogramTest, ObservationsLandInTheRightBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (boundary is inclusive: le semantics)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(50.0);   // bucket 2
+  h.Observe(500.0);  // +Inf bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 5.0 + 50.0 + 500.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndClampsAtInfinity) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);   // first bucket
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // second bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  // Median sits at the first bucket's upper bound.
+  EXPECT_GT(snap.Quantile(0.5), 0.0);
+  EXPECT_LE(snap.Quantile(0.5), 10.0);
+  EXPECT_GT(snap.Quantile(0.9), 10.0);
+  EXPECT_LE(snap.Quantile(0.9), 20.0);
+  // Quantiles never decrease in q.
+  EXPECT_LE(snap.Quantile(0.5), snap.Quantile(0.9));
+  EXPECT_LE(snap.Quantile(0.9), snap.Quantile(0.99));
+
+  // A value past the last bound lands in +Inf; the estimate clamps to the
+  // bucket's lower bound instead of inventing an upper one.
+  Histogram tail({1.0});
+  tail.Observe(100.0);
+  EXPECT_DOUBLE_EQ(tail.Snapshot().Quantile(0.99), 1.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBoundsMs();
+  ASSERT_GE(bounds.size(), 4u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// The TSan-job exactness check: N threads hammer one histogram; relaxed
+// atomics must still account for every observation, and the rendered
+// bucket counts must sum to the total.
+TEST(HistogramTest, ConcurrentObservationsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t + i) % 10));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  // Every observed value is an integer, so the CAS-loop sum is exact.
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) expected_sum += (t + i) % 10;
+  }
+  EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  Counter c;
+  Gauge hwm;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &hwm, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Inc();
+        hwm.MaxTo(t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hwm.Value(), (kThreads - 1) * kPerThread + kPerThread - 1);
+}
+
+TEST(MetricsRegistryTest, SumCountersSpansLabelSets) {
+  MetricsRegistry reg;
+  Counter* a = reg.AddCounter("reqs_total", "Requests.", {{"kind", "read"}});
+  Counter* b = reg.AddCounter("reqs_total", "Requests.", {{"kind", "write"}});
+  Counter* other = reg.AddCounter("other_total", "Other.");
+  a->Add(3);
+  b->Add(4);
+  other->Add(100);
+  EXPECT_EQ(reg.SumCounters("reqs_total"), 7u);
+  EXPECT_EQ(reg.SumCounters("other_total"), 100u);
+  EXPECT_EQ(reg.SumCounters("missing_total"), 0u);
+}
+
+TEST(MetricsRegistryTest, PointersStayStableAcrossManyRegistrations) {
+  MetricsRegistry reg;
+  Counter* first = reg.AddCounter("c0", "h");
+  first->Inc();
+  for (int i = 1; i < 200; ++i) {
+    reg.AddCounter("c" + std::to_string(i), "h");
+  }
+  // Deque storage: the early pointer must survive 199 more registrations.
+  first->Inc();
+  EXPECT_EQ(first->Value(), 2u);
+  EXPECT_EQ(reg.SumCounters("c0"), 2u);
+}
+
+TEST(ProtocolMetricsTest, RegisterWiresEveryPointer) {
+  MetricsRegistry reg;
+  const ProtocolMetrics m =
+      ProtocolMetrics::Register(reg, {{"backend", "test"}});
+  for (int k = 0; k < kMsgKinds; ++k) {
+    ASSERT_NE(m.sent[k], nullptr);
+    ASSERT_NE(m.recv[k], nullptr);
+    m.sent[k]->Inc();
+  }
+  ASSERT_NE(m.lease_grants, nullptr);
+  ASSERT_NE(m.lease_revokes, nullptr);
+  EXPECT_EQ(reg.SumCounters("treeagg_node_messages_sent_total"),
+            static_cast<std::uint64_t>(kMsgKinds));
+  EXPECT_EQ(reg.SumCounters("treeagg_node_messages_received_total"), 0u);
+}
+
+TEST(TransportMetricsTest, RegisterWiresEveryPointer) {
+  MetricsRegistry reg;
+  const TransportMetrics m = TransportMetrics::Register(reg);
+  ASSERT_NE(m.bytes_sent, nullptr);
+  ASSERT_NE(m.frames_sent, nullptr);
+  ASSERT_NE(m.bytes_received, nullptr);
+  ASSERT_NE(m.frames_received, nullptr);
+  ASSERT_NE(m.reconnects, nullptr);
+  ASSERT_NE(m.backpressure_stalls, nullptr);
+  m.bytes_sent->Add(64);
+  EXPECT_EQ(reg.SumCounters("treeagg_transport_bytes_sent_total"), 64u);
+}
+
+// --- Prometheus exposition format ---------------------------------------
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(RenderPrometheusTest, CounterAndGaugeLines) {
+  MetricsRegistry reg;
+  reg.AddCounter("hits_total", "Cache hits.", {{"tier", "l1"}})->Add(5);
+  reg.AddGauge("depth", "Queue depth.")->Set(-2);
+  const std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# HELP hits_total Cache hits.\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE hits_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("hits_total{tier=\"l1\"} 5\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("depth -2\n"), std::string::npos);
+}
+
+// Samples of one family must form a single contiguous run under one
+// HELP/TYPE header, even though ProtocolMetrics::Register interleaves
+// registration of sent/received entries.
+TEST(RenderPrometheusTest, FamiliesAreContiguousWithOneHeaderEach) {
+  MetricsRegistry reg;
+  ProtocolMetrics::Register(reg, {{"daemon", "0"}});
+  ProtocolMetrics::Register(reg, {{"daemon", "1"}});
+  const std::string out = reg.RenderPrometheus();
+  std::vector<std::string> family_of_line;  // family name per sample line
+  int sent_headers = 0;
+  for (const std::string& line : Lines(out)) {
+    if (line.rfind("# TYPE treeagg_node_messages_sent_total", 0) == 0) {
+      ++sent_headers;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    family_of_line.push_back(
+        line.substr(0, std::min(brace, space)));
+  }
+  EXPECT_EQ(sent_headers, 1);
+  // No family may appear, stop, and appear again.
+  std::vector<std::string> runs;
+  for (const std::string& f : family_of_line) {
+    if (runs.empty() || runs.back() != f) runs.push_back(f);
+  }
+  std::vector<std::string> sorted_runs = runs;
+  std::sort(sorted_runs.begin(), sorted_runs.end());
+  EXPECT_TRUE(std::adjacent_find(sorted_runs.begin(), sorted_runs.end()) ==
+              sorted_runs.end())
+      << "a metric family was rendered in two separate runs";
+  // Both daemons' samples are present.
+  EXPECT_NE(out.find("daemon=\"0\""), std::string::npos);
+  EXPECT_NE(out.find("daemon=\"1\""), std::string::npos);
+}
+
+TEST(RenderPrometheusTest, HistogramBucketsAreCumulativeAndConsistent) {
+  MetricsRegistry reg;
+  Histogram* h = reg.AddHistogram("lat_ms", "Latency.", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(5.0);
+  h->Observe(100.0);
+  const std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE lat_ms histogram\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_count 4\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_ms_sum 110.5\n"), std::string::npos);
+}
+
+TEST(RenderPrometheusTest, EscapesHelpTextAndLabelValues) {
+  MetricsRegistry reg;
+  reg.AddCounter("esc_total", "line one\nline \"two\" \\ backslash",
+                 {{"path", "a\"b\\c\nd"}});
+  const std::string out = reg.RenderPrometheus();
+  // HELP: \n and backslash escaped, quotes left alone.
+  EXPECT_NE(out.find("# HELP esc_total line one\\nline \"two\" \\\\ backslash"),
+            std::string::npos);
+  // Label values additionally escape the quote.
+  EXPECT_NE(out.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(RenderPrometheusTest, ScrapeWhileRecordingIsCoherent) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("spin_total", "Spins.");
+  Histogram* h = reg.AddHistogram("spin_ms", "Spin time.", {1.0, 8.0});
+  std::thread writer([&] {
+    for (int i = 0; i < 50000; ++i) {
+      c->Inc();
+      h->Observe(static_cast<double>(i % 16));
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    const std::string out = reg.RenderPrometheus();
+    EXPECT_NE(out.find("spin_total"), std::string::npos);
+  }
+  writer.join();
+  EXPECT_EQ(reg.SumCounters("spin_total"), 50000u);
+}
+
+}  // namespace
+}  // namespace treeagg::obs

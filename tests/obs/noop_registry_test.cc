@@ -1,0 +1,100 @@
+// The zero-cost claim, tested the way it is meant to be used: one generic
+// driver templated over the registry type compiles and runs against BOTH
+// MetricsRegistry and NoopRegistry. If the no-op mirrors ever drift from
+// the real API, this file stops compiling; if they ever grow state, the
+// static_asserts below (and in noop.h) fire.
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/noop.h"
+
+namespace treeagg::obs {
+namespace {
+
+// Exercises the full registration + mutation surface through whichever
+// registry type it is instantiated with. Returns the counter family sum so
+// callers can check each flavor's semantics.
+template <typename Registry>
+std::uint64_t ExerciseRegistry(Registry& reg) {
+  auto* counter = reg.AddCounter("exerciser_total", "Events.",
+                                 {{"kind", "unit"}});
+  counter->Inc();
+  counter->Add(9);
+
+  auto* gauge = reg.AddGauge("exerciser_depth", "Depth.");
+  gauge->Set(4);
+  gauge->Add(-1);
+  gauge->MaxTo(100);
+  (void)gauge->Value();
+
+  auto* hist = reg.AddHistogram("exerciser_ms", "Latency.", {1.0, 10.0});
+  hist->Observe(0.5);
+  hist->Observe(50.0);
+  (void)hist->Snapshot();
+
+  (void)reg.RenderPrometheus();
+  return reg.SumCounters("exerciser_total");
+}
+
+TEST(NoopRegistryTest, SameDriverRunsAgainstBothRegistries) {
+  MetricsRegistry real;
+  EXPECT_EQ(ExerciseRegistry(real), 10u);
+
+  NoopRegistry noop;
+  EXPECT_EQ(ExerciseRegistry(noop), 0u);
+  EXPECT_EQ(noop.RenderPrometheus(), "");
+}
+
+TEST(NoopRegistryTest, NoopTypesCarryNoState) {
+  // Restated here so a regression fails a *test*, not just some dependent
+  // translation unit's build.
+  static_assert(std::is_empty_v<NoopCounter>);
+  static_assert(std::is_empty_v<NoopGauge>);
+  static_assert(std::is_empty_v<NoopHistogram>);
+  static_assert(std::is_empty_v<NoopRegistry>);
+  static_assert(std::is_trivially_destructible_v<NoopRegistry>);
+  // Mutators are callable on a const-free shared instance and return
+  // nothing observable.
+  NoopCounter c;
+  c.Inc();
+  c.Add(1000);
+  EXPECT_EQ(NoopCounter::Value(), 0u);
+  NoopGauge g;
+  g.Set(7);
+  g.MaxTo(9);
+  EXPECT_EQ(NoopGauge::Value(), 0);
+  NoopHistogram h;
+  h.Observe(3.0);
+  EXPECT_EQ(NoopHistogram::Snapshot().count, 0u);
+}
+
+// The runtime off-switch used on the hot paths: a null bundle pointer.
+// Guard-then-deref must be the only cost; this pins the convention.
+TEST(NoopRegistryTest, NullBundleIsTheRuntimeOffSwitch) {
+  const ProtocolMetrics* metrics = nullptr;
+  std::uint64_t sends = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (metrics != nullptr) [[unlikely]] {
+      metrics->sent[i % kMsgKinds]->Inc();
+    }
+    ++sends;  // the real work happens regardless
+  }
+  EXPECT_EQ(sends, 4u);
+
+  MetricsRegistry reg;
+  const ProtocolMetrics enabled = ProtocolMetrics::Register(reg);
+  metrics = &enabled;
+  for (int i = 0; i < 4; ++i) {
+    if (metrics != nullptr) [[unlikely]] {
+      metrics->sent[i % kMsgKinds]->Inc();
+    }
+  }
+  EXPECT_EQ(reg.SumCounters("treeagg_node_messages_sent_total"), 4u);
+}
+
+}  // namespace
+}  // namespace treeagg::obs

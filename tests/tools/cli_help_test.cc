@@ -1,0 +1,77 @@
+// --help routing: help requested by the user goes to STDOUT and exits 0
+// (so `treeagg_cli sweep --help | less` works); usage printed because of a
+// bad invocation stays on STDERR with a non-zero exit.
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace treeagg {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // whichever stream the command string captures
+};
+
+// Runs `treeagg_cli <args>` through the shell. Callers append stream
+// redirections to `args` to capture exactly one of stdout/stderr.
+RunResult RunCli(const std::string& args) {
+  const std::string cmd = std::string(TREEAGG_CLI_PATH) + " " + args;
+  RunResult result;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 1024> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+TEST(CliHelpTest, TopLevelHelpGoesToStdout) {
+  const RunResult out = RunCli("--help 2>/dev/null");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.output.find("usage"), std::string::npos);
+
+  const RunResult err = RunCli("--help 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 0);
+  EXPECT_EQ(err.output, "") << "help leaked onto stderr";
+}
+
+TEST(CliHelpTest, SubcommandHelpGoesToStdout) {
+  for (const char* sub : {"serve", "drive", "chaos", "sweep"}) {
+    const RunResult out = RunCli(std::string(sub) + " --help 2>/dev/null");
+    EXPECT_EQ(out.exit_code, 0) << sub;
+    EXPECT_NE(out.output.find("usage"), std::string::npos) << sub;
+    EXPECT_NE(out.output.find(sub), std::string::npos) << sub;
+
+    const RunResult err =
+        RunCli(std::string(sub) + " --help 2>&1 1>/dev/null");
+    EXPECT_EQ(err.exit_code, 0) << sub;
+    EXPECT_EQ(err.output, "") << sub << " help leaked onto stderr";
+  }
+}
+
+TEST(CliHelpTest, RunModeHelpGoesToStdout) {
+  const RunResult out = RunCli("run --help 2>/dev/null");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.output.find("usage"), std::string::npos);
+  const RunResult err = RunCli("run --help 2>&1 1>/dev/null");
+  EXPECT_EQ(err.output, "");
+}
+
+TEST(CliHelpTest, BadInvocationUsageStaysOnStderr) {
+  const RunResult err = RunCli("sweep --bogus 2>&1 1>/dev/null");
+  EXPECT_NE(err.exit_code, 0);
+  EXPECT_NE(err.output.find("usage"), std::string::npos);
+
+  const RunResult out = RunCli("sweep --bogus 2>/dev/null");
+  EXPECT_NE(out.exit_code, 0);
+  EXPECT_EQ(out.output, "") << "error usage leaked onto stdout";
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against a committed baseline.
+
+Compares a fresh benchmark run to one of the BENCH_*.json baselines at the
+repo root and fails (exit 1) when throughput regressed by more than the
+threshold on the geometric mean across all benchmarks the two files share.
+Per-benchmark swings are expected on shared CI runners; the geomean over
+the suite is the stable signal.
+
+Supported file shapes (auto-detected):
+  * google-benchmark JSON (--benchmark_format=json / --benchmark_out):
+      {"benchmarks": [{"name": ..., "items_per_second": ...}, ...]}
+  * treeagg-bench-throughput-v1 (BENCH_throughput.json): the committed
+      numbers live in "optimized_items_per_second" per benchmark.
+  * treeagg-bench-net-v1 (BENCH_net.json / bench_net_throughput --out):
+      "requests_per_sec" per policy row; rows with causal_ok=false in the
+      CURRENT run fail the check outright (the wire changed the algorithm).
+
+usage:
+  check_bench.py --current RUN.json --baseline BENCH_x.json \
+      [--threshold 0.25] [--label NAME]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_throughputs(path):
+    """Returns ({series_name: throughput}, [failed_consistency_names])."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if schema.startswith("treeagg-bench-throughput"):
+        return (
+            {b["benchmark"]: b["optimized_items_per_second"]
+             for b in doc["benchmarks"]},
+            [],
+        )
+    if schema.startswith("treeagg-bench-net"):
+        series = {r["policy"]: r["requests_per_sec"] for r in doc["runs"]}
+        failed = [r["policy"] for r in doc["runs"]
+                  if not r.get("causal_ok", True)]
+        return series, failed
+    if "benchmarks" in doc:  # google-benchmark output
+        series = {}
+        for b in doc["benchmarks"]:
+            # Skip _mean/_stddev aggregate rows from --benchmark_repetitions.
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            if "items_per_second" in b:
+                series[b["name"]] = b["items_per_second"]
+        return series, []
+    raise ValueError(f"{path}: unrecognized benchmark file shape")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="JSON from the benchmark run under test")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json to compare against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated geomean regression (default 0.25)")
+    parser.add_argument("--label", default="bench",
+                        help="name for this comparison in the output")
+    args = parser.parse_args()
+
+    current, failed = load_throughputs(args.current)
+    baseline, _ = load_throughputs(args.baseline)
+
+    if failed:
+        print(f"[{args.label}] FAIL: consistency check failed in current "
+              f"run for: {', '.join(failed)}")
+        return 1
+
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print(f"[{args.label}] FAIL: no common benchmarks between "
+              f"{args.current} and {args.baseline}")
+        print(f"  current:  {sorted(current)}")
+        print(f"  baseline: {sorted(baseline)}")
+        return 1
+
+    width = max(len(n) for n in shared)
+    log_sum = 0.0
+    for name in shared:
+        ratio = current[name] / baseline[name]
+        log_sum += math.log(ratio)
+        print(f"[{args.label}] {name:<{width}}  "
+              f"baseline {baseline[name]:>14.1f}/s  "
+              f"current {current[name]:>14.1f}/s  "
+              f"ratio {ratio:5.3f}")
+    geomean = math.exp(log_sum / len(shared))
+    floor = 1.0 - args.threshold
+    verdict = "OK" if geomean >= floor else "FAIL"
+    print(f"[{args.label}] geomean ratio {geomean:.3f} over {len(shared)} "
+          f"benchmarks (floor {floor:.2f}): {verdict}")
+    if geomean < floor:
+        print(f"[{args.label}] throughput regressed by more than "
+              f"{args.threshold:.0%} on the geometric mean")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
