@@ -1,0 +1,111 @@
+// Unbounded single-producer / single-consumer handoff queue for the
+// multi-reactor daemon: reactor threads exchange decoded WireFrames with
+// the primary poll loop through these instead of a loopback socket.
+//
+// Shape: a Michael–Scott-style linked list specialized to one producer and
+// one consumer. The producer owns `tail_` and allocates nodes; the
+// consumer owns `head_` (a dummy node sitting just before the first
+// unconsumed element) and frees nodes as it advances. The only shared
+// edges are each node's `next` pointer (written once by the producer with
+// release, read by the consumer with acquire — this pairing is what makes
+// the payload of a popped element visible to the consumer without locks)
+// and an approximate size counter used for quiescence accounting and
+// wake-up hints.
+//
+// Unbounded on purpose: a bounded ring would add a producer-blocks-on-full
+// edge to the daemon's wait graph (primary waiting on a worker that is
+// waiting on the primary's ring space), and the queues hold decoded
+// protocol messages whose volume is already bounded by the workload the
+// driver has in flight.
+//
+// SnapshotUnconsumed() walks the unconsumed suffix WITHOUT popping. That
+// is only safe when neither side is running — the daemon calls it under
+// its pause barrier (disk snapshots capture in-flight intra-daemon
+// messages as local-queue entries) and after worker threads have joined.
+#ifndef TREEAGG_COMMON_SPSC_RING_H_
+#define TREEAGG_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace treeagg {
+
+template <typename T>
+class SpscRing {
+ public:
+  SpscRing() {
+    Node* dummy = new Node();
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_ = dummy;
+  }
+
+  ~SpscRing() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns true when the queue was (approximately) empty
+  // before this push — the hint callers use to skip redundant wake-ups.
+  bool Push(T value) {
+    Node* n = new Node();
+    n->value = std::move(value);
+    const bool was_empty =
+        size_.fetch_add(1, std::memory_order_acq_rel) == 0;
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+    return was_empty;
+  }
+
+  // Consumer side. False when no element is ready. (The size counter is
+  // incremented before the node is linked, so a reader racing a push may
+  // see SizeApprox() > 0 while Pop() still returns false; callers always
+  // pair Pop loops with an eventfd/pipe wake-up or a timeout.)
+  bool Pop(T* out) {
+    Node* head = head_.load(std::memory_order_relaxed);
+    Node* next = head->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    *out = std::move(next->value);
+    head_.store(next, std::memory_order_release);
+    delete head;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Approximate element count; exact whenever both sides are quiescent.
+  std::size_t SizeApprox() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  // Copies every unconsumed element, oldest first, without consuming.
+  // Requires both sides quiescent (pause barrier or joined threads).
+  template <typename Fn>
+  void SnapshotUnconsumed(Fn&& fn) const {
+    Node* n = head_.load(std::memory_order_acquire);
+    for (n = n->next.load(std::memory_order_acquire); n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      fn(static_cast<const T&>(n->value));
+    }
+  }
+
+ private:
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+  std::atomic<Node*> head_;  // consumer-owned dummy before first element
+  Node* tail_;               // producer-owned
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_COMMON_SPSC_RING_H_

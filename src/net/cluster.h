@@ -15,7 +15,7 @@
 //   ghost 1                     # ghost logging on/off (default 1)
 //   daemon 0 127.0.0.1 4701     # id host port — one line per daemon
 //   daemon 1 127.0.0.1 4702
-//   place block                 # block | rr — or explicit assignments:
+//   place block                 # block | rr | subtree — or explicit:
 //   # assign 3 1                # node 3 hosted by daemon 1
 //
 // Port 0 is allowed (OS-assigned); it is what the in-process LocalCluster
@@ -32,9 +32,24 @@
 
 namespace treeagg {
 
-// node -> daemon assignment. "block" gives contiguous node ranges (keeps
-// subtrees together on the parent-vector encoding); "rr" round-robins
-// (adversarial placement: almost every tree edge crosses the network).
+// DFS preorder of the tree given as a parent vector (parent[u] < u for
+// u > 0; children visited in ascending id order). O(n), iterative — safe
+// on path-shaped trees of 10^6 nodes. Shared by "subtree" placement and
+// the daemon's reactor sharding, so both cut the tree along the same
+// contiguous-preorder blocks.
+std::vector<NodeId> DfsPreorder(const std::vector<NodeId>& tree_parent);
+
+// node -> daemon assignment. "block" gives contiguous node-id ranges;
+// "rr" round-robins (adversarial placement: almost every tree edge
+// crosses the network); "subtree" gives contiguous DFS-preorder blocks —
+// every daemon hosts O(daemons) partial subtrees, so the number of
+// cross-daemon edges stays near daemons-1 regardless of tree size. This
+// overload knows the tree shape and supports all three modes.
+std::vector<int> AssignNodes(const std::vector<NodeId>& tree_parent,
+                             int daemons, const std::string& placement);
+
+// Shape-blind overload kept for callers that only know the node count;
+// supports "block" and "rr" ("subtree" needs the parent vector).
 std::vector<int> AssignNodes(NodeId n, int daemons,
                              const std::string& placement);
 

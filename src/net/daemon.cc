@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,6 +17,14 @@
 #include "tree/topology.h"
 
 namespace treeagg {
+namespace {
+
+// Which reactor the current thread is: 0 on the primary (and on every
+// thread that never entered WorkerLoop), the reactor index on a worker.
+// RouteSend keys its path choice on this.
+thread_local int tls_reactor = 0;
+
+}  // namespace
 
 void NodeDaemon::NetTransport::Send(Message m) {
   daemon_->RouteSend(std::move(m));
@@ -174,9 +183,9 @@ void NodeDaemon::ApplyRestore() {
       NodeRef(u).ImportState(state);
     }
   }
-  sent_ = restore_->sent;
-  received_ = restore_->received;
-  counts_ = restore_->counts;
+  sent_.store(restore_->sent, std::memory_order_relaxed);
+  received_.store(restore_->received, std::memory_order_relaxed);
+  SetCounts(restore_->counts);
   for (DurableState::SessionState& ss : restore_->sessions) {
     if (ss.peer < 0 || ss.peer >= static_cast<int>(sessions_.size())) continue;
     PeerSession& s = sessions_[static_cast<std::size_t>(ss.peer)];
@@ -196,10 +205,10 @@ void NodeDaemon::ApplyRestore() {
   // grant/revoke splits are not in the durable state; those counters
   // restart from the respawn.)
   if (registry_ != nullptr) {
-    proto_metrics_.sent[0]->Add(counts_.probes);
-    proto_metrics_.sent[1]->Add(counts_.responses);
-    proto_metrics_.sent[2]->Add(counts_.updates);
-    proto_metrics_.sent[3]->Add(counts_.releases);
+    proto_metrics_.sent[0]->Add(restore_->counts.probes);
+    proto_metrics_.sent[1]->Add(restore_->counts.responses);
+    proto_metrics_.sent[2]->Add(restore_->counts.updates);
+    proto_metrics_.sent[3]->Add(restore_->counts.releases);
   }
   restore_.reset();
 }
@@ -211,9 +220,9 @@ NodeDaemon::DurableState NodeDaemon::BuildDurable() const {
     if (node == nullptr) continue;
     state.nodes.emplace_back(u, node->ExportState());
   }
-  state.sent = sent_;
-  state.received = received_;
-  state.counts = counts_;
+  state.sent = sent_.load(std::memory_order_relaxed);
+  state.received = received_.load(std::memory_order_relaxed);
+  state.counts = CountsNow();
   for (const int p : peer_ids_) {
     const PeerSession& s = sessions_[static_cast<std::size_t>(p)];
     DurableState::SessionState ss;
@@ -224,7 +233,35 @@ NodeDaemon::DurableState NodeDaemon::BuildDurable() const {
     state.sessions.push_back(std::move(ss));
   }
   state.local_queue.assign(local_queue_.begin(), local_queue_.end());
+  // Messages dispatched to a worker but not yet consumed survive in the
+  // snapshot's local queue (restore re-dispatches them by reactor). The
+  // caller guarantees quiescent rings: workers paused or joined, outboxes
+  // drained. kInject* frames in a ring are deliberately NOT captured —
+  // the driver re-injects incomplete requests after any restart
+  // (ReinjectIncomplete), the same at-least-once edge as an inject lost
+  // between processing and the WriteDone flush today.
+  for (const auto& w : workers_) {
+    w->inbox.SnapshotUnconsumed([&state](const WireFrame& f) {
+      if (f.type == FrameType::kProtocol) state.local_queue.push_back(f.msg);
+    });
+  }
   return state;
+}
+
+MessageCounts NodeDaemon::CountsNow() const {
+  MessageCounts c;
+  c.probes = c_probes_.load(std::memory_order_relaxed);
+  c.responses = c_responses_.load(std::memory_order_relaxed);
+  c.updates = c_updates_.load(std::memory_order_relaxed);
+  c.releases = c_releases_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void NodeDaemon::SetCounts(const MessageCounts& c) {
+  c_probes_.store(c.probes, std::memory_order_relaxed);
+  c_responses_.store(c.responses, std::memory_order_relaxed);
+  c_updates_.store(c.updates, std::memory_order_relaxed);
+  c_releases_.store(c.releases, std::memory_order_relaxed);
 }
 
 NodeDaemon::DurableState NodeDaemon::ExportDurable() const {
@@ -242,9 +279,16 @@ void NodeDaemon::PersistIfDue(bool force) {
       frames_since_snapshot_ < options_.durability.snapshot_interval_frames) {
     return;
   }
+  // Stop-the-world while the snapshot is captured: workers park between
+  // messages, then the outboxes are drained so every worker-side effect
+  // lands in the state the snapshot covers.
+  PauseWorkers();
+  DrainOutboxes();
   std::string err;
-  if (!SaveSnapshot(options_.durability.state_dir, BuildDurable(), daemon_id_,
-                    &err)) {
+  const bool ok = SaveSnapshot(options_.durability.state_dir, BuildDurable(),
+                               daemon_id_, &err);
+  ResumeWorkers();
+  if (!ok) {
     Fail("durability: " + err);
     return;
   }
@@ -364,7 +408,15 @@ void NodeDaemon::TransmitToPeer(int peer, const WireFrame& frame) {
     conn->SendRawBytes(injector->Corrupt(frame));
     return;
   }
-  conn->SendFrame(frame);
+  if (frame.type == FrameType::kProtocol) {
+    // Protocol messages go through the per-edge coalescer (a no-op
+    // pass-through to SendFrame unless batching is on and the session
+    // speaks v4). The message is already in the replay log, so a batch
+    // lost to a crash mid-flush is replayed message-granular on resume.
+    conn->QueueMessage(frame.msg);
+  } else {
+    conn->SendFrame(frame);
+  }
   if (action == PeerFaultInjector::Action::kSever) {
     ::shutdown(conn->fd(), SHUT_RDWR);
   }
@@ -433,17 +485,270 @@ void NodeDaemon::MaybeReconnectPeers() {
   }
 }
 
+// --- reactor layer --------------------------------------------------------
+
+void NodeDaemon::BuildReactors() {
+  node_reactor_.assign(static_cast<std::size_t>(tree_->size()), -1);
+  std::vector<NodeId> hosted;
+  for (const NodeId u : DfsPreorder(config_.tree_parent)) {
+    if (HostsNode(u)) hosted.push_back(u);
+  }
+  int reactors = std::max(1, options_.reactors);
+  reactors = hosted.empty()
+                 ? 1
+                 : std::min<int>(reactors, static_cast<int>(hosted.size()));
+  // Contiguous DFS-preorder blocks — the same cut "subtree" placement
+  // uses, so a subtree kept daemon-local stays reactor-local and the hot
+  // parent/child edges avoid the cross-reactor hop.
+  const std::size_t base = hosted.size() / static_cast<std::size_t>(reactors);
+  const std::size_t extra = hosted.size() % static_cast<std::size_t>(reactors);
+  std::size_t next = 0;
+  for (int r = 0; r < reactors; ++r) {
+    const std::size_t take =
+        base + (static_cast<std::size_t>(r) < extra ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) {
+      node_reactor_[static_cast<std::size_t>(hosted[next++])] = r;
+    }
+  }
+  for (int r = 1; r < reactors; ++r) {
+    auto w = std::make_unique<Reactor>();
+    const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (efd < 0) throw std::runtime_error("NodeDaemon: eventfd() failed");
+    w->wake.reset(efd);
+    workers_.push_back(std::move(w));
+  }
+}
+
+void NodeDaemon::StartWorkers() {
+  if (workers_.empty()) return;
+  workers_stop_.store(false, std::memory_order_release);
+  pause_requested_.store(false, std::memory_order_release);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread =
+        std::thread([this, r = static_cast<int>(i) + 1] { WorkerLoop(r); });
+  }
+  workers_running_ = true;
+}
+
+void NodeDaemon::StopReactors() {
+  if (!workers_running_) return;
+  workers_stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: a worker between its predicate check and
+    // its wait cannot miss the notify below.
+    std::lock_guard<std::mutex> lk(pause_mu_);
+  }
+  resume_cv_.notify_all();
+  for (const auto& w : workers_) WakeWorker(*w);
+  for (const auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  workers_running_ = false;
+  pause_requested_.store(false, std::memory_order_release);
+}
+
+void NodeDaemon::WakeWorker(Reactor& r) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(r.wake.get(), &one, sizeof(one));
+}
+
+void NodeDaemon::WakePrimary() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void NodeDaemon::PauseWorkers() {
+  ++pause_depth_;
+  if (pause_depth_ > 1 || !workers_running_) return;
+  pause_requested_.store(true, std::memory_order_release);
+  for (const auto& w : workers_) WakeWorker(*w);
+  std::unique_lock<std::mutex> lk(pause_mu_);
+  pause_cv_.wait(lk, [this] {
+    return paused_workers_ == static_cast<int>(workers_.size());
+  });
+}
+
+void NodeDaemon::ResumeWorkers() {
+  --pause_depth_;
+  if (pause_depth_ > 0 || !workers_running_) return;
+  pause_requested_.store(false, std::memory_order_release);
+  resume_cv_.notify_all();
+}
+
+void NodeDaemon::WorkerLoop(int reactor) {
+  tls_reactor = reactor;
+  Reactor& r = *workers_[static_cast<std::size_t>(reactor - 1)];
+  for (;;) {
+    if (workers_stop_.load(std::memory_order_acquire)) return;
+    if (pause_requested_.load(std::memory_order_acquire)) {
+      // Park between messages: the local FIFO is empty here (every frame
+      // is handled to completion), so the primary's snapshot observes no
+      // half-processed work. The mutex hand-off publishes this worker's
+      // node-state writes to the primary.
+      std::unique_lock<std::mutex> lk(pause_mu_);
+      ++paused_workers_;
+      pause_cv_.notify_all();
+      resume_cv_.wait(lk, [this] {
+        return !pause_requested_.load(std::memory_order_acquire) ||
+               workers_stop_.load(std::memory_order_acquire);
+      });
+      --paused_workers_;
+      continue;
+    }
+    WireFrame f;
+    if (r.inbox.Pop(&f)) {
+      HandleWorkerFrame(r, std::move(f));
+      continue;
+    }
+    if (r.inbox.SizeApprox() > 0) {
+      // The primary is mid-Push (the size bumps before the node links
+      // in); the frame is visible momentarily.
+      std::this_thread::yield();
+      continue;
+    }
+    // Idle: sleep on the eventfd. The short cap bounds the lost-wakeup
+    // race (a Push that saw a transiently non-empty ring sends no wake).
+    pollfd pfd{r.wake.get(), POLLIN, 0};
+    ::poll(&pfd, 1, 5);
+    std::uint64_t drained;
+    while (::read(r.wake.get(), &drained, sizeof(drained)) > 0) {
+    }
+  }
+}
+
+void NodeDaemon::HandleWorkerFrame(Reactor& r, WireFrame frame) {
+  // The primary validated node ownership before dispatching.
+  switch (frame.type) {
+    case FrameType::kProtocol:
+      received_.fetch_add(1, std::memory_order_relaxed);
+      NodeRef(frame.msg.to).Deliver(frame.msg);
+      DrainReactorLocal(r);
+      break;
+    case FrameType::kInjectWrite: {
+      NodeRef(frame.node).LocalWrite(frame.arg, frame.req);
+      WireFrame done;
+      done.type = FrameType::kWriteDone;
+      done.req = frame.req;
+      PushToPrimary(std::move(done));
+      DrainReactorLocal(r);
+      break;
+    }
+    case FrameType::kInjectCombine:
+      NodeRef(frame.node).LocalCombine(static_cast<CombineToken>(frame.req));
+      DrainReactorLocal(r);
+      break;
+    default:
+      break;  // the primary dispatches no other frame type
+  }
+}
+
+void NodeDaemon::DrainReactorLocal(Reactor& r) {
+  while (!r.local.empty()) {
+    const Message m = std::move(r.local.front());
+    r.local.pop_front();
+    received_.fetch_add(1, std::memory_order_relaxed);
+    NodeRef(m.to).Deliver(m);
+  }
+}
+
+void NodeDaemon::DispatchToReactor(int reactor, WireFrame f) {
+  Reactor& w = *workers_[static_cast<std::size_t>(reactor - 1)];
+  if (w.inbox.Push(std::move(f))) WakeWorker(w);
+}
+
+void NodeDaemon::PushToPrimary(WireFrame f) {
+  Reactor& self = *workers_[static_cast<std::size_t>(tls_reactor - 1)];
+  if (self.outbox.Push(std::move(f))) WakePrimary();
+}
+
+void NodeDaemon::DrainOutboxes() {
+  for (const auto& w : workers_) {
+    for (;;) {
+      WireFrame f;
+      if (!w->outbox.Pop(&f)) {
+        if (w->outbox.SizeApprox() == 0) break;
+        std::this_thread::yield();  // worker mid-Push; links momentarily
+        continue;
+      }
+      // Worker-side effects reach the outside world only through here, so
+      // marking dirty per drained frame keeps the write-ahead rule: the
+      // snapshot preceding the next socket flush covers them.
+      MarkDirty();
+      switch (f.type) {
+        case FrameType::kProtocol:
+          ForwardProtocol(std::move(f));
+          break;
+        case FrameType::kWriteDone:
+        case FrameType::kCombineDone:
+          SendToDriver(f);
+          break;
+        default:
+          break;
+      }
+      if (shutdown_) return;
+    }
+  }
+}
+
 void NodeDaemon::RouteSend(Message m) {
-  ++sent_;
+  sent_.fetch_add(1, std::memory_order_relaxed);
   switch (m.type) {
-    case MsgType::kProbe: ++counts_.probes; break;
-    case MsgType::kResponse: ++counts_.responses; break;
-    case MsgType::kUpdate: ++counts_.updates; break;
-    case MsgType::kRelease: ++counts_.releases; break;
+    case MsgType::kProbe:
+      c_probes_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MsgType::kResponse:
+      c_responses_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MsgType::kUpdate:
+      c_updates_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case MsgType::kRelease:
+      c_releases_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   const int owner = config_.node_daemon[static_cast<std::size_t>(m.to)];
-  if (owner == daemon_id_) {
+  if (tls_reactor > 0) {
+    // Worker reactor. Same-shard messages stay in the worker's own FIFO;
+    // everything else (other shard, other daemon) hops through the
+    // primary, which owns the sockets and the session logs. The single
+    // hop keeps every ring SPSC and every directed edge on one path.
+    if (owner == daemon_id_ &&
+        node_reactor_[static_cast<std::size_t>(m.to)] == tls_reactor) {
+      workers_[static_cast<std::size_t>(tls_reactor - 1)]->local.push_back(
+          std::move(m));
+      return;
+    }
+    WireFrame f;
+    f.type = FrameType::kProtocol;
+    f.msg = std::move(m);
+    PushToPrimary(std::move(f));
+    return;
+  }
+  if (owner == daemon_id_ &&
+      node_reactor_[static_cast<std::size_t>(m.to)] <= 0) {
     local_queue_.push_back(std::move(m));
+    return;
+  }
+  WireFrame f;
+  f.type = FrameType::kProtocol;
+  f.msg = std::move(m);
+  ForwardProtocol(std::move(f));
+}
+
+void NodeDaemon::ForwardProtocol(WireFrame f) {
+  const NodeId to = f.msg.to;
+  const int owner = config_.node_daemon[static_cast<std::size_t>(to)];
+  if (owner == daemon_id_) {
+    const int vr = node_reactor_[static_cast<std::size_t>(to)];
+    if (vr <= 0) {
+      // A worker-originated message for a primary-shard node: deliver
+      // now, to completion (same discipline as an inbound frame).
+      received_.fetch_add(1, std::memory_order_relaxed);
+      NodeRef(to).Deliver(f.msg);
+      DrainLocal();
+    } else {
+      DispatchToReactor(vr, std::move(f));
+    }
     return;
   }
   // Every cross-daemon frame is appended to the session log first — the
@@ -451,9 +756,6 @@ void NodeDaemon::RouteSend(Message m) {
   // the frame; a send onto a dead connection downgrades the link and the
   // resume handshake retransmits.
   PeerSession& s = sessions_[static_cast<std::size_t>(owner)];
-  WireFrame f;
-  f.type = FrameType::kProtocol;
-  f.msg = std::move(m);
   s.log.push_back(std::move(f));
   if (s.log.size() > replay_log_hwm_.load(std::memory_order_relaxed)) {
     replay_log_hwm_.store(s.log.size(), std::memory_order_relaxed);
@@ -468,9 +770,20 @@ void NodeDaemon::RouteSend(Message m) {
 
 void NodeDaemon::DrainLocal() {
   while (!local_queue_.empty()) {
-    const Message m = std::move(local_queue_.front());
+    Message m = std::move(local_queue_.front());
     local_queue_.pop_front();
-    ++received_;
+    const int vr = node_reactor_[static_cast<std::size_t>(m.to)];
+    if (vr > 0) {
+      // Possible only for messages restored from a snapshot taken with a
+      // different reactor count (the snapshot's local queue is
+      // shard-agnostic): re-dispatch to the owning worker.
+      WireFrame f;
+      f.type = FrameType::kProtocol;
+      f.msg = std::move(m);
+      DispatchToReactor(vr, std::move(f));
+      continue;
+    }
+    received_.fetch_add(1, std::memory_order_relaxed);
     NodeRef(m.to).Deliver(m);
   }
 }
@@ -493,6 +806,10 @@ void NodeDaemon::OnCombineDone(NodeId node, CombineToken token, Real value) {
   f.value = value;
   f.gather.assign(n.LastWrites().begin(), n.LastWrites().end());
   f.log_prefix = static_cast<std::int64_t>(n.GhostLogEntries().size());
+  if (tls_reactor > 0) {
+    PushToPrimary(std::move(f));  // driver connection lives on the primary
+    return;
+  }
   SendToDriver(f);
 }
 
@@ -508,31 +825,63 @@ void NodeDaemon::HandleFrame(WireFrame frame, int from_peer) {
       std::chrono::duration<double, std::milli>(dt).count());
 }
 
+void NodeDaemon::HandleProtocolMessage(Message m, int from_peer) {
+  if (m.to < 0 || m.to >= tree_->size() || !HostsNode(m.to)) {
+    Fail("protocol message for node this daemon does not host");
+    return;
+  }
+  if (from_peer >= 0) {
+    PeerSession& s = sessions_[static_cast<std::size_t>(from_peer)];
+    ++s.processed;
+    // Memory-durable mode: fail-stop export captures everything, so
+    // the in-memory count is already the durable one.
+    if (!DurableToDisk()) s.durable_processed = s.processed;
+  }
+  const int vr = node_reactor_[static_cast<std::size_t>(m.to)];
+  if (vr > 0) {
+    WireFrame f;
+    f.type = FrameType::kProtocol;
+    f.msg = std::move(m);
+    DispatchToReactor(vr, std::move(f));
+  } else {
+    received_.fetch_add(1, std::memory_order_relaxed);
+    NodeRef(m.to).Deliver(m);
+    DrainLocal();
+  }
+  MarkDirty();
+}
+
 void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
   switch (frame.type) {
     case FrameType::kProtocol:
-      if (frame.msg.to < 0 || frame.msg.to >= tree_->size() ||
-          !HostsNode(frame.msg.to)) {
-        Fail("protocol message for node this daemon does not host");
+      HandleProtocolMessage(std::move(frame.msg), from_peer);
+      break;
+    case FrameType::kBatch:
+      // One coalesced frame, N independent messages: session accounting
+      // and delivery are per element, so the sender's per-message replay
+      // log indices line up with our processed count exactly.
+      if (from_peer < 0) {
+        Fail("batch frame on the driver connection");
         return;
       }
-      ++received_;
-      if (from_peer >= 0) {
-        PeerSession& s = sessions_[static_cast<std::size_t>(from_peer)];
-        ++s.processed;
-        // Memory-durable mode: fail-stop export captures everything, so
-        // the in-memory count is already the durable one.
-        if (!DurableToDisk()) s.durable_processed = s.processed;
+      for (Message& m : frame.batch) {
+        HandleProtocolMessage(std::move(m), from_peer);
+        if (shutdown_) return;
       }
-      NodeRef(frame.msg.to).Deliver(frame.msg);
-      DrainLocal();
-      MarkDirty();
       break;
     case FrameType::kInjectWrite: {
       if (frame.node < 0 || frame.node >= tree_->size() ||
           !HostsNode(frame.node)) {
         Fail("write injected at node this daemon does not host");
         return;
+      }
+      const int vr = node_reactor_[static_cast<std::size_t>(frame.node)];
+      if (vr > 0) {
+        // The owning worker applies the write and sends kWriteDone back
+        // through its outbox.
+        DispatchToReactor(vr, std::move(frame));
+        MarkDirty();
+        break;
       }
       NodeRef(frame.node).LocalWrite(frame.arg, frame.req);
       WireFrame done;
@@ -543,34 +892,57 @@ void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
       MarkDirty();
       break;
     }
-    case FrameType::kInjectCombine:
+    case FrameType::kInjectCombine: {
       if (frame.node < 0 || frame.node >= tree_->size() ||
           !HostsNode(frame.node)) {
         Fail("combine injected at node this daemon does not host");
         return;
+      }
+      const int vr = node_reactor_[static_cast<std::size_t>(frame.node)];
+      if (vr > 0) {
+        DispatchToReactor(vr, std::move(frame));
+        MarkDirty();
+        break;
       }
       // Completion (possibly much later) flows through OnCombineDone.
       NodeRef(frame.node).LocalCombine(static_cast<CombineToken>(frame.req));
       DrainLocal();
       MarkDirty();
       break;
+    }
     case FrameType::kStatusReq: {
+      // Consistent multi-counter read: park the workers between messages
+      // and fold their outboxes in first. Anything still sitting in an
+      // inbox ring counts as queued (it is counted in sent, not yet in
+      // received, so sent == received && queued == 0 stays the "nothing
+      // in flight" predicate).
+      PauseWorkers();
+      DrainOutboxes();
+      std::uint64_t queued = local_queue_.size();
+      for (const auto& w : workers_) queued += w->inbox.SizeApprox();
       // The driver's quiescence probe is the natural snapshot point: the
       // daemon is (locally) idle, so one save here covers a whole burst.
-      if (options_.durability.snapshot_on_quiescence && sent_ == received_ &&
-          local_queue_.empty()) {
+      if (options_.durability.snapshot_on_quiescence &&
+          sent_.load(std::memory_order_relaxed) ==
+              received_.load(std::memory_order_relaxed) &&
+          queued == 0) {
         PersistIfDue(true);
       }
       WireFrame resp;
       resp.type = FrameType::kStatusResp;
       resp.status.probe = frame.status.probe;
-      resp.status.sent = sent_;
-      resp.status.received = received_;
-      resp.status.queued = local_queue_.size();
+      resp.status.sent = sent_.load(std::memory_order_relaxed);
+      resp.status.received = received_.load(std::memory_order_relaxed);
+      resp.status.queued = queued;
+      ResumeWorkers();
       SendToDriver(resp);
       break;
     }
     case FrameType::kHarvestReq: {
+      // Ghost logs live inside worker-owned LeaseNodes: stop the world
+      // for the read.
+      PauseWorkers();
+      DrainOutboxes();
       WireFrame resp;
       resp.type = FrameType::kHarvestResp;
       for (NodeId u = 0; u < tree_->size(); ++u) {
@@ -580,7 +952,8 @@ void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
         nl.log = NodeRef(u).GhostLogEntries();
         resp.harvest.logs.push_back(std::move(nl));
       }
-      resp.harvest.counts = counts_;
+      resp.harvest.counts = CountsNow();
+      ResumeWorkers();
       SendToDriver(resp);
       break;
     }
@@ -595,7 +968,13 @@ void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
           sessions_[static_cast<std::size_t>(from_peer)].state ==
               PeerSession::State::kAwaitResume) {
         PeerSession& s = sessions_[static_cast<std::size_t>(from_peer)];
-        s.wire_version = frame.ack_valid ? kWireVersion : std::uint8_t{2};
+        // Session dialect: the lower of the two endpoints' versions. A v2
+        // hello (no ack) pins v2; a v3 peer gets v3 back (acks, no
+        // kBatch); v4 both ways unlocks batching.
+        s.wire_version =
+            frame.ack_valid
+                ? std::min<std::uint8_t>(kWireVersion, frame.wire_version)
+                : std::uint8_t{2};
         peers_[static_cast<std::size_t>(from_peer)]->set_wire_version(
             s.wire_version);
         if (frame.ack_valid) GcSessionLog(from_peer, frame.ack);
@@ -798,6 +1177,7 @@ void NodeDaemon::FlushAll() {
 void NodeDaemon::Run() {
   try {
     BuildNodes();
+    BuildReactors();
     // Disk recovery: a staged in-memory restore (in-process clusters)
     // takes precedence; otherwise a snapshot in the state dir is the
     // authoritative pre-crash state. No snapshot means a fresh start.
@@ -818,6 +1198,7 @@ void NodeDaemon::Run() {
     }
     ApplyRestore();
     if (!shutdown_) ConnectPeers();
+    if (!shutdown_) StartWorkers();
   } catch (const std::exception& e) {
     Fail(e.what());
   }
@@ -888,12 +1269,34 @@ void NodeDaemon::Run() {
     }
     for (PendingConn& p : pending_) add_conn(p.conn.get(), -2);
 
-    const int ready = ::poll(pfds.data(), pfds.size(), 500);
+    // Clamp the poll timeout to the earliest pending batch deadline so a
+    // lone coalesced batch cannot stall until an unrelated wake-up.
+    int timeout_ms = 500;
+    if (options_.transport.batch_bytes > 0 &&
+        options_.transport.batch_flush_us > 0) {
+      const std::int64_t now_us = NowUs();
+      for (const int p : peer_ids_) {
+        FrameConn* c = peers_[static_cast<std::size_t>(p)].get();
+        if (c == nullptr) continue;
+        const std::int64_t ddl = c->BatchDeadlineUs();
+        if (ddl < 0) continue;
+        const std::int64_t wait_ms =
+            std::max<std::int64_t>((ddl - now_us + 999) / 1000, 0);
+        timeout_ms = std::min<int>(timeout_ms, static_cast<int>(wait_ms));
+      }
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) {
       Fail("poll failed");
       break;
     }
-    if (ready <= 0) continue;
+    if (ready <= 0) {
+      // Timeout turn: fold in any worker output and flush due batches
+      // (FlushAll encodes a batch whose deadline has passed).
+      DrainOutboxes();
+      FlushAll();
+      continue;
+    }
 
     std::size_t i = 0;
     // Stop pipe.
@@ -985,8 +1388,13 @@ void NodeDaemon::Run() {
             conn = peers_[hello.daemon_id].get();
             from_peer = p;
             PeerSession& sess = sessions_[static_cast<std::size_t>(p)];
-            // A v2 hello carries no ack: encode v2 back and never ack it.
-            sess.wire_version = hello.ack_valid ? kWireVersion : std::uint8_t{2};
+            // Session dialect = min(ours, theirs). A v2 hello carries no
+            // ack: encode v2 back and never ack it; a v3 hello gets v3
+            // (acks, no kBatch); v4 both ways unlocks batching.
+            sess.wire_version =
+                hello.ack_valid
+                    ? std::min<std::uint8_t>(kWireVersion, hello.wire_version)
+                    : std::uint8_t{2};
             conn->set_wire_version(sess.wire_version);
             if (hello.ack_valid) GcSessionLog(p, hello.ack);
             // Acceptor handshake: reply with our processed count (and our
@@ -1062,12 +1470,24 @@ void NodeDaemon::Run() {
         conn->Flush();
       }
     }
-    // Opportunistic flush: frames generated while handling this batch.
+    // Fold in whatever the workers produced while this batch of frames
+    // was handled, then flush opportunistically.
+    DrainOutboxes();
     FlushAll();
   }
+  // Stop the worker reactors first: after the joins the primary is the
+  // sole thread, so the final snapshot and flushes see settled state
+  // (frames still in inbox rings land in the snapshot's local queue).
+  StopReactors();
+  DrainOutboxes();
   // Final snapshot on a clean shutdown: a later restart from the state dir
   // resumes from exactly where this run ended.
   PersistIfDue(/*force=*/true);
+  // Force out any still-coalescing batches (their flush timer may not
+  // have fired); the snapshot above already covers them — write-ahead.
+  for (auto& p : peers_) {
+    if (p && p->open()) p->FlushBatchNow();
+  }
   // Graceful exit: push out whatever is still buffered (completion and
   // harvest frames racing the shutdown), bounded by the io timeout.
   const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;

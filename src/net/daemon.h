@@ -11,11 +11,22 @@
 // carried by exactly one of them), even across connection drops and
 // crash-restarts, thanks to the peer-session layer below.
 //
-// The daemon is single-threaded: a poll() loop over the listener, the
-// driver connection, and the peer connections. Each inbound frame is
-// handled to completion — including draining every intra-daemon message it
-// triggers — before the next frame is read, so a status snapshot taken
-// between frames observes no half-processed work.
+// Threading (multi-reactor): the primary reactor is a poll() loop over
+// the listener, the driver connection, and the peer connections — with
+// Options::reactors == 1 (the default) the daemon is single-threaded and
+// behaves exactly as before. With reactors = N > 1 the hosted nodes are
+// sharded across N reactors along contiguous DFS-preorder blocks (the
+// same cut "subtree" placement uses, so hot tree edges stay
+// reactor-local); reactors 1..N-1 are worker threads that own their
+// shard's LeaseNodes outright. All sockets, peer sessions, replay logs,
+// durability, and metrics stay on the primary. Cross-reactor messages hop
+// through the primary over a pair of SPSC rings per worker (inbox:
+// primary->worker, outbox: worker->primary), which keeps every ring
+// single-producer/single-consumer and every per-edge path unique — FIFO
+// per directed tree edge is preserved by construction. Each inbound frame
+// is still handled to completion on its owning reactor; a stop-the-world
+// pause barrier (PauseWorkers) parks every worker between messages before
+// any snapshot, status probe, or harvest reads cross-shard state.
 //
 // Peer sessions (crash-restart recovery): every peer link keeps a session
 // that outlives its TCP connection — a replay log of every kProtocol frame
@@ -70,12 +81,16 @@
 #define TREEAGG_NET_DAEMON_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/spsc_ring.h"
 #include "common/types.h"
 #include "core/lease_node.h"
 #include "net/cluster.h"
@@ -112,6 +127,12 @@ struct NodeDaemonOptions {
   // paths then take their null-hook branch.
   bool metrics = false;
   int metrics_port = -1;
+  // Poll/worker reactors sharing this daemon's hosted nodes. 1 (the
+  // default) keeps the classic single-threaded daemon: no worker threads,
+  // no rings, byte-identical behavior. N > 1 shards the hosted nodes
+  // across N reactors by contiguous DFS-preorder blocks; values larger
+  // than the hosted-node count are clamped.
+  int reactors = 1;
 };
 
 class NodeDaemon {
@@ -229,9 +250,54 @@ class NodeDaemon {
     std::int64_t give_up_ms = 0;  // Fail when still down past this
   };
 
+  // One worker reactor (reactors 1..N-1; reactor 0 is the primary poll
+  // loop and needs no struct). The worker thread owns `local` and is the
+  // sole consumer of `inbox` / sole producer of `outbox`.
+  struct Reactor {
+    std::deque<Message> local;  // same-reactor FIFO (worker thread only)
+    SpscRing<WireFrame> inbox;   // primary -> worker
+    SpscRing<WireFrame> outbox;  // worker -> primary
+    ScopedFd wake;               // eventfd the idle worker sleeps on
+    std::thread thread;
+  };
+
   void BuildNodes();
   void ApplyRestore();
   void ConnectPeers();
+
+  // --- reactor layer ------------------------------------------------------
+  // Computes node_reactor_ (contiguous DFS-preorder blocks over the hosted
+  // nodes) and allocates the worker Reactor structs. Primary thread, before
+  // Run()'s loop.
+  void BuildReactors();
+  void StartWorkers();
+  // Sets the stop flag, wakes every worker (parked or polling), joins.
+  void StopReactors();
+  void WorkerLoop(int reactor);
+  // Handles one inbox frame on the worker thread, draining the local FIFO
+  // it fills. kProtocol delivers to the owned node; kInject* applies and
+  // pushes the completion to the outbox.
+  void HandleWorkerFrame(Reactor& r, WireFrame frame);
+  void DrainReactorLocal(Reactor& r);
+  // Primary: pops every worker outbox to empty. kProtocol frames forward
+  // through ForwardProtocol; kWriteDone/kCombineDone go to the driver.
+  void DrainOutboxes();
+  // Primary: routes a protocol frame that reached the primary (from a
+  // worker outbox or from RouteSend on the primary) — deliver locally,
+  // dispatch to the owning worker, or append to the peer session log and
+  // transmit.
+  void ForwardProtocol(WireFrame f);
+  void DispatchToReactor(int reactor, WireFrame f);
+  // Worker: pushes a frame onto its own outbox and wakes the primary.
+  void PushToPrimary(WireFrame f);
+  // Stop-the-world barrier. PauseWorkers returns with every worker parked
+  // between messages (their local FIFOs empty, their rings quiescent on
+  // the worker side); nestable — only the outermost pair acts. No-ops
+  // while no workers run.
+  void PauseWorkers();
+  void ResumeWorkers();
+  void WakeWorker(Reactor& r);
+  void WakePrimary();
   bool HostsNode(NodeId u) const {
     return config_.node_daemon[static_cast<std::size_t>(u)] == daemon_id_;
   }
@@ -247,8 +313,11 @@ class NodeDaemon {
   bool PeersReady() const;
   void DrainParkedFrames();
 
-  void RouteSend(Message m);        // NetTransport::Send body
-  void DrainLocal();                // deliver the intra-daemon queue
+  void RouteSend(Message m);        // NetTransport::Send body (any reactor)
+  void DrainLocal();                // deliver/dispatch the primary's queue
+  // Shared body of kProtocol and per-element kBatch handling on the
+  // primary: session accounting, then deliver or dispatch by reactor.
+  void HandleProtocolMessage(Message m, int from_peer);
   void OnCombineDone(NodeId node, CombineToken token, Real value);
   // `from_peer`: daemon id of the peer connection the frame arrived on,
   // or -1 for the driver connection (session accounting needs the origin).
@@ -339,9 +408,35 @@ class NodeDaemon {
   std::deque<WireFrame> driver_outbox_;
 
   std::deque<Message> local_queue_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t received_ = 0;
-  MessageCounts counts_;
+  // Quiescence counters. Atomic because worker reactors send (RouteSend)
+  // and deliver concurrently with the primary; every queued or in-ring
+  // message is counted in sent_ but not yet in received_, so
+  // sent_ == received_ still means nothing is in flight. Consistent
+  // multi-counter reads happen under the pause barrier.
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
+  // Per-kind send counters (the Figure 2 cost categories), atomic for the
+  // same reason; CountsNow() materializes a MessageCounts.
+  std::atomic<std::int64_t> c_probes_{0};
+  std::atomic<std::int64_t> c_responses_{0};
+  std::atomic<std::int64_t> c_updates_{0};
+  std::atomic<std::int64_t> c_releases_{0};
+  MessageCounts CountsNow() const;
+  void SetCounts(const MessageCounts& c);
+
+  // Worker reactors (empty when Options::reactors <= 1). workers_[i] is
+  // reactor i + 1; node_reactor_[u] is the owning reactor of hosted node
+  // u, -1 for nodes hosted elsewhere.
+  std::vector<std::unique_ptr<Reactor>> workers_;
+  std::vector<int> node_reactor_;
+  std::atomic<bool> workers_stop_{false};
+  std::atomic<bool> pause_requested_{false};
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;   // workers -> primary: "I parked"
+  std::condition_variable resume_cv_;  // primary -> workers: "go"
+  int paused_workers_ = 0;  // guarded by pause_mu_
+  int pause_depth_ = 0;     // primary thread only (nesting)
+  bool workers_running_ = false;
 
   std::unique_ptr<DurableState> restore_;  // staged by RestoreDurable()
 

@@ -98,6 +98,9 @@ BackendRun RunNetBackend(const EquivalenceSpec& spec) {
   options.op = spec.op;
   options.ghost_logging = true;
   options.placement = spec.placement;
+  options.reactors = spec.net_reactors;
+  options.transport.batch_bytes = spec.net_batch_bytes;
+  options.transport.batch_flush_us = spec.net_batch_flush_us;
   EquivalenceSpec with_final = spec;
   with_final.sigma = WithFinalCombine(spec);
   NetRunResult result = RunNetWorkload(spec.tree_parent, with_final.sigma,

@@ -36,6 +36,13 @@ struct EquivalenceSpec {
   std::string op = "sum";
   int net_daemons = 2;             // daemons of the net backend run
   std::string placement = "block";
+  // Net-backend transport knobs (defaults match the production serve
+  // defaults): kBatch coalescing and multi-reactor sharding must change
+  // NOTHING the harness observes, so equivalence suites re-run the same
+  // triples with these turned on.
+  int net_batch_bytes = 0;         // >0 enables per-edge frame batching
+  std::int64_t net_batch_flush_us = 0;  // linger before a partial flush
+  int net_reactors = 1;            // poll loops per daemon
   Real tolerance = 1e-9;
 };
 

@@ -16,10 +16,11 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
   config_.daemons.assign(static_cast<std::size_t>(options.daemons),
                          ClusterConfig::DaemonAddr{"127.0.0.1", 0});
   config_.node_daemon =
-      AssignNodes(config_.NumNodes(), options.daemons, options.placement);
+      AssignNodes(config_.tree_parent, options.daemons, options.placement);
   config_.Validate();
 
   daemon_options_.transport = options.transport;
+  daemon_options_.reactors = options.reactors;
   daemon_options_.durability = options.durability;
   daemon_options_.metrics = options.metrics;
   daemon_options_.metrics_port = options.metrics_port;
@@ -149,6 +150,16 @@ std::uint64_t LocalCluster::ReplayLogHighWater() const {
   return hwm;
 }
 
+std::uint64_t LocalCluster::SumDaemonCounters(const std::string& name) const {
+  std::uint64_t sum = 0;
+  for (const auto& daemon : daemons_) {
+    if (daemon && daemon->metrics() != nullptr) {
+      sum += daemon->metrics()->SumCounters(name);
+    }
+  }
+  return sum;
+}
+
 std::string LocalCluster::DaemonError() const {
   for (const auto& daemon : daemons_) {
     if (daemon && !daemon->error().empty()) {
@@ -193,6 +204,14 @@ NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
   result.counts = harvest.counts;
   result.total_messages = driver.TotalMessages();
   cluster.Stop();
+  result.wire_messages =
+      cluster.SumDaemonCounters("treeagg_transport_messages_sent_total");
+  result.wire_frames =
+      cluster.SumDaemonCounters("treeagg_transport_protocol_frames_sent_total");
+  result.frames_sent =
+      cluster.SumDaemonCounters("treeagg_transport_frames_sent_total");
+  result.send_syscalls =
+      cluster.SumDaemonCounters("treeagg_transport_send_syscalls_total");
   if (!cluster.DaemonError().empty()) {
     throw std::runtime_error("net backend daemon failed: " +
                              cluster.DaemonError());

@@ -32,7 +32,11 @@ class LocalCluster {
     std::string policy = "RWW";
     std::string op = "sum";
     bool ghost_logging = true;
-    std::string placement = "block";  // block | rr
+    std::string placement = "block";  // block | rr | subtree
+    // Poll loops per daemon (see NodeDaemonOptions::reactors). 1 keeps
+    // every daemon single-threaded; N shards hosted nodes over N-1
+    // workers plus the primary I/O reactor.
+    int reactors = 1;
     TransportOptions transport;
     // Upper bound on driver quiescence waits (see NetDriver::Options).
     std::int64_t quiescence_deadline_ms = 120000;
@@ -85,6 +89,13 @@ class LocalCluster {
   // across kills and restarts — the quantity the cumulative-ack GC bounds.
   std::uint64_t ReplayLogHighWater() const;
 
+  // Sum of the named obs counter over every live daemon's registry
+  // (0 when the cluster runs without metrics). The benchmark uses this
+  // for whole-cluster transport ratios, e.g.
+  // treeagg_transport_messages_sent_total /
+  // treeagg_transport_protocol_frames_sent_total = messages per frame.
+  std::uint64_t SumDaemonCounters(const std::string& name) const;
+
   // --- fault injection (chaos harness) ----------------------------------
   // Fail-stop crash of daemon `d`: the driver marks it down, the daemon
   // thread is stopped and joined, the durable state is extracted, and the
@@ -132,6 +143,13 @@ struct NetRunResult {
   std::uint64_t total_messages = 0;
   double elapsed_sec = 0;
   double requests_per_sec = 0;
+  // Whole-cluster transport counters (0 unless options.metrics). The
+  // batching win is wire_messages / wire_frames; syscall coalescing is
+  // wire_frames / send_syscalls.
+  std::uint64_t wire_messages = 0;   // protocol messages put on the wire
+  std::uint64_t wire_frames = 0;     // kProtocol + kBatch frames sent
+  std::uint64_t frames_sent = 0;     // frames of every type sent
+  std::uint64_t send_syscalls = 0;   // ::send calls issued
 };
 
 NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,

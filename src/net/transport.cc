@@ -48,6 +48,12 @@ std::int64_t NowMs() {
       .count();
 }
 
+std::int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void ScopedFd::reset(int fd) {
   if (fd_ >= 0) ::close(fd_);
   fd_ = fd;
@@ -94,28 +100,77 @@ void FrameConn::FailWith(std::string msg) {
   if (error_.empty()) error_ = std::move(msg);
 }
 
-void FrameConn::SendFrame(const WireFrame& frame) {
-  if (!open()) return;
-  AppendFrame(&out_, frame, wire_version_);
-  if (obs_) obs_->frames_sent->Inc();
+void FrameConn::CheckBackpressure() {
   if (OutboundBytes() > options_.max_write_buffer) {
     if (obs_) obs_->backpressure_stalls->Inc();
     FailWith("write buffer overflow (peer not draining)");
   }
+}
+
+void FrameConn::SendFrame(const WireFrame& frame) {
+  if (!open()) return;
+  FlushBatchNow();  // frames never overtake earlier batched messages
+  AppendFrame(&out_, frame, wire_version_);
+  if (obs_) {
+    obs_->frames_sent->Inc();
+    if (frame.type == FrameType::kProtocol) {
+      obs_->messages_sent->Inc();
+      obs_->protocol_frames_sent->Inc();
+    }
+  }
+  CheckBackpressure();
+}
+
+void FrameConn::QueueMessage(const Message& m) {
+  if (!open()) return;
+  if (options_.batch_bytes == 0 || wire_version_ < 4) {
+    WireFrame f;
+    f.type = FrameType::kProtocol;
+    f.msg = m;
+    SendFrame(f);
+    return;
+  }
+  if (batch_count_ == 0) {
+    batch_deadline_us_ = NowUs() + options_.batch_flush_us;
+  }
+  AppendMessagePayload(&batch_payload_, m);
+  ++batch_count_;
+  if (obs_) obs_->messages_sent->Inc();
+  // Cap the batch body well under kMaxFrameLen no matter what the caller
+  // configured: an over-long frame would poison the peer's stream.
+  const std::size_t cap = std::min(options_.batch_bytes, kMaxFrameLen / 2);
+  if (batch_payload_.size() >= cap) FlushBatchNow();
+}
+
+void FrameConn::FlushBatchNow() {
+  if (batch_count_ == 0) return;
+  AppendBatchFrame(&out_, batch_count_, batch_payload_.data(),
+                   batch_payload_.size(), wire_version_);
+  if (obs_) {
+    obs_->frames_sent->Inc();
+    obs_->protocol_frames_sent->Inc();
+  }
+  batch_payload_.clear();
+  batch_count_ = 0;
+  batch_deadline_us_ = -1;
+  CheckBackpressure();
 }
 
 void FrameConn::SendRawBytes(const std::vector<std::uint8_t>& bytes) {
   if (!open()) return;
+  FlushBatchNow();
   out_.insert(out_.end(), bytes.begin(), bytes.end());
-  if (OutboundBytes() > options_.max_write_buffer) {
-    if (obs_) obs_->backpressure_stalls->Inc();
-    FailWith("write buffer overflow (peer not draining)");
-  }
+  CheckBackpressure();
 }
 
 bool FrameConn::Flush() {
   if (!open()) return false;
+  if (batch_count_ > 0 &&
+      (options_.batch_flush_us <= 0 || NowUs() >= batch_deadline_us_)) {
+    FlushBatchNow();
+  }
   while (out_pos_ < out_.size()) {
+    if (obs_) obs_->send_syscalls->Inc();
     const ssize_t n = ::send(fd_.get(), out_.data() + out_pos_,
                              out_.size() - out_pos_, MSG_NOSIGNAL);
     if (n > 0) {
@@ -142,6 +197,7 @@ bool FrameConn::ReadAvailable() {
   if (!open()) return false;
   std::uint8_t buf[16384];
   for (;;) {
+    if (obs_) obs_->recv_syscalls->Inc();
     const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
     if (n > 0) {
       reader_.Feed(buf, static_cast<std::size_t>(n));
@@ -163,7 +219,14 @@ bool FrameConn::ReadAvailable() {
 DecodeStatus FrameConn::NextFrame(WireFrame* frame) {
   const DecodeStatus status = reader_.Next(frame);
   if (status == DecodeStatus::kOk) {
-    if (obs_) obs_->frames_received->Inc();
+    if (obs_) {
+      obs_->frames_received->Inc();
+      if (frame->type == FrameType::kProtocol) {
+        obs_->messages_received->Inc();
+      } else if (frame->type == FrameType::kBatch) {
+        obs_->messages_received->Add(frame->batch.size());
+      }
+    }
   } else if (status != DecodeStatus::kNeedMore) {
     FailWith(std::string("malformed frame: ") + ToString(status));
   }

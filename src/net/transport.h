@@ -38,6 +38,8 @@ namespace treeagg {
 
 // Monotonic clock in milliseconds (steady_clock under the hood).
 std::int64_t NowMs();
+// Same clock in microseconds (batch flush deadlines are sub-millisecond).
+std::int64_t NowUs();
 
 struct TransportOptions {
   // Total budget for establishing one connection, retries included.
@@ -52,6 +54,17 @@ struct TransportOptions {
   // Backpressure cap: a connection whose unsent backlog exceeds this is
   // treated as failed (the peer has stopped draining).
   std::size_t max_write_buffer = 64u << 20;
+  // Per-edge frame coalescing (wire v4). batch_bytes > 0 turns batching
+  // on: consecutive protocol messages toward one peer accumulate in a
+  // coalescing buffer and leave as a single kBatch frame. A batch flushes
+  // when its encoded size reaches batch_bytes, when any other frame type
+  // is sent on the edge (per-edge FIFO is preserved by construction), or
+  // at the first socket flush after batch_flush_us microseconds
+  // (batch_flush_us = 0 flushes at every socket flush, i.e. once per poll
+  // iteration). Messages enter the per-edge replay log before they enter
+  // the coalescer, so the write-ahead durability rule is untouched.
+  std::size_t batch_bytes = 0;
+  std::int64_t batch_flush_us = 0;
 };
 
 class ScopedFd {
@@ -118,8 +131,28 @@ class FrameConn {
   const std::string& error() const { return error_; }
 
   // Serializes `frame` onto the outbound buffer. Fails the connection if
-  // the backlog exceeds the backpressure cap.
+  // the backlog exceeds the backpressure cap. Any coalescing batch is
+  // encoded first, so frames never overtake earlier protocol messages.
   void SendFrame(const WireFrame& frame);
+
+  // Enqueues one protocol message. With batching active (batch_bytes > 0
+  // and a v4 peer) the message lands in the coalescing buffer; otherwise
+  // it is sent as an ordinary kProtocol frame immediately.
+  void QueueMessage(const Message& m);
+
+  // Encodes the pending batch (if any) onto the outbound buffer now,
+  // ignoring the flush deadline. Does not touch the socket.
+  void FlushBatchNow();
+
+  bool HasQueuedBatch() const { return batch_count_ > 0; }
+  // Absolute NowUs() deadline of the pending batch; -1 when no batch is
+  // pending or no timer is configured. Poll loops clamp their timeout to
+  // the earliest deadline so a lone batch cannot stall until the next
+  // unrelated wake-up.
+  std::int64_t BatchDeadlineUs() const {
+    return batch_count_ > 0 && options_.batch_flush_us > 0 ? batch_deadline_us_
+                                                           : -1;
+  }
 
   // Wire dialect of outbound frames (kWireVersion by default). A daemon
   // downgrades a peer connection to v2 when the peer's hello spoke v2, so
@@ -133,7 +166,8 @@ class FrameConn {
   void SendRawBytes(const std::vector<std::uint8_t>& bytes);
 
   // Writes as much buffered data as the socket accepts. Returns false on
-  // a fatal socket error (connection is failed).
+  // a fatal socket error (connection is failed). A pending batch whose
+  // deadline has passed (or with no timer configured) is encoded first.
   bool Flush();
   bool WantWrite() const { return out_pos_ < out_.size(); }
   std::size_t OutboundBytes() const { return out_.size() - out_pos_; }
@@ -156,12 +190,18 @@ class FrameConn {
 
  private:
   void FailWith(std::string msg);
+  void CheckBackpressure();
 
   ScopedFd fd_;
   TransportOptions options_;
   obs::TransportMetrics* obs_ = nullptr;
   std::vector<std::uint8_t> out_;
   std::size_t out_pos_ = 0;
+  // Coalescing buffer: concatenated message payloads awaiting one kBatch
+  // wrapper (see TransportOptions::batch_bytes).
+  std::vector<std::uint8_t> batch_payload_;
+  std::uint32_t batch_count_ = 0;
+  std::int64_t batch_deadline_us_ = -1;
   FrameReader reader_;
   std::uint8_t wire_version_ = kWireVersion;
   bool failed_ = false;

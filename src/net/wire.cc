@@ -182,6 +182,10 @@ void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f,
     case FrameType::kProtocol:
       EncodeMessage(out, f.msg);
       break;
+    case FrameType::kBatch:
+      PutU32(out, static_cast<std::uint32_t>(f.batch.size()));
+      for (const Message& m : f.batch) EncodeMessage(out, m);
+      break;
     case FrameType::kInjectWrite:
       PutI64(out, f.req);
       PutI32(out, f.node);
@@ -252,6 +256,21 @@ bool DecodePayload(Cursor* c, WireFrame* f, std::uint8_t version) {
     case FrameType::kProtocol:
       if (!DecodeMessage(c, &f->msg)) return false;
       break;
+    case FrameType::kBatch: {
+      // The smallest encodable message is 31 bytes (fixed fields, empty
+      // release list, no wlog), which bounds a corrupted count the same
+      // way GetCount bounds array counts elsewhere.
+      const std::uint32_t n = c->GetCount(31);
+      if (!c->ok()) return false;
+      f->batch.clear();
+      f->batch.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Message m;
+        if (!DecodeMessage(c, &m)) return false;
+        f->batch.push_back(std::move(m));
+      }
+      break;
+    }
     case FrameType::kInjectWrite:
       f->req = c->GetI64();
       f->node = c->GetI32();
@@ -335,6 +354,7 @@ const char* ToString(FrameType t) {
     case FrameType::kHarvestResp: return "harvest-resp";
     case FrameType::kShutdown: return "shutdown";
     case FrameType::kPeerAck: return "peer-ack";
+    case FrameType::kBatch: return "batch";
   }
   return "?";
 }
@@ -352,18 +372,29 @@ const char* ToString(DecodeStatus s) {
   return "?";
 }
 
+namespace {
+
+// Deep message equality: Message's own operator compares the wlog pointer,
+// but two decodes of the same bytes must compare equal.
+bool MessagesEqual(const Message& ma, const Message& mb) {
+  return ma.type == mb.type && ma.from == mb.from && ma.to == mb.to &&
+         ma.x == mb.x && ma.flag == mb.flag && ma.id == mb.id &&
+         std::equal(ma.release_ids.begin(), ma.release_ids.end(),
+                    mb.release_ids.begin(), mb.release_ids.end()) &&
+         static_cast<bool>(ma.wlog) == static_cast<bool>(mb.wlog) &&
+         (!ma.wlog || *ma.wlog == *mb.wlog);
+}
+
+}  // namespace
+
 bool FramesEqual(const WireFrame& a, const WireFrame& b) {
   if (a.type != b.type) return false;
-  const Message& ma = a.msg;
-  const Message& mb = b.msg;
-  const bool msg_equal =
-      ma.type == mb.type && ma.from == mb.from && ma.to == mb.to &&
-      ma.x == mb.x && ma.flag == mb.flag && ma.id == mb.id &&
-      std::equal(ma.release_ids.begin(), ma.release_ids.end(),
-                 mb.release_ids.begin(), mb.release_ids.end()) &&
-      static_cast<bool>(ma.wlog) == static_cast<bool>(mb.wlog) &&
-      (!ma.wlog || *ma.wlog == *mb.wlog);
-  return msg_equal && a.daemon_id == b.daemon_id && a.resume == b.resume &&
+  if (a.batch.size() != b.batch.size()) return false;
+  for (std::size_t i = 0; i < a.batch.size(); ++i) {
+    if (!MessagesEqual(a.batch[i], b.batch[i])) return false;
+  }
+  return MessagesEqual(a.msg, b.msg) && a.daemon_id == b.daemon_id &&
+         a.resume == b.resume &&
          a.ack == b.ack && a.ack_valid == b.ack_valid && a.req == b.req &&
          a.node == b.node && a.arg == b.arg && a.value == b.value &&
          a.gather == b.gather && a.log_prefix == b.log_prefix &&
@@ -393,6 +424,22 @@ std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame,
   return out;
 }
 
+void AppendMessagePayload(std::vector<std::uint8_t>* out, const Message& m) {
+  EncodeMessage(out, m);
+}
+
+void AppendBatchFrame(std::vector<std::uint8_t>* out, std::uint32_t count,
+                      const std::uint8_t* msgs, std::size_t len,
+                      std::uint8_t version) {
+  const std::uint32_t body_len = static_cast<std::uint32_t>(3 + 4 + len);
+  PutU32(out, body_len);
+  PutU8(out, kWireMagic);
+  PutU8(out, version);
+  PutU8(out, static_cast<std::uint8_t>(FrameType::kBatch));
+  PutU32(out, count);
+  out->insert(out->end(), msgs, msgs + len);
+}
+
 DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len) {
   DecodeResult r;
   if (len < 4) return r;  // kNeedMore
@@ -420,15 +467,18 @@ DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len) {
   if (len < 4 + static_cast<std::size_t>(body_len)) return r;  // kNeedMore
   const std::uint8_t version = data[5];
   const std::uint8_t type = data[6];
-  // kPeerAck (12) exists only from v3 on; in a v2 frame it is out of range.
+  // kPeerAck (12) exists only from v3 on, kBatch (13) only from v4 on; in
+  // an older frame those type bytes are out of range.
   const std::uint8_t max_type =
-      version >= 3 ? static_cast<std::uint8_t>(FrameType::kPeerAck)
-                   : static_cast<std::uint8_t>(FrameType::kShutdown);
+      version >= 4 ? static_cast<std::uint8_t>(FrameType::kBatch)
+      : version == 3 ? static_cast<std::uint8_t>(FrameType::kPeerAck)
+                     : static_cast<std::uint8_t>(FrameType::kShutdown);
   if (type > max_type) {
     r.status = DecodeStatus::kBadType;
     return r;
   }
   r.frame.type = static_cast<FrameType>(type);
+  r.frame.wire_version = version;
   Cursor c(data + 7, body_len - 3);
   if (!DecodePayload(&c, &r.frame, version)) {
     r.frame = WireFrame{};

@@ -1,4 +1,4 @@
-// treeagg-wire-v3: the versioned binary wire format of the networked
+// treeagg-wire-v4: the versioned binary wire format of the networked
 // backend.
 //
 // A frame on the wire is a 4-byte little-endian length prefix followed by
@@ -15,7 +15,8 @@
 // Frame types cover the three conversations of the backend:
 //   daemon <-> daemon : kPeerHello, kProtocol (a core::Message, including
 //                       the ghost-log piggyback of Figure 6), kPeerAck
-//                       (cumulative replay-log GC, v3)
+//                       (cumulative replay-log GC, v3), kBatch (count +
+//                       concatenated messages, v4 frame coalescing)
 //   driver  -> daemon : kDriverHello, kInjectWrite, kInjectCombine,
 //                       kStatusReq, kHarvestReq, kShutdown
 //   daemon  -> driver : kWriteDone, kCombineDone, kStatusResp, kHarvestResp
@@ -39,10 +40,14 @@ namespace treeagg {
 inline constexpr std::uint8_t kWireMagic = 0xA6;
 // v2 added the resume count to kPeerHello (crash-restart session resume).
 // v3 adds cumulative acks for replay-log GC: a durably-processed count
-// piggybacked on kPeerHello and the periodic kPeerAck frame. A v3 endpoint
-// still decodes v2 frames (a v2 hello simply carries no ack, so GC stays
-// off for that session), and can encode v2 for a peer that spoke it.
-inline constexpr std::uint8_t kWireVersion = 3;  // treeagg-wire-v3
+// piggybacked on kPeerHello and the periodic kPeerAck frame.
+// v4 adds kBatch: one frame carrying a count and that many concatenated
+// kProtocol message bodies, so a burst toward one peer costs one header
+// and one syscall. Each endpoint still decodes every dialect down to
+// kWireMinVersion, and encodes each peer session at
+// min(kWireVersion, peer hello version) — a v2 peer sees no acks, a v3
+// peer sees per-message kProtocol frames and never a kBatch.
+inline constexpr std::uint8_t kWireVersion = 4;  // treeagg-wire-v4
 inline constexpr std::uint8_t kWireMinVersion = 2;  // oldest accepted
 // Upper bound on the frame body (magic byte onward). Harvest frames carry
 // whole ghost logs, so the cap is generous; anything larger is rejected as
@@ -63,6 +68,7 @@ enum class FrameType : std::uint8_t {
   kHarvestResp = 10,   // ghost logs of hosted nodes + message counts
   kShutdown = 11,      // no payload
   kPeerAck = 12,       // cumulative durably-processed count (v3)
+  kBatch = 13,         // count + concatenated protocol messages (v4)
 };
 
 const char* ToString(FrameType t);
@@ -117,6 +123,15 @@ struct WireFrame {
 
   Message msg;  // kProtocol
 
+  // kBatch: the coalesced messages, in their original send order. The
+  // replay log, acks, and quiescence counters all stay message-granular;
+  // a batch is purely a wire encoding of consecutive kProtocol sends.
+  std::vector<Message> batch;
+
+  // Set by the decoder to the version byte the frame arrived with, so the
+  // receiver can pin a peer session's dialect from its hello frame.
+  std::uint8_t wire_version = kWireVersion;
+
   ReqId req = kNoRequest;      // kInject*, k*Done
   NodeId node = kInvalidNode;  // kInject*
   Real arg = 0;                // kInjectWrite
@@ -140,6 +155,19 @@ void AppendFrame(std::vector<std::uint8_t>* out, const WireFrame& frame,
                  std::uint8_t version = kWireVersion);
 std::vector<std::uint8_t> EncodeFrame(const WireFrame& frame,
                                       std::uint8_t version = kWireVersion);
+
+// Appends the encoded body of one protocol message — the element codec
+// shared by kProtocol payloads and kBatch elements — with no frame header.
+// The per-edge coalescer encodes messages incrementally with this and
+// wraps the accumulated bytes with AppendBatchFrame at flush time.
+void AppendMessagePayload(std::vector<std::uint8_t>* out, const Message& m);
+
+// Wraps `count` concatenated message payloads (`msgs`, `len` bytes, built
+// by AppendMessagePayload) into one kBatch frame, length prefix included.
+// `version` must be >= 4; only v4 sessions ever carry kBatch.
+void AppendBatchFrame(std::vector<std::uint8_t>* out, std::uint32_t count,
+                      const std::uint8_t* msgs, std::size_t len,
+                      std::uint8_t version = kWireVersion);
 
 enum class DecodeStatus {
   kOk = 0,

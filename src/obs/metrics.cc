@@ -142,7 +142,28 @@ TransportMetrics TransportMetrics::Register(MetricsRegistry& reg,
                                 "Connection (re)establishment attempts.", base);
   m.backpressure_stalls = reg.AddCounter(
       "treeagg_transport_backpressure_stalls_total",
-      "Sends rejected because the write buffer hit its cap.", std::move(base));
+      "Sends rejected because the write buffer hit its cap.", base);
+  m.send_syscalls = reg.AddCounter("treeagg_transport_send_syscalls_total",
+                                   "send(2) calls issued while flushing.",
+                                   base);
+  m.recv_syscalls = reg.AddCounter("treeagg_transport_recv_syscalls_total",
+                                   "recv(2) calls issued while draining.",
+                                   base);
+  m.messages_sent =
+      reg.AddCounter("treeagg_transport_messages_sent_total",
+                     "Protocol messages enqueued toward a peer (batched "
+                     "messages count individually).",
+                     base);
+  m.messages_received =
+      reg.AddCounter("treeagg_transport_messages_received_total",
+                     "Protocol messages decoded from the stream (kBatch "
+                     "frames expand to their element count).",
+                     base);
+  m.protocol_frames_sent = reg.AddCounter(
+      "treeagg_transport_protocol_frames_sent_total",
+      "Wire frames carrying protocol messages (kProtocol or kBatch); "
+      "messages_sent / protocol_frames_sent is the batching win.",
+      std::move(base));
   return m;
 }
 

@@ -150,6 +150,14 @@ struct TransportMetrics {
   Counter* frames_received = nullptr;
   Counter* reconnects = nullptr;
   Counter* backpressure_stalls = nullptr;
+  // Batching efficiency (wire v4): messages-per-frame is
+  // messages_sent / protocol_frames_sent, frames-per-syscall is
+  // frames_sent / send_syscalls. Without batching both ratios sit at ~1.
+  Counter* send_syscalls = nullptr;       // ::send calls issued
+  Counter* recv_syscalls = nullptr;       // ::recv calls issued
+  Counter* messages_sent = nullptr;       // protocol messages enqueued
+  Counter* messages_received = nullptr;   // protocol messages decoded
+  Counter* protocol_frames_sent = nullptr;  // kProtocol + kBatch frames
 
   static TransportMetrics Register(MetricsRegistry& reg,
                                    std::vector<Label> base = {});

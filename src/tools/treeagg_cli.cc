@@ -444,7 +444,8 @@ int SweepMain(int argc, char** argv) {
 void PrintServeUsage(std::ostream& out) {
   out << "usage: treeagg_cli serve --cluster FILE --daemon ID"
          " [--state-dir DIR] [--snapshot-every N] [--ack-interval N]"
-         " [--metrics-port P]"
+         " [--metrics-port P] [--reactors N] [--batch-bytes B]"
+         " [--batch-flush-us U]"
          " (valid subcommands: run, sweep, serve, drive, chaos)\n";
 }
 
@@ -479,6 +480,13 @@ int ServeMain(int argc, char** argv) {
       daemon_options.durability.ack_interval = std::stoull(value);
     } else if (arg == "--metrics-port" && (value = next())) {
       daemon_options.metrics_port = static_cast<int>(std::stol(value));
+    } else if (arg == "--reactors" && (value = next())) {
+      daemon_options.reactors = static_cast<int>(std::stol(value));
+    } else if (arg == "--batch-bytes" && (value = next())) {
+      daemon_options.transport.batch_bytes =
+          static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--batch-flush-us" && (value = next())) {
+      daemon_options.transport.batch_flush_us = std::stoll(value);
     } else {
       return ServeUsage();
     }
@@ -515,8 +523,9 @@ int ServeMain(int argc, char** argv) {
 
 void PrintDriveUsage(std::ostream& out) {
   out << "usage: treeagg_cli drive (--cluster FILE | --net-local"
-         " [--daemons N] [--placement block|rr] [--shape S] [--n N]"
-         " [--policy P] [--op O]) [--workload W] [--len L] [--seed X]"
+         " [--daemons N] [--placement block|rr|subtree] [--shape S] [--n N]"
+         " [--policy P] [--op O] [--reactors N] [--batch-bytes B]"
+         " [--batch-flush-us U]) [--workload W] [--len L] [--seed X]"
          " [--sequential] [--trace-out FILE] (valid subcommands: run,"
          " sweep, serve, drive, chaos)\n";
 }
@@ -579,6 +588,13 @@ int DriveMain(int argc, char** argv) {
       local.daemons = static_cast<int>(std::stol(value));
     } else if (arg == "--placement" && (value = next())) {
       local.placement = value;
+    } else if (arg == "--reactors" && (value = next())) {
+      local.reactors = static_cast<int>(std::stol(value));
+    } else if (arg == "--batch-bytes" && (value = next())) {
+      local.transport.batch_bytes =
+          static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--batch-flush-us" && (value = next())) {
+      local.transport.batch_flush_us = std::stoll(value);
     } else if (arg == "--shape" && (value = next())) {
       shape = value;
     } else if (arg == "--n" && (value = next())) {

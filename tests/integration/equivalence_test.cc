@@ -47,17 +47,33 @@ EquivalenceSpec MakeSpec(const Triple& t, std::uint64_t seed) {
   return spec;
 }
 
-void ExpectEquivalent(const Triple& t, std::uint64_t seed) {
+void ExpectEquivalentSpec(EquivalenceSpec spec, const Triple& t) {
   SCOPED_TRACE(t.shape + "/" + std::to_string(t.n) + "/" + t.workload + "/" +
                t.policy + "/" + t.op + "/d" + std::to_string(t.daemons) + "/" +
                t.placement);
-  const EquivalenceReport report = CheckBackendEquivalence(MakeSpec(t, seed));
+  const EquivalenceReport report = CheckBackendEquivalence(spec);
   EXPECT_TRUE(report.ok) << report.message;
   ASSERT_EQ(report.runs.size(), 3u);
   for (const BackendRun& run : report.runs) {
     EXPECT_TRUE(run.strict_ok) << run.backend << ": " << run.message;
     EXPECT_TRUE(run.causal_ok) << run.backend << ": " << run.message;
   }
+}
+
+void ExpectEquivalent(const Triple& t, std::uint64_t seed) {
+  ExpectEquivalentSpec(MakeSpec(t, seed), t);
+}
+
+// Same triple with the scaled transport turned on: kBatch coalescing
+// (small size cap so batches actually split, a real linger window) and
+// two reactors per daemon. The wire layer must change NOTHING the
+// harness observes — answers, final aggregates, checker verdicts.
+void ExpectEquivalentBatched(const Triple& t, std::uint64_t seed) {
+  EquivalenceSpec spec = MakeSpec(t, seed);
+  spec.net_batch_bytes = 512;
+  spec.net_batch_flush_us = 100;
+  spec.net_reactors = 2;
+  ExpectEquivalentSpec(spec, t);
 }
 
 // The acceptance set: >= 6 distinct triples spanning shapes, workloads,
@@ -90,6 +106,45 @@ TEST(BackendEquivalence, PathRoundRobinPushAllSingleDaemon) {
 
 TEST(BackendEquivalence, KaryMixed75PullAllFourDaemons) {
   ExpectEquivalent({"kary2", 15, "mixed75", "pull-all", "sum", 4, "block"}, 7);
+}
+
+// The 7 acceptance triples again, with frame batching and multi-reactor
+// daemons enabled in the net backend (PR 6 tentpole): results must be
+// identical to the plain-transport runs above by transitivity through
+// the sim reference.
+TEST(BackendEquivalenceBatched, KaryMixedRww) {
+  ExpectEquivalentBatched({"kary2", 15, "mixed50", "RWW", "sum", 2, "block"},
+                          1);
+}
+
+TEST(BackendEquivalenceBatched, PathReadHeavyPushAll) {
+  ExpectEquivalentBatched({"path", 9, "readheavy", "push-all", "sum", 2, "rr"},
+                          2);
+}
+
+TEST(BackendEquivalenceBatched, StarWriteHeavyPullAll) {
+  ExpectEquivalentBatched(
+      {"star", 12, "writeheavy", "pull-all", "sum", 3, "block"}, 3);
+}
+
+TEST(BackendEquivalenceBatched, Kary4HotspotRwwMax) {
+  ExpectEquivalentBatched({"kary4", 13, "hotspot", "RWW", "max", 2, "rr"}, 4);
+}
+
+TEST(BackendEquivalenceBatched, RandomMixedLeaseMin) {
+  ExpectEquivalentBatched({"random", 10, "mixed25", "RWW", "min", 4, "rr"}, 5);
+}
+
+TEST(BackendEquivalenceBatched, PathRoundRobinPushAllSingleDaemon) {
+  ExpectEquivalentBatched(
+      {"path", 7, "roundrobin", "push-all", "sum", 1, "block"}, 6);
+}
+
+TEST(BackendEquivalenceBatched, KaryMixed75PullAllFourDaemons) {
+  // Subtree placement in the batched pass: DFS-contiguous blocks are the
+  // default large-tree mode, so the equivalence matrix must cover it.
+  ExpectEquivalentBatched(
+      {"kary2", 15, "mixed75", "pull-all", "sum", 4, "subtree"}, 7);
 }
 
 TEST(BackendEquivalence, ReportNamesDivergingBackendOnPolicyMismatch) {

@@ -605,6 +605,137 @@ TEST(WireV2Interop, V2PeerGetsV2FramesNoAcksAndFullLogRetention) {
   EXPECT_EQ(daemon.ReplayLogHighWater(), 4u);
 }
 
+// A v4 daemon with frame batching CONFIGURED faces a fake peer that spoke
+// a v3 hello: the session downgrades, so every frame the daemon sends
+// there must be v3-encoded and must never be kBatch (a v3 decoder would
+// reject the frame type) — the coalescer and its linger simply do not
+// apply to that session. Unlike the v2 downgrade, v3 keeps kPeerAck, so
+// acks still flow; the batching knobs must not change that either.
+TEST(WireV3Interop, V3PeerGetsUnbatchedV3FramesButStillGetsAcks) {
+  ClusterConfig config;
+  config.tree_parent = {0, 0};
+  config.policy = "push-all";
+  config.op = "sum";
+  config.daemons = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  config.node_daemon = {0, 1};
+  config.Validate();
+
+  NodeDaemon::Options options;
+  options.durability.ack_interval = 1;
+  // Batching on, with a linger long enough that any frame wrongly routed
+  // through the coalescer would visibly stall (the pumps below use much
+  // shorter grace windows than this).
+  options.transport.batch_bytes = 65536;
+  options.transport.batch_flush_us = 5'000'000;
+  NodeDaemon daemon(1, config, options);
+  daemon.Bind();
+  const std::uint16_t port = daemon.BoundPort();
+  daemon.SetResolvedPorts({0, port});
+  std::thread runner([&daemon] { daemon.Run(); });
+
+  const TransportOptions topts;
+  std::string err;
+  ScopedFd peer_fd = ConnectWithBackoff("127.0.0.1", port, topts, &err);
+  ASSERT_TRUE(peer_fd.valid()) << err;
+
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = 0;
+  hello.resume = 0;
+  ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(hello, /*version=*/3)));
+
+  std::vector<std::uint8_t> peer_buf;
+  std::vector<RawFrame> peer_frames;
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 1, 10000));
+  ASSERT_EQ(peer_frames[0].frame.type, FrameType::kPeerHello);
+  EXPECT_EQ(peer_frames[0].frame.daemon_id, 1u);
+  EXPECT_EQ(peer_frames[0].version, 3);
+
+  // Driver connection: v4 as always (dialects are per-session).
+  ScopedFd driver_fd = ConnectWithBackoff("127.0.0.1", port, topts, &err);
+  ASSERT_TRUE(driver_fd.valid()) << err;
+  FrameConn driver(std::move(driver_fd), topts);
+  WireFrame driver_hello;
+  driver_hello.type = FrameType::kDriverHello;
+  driver.SendFrame(driver_hello);
+  while (driver.WantWrite()) ASSERT_TRUE(driver.Flush());
+
+  const auto next_driver_frame = [&](WireFrame* frame) {
+    const std::int64_t deadline = NowMs() + 10000;
+    while (NowMs() < deadline) {
+      if (driver.NextFrame(frame) == DecodeStatus::kOk) return true;
+      struct pollfd pfd = {driver.fd(), POLLIN, 0};
+      ::poll(&pfd, 1, 100);
+      if (!driver.ReadAvailable()) return false;
+    }
+    return false;
+  };
+
+  // Same traffic shape as the v2 test: one probe (leaf responds), then
+  // three driver writes each pushing an update to the fake peer,
+  // interleaved with three updates FROM the fake peer (each one bumps the
+  // processed count, so with ack_interval=1 each earns a kPeerAck).
+  WireFrame probe;
+  probe.type = FrameType::kProtocol;
+  probe.msg.type = MsgType::kProbe;
+  probe.msg.from = 0;
+  probe.msg.to = 1;
+  ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(probe, /*version=*/3)));
+
+  for (int i = 0; i < 3; ++i) {
+    WireFrame write;
+    write.type = FrameType::kInjectWrite;
+    write.req = i + 1;
+    write.node = 1;
+    write.arg = 1.5 * (i + 1);
+    driver.SendFrame(write);
+    while (driver.WantWrite()) ASSERT_TRUE(driver.Flush());
+    WireFrame done;
+    ASSERT_TRUE(next_driver_frame(&done));
+    EXPECT_EQ(done.type, FrameType::kWriteDone);
+
+    WireFrame update;
+    update.type = FrameType::kProtocol;
+    update.msg.type = MsgType::kUpdate;
+    update.msg.from = 0;
+    update.msg.to = 1;
+    update.msg.x = static_cast<Real>(i);
+    update.msg.id = i + 1;
+    ASSERT_TRUE(
+        SendAllBytes(peer_fd.get(), EncodeFrame(update, /*version=*/3)));
+  }
+
+  // hello + response + 3 pushed updates + 4 acks (probe and each update
+  // processed, ack_interval=1) = 9 frames. If any protocol frame had gone
+  // through the coalescer instead, it would still be lingering (5s) and
+  // this pump would time out.
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 9, 10000));
+  std::size_t acks = 0;
+  std::size_t protocol = 0;
+  std::uint64_t last_ack = 0;
+  for (const RawFrame& rf : peer_frames) {
+    EXPECT_EQ(rf.version, 3) << "daemon sent a non-v3 frame to a v3 peer";
+    EXPECT_NE(rf.frame.type, FrameType::kBatch)
+        << "daemon sent kBatch to a v3 peer";
+    if (rf.frame.type == FrameType::kPeerAck) {
+      ++acks;
+      EXPECT_TRUE(rf.frame.ack_valid);
+      EXPECT_GT(rf.frame.ack, last_ack);  // cumulative, strictly advancing
+      last_ack = rf.frame.ack;
+    }
+    if (rf.frame.type == FrameType::kProtocol) ++protocol;
+  }
+  EXPECT_EQ(acks, 4u);      // v3 kept acks: batching config changed nothing
+  EXPECT_EQ(protocol, 4u);  // response + 3 updates, one frame each
+
+  WireFrame shutdown;
+  shutdown.type = FrameType::kShutdown;
+  driver.SendFrame(shutdown);
+  while (driver.WantWrite()) ASSERT_TRUE(driver.Flush());
+  runner.join();
+  EXPECT_EQ(daemon.error(), "");
+}
+
 // --- real-process death matrix (satellite b) ----------------------------
 
 // Reserves `n` distinct loopback ports by binding ephemeral listeners,
@@ -623,7 +754,8 @@ std::vector<std::uint16_t> ReservePorts(int n) {
 // fork+exec of `treeagg_cli serve` (only async-signal-safe calls between
 // fork and exec — this test binary may have run threads before).
 pid_t SpawnServe(const std::string& cluster_file, int daemon_id,
-                 const std::string& state_dir) {
+                 const std::string& state_dir,
+                 const std::vector<std::string>& serve_extra = {}) {
   std::vector<std::string> args = {TREEAGG_CLI_PATH,
                                    "serve",
                                    "--cluster",
@@ -632,6 +764,7 @@ pid_t SpawnServe(const std::string& cluster_file, int daemon_id,
                                    std::to_string(daemon_id),
                                    "--state-dir",
                                    state_dir};
+  args.insert(args.end(), serve_extra.begin(), serve_extra.end());
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& a : args) argv.push_back(a.data());
@@ -667,7 +800,17 @@ struct DeathTriple {
   int daemons = 1;
   std::string placement;
   std::uint64_t seed = 0;
+  // Extra `serve` flags for every daemon in the cell (batching, reactors).
+  std::vector<std::string> serve_extra;
 };
+
+// The scaled-transport configuration the batched matrix runs under —
+// mirrors the BackendEquivalenceBatched suite: a size cap small enough
+// that batches actually split, a real linger, two reactors per daemon.
+std::vector<std::string> BatchedServeFlags() {
+  return {"--batch-bytes", "512", "--batch-flush-us", "100",
+          "--reactors",    "2"};
+}
 
 // One cell of the matrix: spawn a real serve process per daemon, SIGKILL
 // one mid-workload, restart it from its --state-dir, and require the
@@ -692,11 +835,12 @@ void RunDeathMatrixCell(const DeathTriple& t) {
   for (int d = 0; d < t.daemons; ++d) {
     config.daemons.push_back({"127.0.0.1", ports[static_cast<std::size_t>(d)]});
   }
-  config.node_daemon = AssignNodes(tree.size(), t.daemons, t.placement);
+  config.node_daemon = AssignNodes(config.tree_parent, t.daemons, t.placement);
   config.Validate();
 
-  const std::string root = ScratchDir("matrix_" + t.shape + "_" + t.workload +
-                                      "_s" + std::to_string(t.seed));
+  const std::string root = ScratchDir(
+      "matrix_" + t.shape + "_" + t.workload + "_s" + std::to_string(t.seed) +
+      (t.serve_extra.empty() ? "" : "_batched"));
   std::vector<std::string> state_dirs;
   for (int d = 0; d < t.daemons; ++d) {
     state_dirs.push_back(root + "/daemon-" + std::to_string(d));
@@ -710,8 +854,8 @@ void RunDeathMatrixCell(const DeathTriple& t) {
 
   std::vector<pid_t> pids(static_cast<std::size_t>(t.daemons), -1);
   for (int d = 0; d < t.daemons; ++d) {
-    pids[static_cast<std::size_t>(d)] = SpawnServe(cluster_file, d,
-                                                   state_dirs[d]);
+    pids[static_cast<std::size_t>(d)] =
+        SpawnServe(cluster_file, d, state_dirs[d], t.serve_extra);
     ASSERT_GT(pids[static_cast<std::size_t>(d)], 0);
   }
 
@@ -746,7 +890,7 @@ void RunDeathMatrixCell(const DeathTriple& t) {
     }
     if (i == respawn_at) {
       pids[static_cast<std::size_t>(victim)] =
-          SpawnServe(cluster_file, victim, state_dirs[victim]);
+          SpawnServe(cluster_file, victim, state_dirs[victim], t.serve_extra);
       ASSERT_GT(pids[static_cast<std::size_t>(victim)], 0);
       driver.ReconnectDaemon(victim);
       reinjected = driver.ReinjectIncomplete({victim});
@@ -795,34 +939,89 @@ void RunDeathMatrixCell(const DeathTriple& t) {
 
 // The same 7 triples as tests/integration/equivalence_test.cc.
 TEST(ProcessDeathMatrix, KaryMixedRww) {
-  RunDeathMatrixCell({"kary2", 15, "mixed50", "RWW", "sum", 2, "block", 1});
+  RunDeathMatrixCell({"kary2", 15, "mixed50", "RWW", "sum", 2, "block", 1, {}});
 }
 
 TEST(ProcessDeathMatrix, PathReadHeavyPushAll) {
-  RunDeathMatrixCell({"path", 9, "readheavy", "push-all", "sum", 2, "rr", 2});
+  RunDeathMatrixCell({"path", 9, "readheavy", "push-all", "sum", 2, "rr", 2, {}});
 }
 
 TEST(ProcessDeathMatrix, StarWriteHeavyPullAll) {
   RunDeathMatrixCell(
-      {"star", 12, "writeheavy", "pull-all", "sum", 3, "block", 3});
+      {"star", 12, "writeheavy", "pull-all", "sum", 3, "block", 3, {}});
 }
 
 TEST(ProcessDeathMatrix, Kary4HotspotRwwMax) {
-  RunDeathMatrixCell({"kary4", 13, "hotspot", "RWW", "max", 2, "rr", 4});
+  RunDeathMatrixCell({"kary4", 13, "hotspot", "RWW", "max", 2, "rr", 4, {}});
 }
 
 TEST(ProcessDeathMatrix, RandomMixedLeaseMin) {
-  RunDeathMatrixCell({"random", 10, "mixed25", "RWW", "min", 4, "rr", 5});
+  RunDeathMatrixCell({"random", 10, "mixed25", "RWW", "min", 4, "rr", 5, {}});
 }
 
 TEST(ProcessDeathMatrix, PathRoundRobinPushAllSingleDaemon) {
   RunDeathMatrixCell(
-      {"path", 7, "roundrobin", "push-all", "sum", 1, "block", 6});
+      {"path", 7, "roundrobin", "push-all", "sum", 1, "block", 6, {}});
 }
 
 TEST(ProcessDeathMatrix, KaryMixed75PullAllFourDaemons) {
   RunDeathMatrixCell(
-      {"kary2", 15, "mixed75", "pull-all", "sum", 4, "block", 7});
+      {"kary2", 15, "mixed75", "pull-all", "sum", 4, "block", 7, {}});
+}
+
+// The same matrix with the scaled transport on every daemon: per-edge
+// frame batching plus two reactors. A SIGKILL can now land while messages
+// sit in a coalescer that will never flush — recovery works anyway
+// because every message enters the replay log BEFORE the coalescer, so
+// the session-resume handshake replays exactly what the dead batch held.
+TEST(ProcessDeathMatrixBatched, KaryMixedRww) {
+  RunDeathMatrixCell({"kary2", 15, "mixed50", "RWW", "sum", 2, "block", 1,
+                      BatchedServeFlags()});
+}
+
+TEST(ProcessDeathMatrixBatched, PathReadHeavyPushAll) {
+  RunDeathMatrixCell({"path", 9, "readheavy", "push-all", "sum", 2, "rr", 2,
+                      BatchedServeFlags()});
+}
+
+TEST(ProcessDeathMatrixBatched, StarWriteHeavyPullAll) {
+  RunDeathMatrixCell({"star", 12, "writeheavy", "pull-all", "sum", 3, "block",
+                      3, BatchedServeFlags()});
+}
+
+TEST(ProcessDeathMatrixBatched, Kary4HotspotRwwMax) {
+  RunDeathMatrixCell(
+      {"kary4", 13, "hotspot", "RWW", "max", 2, "rr", 4, BatchedServeFlags()});
+}
+
+TEST(ProcessDeathMatrixBatched, RandomMixedLeaseMin) {
+  RunDeathMatrixCell({"random", 10, "mixed25", "RWW", "min", 4, "rr", 5,
+                      BatchedServeFlags()});
+}
+
+TEST(ProcessDeathMatrixBatched, PathRoundRobinPushAllSingleDaemon) {
+  RunDeathMatrixCell({"path", 7, "roundrobin", "push-all", "sum", 1, "block",
+                      6, BatchedServeFlags()});
+}
+
+TEST(ProcessDeathMatrixBatched, KaryMixed75PullAllFourDaemonsSubtree) {
+  // Subtree placement, like the batched equivalence pass: DFS-contiguous
+  // blocks are the default large-tree mode.
+  RunDeathMatrixCell({"kary2", 15, "mixed75", "pull-all", "sum", 4, "subtree",
+                      7, BatchedServeFlags()});
+}
+
+// SIGKILL mid-lingering-batch: a large size cap plus a 100ms linger keeps
+// partial batches parked in coalescers for most of the run (the workload
+// is injected pipelined, so peer traffic is continuous), making it
+// overwhelmingly likely the kill lands while frames for the victim — and
+// frames inside the victim's own coalescers — exist only as queued batch
+// state. The convergence verdict then proves the write-ahead rule:
+// nothing a coalescer held was lost, because the replay log had it first.
+TEST(ProcessDeathMatrixBatched, SigkillMidLingeringBatch) {
+  RunDeathMatrixCell({"kary2", 15, "mixed50", "RWW", "sum", 3, "subtree", 11,
+                      {"--batch-bytes", "1048576", "--batch-flush-us",
+                       "100000", "--reactors", "2"}});
 }
 
 }  // namespace

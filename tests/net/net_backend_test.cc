@@ -63,6 +63,75 @@ TEST(AssignNodes, RejectsUnknownPlacement) {
   EXPECT_THROW(AssignNodes(4, 2, "striped"), std::invalid_argument);
 }
 
+TEST(AssignNodes, SubtreeNeedsTheParentVector) {
+  EXPECT_THROW(AssignNodes(4, 2, "subtree"), std::invalid_argument);
+}
+
+TEST(DfsPreorderTest, VisitsChildrenAscendingDepthFirst) {
+  //      0
+  //     / \
+  //    1   2
+  //   / \   \
+  //  3   4   5
+  const std::vector<NodeId> parent = {0, 0, 0, 1, 1, 2};
+  EXPECT_EQ(DfsPreorder(parent), (std::vector<NodeId>{0, 1, 3, 4, 2, 5}));
+}
+
+TEST(DfsPreorderTest, PathTreeIsIdentityOrder) {
+  std::vector<NodeId> parent(1000);
+  for (NodeId u = 1; u < 1000; ++u) parent[u] = u - 1;
+  const std::vector<NodeId> order = DfsPreorder(parent);
+  for (NodeId u = 0; u < 1000; ++u) EXPECT_EQ(order[u], u);
+}
+
+TEST(AssignNodes, SubtreeBlocksAreContiguousInPreorder) {
+  // A random-ish tree: every daemon's node set must be one contiguous
+  // block of the DFS preorder, so each daemon hosts O(daemons) partial
+  // subtrees and cross-daemon edges stay near daemons-1.
+  const Tree tree = MakeShape("random", 97, 11);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const int daemons = 5;
+  const std::vector<int> a = AssignNodes(parent, daemons, "subtree");
+  const std::vector<NodeId> order = DfsPreorder(parent);
+  ASSERT_EQ(a.size(), parent.size());
+  // Along the preorder, daemon ids are non-decreasing: 0..0 1..1 ... 4..4.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(a[static_cast<std::size_t>(order[i])],
+              a[static_cast<std::size_t>(order[i - 1])]);
+  }
+  // Balanced to within one node, every daemon used.
+  std::vector<int> per_daemon(daemons, 0);
+  for (const int d : a) {
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, daemons);
+    ++per_daemon[d];
+  }
+  for (const int count : per_daemon) {
+    EXPECT_GE(count, 97 / daemons);
+    EXPECT_LE(count, 97 / daemons + 1);
+  }
+}
+
+TEST(AssignNodes, SubtreeOnAKaryTreeCutsFewCrossEdges) {
+  // On a 4096-node kary4 tree split 8 ways, subtree placement should cut
+  // far fewer tree edges than round-robin (which cuts almost all of
+  // them). The bound is loose — O(daemons * depth) — but the gap to rr
+  // is the point.
+  const Tree tree = MakeKary(4096, 4);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<int> sub = AssignNodes(parent, 8, "subtree");
+  const std::vector<int> rr = AssignNodes(parent, 8, "rr");
+  int sub_cut = 0;
+  int rr_cut = 0;
+  for (NodeId u = 1; u < tree.size(); ++u) {
+    const std::size_t pu = static_cast<std::size_t>(parent[u]);
+    if (sub[static_cast<std::size_t>(u)] != sub[pu]) ++sub_cut;
+    if (rr[static_cast<std::size_t>(u)] != rr[pu]) ++rr_cut;
+  }
+  EXPECT_LE(sub_cut, 8 * 12);
+  EXPECT_GT(rr_cut, 3000);
+}
+
 TEST(ClusterConfigTest, WriteParseRoundTrip) {
   ClusterConfig config;
   config.tree_parent = {0, 0, 1, 1, 2, 2};

@@ -9,6 +9,7 @@
 #include <poll.h>
 
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -148,6 +149,164 @@ TEST(FrameConnTest, BackpressureCapFailsTheConnection) {
   client.SendFrame(f);
   EXPECT_FALSE(client.open());
   EXPECT_FALSE(client.error().empty());
+}
+
+// Connected loopback FrameConn pair for the coalescer tests below.
+struct ConnPair {
+  TcpListener listener;
+  std::unique_ptr<FrameConn> client;
+  std::unique_ptr<FrameConn> server;
+};
+
+ConnPair MakePair(const TransportOptions& options) {
+  ConnPair pair;
+  pair.listener = TcpListener::Bind("127.0.0.1", 0);
+  std::string err;
+  ScopedFd client_fd =
+      ConnectWithBackoff("127.0.0.1", pair.listener.port(), options, &err);
+  EXPECT_TRUE(client_fd.valid()) << err;
+  ScopedFd server_fd;
+  const std::int64_t deadline = NowMs() + 5000;
+  while (!server_fd.valid() && NowMs() < deadline) {
+    server_fd = pair.listener.Accept();
+  }
+  EXPECT_TRUE(server_fd.valid());
+  pair.client = std::make_unique<FrameConn>(std::move(client_fd), options);
+  pair.server = std::make_unique<FrameConn>(std::move(server_fd), options);
+  return pair;
+}
+
+Message ProbeMessage(NodeId from, NodeId to) {
+  Message m;
+  m.type = MsgType::kProbe;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+TEST(FrameConnBatching, CoalescesQueuedMessagesIntoOneBatchFrame) {
+  TransportOptions options;
+  options.batch_bytes = 4096;
+  options.batch_flush_us = 0;  // flush at every socket flush
+  ConnPair pair = MakePair(options);
+
+  for (NodeId i = 0; i < 5; ++i) {
+    pair.client->QueueMessage(ProbeMessage(i, i + 1));
+  }
+  EXPECT_TRUE(pair.client->HasQueuedBatch());
+  ASSERT_TRUE(pair.client->Flush());
+  EXPECT_FALSE(pair.client->HasQueuedBatch());
+
+  WireFrame in;
+  ASSERT_EQ(AwaitFrame(pair.server.get(), &in), DecodeStatus::kOk);
+  ASSERT_EQ(in.type, FrameType::kBatch);
+  ASSERT_EQ(in.batch.size(), 5u);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(in.batch[static_cast<std::size_t>(i)].from, i);
+    EXPECT_EQ(in.batch[static_cast<std::size_t>(i)].to, i + 1);
+  }
+}
+
+TEST(FrameConnBatching, SizeCapSplitsTheStreamIntoMultipleBatches) {
+  TransportOptions options;
+  options.batch_bytes = 80;  // a couple of encoded messages per batch
+  options.batch_flush_us = 0;
+  ConnPair pair = MakePair(options);
+
+  const int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    pair.client->QueueMessage(ProbeMessage(1, 2));
+  }
+  pair.client->FlushBatchNow();
+  ASSERT_TRUE(pair.client->Flush());
+
+  int frames = 0;
+  int messages = 0;
+  WireFrame in;
+  while (messages < kMessages &&
+         AwaitFrame(pair.server.get(), &in) == DecodeStatus::kOk) {
+    ASSERT_EQ(in.type, FrameType::kBatch);
+    EXPECT_GE(in.batch.size(), 1u);
+    ++frames;
+    messages += static_cast<int>(in.batch.size());
+  }
+  EXPECT_EQ(messages, kMessages);
+  // The cap forces a split (more than one frame), the coalescer still
+  // beats one-frame-per-message.
+  EXPECT_GT(frames, 1);
+  EXPECT_LT(frames, kMessages);
+}
+
+TEST(FrameConnBatching, ControlFrameFlushesTheBatchFirst) {
+  TransportOptions options;
+  options.batch_bytes = 4096;
+  options.batch_flush_us = 1000000;  // long linger: only FIFO forces out
+  ConnPair pair = MakePair(options);
+
+  pair.client->QueueMessage(ProbeMessage(3, 4));
+  pair.client->QueueMessage(ProbeMessage(4, 5));
+  WireFrame control;
+  control.type = FrameType::kPeerAck;
+  control.ack = 17;
+  control.ack_valid = true;
+  pair.client->SendFrame(control);  // must not overtake the two messages
+  ASSERT_TRUE(pair.client->Flush());
+
+  WireFrame first;
+  ASSERT_EQ(AwaitFrame(pair.server.get(), &first), DecodeStatus::kOk);
+  ASSERT_EQ(first.type, FrameType::kBatch);
+  EXPECT_EQ(first.batch.size(), 2u);
+  WireFrame second;
+  ASSERT_EQ(AwaitFrame(pair.server.get(), &second), DecodeStatus::kOk);
+  EXPECT_EQ(second.type, FrameType::kPeerAck);
+  EXPECT_EQ(second.ack, 17u);
+}
+
+TEST(FrameConnBatching, DowngradedPeerGetsPlainProtocolFrames) {
+  TransportOptions options;
+  options.batch_bytes = 4096;
+  options.batch_flush_us = 0;
+  ConnPair pair = MakePair(options);
+
+  // The session handshake downgraded this edge to a v3 dialect: batching
+  // stays off no matter what the transport options say.
+  pair.client->set_wire_version(3);
+  pair.client->QueueMessage(ProbeMessage(6, 7));
+  pair.client->QueueMessage(ProbeMessage(7, 8));
+  EXPECT_FALSE(pair.client->HasQueuedBatch());
+  ASSERT_TRUE(pair.client->Flush());
+
+  for (int i = 0; i < 2; ++i) {
+    WireFrame in;
+    ASSERT_EQ(AwaitFrame(pair.server.get(), &in), DecodeStatus::kOk);
+    EXPECT_EQ(in.type, FrameType::kProtocol);
+  }
+}
+
+TEST(FrameConnBatching, LingerHoldsTheBatchUntilDeadlineOrForcedFlush) {
+  TransportOptions options;
+  options.batch_bytes = 4096;
+  options.batch_flush_us = 60 * 1000 * 1000;  // a minute: never expires here
+  ConnPair pair = MakePair(options);
+
+  pair.client->QueueMessage(ProbeMessage(8, 9));
+  EXPECT_TRUE(pair.client->HasQueuedBatch());
+  const std::int64_t deadline = pair.client->BatchDeadlineUs();
+  EXPECT_GT(deadline, NowUs());
+
+  // A socket flush before the deadline leaves the batch pending...
+  ASSERT_TRUE(pair.client->Flush());
+  EXPECT_TRUE(pair.client->HasQueuedBatch());
+  EXPECT_FALSE(pair.client->WantWrite());
+
+  // ...and FlushBatchNow overrides the linger.
+  pair.client->FlushBatchNow();
+  EXPECT_FALSE(pair.client->HasQueuedBatch());
+  ASSERT_TRUE(pair.client->Flush());
+  WireFrame in;
+  ASSERT_EQ(AwaitFrame(pair.server.get(), &in), DecodeStatus::kOk);
+  ASSERT_EQ(in.type, FrameType::kBatch);
+  EXPECT_EQ(in.batch.size(), 1u);
 }
 
 TEST(ConnectWithBackoff, FailsCleanlyWhenNothingListens) {

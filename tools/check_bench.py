@@ -12,9 +12,13 @@ Supported file shapes (auto-detected):
       {"benchmarks": [{"name": ..., "items_per_second": ...}, ...]}
   * treeagg-bench-throughput-v1 (BENCH_throughput.json): the committed
       numbers live in "optimized_items_per_second" per benchmark.
-  * treeagg-bench-net-v1 (BENCH_net.json / bench_net_throughput --out):
-      "requests_per_sec" per policy row; rows with causal_ok=false in the
-      CURRENT run fail the check outright (the wire changed the algorithm).
+  * treeagg-bench-net-v1 (old BENCH_net.json): "requests_per_sec" per
+      policy row, keyed by "policy".
+  * treeagg-bench-net-v2 (BENCH_net.json / bench_net_throughput --out):
+      "requests_per_sec" per run row, keyed by the stable "name" series
+      (e.g. "RWW/batch", "big-subtree/batch").
+  For both net shapes, rows with causal_ok=false in the CURRENT run fail
+  the check outright (the wire changed the algorithm).
 
 usage:
   check_bench.py --current RUN.json --baseline BENCH_x.json \
@@ -39,8 +43,11 @@ def load_throughputs(path):
             [],
         )
     if schema.startswith("treeagg-bench-net"):
-        series = {r["policy"]: r["requests_per_sec"] for r in doc["runs"]}
-        failed = [r["policy"] for r in doc["runs"]
+        # v2 rows carry a stable "name" series key; v1 rows are keyed by
+        # policy alone.
+        key = "name" if schema.startswith("treeagg-bench-net-v2") else "policy"
+        series = {r[key]: r["requests_per_sec"] for r in doc["runs"]}
+        failed = [r[key] for r in doc["runs"]
                   if not r.get("causal_ok", True)]
         return series, failed
     if "benchmarks" in doc:  # google-benchmark output
