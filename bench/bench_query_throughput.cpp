@@ -1,0 +1,350 @@
+// E70 — snapshot query tier vs mechanism probes, loopback TCP.
+//
+// Prices the read path the snapshot tier adds: how fast can a client read
+// a node's aggregate while a write stream is flowing, served (a) by the
+// Figure 1 lease mechanism (InjectCombine: a probe wave to every neighbor
+// without a taken lease, synchronous per read) versus (b) by the seqlock
+// snapshot slots (kQuery/kQueryResp: one RTT to the hosting daemon, no
+// mechanism message, no ledger movement). Three rows:
+//
+//   * mechanism/probes — the mixed50 combines served by the mechanism,
+//     one synchronous probe per read, writes pipelined around them. The
+//     full run is vetted by the Section 5 causal checker.
+//   * snapshot/driver  — the same request sequence with every combine
+//     served from the snapshot tier over the driver connection. Answers
+//     are replayed through ValidateQueryAnswers against the harvested
+//     ghost logs.
+//   * snapshot/clients-K — K standalone QueryClient threads reading nodes
+//     round-robin while the driver pumps a continuous write stream; each
+//     connection's answers validated independently (per-connection
+//     epoch/prefix linearizability).
+//
+// The headline is the speedup of the best snapshot row over the mechanism
+// row; the bench exits non-zero if it falls under --min-speedup (default
+// 10x, the tier's reason to exist) or any row fails validation. With
+// --out FILE, writes the machine-readable treeagg-bench-query-v1 JSON
+// committed as BENCH_query.json at the repo root (tools/check_bench.py
+// gates it alongside the other baselines).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/table.h"
+#include "consistency/causal_checker.h"
+#include "core/aggregate_op.h"
+#include "net/local_cluster.h"
+#include "net/query_client.h"
+#include "query/validate.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+struct BenchConfig {
+  NodeId nodes = 63;
+  int daemons = 4;
+  std::string placement = "block";
+  std::size_t requests = 2000;   // mixed50: ~half are reads
+  int clients = 4;
+  std::size_t reads_per_client = 2000;
+  double min_speedup = 10.0;
+  std::string out_path;
+};
+
+struct BenchRow {
+  std::string name;  // stable series key for check_bench.py
+  NodeId nodes = 0;
+  int daemons = 0;
+  std::uint64_t reads = 0;
+  double elapsed_sec = 0;
+  double serves_per_sec = 0;
+  bool valid = false;
+};
+
+LocalCluster::Options ClusterOptions(const BenchConfig& cfg) {
+  LocalCluster::Options options;
+  options.daemons = cfg.daemons;
+  options.placement = cfg.placement;
+  options.ghost_logging = true;  // both validators replay against the logs
+  return options;
+}
+
+// Rows 1 and 2: replay the same mixed50 sequence, serving each combine
+// synchronously — via the mechanism or via the snapshot tier. Writes are
+// pipelined either way, so the rows differ only in how a read is served.
+BenchRow RunDriverRow(const std::string& name, ProbeVia via, const Tree& tree,
+                      const RequestSequence& sigma, const BenchConfig& cfg) {
+  LocalCluster cluster(ParentVector(tree), ClusterOptions(cfg));
+  NetDriver& driver = cluster.driver();
+  std::vector<query::ServedQuery> served;
+  std::int64_t serial = 0;
+  std::uint64_t reads = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+      continue;
+    }
+    ++reads;
+    if (via == ProbeVia::kMechanism) {
+      driver.WaitCompleted(driver.InjectCombine(r.node));
+    } else {
+      served.push_back(
+          query::ServedQuery{r.node, driver.QueryNode(r.node), serial++});
+    }
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  driver.Shutdown();
+  cluster.Stop();
+
+  CheckResult check;
+  if (!cluster.DaemonError().empty()) {
+    check = CheckResult::Fail("daemon failed: " + cluster.DaemonError());
+  } else if (via == ProbeVia::kMechanism) {
+    check = CheckCausalConsistency(driver.history(), harvest.ghosts,
+                                   OpByName("sum"), tree.size());
+  } else {
+    check = query::ValidateQueryAnswers(driver.history(), harvest.ghosts,
+                                        served, OpByName("sum"));
+  }
+  if (!check.ok) std::cout << name << " INVALID: " << check.message << "\n";
+
+  BenchRow row;
+  row.name = name;
+  row.nodes = tree.size();
+  row.daemons = cfg.daemons;
+  row.reads = reads;
+  row.elapsed_sec = elapsed;
+  row.serves_per_sec = elapsed > 0 ? static_cast<double>(reads) / elapsed : 0;
+  row.valid = check.ok;
+  return row;
+}
+
+// Row 3: K standalone QueryClient threads read nodes round-robin while the
+// driver keeps a write stream flowing for the whole window.
+BenchRow RunClientsRow(const Tree& tree, const BenchConfig& cfg) {
+  LocalCluster cluster(ParentVector(tree), ClusterOptions(cfg));
+  NetDriver& driver = cluster.driver();
+  // Warm every slot past its attach epoch so clients race real publishes.
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    driver.InjectWrite(u, static_cast<Real>(u % 7));
+  }
+  driver.WaitAllCompleted();
+
+  const int clients = std::max(1, cfg.clients);
+  std::vector<std::vector<query::ServedQuery>> served(
+      static_cast<std::size_t>(clients));
+  std::vector<std::string> client_errors(static_cast<std::size_t>(clients));
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t]() {
+      try {
+        QueryClient client(cluster.config());
+        auto& mine = served[static_cast<std::size_t>(t)];
+        mine.reserve(cfg.reads_per_client);
+        for (std::size_t i = 0; i < cfg.reads_per_client; ++i) {
+          // Deterministic per-thread node walk, coprime stride per client.
+          const NodeId node = static_cast<NodeId>(
+              (static_cast<std::size_t>(t) * 31 + i * 7) %
+              static_cast<std::size_t>(tree.size()));
+          mine.push_back(query::ServedQuery{
+              node, client.Query(node), static_cast<std::int64_t>(i)});
+        }
+      } catch (const std::exception& e) {
+        client_errors[static_cast<std::size_t>(t)] = e.what();
+      }
+    });
+  }
+  // The concurrent write load: cycle writes over the tree until every
+  // client finishes, throttled so the pipeline stays bounded.
+  std::thread writer([&]() {
+    std::uint64_t i = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      driver.InjectWrite(static_cast<NodeId>(i % tree.size()),
+                         static_cast<Real>(i % 11));
+      if (++i % 128 == 0) driver.WaitAllCompleted();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  done.store(true, std::memory_order_relaxed);
+  writer.join();
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  driver.Shutdown();
+  cluster.Stop();
+
+  CheckResult check = CheckResult::Ok();
+  if (!cluster.DaemonError().empty()) {
+    check = CheckResult::Fail("daemon failed: " + cluster.DaemonError());
+  }
+  for (int t = 0; t < clients && check.ok; ++t) {
+    const std::string& err = client_errors[static_cast<std::size_t>(t)];
+    if (!err.empty()) {
+      check = CheckResult::Fail("client " + std::to_string(t) + ": " + err);
+      break;
+    }
+    // Each connection is its own serial order; validate it independently.
+    check = query::ValidateQueryAnswers(driver.history(), harvest.ghosts,
+                                        served[static_cast<std::size_t>(t)],
+                                        OpByName("sum"));
+  }
+  if (!check.ok) std::cout << "snapshot/clients INVALID: " << check.message
+                           << "\n";
+
+  BenchRow row;
+  row.name = "snapshot/clients-" + std::to_string(clients);
+  row.nodes = tree.size();
+  row.daemons = cfg.daemons;
+  row.reads = static_cast<std::uint64_t>(clients) * cfg.reads_per_client;
+  row.elapsed_sec = elapsed;
+  row.serves_per_sec =
+      elapsed > 0 ? static_cast<double>(row.reads) / elapsed : 0;
+  row.valid = check.ok;
+  return row;
+}
+
+void WriteJson(std::ostream& out, const std::vector<BenchRow>& rows,
+               double speedup) {
+  out << "{\n  \"schema\": \"treeagg-bench-query-v1\",\n";
+  out << "  \"workload\": \"mixed50 + continuous writes\","
+      << " \"transport\": \"loopback-tcp\",\n";
+  out << "  \"speedup\": " << speedup << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"nodes\": " << r.nodes
+        << ", \"daemons\": " << r.daemons << ", \"reads\": " << r.reads
+        << ", \"elapsed_sec\": " << r.elapsed_sec
+        << ", \"serves_per_sec\": " << r.serves_per_sec
+        << ", \"valid\": " << (r.valid ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int Run(const BenchConfig& cfg) {
+  const Tree tree = MakeKary(cfg.nodes, 2);
+  const RequestSequence sigma =
+      MakeWorkload("mixed50", tree, cfg.requests, 37);
+
+  std::cout << "Snapshot query tier vs mechanism probes — " << cfg.nodes
+            << "-node kary2 tree, " << cfg.daemons << " daemons ("
+            << cfg.placement << " placement), loopback TCP\nmixed50 x"
+            << sigma.size() << " driver rows; " << cfg.clients
+            << " query clients x " << cfg.reads_per_client
+            << " reads under a continuous write stream\n\n";
+
+  std::vector<BenchRow> rows;
+  rows.push_back(
+      RunDriverRow("mechanism/probes", ProbeVia::kMechanism, tree, sigma, cfg));
+  rows.push_back(
+      RunDriverRow("snapshot/driver", ProbeVia::kSnapshot, tree, sigma, cfg));
+  rows.push_back(RunClientsRow(tree, cfg));
+
+  TextTable table({"series", "reads", "elapsed s", "serves/s", "valid"});
+  for (const BenchRow& r : rows) {
+    table.AddRow({r.name, std::to_string(r.reads), Fmt(r.elapsed_sec, 3),
+                  Fmt(r.serves_per_sec, 0), r.valid ? "ok" : "FAIL"});
+  }
+  std::cout << table.ToString();
+
+  const double mechanism = rows[0].serves_per_sec;
+  const double best_snapshot =
+      std::max(rows[1].serves_per_sec, rows[2].serves_per_sec);
+  const double speedup = mechanism > 0 ? best_snapshot / mechanism : 0;
+  std::cout << "\nsnapshot read speedup over mechanism probes: "
+            << Fmt(speedup, 1) << "x (driver "
+            << Fmt(rows[1].serves_per_sec / std::max(mechanism, 1e-9), 1)
+            << "x, clients "
+            << Fmt(rows[2].serves_per_sec / std::max(mechanism, 1e-9), 1)
+            << "x)\n";
+
+  if (!cfg.out_path.empty()) {
+    std::ofstream out(cfg.out_path);
+    if (!out) {
+      std::cerr << "cannot open " << cfg.out_path << "\n";
+      return 1;
+    }
+    WriteJson(out, rows, speedup);
+    std::cout << "wrote " << cfg.out_path << "\n";
+  }
+
+  bool ok = true;
+  for (const BenchRow& r : rows) ok &= r.valid;
+  if (!ok) {
+    std::cout << "\nFAIL: a row failed its consistency validation\n";
+    return 1;
+  }
+  if (speedup < cfg.min_speedup) {
+    std::cout << "\nFAIL: speedup " << Fmt(speedup, 1) << "x under the "
+              << Fmt(cfg.min_speedup, 1) << "x floor\n";
+    return 1;
+  }
+  std::cout << "\nPASS: all rows valid, speedup >= " << Fmt(cfg.min_speedup, 1)
+            << "x\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main(int argc, char** argv) {
+  treeagg::BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--out" && (value = next())) {
+      cfg.out_path = value;
+    } else if (arg == "--nodes" && (value = next())) {
+      cfg.nodes = static_cast<treeagg::NodeId>(std::stol(value));
+    } else if (arg == "--daemons" && (value = next())) {
+      cfg.daemons = static_cast<int>(std::stol(value));
+    } else if (arg == "--placement" && (value = next())) {
+      cfg.placement = value;
+    } else if (arg == "--requests" && (value = next())) {
+      cfg.requests = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--clients" && (value = next())) {
+      cfg.clients = static_cast<int>(std::stol(value));
+    } else if (arg == "--reads-per-client" && (value = next())) {
+      cfg.reads_per_client = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--min-speedup" && (value = next())) {
+      cfg.min_speedup = std::stod(value);
+    } else {
+      std::cerr << "usage: bench_query_throughput [--out FILE] [--nodes N]"
+                   " [--daemons D] [--placement block|rr|subtree]"
+                   " [--requests R] [--clients K] [--reads-per-client Q]"
+                   " [--min-speedup X]\n";
+      return 2;
+    }
+  }
+  return treeagg::Run(cfg);
+}

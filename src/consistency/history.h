@@ -50,6 +50,15 @@ class History {
                        std::vector<std::pair<NodeId, ReqId>> gather,
                        std::int64_t log_prefix, std::int64_t at);
 
+  // Reassigns a completed request's per-node completion order. Lifting a
+  // snapshot read into the history (query/validate.h) places the read, in
+  // its node's program order, where its published log prefix says it ran —
+  // not where the driver harvested it — which requires renumbering the
+  // node's requests after the fact.
+  void SetNodeIndex(ReqId id, std::int64_t node_index) {
+    records_[static_cast<std::size_t>(id)].node_index = node_index;
+  }
+
   const std::vector<RequestRecord>& records() const { return records_; }
   const RequestRecord& record(ReqId id) const {
     return records_[static_cast<std::size_t>(id)];

@@ -99,6 +99,7 @@ void LeaseNode::ImportState(const DurableState& state) {
     ghost_seen_[gw.id] = true;
   }
   ghost_snapshot_.reset();
+  PublishSnapshot();
 }
 
 std::size_t LeaseNode::Idx(NodeId v) const {
@@ -385,6 +386,7 @@ void LeaseNode::LocalCombine(CombineToken token) {  // T1
     // A combine is already in flight at this node; piggyback on it.
     local_tokens_.push_back(token);
   }
+  PublishSnapshot();
 }
 
 void LeaseNode::LocalWrite(Real arg, ReqId write_id) {  // T2
@@ -397,6 +399,7 @@ void LeaseNode::LocalWrite(Real arg, ReqId write_id) {  // T2
     const UpdateId id = NewId();
     ForwardUpdates(self_, id);
   }
+  PublishSnapshot();
 }
 
 void LeaseNode::Deliver(const Message& m) {
@@ -473,6 +476,7 @@ void LeaseNode::Deliver(const Message& m) {
       break;
     }
   }
+  PublishSnapshot();
 }
 
 }  // namespace treeagg

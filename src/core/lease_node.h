@@ -25,6 +25,7 @@
 #include "core/message.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
+#include "query/snapshot.h"
 
 namespace treeagg {
 
@@ -144,6 +145,18 @@ class LeaseNode final : public LeaseNodeView {
   // runtime, daemon poll loop) may share one bundle across nodes.
   void set_metrics(obs::ProtocolMetrics* metrics) { obs_ = metrics; }
 
+  // --- Snapshot query tier ----------------------------------------------
+  // Attaches the node's seqlock snapshot slot. Like the metrics bundle,
+  // null (the default) disables the read tier at the cost of one
+  // never-taken branch per transition. The slot must outlive the node and
+  // have no other writer: publishing happens on whatever thread drives
+  // this node's transitions, which is the slot's unique-writer contract.
+  // Attaching publishes immediately, so a slot is never unreadably stale.
+  void set_query_slot(query::SnapshotSlot* slot) {
+    qslot_ = slot;
+    PublishSnapshot();
+  }
+
  private:
   // One of the paper's sntupdates tuples {node, rcvid, sntid}, with the
   // node component implicit: tuples are stored on the PerNeighbor entry of
@@ -199,6 +212,18 @@ class LeaseNode final : public LeaseNodeView {
   void GhostAppendLocalWrite(ReqId id);
   void GhostMerge(const Message& m);
 
+  // Publishes gval() + the current ghost-log length into the attached
+  // snapshot slot (no-op without one). Runs at the tail of every request
+  // entry point, so the slot always holds the latest mechanism-visible
+  // estimate.
+  void PublishSnapshot() {
+    if (qslot_ != nullptr) {
+      qslot_->Publish(
+          Gval(),
+          ghost_ ? static_cast<std::int64_t>(log_writes_.size()) : -1);
+    }
+  }
+
   const NodeId self_;
   const std::vector<NodeId> nbrs_;
   const AggregateOp op_;
@@ -207,6 +232,7 @@ class LeaseNode final : public LeaseNodeView {
   const CombineDoneFn combine_done_;
   const bool ghost_;
   obs::ProtocolMetrics* obs_ = nullptr;
+  query::SnapshotSlot* qslot_ = nullptr;
 
   Real val_;
   std::vector<PerNeighbor> per_;  // parallel to nbrs_

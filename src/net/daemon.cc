@@ -88,6 +88,7 @@ void NodeDaemon::SetUpMetrics() {
       "Wall time to handle one inbound frame to completion, including "
       "draining the intra-daemon messages it triggered.",
       obs::Histogram::DefaultLatencyBoundsMs(), base);
+  query_metrics_ = obs::QueryMetrics::Register(*registry_, base);
 }
 
 std::unique_ptr<FrameConn> NodeDaemon::NewFrameConn(ScopedFd fd) {
@@ -161,6 +162,15 @@ void NodeDaemon::BuildNodes() {
   const PolicyFactory factory = PolicyBySpec(config_.policy);
   const AggregateOp& op = OpByName(config_.op);
   nodes_.resize(static_cast<std::size_t>(tree_->size()));
+  // Snapshot slots for the query tier: one per hosted node, so the table
+  // cost scales with this daemon's share of the tree, not the whole tree.
+  snap_index_.assign(static_cast<std::size_t>(tree_->size()), -1);
+  std::int32_t hosted = 0;
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    if (HostsNode(u)) snap_index_[static_cast<std::size_t>(u)] = hosted++;
+  }
+  snapshots_ =
+      std::make_unique<query::SnapshotTable>(static_cast<std::size_t>(hosted));
   for (NodeId u = 0; u < tree_->size(); ++u) {
     if (!HostsNode(u)) continue;
     const std::vector<NodeId> nbrs = tree_->neighbors(u).ToVector();
@@ -173,6 +183,10 @@ void NodeDaemon::BuildNodes() {
     if (registry_ != nullptr) {
       nodes_[static_cast<std::size_t>(u)]->set_metrics(&proto_metrics_);
     }
+    // Attach before Run()'s loop: publishing on attach means every slot is
+    // readable (epoch >= 1) before the first query can possibly arrive.
+    nodes_[static_cast<std::size_t>(u)]->set_query_slot(
+        snapshots_->slot(snap_index_[static_cast<std::size_t>(u)]));
   }
 }
 
@@ -993,10 +1007,30 @@ void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
     case FrameType::kDriverHello:
       Fail("unexpected hello frame on an established connection");
       break;
+    case FrameType::kQuery: {
+      // Snapshot read on the driver connection. Queries never ride peer
+      // sessions (the v5 wire contract), and the answer comes straight
+      // from the seqlock slot — no LeaseNode state is touched, no
+      // protocol message is sent, no Figure-2 counter moves.
+      if (from_peer >= 0) {
+        Fail("query frame on a peer session");
+        break;
+      }
+      WireFrame resp;
+      if (!BuildQueryResp(frame, &resp)) {
+        Fail("query for node " + std::to_string(frame.node) +
+             ", which daemon " + std::to_string(daemon_id_) +
+             " does not host");
+        break;
+      }
+      SendToDriver(resp);
+      break;
+    }
     case FrameType::kWriteDone:
     case FrameType::kCombineDone:
     case FrameType::kStatusResp:
     case FrameType::kHarvestResp:
+    case FrameType::kQueryResp:
       Fail(std::string("daemon received driver-bound frame ") +
            ToString(frame.type));
       break;
@@ -1113,40 +1147,55 @@ bool NodeDaemon::ServiceMetricsConn(MetricsConn& mc, short revents) {
   if (revents & (POLLERR | POLLNVAL)) return false;
   if (!mc.closing && (revents & (POLLIN | POLLHUP))) {
     char buf[4096];
+    bool eof = false;
     for (;;) {
       const ssize_t n = ::recv(mc.fd.get(), buf, sizeof(buf), 0);
       if (n > 0) {
         mc.in.append(buf, static_cast<std::size_t>(n));
         continue;
       }
-      if (n == 0) return false;  // client went away before the request end
+      if (n == 0) {
+        // Half-close: the scraper shut down its write side after the
+        // request. The buffered head still gets parsed and answered below;
+        // the connection drops only once the responses have flushed.
+        eof = true;
+        break;
+      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
       return false;
     }
-    obs::HttpRequest req;
-    switch (obs::ParseHttpRequest(mc.in, &req)) {
-      case obs::HttpParse::kNeedMore:
-        break;
-      case obs::HttpParse::kBad:
-        mc.out = obs::BuildHttpResponse(400, "text/plain", "bad request\n");
-        mc.closing = true;
-        break;
-      case obs::HttpParse::kOk: {
-        if (req.method != "GET") {
-          mc.out = obs::BuildHttpResponse(405, "text/plain",
-                                          "method not allowed\n");
-        } else if (req.target == "/metrics" ||
-                   req.target.rfind("/metrics?", 0) == 0) {
-          mc.out = obs::BuildHttpResponse(200, obs::kPrometheusContentType,
-                                          RenderMetricsPage());
-        } else {
-          mc.out = obs::BuildHttpResponse(404, "text/plain", "not found\n");
-        }
+    // Answer every complete request buffered so far: a slow link delivers
+    // a head in arbitrary pieces (keep waiting on kNeedMore), and a
+    // pipelining scraper batches several GETs into one segment (each one
+    // gets its own response, in order). Every response still announces
+    // Connection: close, and the connection closes once everything
+    // buffered is answered — later requests belong on a new connection.
+    while (!mc.closing) {
+      obs::HttpRequest req;
+      std::size_t consumed = 0;
+      const obs::HttpParse parsed =
+          obs::ParseHttpRequest(mc.in, &req, &consumed);
+      if (parsed == obs::HttpParse::kNeedMore) break;
+      if (parsed == obs::HttpParse::kBad) {
+        mc.out += obs::BuildHttpResponse(400, "text/plain", "bad request\n");
         mc.closing = true;
         break;
       }
+      mc.in.erase(0, consumed);
+      if (req.method != "GET") {
+        mc.out += obs::BuildHttpResponse(405, "text/plain",
+                                         "method not allowed\n");
+      } else if (req.target == "/metrics" ||
+                 req.target.rfind("/metrics?", 0) == 0) {
+        mc.out += obs::BuildHttpResponse(200, obs::kPrometheusContentType,
+                                         RenderMetricsPage());
+      } else {
+        mc.out += obs::BuildHttpResponse(404, "text/plain", "not found\n");
+      }
+      if (mc.in.empty()) mc.closing = true;
     }
+    if (eof) mc.closing = true;
   }
   while (mc.out_pos < mc.out.size()) {
     const ssize_t n = ::send(mc.fd.get(), mc.out.data() + mc.out_pos,
@@ -1159,7 +1208,70 @@ bool NodeDaemon::ServiceMetricsConn(MetricsConn& mc, short revents) {
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
-  return !(mc.closing && mc.out_pos == mc.out.size() && !mc.out.empty());
+  return !(mc.closing && mc.out_pos == mc.out.size());
+}
+
+bool NodeDaemon::BuildQueryResp(const WireFrame& q, WireFrame* resp) {
+  if (q.node < 0 || q.node >= tree_->size() ||
+      snap_index_[static_cast<std::size_t>(q.node)] < 0) {
+    return false;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const query::SnapshotSlot* slot =
+      snapshots_->slot(snap_index_[static_cast<std::size_t>(q.node)]);
+  query::QueryAnswer answer;
+  while (!slot->TryRead(&answer)) {
+    // A worker reactor is mid-publish on this slot; a publish is a handful
+    // of relaxed stores, so the retry window is nanoseconds wide.
+    if (registry_ != nullptr) query_metrics_.read_retries->Inc();
+  }
+  resp->type = FrameType::kQueryResp;
+  resp->req = q.req;
+  resp->node = q.node;
+  resp->epoch = answer.epoch;
+  resp->value = answer.value;
+  resp->log_prefix = answer.log_prefix;
+  if (registry_ != nullptr) {
+    query_metrics_.queries_served->Inc();
+    query_metrics_.serve_latency_ms->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  return true;
+}
+
+bool NodeDaemon::ServeQuery(const WireFrame& q, FrameConn* conn) {
+  WireFrame resp;
+  if (!BuildQueryResp(q, &resp)) return false;
+  conn->SendFrame(resp);
+  return true;
+}
+
+bool NodeDaemon::ServiceQueryConn(QueryClient& qc, short revents) {
+  FrameConn* conn = qc.conn.get();
+  if (conn == nullptr || !conn->open()) return false;
+  if (revents & (POLLERR | POLLNVAL)) return false;
+  if (!qc.closing && (revents & (POLLIN | POLLHUP))) {
+    const bool alive = conn->ReadAvailable();
+    WireFrame frame;
+    for (;;) {
+      const DecodeStatus status = conn->NextFrame(&frame);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status != DecodeStatus::kOk) return false;
+      // The read tier speaks exactly one frame type; anything else is a
+      // protocol violation and drops the connection.
+      if (frame.type != FrameType::kQuery) return false;
+      if (!ServeQuery(frame, conn)) return false;
+      frame = WireFrame{};
+    }
+    // Half-close: answers for the queries above are queued; flush them
+    // before dropping the connection.
+    if (!alive) qc.closing = true;
+  }
+  conn->Flush();
+  if (!conn->open()) return false;
+  return !(qc.closing && !conn->WantWrite());
 }
 
 void NodeDaemon::FlushAll() {
@@ -1255,6 +1367,16 @@ void NodeDaemon::Run() {
       conns.push_back(nullptr);
       conn_peer.push_back(-2);
     }
+    // Query-tier clients ride the poll set the same way: null conns, so
+    // the frame-connection loop skips them; serviced positionally below.
+    const std::size_t query_conn_count = query_conns_.size();
+    for (QueryClient& qc : query_conns_) {
+      short events = POLLIN;
+      if (qc.conn->WantWrite()) events |= POLLOUT;
+      pfds.push_back({qc.conn->fd(), events, 0});
+      conns.push_back(nullptr);
+      conn_peer.push_back(-2);
+    }
     const auto add_conn = [&](FrameConn* c, int peer) {
       if (c == nullptr || !c->open()) return;
       short events = POLLIN;
@@ -1344,6 +1466,18 @@ void NodeDaemon::Run() {
         return idx < metrics_conn_count && !keep[idx];
       });
     }
+    if (query_conn_count > 0) {
+      std::vector<bool> keep(query_conn_count, true);
+      for (std::size_t q = 0; q < query_conn_count; ++q, ++i) {
+        if (pfds[i].revents == 0) continue;
+        keep[q] = ServiceQueryConn(query_conns_[q], pfds[i].revents);
+      }
+      std::size_t q = 0;
+      std::erase_if(query_conns_, [&](const QueryClient&) {
+        const std::size_t idx = q++;
+        return idx < query_conn_count && !keep[idx];
+      });
+    }
     // Established connections (driver + peers) then pending ones; pfds
     // beyond i map 1:1 onto conns/conn_peer. Pending entries come last, so
     // a classification that replaces a dead driver/peer connection only
@@ -1410,6 +1544,33 @@ void NodeDaemon::Run() {
             conn->Flush();
             GoLive(p, hello.resume);
             if (peers_[static_cast<std::size_t>(p)] == nullptr) continue;
+          } else if (hello.type == FrameType::kQuery) {
+            // A connection that opens with a query (instead of a hello) is
+            // a read-tier client. Snapshot reads are independent of the
+            // mechanism, so they are served immediately — even before the
+            // peer bring-up gate opens — and never park.
+            QueryClient qc;
+            qc.conn = std::move(owned);
+            bool ok = ServeQuery(hello, qc.conn.get());
+            WireFrame qf;
+            while (ok) {
+              const DecodeStatus qs = qc.conn->NextFrame(&qf);
+              if (qs == DecodeStatus::kNeedMore) break;
+              if (qs != DecodeStatus::kOk || qf.type != FrameType::kQuery) {
+                ok = false;
+                break;
+              }
+              ok = ServeQuery(qf, qc.conn.get());
+              qf = WireFrame{};
+            }
+            if (ok) {
+              qc.conn->Flush();
+              if (!alive) qc.closing = true;
+              if (qc.conn->open() && (!qc.closing || qc.conn->WantWrite())) {
+                query_conns_.push_back(std::move(qc));
+              }
+            }
+            continue;  // not a mechanism connection: skip the drain below
           } else {
             continue;  // bogus hello: drop the connection
           }

@@ -99,6 +99,7 @@
 #include "net/transport.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "query/snapshot.h"
 #include "sim/trace.h"
 #include "tree/topology.h"
 
@@ -382,6 +383,26 @@ class NodeDaemon {
     std::size_t out_pos = 0;
     bool closing = false;
   };
+  // --- snapshot query tier ----------------------------------------------
+  // A dedicated read-tier connection: any accepted connection whose first
+  // frame is kQuery (instead of a hello) becomes one. Served entirely on
+  // the primary poll loop; the seqlock slots make the reads safe against
+  // worker reactors publishing concurrently. `closing` marks a half-closed
+  // client whose queued answers still need flushing.
+  struct QueryClient {
+    std::unique_ptr<FrameConn> conn;
+    bool closing = false;
+  };
+  // Fills *resp with the snapshot answer for query `q`; false when the
+  // queried node is not hosted here (or out of range).
+  bool BuildQueryResp(const WireFrame& q, WireFrame* resp);
+  // Answers one kQuery on a query-client connection; false drops the
+  // connection (malformed query or the node is not hosted here).
+  bool ServeQuery(const WireFrame& q, FrameConn* conn);
+  // Advances one query-client connection; returns false when it should be
+  // closed.
+  bool ServiceQueryConn(QueryClient& qc, short revents);
+
   // Builds the registry and the hot-path metric bundles (constructor).
   void SetUpMetrics();
   // Wraps a freshly accepted/established socket, attaching the shared
@@ -406,6 +427,13 @@ class NodeDaemon {
   std::unique_ptr<FrameConn> driver_;
   std::vector<PendingConn> pending_;
   std::deque<WireFrame> driver_outbox_;
+  std::vector<QueryClient> query_conns_;
+
+  // Snapshot query tier: one seqlock slot per HOSTED node (snap_index_
+  // maps NodeId -> slot, -1 for nodes hosted elsewhere). Slots are written
+  // by whichever reactor owns the node and read on the primary.
+  std::unique_ptr<query::SnapshotTable> snapshots_;
+  std::vector<std::int32_t> snap_index_;
 
   std::deque<Message> local_queue_;
   // Quiescence counters. Atomic because worker reactors send (RouteSend)
@@ -452,6 +480,7 @@ class NodeDaemon {
   std::unique_ptr<obs::MetricsRegistry> registry_;
   obs::ProtocolMetrics proto_metrics_;
   obs::TransportMetrics transport_metrics_;
+  obs::QueryMetrics query_metrics_;
   obs::Gauge* g_local_queue_ = nullptr;
   obs::Gauge* g_replay_log_ = nullptr;
   obs::Gauge* g_replay_log_hwm_ = nullptr;

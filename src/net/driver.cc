@@ -143,6 +143,27 @@ ReqId NetDriver::InjectCombine(NodeId node) {
   return id;
 }
 
+query::QueryAnswer NetDriver::QueryNode(NodeId node) {
+  FrameConn* conn = ConnForNode(node);
+  WireFrame f;
+  f.type = FrameType::kQuery;
+  f.req = next_query_req_++;
+  f.node = node;
+  conn->SendFrame(f);
+  conn->Flush();
+  pending_query_ = f.req;
+  query_answered_ = false;
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!query_answered_) {
+    if (NowMs() >= deadline) {
+      Timeout("query answer for node " + std::to_string(node));
+    }
+    PumpOnce(50);
+  }
+  pending_query_ = kNoRequest;
+  return query_answer_;
+}
+
 void NetDriver::FlushAll() {
   for (auto& c : conns_) {
     if (c && c->open()) c->Flush();
@@ -178,6 +199,15 @@ void NetDriver::DispatchFrame(std::size_t daemon, WireFrame frame) {
           !status_seen_[daemon]) {
         status_seen_[daemon] = true;
         status_[daemon] = frame.status;
+      }
+      break;
+    case FrameType::kQueryResp:
+      // Stale responses (a timed-out query answered late) are dropped.
+      if (!query_answered_ && frame.req == pending_query_) {
+        query_answer_.epoch = frame.epoch;
+        query_answer_.value = frame.value;
+        query_answer_.log_prefix = frame.log_prefix;
+        query_answered_ = true;
       }
       break;
     case FrameType::kHarvestResp:

@@ -33,6 +33,7 @@
 #include "net/cluster.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "query/snapshot.h"
 #include "sim/trace.h"
 
 namespace treeagg {
@@ -74,6 +75,12 @@ class NetDriver {
   // Outstanding combines also hold messages in flight, so callers normally
   // WaitAllCompleted() first.
   void WaitQuiescent();
+
+  // Snapshot read: sends kQuery to the daemon hosting `node` and blocks
+  // for its kQueryResp. Off-ledger — no history record is created, no
+  // mechanism message is generated, and the Figure-2 counters don't move;
+  // the answer is whatever the node's seqlock slot published last.
+  query::QueryAnswer QueryNode(NodeId node);
 
   struct HarvestResult {
     std::vector<NodeGhostState> ghosts;  // every node, ordered by id
@@ -133,6 +140,12 @@ class NetDriver {
 
   std::uint64_t next_probe_ = 1;
   std::uint64_t current_probe_ = 0;  // probe being collected, 0 = none
+  // Query tokens live beside the history ids (responses are matched by
+  // frame type + token, never through the history).
+  ReqId next_query_req_ = 1;
+  ReqId pending_query_ = kNoRequest;
+  bool query_answered_ = false;
+  query::QueryAnswer query_answer_;
   std::vector<StatusPayload> status_;
   std::vector<bool> status_seen_;
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/aggregate_op.h"
+
 namespace treeagg {
 
 LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
@@ -172,18 +174,28 @@ std::string LocalCluster::DaemonError() const {
 NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
                             const RequestSequence& sigma,
                             const LocalCluster::Options& options,
-                            bool sequential) {
+                            bool sequential, ProbeVia probe_via) {
   LocalCluster cluster(tree_parent, options);
   NetDriver& driver = cluster.driver();
   NetRunResult result;
+  std::int64_t query_serial = 0;
   const auto start = std::chrono::steady_clock::now();
+  // kSnapshot turns every combine of sigma into an off-ledger snapshot
+  // read: it returns kNoRequest (there is nothing to wait for — QueryNode
+  // is synchronous) and records the served answer for offline validation.
   const auto inject = [&](const Request& r) {
-    return r.op == ReqType::kWrite ? driver.InjectWrite(r.node, r.arg)
-                                   : driver.InjectCombine(r.node);
+    if (r.op == ReqType::kWrite) return driver.InjectWrite(r.node, r.arg);
+    if (probe_via == ProbeVia::kSnapshot) {
+      result.queries.push_back(query::ServedQuery{
+          r.node, driver.QueryNode(r.node), query_serial++});
+      return kNoRequest;
+    }
+    return driver.InjectCombine(r.node);
   };
   if (sequential) {
     for (const Request& r : sigma) {
       const ReqId id = inject(r);
+      if (id == kNoRequest) continue;
       driver.WaitCompleted(id);
       driver.WaitQuiescent();
     }
@@ -217,6 +229,10 @@ NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
                              cluster.DaemonError());
   }
   result.history = driver.history();
+  if (!result.queries.empty()) {
+    result.query_check = query::ValidateQueryAnswers(
+        result.history, result.ghosts, result.queries, OpByName(options.op));
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "net/cluster.h"
 #include "net/daemon.h"
 #include "net/driver.h"
+#include "query/validate.h"
 #include "workload/request.h"
 
 namespace treeagg {
@@ -150,12 +151,26 @@ struct NetRunResult {
   std::uint64_t wire_frames = 0;     // kProtocol + kBatch frames sent
   std::uint64_t frames_sent = 0;     // frames of every type sent
   std::uint64_t send_syscalls = 0;   // ::send calls issued
+  // Snapshot-tier answers (ProbeVia::kSnapshot only) and their offline
+  // validation against the harvested ghost logs.
+  std::vector<query::ServedQuery> queries;
+  CheckResult query_check = CheckResult::Ok();
 };
+
+// How RunNetWorkload serves the combine requests of sigma.
+//   kMechanism: InjectCombine — the Figure 1 lease protocol (a probe wave
+//     up the tree, paying the Figure-2 message costs). The default.
+//   kSnapshot: the read tier — every combine of sigma becomes an
+//     off-ledger QueryNode() instead. No mechanism message is generated,
+//     so the harvested message counts cover the writes alone; the served
+//     answers are validated with ValidateQueryAnswers.
+enum class ProbeVia { kMechanism, kSnapshot };
 
 NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
                             const RequestSequence& sigma,
                             const LocalCluster::Options& options,
-                            bool sequential);
+                            bool sequential,
+                            ProbeVia probe_via = ProbeVia::kMechanism);
 
 }  // namespace treeagg
 

@@ -1,0 +1,100 @@
+#include "net/query_client.h"
+
+#include <poll.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace treeagg {
+
+QueryClient::QueryClient(ClusterConfig config)
+    : QueryClient(std::move(config), TransportOptions()) {}
+
+QueryClient::QueryClient(ClusterConfig config, TransportOptions transport)
+    : config_(std::move(config)), transport_(transport) {
+  config_.Validate();
+  conns_.resize(config_.daemons.size());
+}
+
+QueryClient::~QueryClient() = default;
+
+FrameConn* QueryClient::ConnForNode(NodeId node) {
+  if (node < 0 || node >= config_.NumNodes()) {
+    throw std::invalid_argument("QueryClient: node " + std::to_string(node) +
+                                " outside the tree");
+  }
+  const int daemon = config_.node_daemon[static_cast<std::size_t>(node)];
+  auto& conn = conns_[static_cast<std::size_t>(daemon)];
+  if (conn == nullptr || !conn->open()) {
+    const ClusterConfig::DaemonAddr& addr =
+        config_.daemons[static_cast<std::size_t>(daemon)];
+    std::string err;
+    ScopedFd fd = ConnectWithBackoff(addr.host, addr.port, transport_, &err);
+    if (!fd.valid()) {
+      throw std::runtime_error("QueryClient: daemon " + std::to_string(daemon) +
+                               ": " + err);
+    }
+    // No hello: the first kQuery below is what classifies this connection
+    // as a read-tier client on the daemon side.
+    conn = std::make_unique<FrameConn>(std::move(fd), transport_);
+  }
+  return conn.get();
+}
+
+query::QueryAnswer QueryClient::Query(NodeId node) {
+  FrameConn* conn = ConnForNode(node);
+  WireFrame q;
+  q.type = FrameType::kQuery;
+  q.req = next_req_++;
+  q.node = node;
+  conn->SendFrame(q);
+  while (conn->open() && conn->WantWrite()) {
+    if (!conn->Flush()) break;
+    if (conn->WantWrite()) {
+      pollfd pfd{conn->fd(), POLLOUT, 0};
+      ::poll(&pfd, 1, 10);
+    }
+  }
+  const std::int64_t deadline = NowMs() + transport_.io_timeout_ms;
+  WireFrame frame;
+  for (;;) {
+    const DecodeStatus status = conn->NextFrame(&frame);
+    if (status == DecodeStatus::kOk) {
+      if (frame.type != FrameType::kQueryResp) {
+        throw std::runtime_error(std::string("QueryClient: unexpected ") +
+                                 ToString(frame.type) +
+                                 " on a read connection");
+      }
+      if (frame.req != q.req) {
+        // A stale answer (an earlier timed-out query); keep reading.
+        frame = WireFrame{};
+        continue;
+      }
+      query::QueryAnswer answer;
+      answer.epoch = frame.epoch;
+      answer.value = frame.value;
+      answer.log_prefix = frame.log_prefix;
+      return answer;
+    }
+    if (status != DecodeStatus::kNeedMore) {
+      throw std::runtime_error("QueryClient: " + conn->error());
+    }
+    if (NowMs() >= deadline) {
+      throw std::runtime_error("QueryClient: timed out waiting for node " +
+                               std::to_string(node) + " (io_timeout_ms = " +
+                               std::to_string(transport_.io_timeout_ms) + ")");
+    }
+    pollfd pfd{conn->fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    if (!conn->ReadAvailable()) {
+      throw std::runtime_error(
+          "QueryClient: daemon dropped the read connection" +
+          (conn->error().empty() ? std::string() : ": " + conn->error()));
+    }
+  }
+}
+
+}  // namespace treeagg

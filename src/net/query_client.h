@@ -1,0 +1,53 @@
+// QueryClient: a standalone client of the snapshot read tier.
+//
+// Where NetDriver multiplexes queries onto its existing driver
+// connections, a QueryClient opens DEDICATED read connections: the first
+// frame it sends on a fresh connection is a kQuery (not a hello), which is
+// how a daemon classifies the connection as a read-tier client. Queries
+// are synchronous request/response pairs; connections are opened lazily
+// per daemon and reused across calls.
+//
+// A QueryClient never touches mechanism state — it can sit beside a
+// running workload (the CLI's `query` subcommand, the read-throughput
+// bench) without perturbing the Figure-2 message accounting.
+#ifndef TREEAGG_NET_QUERY_CLIENT_H_
+#define TREEAGG_NET_QUERY_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/cluster.h"
+#include "net/transport.h"
+#include "query/snapshot.h"
+
+namespace treeagg {
+
+class QueryClient {
+ public:
+  explicit QueryClient(ClusterConfig config);
+  QueryClient(ClusterConfig config, TransportOptions transport);
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  // Reads node's current snapshot from the daemon hosting it. Connects on
+  // first use (with backoff); throws std::runtime_error on connection
+  // failure, timeout, or a daemon that drops the read connection.
+  query::QueryAnswer Query(NodeId node);
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  FrameConn* ConnForNode(NodeId node);
+
+  ClusterConfig config_;
+  TransportOptions transport_;
+  std::vector<std::unique_ptr<FrameConn>> conns_;  // by daemon id; lazy
+  ReqId next_req_ = 1;
+};
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_NET_QUERY_CLIENT_H_

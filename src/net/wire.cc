@@ -208,6 +208,17 @@ void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f,
       }
       PutI64(out, f.log_prefix);
       break;
+    case FrameType::kQuery:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      break;
+    case FrameType::kQueryResp:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      PutU64(out, f.epoch);
+      PutF64(out, f.value);
+      PutI64(out, f.log_prefix);
+      break;
     case FrameType::kStatusReq:
       PutU64(out, f.status.probe);
       break;
@@ -298,6 +309,17 @@ bool DecodePayload(Cursor* c, WireFrame* f, std::uint8_t version) {
       f->log_prefix = c->GetI64();
       break;
     }
+    case FrameType::kQuery:
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      break;
+    case FrameType::kQueryResp:
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      f->epoch = c->GetU64();
+      f->value = c->GetF64();
+      f->log_prefix = c->GetI64();
+      break;
     case FrameType::kStatusReq:
       f->status.probe = c->GetU64();
       break;
@@ -355,6 +377,8 @@ const char* ToString(FrameType t) {
     case FrameType::kShutdown: return "shutdown";
     case FrameType::kPeerAck: return "peer-ack";
     case FrameType::kBatch: return "batch";
+    case FrameType::kQuery: return "query";
+    case FrameType::kQueryResp: return "query-resp";
   }
   return "?";
 }
@@ -398,6 +422,7 @@ bool FramesEqual(const WireFrame& a, const WireFrame& b) {
          a.ack == b.ack && a.ack_valid == b.ack_valid && a.req == b.req &&
          a.node == b.node && a.arg == b.arg && a.value == b.value &&
          a.gather == b.gather && a.log_prefix == b.log_prefix &&
+         a.epoch == b.epoch &&
          a.status == b.status && a.harvest == b.harvest;
 }
 
@@ -467,10 +492,12 @@ DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len) {
   if (len < 4 + static_cast<std::size_t>(body_len)) return r;  // kNeedMore
   const std::uint8_t version = data[5];
   const std::uint8_t type = data[6];
-  // kPeerAck (12) exists only from v3 on, kBatch (13) only from v4 on; in
-  // an older frame those type bytes are out of range.
+  // kPeerAck (12) exists only from v3 on, kBatch (13) only from v4 on,
+  // kQuery/kQueryResp (14/15) only from v5 on; in an older frame those
+  // type bytes are out of range.
   const std::uint8_t max_type =
-      version >= 4 ? static_cast<std::uint8_t>(FrameType::kBatch)
+      version >= 5 ? static_cast<std::uint8_t>(FrameType::kQueryResp)
+      : version == 4 ? static_cast<std::uint8_t>(FrameType::kBatch)
       : version == 3 ? static_cast<std::uint8_t>(FrameType::kPeerAck)
                      : static_cast<std::uint8_t>(FrameType::kShutdown);
   if (type > max_type) {

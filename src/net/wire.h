@@ -1,4 +1,4 @@
-// treeagg-wire-v4: the versioned binary wire format of the networked
+// treeagg-wire-v5: the versioned binary wire format of the networked
 // backend.
 //
 // A frame on the wire is a 4-byte little-endian length prefix followed by
@@ -20,6 +20,9 @@
 //   driver  -> daemon : kDriverHello, kInjectWrite, kInjectCombine,
 //                       kStatusReq, kHarvestReq, kShutdown
 //   daemon  -> driver : kWriteDone, kCombineDone, kStatusResp, kHarvestResp
+//   client <-> daemon : kQuery / kQueryResp (v5) — the snapshot read tier;
+//                       any connection may open with a kQuery instead of a
+//                       hello and becomes a query client
 //
 // Decoding never throws and never crashes on malformed input: every error
 // is reported as a DecodeStatus and poisons the FrameReader (a byte stream
@@ -47,7 +50,11 @@ inline constexpr std::uint8_t kWireMagic = 0xA6;
 // kWireMinVersion, and encodes each peer session at
 // min(kWireVersion, peer hello version) — a v2 peer sees no acks, a v3
 // peer sees per-message kProtocol frames and never a kBatch.
-inline constexpr std::uint8_t kWireVersion = 4;  // treeagg-wire-v4
+// v5 adds the snapshot read tier: kQuery / kQueryResp client frames,
+// answered from the seqlock snapshot table without touching mechanism
+// state. Query frames never ride peer sessions, so a v2/v3/v4 peer never
+// sees them; in a sub-v5 frame those type bytes are kBadType.
+inline constexpr std::uint8_t kWireVersion = 5;  // treeagg-wire-v5
 inline constexpr std::uint8_t kWireMinVersion = 2;  // oldest accepted
 // Upper bound on the frame body (magic byte onward). Harvest frames carry
 // whole ghost logs, so the cap is generous; anything larger is rejected as
@@ -69,6 +76,8 @@ enum class FrameType : std::uint8_t {
   kShutdown = 11,      // no payload
   kPeerAck = 12,       // cumulative durably-processed count (v3)
   kBatch = 13,         // count + concatenated protocol messages (v4)
+  kQuery = 14,         // req, node (v5 snapshot read)
+  kQueryResp = 15,     // req, node, epoch, value, log_prefix (v5)
 };
 
 const char* ToString(FrameType t);
@@ -132,13 +141,16 @@ struct WireFrame {
   // receiver can pin a peer session's dialect from its hello frame.
   std::uint8_t wire_version = kWireVersion;
 
-  ReqId req = kNoRequest;      // kInject*, k*Done
-  NodeId node = kInvalidNode;  // kInject*
+  ReqId req = kNoRequest;      // kInject*, k*Done, kQuery*
+  NodeId node = kInvalidNode;  // kInject*, kQuery*
   Real arg = 0;                // kInjectWrite
 
-  Real value = 0;                                // kCombineDone
+  Real value = 0;                                // kCombineDone, kQueryResp
   std::vector<std::pair<NodeId, ReqId>> gather;  // kCombineDone
-  std::int64_t log_prefix = -1;                  // kCombineDone
+  std::int64_t log_prefix = -1;                  // kCombineDone, kQueryResp
+
+  // kQueryResp: publish count of the served snapshot (see query::QueryAnswer).
+  std::uint64_t epoch = 0;
 
   StatusPayload status;    // kStatusReq (probe only) / kStatusResp
   HarvestPayload harvest;  // kHarvestResp

@@ -4,7 +4,8 @@
 
 namespace treeagg::obs {
 
-HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out) {
+HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out,
+                           std::size_t* consumed) {
   // A request head ends at the first blank line. Accept bare-LF line
   // endings too (curl never sends them, but humans with netcat do).
   const std::size_t head_end = data.find("\r\n\r\n");
@@ -12,6 +13,13 @@ HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out) {
   if (head_end == std::string_view::npos && lf_end == std::string_view::npos) {
     // Bound the buffer we are willing to accumulate for a request head.
     return data.size() > 16 * 1024 ? HttpParse::kBad : HttpParse::kNeedMore;
+  }
+  if (consumed != nullptr) {
+    // Whichever terminator appears first ends this head.
+    *consumed = (head_end != std::string_view::npos &&
+                 (lf_end == std::string_view::npos || head_end < lf_end))
+                    ? head_end + 4
+                    : lf_end + 2;
   }
   const std::size_t line_end = data.find_first_of("\r\n");
   std::string_view line = data.substr(0, line_end);

@@ -3,10 +3,12 @@
 //
 // This is deliberately not a web server: the daemon's poll loop reads
 // whatever bytes arrive on an accepted connection, calls ParseHttpRequest
-// until a full request head is buffered, writes one response, and closes.
-// Bodies are ignored (GET has none), keep-alive is not offered
-// (Connection: close on every response), and anything that is not a
-// well-formed request line earns a 400.
+// until a full request head is buffered, answers every request already
+// buffered (scrapers on slow links deliver heads in pieces and sometimes
+// pipeline several GETs into one segment), and closes. Bodies are ignored
+// (GET has none), keep-alive is not offered (Connection: close on every
+// response), and anything that is not a well-formed request line earns a
+// 400.
 #ifndef TREEAGG_OBS_HTTP_H_
 #define TREEAGG_OBS_HTTP_H_
 
@@ -26,8 +28,12 @@ enum class HttpParse {
   kBad,       // malformed request line; answer 400 and close
 };
 
-// Parses the request head out of `data` (everything buffered so far).
-HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out);
+// Parses the first request head out of `data` (everything buffered so
+// far). On kOk, *consumed (when non-null) is the head's length including
+// its blank-line terminator — the caller erases that prefix to reach the
+// next pipelined request.
+HttpParse ParseHttpRequest(std::string_view data, HttpRequest* out,
+                           std::size_t* consumed = nullptr);
 
 // Builds a complete HTTP/1.1 response with Content-Length and
 // Connection: close. `status` must be one of 200, 400, 404, 405.

@@ -167,4 +167,21 @@ TransportMetrics TransportMetrics::Register(MetricsRegistry& reg,
   return m;
 }
 
+QueryMetrics QueryMetrics::Register(MetricsRegistry& reg,
+                                    std::vector<Label> base) {
+  QueryMetrics m;
+  m.queries_served =
+      reg.AddCounter("treeagg_query_served_total",
+                     "Snapshot queries answered from the read tier.", base);
+  m.read_retries = reg.AddCounter(
+      "treeagg_query_read_retries_total",
+      "Seqlock read attempts that observed a publish in flight and retried.",
+      base);
+  m.serve_latency_ms = reg.AddHistogram(
+      "treeagg_query_serve_latency_ms",
+      "Time from query-frame decode to answer enqueue, in milliseconds.",
+      Histogram::DefaultLatencyBoundsMs(), std::move(base));
+  return m;
+}
+
 }  // namespace treeagg::obs

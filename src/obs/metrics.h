@@ -163,6 +163,18 @@ struct TransportMetrics {
                                    std::vector<Label> base = {});
 };
 
+// Snapshot-query-tier instrumentation (daemon-side serving). Reads are
+// off-ledger — they never touch the Figure-2 message counters above — so
+// they get their own family.
+struct QueryMetrics {
+  Counter* queries_served = nullptr;   // kQueryResp answers produced
+  Counter* read_retries = nullptr;     // seqlock read attempts that lost
+  Histogram* serve_latency_ms = nullptr;  // decode -> answer enqueued
+
+  static QueryMetrics Register(MetricsRegistry& reg,
+                               std::vector<Label> base = {});
+};
+
 // --- Registry ------------------------------------------------------------
 // Owns the metric objects; hands out stable pointers. Registration takes a
 // mutex; the returned objects are lock-free and remain valid for the

@@ -1,0 +1,149 @@
+// Versioned-snapshot read tier: seqlock-published aggregate slots.
+//
+// The lease mechanism (Figure 1) answers a read by running a combine, which
+// costs probe/response messages on every untaken edge — the very messages
+// the paper's Figure 2 cost model charges for. This tier gives each node a
+// SnapshotSlot it publishes its current global-aggregate estimate into on
+// every mechanism-visible change; queries are answered from the latest
+// published snapshot without touching LeaseNode state and without emitting
+// a single protocol message, so the Figure-2 ledger of a workload is
+// bit-identical with or without readers attached.
+//
+// Concurrency contract (the reason this is a seqlock, not a mutex):
+//   * Each slot has exactly ONE writer — the thread that owns the node's
+//     LeaseNode (the sequential driver, a DES step, an actor-runtime
+//     worker, or the daemon reactor whose shard hosts the node). Writers
+//     never contend, so Publish is two relaxed-ish atomic bumps around
+//     plain stores: wait-free, no CAS loop.
+//   * Readers may be ANY thread (the daemon primary reactor serving
+//     kQuery frames, a bench thread, a test). A reader retries while the
+//     sequence word is odd (write in flight) or moved underneath it, so
+//     it can never observe a torn {epoch, value, log_prefix} triple.
+#ifndef TREEAGG_QUERY_SNAPSHOT_H_
+#define TREEAGG_QUERY_SNAPSHOT_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg::query {
+
+// One served (or published) snapshot of a node's aggregate estimate.
+struct QueryAnswer {
+  // Publish count of the slot, monotone per node, starting at 1 for the
+  // first publish. Two answers from the same node with the same epoch are
+  // the same snapshot — this is what "linearizable per published epoch"
+  // means: reads of one epoch all observe one publish.
+  std::uint64_t epoch = 0;
+  // The node's gval() at publish time: its latest local estimate of the
+  // global aggregate (exactly what a combine completing at that instant
+  // would have returned).
+  Real value = 0;
+  // Length of the node's ghost log at publish time, or -1 when ghost
+  // logging was off. The consistency checker reconstructs the gather of
+  // this answer as recentwrites() over the first log_prefix entries of the
+  // node's final harvested log (logs are append-only, so the publish-time
+  // log is always a prefix of the final one).
+  std::int64_t log_prefix = -1;
+
+  friend bool operator==(const QueryAnswer&, const QueryAnswer&) = default;
+};
+
+// Seqlock slot. 64-byte aligned so concurrently-written slots of adjacent
+// nodes never share a cache line (the TSan suite hammers exactly this).
+class alignas(64) SnapshotSlot {
+ public:
+  SnapshotSlot() = default;
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  // Single-writer publish: seq goes odd, fields land, seq goes even.
+  // The release store of the closing seq pairs with the acquire load that
+  // opens a read attempt; the acquire fence after the opening store keeps
+  // the field stores from sinking above it on weakly-ordered hardware.
+  void Publish(Real value, std::int64_t log_prefix) noexcept {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    value_bits_.store(std::bit_cast<std::uint64_t>(value),
+                      std::memory_order_relaxed);
+    log_prefix_.store(log_prefix, std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  // One read attempt. Returns false (out untouched) when a publish was in
+  // flight or completed mid-read; the caller retries.
+  bool TryRead(QueryAnswer* out) const noexcept {
+    const std::uint64_t s0 = seq_.load(std::memory_order_acquire);
+    if (s0 & 1) return false;
+    QueryAnswer a;
+    a.epoch = epoch_.load(std::memory_order_relaxed);
+    a.value = std::bit_cast<Real>(value_bits_.load(std::memory_order_relaxed));
+    a.log_prefix = log_prefix_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) != s0) return false;
+    *out = a;
+    return true;
+  }
+
+  // Retrying read: loops TryRead until a consistent snapshot lands. The
+  // writer is wait-free, so a reader starves only while publishes are
+  // arriving faster than two loads — i.e. never for long.
+  QueryAnswer Read() const noexcept {
+    QueryAnswer a;
+    while (!TryRead(&a)) {
+    }
+    return a;
+  }
+
+  // True once Publish has run at least once (epoch >= 1).
+  bool Published() const noexcept {
+    return seq_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> value_bits_{0};
+  std::atomic<std::int64_t> log_prefix_{-1};
+};
+
+static_assert(sizeof(SnapshotSlot) == 64, "one cache line per slot");
+
+// One slot per node of a tree. The table is sized once at construction and
+// never resized, so slot pointers handed to LeaseNodes stay stable for the
+// table's lifetime.
+class SnapshotTable {
+ public:
+  explicit SnapshotTable(std::size_t nodes)
+      : slots_(std::make_unique<SnapshotSlot[]>(nodes)), size_(nodes) {}
+
+  std::size_t size() const noexcept { return size_; }
+
+  SnapshotSlot* slot(NodeId u) noexcept {
+    return &slots_[static_cast<std::size_t>(u)];
+  }
+  const SnapshotSlot* slot(NodeId u) const noexcept {
+    return &slots_[static_cast<std::size_t>(u)];
+  }
+
+  // Convenience retrying read of node u's latest snapshot.
+  QueryAnswer Read(NodeId u) const noexcept {
+    return slots_[static_cast<std::size_t>(u)].Read();
+  }
+
+ private:
+  std::unique_ptr<SnapshotSlot[]> slots_;
+  std::size_t size_;
+};
+
+}  // namespace treeagg::query
+
+#endif  // TREEAGG_QUERY_SNAPSHOT_H_

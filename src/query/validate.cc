@@ -1,0 +1,170 @@
+#include "query/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace treeagg::query {
+
+std::vector<std::pair<NodeId, ReqId>> GatherAtPrefix(const GhostLog& log,
+                                                     std::int64_t prefix) {
+  std::unordered_map<NodeId, ReqId> last;
+  const std::size_t n =
+      std::min(log.size(), static_cast<std::size_t>(std::max<std::int64_t>(
+                               prefix, 0)));
+  for (std::size_t i = 0; i < n; ++i) last[log[i].node] = log[i].id;
+  std::vector<std::pair<NodeId, ReqId>> gather(last.begin(), last.end());
+  std::sort(gather.begin(), gather.end());
+  return gather;
+}
+
+CheckResult ValidateQueryAnswers(const History& history,
+                                 const std::vector<NodeGhostState>& ghosts,
+                                 const std::vector<ServedQuery>& answers,
+                                 const AggregateOp& op, Real tolerance) {
+  // --- Per-node serving order: linearizable per published epoch.
+  std::map<NodeId, std::vector<const ServedQuery*>> by_node;
+  for (const ServedQuery& q : answers) by_node[q.node].push_back(&q);
+  for (auto& [node, qs] : by_node) {
+    std::sort(qs.begin(), qs.end(),
+              [](const ServedQuery* a, const ServedQuery* b) {
+                return a->serial < b->serial;
+              });
+    for (std::size_t i = 0; i + 1 < qs.size(); ++i) {
+      const QueryAnswer& a = qs[i]->answer;
+      const QueryAnswer& b = qs[i + 1]->answer;
+      if (b.epoch < a.epoch) {
+        std::ostringstream os;
+        os << "node " << node << ": query served at serial "
+           << qs[i + 1]->serial << " observed epoch " << b.epoch
+           << " after epoch " << a.epoch << " was served (reads went back "
+           << "in time)";
+        return CheckResult::Fail(os.str());
+      }
+      if (b.epoch == a.epoch && !(b == a)) {
+        std::ostringstream os;
+        os << "node " << node << ": two answers for epoch " << a.epoch
+           << " differ (torn read)";
+        return CheckResult::Fail(os.str());
+      }
+      if (b.epoch > a.epoch && a.log_prefix >= 0 && b.log_prefix >= 0 &&
+          b.log_prefix < a.log_prefix) {
+        std::ostringstream os;
+        os << "node " << node << ": epoch " << b.epoch
+           << " published a shorter log prefix (" << b.log_prefix
+           << ") than epoch " << a.epoch << " (" << a.log_prefix
+           << ") — the append-only log ran backwards";
+        return CheckResult::Fail(os.str());
+      }
+    }
+  }
+
+  // --- Compatibility + serialization against the reconstructed gather.
+  for (const ServedQuery& q : answers) {
+    if (q.answer.log_prefix < 0) continue;  // ghost logging was off
+    const std::size_t u = static_cast<std::size_t>(q.node);
+    if (u >= ghosts.size()) {
+      std::ostringstream os;
+      os << "query at node " << q.node << ": no harvested ghost state";
+      return CheckResult::Fail(os.str());
+    }
+    const GhostLog& log = ghosts[u].write_log;
+    if (q.answer.log_prefix > static_cast<std::int64_t>(log.size())) {
+      std::ostringstream os;
+      os << "query at node " << q.node << ": published log prefix "
+         << q.answer.log_prefix << " exceeds the node's final log length "
+         << log.size();
+      return CheckResult::Fail(os.str());
+    }
+    Real expected = op.identity;
+    for (const auto& [node, wid] : GatherAtPrefix(log, q.answer.log_prefix)) {
+      if (wid < 0 || static_cast<std::size_t>(wid) >= history.size()) {
+        std::ostringstream os;
+        os << "query at node " << q.node << ": logged write " << wid
+           << " is not in the history";
+        return CheckResult::Fail(os.str());
+      }
+      expected = op(expected, history.record(wid).arg);
+    }
+    if (q.answer.value != expected) {
+      const Real scale = std::max<Real>(1.0, std::abs(expected));
+      if (!std::isfinite(expected) || !std::isfinite(q.answer.value) ||
+          std::abs(q.answer.value - expected) > tolerance * scale) {
+        std::ostringstream os;
+        os << "query at node " << q.node << " (epoch " << q.answer.epoch
+           << ") is incompatible with its log prefix " << q.answer.log_prefix
+           << ": served " << q.answer.value << ", log implies " << expected;
+        return CheckResult::Fail(os.str());
+      }
+    }
+  }
+  return CheckResult::Ok();
+}
+
+void LiftQueriesIntoHistory(History* history,
+                            const std::vector<ServedQuery>& answers,
+                            const std::vector<NodeGhostState>& ghosts) {
+  std::int64_t at = 0;
+  for (const RequestRecord& r : history->records()) {
+    at = std::max({at, r.initiated_at + 1, r.completed_at + 1});
+  }
+  // Append the lifted combines, remembering per node how many of the
+  // node's OWN writes each answer's prefix covers: that count — not the
+  // harvest time — is where the read sits in the node's program order.
+  std::map<NodeId, std::vector<std::pair<std::int64_t, ReqId>>> lifted;
+  std::vector<char> is_lifted(history->size() + answers.size(), 0);
+  for (const ServedQuery& q : answers) {
+    const GhostLog& log = ghosts[static_cast<std::size_t>(q.node)].write_log;
+    const ReqId id = history->BeginCombine(q.node, at++);
+    history->CompleteCombine(id, q.answer.value,
+                             GatherAtPrefix(log, q.answer.log_prefix),
+                             q.answer.log_prefix, at++);
+    const std::size_t n =
+        std::min(log.size(), static_cast<std::size_t>(std::max<std::int64_t>(
+                                 q.answer.log_prefix, 0)));
+    std::int64_t own_writes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (log[i].node == q.node) ++own_writes;
+    }
+    lifted[q.node].push_back({own_writes, id});
+    is_lifted[static_cast<std::size_t>(id)] = 1;
+  }
+  // Renumber each touched node's program order: pre-existing requests keep
+  // their relative order, and a lifted read slots in right after the
+  // own-write count its prefix covers (stable on ties = serve order).
+  for (auto& [node, combines] : lifted) {
+    std::stable_sort(combines.begin(), combines.end(),
+                     [](const std::pair<std::int64_t, ReqId>& a,
+                        const std::pair<std::int64_t, ReqId>& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<ReqId> existing;
+    for (const RequestRecord& r : history->records()) {
+      if (r.node == node && !is_lifted[static_cast<std::size_t>(r.id)]) {
+        existing.push_back(r.id);
+      }
+    }
+    std::sort(existing.begin(), existing.end(), [&](ReqId a, ReqId b) {
+      return history->record(a).node_index < history->record(b).node_index;
+    });
+    std::int64_t next_index = 0;
+    std::int64_t writes_seen = 0;
+    std::size_t ci = 0;
+    for (const ReqId id : existing) {
+      if (history->record(id).op == ReqType::kWrite) {
+        while (ci < combines.size() && combines[ci].first <= writes_seen) {
+          history->SetNodeIndex(combines[ci++].second, next_index++);
+        }
+        ++writes_seen;
+      }
+      history->SetNodeIndex(id, next_index++);
+    }
+    while (ci < combines.size()) {
+      history->SetNodeIndex(combines[ci++].second, next_index++);
+    }
+  }
+}
+
+}  // namespace treeagg::query

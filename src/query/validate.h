@@ -1,0 +1,73 @@
+// Consistency validation for served snapshot-query answers.
+//
+// A query answer {epoch, value, log_prefix} served at node u claims: "at
+// publish time, u's ghost log had length log_prefix and gval(u) was
+// value". Logs are append-only, so the publish-time log is recoverable
+// from the run's harvested final logs: it is the first log_prefix entries
+// of u's final write-log. That recovery lets the answers be replayed
+// against the same Section-5 machinery that vets combines:
+//
+//   * ValidateQueryAnswers checks, under arbitrary concurrency, that each
+//     answer is compatible with its reconstructed gather (value == f over
+//     recentwrites of the prefix) and that answers served in order from
+//     one node are linearizable per published epoch (epochs monotone,
+//     equal epochs identical, log prefixes monotone in epoch).
+//   * LiftQueriesIntoHistory inserts the answers into a run's History as
+//     combine records, positioned in each node's program order where the
+//     published prefix says the read ran; the unmodified
+//     CheckCausalConsistency then vets them exactly as it vets mechanism
+//     combines. Valid when queries were issued serially between quiesced
+//     requests (per-node serve order is a real program order).
+#ifndef TREEAGG_QUERY_VALIDATE_H_
+#define TREEAGG_QUERY_VALIDATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "consistency/causal_checker.h"
+#include "consistency/history.h"
+#include "consistency/strict_checker.h"
+#include "core/aggregate_op.h"
+#include "core/message.h"
+#include "query/snapshot.h"
+
+namespace treeagg::query {
+
+// One answer as served to a client, with enough context to replay it.
+struct ServedQuery {
+  NodeId node = kInvalidNode;
+  QueryAnswer answer;
+  // Global serving order (the order answers left the serving thread).
+  // Per-epoch linearizability is checked along this order per node.
+  std::int64_t serial = -1;
+};
+
+// recentwrites over the first `prefix` entries of `log`: (node, id of the
+// most recent write at node), omitting nodes with no write — the same
+// shape RequestRecord::gather uses.
+std::vector<std::pair<NodeId, ReqId>> GatherAtPrefix(const GhostLog& log,
+                                                     std::int64_t prefix);
+
+// Concurrency-safe validation of served answers against the run's write
+// history and harvested ghost logs (see file comment). Answers with
+// log_prefix < 0 (ghost logging off at publish time) only get the
+// per-epoch checks.
+CheckResult ValidateQueryAnswers(const History& history,
+                                 const std::vector<NodeGhostState>& ghosts,
+                                 const std::vector<ServedQuery>& answers,
+                                 const AggregateOp& op, Real tolerance = 1e-9);
+
+// Inserts each answer into `history` as a completed combine at its node
+// (retval = answer.value, gather reconstructed via GatherAtPrefix),
+// renumbering the node's program order so the read sits where its prefix
+// places it, so CheckCausalConsistency can replay the answers. Requires
+// every answer to carry a valid log_prefix.
+void LiftQueriesIntoHistory(History* history,
+                            const std::vector<ServedQuery>& answers,
+                            const std::vector<NodeGhostState>& ghosts);
+
+}  // namespace treeagg::query
+
+#endif  // TREEAGG_QUERY_VALIDATE_H_

@@ -1,6 +1,8 @@
 #include "runtime/actor_runtime.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace treeagg {
 
@@ -22,6 +24,19 @@ MessageCounts ActorRuntime::MessageTotals() const {
 MessageCounts ActorRuntime::EdgeCost(NodeId u, NodeId v) const {
   std::lock_guard<std::mutex> lock(trace_mu_);
   return trace_.EdgeCost(u, v);
+}
+
+query::QueryAnswer ActorRuntime::QueryNode(NodeId node) const {
+  if (node < 0 || node >= tree_->size()) {
+    throw std::out_of_range("QueryNode: node " + std::to_string(node) +
+                            " outside tree of size " +
+                            std::to_string(tree_->size()));
+  }
+  if (snapshots_ == nullptr) {
+    throw std::logic_error(
+        "QueryNode: query tier disabled (set Options::query_tier)");
+  }
+  return snapshots_->Read(node);
 }
 
 ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory)
@@ -46,6 +61,12 @@ ActorRuntime::ActorRuntime(const Tree& tree, const PolicyFactory& factory,
           OnCombineDone(node, token, value);
         },
         options_.ghost_logging));
+  }
+  if (options_.query_tier) {
+    snapshots_ = std::make_unique<query::SnapshotTable>(n);
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      nodes_[static_cast<std::size_t>(u)]->set_query_slot(snapshots_->slot(u));
+    }
   }
   if (options_.metrics != nullptr) {
     proto_metrics_ = obs::ProtocolMetrics::Register(*options_.metrics,

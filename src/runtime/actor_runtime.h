@@ -48,6 +48,10 @@ class ActorRuntime {
     // are lock-free, so node threads record concurrently) and Enqueue
     // maintains an in-flight-work high-water gauge.
     obs::MetricsRegistry* metrics = nullptr;
+    // Snapshot query tier: each node thread publishes its gval() into a
+    // seqlock slot at every transition tail, and QueryNode() reads the
+    // slot from any thread without touching mechanism state.
+    bool query_tier = false;
   };
 
   ActorRuntime(const Tree& tree, const PolicyFactory& factory);
@@ -70,6 +74,12 @@ class ActorRuntime {
   // cross-backend equivalence harness uses this to inject requests one at
   // a time, making the concurrent runtime behave sequentially.
   void WaitQuiescent();
+
+  // Snapshot read (requires Options::query_tier): the versioned answer
+  // node's seqlock slot currently publishes. Thread-safe — callable while
+  // node threads run; the seqlock retries across concurrent publishes.
+  // Throws std::logic_error when the query tier is disabled.
+  query::QueryAnswer QueryNode(NodeId node) const;
 
   // Blocks until the network is quiescent (all requests completed, no
   // message in flight), then stops and joins all node threads.
@@ -113,6 +123,7 @@ class ActorRuntime {
   MailboxTransport transport_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  std::unique_ptr<query::SnapshotTable> snapshots_;  // null unless query_tier
   std::vector<std::thread> threads_;
   obs::ProtocolMetrics proto_metrics_;
   obs::Gauge* g_inflight_hwm_ = nullptr;

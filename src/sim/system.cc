@@ -45,6 +45,13 @@ AggregationSystem::AggregationSystem(const Tree& tree,
         },
         ghost_));
   }
+  if (options.query_tier) {
+    snapshots_ =
+        std::make_unique<query::SnapshotTable>(static_cast<std::size_t>(tree.size()));
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      nodes_[static_cast<std::size_t>(u)]->set_query_slot(snapshots_->slot(u));
+    }
+  }
   if (options.metrics != nullptr) {
     proto_metrics_ =
         obs::ProtocolMetrics::Register(*options.metrics, {{"backend", "seq"}});
@@ -69,6 +76,15 @@ void AggregationSystem::OnCombineDone(NodeId node, CombineToken token,
 Real AggregationSystem::ReadCached(NodeId u) const {
   CheckNode(*tree_, u, "ReadCached");
   return nodes_[static_cast<std::size_t>(u)]->Gval();
+}
+
+query::QueryAnswer AggregationSystem::QueryNode(NodeId u) const {
+  CheckNode(*tree_, u, "QueryNode");
+  if (snapshots_ == nullptr) {
+    throw std::logic_error(
+        "QueryNode: query tier disabled (set Options::query_tier)");
+  }
+  return snapshots_->Read(u);
 }
 
 Real AggregationSystem::Combine(NodeId u) {

@@ -50,6 +50,11 @@ class AggregationSystem {
     // gauge. Null (the default) leaves the hot paths on their untaken
     // null-hook branch — the throughput benches never set this.
     obs::MetricsRegistry* metrics = nullptr;
+    // Snapshot query tier: every node publishes its gval() into a seqlock
+    // slot at each transition tail, and QueryNode() answers from the slot.
+    // Off by default — publishing folds gval() per transition, and most
+    // sequential workloads never read.
+    bool query_tier = false;
   };
 
   AggregationSystem(const Tree& tree, const PolicyFactory& factory);
@@ -65,6 +70,12 @@ class AggregationSystem {
   // spectrum — exact whenever all of u's leases are taken (then equal to
   // Combine(u)), stale otherwise. Not recorded in the history.
   Real ReadCached(NodeId u) const;
+
+  // Snapshot read (requires Options::query_tier): the versioned answer u's
+  // seqlock slot currently publishes — the same value ReadCached returns,
+  // plus the epoch and ghost-log prefix that make it checkable offline.
+  // Throws std::logic_error when the query tier is disabled.
+  query::QueryAnswer QueryNode(NodeId u) const;
 
   // Executes a write at u to quiescence.
   void Write(NodeId u, Real arg);
@@ -115,6 +126,7 @@ class AggregationSystem {
   // Scratch message reused by Drain() so each delivery is a cheap move.
   Message scratch_;
   std::vector<std::unique_ptr<LeaseNode>> nodes_;
+  std::unique_ptr<query::SnapshotTable> snapshots_;  // null unless query_tier
   obs::ProtocolMetrics proto_metrics_;
   obs::Gauge* g_queue_hwm_ = nullptr;
   std::int64_t clock_ = 0;

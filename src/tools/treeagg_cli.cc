@@ -15,6 +15,11 @@
 //   drive  workload client of the networked backend:
 //          treeagg_cli drive --cluster FILE [workload flags], or
 //          treeagg_cli drive --net-local --daemons N [workload flags]
+//          (--probe-via snapshot serves the workload's combines from the
+//          read tier instead of the lease mechanism: off-ledger seqlock
+//          snapshot reads, validated against the harvested ghost logs)
+//   query  one snapshot read against a running cluster:
+//          treeagg_cli query --cluster FILE --node U [--count N]
 //   chaos  fault-injection run checked by the ConvergenceChecker:
 //          treeagg_cli chaos --backend sim|net-local --schedule SPEC
 //          (SPEC is a preset name or a fault/schedule.h spec string;
@@ -51,6 +56,8 @@
 #include "net/daemon.h"
 #include "net/driver.h"
 #include "net/local_cluster.h"
+#include "net/query_client.h"
+#include "query/validate.h"
 #include "sim/chaos.h"
 #include "runtime/actor_runtime.h"
 #include "sim/concurrent.h"
@@ -446,7 +453,7 @@ void PrintServeUsage(std::ostream& out) {
          " [--state-dir DIR] [--snapshot-every N] [--ack-interval N]"
          " [--metrics-port P] [--reactors N] [--batch-bytes B]"
          " [--batch-flush-us U]"
-         " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+         " (valid subcommands: run, sweep, serve, drive, chaos, query)\n";
 }
 
 int ServeUsage() {
@@ -526,8 +533,9 @@ void PrintDriveUsage(std::ostream& out) {
          " [--daemons N] [--placement block|rr|subtree] [--shape S] [--n N]"
          " [--policy P] [--op O] [--reactors N] [--batch-bytes B]"
          " [--batch-flush-us U]) [--workload W] [--len L] [--seed X]"
-         " [--sequential] [--trace-out FILE] (valid subcommands: run,"
-         " sweep, serve, drive, chaos)\n";
+         " [--sequential] [--probe-via mechanism|snapshot]"
+         " [--trace-out FILE] (valid subcommands: run,"
+         " sweep, serve, drive, chaos, query)\n";
 }
 
 int DriveUsage() {
@@ -538,7 +546,9 @@ int DriveUsage() {
 int ReportNetRun(const History& history,
                  const std::vector<NodeGhostState>& ghosts,
                  const MessageCounts& counts, const AggregateOp& op,
-                 NodeId num_nodes, double requests_per_sec) {
+                 NodeId num_nodes, double requests_per_sec,
+                 const std::vector<query::ServedQuery>* queries = nullptr,
+                 const CheckResult* query_check = nullptr) {
   const CheckResult causal =
       CheckCausalConsistency(history, ghosts, op, num_nodes);
   const LatencyReport latency = LatencyFromHistory(history);
@@ -552,9 +562,16 @@ int ReportNetRun(const History& history,
   table.AddRow({"latency p95", Fmt(latency.combine_latency.p95, 1)});
   table.AddRow({"latency p99", Fmt(latency.combine_latency.p99, 1)});
   table.AddRow({"requests/sec", Fmt(requests_per_sec, 1)});
+  bool queries_ok = true;
+  if (queries != nullptr && query_check != nullptr) {
+    queries_ok = query_check->ok;
+    table.AddRow({"snapshot queries", std::to_string(queries->size())});
+    table.AddRow({"query answers valid", queries_ok ? "yes" : "NO"});
+  }
   std::cout << table.ToString();
   if (!causal.ok) std::cout << "  " << causal.message << "\n";
-  return causal.ok ? 0 : 1;
+  if (!queries_ok) std::cout << "  " << query_check->message << "\n";
+  return causal.ok && queries_ok ? 0 : 1;
 }
 
 int DriveMain(int argc, char** argv) {
@@ -572,6 +589,7 @@ int DriveMain(int argc, char** argv) {
   std::size_t len = 500;
   std::uint64_t seed = 1;
   bool sequential = false;
+  std::string probe_via = "mechanism";
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -582,6 +600,8 @@ int DriveMain(int argc, char** argv) {
       net_local = true;
     } else if (arg == "--sequential") {
       sequential = true;
+    } else if (arg == "--probe-via" && (value = next())) {
+      probe_via = value;
     } else if (arg == "--cluster" && (value = next())) {
       cluster_file = value;
     } else if (arg == "--daemons" && (value = next())) {
@@ -616,6 +636,11 @@ int DriveMain(int argc, char** argv) {
     }
   }
   if (net_local == !cluster_file.empty()) return DriveUsage();
+  if (probe_via != "mechanism" && probe_via != "snapshot") {
+    return DriveUsage();
+  }
+  const ProbeVia via =
+      probe_via == "snapshot" ? ProbeVia::kSnapshot : ProbeVia::kMechanism;
 
   const auto maybe_write_trace = [&](const History& history,
                                      const std::string& backend) {
@@ -640,13 +665,17 @@ int DriveMain(int argc, char** argv) {
               << " x" << sigma.size() << ", policy: " << local.policy
               << ", op: " << local.op << ", daemons: " << local.daemons
               << " (" << local.placement << " placement, loopback TCP), "
-              << (sequential ? "sequential" : "pipelined") << "\n\n";
+              << (sequential ? "sequential" : "pipelined")
+              << ", probes via " << probe_via << "\n\n";
     const NetRunResult result =
-        RunNetWorkload(parent, sigma, local, sequential);
+        RunNetWorkload(parent, sigma, local, sequential, via);
     maybe_write_trace(result.history, "net-local");
     return ReportNetRun(result.history, result.ghosts, result.counts,
                         OpByName(local.op), tree.size(),
-                        result.requests_per_sec);
+                        result.requests_per_sec,
+                        via == ProbeVia::kSnapshot ? &result.queries : nullptr,
+                        via == ProbeVia::kSnapshot ? &result.query_check
+                                                   : nullptr);
   }
 
   std::ifstream in(cluster_file);
@@ -659,8 +688,15 @@ int DriveMain(int argc, char** argv) {
   const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
   NetDriver driver(config);
   driver.Connect();
+  std::vector<query::ServedQuery> queries;
+  std::int64_t query_serial = 0;
   const auto start = std::chrono::steady_clock::now();
   for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine && via == ProbeVia::kSnapshot) {
+      queries.push_back(query::ServedQuery{r.node, driver.QueryNode(r.node),
+                                           query_serial++});
+      continue;
+    }
     const ReqId id = r.op == ReqType::kWrite
                          ? driver.InjectWrite(r.node, r.arg)
                          : driver.InjectCombine(r.node);
@@ -677,10 +713,17 @@ int DriveMain(int argc, char** argv) {
   const NetDriver::HarvestResult harvest = driver.Harvest();
   driver.Shutdown();
   maybe_write_trace(driver.history(), "net");
+  CheckResult query_check = CheckResult::Ok();
+  if (via == ProbeVia::kSnapshot) {
+    query_check = query::ValidateQueryAnswers(
+        driver.history(), harvest.ghosts, queries, OpByName(config.op));
+  }
   return ReportNetRun(driver.history(), harvest.ghosts, harvest.counts,
                       OpByName(config.op), config.NumNodes(),
                       elapsed > 0 ? static_cast<double>(sigma.size()) / elapsed
-                                  : 0.0);
+                                  : 0.0,
+                      via == ProbeVia::kSnapshot ? &queries : nullptr,
+                      via == ProbeVia::kSnapshot ? &query_check : nullptr);
 }
 
 // --- chaos subcommand ---------------------------------------------------
@@ -693,7 +736,7 @@ void PrintChaosUsage(std::ostream& out) {
          " [--trace-out FILE]"
          " (presets: drops, partition, crash, chaos; spec grammar:"
          " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
-         " (valid subcommands: run, sweep, serve, drive, chaos)\n";
+         " (valid subcommands: run, sweep, serve, drive, chaos, query)\n";
 }
 
 int ChaosUsage() {
@@ -850,9 +893,62 @@ int ChaosMain(int argc, char** argv) {
   return report.ok ? 0 : 1;
 }
 
+// --- query subcommand ---------------------------------------------------
+
+void PrintQueryUsage(std::ostream& out) {
+  out << "usage: treeagg_cli query --cluster FILE --node U [--count N]"
+         " (valid subcommands: run, sweep, serve, drive, chaos, query)\n";
+}
+
+int QueryUsage() {
+  PrintQueryUsage(std::cerr);
+  return 2;
+}
+
+int QueryMain(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    PrintQueryUsage(std::cout);
+    return 0;
+  }
+  std::string cluster_file;
+  NodeId node = -1;
+  int count = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--cluster" && (value = next())) {
+      cluster_file = value;
+    } else if (arg == "--node" && (value = next())) {
+      node = static_cast<NodeId>(std::stol(value));
+    } else if (arg == "--count" && (value = next())) {
+      count = static_cast<int>(std::stol(value));
+    } else {
+      return QueryUsage();
+    }
+  }
+  if (cluster_file.empty() || node < 0 || count < 1) return QueryUsage();
+  std::ifstream in(cluster_file);
+  if (!in) {
+    std::cerr << "error: cannot open cluster file " << cluster_file << "\n";
+    return 2;
+  }
+  const ClusterConfig config = ParseClusterConfig(in);
+  QueryClient client(config);
+  for (int i = 0; i < count; ++i) {
+    const query::QueryAnswer answer = client.Query(node);
+    std::cout << "node " << node << ": value " << Fmt(answer.value, 6)
+              << " (epoch " << answer.epoch << ", log prefix "
+              << answer.log_prefix << ")\n";
+  }
+  return 0;
+}
+
 void PrintTopUsage(std::ostream& out) {
-  out << "usage: treeagg_cli [run|sweep|serve|drive|chaos] [flags]"
-         " (valid subcommands: run, sweep, serve, drive, chaos;"
+  out << "usage: treeagg_cli [run|sweep|serve|drive|chaos|query] [flags]"
+         " (valid subcommands: run, sweep, serve, drive, chaos, query;"
          " `treeagg_cli SUBCOMMAND --help` lists each one's flags)\n";
 }
 
@@ -872,6 +968,7 @@ int Main(int argc, char** argv) {
     if (sub == "serve") return ServeMain(argc, argv);
     if (sub == "drive") return DriveMain(argc, argv);
     if (sub == "chaos") return ChaosMain(argc, argv);
+    if (sub == "query") return QueryMain(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

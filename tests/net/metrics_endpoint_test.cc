@@ -164,6 +164,134 @@ TEST(MetricsEndpointTest, ScrapedFigure2CountersMatchDriverHarvest) {
   EXPECT_EQ(cluster.DaemonError(), "");
 }
 
+// Connects to `port` and returns the raw fd (-1 on failure).
+int RawConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string RecvToEof(int fd) {
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(MetricsEndpointTest, PartialRequestDeliveredInTricklesIsAnswered) {
+  // A scraper on a slow link: the request head arrives in four separate
+  // segments across ~hundreds of milliseconds. The server must keep the
+  // connection open across partial parses and answer once the head
+  // completes — not drop it at the first short read.
+  const Tree tree = MakeKary(7, 2);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.metrics = true;
+  options.metrics_port = 0;
+  LocalCluster cluster(ParentVector(tree), options);
+  const std::uint16_t port = cluster.DaemonMetricsPort(0);
+  ASSERT_NE(port, 0);
+
+  const int fd = RawConnect(port);
+  ASSERT_GE(fd, 0);
+  const std::string request =
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  for (std::size_t off = 0; off < request.size(); off += 10) {
+    ASSERT_TRUE(SendAll(fd, request.substr(off, 10)));
+    ::usleep(50 * 1000);
+  }
+  const std::string response = RecvToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos)
+      << response.substr(0, 200);
+  EXPECT_NE(response.find("treeagg_"), std::string::npos);
+}
+
+TEST(MetricsEndpointTest, PipelinedRequestsAllAnswered) {
+  // Two GETs written back-to-back before reading anything: both must be
+  // answered, in order, on the one connection (the daemon closes after
+  // draining the buffered pipeline).
+  const Tree tree = MakeKary(7, 2);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.metrics = true;
+  options.metrics_port = 0;
+  LocalCluster cluster(ParentVector(tree), options);
+  const std::uint16_t port = cluster.DaemonMetricsPort(0);
+  ASSERT_NE(port, 0);
+
+  const int fd = RawConnect(port);
+  ASSERT_GE(fd, 0);
+  const std::string pipelined =
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"
+      "GET /nope HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  ASSERT_TRUE(SendAll(fd, pipelined));
+  const std::string response = RecvToEof(fd);
+  ::close(fd);
+  EXPECT_EQ(CountOccurrences(response, "HTTP/1.1 200"), 1u)
+      << response.substr(0, 200);
+  EXPECT_EQ(CountOccurrences(response, "HTTP/1.1 404"), 1u);
+  // In pipeline order: the 200 for /metrics precedes the 404 for /nope.
+  EXPECT_LT(response.find("HTTP/1.1 200"), response.find("HTTP/1.1 404"));
+}
+
+TEST(MetricsEndpointTest, HalfClosedRequestStillAnswered) {
+  // A client that shuts down its write side right after the request (curl
+  // does this under --no-keepalive): the EOF must not tear the connection
+  // down before the buffered request is parsed and answered.
+  const Tree tree = MakeKary(7, 2);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.metrics = true;
+  options.metrics_port = 0;
+  LocalCluster cluster(ParentVector(tree), options);
+  const std::uint16_t port = cluster.DaemonMetricsPort(0);
+  ASSERT_NE(port, 0);
+
+  const int fd = RawConnect(port);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(
+      SendAll(fd, "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"));
+  ::shutdown(fd, SHUT_WR);
+  const std::string response = RecvToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos)
+      << response.substr(0, 200);
+}
+
 TEST(MetricsEndpointTest, EndpointSpeaksEnoughHttp) {
   const Tree tree = MakeKary(7, 2);
   LocalCluster::Options options;

@@ -13,6 +13,7 @@
 #include "core/aggregate_op.h"
 #include "net/cluster.h"
 #include "net/local_cluster.h"
+#include "net/query_client.h"
 #include "tree/generators.h"
 #include "workload/generators.h"
 
@@ -294,6 +295,174 @@ TEST(LocalClusterTest, StopIsIdempotent) {
   cluster.Stop();
   cluster.Stop();  // second call must be a no-op
   EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+// --- snapshot query tier over the wire ----------------------------------
+
+TEST(QueryTierTest, DriverQueryNodeServesValidatedAnswers) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 3;
+  options.placement = "rr";
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  // Fresh cluster: every hosted slot was published on attach, before any
+  // request — epoch 1, identity value, empty log.
+  const query::QueryAnswer fresh = driver.QueryNode(0);
+  EXPECT_GE(fresh.epoch, 1u);
+  EXPECT_EQ(fresh.value, 0.0);
+  EXPECT_EQ(fresh.log_prefix, 0);
+
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 80, /*seed=*/7);
+  std::vector<query::ServedQuery> served;
+  std::int64_t serial = 0;
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      served.push_back(
+          query::ServedQuery{r.node, driver.QueryNode(r.node), serial++});
+    }
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  ASSERT_FALSE(served.empty());
+  // Reads are off-ledger: the history records only the writes.
+  for (const RequestRecord& r : driver.history().records()) {
+    EXPECT_EQ(r.op, ReqType::kWrite);
+  }
+  const CheckResult check = query::ValidateQueryAnswers(
+      driver.history(), harvest.ghosts, served, SumOp());
+  EXPECT_TRUE(check.ok) << check.message;
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+TEST(QueryTierTest, StandaloneQueryClientReadsEveryNode) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  LocalCluster cluster(ParentVector(tree), options);
+  cluster.driver().InjectWrite(3, 4.5);
+  cluster.driver().WaitAllCompleted();
+  cluster.driver().WaitQuiescent();
+
+  // A second, mechanism-free client: dedicated read connections classified
+  // by their first kQuery frame (no hello).
+  QueryClient client(cluster.config());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    const query::QueryAnswer a = client.Query(u);
+    EXPECT_GE(a.epoch, 1u) << "node " << u;
+  }
+  // The writing node saw its own write.
+  EXPECT_EQ(client.Query(3).value, 4.5);
+  // Repeated reads on the kept-alive connection stay coherent.
+  const query::QueryAnswer again = client.Query(3);
+  EXPECT_EQ(again.value, 4.5);
+  EXPECT_THROW(client.Query(tree.size()), std::invalid_argument);
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+TEST(QueryTierTest, RunNetWorkloadSnapshotProbesValidate) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 60, /*seed=*/11);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  const NetRunResult result =
+      RunNetWorkload(ParentVector(tree), sigma, options,
+                     /*sequential=*/false, ProbeVia::kSnapshot);
+  EXPECT_FALSE(result.queries.empty());
+  EXPECT_TRUE(result.query_check.ok) << result.query_check.message;
+  // Only the writes went through the mechanism.
+  std::size_t writes = 0;
+  for (const Request& r : sigma) writes += r.op == ReqType::kWrite ? 1 : 0;
+  EXPECT_EQ(result.history.size(), writes);
+  EXPECT_EQ(result.queries.size(), sigma.size() - writes);
+}
+
+TEST(QueryTierTest, ReadsAreInvisibleToTheFigure2Ledger) {
+  // The off-ledger guarantee, measured: a writes-only workload harvests
+  // the same per-category message counts whether or not snapshot reads
+  // are interleaved with it. Sequential injection makes the mechanism's
+  // message sequence deterministic, so the comparison is exact.
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  RequestSequence writes;
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 60, /*seed=*/11);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) writes.push_back(r);
+  }
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+
+  const NetRunResult plain = RunNetWorkload(ParentVector(tree), writes,
+                                            options, /*sequential=*/true);
+  // Same writes, but every combine of the original workload becomes a
+  // snapshot read interleaved at its original position.
+  const NetRunResult with_reads =
+      RunNetWorkload(ParentVector(tree), sigma, options,
+                     /*sequential=*/true, ProbeVia::kSnapshot);
+  EXPECT_FALSE(with_reads.queries.empty());
+  EXPECT_TRUE(with_reads.query_check.ok) << with_reads.query_check.message;
+  EXPECT_EQ(plain.counts.probes, with_reads.counts.probes);
+  EXPECT_EQ(plain.counts.responses, with_reads.counts.responses);
+  EXPECT_EQ(plain.counts.updates, with_reads.counts.updates);
+  EXPECT_EQ(plain.counts.releases, with_reads.counts.releases);
+  EXPECT_EQ(plain.total_messages, with_reads.total_messages);
+}
+
+TEST(QueryTierTest, MultiReactorDaemonServesQueries) {
+  // Slots are written by worker reactors owning the node's shard and read
+  // by the primary reactor serving the query connection — the cross-thread
+  // seqlock path.
+  const Tree tree = MakeShape("kary2", 31, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "subtree";
+  options.reactors = 3;
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 80, /*seed=*/5);
+  std::vector<query::ServedQuery> served;
+  std::int64_t serial = 0;
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      served.push_back(
+          query::ServedQuery{r.node, driver.QueryNode(r.node), serial++});
+    }
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  ASSERT_FALSE(served.empty());
+  const CheckResult check = query::ValidateQueryAnswers(
+      driver.history(), harvest.ghosts, served, SumOp());
+  EXPECT_TRUE(check.ok) << check.message;
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+TEST(QueryTierTest, QueryForNonHostedNodeFailsTheDaemon) {
+  // A kQuery for a node the daemon does not host is a protocol violation
+  // surfaced through the daemon error channel, not a silent wrong answer.
+  const Tree tree = MakeShape("path", 4, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "block";  // daemon 0 hosts {0,1}, daemon 1 hosts {2,3}
+  LocalCluster cluster(ParentVector(tree), options);
+  // Hand-build a config that mis-routes node 3 to daemon 0.
+  ClusterConfig wrong = cluster.config();
+  wrong.node_daemon[3] = 0;
+  QueryClient client(wrong);
+  EXPECT_THROW(client.Query(3), std::runtime_error);
+  cluster.Stop();
 }
 
 }  // namespace

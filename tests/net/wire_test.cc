@@ -1,24 +1,33 @@
-// treeagg-wire-v4 codec tests: exhaustive encode -> decode round-trips
+// treeagg-wire-v5 codec tests: exhaustive encode -> decode round-trips
 // over every frame type (including the ghost-log piggyback on protocol
-// messages and the v4 kBatch coalescing frame) and a malformed-frame
-// corpus — truncations at every byte boundary, corrupted length prefixes,
-// bad magic/version/type bytes, and internally inconsistent payloads —
-// all of which must be rejected with a DecodeStatus, never a crash. The
-// corpus is extended through the shared frame mutators of
-// net/faulty_transport.h, so the bytes rejected here are byte-identical
-// to what the live chaos injector puts on the wire. Back-compat sections
-// pin the v2 and v3 dialects: older encodes still round-trip (ackless v2
-// hellos, no kPeerAck below v3, no kBatch below v4), and a frame claiming
-// a type newer than its version byte is rejected. The whole file runs
-// under ASan/UBSan and TSan in CI.
+// messages, the v4 kBatch coalescing frame, and the v5 kQuery/kQueryResp
+// read-tier frames) and a malformed-frame corpus — truncations at every
+// byte boundary, corrupted length prefixes, bad magic/version/type bytes,
+// and internally inconsistent payloads — all of which must be rejected
+// with a DecodeStatus, never a crash. The corpus is extended through the
+// shared frame mutators of net/faulty_transport.h, so the bytes rejected
+// here are byte-identical to what the live chaos injector puts on the
+// wire. Back-compat sections pin the v2 through v4 dialects: older
+// encodes still round-trip (ackless v2 hellos, no kPeerAck below v3, no
+// kBatch below v4, no query frames below v5), a frame claiming a type
+// newer than its version byte is rejected, and a live WireV4Interop fake
+// peer verifies a v4 peer session of a real daemon never carries query
+// frames. The whole file runs under ASan/UBSan and TSan in CI.
 #include "net/wire.h"
 
 #include <gtest/gtest.h>
+#include <poll.h>
 
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "net/cluster.h"
+#include "net/daemon.h"
 #include "net/faulty_transport.h"
+#include "net/transport.h"
 
 namespace treeagg {
 namespace {
@@ -156,11 +165,31 @@ std::vector<WireFrame> AllFrameTypes() {
     f.batch.push_back(RichMessage());
     frames.push_back(f);
   }
+  {
+    WireFrame f;  // v5 read-tier request
+    f.type = FrameType::kQuery;
+    f.req = 21;
+    f.node = 6;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;  // v5 read-tier answer
+    f.type = FrameType::kQueryResp;
+    f.req = 21;
+    f.node = 6;
+    f.epoch = 987654321012ull;
+    f.value = -3.125;
+    f.log_prefix = 42;
+    frames.push_back(f);
+  }
   return frames;
 }
 
 // Frame types an endpoint speaking `version` may emit.
 bool InDialect(FrameType t, std::uint8_t version) {
+  if (t == FrameType::kQuery || t == FrameType::kQueryResp) {
+    return version >= 5;
+  }
   if (t == FrameType::kBatch) return version >= 4;
   if (t == FrameType::kPeerAck) return version >= 3;
   return true;
@@ -261,7 +290,7 @@ TEST(WireCodec, RejectsBadVersionByte) {
 
 TEST(WireCodec, RejectsBadFrameType) {
   std::vector<std::uint8_t> bytes = ValidBytes();
-  bytes[6] = static_cast<std::uint8_t>(FrameType::kBatch) + 1;
+  bytes[6] = static_cast<std::uint8_t>(FrameType::kQueryResp) + 1;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
             DecodeStatus::kBadType);
 }
@@ -444,6 +473,276 @@ TEST(WireV4Batch, EmptyBatchRoundTrips) {
   const DecodeResult r = DecodeFrame(bytes.data(), bytes.size());
   ASSERT_EQ(r.status, DecodeStatus::kOk);
   EXPECT_TRUE(r.frame.batch.empty());
+}
+
+// --- wire v5 query frames -----------------------------------------------
+// kQuery/kQueryResp are the v5 read-tier dialect: driver-or-client-facing
+// only, never part of a peer session.
+
+std::vector<std::uint8_t> ValidQueryBytes(FrameType type) {
+  WireFrame f;
+  f.type = type;
+  f.req = 5;
+  f.node = 3;
+  if (type == FrameType::kQueryResp) {
+    f.epoch = 77;
+    f.value = 1.5;
+    f.log_prefix = 9;
+  }
+  return EncodeFrame(f);
+}
+
+TEST(WireV5Query, QueryFramesBelowV5AreABadType) {
+  // Query frames did not exist below v5; an older frame claiming type 14
+  // or 15 is malformed, not a forward reference.
+  for (const FrameType t : {FrameType::kQuery, FrameType::kQueryResp}) {
+    std::vector<std::uint8_t> bytes = ValidQueryBytes(t);
+    for (const std::uint8_t v :
+         {std::uint8_t{4}, std::uint8_t{3}, std::uint8_t{2}}) {
+      bytes[5] = v;  // rewrite the version byte: old framing, v5-only type
+      EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+                DecodeStatus::kBadType)
+          << ToString(t) << " at v" << int{v};
+    }
+  }
+}
+
+TEST(WireV5Query, TruncatedQueryFramesAreBadPayload) {
+  // The shared chaos mutator over both query frame types: framing
+  // coherent, payload short by 1..8 bytes.
+  for (const FrameType t : {FrameType::kQuery, FrameType::kQueryResp}) {
+    WireFrame f;
+    f.type = t;
+    f.req = 5;
+    f.node = 3;
+    f.epoch = 77;
+    f.value = 1.5;
+    f.log_prefix = 9;
+    for (std::size_t cut = 1; cut <= 8; ++cut) {
+      const std::vector<std::uint8_t> bytes = TruncatedFrame(f, cut);
+      EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+                DecodeStatus::kBadPayload)
+          << ToString(t) << " cut " << cut;
+    }
+  }
+}
+
+TEST(WireV5Query, OversizedQueryFramesAreBadLength) {
+  for (const FrameType t : {FrameType::kQuery, FrameType::kQueryResp}) {
+    WireFrame f;
+    f.type = t;
+    f.req = 5;
+    f.node = 3;
+    const std::vector<std::uint8_t> bytes = OversizedLengthFrame(f);
+    EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+              DecodeStatus::kBadLength)
+        << ToString(t);
+  }
+}
+
+TEST(WireV5Query, QueryRespWithTrailingBytesIsBadPayload) {
+  std::vector<std::uint8_t> bytes = ValidQueryBytes(FrameType::kQueryResp);
+  bytes.push_back(0xAB);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(bytes.size()) - 4;
+  bytes[0] = static_cast<std::uint8_t>(body_len);
+  bytes[1] = static_cast<std::uint8_t>(body_len >> 8);
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+            DecodeStatus::kBadPayload);
+}
+
+// --- WireV4Interop: raw-socket fake v4 peer against a live daemon -------
+// The fake peer plays daemon 1 of a two-daemon cluster over a real TCP
+// socket, answering the resume handshake with a v4 hello so the daemon
+// downgrades the session. While a mechanism combine crosses the link and
+// a read-tier client is served kQueryResp frames, every frame the v4
+// session carries must be v4-dialect — query frames stay off peer
+// sessions entirely.
+
+// Polls conn until the next frame arrives (gtest-fails on timeout/EOF).
+bool NextFrameBlocking(FrameConn* conn, WireFrame* frame,
+                       std::int64_t timeout_ms = 10000) {
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const DecodeStatus status = conn->NextFrame(frame);
+    if (status == DecodeStatus::kOk) return true;
+    if (status != DecodeStatus::kNeedMore) {
+      ADD_FAILURE() << "decode failed: " << ToString(status);
+      return false;
+    }
+    if (NowMs() >= deadline) {
+      ADD_FAILURE() << "timed out waiting for a frame";
+      return false;
+    }
+    pollfd pfd{conn->fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    if (!conn->ReadAvailable()) {
+      ADD_FAILURE() << "connection dropped: " << conn->error();
+      return false;
+    }
+  }
+}
+
+void FlushBlocking(FrameConn* conn) {
+  while (conn->open() && conn->WantWrite()) {
+    if (!conn->Flush()) return;
+    if (conn->WantWrite()) {
+      pollfd pfd{conn->fd(), POLLOUT, 0};
+      ::poll(&pfd, 1, 10);
+    }
+  }
+}
+
+TEST(WireV4Interop, V4PeerSessionNeverSeesQueryFrames) {
+  ClusterConfig config;
+  config.tree_parent = {0, 0};  // node 1's parent is node 0
+  config.node_daemon = {0, 1};  // the test plays daemon 1
+  config.ghost_logging = true;
+  TcpListener fake_listener = TcpListener::Bind("127.0.0.1", 0);
+  config.daemons = {{"127.0.0.1", 0}, {"127.0.0.1", fake_listener.port()}};
+  config.Validate();
+
+  NodeDaemon daemon(0, config);
+  daemon.Bind();
+  daemon.SetResolvedPorts({daemon.BoundPort(), fake_listener.port()});
+  std::thread run([&daemon] { daemon.Run(); });
+
+  const TransportOptions transport;
+  // Daemon 0 has the smaller id, so it initiates the peer connection.
+  ScopedFd accepted;
+  const std::int64_t accept_deadline = NowMs() + 10000;
+  while (!accepted.valid() && NowMs() < accept_deadline) {
+    pollfd pfd{fake_listener.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    accepted = fake_listener.Accept();
+  }
+  ASSERT_TRUE(accepted.valid()) << "daemon never connected to the fake peer";
+  FrameConn peer(std::move(accepted), transport);
+
+  // The initiating hello is sent before the daemon knows our dialect, so
+  // it speaks the current version; everything after must be v4.
+  WireFrame frame;
+  ASSERT_TRUE(NextFrameBlocking(&peer, &frame));
+  ASSERT_EQ(frame.type, FrameType::kPeerHello);
+  EXPECT_EQ(frame.daemon_id, 0u);
+  EXPECT_EQ(frame.wire_version, kWireVersion);
+
+  peer.set_wire_version(4);  // our hello reply downgrades the session
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = 1;
+  hello.resume = 0;
+  hello.ack = 0;
+  hello.ack_valid = true;
+  peer.SendFrame(hello);
+  FlushBlocking(&peer);
+
+  // Drive one write and one mechanism combine at node 0 over a raw driver
+  // connection. The combine probes node 1 across the (now v4) session.
+  std::string err;
+  ScopedFd driver_fd = ConnectWithBackoff("127.0.0.1", daemon.BoundPort(),
+                                          transport, &err);
+  ASSERT_TRUE(driver_fd.valid()) << err;
+  FrameConn driver(std::move(driver_fd), transport);
+  WireFrame f;
+  f.type = FrameType::kDriverHello;
+  driver.SendFrame(f);
+  f = WireFrame{};
+  f.type = FrameType::kInjectWrite;
+  f.req = 1;
+  f.node = 0;
+  f.arg = 2.5;
+  driver.SendFrame(f);
+  f = WireFrame{};
+  f.type = FrameType::kInjectCombine;
+  f.req = 2;
+  f.node = 0;
+  driver.SendFrame(f);
+  FlushBlocking(&driver);
+
+  // Every frame the peer session carries from here on must be v4-dialect.
+  std::vector<WireFrame> peer_frames;
+  bool saw_probe = false;
+  while (!saw_probe) {
+    ASSERT_TRUE(NextFrameBlocking(&peer, &frame)) << "no probe crossed";
+    EXPECT_EQ(frame.wire_version, 4u) << ToString(frame.type);
+    EXPECT_NE(frame.type, FrameType::kQuery);
+    EXPECT_NE(frame.type, FrameType::kQueryResp);
+    EXPECT_LE(static_cast<int>(frame.type),
+              static_cast<int>(FrameType::kBatch));
+    if (frame.type == FrameType::kProtocol &&
+        frame.msg.type == MsgType::kProbe) {
+      saw_probe = true;
+      EXPECT_EQ(frame.msg.from, 0);
+      EXPECT_EQ(frame.msg.to, 1);
+    }
+    peer_frames.push_back(frame);
+    frame = WireFrame{};
+  }
+
+  // Answer the probe so the combine completes: node 1 contributes 0.
+  WireFrame resp;
+  resp.type = FrameType::kProtocol;
+  resp.msg.type = MsgType::kResponse;
+  resp.msg.from = 1;
+  resp.msg.to = 0;
+  resp.msg.x = 0.0;
+  resp.msg.flag = true;
+  peer.SendFrame(resp);
+  FlushBlocking(&peer);
+
+  // Drain the driver: the write and the combine (value = node 0's write).
+  bool write_done = false, combine_done = false;
+  while (!(write_done && combine_done)) {
+    ASSERT_TRUE(NextFrameBlocking(&driver, &frame));
+    if (frame.type == FrameType::kWriteDone && frame.req == 1) {
+      write_done = true;
+    } else if (frame.type == FrameType::kCombineDone && frame.req == 2) {
+      combine_done = true;
+      EXPECT_EQ(frame.value, 2.5);
+    }
+    frame = WireFrame{};
+  }
+
+  // A read-tier client is served concurrently with the live v4 session —
+  // the kQueryResp rides the client connection, never the peer session.
+  ScopedFd query_fd = ConnectWithBackoff("127.0.0.1", daemon.BoundPort(),
+                                         transport, &err);
+  ASSERT_TRUE(query_fd.valid()) << err;
+  FrameConn query(std::move(query_fd), transport);
+  f = WireFrame{};
+  f.type = FrameType::kQuery;
+  f.req = 1;
+  f.node = 0;
+  query.SendFrame(f);
+  FlushBlocking(&query);
+  ASSERT_TRUE(NextFrameBlocking(&query, &frame));
+  EXPECT_EQ(frame.type, FrameType::kQueryResp);
+  EXPECT_EQ(frame.node, 0);
+  EXPECT_GE(frame.epoch, 1u);
+  EXPECT_EQ(frame.value, 2.5);
+  EXPECT_EQ(frame.log_prefix, 1);  // node 0's ghost log holds its write
+
+  // Give the session a beat to flush anything else, then re-assert the
+  // whole capture stayed query-free.
+  const std::int64_t settle = NowMs() + 200;
+  while (NowMs() < settle) {
+    pollfd pfd{peer.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 50);
+    if (!peer.ReadAvailable()) break;
+    while (peer.NextFrame(&frame) == DecodeStatus::kOk) {
+      peer_frames.push_back(frame);
+      frame = WireFrame{};
+    }
+  }
+  for (const WireFrame& pf : peer_frames) {
+    EXPECT_NE(pf.type, FrameType::kQuery);
+    EXPECT_NE(pf.type, FrameType::kQueryResp);
+    EXPECT_EQ(pf.wire_version, 4u) << ToString(pf.type);
+  }
+
+  daemon.RequestStop();
+  run.join();
+  EXPECT_EQ(daemon.error(), "");
 }
 
 TEST(WireCodec, RejectsTrailingPayloadBytes) {

@@ -1,0 +1,162 @@
+// Snapshot-tier unit tests: seqlock slot semantics, the per-tree table,
+// and the sim/runtime backends' QueryNode surfaces.
+#include "query/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/policies.h"
+#include "runtime/actor_runtime.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+using query::QueryAnswer;
+using query::SnapshotSlot;
+using query::SnapshotTable;
+
+TEST(SnapshotSlotTest, FreshSlotIsUnpublished) {
+  SnapshotSlot slot;
+  EXPECT_FALSE(slot.Published());
+  QueryAnswer a;
+  ASSERT_TRUE(slot.TryRead(&a));  // even seq: readable, epoch 0
+  EXPECT_EQ(a.epoch, 0u);
+  EXPECT_EQ(a.value, 0.0);
+  EXPECT_EQ(a.log_prefix, -1);
+}
+
+TEST(SnapshotSlotTest, PublishBumpsEpochAndLandsAllFields) {
+  SnapshotSlot slot;
+  slot.Publish(3.5, 7);
+  EXPECT_TRUE(slot.Published());
+  const QueryAnswer a = slot.Read();
+  EXPECT_EQ(a.epoch, 1u);
+  EXPECT_EQ(a.value, 3.5);
+  EXPECT_EQ(a.log_prefix, 7);
+  slot.Publish(-2.0, 9);
+  const QueryAnswer b = slot.Read();
+  EXPECT_EQ(b.epoch, 2u);
+  EXPECT_EQ(b.value, -2.0);
+  EXPECT_EQ(b.log_prefix, 9);
+}
+
+TEST(SnapshotSlotTest, SlotIsExactlyOneCacheLine) {
+  EXPECT_EQ(sizeof(SnapshotSlot), 64u);
+  EXPECT_EQ(alignof(SnapshotSlot), 64u);
+}
+
+TEST(SnapshotTableTest, SlotsAreIndependentAndStable) {
+  SnapshotTable table(4);
+  EXPECT_EQ(table.size(), 4u);
+  SnapshotSlot* s2 = table.slot(2);
+  table.slot(1)->Publish(1.0, 0);
+  table.slot(2)->Publish(2.0, 0);
+  EXPECT_EQ(table.Read(0).epoch, 0u);
+  EXPECT_EQ(table.Read(1).value, 1.0);
+  EXPECT_EQ(table.Read(2).value, 2.0);
+  EXPECT_EQ(table.slot(2), s2);  // never resized
+}
+
+TEST(SimQueryTierTest, DisabledByDefaultAndThrows) {
+  Tree t = MakePath(3);
+  AggregationSystem sys(t, RwwFactory());
+  EXPECT_THROW(sys.QueryNode(0), std::logic_error);
+}
+
+TEST(SimQueryTierTest, AnswersTrackReadCachedAndCostNoMessages) {
+  Tree t = MakeKary(7, 2);
+  AggregationSystem::Options options;
+  options.query_tier = true;
+  options.ghost_logging = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Write(5, 3.0);
+  sys.Combine(2);
+  const std::int64_t before = sys.trace().TotalMessages();
+  const QueryAnswer a = sys.QueryNode(2);
+  EXPECT_EQ(sys.trace().TotalMessages(), before);  // off-ledger
+  EXPECT_EQ(a.value, sys.ReadCached(2));
+  EXPECT_GE(a.epoch, 1u);
+  // Same quiescent state, same slot: the answer is stable.
+  EXPECT_EQ(sys.QueryNode(2), a);
+  // A new write moves the node: the epoch must advance.
+  sys.Write(5, 8.0);
+  const QueryAnswer b = sys.QueryNode(2);
+  EXPECT_GT(b.epoch, a.epoch);
+  EXPECT_EQ(b.value, sys.ReadCached(2));
+}
+
+TEST(SimQueryTierTest, LogPrefixMatchesGhostLogLength) {
+  Tree t = MakePath(4);
+  AggregationSystem::Options options;
+  options.query_tier = true;
+  options.ghost_logging = true;
+  AggregationSystem sys(t, RwwFactory(), options);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 60, 2);
+  sys.Execute(sigma);
+  const auto ghosts = sys.GhostStates();
+  for (NodeId u = 0; u < t.size(); ++u) {
+    const QueryAnswer a = sys.QueryNode(u);
+    EXPECT_EQ(a.log_prefix,
+              static_cast<std::int64_t>(
+                  ghosts[static_cast<std::size_t>(u)].write_log.size()))
+        << "node " << u;
+  }
+}
+
+TEST(SimQueryTierTest, GhostLoggingOffPublishesMinusOnePrefix) {
+  Tree t = MakePath(2);
+  AggregationSystem::Options options;
+  options.query_tier = true;  // ghost_logging stays false
+  AggregationSystem sys(t, RwwFactory(), options);
+  sys.Write(1, 4.0);
+  EXPECT_EQ(sys.QueryNode(1).log_prefix, -1);
+}
+
+TEST(RuntimeQueryTierTest, DisabledByDefaultAndThrows) {
+  Tree t = MakePath(2);
+  ActorRuntime rt(t, RwwFactory());
+  rt.Start();
+  EXPECT_THROW(rt.QueryNode(0), std::logic_error);
+  rt.DrainAndStop();
+}
+
+TEST(RuntimeQueryTierTest, RejectsOutOfRangeNode) {
+  Tree t = MakePath(2);
+  ActorRuntime::Options options;
+  options.query_tier = true;
+  ActorRuntime rt(t, RwwFactory(), options);
+  rt.Start();
+  EXPECT_THROW(rt.QueryNode(2), std::out_of_range);
+  rt.DrainAndStop();
+}
+
+TEST(RuntimeQueryTierTest, QueriesWhileWorkloadRuns) {
+  Tree t = MakeKary(9, 2);
+  ActorRuntime::Options options;
+  options.query_tier = true;
+  ActorRuntime rt(t, RwwFactory(), options);
+  rt.Start();
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 4);
+  std::uint64_t last_epoch = 0;
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kCombine) {
+      rt.InjectCombine(r.node);
+    } else {
+      rt.InjectWrite(r.node, r.arg);
+    }
+    // Interleave snapshot reads with the running mechanism: epochs at a
+    // fixed node never go backwards in one reader's order.
+    const QueryAnswer a = rt.QueryNode(0);
+    EXPECT_GE(a.epoch, last_epoch);
+    last_epoch = a.epoch;
+  }
+  rt.DrainAndStop();
+  ASSERT_TRUE(rt.history().AllCompleted());
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -42,7 +42,7 @@ TEST(CliHelpTest, TopLevelHelpGoesToStdout) {
 }
 
 TEST(CliHelpTest, SubcommandHelpGoesToStdout) {
-  for (const char* sub : {"serve", "drive", "chaos", "sweep"}) {
+  for (const char* sub : {"serve", "drive", "chaos", "sweep", "query"}) {
     const RunResult out = RunCli(std::string(sub) + " --help 2>/dev/null");
     EXPECT_EQ(out.exit_code, 0) << sub;
     EXPECT_NE(out.output.find("usage"), std::string::npos) << sub;

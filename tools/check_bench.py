@@ -17,8 +17,12 @@ Supported file shapes (auto-detected):
   * treeagg-bench-net-v2 (BENCH_net.json / bench_net_throughput --out):
       "requests_per_sec" per run row, keyed by the stable "name" series
       (e.g. "RWW/batch", "big-subtree/batch").
-  For both net shapes, rows with causal_ok=false in the CURRENT run fail
-  the check outright (the wire changed the algorithm).
+  * treeagg-bench-query-v1 (BENCH_query.json / bench_query_throughput
+      --out): "serves_per_sec" per run row, keyed by "name" (e.g.
+      "mechanism/probes", "snapshot/driver").
+  For the net and query shapes, rows failing their consistency check in
+  the CURRENT run (causal_ok/valid = false) fail the gate outright (the
+  wire or the read path changed the algorithm).
 
 usage:
   check_bench.py --current RUN.json --baseline BENCH_x.json \
@@ -49,6 +53,10 @@ def load_throughputs(path):
         series = {r[key]: r["requests_per_sec"] for r in doc["runs"]}
         failed = [r[key] for r in doc["runs"]
                   if not r.get("causal_ok", True)]
+        return series, failed
+    if schema.startswith("treeagg-bench-query"):
+        series = {r["name"]: r["serves_per_sec"] for r in doc["runs"]}
+        failed = [r["name"] for r in doc["runs"] if not r.get("valid", True)]
         return series, failed
     if "benchmarks" in doc:  # google-benchmark output
         series = {}
