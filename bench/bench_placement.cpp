@@ -1,0 +1,289 @@
+// E80 — traffic-informed placement vs the static baselines.
+//
+// Four rows on one skewed (hotspot) workload over a 255-node kary2 tree
+// hosted by 4 daemons:
+//
+//   * `rr`       — round-robin striping, the placement-oblivious baseline.
+//   * `subtree`  — static DFS-contiguous blocks (the best placement one
+//                  can pick without looking at traffic).
+//   * `traffic`  — the rr run's harvested per-edge traffic fed through
+//                  place::OptimizePlacement, applied to a FRESH cluster
+//                  via Options.assignment — the offline re-placement loop
+//                  an operator runs with `treeagg_cli place`.
+//   * `live`     — starts on rr and calls Rebalance mid-run (the online
+//                  path: harvest, optimize, migrate over wire v6).
+//
+// The headline metric is trace-scored cross-daemon messages: the rr run's
+// harvested per-edge traffic (the trace an operator would feed the
+// optimizer) priced under each placement with place::CrossWeight. Scoring
+// every placement against the one shared trace keeps the comparison
+// deterministic; each run's own harvest is reported alongside ("run
+// cross") but not gated, because pipelined message counts are
+// timing-bimodal — a slow interleaving defeats absorption and inflates
+// traffic on whichever edges got unlucky (see bench_net_throughput).
+// Exits non-zero unless the traffic-informed placement at least halves
+// rr's trace cost, beats static subtree, the live re-placement moves
+// nodes to a cheaper placement, and every run passes the causal checker.
+//
+// With --out FILE, writes the treeagg-bench-place-v1 JSON committed as
+// BENCH_place.json at the repo root (tools/check_bench.py gates it).
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/table.h"
+#include "consistency/causal_checker.h"
+#include "core/aggregate_op.h"
+#include "net/cluster.h"
+#include "net/local_cluster.h"
+#include "place/placement.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    parent[u] = u == 0 ? 0 : tree.RootedParent(u);
+  }
+  return parent;
+}
+
+struct BenchConfig {
+  NodeId nodes = 255;
+  int daemons = 4;
+  std::size_t requests = 3000;
+  std::uint64_t seed = 29;
+  std::string workload = "hotspot";
+  // Pipelined message counts are timing-bimodal (see bench_net_throughput:
+  // a slow interleaving defeats node-level absorption and inflates wire
+  // traffic), so every row reports the median-by-cross-messages of `reps`
+  // runs.
+  int reps = 3;
+  std::string out_path;
+};
+
+struct BenchRow {
+  std::string name;                  // stable series key for check_bench.py
+  std::uint64_t cross_messages = 0;  // rr trace priced under this placement
+  std::uint64_t run_cross_messages = 0;  // own harvest (informational)
+  int cross_edges = 0;
+  std::uint64_t total_messages = 0;
+  double requests_per_sec = 0;
+  std::size_t nodes_moved = 0;  // live row only
+  bool causal_ok = false;
+};
+
+BenchRow ScoreRun(const std::string& name, const std::vector<NodeId>& parent,
+                  const NetRunResult& result, const std::vector<int>& placed,
+                  NodeId n) {
+  BenchRow row;
+  row.name = name;
+  row.run_cross_messages = place::CrossWeight(parent, result.traffic, placed);
+  row.cross_edges = place::CrossEdges(parent, placed);
+  row.total_messages = result.total_messages;
+  row.requests_per_sec = result.requests_per_sec;
+  row.nodes_moved = result.nodes_moved;
+  const CheckResult causal =
+      CheckCausalConsistency(result.history, result.ghosts, OpByName("sum"), n);
+  row.causal_ok = causal.ok && result.history.AllCompleted();
+  if (!causal.ok) {
+    std::cout << name << " causal violation: " << causal.message << "\n";
+  }
+  return row;
+}
+
+void WriteJson(std::ostream& out, const BenchConfig& cfg,
+               const std::vector<BenchRow>& rows) {
+  out << "{\n  \"schema\": \"treeagg-bench-place-v1\",\n";
+  out << "  \"workload\": \"" << cfg.workload << "\", \"nodes\": " << cfg.nodes
+      << ", \"daemons\": " << cfg.daemons
+      << ", \"requests\": " << cfg.requests << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "    {\"name\": \"" << r.name
+        << "\", \"cross_messages\": " << r.cross_messages
+        << ", \"run_cross_messages\": " << r.run_cross_messages
+        << ", \"cross_edges\": " << r.cross_edges
+        << ", \"total_messages\": " << r.total_messages
+        << ", \"requests_per_sec\": " << r.requests_per_sec
+        << ", \"nodes_moved\": " << r.nodes_moved
+        << ", \"causal_ok\": " << (r.causal_ok ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int Run(const BenchConfig& cfg) {
+  const Tree tree = MakeKary(cfg.nodes, 2);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const RequestSequence sigma =
+      MakeWorkload(cfg.workload, tree, cfg.requests, cfg.seed);
+
+  std::cout << "Placement bench — " << cfg.nodes << "-node kary2 tree, "
+            << cfg.daemons << " daemons, pipelined " << cfg.workload
+            << " workload of " << sigma.size() << " requests\n\n";
+
+  std::vector<BenchRow> rows;
+  // Median rep by own-harvest cross messages; the matching NetRunResult is
+  // returned so the rr phase can publish its traffic as the shared trace.
+  const std::vector<std::uint64_t>* trace = nullptr;
+  const auto run_static = [&](const std::string& name,
+                              const std::vector<int>& placed) {
+    std::vector<std::pair<BenchRow, NetRunResult>> reps;
+    for (int rep = 0; rep < std::max(1, cfg.reps); ++rep) {
+      LocalCluster::Options options;
+      options.daemons = cfg.daemons;
+      options.assignment = placed;
+      options.ghost_logging = true;
+      NetRunResult result =
+          RunNetWorkload(parent, sigma, options, /*sequential=*/false);
+      BenchRow row = ScoreRun(name, parent, result, placed, tree.size());
+      reps.emplace_back(std::move(row), std::move(result));
+    }
+    std::sort(reps.begin(), reps.end(), [](const auto& a, const auto& b) {
+      return a.first.run_cross_messages < b.first.run_cross_messages;
+    });
+    auto& median = reps[reps.size() / 2];
+    // A causal violation in ANY rep fails the bench regardless of which
+    // rep the median picks.
+    for (const auto& [row, result] : reps) {
+      median.first.causal_ok &= row.causal_ok;
+    }
+    if (trace != nullptr) {
+      median.first.cross_messages = place::CrossWeight(parent, *trace, placed);
+    }
+    rows.push_back(median.first);
+    return std::move(median.second);
+  };
+
+  // Phase 1: the oblivious baseline, whose harvested traffic becomes the
+  // shared scoring trace and seeds the optimizer.
+  const std::vector<int> rr = AssignNodes(parent, cfg.daemons, "rr");
+  const NetRunResult rr_result = run_static("rr", rr);
+  trace = &rr_result.traffic;
+  rows[0].cross_messages = place::CrossWeight(parent, *trace, rr);
+
+  // Phase 2: the traffic-blind tree-aware baseline.
+  (void)run_static("subtree", AssignNodes(parent, cfg.daemons, "subtree"));
+
+  // Phase 3: optimize against what the rr run actually measured, then run
+  // the same workload under the optimized map.
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, *trace, cfg.daemons);
+  (void)run_static("traffic", plan.node_daemon);
+
+  // Phase 4: the online path — start on rr, rebalance after a quarter of
+  // the workload has been served.
+  {
+    LocalCluster::Options options;
+    options.daemons = cfg.daemons;
+    options.placement = "rr";
+    options.ghost_logging = true;
+    const NetRunResult result =
+        RunNetWorkload(parent, sigma, options, /*sequential=*/false,
+                       ProbeVia::kMechanism,
+                       /*replace_after=*/sigma.size() / 4);
+    BenchRow row = ScoreRun("live", parent, result, rr, tree.size());
+    // The run straddled two placements, so CrossWeight against either map
+    // misprices it; report the driver's harvest-time score of the
+    // placement the tail ran under.
+    row.cross_messages = result.cross_weight_after;
+    row.run_cross_messages = result.cross_weight_after;
+    row.cross_edges = -1;  // mixed placements over the run, not meaningful
+    std::cout << "live re-placement: " << result.nodes_moved
+              << " nodes moved, harvest-time cross weight "
+              << result.cross_weight_before << " -> "
+              << result.cross_weight_after << "\n";
+    row.causal_ok &= result.nodes_moved > 0 &&
+                     result.cross_weight_after < result.cross_weight_before;
+    rows.push_back(row);
+  }
+
+  TextTable table(
+      {"placement", "trace cross", "run cross", "cross edges", "total msgs",
+       "req/s", "causal"});
+  for (const BenchRow& r : rows) {
+    table.AddRow({r.name, std::to_string(r.cross_messages),
+                  std::to_string(r.run_cross_messages),
+                  std::to_string(r.cross_edges),
+                  std::to_string(r.total_messages),
+                  Fmt(r.requests_per_sec, 0), r.causal_ok ? "ok" : "FAIL"});
+  }
+  std::cout << "\n" << table.ToString();
+
+  bool ok = true;
+  for (const BenchRow& r : rows) ok &= r.causal_ok;
+  const BenchRow& rr_row = rows[0];
+  const BenchRow& subtree_row = rows[1];
+  const BenchRow& traffic_row = rows[2];
+  if (traffic_row.cross_messages * 2 > rr_row.cross_messages) {
+    std::cout << "FAIL: traffic placement (" << traffic_row.cross_messages
+              << ") did not halve rr's trace cost (" << rr_row.cross_messages
+              << ")\n";
+    ok = false;
+  }
+  if (traffic_row.cross_messages >= subtree_row.cross_messages) {
+    std::cout << "FAIL: traffic placement (" << traffic_row.cross_messages
+              << ") did not beat static subtree ("
+              << subtree_row.cross_messages << ")\n";
+    ok = false;
+  }
+
+  if (!cfg.out_path.empty()) {
+    std::ofstream out(cfg.out_path);
+    if (!out) {
+      std::cerr << "cannot open " << cfg.out_path << "\n";
+      return 1;
+    }
+    WriteJson(out, cfg, rows);
+    std::cout << "\nwrote " << cfg.out_path << "\n";
+  }
+
+  std::cout << (ok ? "\nPASS: traffic-informed placement wins and every run "
+                     "is causally consistent\n"
+                   : "\nFAIL\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main(int argc, char** argv) {
+  treeagg::BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--out" && (value = next())) {
+      cfg.out_path = value;
+    } else if (arg == "--nodes" && (value = next())) {
+      cfg.nodes = static_cast<treeagg::NodeId>(std::stol(value));
+    } else if (arg == "--daemons" && (value = next())) {
+      cfg.daemons = static_cast<int>(std::stol(value));
+    } else if (arg == "--requests" && (value = next())) {
+      cfg.requests = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--seed" && (value = next())) {
+      cfg.seed = static_cast<std::uint64_t>(std::stoull(value));
+    } else if (arg == "--workload" && (value = next())) {
+      cfg.workload = value;
+    } else if (arg == "--reps" && (value = next())) {
+      cfg.reps = static_cast<int>(std::stol(value));
+    } else {
+      std::cerr << "usage: bench_placement [--out FILE] [--nodes N]"
+                   " [--daemons D] [--requests R] [--seed S]"
+                   " [--workload W] [--reps R]\n";
+      return 2;
+    }
+  }
+  return treeagg::Run(cfg);
+}

@@ -205,6 +205,18 @@ ClusterConfig ParseClusterConfig(std::istream& in) {
                                     std::to_string(node) +
                                     " outside the tree");
       }
+      if (daemon < 0) {
+        throw std::invalid_argument("cluster config: assign gives node " +
+                                    std::to_string(node) +
+                                    " a negative daemon id");
+      }
+      if (config.node_daemon[static_cast<std::size_t>(node)] != -1) {
+        throw std::invalid_argument(
+            "cluster config: node " + std::to_string(node) +
+            " assigned twice (to daemon " +
+            std::to_string(config.node_daemon[static_cast<std::size_t>(node)]) +
+            " and to daemon " + std::to_string(daemon) + ")");
+      }
       config.node_daemon[static_cast<std::size_t>(node)] = daemon;
     }
     for (std::size_t u = 0; u < config.node_daemon.size(); ++u) {

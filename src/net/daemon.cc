@@ -44,17 +44,10 @@ NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
   tree_ = std::make_unique<Tree>(config_.tree_parent);
   peers_.resize(config_.daemons.size());
   sessions_.resize(config_.daemons.size());
-  // Peer daemons this one shares a tree edge with.
-  for (const Edge& e : tree_->edges()) {
-    const int du = config_.node_daemon[static_cast<std::size_t>(e.u)];
-    const int dv = config_.node_daemon[static_cast<std::size_t>(e.v)];
-    if (du == dv) continue;
-    if (du == daemon_id_) peer_ids_.push_back(dv);
-    if (dv == daemon_id_) peer_ids_.push_back(du);
-  }
-  std::sort(peer_ids_.begin(), peer_ids_.end());
-  peer_ids_.erase(std::unique(peer_ids_.begin(), peer_ids_.end()),
-                  peer_ids_.end());
+  RecomputePeers();
+  // Value-initialized: every edge counter starts at zero.
+  edge_traffic_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(tree_->size()));
   if (::pipe(stop_pipe_) != 0) {
     throw std::runtime_error("NodeDaemon: pipe() failed");
   }
@@ -65,8 +58,26 @@ NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
   if (options_.metrics || options_.metrics_port >= 0) SetUpMetrics();
 }
 
+void NodeDaemon::RecomputePeers() {
+  // Peer daemons this one shares a tree edge with, under the current
+  // placement map.
+  peer_ids_.clear();
+  for (const Edge& e : tree_->edges()) {
+    const int du = config_.node_daemon[static_cast<std::size_t>(e.u)];
+    const int dv = config_.node_daemon[static_cast<std::size_t>(e.v)];
+    if (du == dv) continue;
+    if (du == daemon_id_) peer_ids_.push_back(dv);
+    if (dv == daemon_id_) peer_ids_.push_back(du);
+  }
+  std::sort(peer_ids_.begin(), peer_ids_.end());
+  peer_ids_.erase(std::unique(peer_ids_.begin(), peer_ids_.end()),
+                  peer_ids_.end());
+}
+
 void NodeDaemon::SetUpMetrics() {
   registry_ = std::make_unique<obs::MetricsRegistry>();
+  peer_msgs_.assign(config_.daemons.size(), nullptr);
+  peer_bytes_.assign(config_.daemons.size(), nullptr);
   const std::vector<obs::Label> base = {
       {"daemon", std::to_string(daemon_id_)}};
   proto_metrics_ = obs::ProtocolMetrics::Register(*registry_, base);
@@ -89,6 +100,24 @@ void NodeDaemon::SetUpMetrics() {
       "draining the intra-daemon messages it triggered.",
       obs::Histogram::DefaultLatencyBoundsMs(), base);
   query_metrics_ = obs::QueryMetrics::Register(*registry_, base);
+}
+
+void NodeDaemon::EnsurePeerCounters(int peer) {
+  if (peer_msgs_[static_cast<std::size_t>(peer)] != nullptr) return;
+  const std::vector<obs::Label> labels = {
+      {"daemon", std::to_string(daemon_id_)},
+      {"peer", std::to_string(peer)}};
+  peer_msgs_[static_cast<std::size_t>(peer)] = registry_->AddCounter(
+      "treeagg_peer_messages_sent_total",
+      "Protocol messages routed to this peer daemon (counted at the "
+      "replay-log append, so resume retransmissions are not "
+      "double-counted).",
+      labels);
+  peer_bytes_[static_cast<std::size_t>(peer)] = registry_->AddCounter(
+      "treeagg_peer_bytes_sent_total",
+      "Encoded bytes of the protocol messages routed to this peer daemon "
+      "(unbatched v6 frame size).",
+      labels);
 }
 
 std::unique_ptr<FrameConn> NodeDaemon::NewFrameConn(ScopedFd fd) {
@@ -161,6 +190,10 @@ void NodeDaemon::Fail(std::string why) {
 void NodeDaemon::BuildNodes() {
   const PolicyFactory factory = PolicyBySpec(config_.policy);
   const AggregateOp& op = OpByName(config_.op);
+  // Idempotent: the restored-map adoption in ApplyRestore re-runs this
+  // after the placement map changed, dropping nodes built from the stale
+  // config.
+  nodes_.clear();
   nodes_.resize(static_cast<std::size_t>(tree_->size()));
   // Snapshot slots for the query tier: one per hosted node, so the table
   // cost scales with this daemon's share of the tree, not the whole tree.
@@ -192,6 +225,28 @@ void NodeDaemon::BuildNodes() {
 
 void NodeDaemon::ApplyRestore() {
   if (restore_ == nullptr) return;
+  // A migration-era snapshot carries the placement map as this daemon
+  // last knew it; the startup cluster config may be stale (nodes moved
+  // before the crash). Adopt the restored map before importing node state
+  // — the hosted set, reactor shards, and peer set all derive from it.
+  // Safe to rebuild wholesale: Run() calls this before ConnectPeers() and
+  // StartWorkers(), so no socket or worker exists yet. An empty restored
+  // map is a pre-placement snapshot: the config map is authoritative.
+  if (!restore_->node_daemon.empty() &&
+      restore_->node_daemon.size() == config_.node_daemon.size() &&
+      restore_->node_daemon != config_.node_daemon) {
+    for (const int d : restore_->node_daemon) {
+      if (d < 0 || d >= config_.NumDaemons()) {
+        Fail("restored placement map names unknown daemon " +
+             std::to_string(d));
+        return;
+      }
+    }
+    config_.node_daemon = restore_->node_daemon;
+    BuildNodes();
+    BuildReactors();
+    RecomputePeers();
+  }
   for (auto& [u, state] : restore_->nodes) {
     if (u >= 0 && u < tree_->size() && HostsNode(u)) {
       NodeRef(u).ImportState(state);
@@ -247,6 +302,7 @@ NodeDaemon::DurableState NodeDaemon::BuildDurable() const {
     state.sessions.push_back(std::move(ss));
   }
   state.local_queue.assign(local_queue_.begin(), local_queue_.end());
+  state.node_daemon = config_.node_daemon;
   // Messages dispatched to a worker but not yet consumed survive in the
   // snapshot's local queue (restore re-dispatches them by reactor). The
   // caller guarantees quiescent rings: workers paused or joined, outboxes
@@ -502,6 +558,7 @@ void NodeDaemon::MaybeReconnectPeers() {
 // --- reactor layer --------------------------------------------------------
 
 void NodeDaemon::BuildReactors() {
+  workers_.clear();  // idempotent (restored-map adoption re-runs this)
   node_reactor_.assign(static_cast<std::size_t>(tree_->size()), -1);
   std::vector<NodeId> hosted;
   for (const NodeId u : DfsPreorder(config_.tree_parent)) {
@@ -720,6 +777,11 @@ void NodeDaemon::RouteSend(Message m) {
       c_releases_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
+  // Per-edge traffic tally for the placement optimizer: every protocol
+  // message rides one tree edge, identified by its child endpoint
+  // (parent[u] < u, so the child is the larger id of the pair).
+  edge_traffic_[static_cast<std::size_t>(std::max(m.from, m.to))].fetch_add(
+      1, std::memory_order_relaxed);
   const int owner = config_.node_daemon[static_cast<std::size_t>(m.to)];
   if (tls_reactor > 0) {
     // Worker reactor. Same-shard messages stay in the worker's own FIFO;
@@ -769,6 +831,11 @@ void NodeDaemon::ForwardProtocol(WireFrame f) {
   // durable copy replayed on resume. A link that is not Live just parks
   // the frame; a send onto a dead connection downgrades the link and the
   // resume handshake retransmits.
+  if (registry_ != nullptr) {
+    EnsurePeerCounters(owner);
+    peer_msgs_[static_cast<std::size_t>(owner)]->Inc();
+    peer_bytes_[static_cast<std::size_t>(owner)]->Add(EncodeFrame(f).size());
+  }
   PeerSession& s = sessions_[static_cast<std::size_t>(owner)];
   s.log.push_back(std::move(f));
   if (s.log.size() > replay_log_hwm_.load(std::memory_order_relaxed)) {
@@ -810,6 +877,236 @@ void NodeDaemon::SendToDriver(const WireFrame& frame) {
     // flushed when the driver's kDriverHello classifies a new connection.
     driver_outbox_.push_back(frame);
   }
+}
+
+// --- placement / migration layer -----------------------------------------
+
+void NodeDaemon::HandleTrafficReq(const WireFrame& frame) {
+  // Statistical read of the relaxed per-edge counters — the driver
+  // harvests at quiescence, so no pause is needed; only nonzero edges are
+  // shipped (the sparse encoding keeps the frame small on large trees).
+  WireFrame resp;
+  resp.type = FrameType::kTrafficResp;
+  resp.req = frame.req;
+  for (NodeId u = 1; u < tree_->size(); ++u) {
+    const std::uint64_t c = edge_traffic_[static_cast<std::size_t>(u)].load(
+        std::memory_order_relaxed);
+    if (c > 0) resp.traffic.emplace_back(u, c);
+  }
+  SendToDriver(resp);
+}
+
+void NodeDaemon::HandleMigrateOut(const WireFrame& frame) {
+  if (frame.node < 0 || frame.node >= tree_->size()) {
+    Fail("migrate-out for node outside the tree");
+    return;
+  }
+  WireFrame resp;
+  resp.type = FrameType::kMigrateState;
+  resp.req = frame.req;
+  resp.node = frame.node;
+  if (!HostsNode(frame.node)) {
+    // A retry after this daemon already committed the node away: nothing
+    // to export. resume = 0 tells the driver to skip the install.
+    resp.resume = 0;
+    SendToDriver(resp);
+    return;
+  }
+  // Stop the world so the export is the settled post-quiescence state,
+  // whichever reactor owns the node. The source KEEPS hosting until the
+  // commit — re-running this export in the message-free window yields the
+  // identical blob, which is what makes the driver's retry safe.
+  PauseWorkers();
+  DrainOutboxes();
+  resp.resume = 1;
+  resp.blob = EncodeNodeStateBlob(NodeRef(frame.node).ExportState());
+  resp.epoch = snapshots_
+                   ->slot(snap_index_[static_cast<std::size_t>(frame.node)])
+                   ->Read()
+                   .epoch;
+  ResumeWorkers();
+  SendToDriver(resp);
+}
+
+void NodeDaemon::HandleMigrateIn(const WireFrame& frame) {
+  if (frame.node < 0 || frame.node >= tree_->size()) {
+    Fail("migrate-in for node outside the tree");
+    return;
+  }
+  WireFrame done;
+  done.type = FrameType::kMigrateDone;
+  done.req = frame.req;
+  const NodeId u = frame.node;
+  if (HostsNode(u)) {
+    // A retry after a crash between install and commit: already hosted.
+    SendToDriver(done);
+    return;
+  }
+  LeaseNode::DurableState st;
+  if (!DecodeNodeStateBlob(frame.blob.data(), frame.blob.size(), &st)) {
+    Fail("migrate-in: undecodable state blob for node " + std::to_string(u));
+    return;
+  }
+  PauseWorkers();
+  DrainOutboxes();
+  config_.node_daemon[static_cast<std::size_t>(u)] = daemon_id_;
+  const PolicyFactory factory = PolicyBySpec(config_.policy);
+  const std::vector<NodeId> nbrs = tree_->neighbors(u).ToVector();
+  nodes_[static_cast<std::size_t>(u)] = std::make_unique<LeaseNode>(
+      u, nbrs, OpByName(config_.op), factory(u, nbrs), &transport_,
+      [this](NodeId node, CombineToken token, Real value) {
+        OnCombineDone(node, token, value);
+      },
+      config_.ghost_logging);
+  if (registry_ != nullptr) {
+    nodes_[static_cast<std::size_t>(u)]->set_metrics(&proto_metrics_);
+  }
+  // Adopted nodes run on the primary reactor: re-sharding mid-run would
+  // tear down worker threads for no benefit. A later restart re-shards
+  // naturally from the adopted map.
+  node_reactor_[static_cast<std::size_t>(u)] = 0;
+  // The table swap attaches the new node's slot (seeded with the source's
+  // epoch, so the attach-publish continues its sequence); the import then
+  // publishes the real migrated value.
+  RebuildSnapshotTable(u, frame.epoch);
+  NodeRef(u).ImportState(st);
+  ReconcilePeerSessions();
+  MarkDirty();
+  PersistIfDue(/*force=*/true);
+  ResumeWorkers();
+  SendToDriver(done);
+}
+
+void NodeDaemon::HandleMigrateCommit(const WireFrame& frame) {
+  const int target = static_cast<int>(frame.daemon_id);
+  if (frame.node < 0 || frame.node >= tree_->size() || target < 0 ||
+      target >= config_.NumDaemons()) {
+    Fail("migrate-commit with node or owner outside the cluster");
+    return;
+  }
+  WireFrame done;
+  done.type = FrameType::kMigrateDone;
+  done.req = frame.req;
+  const NodeId u = frame.node;
+  if (target == daemon_id_ || !HostsNode(u)) {
+    // A no-op move, or a retry after the commit already applied. Either
+    // way reconcile the map entry and reply idempotently.
+    if (target != daemon_id_ &&
+        config_.node_daemon[static_cast<std::size_t>(u)] != target) {
+      PauseWorkers();
+      config_.node_daemon[static_cast<std::size_t>(u)] = target;
+      ReconcilePeerSessions();
+      MarkDirty();
+      PersistIfDue(/*force=*/true);
+      ResumeWorkers();
+    }
+    SendToDriver(done);
+    return;
+  }
+  PauseWorkers();
+  DrainOutboxes();
+  nodes_[static_cast<std::size_t>(u)].reset();
+  node_reactor_[static_cast<std::size_t>(u)] = -1;
+  config_.node_daemon[static_cast<std::size_t>(u)] = target;
+  RebuildSnapshotTable(kInvalidNode, 0);
+  ReconcilePeerSessions();
+  MarkDirty();
+  PersistIfDue(/*force=*/true);
+  ResumeWorkers();
+  SendToDriver(done);
+}
+
+void NodeDaemon::HandlePlacementUpdate(const WireFrame& frame) {
+  WireFrame done;
+  done.type = FrameType::kMigrateDone;
+  done.req = frame.req;
+  PauseWorkers();
+  DrainOutboxes();
+  bool changed = false;
+  for (const auto& [node, d] : frame.moves) {
+    if (node < 0 || node >= tree_->size() || d < 0 ||
+        d >= config_.NumDaemons()) {
+      ResumeWorkers();
+      Fail("placement update names a node or daemon outside the cluster");
+      return;
+    }
+    int& slot = config_.node_daemon[static_cast<std::size_t>(node)];
+    if (slot == d) continue;
+    if (slot == daemon_id_ || d == daemon_id_) {
+      // Our own hosted set only changes through the install/commit
+      // handshake above; the broadcast must agree with what we already
+      // applied.
+      ResumeWorkers();
+      Fail("placement update moves node " + std::to_string(node) +
+           " onto or off daemon " + std::to_string(daemon_id_) +
+           " without a migration");
+      return;
+    }
+    slot = d;
+    changed = true;
+  }
+  if (changed) {
+    ReconcilePeerSessions();
+    MarkDirty();
+    PersistIfDue(/*force=*/true);
+  }
+  ResumeWorkers();
+  SendToDriver(done);
+}
+
+void NodeDaemon::RebuildSnapshotTable(NodeId seeded_node,
+                                      std::uint64_t seeded_epoch) {
+  // Caller holds the worker pause: no reactor publishes or reads a slot
+  // while the table is swapped. The old table stays alive until every
+  // surviving node is re-attached to its new slot.
+  const std::vector<std::int32_t> old_index = std::move(snap_index_);
+  const std::unique_ptr<query::SnapshotTable> old = std::move(snapshots_);
+  snap_index_.assign(static_cast<std::size_t>(tree_->size()), -1);
+  std::int32_t hosted = 0;
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    if (HostsNode(u)) snap_index_[static_cast<std::size_t>(u)] = hosted++;
+  }
+  snapshots_ = std::make_unique<query::SnapshotTable>(
+      static_cast<std::size_t>(hosted));
+  for (NodeId u = 0; u < tree_->size(); ++u) {
+    const std::int32_t idx = snap_index_[static_cast<std::size_t>(u)];
+    if (idx < 0) continue;
+    // Epoch continuity: published epochs must stay monotone per node, so
+    // the fresh slot picks up where the old one (or, for the migrated-in
+    // node, the source daemon's slot) left off.
+    std::uint64_t epoch = 0;
+    if (u == seeded_node) {
+      epoch = seeded_epoch;
+    } else if (old != nullptr && old_index[static_cast<std::size_t>(u)] >= 0) {
+      epoch = old->slot(old_index[static_cast<std::size_t>(u)])->Read().epoch;
+    }
+    snapshots_->slot(idx)->Seed(epoch);
+    if (nodes_[static_cast<std::size_t>(u)] != nullptr) {
+      nodes_[static_cast<std::size_t>(u)]->set_query_slot(
+          snapshots_->slot(idx));
+    }
+  }
+}
+
+void NodeDaemon::ReconcilePeerSessions() {
+  RecomputePeers();
+  for (const int p : peer_ids_) {
+    PeerSession& s = sessions_[static_cast<std::size_t>(p)];
+    if (s.state == PeerSession::State::kDown &&
+        peers_[static_cast<std::size_t>(p)] == nullptr && Initiates(p)) {
+      // A link the new placement created: bootstrap the initiator-side
+      // reconnect schedule (the acceptor side needs nothing — its
+      // classification accepts any daemon's hello).
+      s.backoff_ms = options_.transport.backoff_initial_ms;
+      s.next_attempt_ms = NowMs();
+      s.give_up_ms = NowMs() + options_.transport.connect_timeout_ms;
+    }
+  }
+  // Re-latch the bring-up gate: no protocol frame is handled until every
+  // session of the new peer set is Live. Links to daemons no longer in
+  // peer_ids_ are left untouched — harmless, and the sessions stay valid
+  // if a later re-placement brings the pair back.
+  peers_ready_ = PeersReady();
 }
 
 void NodeDaemon::OnCombineDone(NodeId node, CombineToken token, Real value) {
@@ -1026,11 +1323,44 @@ void NodeDaemon::HandleFrameInner(WireFrame frame, int from_peer) {
       SendToDriver(resp);
       break;
     }
+    case FrameType::kTrafficReq:
+    case FrameType::kMigrateOut:
+    case FrameType::kMigrateIn:
+    case FrameType::kMigrateCommit:
+    case FrameType::kPlacementUpdate:
+      // The placement conversation rides the driver connection only; a
+      // per-session downgrade keeps v6 frames away from old peers, and a
+      // peer has no business migrating our nodes anyway.
+      if (from_peer >= 0) {
+        Fail(std::string(ToString(frame.type)) + " frame on a peer session");
+        return;
+      }
+      switch (frame.type) {
+        case FrameType::kTrafficReq:
+          HandleTrafficReq(frame);
+          break;
+        case FrameType::kMigrateOut:
+          HandleMigrateOut(frame);
+          break;
+        case FrameType::kMigrateIn:
+          HandleMigrateIn(frame);
+          break;
+        case FrameType::kMigrateCommit:
+          HandleMigrateCommit(frame);
+          break;
+        default:
+          HandlePlacementUpdate(frame);
+          break;
+      }
+      break;
     case FrameType::kWriteDone:
     case FrameType::kCombineDone:
     case FrameType::kStatusResp:
     case FrameType::kHarvestResp:
     case FrameType::kQueryResp:
+    case FrameType::kTrafficResp:
+    case FrameType::kMigrateState:
+    case FrameType::kMigrateDone:
       Fail(std::string("daemon received driver-bound frame ") +
            ToString(frame.type));
       break;

@@ -77,6 +77,21 @@
 // replies with its own. The driver connection is recognized by
 // kDriverHello; driver-bound frames produced while no driver is connected
 // (mid-restart) wait in an outbox.
+//
+// Online re-placement (wire v6): the driver can move a hosted node to
+// another daemon while the cluster is quiescent. The source exports the
+// node's durable state as a blob (kMigrateOut -> kMigrateState) but keeps
+// hosting until the commit; the target installs the blob (kMigrateIn),
+// seeding a fresh snapshot slot with the source's published epoch so
+// query epochs stay monotone per node; the source then drops the node
+// (kMigrateCommit) and every daemon adopts the full new map
+// (kPlacementUpdate), bootstrapping any peer links the new placement
+// creates. Because the source re-exports identically until the commit and
+// install/commit are idempotent, a SIGKILL anywhere in the sequence is
+// recovered by restarting the dead daemon (its snapshot carries the
+// placement map it last knew) and re-driving the same plan. Per-tree-edge
+// traffic counters (kTrafficReq/kTrafficResp) feed the placement
+// optimizer in src/place.
 #ifndef TREEAGG_NET_DAEMON_H_
 #define TREEAGG_NET_DAEMON_H_
 
@@ -265,6 +280,10 @@ class NodeDaemon {
   void BuildNodes();
   void ApplyRestore();
   void ConnectPeers();
+  // Recomputes peer_ids_ (daemons sharing a tree edge with this one) from
+  // the current placement map. Constructor, restored-map adoption, and
+  // the migration handlers all route through here.
+  void RecomputePeers();
 
   // --- reactor layer ------------------------------------------------------
   // Computes node_reactor_ (contiguous DFS-preorder blocks over the hosted
@@ -356,6 +375,25 @@ class NodeDaemon {
   // (e.g. the daemon restarted and the driver has not reconnected yet).
   void SendToDriver(const WireFrame& frame);
 
+  // --- placement / migration layer (wire v6, driver connection only) ----
+  void HandleTrafficReq(const WireFrame& frame);
+  void HandleMigrateOut(const WireFrame& frame);
+  void HandleMigrateIn(const WireFrame& frame);
+  void HandleMigrateCommit(const WireFrame& frame);
+  void HandlePlacementUpdate(const WireFrame& frame);
+  // Re-sizes the snapshot table to the current hosted set, carrying each
+  // surviving node's published epoch forward; `seeded_node` (when valid)
+  // is seeded with `seeded_epoch` instead — the migrated-in node's epoch
+  // from the source daemon. Caller holds the worker pause.
+  void RebuildSnapshotTable(NodeId seeded_node, std::uint64_t seeded_epoch);
+  // Reconciles peer sessions with a changed placement map: recomputes
+  // peer_ids_, schedules reconnect bootstrap for initiator-side links the
+  // new placement creates, and re-latches the bring-up gate until every
+  // (possibly new) session is Live. Existing Live sessions are kept:
+  // per-pair replay logs and processed counts are independent of which
+  // node's messages ride them, and re-placement runs at quiescence.
+  void ReconcilePeerSessions();
+
   // --- durability layer ---------------------------------------------------
   bool DurableToDisk() const { return !options_.durability.state_dir.empty(); }
   // Records a protocol-state mutation (drives the snapshot trigger).
@@ -405,6 +443,9 @@ class NodeDaemon {
 
   // Builds the registry and the hot-path metric bundles (constructor).
   void SetUpMetrics();
+  // Lazily registers the per-peer-edge counters for `peer` (first
+  // cross-daemon message routed there).
+  void EnsurePeerCounters(int peer);
   // Wraps a freshly accepted/established socket, attaching the shared
   // transport counters when metrics are on.
   std::unique_ptr<FrameConn> NewFrameConn(ScopedFd fd);
@@ -436,6 +477,13 @@ class NodeDaemon {
   std::vector<std::int32_t> snap_index_;
 
   std::deque<Message> local_queue_;
+  // Per-tree-edge traffic totals: protocol messages routed over each
+  // parent edge (local or cross-daemon — the optimizer wants the full
+  // picture), indexed by the edge's child endpoint. Written relaxed from
+  // any reactor, harvested by the driver's kTrafficReq at quiescence.
+  // Deliberately not durable: traffic is a statistic, not protocol state;
+  // a restart simply restarts the measurement window.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> edge_traffic_;
   // Quiescence counters. Atomic because worker reactors send (RouteSend)
   // and deliver concurrently with the primary; every queued or in-ring
   // message is counted in sent_ but not yet in received_, so
@@ -481,6 +529,11 @@ class NodeDaemon {
   obs::ProtocolMetrics proto_metrics_;
   obs::TransportMetrics transport_metrics_;
   obs::QueryMetrics query_metrics_;
+  // Per-peer-edge counters (satellite of the placement work): messages
+  // and encoded bytes routed to each peer daemon, labeled
+  // {daemon, peer}. Indexed by peer daemon id; registered lazily.
+  std::vector<obs::Counter*> peer_msgs_;
+  std::vector<obs::Counter*> peer_bytes_;
   obs::Gauge* g_local_queue_ = nullptr;
   obs::Gauge* g_replay_log_ = nullptr;
   obs::Gauge* g_replay_log_hwm_ = nullptr;

@@ -210,6 +210,27 @@ void NetDriver::DispatchFrame(std::size_t daemon, WireFrame frame) {
         query_answered_ = true;
       }
       break;
+    case FrameType::kTrafficResp:
+      if (collecting_traffic_ && !traffic_seen_[daemon]) {
+        traffic_seen_[daemon] = true;
+        for (const auto& [node, count] : frame.traffic) {
+          if (node >= 0 && node < config_.NumNodes()) {
+            traffic_[static_cast<std::size_t>(node)] += count;
+          }
+        }
+      }
+      break;
+    case FrameType::kMigrateState:
+      if (!migrate_state_seen_ && frame.req == pending_migrate_) {
+        migrate_state_seen_ = true;
+        migrate_blob_.state = std::move(frame.blob);
+        migrate_blob_.epoch = frame.epoch;
+        migrate_blob_.hosted = frame.resume != 0;
+      }
+      break;
+    case FrameType::kMigrateDone:
+      if (frame.req == pending_migrate_) migrate_done_seen_[daemon] = true;
+      break;
     case FrameType::kHarvestResp:
       if (collecting_harvest_ && !harvest_seen_[daemon]) {
         harvest_seen_[daemon] = true;
@@ -388,6 +409,171 @@ NetDriver::HarvestResult NetDriver::Harvest() {
               return a.node < b.node;
             });
   return std::move(harvest_);
+}
+
+// --- placement / migration (wire v6) --------------------------------------
+
+FrameConn* NetDriver::ConnForDaemon(int d) {
+  if (d < 0 || d >= static_cast<int>(conns_.size())) {
+    throw std::invalid_argument("NetDriver: daemon " + std::to_string(d) +
+                                " outside the cluster");
+  }
+  if (down_[static_cast<std::size_t>(d)]) {
+    throw std::runtime_error("NetDriver: daemon " + std::to_string(d) +
+                             " is marked down");
+  }
+  FrameConn* conn = conns_[static_cast<std::size_t>(d)].get();
+  if (conn == nullptr || !conn->open()) {
+    throw std::runtime_error("NetDriver: connection to daemon " +
+                             std::to_string(d) +
+                             " is down: " + (conn ? conn->error() : ""));
+  }
+  return conn;
+}
+
+void NetDriver::WaitMigrateDone(int daemon, const std::string& what) {
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!migrate_done_seen_[static_cast<std::size_t>(daemon)]) {
+    if (NowMs() >= deadline) Timeout(what);
+    PumpOnce(50);
+  }
+  pending_migrate_ = kNoRequest;
+}
+
+std::vector<std::uint64_t> NetDriver::HarvestTraffic() {
+  collecting_traffic_ = true;
+  traffic_.assign(static_cast<std::size_t>(config_.NumNodes()), 0);
+  traffic_seen_.assign(conns_.size(), false);
+  WireFrame req;
+  req.type = FrameType::kTrafficReq;
+  req.req = next_migrate_req_++;
+  for (auto& c : conns_) {
+    c->SendFrame(req);
+    c->Flush();
+  }
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!std::all_of(traffic_seen_.begin(), traffic_seen_.end(),
+                      [](bool b) { return b; })) {
+    if (NowMs() >= deadline) Timeout("traffic harvest");
+    PumpOnce(50);
+  }
+  collecting_traffic_ = false;
+  return std::move(traffic_);
+}
+
+NetDriver::MigrationBlob NetDriver::MigrateOut(NodeId node) {
+  FrameConn* conn = ConnForNode(node);  // the owner per this driver's map
+  WireFrame f;
+  f.type = FrameType::kMigrateOut;
+  f.req = next_migrate_req_++;
+  f.node = node;
+  conn->SendFrame(f);
+  conn->Flush();
+  pending_migrate_ = f.req;
+  migrate_state_seen_ = false;
+  migrate_blob_ = MigrationBlob{};
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!migrate_state_seen_) {
+    if (NowMs() >= deadline) {
+      Timeout("migration state of node " + std::to_string(node));
+    }
+    PumpOnce(50);
+  }
+  pending_migrate_ = kNoRequest;
+  return std::move(migrate_blob_);
+}
+
+void NetDriver::MigrateIn(NodeId node, int target, const MigrationBlob& blob) {
+  FrameConn* conn = ConnForDaemon(target);
+  WireFrame f;
+  f.type = FrameType::kMigrateIn;
+  f.req = next_migrate_req_++;
+  f.node = node;
+  f.epoch = blob.epoch;
+  f.blob = blob.state;
+  conn->SendFrame(f);
+  conn->Flush();
+  pending_migrate_ = f.req;
+  migrate_done_seen_.assign(conns_.size(), false);
+  WaitMigrateDone(target, "install of node " + std::to_string(node) +
+                              " on daemon " + std::to_string(target));
+}
+
+void NetDriver::MigrateCommit(NodeId node, int target) {
+  const int owner = config_.node_daemon[static_cast<std::size_t>(node)];
+  FrameConn* conn = ConnForNode(node);
+  WireFrame f;
+  f.type = FrameType::kMigrateCommit;
+  f.req = next_migrate_req_++;
+  f.node = node;
+  f.daemon_id = static_cast<std::uint32_t>(target);
+  conn->SendFrame(f);
+  conn->Flush();
+  pending_migrate_ = f.req;
+  migrate_done_seen_.assign(conns_.size(), false);
+  WaitMigrateDone(owner, "commit of node " + std::to_string(node));
+  // The driver's own routing follows the commit: later injections (and a
+  // retried MigrateOut) go to the new owner.
+  config_.node_daemon[static_cast<std::size_t>(node)] = target;
+}
+
+void NetDriver::BroadcastPlacement() {
+  WireFrame f;
+  f.type = FrameType::kPlacementUpdate;
+  f.req = next_migrate_req_++;
+  f.moves.reserve(static_cast<std::size_t>(config_.NumNodes()));
+  for (NodeId u = 0; u < config_.NumNodes(); ++u) {
+    f.moves.emplace_back(u, config_.node_daemon[static_cast<std::size_t>(u)]);
+  }
+  pending_migrate_ = f.req;
+  migrate_done_seen_.assign(conns_.size(), false);
+  for (auto& c : conns_) {
+    c->SendFrame(f);
+    c->Flush();
+  }
+  // The update may re-latch a daemon's peer bring-up gate (new peer links
+  // to establish) before it acks; the io timeout comfortably covers the
+  // reconnect handshakes.
+  const std::int64_t deadline = NowMs() + options_.transport.io_timeout_ms;
+  while (!std::all_of(migrate_done_seen_.begin(), migrate_done_seen_.end(),
+                      [](bool b) { return b; })) {
+    if (NowMs() >= deadline) Timeout("placement broadcast");
+    PumpOnce(50);
+  }
+  pending_migrate_ = kNoRequest;
+}
+
+std::size_t NetDriver::ApplyPlacement(const std::vector<int>& plan) {
+  if (plan.size() != config_.node_daemon.size()) {
+    throw std::invalid_argument("ApplyPlacement: plan covers " +
+                                std::to_string(plan.size()) +
+                                " nodes, tree has " +
+                                std::to_string(config_.node_daemon.size()));
+  }
+  std::vector<NodeId> moves;
+  for (NodeId u = 0; u < config_.NumNodes(); ++u) {
+    const int d = plan[static_cast<std::size_t>(u)];
+    if (d < 0 || d >= config_.NumDaemons()) {
+      throw std::invalid_argument("ApplyPlacement: plan assigns node " +
+                                  std::to_string(u) + " to unknown daemon " +
+                                  std::to_string(d));
+    }
+    if (d != config_.node_daemon[static_cast<std::size_t>(u)]) {
+      moves.push_back(u);
+    }
+  }
+  if (moves.empty()) return 0;  // no-op re-placement: not a single frame
+  for (const NodeId u : moves) {
+    const int target = plan[static_cast<std::size_t>(u)];
+    const MigrationBlob blob = MigrateOut(u);
+    // hosted == false: the owner already committed this node away (we are
+    // retrying after a crash) — the target has it, go straight to the
+    // (idempotent) commit so the driver map catches up.
+    if (blob.hosted) MigrateIn(u, target, blob);
+    MigrateCommit(u, target);
+  }
+  BroadcastPlacement();
+  return moves.size();
 }
 
 void NetDriver::Shutdown() {

@@ -90,6 +90,43 @@ class NetDriver {
   // totals. Call after WaitAllCompleted()+WaitQuiescent().
   HarvestResult Harvest();
 
+  // --- placement / migration (wire v6) ----------------------------------
+  // Sums the per-daemon per-edge traffic counters: [u] = protocol messages
+  // that rode node u's parent edge since the daemons started ([0] is
+  // always 0 — the root has no parent edge). Call at quiescence; feeds
+  // place::OptimizePlacement.
+  std::vector<std::uint64_t> HarvestTraffic();
+
+  // One migrated node's durable state in transit between daemons.
+  struct MigrationBlob {
+    std::vector<std::uint8_t> state;  // EncodeNodeStateBlob payload
+    std::uint64_t epoch = 0;          // source slot's published query epoch
+    // False when the addressed daemon no longer hosts the node (a retry
+    // after the commit already applied): skip MigrateIn, the target
+    // already has it.
+    bool hosted = false;
+  };
+  // The three steps of one node move, each a blocking RPC; all require a
+  // quiescent cluster (no protocol message in flight). MigrateOut asks the
+  // node's current owner (per this driver's map) for its state — the owner
+  // KEEPS hosting, so the call is repeatable. MigrateIn installs the blob
+  // on `target` (idempotent). MigrateCommit releases the node at the owner
+  // and repoints this driver's own map at `target`.
+  MigrationBlob MigrateOut(NodeId node);
+  void MigrateIn(NodeId node, int target, const MigrationBlob& blob);
+  void MigrateCommit(NodeId node, int target);
+  // Broadcasts this driver's full node -> daemon map to every daemon
+  // (kPlacementUpdate) and waits for all acknowledgements. Sending the
+  // full map, not a diff, makes a retry after a partial failure converge:
+  // moves committed before a crash are already in the map.
+  void BroadcastPlacement();
+  // Migrates every node whose current assignment differs from `plan`
+  // (size = tree size), then broadcasts the new map. Returns the number of
+  // nodes moved; 0 moves sends no frame at all (the no-op re-placement is
+  // free, keeping the Figure-2 ledger untouched). Safe to re-call with the
+  // same plan after restarting a daemon that died mid-sequence.
+  std::size_t ApplyPlacement(const std::vector<int>& plan);
+
   // Sends kShutdown to every daemon and closes the connections. Idempotent.
   void Shutdown();
 
@@ -120,6 +157,9 @@ class NetDriver {
 
  private:
   FrameConn* ConnForNode(NodeId node);
+  FrameConn* ConnForDaemon(int d);
+  // Blocks until `daemon` acknowledged the pending migration RPC.
+  void WaitMigrateDone(int daemon, const std::string& what);
   // Polls all connections once (bounded by timeout_ms), reading frames and
   // dispatching them. Throws on connection failure.
   void PumpOnce(int timeout_ms);
@@ -148,6 +188,17 @@ class NetDriver {
   query::QueryAnswer query_answer_;
   std::vector<StatusPayload> status_;
   std::vector<bool> status_seen_;
+
+  // Migration RPC tokens share nothing with history ids: responses are
+  // matched by frame type + token, per-daemon acks by the seen vector.
+  ReqId next_migrate_req_ = 1;
+  ReqId pending_migrate_ = kNoRequest;
+  bool migrate_state_seen_ = false;
+  MigrationBlob migrate_blob_;
+  std::vector<bool> migrate_done_seen_;
+  bool collecting_traffic_ = false;
+  std::vector<bool> traffic_seen_;
+  std::vector<std::uint64_t> traffic_;
 
   bool collecting_harvest_ = false;
   std::vector<bool> harvest_seen_;

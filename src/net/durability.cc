@@ -248,6 +248,14 @@ bool DecodePayload(Cursor* c, DaemonDurableState* state) {
     }
     m = std::move(f.msg);
   }
+  // Trailing-optional placement map: absent in pre-migration snapshots
+  // (which end exactly here), always present in new ones.
+  if (c->remaining() > 0) {
+    const std::uint32_t nmap = c->GetCount(4);
+    if (!c->ok()) return false;
+    state->node_daemon.resize(nmap);
+    for (auto& d : state->node_daemon) d = c->GetI32();
+  }
   return c->ok() && c->remaining() == 0;
 }
 
@@ -312,7 +320,8 @@ bool DurableStatesEqual(const DaemonDurableState& a,
                         const DaemonDurableState& b) {
   if (a.nodes != b.nodes || a.sent != b.sent || a.received != b.received ||
       !(a.counts == b.counts) || a.sessions.size() != b.sessions.size() ||
-      a.local_queue.size() != b.local_queue.size()) {
+      a.local_queue.size() != b.local_queue.size() ||
+      a.node_daemon != b.node_daemon) {
     return false;
   }
   for (std::size_t i = 0; i < a.sessions.size(); ++i) {
@@ -364,6 +373,10 @@ std::vector<std::uint8_t> EncodeSnapshot(const DaemonDurableState& state,
     f.type = FrameType::kProtocol;
     f.msg = m;
     AppendFrame(&payload, f);
+  }
+  if (!state.node_daemon.empty()) {
+    PutU32(&payload, static_cast<std::uint32_t>(state.node_daemon.size()));
+    for (const int d : state.node_daemon) PutI32(&payload, d);
   }
 
   std::vector<std::uint8_t> out;
@@ -493,6 +506,24 @@ SnapshotLoad LoadSnapshot(const std::string& dir, DaemonDurableState* state,
 void RemoveSnapshot(const std::string& dir) {
   ::unlink(SnapshotPath(dir).c_str());
   ::unlink(SnapshotTempPath(dir).c_str());
+}
+
+std::vector<std::uint8_t> EncodeNodeStateBlob(
+    const LeaseNode::DurableState& s) {
+  std::vector<std::uint8_t> out;
+  EncodeNodeState(&out, s);
+  return out;
+}
+
+bool DecodeNodeStateBlob(const std::uint8_t* data, std::size_t len,
+                         LeaseNode::DurableState* s) {
+  Cursor c(data, len);
+  LeaseNode::DurableState decoded;
+  if (!DecodeNodeState(&c, &decoded) || !c.ok() || c.remaining() != 0) {
+    return false;
+  }
+  *s = std::move(decoded);
+  return true;
 }
 
 }  // namespace treeagg

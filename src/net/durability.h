@@ -82,6 +82,14 @@ struct DaemonDurableState {
   };
   std::vector<SessionState> sessions;
   std::vector<Message> local_queue;  // empty between frames, kept for form
+  // Full node -> daemon placement map as this daemon last knew it. Nodes
+  // migrate between daemons at runtime (wire-v6 kMigrateIn / kMigrateCommit
+  // / kPlacementUpdate), so the startup cluster config may be stale after a
+  // crash; a restarting daemon adopts a non-empty restored map before
+  // building its nodes and peer sessions. Empty in pre-placement snapshots
+  // (the field is a trailing-optional payload extension): the config map is
+  // then authoritative, which is exactly the legacy behaviour.
+  std::vector<int> node_daemon;
 };
 
 // Deep structural equality (WireFrame and Message have no operator==; the
@@ -90,6 +98,16 @@ bool DurableStatesEqual(const DaemonDurableState& a,
                         const DaemonDurableState& b);
 
 inline constexpr char kSnapshotMagic[] = "treeagg-snap-v1\n";  // 16 bytes + NUL
+
+// Standalone encoding of one node's durable protocol state — the payload
+// of the wire-v6 kMigrateState / kMigrateIn migration frames. Uses the
+// same codec as the snapshot's per-node section, so a migrated node's
+// state round-trips bit-identically with what a crash-restart would have
+// restored. DecodeNodeStateBlob returns false on truncated, over-long, or
+// inconsistent bytes.
+std::vector<std::uint8_t> EncodeNodeStateBlob(const LeaseNode::DurableState& s);
+bool DecodeNodeStateBlob(const std::uint8_t* data, std::size_t len,
+                         LeaseNode::DurableState* s);
 
 // CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `data`.
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t len);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/aggregate_op.h"
+#include "place/placement.h"
 
 namespace treeagg {
 
@@ -17,8 +18,16 @@ LocalCluster::LocalCluster(const std::vector<NodeId>& tree_parent,
   config_.ghost_logging = options.ghost_logging;
   config_.daemons.assign(static_cast<std::size_t>(options.daemons),
                          ClusterConfig::DaemonAddr{"127.0.0.1", 0});
-  config_.node_daemon =
-      AssignNodes(config_.tree_parent, options.daemons, options.placement);
+  if (options.assignment.empty()) {
+    config_.node_daemon =
+        AssignNodes(config_.tree_parent, options.daemons, options.placement);
+  } else {
+    if (options.assignment.size() != tree_parent.size()) {
+      throw std::invalid_argument(
+          "LocalCluster: assignment size != tree size");
+    }
+    config_.node_daemon = options.assignment;
+  }
   config_.Validate();
 
   daemon_options_.transport = options.transport;
@@ -162,6 +171,18 @@ std::uint64_t LocalCluster::SumDaemonCounters(const std::string& name) const {
   return sum;
 }
 
+std::vector<std::uint64_t> LocalCluster::HarvestTraffic() {
+  return driver_->HarvestTraffic();
+}
+
+std::size_t LocalCluster::Rebalance(const std::vector<int>& plan) {
+  const std::size_t moved = driver_->ApplyPlacement(plan);
+  // Keep the cluster's own map in step: RestartDaemon builds replacement
+  // daemons from config_, which must reflect where nodes live NOW.
+  config_.node_daemon = driver_->config().node_daemon;
+  return moved;
+}
+
 std::string LocalCluster::DaemonError() const {
   for (const auto& daemon : daemons_) {
     if (daemon && !daemon->error().empty()) {
@@ -174,12 +195,31 @@ std::string LocalCluster::DaemonError() const {
 NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
                             const RequestSequence& sigma,
                             const LocalCluster::Options& options,
-                            bool sequential, ProbeVia probe_via) {
+                            bool sequential, ProbeVia probe_via,
+                            std::size_t replace_after) {
   LocalCluster cluster(tree_parent, options);
   NetDriver& driver = cluster.driver();
   NetRunResult result;
   std::int64_t query_serial = 0;
   const auto start = std::chrono::steady_clock::now();
+  // Live re-placement: once `replace_after` requests are in, drain the
+  // cluster, harvest the per-edge traffic observed so far, optimize a new
+  // placement from it, and migrate — the rest of sigma runs on the new map.
+  bool replaced = false;
+  std::size_t injected = 0;
+  const auto maybe_replace = [&] {
+    if (replace_after == 0 || replaced || injected < replace_after) return;
+    replaced = true;
+    driver.WaitAllCompleted();
+    driver.WaitQuiescent();
+    const std::vector<std::uint64_t> traffic = cluster.HarvestTraffic();
+    result.cross_weight_before = place::CrossWeight(
+        tree_parent, traffic, cluster.config().node_daemon);
+    const place::PlacementPlan plan =
+        place::OptimizePlacement(tree_parent, traffic, options.daemons);
+    result.cross_weight_after = plan.cross_weight;
+    result.nodes_moved = cluster.Rebalance(plan.node_daemon);
+  };
   // kSnapshot turns every combine of sigma into an off-ledger snapshot
   // read: it returns kNoRequest (there is nothing to wait for — QueryNode
   // is synchronous) and records the served answer for offline validation.
@@ -195,12 +235,19 @@ NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
   if (sequential) {
     for (const Request& r : sigma) {
       const ReqId id = inject(r);
-      if (id == kNoRequest) continue;
-      driver.WaitCompleted(id);
-      driver.WaitQuiescent();
+      ++injected;
+      if (id != kNoRequest) {
+        driver.WaitCompleted(id);
+        driver.WaitQuiescent();
+      }
+      maybe_replace();
     }
   } else {
-    for (const Request& r : sigma) inject(r);
+    for (const Request& r : sigma) {
+      inject(r);
+      ++injected;
+      maybe_replace();
+    }
     driver.WaitAllCompleted();
     driver.WaitQuiescent();
   }
@@ -215,6 +262,7 @@ NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
   result.ghosts = std::move(harvest.ghosts);
   result.counts = harvest.counts;
   result.total_messages = driver.TotalMessages();
+  result.traffic = cluster.HarvestTraffic();
   cluster.Stop();
   result.wire_messages =
       cluster.SumDaemonCounters("treeagg_transport_messages_sent_total");

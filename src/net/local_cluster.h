@@ -34,6 +34,10 @@ class LocalCluster {
     std::string op = "sum";
     bool ghost_logging = true;
     std::string placement = "block";  // block | rr | subtree
+    // Explicit node -> daemon map (size = tree size); non-empty overrides
+    // `placement`. This is how a traffic-informed plan from
+    // place::OptimizePlacement is handed to a fresh cluster.
+    std::vector<int> assignment;
     // Poll loops per daemon (see NodeDaemonOptions::reactors). 1 keeps
     // every daemon single-threaded; N shards hosted nodes over N-1
     // workers plus the primary I/O reactor.
@@ -97,6 +101,16 @@ class LocalCluster {
   // treeagg_transport_protocol_frames_sent_total = messages per frame.
   std::uint64_t SumDaemonCounters(const std::string& name) const;
 
+  // --- placement / re-placement (wire v6) -------------------------------
+  // Sum of the per-edge traffic counters over every daemon ([u] = messages
+  // on node u's parent edge). Call at quiescence.
+  std::vector<std::uint64_t> HarvestTraffic();
+  // Live re-placement: migrates every node whose assignment differs from
+  // `plan` (driver().ApplyPlacement) and keeps the cluster's own config in
+  // step, so a later RestartDaemon rebuilds from the post-migration map.
+  // Returns the number of nodes moved. Requires a quiescent cluster.
+  std::size_t Rebalance(const std::vector<int>& plan);
+
   // --- fault injection (chaos harness) ----------------------------------
   // Fail-stop crash of daemon `d`: the driver marks it down, the daemon
   // thread is stopped and joined, the durable state is extracted, and the
@@ -155,6 +169,16 @@ struct NetRunResult {
   // validation against the harvested ghost logs.
   std::vector<query::ServedQuery> queries;
   CheckResult query_check = CheckResult::Ok();
+  // Live re-placement stats (replace_after > 0 only). cross_weight_* are
+  // the harvested-traffic cross-daemon weights of the placement before and
+  // after the mid-run rebalance.
+  std::size_t nodes_moved = 0;
+  std::uint64_t cross_weight_before = 0;
+  std::uint64_t cross_weight_after = 0;
+  // Final per-edge traffic counters ([u] = messages on node u's parent
+  // edge), harvested at end of run — the input `treeagg_cli place` scores
+  // placements against (see place/traffic.h).
+  std::vector<std::uint64_t> traffic;
 };
 
 // How RunNetWorkload serves the combine requests of sigma.
@@ -166,11 +190,17 @@ struct NetRunResult {
 //     answers are validated with ValidateQueryAnswers.
 enum class ProbeVia { kMechanism, kSnapshot };
 
+// `replace_after` > 0 arms a live re-placement: after that many requests
+// have been injected (and the cluster drained to quiescence), the harvested
+// per-edge traffic feeds place::OptimizePlacement and the resulting plan is
+// applied with Rebalance() — then the remaining requests run on the new
+// placement. The NetRunResult migration-stat fields record what happened.
 NetRunResult RunNetWorkload(const std::vector<NodeId>& tree_parent,
                             const RequestSequence& sigma,
                             const LocalCluster::Options& options,
                             bool sequential,
-                            ProbeVia probe_via = ProbeVia::kMechanism);
+                            ProbeVia probe_via = ProbeVia::kMechanism,
+                            std::size_t replace_after = 0);
 
 }  // namespace treeagg
 

@@ -91,6 +91,17 @@ class Cursor {
     return n;
   }
 
+  // Bulk copy for opaque byte blobs (migration state).
+  bool GetBytes(std::uint8_t* dst, std::size_t n) {
+    if (remaining() < n) {
+      Fail<std::uint8_t>();
+      return false;
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
  private:
   template <typename T>
   T Fail() {
@@ -228,6 +239,50 @@ void EncodePayload(std::vector<std::uint8_t>* out, const WireFrame& f,
       PutU64(out, f.status.received);
       PutU64(out, f.status.queued);
       break;
+    case FrameType::kTrafficReq:
+    case FrameType::kMigrateDone:
+      PutI64(out, f.req);
+      break;
+    case FrameType::kTrafficResp:
+      PutI64(out, f.req);
+      PutU32(out, static_cast<std::uint32_t>(f.traffic.size()));
+      for (const auto& [node, count] : f.traffic) {
+        PutI32(out, node);
+        PutU64(out, count);
+      }
+      break;
+    case FrameType::kMigrateOut:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      break;
+    case FrameType::kMigrateState:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      PutU64(out, f.resume);  // hosted flag
+      PutU64(out, f.epoch);
+      PutU32(out, static_cast<std::uint32_t>(f.blob.size()));
+      out->insert(out->end(), f.blob.begin(), f.blob.end());
+      break;
+    case FrameType::kMigrateIn:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      PutU64(out, f.epoch);
+      PutU32(out, static_cast<std::uint32_t>(f.blob.size()));
+      out->insert(out->end(), f.blob.begin(), f.blob.end());
+      break;
+    case FrameType::kMigrateCommit:
+      PutI64(out, f.req);
+      PutI32(out, f.node);
+      PutU32(out, f.daemon_id);
+      break;
+    case FrameType::kPlacementUpdate:
+      PutI64(out, f.req);
+      PutU32(out, static_cast<std::uint32_t>(f.moves.size()));
+      for (const auto& [node, daemon] : f.moves) {
+        PutI32(out, node);
+        PutI32(out, daemon);
+      }
+      break;
     case FrameType::kHarvestResp:
       PutU32(out, static_cast<std::uint32_t>(f.harvest.logs.size()));
       for (const NodeLogPayload& nl : f.harvest.logs) {
@@ -329,6 +384,66 @@ bool DecodePayload(Cursor* c, WireFrame* f, std::uint8_t version) {
       f->status.received = c->GetU64();
       f->status.queued = c->GetU64();
       break;
+    case FrameType::kTrafficReq:
+    case FrameType::kMigrateDone:
+      f->req = c->GetI64();
+      break;
+    case FrameType::kTrafficResp: {
+      f->req = c->GetI64();
+      const std::uint32_t n = c->GetCount(12);
+      if (!c->ok()) return false;
+      f->traffic.clear();
+      f->traffic.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const NodeId node = c->GetI32();
+        const std::uint64_t count = c->GetU64();
+        f->traffic.emplace_back(node, count);
+      }
+      break;
+    }
+    case FrameType::kMigrateOut:
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      break;
+    case FrameType::kMigrateState: {
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      f->resume = c->GetU64();
+      f->epoch = c->GetU64();
+      const std::uint32_t n = c->GetCount(1);
+      if (!c->ok()) return false;
+      f->blob.resize(n);
+      if (!c->GetBytes(f->blob.data(), n)) return false;
+      break;
+    }
+    case FrameType::kMigrateIn: {
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      f->epoch = c->GetU64();
+      const std::uint32_t n = c->GetCount(1);
+      if (!c->ok()) return false;
+      f->blob.resize(n);
+      if (!c->GetBytes(f->blob.data(), n)) return false;
+      break;
+    }
+    case FrameType::kMigrateCommit:
+      f->req = c->GetI64();
+      f->node = c->GetI32();
+      f->daemon_id = c->GetU32();
+      break;
+    case FrameType::kPlacementUpdate: {
+      f->req = c->GetI64();
+      const std::uint32_t n = c->GetCount(8);
+      if (!c->ok()) return false;
+      f->moves.clear();
+      f->moves.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const NodeId node = c->GetI32();
+        const std::int32_t daemon = c->GetI32();
+        f->moves.emplace_back(node, daemon);
+      }
+      break;
+    }
     case FrameType::kHarvestResp: {
       const std::uint32_t nlogs = c->GetCount(8);
       if (!c->ok()) return false;
@@ -379,6 +494,14 @@ const char* ToString(FrameType t) {
     case FrameType::kBatch: return "batch";
     case FrameType::kQuery: return "query";
     case FrameType::kQueryResp: return "query-resp";
+    case FrameType::kTrafficReq: return "traffic-req";
+    case FrameType::kTrafficResp: return "traffic-resp";
+    case FrameType::kMigrateOut: return "migrate-out";
+    case FrameType::kMigrateState: return "migrate-state";
+    case FrameType::kMigrateIn: return "migrate-in";
+    case FrameType::kMigrateCommit: return "migrate-commit";
+    case FrameType::kMigrateDone: return "migrate-done";
+    case FrameType::kPlacementUpdate: return "placement-update";
   }
   return "?";
 }
@@ -422,7 +545,8 @@ bool FramesEqual(const WireFrame& a, const WireFrame& b) {
          a.ack == b.ack && a.ack_valid == b.ack_valid && a.req == b.req &&
          a.node == b.node && a.arg == b.arg && a.value == b.value &&
          a.gather == b.gather && a.log_prefix == b.log_prefix &&
-         a.epoch == b.epoch &&
+         a.epoch == b.epoch && a.blob == b.blob && a.moves == b.moves &&
+         a.traffic == b.traffic &&
          a.status == b.status && a.harvest == b.harvest;
 }
 
@@ -493,10 +617,12 @@ DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t len) {
   const std::uint8_t version = data[5];
   const std::uint8_t type = data[6];
   // kPeerAck (12) exists only from v3 on, kBatch (13) only from v4 on,
-  // kQuery/kQueryResp (14/15) only from v5 on; in an older frame those
-  // type bytes are out of range.
+  // kQuery/kQueryResp (14/15) only from v5 on, the traffic/migration
+  // frames (16–23) only from v6 on; in an older frame those type bytes
+  // are out of range.
   const std::uint8_t max_type =
-      version >= 5 ? static_cast<std::uint8_t>(FrameType::kQueryResp)
+      version >= 6 ? static_cast<std::uint8_t>(FrameType::kPlacementUpdate)
+      : version == 5 ? static_cast<std::uint8_t>(FrameType::kQueryResp)
       : version == 4 ? static_cast<std::uint8_t>(FrameType::kBatch)
       : version == 3 ? static_cast<std::uint8_t>(FrameType::kPeerAck)
                      : static_cast<std::uint8_t>(FrameType::kShutdown);

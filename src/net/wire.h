@@ -1,4 +1,4 @@
-// treeagg-wire-v5: the versioned binary wire format of the networked
+// treeagg-wire-v6: the versioned binary wire format of the networked
 // backend.
 //
 // A frame on the wire is a 4-byte little-endian length prefix followed by
@@ -23,6 +23,12 @@
 //   client <-> daemon : kQuery / kQueryResp (v5) — the snapshot read tier;
 //                       any connection may open with a kQuery instead of a
 //                       hello and becomes a query client
+//   driver <-> daemon : kTrafficReq/kTrafficResp (per-tree-edge message
+//                       counts for the placement optimizer) and the v6
+//                       node-migration conversation — kMigrateOut /
+//                       kMigrateState / kMigrateIn / kMigrateCommit /
+//                       kMigrateDone / kPlacementUpdate — which rides
+//                       driver connections only, never peer sessions
 //
 // Decoding never throws and never crashes on malformed input: every error
 // is reported as a DecodeStatus and poisons the FrameReader (a byte stream
@@ -54,7 +60,14 @@ inline constexpr std::uint8_t kWireMagic = 0xA6;
 // answered from the seqlock snapshot table without touching mechanism
 // state. Query frames never ride peer sessions, so a v2/v3/v4 peer never
 // sees them; in a sub-v5 frame those type bytes are kBadType.
-inline constexpr std::uint8_t kWireVersion = 5;  // treeagg-wire-v5
+// v6 adds the placement subsystem's driver frames: kTrafficReq /
+// kTrafficResp harvest the per-tree-edge message counters, and the
+// kMigrateOut / kMigrateState / kMigrateIn / kMigrateCommit /
+// kMigrateDone / kPlacementUpdate conversation moves a node's durable
+// state between daemons at quiescence. All eight ride driver connections
+// only, so per-session downgrade keeps v2–v5 peers from ever seeing a v6
+// type byte; in a sub-v6 frame those bytes are kBadType.
+inline constexpr std::uint8_t kWireVersion = 6;  // treeagg-wire-v6
 inline constexpr std::uint8_t kWireMinVersion = 2;  // oldest accepted
 // Upper bound on the frame body (magic byte onward). Harvest frames carry
 // whole ghost logs, so the cap is generous; anything larger is rejected as
@@ -78,6 +91,14 @@ enum class FrameType : std::uint8_t {
   kBatch = 13,         // count + concatenated protocol messages (v4)
   kQuery = 14,         // req, node (v5 snapshot read)
   kQueryResp = 15,     // req, node, epoch, value, log_prefix (v5)
+  kTrafficReq = 16,    // req (v6 per-edge traffic harvest)
+  kTrafficResp = 17,   // req + sparse (child-node, count) pairs (v6)
+  kMigrateOut = 18,    // req, node: export a hosted node's state (v6)
+  kMigrateState = 19,  // req, node, resume(=hosted), epoch, blob (v6)
+  kMigrateIn = 20,     // req, node, epoch, blob: install on target (v6)
+  kMigrateCommit = 21, // req, node, daemon_id(=new owner): drop source (v6)
+  kMigrateDone = 22,   // req: ack of In/Commit/PlacementUpdate (v6)
+  kPlacementUpdate = 23,  // req + (node, daemon) moves broadcast (v6)
 };
 
 const char* ToString(FrameType t);
@@ -150,7 +171,26 @@ struct WireFrame {
   std::int64_t log_prefix = -1;                  // kCombineDone, kQueryResp
 
   // kQueryResp: publish count of the served snapshot (see query::QueryAnswer).
+  // kMigrateState / kMigrateIn: snapshot epoch of the migrating node's
+  // query slot, carried across so the target can seed its new slot and
+  // keep per-connection epoch monotonicity intact.
   std::uint64_t epoch = 0;
+
+  // kMigrateState / kMigrateIn: the migrating node's durable protocol
+  // state, encoded with EncodeNodeStateBlob (net/durability.h). On
+  // kMigrateState, `resume` doubles as the hosted flag (1 = state
+  // attached, 0 = the addressee no longer hosts the node — an idempotent
+  // retry after a completed move) and `daemon_id` is unused; on
+  // kMigrateCommit, `daemon_id` names the new owner.
+  std::vector<std::uint8_t> blob;
+
+  // kPlacementUpdate: (node, new owner daemon) assignments. The driver
+  // broadcasts the full map, so applying it is idempotent.
+  std::vector<std::pair<NodeId, std::int32_t>> moves;
+
+  // kTrafficResp: sparse per-tree-edge message counts, keyed by the
+  // edge's child node id (parent[u] < u makes that unique).
+  std::vector<std::pair<NodeId, std::uint64_t>> traffic;
 
   StatusPayload status;    // kStatusReq (probe only) / kStatusResp
   HarvestPayload harvest;  // kHarvestResp

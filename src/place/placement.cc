@@ -1,0 +1,296 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace treeagg::place {
+namespace {
+
+void ValidateInputs(const std::vector<NodeId>& parent,
+                    const std::vector<std::uint64_t>& weight, int daemons) {
+  if (parent.empty()) {
+    throw std::invalid_argument("OptimizePlacement: empty tree");
+  }
+  if (daemons < 1) {
+    throw std::invalid_argument("OptimizePlacement: need at least one daemon");
+  }
+  if (weight.size() != parent.size()) {
+    throw std::invalid_argument(
+        "OptimizePlacement: edge_weight size " +
+        std::to_string(weight.size()) + " != node count " +
+        std::to_string(parent.size()));
+  }
+  // Node 0 is the root by construction; its parent entry is ignored, so
+  // both conventions (kInvalidNode and the net stack's 0) are accepted.
+  if (parent[0] != kInvalidNode && parent[0] != 0) {
+    throw std::invalid_argument("OptimizePlacement: node 0 must be the root");
+  }
+  for (std::size_t u = 1; u < parent.size(); ++u) {
+    if (parent[u] < 0 || parent[u] >= static_cast<NodeId>(u)) {
+      throw std::invalid_argument(
+          "OptimizePlacement: parent[" + std::to_string(u) +
+          "] must be < the node id");
+    }
+  }
+}
+
+// CSR children lists via counting sort (same technique as net/cluster.cc's
+// DfsPreorder, kept local so place does not depend on net).
+struct Children {
+  std::vector<std::int32_t> start;  // n + 1 offsets
+  std::vector<NodeId> child;        // children in ascending id order
+
+  explicit Children(const std::vector<NodeId>& parent) {
+    const std::size_t n = parent.size();
+    start.assign(n + 1, 0);
+    for (std::size_t u = 1; u < n; ++u) {
+      ++start[static_cast<std::size_t>(parent[u]) + 1];
+    }
+    for (std::size_t i = 1; i <= n; ++i) start[i] += start[i - 1];
+    child.resize(n - 1);
+    std::vector<std::int32_t> fill(start.begin(), start.end() - 1);
+    for (std::size_t u = 1; u < n; ++u) {
+      child[static_cast<std::size_t>(
+          fill[static_cast<std::size_t>(parent[u])]++)] =
+          static_cast<NodeId>(u);
+    }
+  }
+};
+
+// Balanced contiguous-preorder split (the static "subtree" baseline):
+// always feasible because ceil(n/d) <= capacity by construction. Used as
+// the packing fallback of last resort.
+std::vector<int> PreorderSplit(const std::vector<NodeId>& parent,
+                               const Children& kids, int daemons) {
+  const std::size_t n = parent.size();
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> stack = {0};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    const std::size_t b = static_cast<std::size_t>(kids.start[u]);
+    const std::size_t e = static_cast<std::size_t>(kids.start[u + 1]);
+    for (std::size_t i = e; i > b; --i) {  // reversed: pop ascending
+      stack.push_back(kids.child[i - 1]);
+    }
+  }
+  std::vector<int> plan(n, 0);
+  const std::size_t base = n / static_cast<std::size_t>(daemons);
+  const std::size_t extra = n % static_cast<std::size_t>(daemons);
+  std::size_t pos = 0;
+  for (int d = 0; d < daemons; ++d) {
+    const std::size_t take = base + (static_cast<std::size_t>(d) < extra);
+    for (std::size_t i = 0; i < take; ++i) {
+      plan[static_cast<std::size_t>(order[pos++])] = d;
+    }
+  }
+  return plan;
+}
+
+// First-fit packing of components (given in `roots` order) into bins of
+// size `cap`. Returns an empty vector when some component does not fit.
+std::vector<int> FirstFit(const std::vector<NodeId>& roots,
+                          const std::vector<std::size_t>& comp_size,
+                          int daemons, std::size_t cap) {
+  std::vector<std::size_t> load(static_cast<std::size_t>(daemons), 0);
+  std::vector<int> bin_of(comp_size.size(), -1);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const std::size_t sz =
+        comp_size[static_cast<std::size_t>(roots[i])];
+    int placed = -1;
+    for (int d = 0; d < daemons; ++d) {
+      if (load[static_cast<std::size_t>(d)] + sz <= cap) {
+        placed = d;
+        break;
+      }
+    }
+    if (placed < 0) return {};
+    load[static_cast<std::size_t>(placed)] += sz;
+    bin_of[static_cast<std::size_t>(roots[i])] = placed;
+  }
+  return bin_of;
+}
+
+}  // namespace
+
+std::uint64_t CrossWeight(const std::vector<NodeId>& tree_parent,
+                          const std::vector<std::uint64_t>& edge_weight,
+                          const std::vector<int>& node_daemon) {
+  std::uint64_t total = 0;
+  for (std::size_t u = 1; u < tree_parent.size(); ++u) {
+    if (node_daemon[u] !=
+        node_daemon[static_cast<std::size_t>(tree_parent[u])]) {
+      total += u < edge_weight.size() ? edge_weight[u] : 0;
+    }
+  }
+  return total;
+}
+
+int CrossEdges(const std::vector<NodeId>& tree_parent,
+               const std::vector<int>& node_daemon) {
+  int count = 0;
+  for (std::size_t u = 1; u < tree_parent.size(); ++u) {
+    count += node_daemon[u] !=
+             node_daemon[static_cast<std::size_t>(tree_parent[u])];
+  }
+  return count;
+}
+
+PlacementPlan OptimizePlacement(const std::vector<NodeId>& tree_parent,
+                                const std::vector<std::uint64_t>& edge_weight,
+                                int daemons, std::size_t capacity) {
+  ValidateInputs(tree_parent, edge_weight, daemons);
+  const std::size_t n = tree_parent.size();
+  const std::size_t d = static_cast<std::size_t>(daemons);
+  const std::size_t balanced = (n + d - 1) / d;  // ceil(n/d)
+  std::size_t cap = capacity;
+  if (cap == 0) cap = balanced + (balanced + 3) / 4;
+  if (cap * d < n) {
+    throw std::invalid_argument(
+        "OptimizePlacement: capacity " + std::to_string(cap) + " x " +
+        std::to_string(daemons) + " daemons < " + std::to_string(n) +
+        " nodes (infeasible)");
+  }
+  const Children kids(tree_parent);
+
+  // Phase 1: bottom-up cutting. cut[u] == true means the edge
+  // (u, parent[u]) is severed and u roots its own component. Children have
+  // larger ids than parents, so a simple descending scan is bottom-up.
+  std::vector<bool> cut(n, false);
+  std::vector<std::size_t> comp_size(n, 1);
+  for (std::size_t ui = n; ui-- > 0;) {
+    const NodeId u = static_cast<NodeId>(ui);
+    std::size_t size = 1;
+    // Kept direct children, each already <= cap by induction.
+    std::vector<NodeId> kept;
+    for (std::int32_t i = kids.start[u]; i < kids.start[u + 1]; ++i) {
+      const NodeId c = kids.child[static_cast<std::size_t>(i)];
+      if (!cut[static_cast<std::size_t>(c)]) {
+        kept.push_back(c);
+        size += comp_size[static_cast<std::size_t>(c)];
+      }
+    }
+    while (size > cap) {
+      // Cut the cheapest kept child edge; ties go to the lower child id
+      // (kept is in ascending id order, so strict < keeps the first).
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < kept.size(); ++i) {
+        if (edge_weight[static_cast<std::size_t>(kept[i])] <
+            edge_weight[static_cast<std::size_t>(kept[best])]) {
+          best = i;
+        }
+      }
+      const NodeId c = kept[best];
+      cut[static_cast<std::size_t>(c)] = true;
+      size -= comp_size[static_cast<std::size_t>(c)];
+      kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    comp_size[ui] = size;
+  }
+  cut[0] = true;  // the root always starts a component
+
+  // Phase 2: pack components onto daemons. Component roots in ascending id
+  // order keep preorder-adjacent components (which share cut edges) in
+  // nearby bins.
+  std::vector<NodeId> roots;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (cut[u]) roots.push_back(static_cast<NodeId>(u));
+  }
+  std::vector<int> bin_of = FirstFit(roots, comp_size, daemons, cap);
+  if (bin_of.empty()) {
+    // Retry size-descending (classic FFD feasibility boost), stable on id.
+    std::vector<NodeId> by_size = roots;
+    std::stable_sort(by_size.begin(), by_size.end(),
+                     [&](NodeId a, NodeId b) {
+                       return comp_size[static_cast<std::size_t>(a)] >
+                              comp_size[static_cast<std::size_t>(b)];
+                     });
+    bin_of = FirstFit(by_size, comp_size, daemons, cap);
+  }
+
+  PlacementPlan plan;
+  if (bin_of.empty()) {
+    plan.node_daemon = PreorderSplit(tree_parent, kids, daemons);
+  } else {
+    // Propagate each component root's bin down its uncut subtree. Parents
+    // precede children, so one ascending pass suffices.
+    plan.node_daemon.assign(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      plan.node_daemon[u] =
+          cut[u] ? bin_of[u]
+                 : plan.node_daemon[static_cast<std::size_t>(tree_parent[u])];
+    }
+  }
+
+  // Phase 3: boundary refinement. Move single nodes toward the daemon
+  // that carries most of their edge traffic, while capacity allows.
+  std::vector<std::size_t> load(d, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    ++load[static_cast<std::size_t>(plan.node_daemon[u])];
+  }
+  constexpr int kRefineSweeps = 8;
+  for (int sweep = 0; sweep < kRefineSweeps; ++sweep) {
+    bool moved = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      const int cur = plan.node_daemon[u];
+      // Weight of u's tree edges grouped by the neighbor's daemon.
+      // Neighbors: the parent edge (keyed by u) and child edges (keyed by
+      // the child). Collect (daemon, weight) pairs.
+      std::int64_t to_cur = 0;
+      // gain[b] accumulated sparsely over at most degree(u) daemons.
+      std::vector<std::pair<int, std::int64_t>> to_other;
+      auto add = [&](int b, std::uint64_t w) {
+        const std::int64_t sw = static_cast<std::int64_t>(w);
+        if (b == cur) {
+          to_cur += sw;
+          return;
+        }
+        for (auto& [bd, bw] : to_other) {
+          if (bd == b) {
+            bw += sw;
+            return;
+          }
+        }
+        to_other.emplace_back(b, sw);
+      };
+      if (u > 0) {
+        add(plan.node_daemon[static_cast<std::size_t>(tree_parent[u])],
+            edge_weight[u]);
+      }
+      for (std::int32_t i = kids.start[u]; i < kids.start[u + 1]; ++i) {
+        const NodeId c = kids.child[static_cast<std::size_t>(i)];
+        add(plan.node_daemon[static_cast<std::size_t>(c)],
+            edge_weight[static_cast<std::size_t>(c)]);
+      }
+      int best = -1;
+      std::int64_t best_gain = 0;
+      for (const auto& [bd, bw] : to_other) {
+        const std::int64_t gain = bw - to_cur;
+        if (gain > best_gain || (gain == best_gain && gain > 0 &&
+                                 best >= 0 && bd < best)) {
+          best = bd;
+          best_gain = gain;
+        }
+      }
+      if (best >= 0 && best_gain > 0 &&
+          load[static_cast<std::size_t>(best)] < cap) {
+        --load[static_cast<std::size_t>(cur)];
+        ++load[static_cast<std::size_t>(best)];
+        plan.node_daemon[u] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  plan.cross_weight = CrossWeight(tree_parent, edge_weight, plan.node_daemon);
+  plan.cross_edges = CrossEdges(tree_parent, plan.node_daemon);
+  return plan;
+}
+
+}  // namespace treeagg::place

@@ -1,0 +1,75 @@
+// Traffic-informed tree partitioning: assign tree nodes to daemons so the
+// total observed message weight crossing daemon boundaries is minimized
+// under a per-daemon capacity constraint.
+//
+// The Figure 2 cost model makes per-edge traffic workload-dependent: under
+// RWW a hot writer's edge carries updates and releases all run long, while
+// a cold subtree's edges go quiet once its leases settle. Static placements
+// ("rr", "subtree" in net/cluster.h) ignore this. The optimizer here takes
+// the per-tree-edge message counts harvested from the running cluster (see
+// net/driver.h HarvestTraffic and place/traffic.h for the offline file
+// format) and computes a placement in three deterministic phases:
+//
+//   1. Bottom-up cutting: walk nodes in decreasing id order (parent[u] < u,
+//      so every child is seen before its parent) accumulating subtree
+//      components; while a component exceeds the capacity, cut the kept
+//      direct-child edge of minimum weight (ties to the lower child id).
+//      By induction every attached child component already fits, so the
+//      loop terminates, and cuts always fall on the cheapest local edges.
+//   2. Packing: place the resulting subtree-contiguous components onto
+//      daemons first-fit in root-id order (so preorder-adjacent components
+//      — which share the cut edges — tend to land together and re-fuse
+//      their edge). Falls back to size-descending first-fit and finally to
+//      a plain balanced preorder split, which always fits.
+//   3. Boundary refinement: Kernighan–Lin-style single-node sweeps. For
+//      each node, compare the traffic it exchanges with its current daemon
+//      against each daemon hosting a tree neighbor, and move the node when
+//      the gain is positive and the target has room. Repeats until a sweep
+//      makes no move (at most kRefineSweeps).
+//
+// Everything is deterministic given (tree, weights, daemons, capacity):
+// identical inputs produce identical plans, which the tests pin.
+#ifndef TREEAGG_PLACE_PLACEMENT_H_
+#define TREEAGG_PLACE_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeagg::place {
+
+struct PlacementPlan {
+  std::vector<int> node_daemon;    // node -> daemon, same shape as
+                                   // ClusterConfig::node_daemon
+  std::uint64_t cross_weight = 0;  // total weight on cross-daemon edges
+  int cross_edges = 0;             // number of cross-daemon tree edges
+};
+
+// Total observed weight of tree edges whose endpoints live on different
+// daemons. `edge_weight` is indexed by the CHILD node id of the edge
+// (parent[u] < u makes the child id a unique edge key); entry 0 is unused.
+std::uint64_t CrossWeight(const std::vector<NodeId>& tree_parent,
+                          const std::vector<std::uint64_t>& edge_weight,
+                          const std::vector<int>& node_daemon);
+
+// Number of tree edges whose endpoints live on different daemons.
+int CrossEdges(const std::vector<NodeId>& tree_parent,
+               const std::vector<int>& node_daemon);
+
+// Computes a placement of `tree_parent.size()` nodes onto `daemons`
+// daemons minimizing CrossWeight subject to every daemon hosting at most
+// `capacity` nodes. capacity == 0 selects the default bound
+// ceil(n/d) + ceil(ceil(n/d)/4) (~25% headroom over perfectly balanced).
+// Throws std::invalid_argument when the inputs are malformed or the
+// capacity makes the request infeasible (capacity * daemons < n).
+// Deterministic: identical inputs yield identical plans. Daemons may end
+// up empty when n < daemons.
+PlacementPlan OptimizePlacement(const std::vector<NodeId>& tree_parent,
+                                const std::vector<std::uint64_t>& edge_weight,
+                                int daemons, std::size_t capacity = 0);
+
+}  // namespace treeagg::place
+
+#endif  // TREEAGG_PLACE_PLACEMENT_H_

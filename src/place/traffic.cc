@@ -1,0 +1,90 @@
+#include "place/traffic.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treeagg::place {
+namespace {
+
+[[noreturn]] void BadLine(int lineno, const std::string& line,
+                          const std::string& why) {
+  throw std::invalid_argument("traffic file line " + std::to_string(lineno) +
+                              " (" + line + "): " + why);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> ReadTraffic(std::istream& in) {
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  std::vector<std::uint64_t> edges;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    std::string body =
+        hash == std::string::npos ? line : line.substr(0, hash);
+    std::istringstream ls(body);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only
+    if (!saw_header) {
+      if (word != "treeagg-traffic-v1") {
+        BadLine(lineno, line, "expected treeagg-traffic-v1 header");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (word == "nodes") {
+      long long n = 0;
+      if (!(ls >> n) || n < 1) BadLine(lineno, line, "bad node count");
+      if (!edges.empty()) BadLine(lineno, line, "duplicate nodes line");
+      edges.assign(static_cast<std::size_t>(n), 0);
+    } else if (word == "edge") {
+      if (edges.empty()) BadLine(lineno, line, "edge before nodes line");
+      long long child = 0;
+      unsigned long long count = 0;
+      if (!(ls >> child >> count)) BadLine(lineno, line, "expected: edge CHILD COUNT");
+      if (child < 1 || static_cast<std::size_t>(child) >= edges.size()) {
+        BadLine(lineno, line, "edge child id out of range");
+      }
+      edges[static_cast<std::size_t>(child)] = count;
+    } else {
+      BadLine(lineno, line, "unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_header) {
+    throw std::invalid_argument("traffic file: missing treeagg-traffic-v1 header");
+  }
+  if (edges.empty()) {
+    throw std::invalid_argument("traffic file: missing nodes line");
+  }
+  return edges;
+}
+
+void WriteTraffic(std::ostream& out, const std::vector<std::uint64_t>& edges) {
+  out << "treeagg-traffic-v1\n";
+  out << "nodes " << edges.size() << "\n";
+  for (std::size_t u = 1; u < edges.size(); ++u) {
+    if (edges[u] != 0) out << "edge " << u << " " << edges[u] << "\n";
+  }
+}
+
+std::vector<std::uint64_t> ReadTrafficFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open traffic file: " + path);
+  return ReadTraffic(in);
+}
+
+void WriteTrafficFile(const std::string& path,
+                      const std::vector<std::uint64_t>& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write traffic file: " + path);
+  WriteTraffic(out, edges);
+  if (!out.flush()) {
+    throw std::runtime_error("failed writing traffic file: " + path);
+  }
+}
+
+}  // namespace treeagg::place

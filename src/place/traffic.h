@@ -1,0 +1,44 @@
+// Harvested per-tree-edge traffic counts, and their offline text format.
+//
+// The networked backend counts every protocol message routed over each
+// tree edge (see NodeDaemon's per-edge traffic counters; harvested across
+// daemons by NetDriver::HarvestTraffic). An edge is keyed by its CHILD
+// node id — parent[u] < u makes that a unique dense key — so a traffic
+// vector has one entry per node, entry 0 (the root, no parent edge)
+// always zero.
+//
+// Text format (treeagg-traffic-v1), one directive per line, '#' comments:
+//
+//   treeagg-traffic-v1
+//   nodes 4096
+//   edge 1 1057        # child-node-id message-count, nonzero edges only
+//   edge 2 12
+//
+// `treeagg_cli drive --traffic-out FILE` writes one of these from a live
+// run; `treeagg_cli place --traffic FILE` scores and optimizes placements
+// against it offline.
+#ifndef TREEAGG_PLACE_TRAFFIC_H_
+#define TREEAGG_PLACE_TRAFFIC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace treeagg::place {
+
+// Parses the text format above. Throws std::invalid_argument with a
+// message naming the offending line.
+std::vector<std::uint64_t> ReadTraffic(std::istream& in);
+
+void WriteTraffic(std::ostream& out, const std::vector<std::uint64_t>& edges);
+
+// File wrappers. ReadTrafficFile throws std::runtime_error when the file
+// cannot be opened.
+std::vector<std::uint64_t> ReadTrafficFile(const std::string& path);
+void WriteTrafficFile(const std::string& path,
+                      const std::vector<std::uint64_t>& edges);
+
+}  // namespace treeagg::place
+
+#endif  // TREEAGG_PLACE_TRAFFIC_H_

@@ -108,6 +108,17 @@ class alignas(64) SnapshotSlot {
     return seq_.load(std::memory_order_acquire) != 0;
   }
 
+  // Pre-attach epoch seeding for node migration: a node moving between
+  // snapshot tables gets a brand-new slot, but its published epochs must
+  // stay monotone per node (ValidateQueryAnswers pins this per query
+  // connection). Seeding the fresh slot with the old slot's last epoch
+  // makes the attach-time publish continue the sequence at epoch + 1.
+  // Must run before any reader or writer can see the slot — the daemon
+  // swaps tables under its stop-the-world worker pause.
+  void Seed(std::uint64_t epoch) noexcept {
+    epoch_.store(epoch, std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> epoch_{0};

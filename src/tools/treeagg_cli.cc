@@ -20,6 +20,15 @@
 //          snapshot reads, validated against the harvested ghost logs)
 //   query  one snapshot read against a running cluster:
 //          treeagg_cli query --cluster FILE --node U [--count N]
+//   place  score and optimize placements against harvested traffic:
+//          treeagg_cli place --cluster FILE --traffic FILE
+//                            [--capacity K] [--out NEWCLUSTER]
+//          (prints the cross-daemon message weight of the current, rr,
+//          subtree, and traffic-optimized placements; --out writes a
+//          cluster file with the optimized node->daemon map. The traffic
+//          file comes from `drive ... --traffic-out FILE`; a running
+//          cluster can instead be re-placed online with
+//          `drive --net-local --replace-after N`)
 //   chaos  fault-injection run checked by the ConvergenceChecker:
 //          treeagg_cli chaos --backend sim|net-local --schedule SPEC
 //          (SPEC is a preset name or a fault/schedule.h spec string;
@@ -57,6 +66,8 @@
 #include "net/driver.h"
 #include "net/local_cluster.h"
 #include "net/query_client.h"
+#include "place/placement.h"
+#include "place/traffic.h"
 #include "query/validate.h"
 #include "sim/chaos.h"
 #include "runtime/actor_runtime.h"
@@ -453,7 +464,8 @@ void PrintServeUsage(std::ostream& out) {
          " [--state-dir DIR] [--snapshot-every N] [--ack-interval N]"
          " [--metrics-port P] [--reactors N] [--batch-bytes B]"
          " [--batch-flush-us U]"
-         " (valid subcommands: run, sweep, serve, drive, chaos, query)\n";
+         " (valid subcommands: run, sweep, serve, drive, chaos, query,"
+         " place)\n";
 }
 
 int ServeUsage() {
@@ -532,10 +544,12 @@ void PrintDriveUsage(std::ostream& out) {
   out << "usage: treeagg_cli drive (--cluster FILE | --net-local"
          " [--daemons N] [--placement block|rr|subtree] [--shape S] [--n N]"
          " [--policy P] [--op O] [--reactors N] [--batch-bytes B]"
-         " [--batch-flush-us U]) [--workload W] [--len L] [--seed X]"
+         " [--batch-flush-us U] [--replace-after R]) [--workload W]"
+         " [--len L] [--seed X]"
          " [--sequential] [--probe-via mechanism|snapshot]"
+         " [--traffic-out FILE]"
          " [--trace-out FILE] (valid subcommands: run,"
-         " sweep, serve, drive, chaos, query)\n";
+         " sweep, serve, drive, chaos, query, place)\n";
 }
 
 int DriveUsage() {
@@ -581,6 +595,7 @@ int DriveMain(int argc, char** argv) {
   }
   std::string cluster_file;
   std::string trace_file;
+  std::string traffic_file;
   bool net_local = false;
   LocalCluster::Options local;
   std::string shape = "kary2";
@@ -590,6 +605,7 @@ int DriveMain(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool sequential = false;
   std::string probe_via = "mechanism";
+  std::size_t replace_after = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -629,6 +645,10 @@ int DriveMain(int argc, char** argv) {
       len = static_cast<std::size_t>(std::stoul(value));
     } else if (arg == "--seed" && (value = next())) {
       seed = std::stoull(value);
+    } else if (arg == "--replace-after" && (value = next())) {
+      replace_after = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--traffic-out" && (value = next())) {
+      traffic_file = value;
     } else if (arg == "--trace-out" && (value = next())) {
       trace_file = value;
     } else {
@@ -636,6 +656,8 @@ int DriveMain(int argc, char** argv) {
     }
   }
   if (net_local == !cluster_file.empty()) return DriveUsage();
+  // Live re-placement needs control of the daemons' lifecycle.
+  if (replace_after > 0 && !net_local) return DriveUsage();
   if (probe_via != "mechanism" && probe_via != "snapshot") {
     return DriveUsage();
   }
@@ -668,8 +690,22 @@ int DriveMain(int argc, char** argv) {
               << (sequential ? "sequential" : "pipelined")
               << ", probes via " << probe_via << "\n\n";
     const NetRunResult result =
-        RunNetWorkload(parent, sigma, local, sequential, via);
+        RunNetWorkload(parent, sigma, local, sequential, via, replace_after);
     maybe_write_trace(result.history, "net-local");
+    if (!traffic_file.empty()) {
+      place::WriteTrafficFile(traffic_file, result.traffic);
+      std::cerr << "traffic written to " << traffic_file << "\n";
+    }
+    if (replace_after > 0) {
+      TextTable mt({"re-placement", "value"});
+      mt.AddRow({"after requests", std::to_string(replace_after)});
+      mt.AddRow({"nodes moved", std::to_string(result.nodes_moved)});
+      mt.AddRow({"cross weight before",
+                 std::to_string(result.cross_weight_before)});
+      mt.AddRow({"cross weight after",
+                 std::to_string(result.cross_weight_after)});
+      std::cout << mt.ToString();
+    }
     return ReportNetRun(result.history, result.ghosts, result.counts,
                         OpByName(local.op), tree.size(),
                         result.requests_per_sec,
@@ -711,6 +747,10 @@ int DriveMain(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   const NetDriver::HarvestResult harvest = driver.Harvest();
+  if (!traffic_file.empty()) {
+    place::WriteTrafficFile(traffic_file, driver.HarvestTraffic());
+    std::cerr << "traffic written to " << traffic_file << "\n";
+  }
   driver.Shutdown();
   maybe_write_trace(driver.history(), "net");
   CheckResult query_check = CheckResult::Ok();
@@ -736,7 +776,8 @@ void PrintChaosUsage(std::ostream& out) {
          " [--trace-out FILE]"
          " (presets: drops, partition, crash, chaos; spec grammar:"
          " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
-         " (valid subcommands: run, sweep, serve, drive, chaos, query)\n";
+         " (valid subcommands: run, sweep, serve, drive, chaos, query,"
+         " place)\n";
 }
 
 int ChaosUsage() {
@@ -897,7 +938,8 @@ int ChaosMain(int argc, char** argv) {
 
 void PrintQueryUsage(std::ostream& out) {
   out << "usage: treeagg_cli query --cluster FILE --node U [--count N]"
-         " (valid subcommands: run, sweep, serve, drive, chaos, query)\n";
+         " (valid subcommands: run, sweep, serve, drive, chaos, query,"
+         " place)\n";
 }
 
 int QueryUsage() {
@@ -946,10 +988,99 @@ int QueryMain(int argc, char** argv) {
   return 0;
 }
 
+// --- place subcommand ---------------------------------------------------
+
+void PrintPlaceUsage(std::ostream& out) {
+  out << "usage: treeagg_cli place --cluster FILE --traffic FILE"
+         " [--capacity K] [--out NEWCLUSTER]"
+         " (scores the current, rr, subtree, and traffic-optimized"
+         " placements against the harvested per-edge traffic; --out writes"
+         " a cluster file carrying the optimized map)"
+         " (valid subcommands: run, sweep, serve, drive, chaos, query,"
+         " place)\n";
+}
+
+int PlaceUsage() {
+  PrintPlaceUsage(std::cerr);
+  return 2;
+}
+
+int PlaceMain(int argc, char** argv) {
+  if (WantsHelp(argc, argv)) {
+    PrintPlaceUsage(std::cout);
+    return 0;
+  }
+  std::string cluster_file;
+  std::string traffic_file;
+  std::string out_file;
+  std::size_t capacity = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--cluster" && (value = next())) {
+      cluster_file = value;
+    } else if (arg == "--traffic" && (value = next())) {
+      traffic_file = value;
+    } else if (arg == "--capacity" && (value = next())) {
+      capacity = static_cast<std::size_t>(std::stoul(value));
+    } else if (arg == "--out" && (value = next())) {
+      out_file = value;
+    } else {
+      return PlaceUsage();
+    }
+  }
+  if (cluster_file.empty() || traffic_file.empty()) return PlaceUsage();
+  std::ifstream in(cluster_file);
+  if (!in) {
+    std::cerr << "error: cannot open cluster file " << cluster_file << "\n";
+    return 2;
+  }
+  ClusterConfig config = ParseClusterConfig(in);
+  const std::vector<std::uint64_t> traffic =
+      place::ReadTrafficFile(traffic_file);
+  if (traffic.size() != config.tree_parent.size()) {
+    std::cerr << "error: traffic file covers " << traffic.size()
+              << " nodes, cluster has " << config.tree_parent.size() << "\n";
+    return 2;
+  }
+  const int daemons = config.NumDaemons();
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(config.tree_parent, traffic, daemons, capacity);
+  TextTable table({"placement", "cross weight", "cross edges"});
+  const auto score = [&](const std::string& name,
+                         const std::vector<int>& node_daemon) {
+    table.AddRow({name,
+                  std::to_string(place::CrossWeight(config.tree_parent,
+                                                    traffic, node_daemon)),
+                  std::to_string(place::CrossEdges(config.tree_parent,
+                                                   node_daemon))});
+  };
+  score("current", config.node_daemon);
+  score("rr", AssignNodes(config.tree_parent, daemons, "rr"));
+  score("subtree", AssignNodes(config.tree_parent, daemons, "subtree"));
+  score("optimized", plan.node_daemon);
+  std::cout << table.ToString();
+  if (!out_file.empty()) {
+    config.node_daemon = plan.node_daemon;
+    std::ofstream out(out_file);
+    if (!out) {
+      std::cerr << "error: cannot open " << out_file << "\n";
+      return 2;
+    }
+    WriteClusterConfig(out, config);
+    std::cout << "optimized cluster file written to " << out_file << "\n";
+  }
+  return 0;
+}
+
 void PrintTopUsage(std::ostream& out) {
-  out << "usage: treeagg_cli [run|sweep|serve|drive|chaos|query] [flags]"
-         " (valid subcommands: run, sweep, serve, drive, chaos, query;"
-         " `treeagg_cli SUBCOMMAND --help` lists each one's flags)\n";
+  out << "usage: treeagg_cli [run|sweep|serve|drive|chaos|query|place]"
+         " [flags]"
+         " (valid subcommands: run, sweep, serve, drive, chaos, query,"
+         " place; `treeagg_cli SUBCOMMAND --help` lists each one's flags)\n";
 }
 
 int TopUsage() {
@@ -969,6 +1100,7 @@ int Main(int argc, char** argv) {
     if (sub == "drive") return DriveMain(argc, argv);
     if (sub == "chaos") return ChaosMain(argc, argv);
     if (sub == "query") return QueryMain(argc, argv);
+    if (sub == "place") return PlaceMain(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

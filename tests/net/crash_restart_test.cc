@@ -1011,6 +1011,132 @@ TEST(ProcessDeathMatrixBatched, KaryMixed75PullAllFourDaemonsSubtree) {
                       7, BatchedServeFlags()});
 }
 
+// SIGKILL mid-migration, in the cruelest window: the target daemon has
+// installed the node (and persisted it), the source still hosts it —
+// commit never ran — and the SOURCE dies. On restart from disk both
+// daemons host the node; re-applying the same plan must resolve the dual
+// host through the idempotent install/commit pair and converge on the
+// usual full verdict. The migration steps are driven one frame at a time
+// through the driver's own MigrateOut/MigrateIn so the kill lands in the
+// window deterministically instead of racing a blocking ApplyPlacement.
+TEST(ProcessDeathMatrix, SigkillMidMigrationConverges) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 40, /*seed=*/8);
+
+  ClusterConfig config;
+  config.tree_parent = ParentVector(tree);
+  config.policy = "RWW";
+  config.op = "sum";
+  const int daemons = 3;
+  const std::vector<std::uint16_t> ports = ReservePorts(daemons);
+  for (int d = 0; d < daemons; ++d) {
+    config.daemons.push_back({"127.0.0.1", ports[static_cast<std::size_t>(d)]});
+  }
+  // Block placement: nodes 0-4 on daemon 0, 5-9 on daemon 1, 10-14 on 2.
+  config.node_daemon = AssignNodes(config.tree_parent, daemons, "block");
+  config.Validate();
+
+  const std::string root = ScratchDir("sigkill_mid_migration");
+  std::vector<std::string> state_dirs;
+  for (int d = 0; d < daemons; ++d) {
+    state_dirs.push_back(root + "/daemon-" + std::to_string(d));
+    RemoveSnapshot(state_dirs.back());
+  }
+  const std::string cluster_file = root + "/cluster.txt";
+  {
+    std::ofstream out(cluster_file);
+    WriteClusterConfig(out, config);
+  }
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(daemons), -1);
+  for (int d = 0; d < daemons; ++d) {
+    pids[static_cast<std::size_t>(d)] =
+        SpawnServe(cluster_file, d, state_dirs[d]);
+    ASSERT_GT(pids[static_cast<std::size_t>(d)], 0);
+  }
+
+  NetDriver driver(config);
+  driver.Connect();
+
+  const auto inject = [&](const Request& r) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  };
+
+  // First third of the workload, fully settled before the migration.
+  const std::size_t migrate_at = sigma.size() / 3;
+  for (std::size_t i = 0; i < migrate_at; ++i) inject(sigma[i]);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+
+  // The plan: nodes 2 and 3 hop 0 -> 2, node 6 leaves the victim for
+  // daemon 0, node 12 hops 2 -> 0.
+  std::vector<int> plan = config.node_daemon;
+  plan[2] = 2;
+  plan[3] = 2;
+  plan[6] = 0;
+  plan[12] = 0;
+
+  // Step node 6's migration by hand: export from daemon 1, install on
+  // daemon 0 (which persists the adopted node)... and never commit.
+  const int victim = 1;
+  const NetDriver::MigrationBlob blob = driver.MigrateOut(6);
+  ASSERT_TRUE(blob.hosted);
+  driver.MigrateIn(6, /*target=*/0, blob);
+
+  const std::int64_t kill_clock = driver.clock();
+  ASSERT_EQ(::kill(pids[static_cast<std::size_t>(victim)], SIGKILL), 0);
+  ::waitpid(pids[static_cast<std::size_t>(victim)], nullptr, 0);
+  pids[static_cast<std::size_t>(victim)] = -1;
+  driver.MarkDaemonDown(victim);
+
+  pids[static_cast<std::size_t>(victim)] =
+      SpawnServe(cluster_file, victim, state_dirs[victim]);
+  ASSERT_GT(pids[static_cast<std::size_t>(victim)], 0);
+  driver.ReconnectDaemon(victim);
+  const std::size_t reinjected = driver.ReinjectIncomplete({victim});
+
+  // Node 6 is now hosted by BOTH daemons (the restarted victim restored it
+  // from disk; commit never ran, so the driver map still names the
+  // victim). Applying the full plan re-exports it from the restarted
+  // source, hits the idempotent install on the target, and commits — plus
+  // the three untouched moves.
+  EXPECT_EQ(driver.config().node_daemon[6], victim);
+  EXPECT_EQ(driver.ApplyPlacement(plan), 4u);
+  EXPECT_EQ(driver.config().node_daemon, plan);
+  const std::int64_t heal_clock = driver.clock();
+
+  for (std::size_t i = migrate_at; i < sigma.size(); ++i) inject(sigma[i]);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+
+  std::vector<ReqId> probe_ids;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    probe_ids.push_back(driver.InjectCombine(u));
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+
+  ConvergenceOptions check;
+  check.fault_windows = {{kill_clock, heal_clock + 1}};
+  check.require_full_causal = reinjected == 0;
+  const ConvergenceReport report =
+      CheckConvergence(driver.history(), harvest.ghosts, SumOp(), tree.size(),
+                       probe_ids, check);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_TRUE(report.all_completed);
+  EXPECT_EQ(report.divergent_probes, 0u);
+  EXPECT_TRUE(report.outside_ok);
+  EXPECT_TRUE(std::ifstream(SnapshotPath(state_dirs[victim])).good());
+
+  driver.Shutdown();
+  for (const pid_t pid : pids) ReapChild(pid);
+}
+
 // SIGKILL mid-lingering-batch: a large size cap plus a 100ms linger keeps
 // partial batches parked in coalescers for most of the run (the workload
 // is injected pipelined, so peer traffic is continuous), making it

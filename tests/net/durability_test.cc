@@ -117,6 +117,9 @@ DaemonDurableState PopulatedState() {
 
   state.local_queue = {RichMessage()};
   state.local_queue[0].wlog.reset();  // also cover the no-wlog shape
+
+  // The adopted assignment (v6 re-placement): node 3 has been migrated in.
+  state.node_daemon = {1, 0, 2, 7};
   return state;
 }
 
@@ -152,6 +155,58 @@ TEST(SnapshotCodec, RoundTripsPopulatedState) {
   EXPECT_EQ(decoded.sessions[0].log[1].msg.wlog->size(), 2u);
   EXPECT_EQ(decoded.nodes[0].second.neighbors[0].uaw,
             (std::vector<UpdateId>{3, 5, 9}));
+}
+
+TEST(SnapshotCodec, NodeDaemonMapRoundTripsAndLegacyDecodesEmpty) {
+  // The node -> daemon assignment is a trailing-optional section: a state
+  // carrying one round-trips it, and the empty map encodes to the legacy
+  // shape so pre-migration snapshots keep loading.
+  DaemonDurableState state = PopulatedState();
+  ASSERT_FALSE(state.node_daemon.empty());
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(state, 2);
+  DaemonDurableState decoded;
+  int daemon_id = -1;
+  std::string error;
+  ASSERT_TRUE(DecodeSnapshot(bytes.data(), bytes.size(), &decoded, &daemon_id,
+                             &error))
+      << error;
+  EXPECT_EQ(decoded.node_daemon, state.node_daemon);
+
+  // A differing map is a real difference.
+  DaemonDurableState other = PopulatedState();
+  other.node_daemon[2] = 5;
+  EXPECT_FALSE(DurableStatesEqual(state, other));
+
+  // No map at all still round-trips (the legacy encode).
+  state.node_daemon.clear();
+  const std::vector<std::uint8_t> legacy = EncodeSnapshot(state, 2);
+  ASSERT_TRUE(DecodeSnapshot(legacy.data(), legacy.size(), &decoded,
+                             &daemon_id, &error))
+      << error;
+  EXPECT_TRUE(decoded.node_daemon.empty());
+}
+
+TEST(SnapshotCodec, NodeStateBlobRoundTrips) {
+  // The migration payload: one node's LeaseNode::DurableState through the
+  // EncodeNodeStateBlob / DecodeNodeStateBlob wrappers (the kMigrateState
+  // and kMigrateIn `blob` field).
+  const DaemonDurableState state = PopulatedState();
+  const LeaseNode::DurableState& node = state.nodes[0].second;
+  const std::vector<std::uint8_t> blob = EncodeNodeStateBlob(node);
+  LeaseNode::DurableState decoded;
+  ASSERT_TRUE(DecodeNodeStateBlob(blob.data(), blob.size(), &decoded));
+  EXPECT_EQ(decoded.val, node.val);
+  EXPECT_EQ(decoded.upcntr, node.upcntr);
+  ASSERT_EQ(decoded.neighbors.size(), node.neighbors.size());
+  EXPECT_EQ(decoded.neighbors[0].uaw, node.neighbors[0].uaw);
+  EXPECT_EQ(decoded.neighbors[0].snt_updates, node.neighbors[0].snt_updates);
+  EXPECT_EQ(decoded.ghost_log, node.ghost_log);
+  // Truncation fails cleanly, never crashes.
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    LeaseNode::DurableState scratch;
+    EXPECT_FALSE(DecodeNodeStateBlob(blob.data(), len, &scratch))
+        << "prefix length " << len;
+  }
 }
 
 TEST(SnapshotCodec, EqualityIsDeepNotPointerBased) {

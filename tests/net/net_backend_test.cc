@@ -195,6 +195,52 @@ TEST(ClusterConfigTest, RejectsAssignmentOutOfRange) {
   EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
 }
 
+TEST(ClusterConfigTest, RejectsDuplicateAssignment) {
+  std::stringstream in(
+      "treeagg-cluster-v1\n"
+      "tree 0 0\n"
+      "daemon 0 127.0.0.1 0\n"
+      "daemon 1 127.0.0.1 0\n"
+      "assign 0 0\n"
+      "assign 1 1\n"
+      "assign 1 0\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RejectsNegativeDaemonAssignment) {
+  std::stringstream in(
+      "treeagg-cluster-v1\n"
+      "tree 0 0\n"
+      "daemon 0 127.0.0.1 0\n"
+      "assign 0 0\n"
+      "assign 1 -1\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RejectsPartialAssignment) {
+  // Node 2 is never assigned; a silently-defaulted daemon 0 would mask a
+  // truncated hand-edited file.
+  std::stringstream in(
+      "treeagg-cluster-v1\n"
+      "tree 0 0 0\n"
+      "daemon 0 127.0.0.1 0\n"
+      "daemon 1 127.0.0.1 0\n"
+      "assign 0 0\n"
+      "assign 1 1\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
+TEST(ClusterConfigTest, RejectsMixingAssignAndPlace) {
+  std::stringstream in(
+      "treeagg-cluster-v1\n"
+      "tree 0 0\n"
+      "daemon 0 127.0.0.1 0\n"
+      "place rr\n"
+      "assign 0 0\n"
+      "assign 1 0\n");
+  EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);
+}
+
 TEST(ClusterConfigTest, RejectsConfigWithNoDaemons) {
   std::stringstream in("treeagg-cluster-v1\ntree 0 0 1\nplace block\n");
   EXPECT_THROW(ParseClusterConfig(in), std::invalid_argument);

@@ -1,0 +1,284 @@
+// Online re-placement over a live LocalCluster: traffic harvesting, node
+// migration via the wire-v6 frames, and the invariants the subsystem
+// promises — the Figure 2 message ledger and the served answers are
+// bit-identical across a re-placement (the mechanism is placement-blind),
+// a no-op re-placement sends no frame at all, and a rebalanced cluster
+// survives kill/restart because the adopted map is durable.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "consistency/causal_checker.h"
+#include "consistency/strict_checker.h"
+#include "core/aggregate_op.h"
+#include "net/cluster.h"
+#include "net/local_cluster.h"
+#include "place/placement.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()));
+  for (NodeId u = 1; u < tree.size(); ++u) {
+    parent[static_cast<std::size_t>(u)] = tree.RootedParent(u);
+  }
+  return parent;
+}
+
+void ExpectSameAnswers(const NetRunResult& a, const NetRunResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const RequestRecord& ra = a.history.records()[i];
+    const RequestRecord& rb = b.history.records()[i];
+    EXPECT_EQ(ra.node, rb.node);
+    EXPECT_EQ(ra.op, rb.op);
+    EXPECT_EQ(ra.arg, rb.arg) << "request " << i;
+    EXPECT_EQ(ra.retval, rb.retval) << "request " << i;
+  }
+}
+
+void ExpectSameLedger(const NetRunResult& a, const NetRunResult& b) {
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  ExpectSameAnswers(a, b);
+}
+
+TEST(TrafficHarvestTest, CountsCrossAndLocalEdgeMessages) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 3;
+  options.placement = "rr";
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 60, /*seed=*/7);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const std::vector<std::uint64_t> traffic = cluster.HarvestTraffic();
+  ASSERT_EQ(traffic.size(), static_cast<std::size_t>(tree.size()));
+  EXPECT_EQ(traffic[0], 0u);  // the root has no parent edge
+  std::uint64_t total = 0;
+  for (const std::uint64_t t : traffic) total += t;
+  // Edge counters see every protocol message, local or cross-daemon, so
+  // their sum is at least the cross-daemon total the driver observed.
+  EXPECT_GT(total, 0u);
+  EXPECT_GE(total, driver.TotalMessages());
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+TEST(RebalanceTest, NoOpReplacementSendsNothingAndPreservesTheLedger) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 60, /*seed=*/11);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+
+  const NetRunResult plain =
+      RunNetWorkload(ParentVector(tree), sigma, options, /*sequential=*/true);
+
+  // Same run, but with an explicit no-op Rebalance in the middle: re-apply
+  // the current map. Zero moves means zero frames — the ledger and every
+  // served answer must be bit-identical to the undisturbed run.
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+  NetRunResult noop;
+  std::size_t done = 0;
+  for (const Request& r : sigma) {
+    const ReqId id = r.op == ReqType::kWrite
+                         ? driver.InjectWrite(r.node, r.arg)
+                         : driver.InjectCombine(r.node);
+    driver.WaitCompleted(id);
+    driver.WaitQuiescent();
+    if (++done == sigma.size() / 2) {
+      EXPECT_EQ(cluster.Rebalance(cluster.config().node_daemon), 0u);
+    }
+  }
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  noop.counts = harvest.counts;
+  noop.total_messages = driver.TotalMessages();
+  noop.history = driver.history();
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+
+  ExpectSameLedger(plain, noop);
+}
+
+TEST(RebalanceTest, LiveReplacementServesIdenticalAnswers) {
+  // The tentpole invariant: migrating nodes between daemons mid-run must
+  // not change WHAT the mechanism computes, only WHERE nodes execute.
+  // Sequential injection makes both runs deterministic, so every served
+  // answer must match the undisturbed run exactly. The Figure 2 message
+  // counts are NOT compared: RWW's lease timers (the paper's u.lt[v]) are
+  // per-incarnation policy state, so a migrated node may release and
+  // re-probe leases on a different cadence — exactly as after a crash
+  // restart. Only the no-op re-placement promises a bit-identical ledger
+  // (previous test).
+  const Tree tree = MakeShape("kary2", 31, /*seed=*/1);
+  const RequestSequence sigma =
+      MakeWorkload("mixed50", tree, 120, /*seed=*/13);
+  LocalCluster::Options options;
+  options.daemons = 3;
+  options.placement = "rr";
+
+  const NetRunResult plain =
+      RunNetWorkload(ParentVector(tree), sigma, options, /*sequential=*/true);
+  const NetRunResult replaced =
+      RunNetWorkload(ParentVector(tree), sigma, options, /*sequential=*/true,
+                     ProbeVia::kMechanism, /*replace_after=*/sigma.size() / 2);
+
+  EXPECT_GT(replaced.nodes_moved, 0u);
+  ExpectSameAnswers(plain, replaced);
+
+  const AggregateOp& op = OpByName("sum");
+  const CheckResult strict =
+      CheckStrictConsistency(replaced.history, op, tree.size());
+  EXPECT_TRUE(strict.ok) << strict.message;
+  const CheckResult causal = CheckCausalConsistency(
+      replaced.history, replaced.ghosts, op, tree.size());
+  EXPECT_TRUE(causal.ok) << causal.message;
+}
+
+TEST(RebalanceTest, OptimizedPlacementReducesCrossWeight) {
+  // Pipelined skewed workload; the mid-run optimizer should find a strictly
+  // cheaper placement than round-robin and report consistent scores.
+  const Tree tree = MakeShape("kary2", 63, /*seed=*/1);
+  const RequestSequence sigma =
+      MakeWorkload("writeheavy", tree, 400, /*seed=*/3);
+  LocalCluster::Options options;
+  options.daemons = 4;
+  options.placement = "rr";
+  const NetRunResult result =
+      RunNetWorkload(ParentVector(tree), sigma, options, /*sequential=*/false,
+                     ProbeVia::kMechanism, /*replace_after=*/200);
+  EXPECT_GT(result.nodes_moved, 0u);
+  EXPECT_LT(result.cross_weight_after, result.cross_weight_before);
+  EXPECT_TRUE(result.history.AllCompleted());
+  const CheckResult causal = CheckCausalConsistency(
+      result.history, result.ghosts, OpByName("sum"), tree.size());
+  EXPECT_TRUE(causal.ok) << causal.message;
+}
+
+TEST(RebalanceTest, ExplicitAssignmentOptionSeedsTheCluster) {
+  // An optimized plan handed to a fresh cluster via Options.assignment is
+  // the offline half of the re-placement story.
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  std::vector<std::uint64_t> weight(parent.size(), 1);
+  weight[0] = 0;
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, weight, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 60, /*seed=*/5);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.assignment = plan.node_daemon;
+  const NetRunResult result =
+      RunNetWorkload(parent, sigma, options, /*sequential=*/true);
+  EXPECT_TRUE(result.history.AllCompleted());
+  const CheckResult strict =
+      CheckStrictConsistency(result.history, OpByName("sum"), tree.size());
+  EXPECT_TRUE(strict.ok) << strict.message;
+}
+
+TEST(RebalanceTest, RejectsWrongSizeAssignment) {
+  const Tree tree = MakeShape("path", 6, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.assignment = {0, 0, 1};  // tree has 6 nodes
+  EXPECT_THROW(LocalCluster(ParentVector(tree), options),
+               std::invalid_argument);
+}
+
+TEST(RebalanceTest, RebalancedClusterSurvivesKillRestart) {
+  // After a migration the new map must be durable: a killed-and-restarted
+  // daemon adopts the post-migration assignment from its restored state
+  // instead of the boot-time config.
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  LocalCluster::Options options;
+  options.daemons = 3;
+  options.placement = "rr";
+  LocalCluster cluster(parent, options);
+  NetDriver& driver = cluster.driver();
+
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 90, /*seed=*/9);
+  std::size_t done = 0;
+  for (const Request& r : sigma) {
+    const ReqId id = r.op == ReqType::kWrite
+                         ? driver.InjectWrite(r.node, r.arg)
+                         : driver.InjectCombine(r.node);
+    driver.WaitCompleted(id);
+    driver.WaitQuiescent();
+    ++done;
+    if (done == 30) {
+      const std::vector<std::uint64_t> traffic = cluster.HarvestTraffic();
+      const place::PlacementPlan plan =
+          place::OptimizePlacement(parent, traffic, options.daemons);
+      cluster.Rebalance(plan.node_daemon);
+    } else if (done == 60) {
+      cluster.KillDaemon(1);
+      cluster.RestartDaemon(1);
+    }
+  }
+  driver.WaitQuiescent();
+  const NetDriver::HarvestResult harvest = driver.Harvest();
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+  EXPECT_TRUE(driver.history().AllCompleted());
+  const CheckResult causal = CheckCausalConsistency(
+      driver.history(), harvest.ghosts, OpByName("sum"), tree.size());
+  EXPECT_TRUE(causal.ok) << causal.message;
+}
+
+TEST(RebalanceTest, SnapshotQueriesStayCoherentAcrossMigration) {
+  // The read tier rides the same slots the migration rebuilds: epochs must
+  // stay monotone per connection and the served values must validate.
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  LocalCluster cluster(parent, options);
+  NetDriver& driver = cluster.driver();
+
+  driver.InjectWrite(3, 2.5);
+  driver.InjectWrite(7, 1.5);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const query::QueryAnswer before = driver.QueryNode(3);
+  EXPECT_EQ(before.value, 2.5);
+
+  // Move everything to daemon 0, then everything to daemon 1.
+  std::vector<int> all0(parent.size(), 0);
+  std::vector<int> all1(parent.size(), 1);
+  EXPECT_GT(cluster.Rebalance(all0), 0u);
+  const query::QueryAnswer mid = driver.QueryNode(3);
+  EXPECT_EQ(mid.value, 2.5);
+  EXPECT_GT(cluster.Rebalance(all1), 0u);
+  const query::QueryAnswer after = driver.QueryNode(3);
+  EXPECT_EQ(after.value, 2.5);
+
+  // The moved node keeps serving writes on its new daemon (a write
+  // assigns the node's value).
+  driver.InjectWrite(3, 1.0);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  EXPECT_EQ(driver.QueryNode(3).value, 1.0);
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+}  // namespace
+}  // namespace treeagg

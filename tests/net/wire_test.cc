@@ -182,11 +182,88 @@ std::vector<WireFrame> AllFrameTypes() {
     f.log_prefix = 42;
     frames.push_back(f);
   }
+  {
+    WireFrame f;  // v6 traffic harvest
+    f.type = FrameType::kTrafficReq;
+    f.req = 30;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kTrafficResp;
+    f.req = 30;
+    f.traffic = {{1, 1057}, {5, 12}, {99, 18446744073709551615ull}};
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kTrafficResp;  // idle daemon: no nonzero edges
+    f.req = 31;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;  // v6 migration conversation
+    f.type = FrameType::kMigrateOut;
+    f.req = 32;
+    f.node = 7;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kMigrateState;
+    f.req = 32;
+    f.node = 7;
+    f.resume = 1;  // hosted flag
+    f.epoch = 4242;
+    f.blob = {0x01, 0x00, 0xFF, 0x7E, 0x00, 0x10};
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kMigrateState;  // retry after the commit: no state
+    f.req = 33;
+    f.node = 7;
+    f.resume = 0;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kMigrateIn;
+    f.req = 34;
+    f.node = 7;
+    f.epoch = 4242;
+    f.blob = {0x01, 0x00, 0xFF};
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kMigrateCommit;
+    f.req = 35;
+    f.node = 7;
+    f.daemon_id = 2;  // the new owner
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kMigrateDone;
+    f.req = 35;
+    frames.push_back(f);
+  }
+  {
+    WireFrame f;
+    f.type = FrameType::kPlacementUpdate;
+    f.req = 36;
+    f.moves = {{0, 0}, {7, 2}, {8, 1}};
+    frames.push_back(f);
+  }
   return frames;
 }
 
 // Frame types an endpoint speaking `version` may emit.
 bool InDialect(FrameType t, std::uint8_t version) {
+  if (static_cast<int>(t) >= static_cast<int>(FrameType::kTrafficReq)) {
+    return version >= 6;
+  }
   if (t == FrameType::kQuery || t == FrameType::kQueryResp) {
     return version >= 5;
   }
@@ -290,7 +367,7 @@ TEST(WireCodec, RejectsBadVersionByte) {
 
 TEST(WireCodec, RejectsBadFrameType) {
   std::vector<std::uint8_t> bytes = ValidBytes();
-  bytes[6] = static_cast<std::uint8_t>(FrameType::kQueryResp) + 1;
+  bytes[6] = static_cast<std::uint8_t>(FrameType::kPlacementUpdate) + 1;
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
             DecodeStatus::kBadType);
 }
@@ -548,6 +625,85 @@ TEST(WireV5Query, QueryRespWithTrailingBytesIsBadPayload) {
   bytes[1] = static_cast<std::uint8_t>(body_len >> 8);
   EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
             DecodeStatus::kBadPayload);
+}
+
+// --- wire v6 placement / migration frames --------------------------------
+// The eight v6 types ride driver connections only; a sub-v6 frame claiming
+// one of their type bytes is malformed, not a forward reference, which is
+// what keeps per-session downgrade airtight.
+
+TEST(WireV6Placement, V6TypesBelowV6AreABadType) {
+  for (const WireFrame& frame : AllFrameTypes()) {
+    if (InDialect(frame.type, 5)) continue;  // only the v6-only types
+    std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+    for (const std::uint8_t v : {std::uint8_t{5}, std::uint8_t{4},
+                                 std::uint8_t{3}, std::uint8_t{2}}) {
+      bytes[5] = v;  // rewrite the version byte: old framing, v6-only type
+      EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+                DecodeStatus::kBadType)
+          << ToString(frame.type) << " at v" << int{v};
+    }
+  }
+}
+
+TEST(WireV6Placement, RejectsTrafficCountExceedingPayload) {
+  WireFrame f;
+  f.type = FrameType::kTrafficResp;
+  f.req = 1;
+  f.traffic = {{1, 5}, {2, 9}};
+  std::vector<std::uint8_t> bytes = EncodeFrame(f);
+  // The entry count is the first field after req: offset 7 + 8 = 15.
+  bytes[15] = 0xFF;
+  bytes[16] = 0xFF;
+  bytes[17] = 0xFF;
+  bytes[18] = 0x7F;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+            DecodeStatus::kBadPayload);
+}
+
+TEST(WireV6Placement, RejectsMovesCountExceedingPayload) {
+  WireFrame f;
+  f.type = FrameType::kPlacementUpdate;
+  f.req = 1;
+  f.moves = {{0, 0}, {3, 1}};
+  std::vector<std::uint8_t> bytes = EncodeFrame(f);
+  bytes[15] = 0xFF;
+  bytes[16] = 0xFF;
+  bytes[17] = 0xFF;
+  bytes[18] = 0x7F;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+            DecodeStatus::kBadPayload);
+}
+
+TEST(WireV6Placement, RejectsBlobLengthExceedingPayload) {
+  WireFrame f;
+  f.type = FrameType::kMigrateIn;
+  f.req = 1;
+  f.node = 3;
+  f.epoch = 9;
+  f.blob = {0xAA, 0xBB, 0xCC};
+  std::vector<std::uint8_t> bytes = EncodeFrame(f);
+  // blob length sits after req(8) + node(4) + epoch(8): offset 7 + 20 = 27.
+  bytes[27] = 0xFF;
+  bytes[28] = 0xFF;
+  bytes[29] = 0xFF;
+  bytes[30] = 0x7F;
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size()).status,
+            DecodeStatus::kBadPayload);
+}
+
+TEST(WireV6Placement, MigrateStateRoundTripsAnEmptyBlob) {
+  // The not-hosted retry answer carries resume=0 and no state bytes.
+  WireFrame f;
+  f.type = FrameType::kMigrateState;
+  f.req = 8;
+  f.node = 2;
+  f.resume = 0;
+  const std::vector<std::uint8_t> bytes = EncodeFrame(f);
+  const DecodeResult r = DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_TRUE(r.frame.blob.empty());
+  EXPECT_EQ(r.frame.resume, 0u);
 }
 
 // --- WireV4Interop: raw-socket fake v4 peer against a live daemon -------

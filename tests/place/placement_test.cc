@@ -1,0 +1,221 @@
+// Placement-optimizer unit tests: determinism, capacity handling, the
+// degenerate shapes (single daemon, more daemons than nodes), and the
+// treeagg-traffic-v1 codec. Everything here is pure computation — no
+// sockets, so the suite shares the parallel test lane.
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "net/cluster.h"
+#include "place/placement.h"
+#include "place/traffic.h"
+#include "tree/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::vector<NodeId> ParentVector(const Tree& tree) {
+  std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()));
+  for (NodeId u = 1; u < tree.size(); ++u) {
+    parent[static_cast<std::size_t>(u)] = tree.RootedParent(u);
+  }
+  return parent;
+}
+
+// Weights that make one subtree hot: every edge on the path from `hot` to
+// the root carries `weight`, everything else 1.
+std::vector<std::uint64_t> HotPathWeights(const std::vector<NodeId>& parent,
+                                          NodeId hot, std::uint64_t weight) {
+  std::vector<std::uint64_t> w(parent.size(), 1);
+  w[0] = 0;
+  for (NodeId u = hot; u != 0; u = parent[static_cast<std::size_t>(u)]) {
+    w[static_cast<std::size_t>(u)] = weight;
+  }
+  return w;
+}
+
+std::vector<int> LoadPerDaemon(const std::vector<int>& node_daemon,
+                               int daemons) {
+  std::vector<int> load(static_cast<std::size_t>(daemons), 0);
+  for (const int d : node_daemon) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, daemons);
+    ++load[static_cast<std::size_t>(d)];
+  }
+  return load;
+}
+
+TEST(CrossWeightTest, CountsOnlyCrossDaemonEdges) {
+  // 0 has children 1 and 2; 3 hangs under 1.
+  const std::vector<NodeId> parent = {0, 0, 0, 1};
+  const std::vector<std::uint64_t> weight = {0, 10, 20, 30};
+  // 0,1 together; 2,3 elsewhere: edges (0,2) and (1,3) cross.
+  const std::vector<int> assignment = {0, 0, 1, 1};
+  EXPECT_EQ(place::CrossWeight(parent, weight, assignment), 50u);
+  EXPECT_EQ(place::CrossEdges(parent, assignment), 2);
+  // Everything on one daemon: nothing crosses.
+  const std::vector<int> together = {0, 0, 0, 0};
+  EXPECT_EQ(place::CrossWeight(parent, weight, together), 0u);
+  EXPECT_EQ(place::CrossEdges(parent, together), 0);
+}
+
+TEST(OptimizePlacementTest, DeterministicAcrossCalls) {
+  const Tree tree = MakeShape("random", 200, /*seed=*/17);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<std::uint64_t> weight = HotPathWeights(parent, 150, 900);
+  const place::PlacementPlan a = place::OptimizePlacement(parent, weight, 4);
+  const place::PlacementPlan b = place::OptimizePlacement(parent, weight, 4);
+  EXPECT_EQ(a.node_daemon, b.node_daemon);
+  EXPECT_EQ(a.cross_weight, b.cross_weight);
+  EXPECT_EQ(a.cross_edges, b.cross_edges);
+}
+
+TEST(OptimizePlacementTest, ReportedScoreMatchesRecount) {
+  const Tree tree = MakeShape("kary2", 127, /*seed=*/3);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<std::uint64_t> weight = HotPathWeights(parent, 100, 500);
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, weight, 3);
+  EXPECT_EQ(plan.cross_weight,
+            place::CrossWeight(parent, weight, plan.node_daemon));
+  EXPECT_EQ(plan.cross_edges, place::CrossEdges(parent, plan.node_daemon));
+}
+
+TEST(OptimizePlacementTest, SingleDaemonHostsEverythingFree) {
+  const Tree tree = MakeShape("kary2", 31, /*seed=*/1);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<std::uint64_t> weight(parent.size(), 7);
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, weight, 1);
+  for (const int d : plan.node_daemon) EXPECT_EQ(d, 0);
+  EXPECT_EQ(plan.cross_weight, 0u);
+  EXPECT_EQ(plan.cross_edges, 0);
+}
+
+TEST(OptimizePlacementTest, MoreDaemonsThanNodesLeavesDaemonsEmpty) {
+  // 3 nodes on 8 daemons. The default capacity (ceil(n/d) plus slack = 2)
+  // still balances, so some edge must cross; with capacity >= n the whole
+  // tree fits on one daemon for free.
+  const std::vector<NodeId> parent = {0, 0, 1};
+  const std::vector<std::uint64_t> weight = {0, 5, 5};
+  const place::PlacementPlan balanced =
+      place::OptimizePlacement(parent, weight, 8);
+  ASSERT_EQ(balanced.node_daemon.size(), 3u);
+  LoadPerDaemon(balanced.node_daemon, 8);  // range check
+  EXPECT_EQ(balanced.cross_weight, 5u);
+  const place::PlacementPlan roomy =
+      place::OptimizePlacement(parent, weight, 8, /*capacity=*/3);
+  EXPECT_EQ(roomy.cross_weight, 0u);
+}
+
+TEST(OptimizePlacementTest, RespectsExplicitCapacity) {
+  const Tree tree = MakeShape("random", 60, /*seed=*/5);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<std::uint64_t> weight = HotPathWeights(parent, 40, 100);
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, weight, 4, /*capacity=*/20);
+  for (const int load : LoadPerDaemon(plan.node_daemon, 4)) {
+    EXPECT_LE(load, 20);
+  }
+}
+
+TEST(OptimizePlacementTest, InfeasibleCapacityThrows) {
+  const std::vector<NodeId> parent = {0, 0, 1, 1, 2};
+  const std::vector<std::uint64_t> weight(5, 1);
+  // 2 daemons x capacity 2 < 5 nodes.
+  EXPECT_THROW(place::OptimizePlacement(parent, weight, 2, /*capacity=*/2),
+               std::invalid_argument);
+}
+
+TEST(OptimizePlacementTest, RejectsMalformedInputs) {
+  const std::vector<NodeId> parent = {0, 0, 1};
+  const std::vector<std::uint64_t> weight = {0, 1, 1};
+  EXPECT_THROW(place::OptimizePlacement({}, {}, 2), std::invalid_argument);
+  EXPECT_THROW(place::OptimizePlacement(parent, weight, 0),
+               std::invalid_argument);
+  EXPECT_THROW(place::OptimizePlacement(parent, {0, 1}, 2),
+               std::invalid_argument);
+  // parent[u] must precede u.
+  EXPECT_THROW(place::OptimizePlacement({0, 2, 1}, weight, 2),
+               std::invalid_argument);
+}
+
+TEST(OptimizePlacementTest, AcceptsBothRootConventions) {
+  // The net stack writes parent[0] = 0; offline tools use kInvalidNode.
+  // Entry 0 is ignored either way.
+  std::vector<NodeId> parent = {0, 0, 1};
+  const std::vector<std::uint64_t> weight = {0, 1, 1};
+  const place::PlacementPlan a = place::OptimizePlacement(parent, weight, 2);
+  parent[0] = kInvalidNode;
+  const place::PlacementPlan b = place::OptimizePlacement(parent, weight, 2);
+  EXPECT_EQ(a.node_daemon, b.node_daemon);
+}
+
+TEST(OptimizePlacementTest, BeatsRoundRobinOnSkewedTraffic) {
+  // A hot subtree under round-robin pays on nearly every hot edge; the
+  // optimizer should keep the hot path on one daemon.
+  const Tree tree = MakeShape("kary2", 255, /*seed=*/1);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<std::uint64_t> weight = HotPathWeights(parent, 200, 1000);
+  const int daemons = 4;
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, weight, daemons);
+  const std::uint64_t rr = place::CrossWeight(
+      parent, weight, AssignNodes(parent, daemons, "rr"));
+  EXPECT_LT(plan.cross_weight * 2, rr)
+      << "optimized " << plan.cross_weight << " vs rr " << rr;
+}
+
+TEST(OptimizePlacementTest, NoWorseThanStaticSubtreeOnSkewedTraffic) {
+  const Tree tree = MakeShape("kary2", 255, /*seed=*/1);
+  const std::vector<NodeId> parent = ParentVector(tree);
+  const std::vector<std::uint64_t> weight = HotPathWeights(parent, 200, 1000);
+  const int daemons = 4;
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(parent, weight, daemons);
+  const std::uint64_t subtree = place::CrossWeight(
+      parent, weight, AssignNodes(parent, daemons, "subtree"));
+  EXPECT_LE(plan.cross_weight, subtree);
+}
+
+// --- treeagg-traffic-v1 codec -------------------------------------------
+
+TEST(TrafficCodecTest, RoundTripsSparseVector) {
+  std::vector<std::uint64_t> edges(100, 0);
+  edges[1] = 42;
+  edges[37] = 7;
+  edges[99] = 123456789;
+  std::stringstream text;
+  place::WriteTraffic(text, edges);
+  EXPECT_EQ(place::ReadTraffic(text), edges);
+}
+
+TEST(TrafficCodecTest, RoundTripsEmptyTraffic) {
+  std::vector<std::uint64_t> edges(5, 0);
+  std::stringstream text;
+  place::WriteTraffic(text, edges);
+  EXPECT_EQ(place::ReadTraffic(text), edges);
+}
+
+TEST(TrafficCodecTest, RejectsMissingHeader) {
+  std::stringstream in("nodes 4\nedge 1 10\n");
+  EXPECT_THROW(place::ReadTraffic(in), std::invalid_argument);
+}
+
+TEST(TrafficCodecTest, RejectsEdgeOutOfRange) {
+  std::stringstream in("treeagg-traffic-v1\nnodes 4\nedge 4 10\n");
+  EXPECT_THROW(place::ReadTraffic(in), std::invalid_argument);
+}
+
+TEST(TrafficCodecTest, RejectsRootEdge) {
+  // Node 0 has no parent edge; a count for it is malformed.
+  std::stringstream in("treeagg-traffic-v1\nnodes 4\nedge 0 10\n");
+  EXPECT_THROW(place::ReadTraffic(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -20,9 +20,15 @@ Supported file shapes (auto-detected):
   * treeagg-bench-query-v1 (BENCH_query.json / bench_query_throughput
       --out): "serves_per_sec" per run row, keyed by "name" (e.g.
       "mechanism/probes", "snapshot/driver").
-  For the net and query shapes, rows failing their consistency check in
-  the CURRENT run (causal_ok/valid = false) fail the gate outright (the
-  wire or the read path changed the algorithm).
+  * treeagg-bench-place-v1 (BENCH_place.json / bench_placement --out):
+      placement efficiency — requests served per trace-scored
+      cross-daemon message (requests / cross_messages) per run row,
+      keyed by "name" ("rr", "subtree", "traffic", "live"). Wall-clock
+      req/s is too noisy to gate here; message cost is the paper's
+      metric and is deterministic given the harvested trace.
+  For the net, query, and place shapes, rows failing their consistency
+  check in the CURRENT run (causal_ok/valid = false) fail the gate
+  outright (the wire or the read path changed the algorithm).
 
 usage:
   check_bench.py --current RUN.json --baseline BENCH_x.json \
@@ -57,6 +63,13 @@ def load_throughputs(path):
     if schema.startswith("treeagg-bench-query"):
         series = {r["name"]: r["serves_per_sec"] for r in doc["runs"]}
         failed = [r["name"] for r in doc["runs"] if not r.get("valid", True)]
+        return series, failed
+    if schema.startswith("treeagg-bench-place"):
+        requests = doc["requests"]
+        series = {r["name"]: requests / max(1, r["cross_messages"])
+                  for r in doc["runs"]}
+        failed = [r["name"] for r in doc["runs"]
+                  if not r.get("causal_ok", True)]
         return series, failed
     if "benchmarks" in doc:  # google-benchmark output
         series = {}
