@@ -14,9 +14,16 @@
 // re-injects the requests that targeted it, and the ConvergenceChecker
 // signs off on the full history.
 //
+// Section 3 prices WAN/geo latency profiles: per-edge delay windows stay
+// armed over the whole run (loopback TCP plus an injected regional RTT), a
+// regional link is severed mid-workload and heals through session resume,
+// and root-combine latency is reported as wall-clock p50/p95/p99.
+//
 // Exits non-zero if any run diverges. With --out FILE, also writes the
 // machine-readable BENCH_fault.json committed at the repo root.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -151,6 +158,125 @@ CrashRow RunCrash(const std::vector<NodeId>& parent,
   return row;
 }
 
+struct GeoRow {
+  std::string profile;
+  std::uint64_t delayed = 0;
+  std::uint64_t frames_held = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double elapsed_sec = 0;
+  bool converged = false;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+// One geo run: 3 "regions" (daemons, rr placement), per-edge latency
+// profiles armed over the whole run, the far regional link severed
+// mid-workload (the session layer heals it), then timed sequential root
+// combines while the profiles are still armed.
+GeoRow RunGeoProfile(const std::vector<NodeId>& parent,
+                     const RequestSequence& sigma, NodeId num_nodes,
+                     const std::string& profile, std::int64_t near_min_us,
+                     std::int64_t near_max_us, std::int64_t far_min_us,
+                     std::int64_t far_max_us) {
+  LocalCluster::Options options;
+  options.daemons = 3;
+  options.placement = "rr";
+  for (int d = 0; d < options.daemons; ++d) {
+    PeerFaultInjector::Options inj;
+    inj.seed = 2000 + static_cast<std::uint64_t>(d);
+    if (near_max_us > 0) {
+      // Region 0 <-> 1 is "near", 0 <-> 2 is "far"; 1 <-> 2 untouched.
+      const DelayProfile near{near_min_us, near_max_us};
+      const DelayProfile far{far_min_us, far_max_us};
+      if (d == 0) {
+        inj.lat[1] = near;
+        if (far_max_us > 0) inj.lat[2] = far;
+      } else if (d == 1) {
+        inj.lat[0] = near;
+      } else if (far_max_us > 0) {
+        inj.lat[0] = far;
+      }
+    }
+    options.fault_injectors.push_back(std::make_shared<PeerFaultInjector>(inj));
+  }
+  LocalCluster cluster(parent, options);
+  NetDriver& driver = cluster.driver();
+  for (int d = 0; d < options.daemons; ++d) {
+    for (int peer = 0; peer < options.daemons; ++peer) {
+      options.fault_injectors[static_cast<std::size_t>(d)]->ArmLat(peer);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t injected = 0;
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+    // Regional partition mid-workload: sever the far link once; session
+    // resume heals it while the latency profiles stay armed.
+    if (++injected == sigma.size() / 2) cluster.SeverPeerLink(0, 2);
+  }
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+
+  // Timed sequential root combines over the healed, still-slow topology.
+  // Each probe is preceded by a write at a node hosted in another region:
+  // the write pulls the lease away from the root, so the combine has to
+  // cross the priced WAN edges instead of being served from root-cached
+  // state.
+  std::vector<double> lat_us;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId remote = 1 + static_cast<NodeId>(i) % (num_nodes - 1);
+    driver.WaitCompleted(driver.InjectWrite(remote, 1.0));
+    const auto t0 = std::chrono::steady_clock::now();
+    const ReqId id = driver.InjectCombine(0);
+    driver.WaitCompleted(id);
+    lat_us.push_back(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  std::sort(lat_us.begin(), lat_us.end());
+
+  GeoRow row;
+  row.profile = profile;
+  row.p50_us = Percentile(lat_us, .5);
+  row.p95_us = Percentile(lat_us, .95);
+  row.p99_us = Percentile(lat_us, .99);
+  row.elapsed_sec = std::chrono::duration<double>(end - start).count();
+  for (const auto& inj : options.fault_injectors) {
+    row.delayed += inj->delayed_count();
+  }
+  row.frames_held = cluster.FramesHeldTotal();
+  for (auto& inj : options.fault_injectors) inj->DisarmAll();
+  driver.WaitQuiescent();
+
+  const ReqId probe = driver.InjectCombine(0);
+  driver.WaitCompleted(probe);
+  driver.WaitQuiescent();
+  const Real truth = GroundTruth(driver.history(), SumOp(), num_nodes);
+  const Real got = driver.history().record(probe).retval;
+  row.converged = std::abs(got - truth) <= 1e-9 * (1 + std::abs(truth));
+  cluster.Stop();
+  if (!cluster.DaemonError().empty()) {
+    std::cerr << "daemon error on profile " << profile << ": "
+              << cluster.DaemonError() << "\n";
+    row.converged = false;
+  }
+  return row;
+}
+
 int Run(const std::string& out_path) {
   const NodeId kNodes = 32;
   const std::size_t kRequests = 400;
@@ -193,13 +319,36 @@ int Run(const std::string& out_path) {
                       crash.converged ? "ok" : "FAIL"});
   std::cout << crash_table.ToString();
 
+  std::cout << "\nWAN/geo latency profiles — 3 region-daemons, per-edge delay "
+               "windows armed for the\nwhole run, far link severed "
+               "mid-workload and healed by session resume;\nroot-combine "
+               "latency from 40 sequential timed probes\n\n";
+  TextTable geo_table({"profile", "delayed", "held", "p50 us", "p95 us",
+                       "p99 us", "seconds", "converged"});
+  std::vector<GeoRow> geo_rows;
+  // "none" is the baseline: same topology and mid-run sever, no delay
+  // profiles. geo2 prices one slow regional edge; geo3 adds a far region.
+  geo_rows.push_back(RunGeoProfile(parent, sigma, kNodes, "none", 0, 0, 0, 0));
+  geo_rows.push_back(
+      RunGeoProfile(parent, sigma, kNodes, "geo2", 300, 500, 0, 0));
+  geo_rows.push_back(
+      RunGeoProfile(parent, sigma, kNodes, "geo3", 300, 500, 800, 1200));
+  for (const GeoRow& g : geo_rows) {
+    ok &= g.converged;
+    geo_table.AddRow({g.profile, std::to_string(g.delayed),
+                      std::to_string(g.frames_held), Fmt(g.p50_us, 0),
+                      Fmt(g.p95_us, 0), Fmt(g.p99_us, 0),
+                      Fmt(g.elapsed_sec, 3), g.converged ? "ok" : "FAIL"});
+  }
+  std::cout << geo_table.ToString();
+
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 1;
     }
-    out << "{\n  \"schema\": \"treeagg-bench-fault-v1\",\n";
+    out << "{\n  \"schema\": \"treeagg-bench-fault-v2\",\n";
     out << "  \"tree\": \"kary2\", \"nodes\": " << kNodes
         << ", \"daemons\": 4, \"workload\": \"mixed50\",\n";
     out << "  \"requests\": " << sigma.size()
@@ -222,7 +371,20 @@ int Run(const std::string& out_path) {
         << ", \"reinjected\": " << crash.reinjected
         << ", \"elapsed_sec\": " << crash.elapsed_sec
         << ", \"converged\": " << (crash.converged ? "true" : "false")
-        << "}\n";
+        << "},\n";
+    out << "  \"geo_runs\": [\n";
+    for (std::size_t i = 0; i < geo_rows.size(); ++i) {
+      const GeoRow& g = geo_rows[i];
+      out << "    {\"profile\": \"" << g.profile
+          << "\", \"delayed\": " << g.delayed
+          << ", \"frames_held\": " << g.frames_held
+          << ", \"p50_us\": " << g.p50_us << ", \"p95_us\": " << g.p95_us
+          << ", \"p99_us\": " << g.p99_us
+          << ", \"elapsed_sec\": " << g.elapsed_sec
+          << ", \"converged\": " << (g.converged ? "true" : "false") << "}"
+          << (i + 1 < geo_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
     out << "}\n";
     std::cout << "\nwrote " << out_path << "\n";
   }

@@ -145,6 +145,22 @@ ConvergenceReport CheckConvergence(const History& history,
          << " request(s) never completed (first: id " << first << "); ";
   }
 
+  if (options.liveness_deadline > 0) {
+    ReqId first_late = kNoRequest;
+    for (const RequestRecord& r : history.records()) {
+      if (r.completed() && r.completed_at > options.liveness_deadline) {
+        if (first_late == kNoRequest) first_late = r.id;
+        ++report.deadline_violations;
+      }
+    }
+    if (report.deadline_violations > 0) {
+      fail << "liveness: " << report.deadline_violations
+           << " request(s) completed after deadline "
+           << options.liveness_deadline << " (first: id " << first_late
+           << "); ";
+    }
+  }
+
   report.ground_truth = GroundTruth(history, op, num_nodes);
   report.final_probes = final_probe_ids.size();
   for (ReqId id : final_probe_ids) {
@@ -186,6 +202,7 @@ ConvergenceReport CheckConvergence(const History& history,
   }
 
   report.ok = report.all_completed && report.divergent_probes == 0 &&
+              report.deadline_violations == 0 &&
               (report.causal_ok || !options.require_full_causal) &&
               report.outside_ok;
   report.message = fail.str();

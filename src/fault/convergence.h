@@ -51,6 +51,11 @@ struct ConvergenceOptions {
   // (FaultSchedule::Windows() for sim runs; driver-clock spans recorded by
   // the net harness). Empty means the whole run counts as fault-free.
   std::vector<std::pair<std::int64_t, std::int64_t>> fault_windows;
+  // When > 0: every request must complete by this clock value (same units
+  // as the history timestamps). Callers scale it by the schedule's
+  // MaxInjectedDelay() so gray/WAN profiles get a proportionally looser —
+  // but still finite — liveness bound. 0 disables the check.
+  std::int64_t liveness_deadline = 0;
 };
 
 struct ConvergenceReport {
@@ -62,6 +67,7 @@ struct ConvergenceReport {
   bool causal_ok = true;      // full history (when check_causal)
   bool outside_ok = true;     // outside-window restriction
   std::size_t excluded_combines = 0;  // combines overlapping fault windows
+  std::size_t deadline_violations = 0;  // completions past liveness_deadline
   std::string message;        // first failure, empty when ok
 };
 

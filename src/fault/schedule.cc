@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,16 +10,28 @@ namespace treeagg {
 namespace {
 
 // Formats a double with enough precision to round-trip through Parse while
-// keeping "0.05" readable (no trailing zero noise).
+// keeping "0.05" readable (no trailing zero noise): the short form is used
+// whenever it parses back to the same double, else full precision.
 std::string FormatProb(double p) {
   std::ostringstream os;
   os << p;
-  return os.str();
+  if (std::stod(os.str()) == p) return os.str();
+  std::ostringstream full;
+  full << std::setprecision(17) << p;
+  return full.str();
 }
 
 [[noreturn]] void BadSpec(const std::string& clause, const std::string& why) {
   throw std::invalid_argument("bad fault spec clause '" + clause + "': " +
                               why);
+}
+
+// True when event e crashes node u: a plain crash of u or a crashgroup
+// containing u.
+bool CrashesNode(const FaultEvent& e, NodeId u) {
+  if (e.kind == FaultKind::kCrash) return e.u == u;
+  if (e.kind != FaultKind::kCrashGroup) return false;
+  return std::find(e.group.begin(), e.group.end(), u) != e.group.end();
 }
 
 }  // namespace
@@ -37,6 +50,14 @@ const char* FaultKindName(FaultKind kind) {
       return "cut";
     case FaultKind::kCrash:
       return "crash";
+    case FaultKind::kCrashGroup:
+      return "crashgroup";
+    case FaultKind::kSever:
+      return "sever";
+    case FaultKind::kGray:
+      return "gray";
+    case FaultKind::kLat:
+      return "lat";
   }
   return "?";
 }
@@ -115,6 +136,58 @@ FaultSchedule& FaultSchedule::Crash(NodeId u, std::int64_t begin,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::CrashGroup(std::vector<NodeId> nodes,
+                                         std::int64_t begin, std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrashGroup;
+  e.group = std::move(nodes);
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Sever(NodeId from, NodeId to, std::int64_t begin,
+                                    std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kSever;
+  e.u = from;
+  e.v = to;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Gray(NodeId u, std::int64_t delay_min,
+                                   std::int64_t delay_max, std::int64_t begin,
+                                   std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kGray;
+  e.u = u;
+  e.delay_min = delay_min;
+  e.delay_max = delay_max;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Lat(NodeId u, NodeId v, std::int64_t delay_min,
+                                  std::int64_t delay_max, std::int64_t begin,
+                                  std::int64_t end) {
+  FaultEvent e;
+  e.kind = FaultKind::kLat;
+  e.u = u;
+  e.v = v;
+  e.delay_min = delay_min;
+  e.delay_max = delay_max;
+  e.begin = begin;
+  e.end = end;
+  events_.push_back(e);
+  return *this;
+}
+
 std::int64_t FaultSchedule::HealTime() const {
   std::int64_t heal = 0;
   for (const FaultEvent& e : events_) heal = std::max(heal, e.end);
@@ -123,9 +196,7 @@ std::int64_t FaultSchedule::HealTime() const {
 
 bool FaultSchedule::CrashedAt(NodeId u, std::int64_t t) const {
   for (const FaultEvent& e : events_) {
-    if (e.kind == FaultKind::kCrash && e.u == u && e.begin <= t && t < e.end) {
-      return true;
-    }
+    if (CrashesNode(e, u) && e.begin <= t && t < e.end) return true;
   }
   return false;
 }
@@ -141,11 +212,51 @@ bool FaultSchedule::EdgeCutAt(NodeId u, NodeId v, std::int64_t t) const {
 std::int64_t FaultSchedule::CrashEnd(NodeId u, std::int64_t t) const {
   std::int64_t end = t;
   for (const FaultEvent& e : events_) {
-    if (e.kind == FaultKind::kCrash && e.u == u && e.begin <= t && t < e.end) {
+    if (CrashesNode(e, u) && e.begin <= t && t < e.end) {
       end = std::max(end, e.end);
     }
   }
   return end;
+}
+
+bool FaultSchedule::SeveredAt(NodeId from, NodeId to, std::int64_t t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSever && e.u == from && e.v == to &&
+        e.begin <= t && t < e.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t FaultSchedule::SeverEnd(NodeId from, NodeId to,
+                                     std::int64_t t) const {
+  std::int64_t end = t;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSever && e.u == from && e.v == to &&
+        e.begin <= t && t < e.end) {
+      end = std::max(end, e.end);
+    }
+  }
+  return end;
+}
+
+const FaultEvent* FaultSchedule::GrayAt(NodeId u, std::int64_t t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kGray && e.u == u && e.begin <= t && t < e.end) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const FaultEvent* FaultSchedule::EdgeLatAt(NodeId u, NodeId v,
+                                           std::int64_t t) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kLat || e.begin > t || t >= e.end) continue;
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return &e;
+  }
+  return nullptr;
 }
 
 std::int64_t FaultSchedule::CutEnd(NodeId u, NodeId v, std::int64_t t) const {
@@ -178,9 +289,22 @@ bool FaultSchedule::HasFifoViolations() const {
 
 bool FaultSchedule::HasCrashes() const {
   for (const FaultEvent& e : events_) {
-    if (e.kind == FaultKind::kCrash) return true;
+    if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kCrashGroup) {
+      return true;
+    }
   }
   return false;
+}
+
+std::int64_t FaultSchedule::MaxInjectedDelay() const {
+  std::int64_t max_delay = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kDelay || e.kind == FaultKind::kGray ||
+        e.kind == FaultKind::kLat) {
+      max_delay = std::max(max_delay, e.delay_max);
+    }
+  }
+  return max_delay;
 }
 
 std::vector<std::pair<std::int64_t, std::int64_t>> FaultSchedule::Windows()
@@ -262,6 +386,28 @@ struct ClauseParser {
     }
   }
 
+  // ":D0..D1" or jitter sugar ":B+-J" (meaning [B-J, B+J]). The leading
+  // ':' is consumed by the caller.
+  void DelayRange(FaultEvent* e) {
+    const std::int64_t first = Int();
+    if (Peek() == '+') {
+      Expect('+');
+      Expect('-');
+      const std::int64_t jitter = Int();
+      if (jitter < 0) BadSpec(clause, "negative jitter");
+      e->delay_min = first - jitter;
+      e->delay_max = first + jitter;
+    } else {
+      Expect('.');
+      Expect('.');
+      e->delay_min = first;
+      e->delay_max = Int();
+    }
+    if (e->delay_min < 0 || e->delay_max < e->delay_min) {
+      BadSpec(clause, "bad delay range");
+    }
+  }
+
   // "@T0..T1" suffix.
   void Window(FaultEvent* e) {
     Expect('@');
@@ -269,6 +415,7 @@ struct ClauseParser {
     Expect('.');
     Expect('.');
     e->end = Int();
+    if (e->begin < 0) BadSpec(clause, "negative window begin");
     if (e->end < e->begin) BadSpec(clause, "window ends before it begins");
     if (!Done()) BadSpec(clause, "trailing characters after window");
   }
@@ -334,6 +481,39 @@ FaultSchedule FaultSchedule::Parse(const std::string& spec) {
       e.kind = FaultKind::kCrash;
       e.u = static_cast<NodeId>(p.Int());
       if (e.u < 0) BadSpec(clause, "bad node id");
+    } else if (kind == "crashgroup") {
+      e.kind = FaultKind::kCrashGroup;
+      for (;;) {
+        const NodeId node = static_cast<NodeId>(p.Int());
+        if (node < 0) BadSpec(clause, "bad node id");
+        if (std::find(e.group.begin(), e.group.end(), node) != e.group.end()) {
+          BadSpec(clause, "duplicate node in crashgroup");
+        }
+        e.group.push_back(node);
+        if (p.Peek() != ',') break;
+        p.Expect(',');
+      }
+    } else if (kind == "sever") {
+      e.kind = FaultKind::kSever;
+      e.u = static_cast<NodeId>(p.Int());
+      p.Expect('-');
+      p.Expect('>');
+      e.v = static_cast<NodeId>(p.Int());
+      if (e.u < 0 || e.v < 0 || e.u == e.v) BadSpec(clause, "bad edge");
+    } else if (kind == "gray") {
+      e.kind = FaultKind::kGray;
+      e.u = static_cast<NodeId>(p.Int());
+      if (e.u < 0) BadSpec(clause, "bad node id");
+      p.Expect(':');
+      p.DelayRange(&e);
+    } else if (kind == "lat") {
+      e.kind = FaultKind::kLat;
+      e.u = static_cast<NodeId>(p.Int());
+      p.Expect('-');
+      e.v = static_cast<NodeId>(p.Int());
+      if (e.u < 0 || e.v < 0 || e.u == e.v) BadSpec(clause, "bad edge");
+      p.Expect(':');
+      p.DelayRange(&e);
     } else {
       BadSpec(clause, "unknown fault kind '" + kind + "'");
     }
@@ -364,6 +544,21 @@ std::string FaultSchedule::ToSpec() const {
       case FaultKind::kCrash:
         os << e.u;
         break;
+      case FaultKind::kCrashGroup:
+        for (std::size_t i = 0; i < e.group.size(); ++i) {
+          if (i > 0) os << ',';
+          os << e.group[i];
+        }
+        break;
+      case FaultKind::kSever:
+        os << e.u << "->" << e.v;
+        break;
+      case FaultKind::kGray:
+        os << e.u << ':' << e.delay_min << ".." << e.delay_max;
+        break;
+      case FaultKind::kLat:
+        os << e.u << '-' << e.v << ':' << e.delay_min << ".." << e.delay_max;
+        break;
     }
     os << ")@" << e.begin << ".." << e.end;
   }
@@ -389,7 +584,45 @@ FaultSchedule FaultSchedule::Named(const std::string& name) {
         .Drop(0.05, 50, 400)
         .Crash(2, 150, 350);
   }
+  if (name == "pairkill") {
+    // Correlated crash of the parent+child pair straddling the {0,1}
+    // lease edge: both sides of the lease fail in the same window.
+    return FaultSchedule().WithSeed(15).CrashGroup({0, 1}, 150, 300);
+  }
+  if (name == "gray") {
+    // Node 1 stays up but serves slow: every message it sends carries
+    // 5..15 extra ticks for most of the run.
+    return FaultSchedule().WithSeed(16).Gray(1, 5, 15, 100, 400);
+  }
+  if (name == "asym") {
+    // Asymmetric partition on the {0,1} lease edge: node 1's releases
+    // toward the root are held, while grants/acks from 0 still arrive.
+    return FaultSchedule().WithSeed(17).Sever(1, 0, 100, 300);
+  }
+  if (name == "geo2") {
+    // Two-region WAN profile: the {0,1} inter-region edge carries
+    // 20ms-class latency (15..25 ticks) and suffers a regional partition
+    // that heals mid-run.
+    return FaultSchedule().WithSeed(18).Lat(0, 1, 15, 25, 0, 600).Cut(
+        0, 1, 200, 300);
+  }
+  if (name == "geo3") {
+    // Three-region WAN profile: a near region (edge {0,1}, ~20 ticks) and
+    // a far region (edge {0,2}, ~50 ticks), with the far region
+    // partitioned and healed mid-run. Edge {0,2} only carries traffic on
+    // shapes where node 2 attaches to the root (kary2/kary4/star).
+    return FaultSchedule()
+        .WithSeed(19)
+        .Lat(0, 1, 15, 25, 0, 600)
+        .Lat(0, 2, 40, 60, 0, 600)
+        .Cut(0, 2, 200, 300);
+  }
   return Parse(name);
+}
+
+std::vector<std::string> FaultSchedule::PresetNames() {
+  return {"drops", "partition", "crash",   "chaos", "pairkill",
+          "gray",  "asym",      "geo2",    "geo3"};
 }
 
 }  // namespace treeagg

@@ -30,9 +30,22 @@
 //   crash(U)@T0..T1       node U (its daemon, on net) is down in [T0,T1)
 // Example: "seed=7;drop(0.05)@50..400;crash(2)@100..300"
 //
+// Second-generation vocabulary (all convergence-safe):
+//   crashgroup(U1,U2,...)@T0..T1  correlated crash: every listed node (its
+//                                 daemon, on net) fails in the same window
+//   sever(U->V)@T0..T1    asymmetric partition: messages from U to V are
+//                         held until heal; the V->U direction stays live
+//   gray(U:D0..D1)@T0..T1 gray failure: node U stays up but every message
+//                         it sends carries extra seeded delay in [D0,D1]
+//   lat(U-V:D0..D1)@T0..T1  WAN/geo profile: edge {U,V} carries extra
+//                         per-message latency in [D0,D1], both directions.
+//                         Jitter sugar: lat(U-V:B+-J) means [B-J, B+J].
+//
 // Named presets (FaultSchedule::Named) give the CLI and CI stable
 // shorthand schedules; they assume n >= 4 and that nodes 1..2 exist with
-// node 1 adjacent to node 0 (true for every MakeShape shape).
+// node 1 adjacent to node 0 (true for every MakeShape shape). The geo3
+// preset additionally profiles edge {0,2}, which only carries traffic on
+// shapes where node 2 attaches to the root (kary2/kary4/star, not path).
 #ifndef TREEAGG_FAULT_SCHEDULE_H_
 #define TREEAGG_FAULT_SCHEDULE_H_
 
@@ -52,6 +65,10 @@ enum class FaultKind : std::uint8_t {
   kReorder,
   kCut,
   kCrash,
+  kCrashGroup,  // correlated crash of several nodes in one window
+  kSever,       // one-directional edge partition (u -> v only)
+  kGray,        // slow node: extra per-message delay on everything u sends
+  kLat,         // WAN/geo edge profile: extra latency on edge {u,v}
 };
 
 // Human-readable keyword, matching the spec grammar ("drop", "cut", ...).
@@ -61,11 +78,12 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kDrop;
   std::int64_t begin = 0;  // active in [begin, end)
   std::int64_t end = 0;
-  NodeId u = kInvalidNode;  // crash: the node; cut: one endpoint
-  NodeId v = kInvalidNode;  // cut: the other endpoint
+  NodeId u = kInvalidNode;  // crash/gray: the node; cut/lat/sever: endpoint
+  NodeId v = kInvalidNode;  // cut/lat: other endpoint; sever: destination
   double p = 0.0;           // drop/dup/reorder probability
-  std::int64_t delay_min = 0;  // delay: extra ticks, uniform in range
+  std::int64_t delay_min = 0;  // delay/gray/lat: extra ticks, uniform
   std::int64_t delay_max = 0;
+  std::vector<NodeId> group;  // crashgroup: every node that fails
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -83,6 +101,15 @@ class FaultSchedule {
   FaultSchedule& Reorder(double p, std::int64_t begin, std::int64_t end);
   FaultSchedule& Cut(NodeId u, NodeId v, std::int64_t begin, std::int64_t end);
   FaultSchedule& Crash(NodeId u, std::int64_t begin, std::int64_t end);
+  FaultSchedule& CrashGroup(std::vector<NodeId> nodes, std::int64_t begin,
+                            std::int64_t end);
+  FaultSchedule& Sever(NodeId from, NodeId to, std::int64_t begin,
+                       std::int64_t end);
+  FaultSchedule& Gray(NodeId u, std::int64_t delay_min, std::int64_t delay_max,
+                      std::int64_t begin, std::int64_t end);
+  FaultSchedule& Lat(NodeId u, NodeId v, std::int64_t delay_min,
+                     std::int64_t delay_max, std::int64_t begin,
+                     std::int64_t end);
 
   std::uint64_t seed() const { return seed_; }
   const std::vector<FaultEvent>& events() const { return events_; }
@@ -92,18 +119,29 @@ class FaultSchedule {
   // schedule is empty). After HealTime() the network is fault-free.
   std::int64_t HealTime() const;
 
-  // Point queries, all O(#events).
+  // Point queries, all O(#events). Crash queries cover both crash and
+  // crashgroup events (a node in a group is crashed for the window).
   bool CrashedAt(NodeId u, std::int64_t t) const;
   bool EdgeCutAt(NodeId u, NodeId v, std::int64_t t) const;  // undirected
-  // End of the latest crash/cut window covering t (t when none does).
+  // Directional: is the from->to direction of the edge severed at t?
+  bool SeveredAt(NodeId from, NodeId to, std::int64_t t) const;
+  // End of the latest crash/cut/sever window covering t (t when none does).
   std::int64_t CrashEnd(NodeId u, std::int64_t t) const;
   std::int64_t CutEnd(NodeId u, NodeId v, std::int64_t t) const;
+  std::int64_t SeverEnd(NodeId from, NodeId to, std::int64_t t) const;
+  // Gray-failure event covering node u at t, or nullptr.
+  const FaultEvent* GrayAt(NodeId u, std::int64_t t) const;
+  // Latency-profile event covering edge {u,v} (undirected) at t, or nullptr.
+  const FaultEvent* EdgeLatAt(NodeId u, NodeId v, std::int64_t t) const;
   // First event of `kind` active at t, or nullptr.
   const FaultEvent* ActiveAt(FaultKind kind, std::int64_t t) const;
   // True if any event carries a checker-validation fault (dup/reorder).
   bool HasFifoViolations() const;
-  // True if any crash event exists.
+  // True if any crash or crashgroup event exists.
   bool HasCrashes() const;
+  // Largest delay_max over all delay/gray/lat events (0 when none). Tests
+  // use this to scale liveness deadlines to the injected latency.
+  std::int64_t MaxInjectedDelay() const;
 
   // Merged [begin, end) windows over every event: the periods during which
   // at least one fault is active. Used to classify which operations ran
@@ -116,9 +154,13 @@ class FaultSchedule {
   static FaultSchedule Parse(const std::string& spec);
   std::string ToSpec() const;
 
-  // Named presets ("drops", "partition", "crash", "chaos"); falls back to
-  // Parse(name) so any spec string is accepted where a preset name is.
+  // Named presets (see PresetNames()); falls back to Parse(name) so any
+  // spec string is accepted where a preset name is.
   static FaultSchedule Named(const std::string& name);
+
+  // Every name Named() resolves without falling back to Parse(), in a
+  // stable order suitable for usage/error messages.
+  static std::vector<std::string> PresetNames();
 
   friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
 

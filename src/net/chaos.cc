@@ -3,23 +3,53 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "net/cluster.h"
 #include "net/faulty_transport.h"
 
 namespace treeagg {
 namespace {
 
 struct Action {
-  enum Kind { kRestart, kDisarm, kKill, kSever, kArm } kind;
-  int a = 0;  // daemon id (kill/restart), first daemon (sever)
-  int b = 0;  // second daemon (sever)
+  // Enum order is the same-index execution order: heals before faults, so
+  // a window ending where another begins heals first.
+  enum Kind {
+    kRestart,
+    kDisarm,
+    kDisarmGray,
+    kDisarmLat,
+    kResumeSend,
+    kKill,
+    kSever,
+    kPauseSend,
+    kArm,
+    kArmGray,
+    kArmLat
+  } kind;
+  int a = 0;  // daemon id (kill/restart/gray), source daemon (sever/pause/lat)
+  int b = 0;  // second daemon (sever/pause), lat peer
   std::size_t window = 0;  // index into open-window bookkeeping
 };
 
 std::int64_t ClampIndex(std::int64_t t, std::size_t n) {
   return std::clamp<std::int64_t>(t, 0, static_cast<std::int64_t>(n));
+}
+
+// Widens `p` to cover [min_us, max_us] (first call just adopts it).
+void WidenProfile(DelayProfile* p, std::int64_t min_us, std::int64_t max_us) {
+  if (!p->valid()) {
+    p->min_us = min_us;
+    p->max_us = max_us;
+  } else {
+    p->min_us = std::min(p->min_us, min_us);
+    p->max_us = std::max(p->max_us, max_us);
+  }
 }
 
 }  // namespace
@@ -40,19 +70,61 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
   }
 
   LocalCluster::Options cluster_options = options.cluster;
-  const bool wants_drop =
-      std::any_of(schedule.events().begin(), schedule.events().end(),
-                  [](const FaultEvent& e) { return e.kind == FaultKind::kDrop; });
+  // The injector delay profiles are immutable after construction, so the
+  // node→daemon map must be known BEFORE the cluster exists. This is the
+  // same computation LocalCluster's constructor performs.
+  const std::vector<int> node_daemon =
+      cluster_options.assignment.empty()
+          ? AssignNodes(tree_parent, cluster_options.daemons,
+                        cluster_options.placement)
+          : cluster_options.assignment;
+  const auto daemon_of = [&](NodeId u) {
+    return node_daemon[static_cast<std::size_t>(u)];
+  };
+
   double max_drop_p = 0;
+  std::vector<DelayProfile> gray_profiles(
+      static_cast<std::size_t>(cluster_options.daemons));
+  std::vector<std::unordered_map<int, DelayProfile>> lat_profiles(
+      static_cast<std::size_t>(cluster_options.daemons));
+  bool wants_delay_profiles = false;
   for (const FaultEvent& e : schedule.events()) {
-    if (e.kind == FaultKind::kDrop) max_drop_p = std::max(max_drop_p, e.p);
+    switch (e.kind) {
+      case FaultKind::kDrop:
+        max_drop_p = std::max(max_drop_p, e.p);
+        break;
+      case FaultKind::kGray: {
+        const std::size_t d = static_cast<std::size_t>(daemon_of(e.u));
+        WidenProfile(&gray_profiles[d], e.delay_min * options.tick_us,
+                     e.delay_max * options.tick_us);
+        wants_delay_profiles = true;
+        break;
+      }
+      case FaultKind::kLat: {
+        const int d1 = daemon_of(e.u);
+        const int d2 = daemon_of(e.v);
+        if (d1 == d2) break;  // co-located: no wire to slow down
+        WidenProfile(&lat_profiles[static_cast<std::size_t>(d1)][d2],
+                     e.delay_min * options.tick_us,
+                     e.delay_max * options.tick_us);
+        WidenProfile(&lat_profiles[static_cast<std::size_t>(d2)][d1],
+                     e.delay_min * options.tick_us,
+                     e.delay_max * options.tick_us);
+        wants_delay_profiles = true;
+        break;
+      }
+      default:
+        break;
+    }
   }
-  if (wants_drop) {
+  if (max_drop_p > 0 || wants_delay_profiles) {
     for (int d = 0; d < cluster_options.daemons; ++d) {
       PeerFaultInjector::Options inj;
       inj.corrupt_probability = max_drop_p;
       inj.seed = schedule.seed() * 0x9E3779B97F4A7C15ull +
                  static_cast<std::uint64_t>(d) + 1;
+      inj.gray = gray_profiles[static_cast<std::size_t>(d)];
+      inj.lat = lat_profiles[static_cast<std::size_t>(d)];
       cluster_options.fault_injectors.push_back(
           std::make_shared<PeerFaultInjector>(inj));
     }
@@ -80,11 +152,57 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
         window_begin_clock.push_back(-1);
         break;
       }
+      case FaultKind::kCrashGroup: {
+        // Correlated fail-stop: every distinct hosting daemon dies at b and
+        // restarts at e, sharing ONE fault window (the kill guard below
+        // keeps the first kill's clock).
+        std::set<int> group_daemons;
+        for (const NodeId u : e.group) {
+          group_daemons.insert(config.node_daemon[static_cast<std::size_t>(u)]);
+        }
+        for (const int d : group_daemons) {
+          plan[b].push_back({Action::kKill, d, 0, w});
+          plan[t_end].push_back({Action::kRestart, d, 0, w});
+        }
+        window_begin_clock.push_back(-1);
+        break;
+      }
       case FaultKind::kCut: {
         const int d1 = config.node_daemon[static_cast<std::size_t>(e.u)];
         const int d2 = config.node_daemon[static_cast<std::size_t>(e.v)];
         if (d1 != d2) {
           plan[b].push_back({Action::kSever, d1, d2, w});
+          window_begin_clock.push_back(-1);
+        }
+        break;
+      }
+      case FaultKind::kSever: {
+        // Asymmetric partition: pause only the from→to direction.
+        const int d_from = config.node_daemon[static_cast<std::size_t>(e.u)];
+        const int d_to = config.node_daemon[static_cast<std::size_t>(e.v)];
+        if (d_from != d_to) {
+          plan[b].push_back({Action::kPauseSend, d_from, d_to, w});
+          plan[t_end].push_back({Action::kResumeSend, d_from, d_to, w});
+          window_begin_clock.push_back(-1);
+        }
+        break;
+      }
+      case FaultKind::kGray: {
+        const int d = config.node_daemon[static_cast<std::size_t>(e.u)];
+        plan[b].push_back({Action::kArmGray, d, 0, w});
+        plan[t_end].push_back({Action::kDisarmGray, d, 0, w});
+        window_begin_clock.push_back(-1);
+        break;
+      }
+      case FaultKind::kLat: {
+        const int d1 = config.node_daemon[static_cast<std::size_t>(e.u)];
+        const int d2 = config.node_daemon[static_cast<std::size_t>(e.v)];
+        if (d1 != d2) {
+          // Both directions slow down, one shared window.
+          plan[b].push_back({Action::kArmLat, d1, d2, w});
+          plan[b].push_back({Action::kArmLat, d2, d1, w});
+          plan[t_end].push_back({Action::kDisarmLat, d1, d2, w});
+          plan[t_end].push_back({Action::kDisarmLat, d2, d1, w});
           window_begin_clock.push_back(-1);
         }
         break;
@@ -96,7 +214,7 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
         break;
       }
       case FaultKind::kDelay:
-        break;  // real TCP has real delays; nothing to inject
+        break;  // real TCP has real delays; gray/lat are the injected forms
       case FaultKind::kDuplicate:
       case FaultKind::kReorder:
         break;  // rejected above
@@ -112,16 +230,25 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
   std::vector<char> down(static_cast<std::size_t>(cluster_options.daemons), 0);
   std::vector<RequestSequence> deferred(
       static_cast<std::size_t>(cluster_options.daemons));
+  // Currently-paused asymmetric directions. Pause flags live in the daemon
+  // object and die with a kill, so a restart must re-apply any pause whose
+  // source is the restarted daemon.
+  std::set<std::pair<int, int>> paused_pairs;
   const auto inject = [&](const Request& r) {
     return r.op == ReqType::kWrite ? driver.InjectWrite(r.node, r.arg)
                                    : driver.InjectCombine(r.node);
+  };
+  // Window-clock sets are guarded so correlated kills (and the two arms of
+  // a lat window) keep the FIRST action's clock.
+  const auto open_window = [&](std::size_t w) {
+    if (window_begin_clock[w] < 0) window_begin_clock[w] = driver.clock();
   };
   const auto apply = [&](const Action& action) {
     switch (action.kind) {
       case Action::kKill: {
         const std::size_t d = static_cast<std::size_t>(action.a);
         if (down[d]) break;  // overlapping crash windows: one kill
-        window_begin_clock[action.window] = driver.clock();
+        open_window(action.window);
         cluster.KillDaemon(action.a);
         down[d] = 1;
         ++result.kills;
@@ -132,6 +259,9 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
         if (!down[d]) break;
         result.reinjected += cluster.RestartDaemon(action.a);
         down[d] = 0;
+        for (const auto& [from, to] : paused_pairs) {
+          if (from == action.a) cluster.SetSendPaused(from, to, true);
+        }
         for (const Request& r : deferred[d]) {
           inject(r);
           ++result.deferred;
@@ -140,16 +270,44 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
         break;
       }
       case Action::kSever:
-        window_begin_clock[action.window] = driver.clock();
+        open_window(action.window);
         cluster.SeverPeerLink(action.a, action.b);
         ++result.severs;
         break;
+      case Action::kPauseSend:
+        open_window(action.window);
+        cluster.SetSendPaused(action.a, action.b, true);
+        paused_pairs.insert({action.a, action.b});
+        ++result.paused;
+        break;
+      case Action::kResumeSend:
+        cluster.SetSendPaused(action.a, action.b, false);
+        paused_pairs.erase({action.a, action.b});
+        break;
       case Action::kArm:
-        window_begin_clock[action.window] = driver.clock();
+        open_window(action.window);
         for (auto& inj : cluster_options.fault_injectors) inj->Arm();
         break;
       case Action::kDisarm:
         for (auto& inj : cluster_options.fault_injectors) inj->Disarm();
+        break;
+      case Action::kArmGray:
+        open_window(action.window);
+        cluster_options.fault_injectors[static_cast<std::size_t>(action.a)]
+            ->ArmGray();
+        break;
+      case Action::kDisarmGray:
+        cluster_options.fault_injectors[static_cast<std::size_t>(action.a)]
+            ->DisarmGray();
+        break;
+      case Action::kArmLat:
+        open_window(action.window);
+        cluster_options.fault_injectors[static_cast<std::size_t>(action.a)]
+            ->ArmLat(action.b);
+        break;
+      case Action::kDisarmLat:
+        cluster_options.fault_injectors[static_cast<std::size_t>(action.a)]
+            ->DisarmLat(action.b);
         break;
     }
   };
@@ -183,7 +341,14 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
       deferred[d].clear();
     }
   }
-  for (auto& inj : cluster_options.fault_injectors) inj->Disarm();
+  // Leftover-heal sweep: clamped windows can leave a direction paused or a
+  // delay profile armed past the last injection. Everything must be live
+  // before waiting for completion, or held frames never drain.
+  for (const auto& [from, to] : paused_pairs) {
+    cluster.SetSendPaused(from, to, false);
+  }
+  paused_pairs.clear();
+  for (auto& inj : cluster_options.fault_injectors) inj->DisarmAll();
 
   driver.WaitAllCompleted();
   driver.WaitQuiescent();
@@ -215,6 +380,7 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
 
   for (const auto& inj : cluster_options.fault_injectors) {
     result.corrupted += inj->corrupted_count();
+    result.delayed += inj->delayed_count();
   }
 
   NetDriver::HarvestResult harvest = driver.Harvest();
@@ -222,6 +388,7 @@ ChaosNetResult RunChaosNetWorkload(const std::vector<NodeId>& tree_parent,
   result.counts = harvest.counts;
   result.total_messages = driver.TotalMessages();
   result.replay_log_hwm = cluster.ReplayLogHighWater();
+  result.frames_held = cluster.FramesHeldTotal();
   cluster.Stop();
   if (!cluster.DaemonError().empty()) {
     throw std::runtime_error("net chaos: daemon failed: " +

@@ -23,10 +23,29 @@
 //              would just stall, so "drop" means detectable corruption:
 //              the receiver tears the link down and session resume
 //              retransmits from the log.
-//   delay    — ignored (loopback TCP has real, uncontrollable delays).
+//   crashgroup(U1,...) — correlated fail-stop: every distinct daemon
+//              hosting a listed node is killed at index b and restarted at
+//              index e (one shared fault window).
+//   sever(U->V) — asymmetric partition: outbound frames from U's daemon
+//              to V's daemon park in the sender's held queue over [b, e)
+//              (RequestPauseSend); the reverse direction and the TCP
+//              connection stay live. No-op when co-located.
+//   gray(U:D0..D1) — gray failure: U's daemon stays up but every outbound
+//              peer frame is held for a seeded delay drawn from
+//              [D0, D1] * tick_us while the window is open.
+//   lat(U-V:D0..D1) — WAN/geo profile: frames between the two hosting
+//              daemons (both directions) are held for a seeded
+//              [D0, D1] * tick_us delay while the window is open. No-op
+//              when co-located.
+//   delay    — ignored (loopback TCP has real, uncontrollable delays;
+//              gray/lat are the injected-latency faults here).
 //   dup / reorder — rejected with std::invalid_argument: they violate the
 //              channel assumption and exist only to validate the checkers
 //              on the DES backend.
+//
+// Held frames never change the wire format — a frame is either on the
+// wire unmodified or not yet sent — so old-dialect peers cannot observe
+// any delay-profile behaviour in the bytes themselves.
 //
 // Fault windows are recorded in the DRIVER clock (the clock the history's
 // initiated_at/completed_at use) and are conservative: each window opens
@@ -58,6 +77,9 @@ struct ChaosNetOptions {
   // Probe one combine at every node after the network heals (the
   // ConvergenceChecker's ground-truth comparison). On by default.
   bool final_probes = true;
+  // Microseconds per schedule delay tick: gray/lat windows of [D0, D1]
+  // ticks inject [D0, D1] * tick_us of real per-frame latency.
+  std::int64_t tick_us = 200;
 };
 
 struct ChaosNetResult {
@@ -73,9 +95,12 @@ struct ChaosNetResult {
   // Recovery statistics.
   std::size_t kills = 0;       // daemons crashed (and restarted)
   std::size_t severs = 0;      // peer links severed
+  std::size_t paused = 0;      // asymmetric pause-send windows applied
   std::size_t deferred = 0;    // requests deferred past a crash window
   std::size_t reinjected = 0;  // requests re-sent after daemon restarts
   std::size_t corrupted = 0;   // frames damaged by the drop injectors
+  std::size_t delayed = 0;     // frames priced with gray/WAN delay
+  std::uint64_t frames_held = 0;  // frames that waited in a held queue
   // Largest replay-log length any peer session reached (across restarts).
   // With cumulative acks on, this stays bounded by the unacked window
   // instead of growing with the workload.

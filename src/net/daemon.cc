@@ -44,6 +44,9 @@ NodeDaemon::NodeDaemon(int daemon_id, ClusterConfig config, Options options)
   tree_ = std::make_unique<Tree>(config_.tree_parent);
   peers_.resize(config_.daemons.size());
   sessions_.resize(config_.daemons.size());
+  held_.resize(config_.daemons.size());
+  // Value-initialized: every direction starts un-paused.
+  pause_send_ = std::make_unique<std::atomic<bool>[]>(config_.daemons.size());
   RecomputePeers();
   // Value-initialized: every edge counter starts at zero.
   edge_traffic_ = std::make_unique<std::atomic<std::uint64_t>[]>(
@@ -178,6 +181,15 @@ void NodeDaemon::RequestStop() {
 
 void NodeDaemon::RequestSeverPeer(int peer) {
   sever_peer_.store(peer);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void NodeDaemon::RequestPauseSend(int peer, bool paused) {
+  if (peer < 0 || peer >= static_cast<int>(config_.daemons.size())) return;
+  pause_send_[static_cast<std::size_t>(peer)].store(paused,
+                                                    std::memory_order_relaxed);
+  // Wake the poll loop so a resume releases the held frames promptly.
   const char byte = 1;
   [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
 }
@@ -455,6 +467,10 @@ void NodeDaemon::ConnectPeers() {
 
 void NodeDaemon::MarkPeerDown(int peer) {
   peers_[static_cast<std::size_t>(peer)].reset();
+  // Held frames die with the connection: they are still in the replay log
+  // (sent_upto is reset by the next GoLive), so the resume handshake
+  // retransmits exactly the ones the peer never processed.
+  held_[static_cast<std::size_t>(peer)].clear();
   PeerSession& s = sessions_[static_cast<std::size_t>(peer)];
   if (s.state == PeerSession::State::kDown) return;
   s.state = PeerSession::State::kDown;
@@ -466,6 +482,57 @@ void NodeDaemon::MarkPeerDown(int peer) {
 }
 
 void NodeDaemon::TransmitToPeer(int peer, const WireFrame& frame) {
+  std::deque<HeldFrame>& held = held_[static_cast<std::size_t>(peer)];
+  const bool paused =
+      pause_send_[static_cast<std::size_t>(peer)].load(std::memory_order_relaxed);
+  PeerFaultInjector* injector = options_.fault_injector.get();
+  const std::int64_t delay_us =
+      (injector != nullptr && injector->HasDelayProfiles())
+          ? injector->DelayUsFor(peer)
+          : 0;
+  if (paused || delay_us > 0 || !held.empty()) {
+    // FIFO per directed edge: while anything is held, everything later
+    // queues behind it; deadlines are clamped monotone for the same reason.
+    std::int64_t due = NowUs() + delay_us;
+    if (!held.empty()) due = std::max(due, held.back().due_us);
+    held.push_back(HeldFrame{due, frame});
+    frames_held_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TransmitNow(peer, frame);
+}
+
+void NodeDaemon::ReleaseHeldFrames() {
+  const std::int64_t now = NowUs();
+  for (std::size_t peer = 0; peer < held_.size(); ++peer) {
+    std::deque<HeldFrame>& held = held_[peer];
+    if (held.empty() || pause_send_[peer].load(std::memory_order_relaxed)) {
+      continue;
+    }
+    while (!held.empty() && held.front().due_us <= now) {
+      const WireFrame frame = std::move(held.front().frame);
+      held.pop_front();
+      TransmitNow(static_cast<int>(peer), frame);
+    }
+  }
+}
+
+std::int64_t NodeDaemon::EarliestHeldDueUs() const {
+  std::int64_t earliest = -1;
+  for (std::size_t peer = 0; peer < held_.size(); ++peer) {
+    // Paused directions wait for RequestPauseSend(false), which wakes the
+    // loop through the stop pipe — no timeout needed for them.
+    if (held_[peer].empty() ||
+        pause_send_[peer].load(std::memory_order_relaxed)) {
+      continue;
+    }
+    const std::int64_t due = held_[peer].front().due_us;
+    if (earliest < 0 || due < earliest) earliest = due;
+  }
+  return earliest;
+}
+
+void NodeDaemon::TransmitNow(int peer, const WireFrame& frame) {
   FrameConn* conn = peers_[static_cast<std::size_t>(peer)].get();
   if (conn == nullptr || !conn->open()) return;
   PeerFaultInjector* injector = options_.fault_injector.get();
@@ -1661,6 +1728,9 @@ void NodeDaemon::Run() {
       }
     }
     MaybeReconnectPeers();
+    // Held frames (pause-send windows, gray/WAN delay profiles) whose
+    // deadline passed go on the wire now, in FIFO order.
+    ReleaseHeldFrames();
     // Bring-up gate: handle no non-hello frame until every peer session is
     // Live. When the last session comes up, first replay the frames that
     // were read into FrameReaders behind hello frames.
@@ -1736,6 +1806,13 @@ void NodeDaemon::Run() {
             std::max<std::int64_t>((ddl - now_us + 999) / 1000, 0);
         timeout_ms = std::min<int>(timeout_ms, static_cast<int>(wait_ms));
       }
+    }
+    // Same clamp for delay-held frames: wake when the earliest is due.
+    const std::int64_t held_due = EarliestHeldDueUs();
+    if (held_due >= 0) {
+      const std::int64_t wait_ms =
+          std::max<std::int64_t>((held_due - NowUs() + 999) / 1000, 0);
+      timeout_ms = std::min<int>(timeout_ms, static_cast<int>(wait_ms));
     }
     const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) {

@@ -193,6 +193,21 @@ class NodeDaemon {
   // fault, not an error.
   void RequestSeverPeer(int peer);
 
+  // Thread-safe: while paused, outbound peer frames to `peer` accumulate
+  // in this daemon's held queue instead of hitting the wire; the reverse
+  // direction (frames FROM the peer) is untouched, and so is the TCP
+  // connection. This is the asymmetric-partition fault: one direction of
+  // an edge stops carrying traffic while the other stays live. Un-pausing
+  // releases the held frames in FIFO order.
+  void RequestPauseSend(int peer, bool paused);
+
+  // Cumulative count of frames that ever entered the held queue (pause or
+  // injected delay) — the chaos harness asserts the fault window was not
+  // vacuously empty.
+  std::uint64_t FramesHeld() const {
+    return frames_held_.load(std::memory_order_relaxed);
+  }
+
   // Snapshot of the durable state; call after Run() has returned (the
   // in-process cluster joins the daemon thread first).
   DurableState ExportDurable() const;
@@ -353,10 +368,25 @@ class NodeDaemon {
   void ErasePending(FrameConn* conn);
 
   // --- peer-session layer -----------------------------------------------
-  // Sends `frame` on the live connection to `peer`, consulting the fault
-  // injector (which may put a damaged copy on the wire or sever the link
-  // afterwards). The caller has already appended the frame to the log.
+  // Sends `frame` toward `peer`. When the direction is paused
+  // (RequestPauseSend), the injector prices a delay (gray/WAN profiles),
+  // or earlier frames are still held, the frame parks in the per-peer
+  // held queue — FIFO per directed edge is preserved because a non-empty
+  // queue always appends. Otherwise it transmits immediately. The caller
+  // has already appended the frame to the log, so a held frame lost to a
+  // connection drop is recovered by the resume replay.
   void TransmitToPeer(int peer, const WireFrame& frame);
+  // The wire half of TransmitToPeer: consults the fault injector (which
+  // may put a damaged copy on the wire or sever the link afterwards) and
+  // sends on the live connection.
+  void TransmitNow(int peer, const WireFrame& frame);
+  // Primary loop: transmits every held frame whose deadline passed on a
+  // non-paused direction.
+  void ReleaseHeldFrames();
+  // Earliest due_us across non-paused held queues; -1 when none (used to
+  // clamp the poll timeout so a held frame cannot stall until an
+  // unrelated wake-up).
+  std::int64_t EarliestHeldDueUs() const;
   // Marks the link Down, drops the connection, and (initiator side)
   // schedules reconnect attempts.
   void MarkPeerDown(int peer);
@@ -462,9 +492,22 @@ class NodeDaemon {
   std::vector<std::unique_ptr<LeaseNode>> nodes_;  // by NodeId; null if remote
   std::vector<int> peer_ids_;  // daemons sharing at least one tree edge
 
+  // A frame waiting out a pause-send window or an injected delay before it
+  // may touch the wire. Held frames are invisible on the wire (no format
+  // change an old-dialect peer could observe) and recoverable from the
+  // session log if the connection drops first.
+  struct HeldFrame {
+    std::int64_t due_us = 0;
+    WireFrame frame;
+  };
+
   TcpListener listener_;
   std::vector<std::unique_ptr<FrameConn>> peers_;  // by daemon id; may be null
   std::vector<PeerSession> sessions_;              // by daemon id
+  std::vector<std::deque<HeldFrame>> held_;        // by daemon id
+  // Per-destination pause flags (harness thread writes, daemon reads).
+  std::unique_ptr<std::atomic<bool>[]> pause_send_;
+  std::atomic<std::uint64_t> frames_held_{0};
   std::unique_ptr<FrameConn> driver_;
   std::vector<PendingConn> pending_;
   std::deque<WireFrame> driver_outbox_;

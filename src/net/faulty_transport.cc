@@ -55,6 +55,41 @@ PeerFaultInjector::Action PeerFaultInjector::Decide() {
   return Action::kNone;
 }
 
+void PeerFaultInjector::ArmLat(int peer) {
+  const auto it = lat_armed_.find(peer);
+  if (it != lat_armed_.end()) it->second.store(true, std::memory_order_relaxed);
+}
+
+void PeerFaultInjector::DisarmLat(int peer) {
+  const auto it = lat_armed_.find(peer);
+  if (it != lat_armed_.end()) {
+    it->second.store(false, std::memory_order_relaxed);
+  }
+}
+
+void PeerFaultInjector::DisarmAll() {
+  Disarm();
+  DisarmGray();
+  for (auto& [peer, flag] : lat_armed_) {
+    flag.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t PeerFaultInjector::DelayUsFor(int peer) {
+  std::int64_t us = 0;
+  if (options_.gray.valid() && gray_armed_.load(std::memory_order_relaxed)) {
+    us += rng_.NextInt(options_.gray.min_us, options_.gray.max_us);
+  }
+  const auto armed = lat_armed_.find(peer);
+  if (armed != lat_armed_.end() &&
+      armed->second.load(std::memory_order_relaxed)) {
+    const DelayProfile& profile = options_.lat.at(peer);
+    us += rng_.NextInt(profile.min_us, profile.max_us);
+  }
+  if (us > 0) delayed_.fetch_add(1, std::memory_order_relaxed);
+  return us;
+}
+
 std::vector<std::uint8_t> PeerFaultInjector::Corrupt(const WireFrame& frame) {
   // Both mutations are detected before any payload field is trusted:
   // truncation underruns the payload cursor (kBadPayload), the oversized

@@ -19,20 +19,36 @@
 //   never silently alter protocol state — the recovery path, not the
 //   fault, is what is being exercised.
 //
-// Thread model: Arm()/Disarm() are called from the harness thread;
-// Decide()/Corrupt() only from the owning daemon's thread. The armed flag
-// is the only cross-thread state.
+//   Delay profiles — gray failure (every outbound peer frame from this
+//   daemon is slow) and per-peer WAN/geo latency windows. The injector
+//   only *prices* the delay (DelayUsFor); the daemon holds the frame in
+//   its per-peer held queue until the deadline, so the wire bytes are
+//   untouched — old-dialect peers cannot observe any format change.
+//
+// Thread model: Arm()/Disarm()/ArmGray()/ArmLat() are called from the
+// harness thread; Decide()/Corrupt()/DelayUsFor() only from the owning
+// daemon's thread. The armed flags are the only cross-thread state; the
+// profile tables are immutable after construction.
 #ifndef TREEAGG_NET_FAULTY_TRANSPORT_H_
 #define TREEAGG_NET_FAULTY_TRANSPORT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "net/wire.h"
 
 namespace treeagg {
+
+// A seeded uniform per-message delay window in microseconds. Zero-width
+// (max_us == 0) means "no profile".
+struct DelayProfile {
+  std::int64_t min_us = 0;
+  std::int64_t max_us = 0;
+  bool valid() const { return max_us > 0; }
+};
 
 // `frame` encoded, then cut `drop_bytes` off the end of the body with the
 // length prefix rewritten to match the shortened body. The cut lands
@@ -59,23 +75,56 @@ class PeerFaultInjector {
     // Probability the socket is severed right after an outbound frame.
     double sever_probability = 0;
     std::uint64_t seed = 1;
+    // Gray failure: while ArmGray() is set, every outbound peer frame from
+    // this daemon is priced with a draw from this window.
+    DelayProfile gray;
+    // WAN/geo: per-destination-daemon latency windows, applied while
+    // ArmLat(peer) is set. Immutable after construction.
+    std::unordered_map<int, DelayProfile> lat;
   };
 
   enum class Action { kNone, kCorrupt, kSever };
 
   explicit PeerFaultInjector(const Options& options)
-      : options_(options), rng_(options.seed) {}
+      : options_(options), rng_(options.seed) {
+    // Pre-build the per-peer armed flags so the map never rehashes after
+    // construction (it is read lock-free from the daemon thread).
+    for (const auto& [peer, profile] : options_.lat) {
+      (void)profile;
+      lat_armed_[peer].store(false, std::memory_order_relaxed);
+    }
+  }
 
   // Window control (harness thread): faults fire only while armed.
   void Arm() { armed_.store(true, std::memory_order_relaxed); }
   void Disarm() { armed_.store(false, std::memory_order_relaxed); }
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
+  // Delay-window control (harness thread). ArmLat on a peer without a
+  // profile is a no-op.
+  void ArmGray() { gray_armed_.store(true, std::memory_order_relaxed); }
+  void DisarmGray() { gray_armed_.store(false, std::memory_order_relaxed); }
+  void ArmLat(int peer);
+  void DisarmLat(int peer);
+  // Clears every armed flag (corruption, gray, and all lat peers) — the
+  // chaos harness's leftover-heal sweep.
+  void DisarmAll();
+
   // Daemon thread: the fate of one outbound frame.
   Action Decide();
 
   // Daemon thread: a damaged encoding of `frame` (random mutator choice).
   std::vector<std::uint8_t> Corrupt(const WireFrame& frame);
+
+  // Daemon thread: injected microseconds of extra latency for one outbound
+  // frame to `peer` (gray draw + lat draw; 0 when nothing armed applies).
+  std::int64_t DelayUsFor(int peer);
+
+  // True when any delay window could ever fire — lets the daemon skip the
+  // held-frame bookkeeping entirely for corruption-only injectors.
+  bool HasDelayProfiles() const {
+    return options_.gray.valid() || !options_.lat.empty();
+  }
 
   // How often each fault actually fired (tests assert the fault window was
   // not vacuously empty; the chaos harness reports them).
@@ -85,13 +134,19 @@ class PeerFaultInjector {
   std::size_t severed_count() const {
     return severed_.load(std::memory_order_relaxed);
   }
+  std::size_t delayed_count() const {
+    return delayed_.load(std::memory_order_relaxed);
+  }
 
  private:
   Options options_;
   Rng rng_;
   std::atomic<bool> armed_{false};
+  std::atomic<bool> gray_armed_{false};
+  std::unordered_map<int, std::atomic<bool>> lat_armed_;
   std::atomic<std::size_t> corrupted_{0};
   std::atomic<std::size_t> severed_{0};
+  std::atomic<std::size_t> delayed_{0};
 };
 
 }  // namespace treeagg

@@ -139,6 +139,21 @@ void LocalCluster::SeverPeerLink(int d1, int d2) {
   }
 }
 
+void LocalCluster::SetSendPaused(int from_d, int to_d, bool paused) {
+  const std::size_t idx = static_cast<std::size_t>(from_d);
+  if (idx < daemons_.size() && daemons_[idx] != nullptr) {
+    daemons_[idx]->RequestPauseSend(to_d, paused);
+  }
+}
+
+std::uint64_t LocalCluster::FramesHeldTotal() const {
+  std::uint64_t total = 0;
+  for (const auto& daemon : daemons_) {
+    if (daemon) total += daemon->FramesHeld();
+  }
+  return total;
+}
+
 LocalCluster::~LocalCluster() { Stop(); }
 
 void LocalCluster::Stop() {

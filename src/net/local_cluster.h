@@ -128,6 +128,14 @@ class LocalCluster {
   // if they share no tree edge). Both sides recover through session
   // resume; convergence is delayed, never lost.
   void SeverPeerLink(int d1, int d2);
+  // Asymmetric partition: pauses (or resumes) outbound frames from daemon
+  // `from_d` to daemon `to_d` only; the reverse direction keeps flowing.
+  // Paused frames accumulate in from_d's held queue and release in FIFO
+  // order on resume.
+  void SetSendPaused(int from_d, int to_d, bool paused);
+  // Sum of NodeDaemon::FramesHeld over the live daemons (tests assert a
+  // pause/delay window actually held traffic).
+  std::uint64_t FramesHeldTotal() const;
 
  private:
   // Daemon options for daemon `d`: the shared template plus its injector

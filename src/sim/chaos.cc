@@ -61,6 +61,15 @@ void ChaosSimulator::ChaosTransport::Send(Message m) {
   if (const FaultEvent* d = faults.ActiveAt(FaultKind::kDelay, now)) {
     delay += sim.fault_rng_.NextInt(d->delay_min, d->delay_max);
   }
+  // Gray failure: a slow sender stays up but everything it emits carries
+  // extra seeded delay. WAN/geo edge profiles add per-edge latency+jitter
+  // in both directions. Both compose with the baseline delay window.
+  if (const FaultEvent* g = faults.GrayAt(m.from, now)) {
+    delay += sim.fault_rng_.NextInt(g->delay_min, g->delay_max);
+  }
+  if (const FaultEvent* lat = faults.EdgeLatAt(m.from, m.to, now)) {
+    delay += sim.fault_rng_.NextInt(lat->delay_min, lat->delay_max);
+  }
 
   // Earliest admissible slot for this message, before FIFO clamping. Every
   // fault decision happens here at send time, so per-edge slots stay
@@ -75,6 +84,11 @@ void ChaosSimulator::ChaosTransport::Send(Message m) {
   }
   if (faults.EdgeCutAt(m.from, m.to, now)) {
     earliest = std::max(earliest, faults.CutEnd(m.from, m.to, now));
+  }
+  // Asymmetric partition: only the from->to direction holds its traffic
+  // until heal; the reverse direction is untouched.
+  if (faults.SeveredAt(m.from, m.to, now)) {
+    earliest = std::max(earliest, faults.SeverEnd(m.from, m.to, now));
   }
   // A delivery that would land while the destination is down waits for its
   // restart (the durable-state recovery replays it, in order).

@@ -768,14 +768,27 @@ int DriveMain(int argc, char** argv) {
 
 // --- chaos subcommand ---------------------------------------------------
 
+std::string JoinPresetNames() {
+  std::string joined;
+  for (const std::string& name : FaultSchedule::PresetNames()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
 void PrintChaosUsage(std::ostream& out) {
   out << "usage: treeagg_cli chaos [--backend sim|net-local]"
          " [--schedule PRESET|SPEC] [--shape S] [--n N] [--workload W]"
          " [--len L] [--seed X] [--policy P] [--op O]"
          " [--daemons N] [--placement block|rr] [--ack-interval N]"
          " [--trace-out FILE]"
-         " (presets: drops, partition, crash, chaos; spec grammar:"
-         " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;...)"
+         " (presets: "
+      << JoinPresetNames()
+      << "; spec grammar:"
+         " seed=S;drop(P)@T0..T1;cut(U-V)@T0..T1;crash(U)@T0..T1;"
+         "crashgroup(U1,U2,...)@T0..T1;sever(U->V)@T0..T1;"
+         "gray(U:D0..D1)@T0..T1;lat(U-V:D0..D1)@T0..T1;...)"
          " (valid subcommands: run, sweep, serve, drive, chaos, query,"
          " place)\n";
 }
@@ -841,7 +854,18 @@ int ChaosMain(int argc, char** argv) {
   }
   if (backend != "sim" && backend != "net-local") return ChaosUsage();
 
-  const FaultSchedule schedule = FaultSchedule::Named(schedule_spec);
+  // An unknown preset (or malformed spec) must not fall through to the
+  // generic top-level handler: name the valid presets so the fix is
+  // obvious from the error alone.
+  FaultSchedule schedule;
+  try {
+    schedule = FaultSchedule::Named(schedule_spec);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: bad --schedule '" << schedule_spec
+              << "': " << e.what() << "\nvalid presets: " << JoinPresetNames()
+              << "\n";
+    return 2;
+  }
   const Tree tree = MakeShape(shape, n, seed);
   const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
   const AggregateOp& op = OpByName(op_name);
@@ -854,6 +878,24 @@ int ChaosMain(int argc, char** argv) {
   ConvergenceReport report;
   std::uint64_t total_messages = 0;
   TextTable faults({"fault stat", "value"});
+  // Combine latency in clock units (DES ticks / driver event order) — the
+  // injected gray/WAN delay shows up here as a fattened tail.
+  std::vector<std::int64_t> combine_lat;
+  const auto harvest_latencies = [&](const History& history) {
+    for (const RequestRecord& r : history.records()) {
+      if (r.op == ReqType::kCombine && r.completed()) {
+        combine_lat.push_back(r.completed_at - r.initiated_at);
+      }
+    }
+    std::sort(combine_lat.begin(), combine_lat.end());
+  };
+  const auto percentile = [&](double p) -> std::int64_t {
+    if (combine_lat.empty()) return 0;
+    const std::size_t idx = std::min(
+        combine_lat.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(combine_lat.size())));
+    return combine_lat[idx];
+  };
   const auto maybe_write_trace =
       [&](const History& history,
           std::vector<std::pair<std::int64_t, std::int64_t>> windows) {
@@ -882,6 +924,7 @@ int ChaosMain(int argc, char** argv) {
     report = CheckConvergence(sim.history(), sim.GhostStates(), op,
                               tree.size(), probes, copts);
     total_messages = sim.trace().TotalMessages();
+    harvest_latencies(sim.history());
     maybe_write_trace(sim.history(), schedule.Windows());
   } else {
     std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()));
@@ -906,12 +949,17 @@ int ChaosMain(int argc, char** argv) {
     total_messages = result.total_messages;
     faults.AddRow({"daemons killed+restarted", std::to_string(result.kills)});
     faults.AddRow({"peer links severed", std::to_string(result.severs)});
+    faults.AddRow({"directions paused (sever)",
+                   std::to_string(result.paused)});
     faults.AddRow({"frames corrupted", std::to_string(result.corrupted)});
+    faults.AddRow({"frames delay-priced", std::to_string(result.delayed)});
+    faults.AddRow({"frames held", std::to_string(result.frames_held)});
     faults.AddRow({"requests deferred", std::to_string(result.deferred)});
     faults.AddRow({"requests re-injected",
                    std::to_string(result.reinjected)});
     faults.AddRow({"replay-log high water",
                    std::to_string(result.replay_log_hwm)});
+    harvest_latencies(result.history);
     maybe_write_trace(result.history, result.fault_windows);
   }
 
@@ -927,6 +975,11 @@ int ChaosMain(int argc, char** argv) {
                                                               : "NO"});
   table.AddRow({"combines excluded",
                 std::to_string(report.excluded_combines)});
+  table.AddRow({"combine latency p50 (clock)", std::to_string(percentile(.5))});
+  table.AddRow({"combine latency p95 (clock)",
+                std::to_string(percentile(.95))});
+  table.AddRow({"combine latency p99 (clock)",
+                std::to_string(percentile(.99))});
   table.AddRow({"converged", report.ok ? "yes" : "NO"});
   std::cout << table.ToString();
   if (backend == "net-local") std::cout << faults.ToString();

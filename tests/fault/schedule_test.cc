@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace treeagg {
 namespace {
@@ -93,6 +98,159 @@ TEST(FaultScheduleTest, NamedPresetsExistAndFallBackToParse) {
   const FaultSchedule s = FaultSchedule::Named("crash(1)@5..9");
   ASSERT_EQ(s.events().size(), 1u);
   EXPECT_EQ(s.events()[0].kind, FaultKind::kCrash);
+}
+
+// --- second-generation vocabulary ---------------------------------------
+
+TEST(FaultScheduleV2Test, CrashGroupCrashesEveryMember) {
+  FaultSchedule s;
+  s.CrashGroup({1, 4, 7}, 50, 80);
+  EXPECT_TRUE(s.HasCrashes());
+  for (const NodeId u : {1, 4, 7}) {
+    EXPECT_FALSE(s.CrashedAt(u, 49)) << u;
+    EXPECT_TRUE(s.CrashedAt(u, 50)) << u;
+    EXPECT_TRUE(s.CrashedAt(u, 79)) << u;
+    EXPECT_FALSE(s.CrashedAt(u, 80)) << u;  // [begin, end)
+    EXPECT_EQ(s.CrashEnd(u, 60), 80) << u;
+  }
+  EXPECT_FALSE(s.CrashedAt(2, 60));
+  EXPECT_EQ(s.CrashEnd(2, 60), 60);  // non-member: identity
+}
+
+TEST(FaultScheduleV2Test, SeverIsDirectional) {
+  FaultSchedule s;
+  s.Sever(1, 0, 100, 300);
+  EXPECT_TRUE(s.SeveredAt(1, 0, 100));
+  EXPECT_TRUE(s.SeveredAt(1, 0, 299));
+  EXPECT_FALSE(s.SeveredAt(1, 0, 300));
+  EXPECT_FALSE(s.SeveredAt(0, 1, 150));  // reverse direction stays live
+  EXPECT_EQ(s.SeverEnd(1, 0, 150), 300);
+  EXPECT_EQ(s.SeverEnd(0, 1, 150), 150);  // not severed: identity
+  EXPECT_FALSE(s.HasCrashes());
+  EXPECT_FALSE(s.HasFifoViolations());
+}
+
+TEST(FaultScheduleV2Test, GrayAndLatPointQueries) {
+  FaultSchedule s;
+  s.Gray(2, 5, 15, 100, 400).Lat(0, 1, 20, 60, 50, 350);
+  const FaultEvent* gray = s.GrayAt(2, 200);
+  ASSERT_NE(gray, nullptr);
+  EXPECT_EQ(gray->delay_min, 5);
+  EXPECT_EQ(gray->delay_max, 15);
+  EXPECT_EQ(s.GrayAt(2, 400), nullptr);  // [begin, end)
+  EXPECT_EQ(s.GrayAt(3, 200), nullptr);
+
+  const FaultEvent* lat = s.EdgeLatAt(0, 1, 100);
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->delay_max, 60);
+  EXPECT_NE(s.EdgeLatAt(1, 0, 100), nullptr);  // undirected
+  EXPECT_EQ(s.EdgeLatAt(0, 2, 100), nullptr);
+  EXPECT_EQ(s.MaxInjectedDelay(), 60);
+}
+
+TEST(FaultScheduleV2Test, NewKindsParseAndRoundTrip) {
+  const FaultSchedule s = FaultSchedule::Parse(
+      "seed=9; crashgroup(1,4,7)@50..80; sever(1->0)@100..300; "
+      "gray(2:5..15)@100..400; lat(0-1:20..60)@50..350");
+  ASSERT_EQ(s.events().size(), 4u);
+  EXPECT_EQ(s.events()[0].kind, FaultKind::kCrashGroup);
+  EXPECT_EQ(s.events()[0].group, (std::vector<NodeId>{1, 4, 7}));
+  EXPECT_EQ(s.events()[1].kind, FaultKind::kSever);
+  EXPECT_EQ(s.events()[2].kind, FaultKind::kGray);
+  EXPECT_EQ(s.events()[3].kind, FaultKind::kLat);
+  EXPECT_EQ(FaultSchedule::Parse(s.ToSpec()), s);
+}
+
+TEST(FaultScheduleV2Test, JitterSugarExpandsToWindow) {
+  // B+-J is sugar for B-J..B+J; ToSpec emits the canonical form.
+  const FaultSchedule s = FaultSchedule::Parse("lat(0-1:40+-15)@0..100");
+  ASSERT_EQ(s.events().size(), 1u);
+  EXPECT_EQ(s.events()[0].delay_min, 25);
+  EXPECT_EQ(s.events()[0].delay_max, 55);
+  EXPECT_NE(s.ToSpec().find("lat(0-1:25..55)"), std::string::npos);
+  // Jitter wider than the base would go negative: rejected.
+  EXPECT_THROW(FaultSchedule::Parse("lat(0-1:10+-11)@0..100"),
+               std::invalid_argument);
+}
+
+TEST(FaultScheduleV2Test, RejectsMalformedNewClauses) {
+  // crashgroup: empty, negative, duplicate members.
+  EXPECT_THROW(FaultSchedule::Parse("crashgroup()@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("crashgroup(1,-2)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("crashgroup(1,1)@0..10"),
+               std::invalid_argument);
+  // sever: self-loop, negative endpoint, missing arrow.
+  EXPECT_THROW(FaultSchedule::Parse("sever(1->1)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("sever(-1->0)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("sever(1-0)@0..10"),
+               std::invalid_argument);
+  // gray/lat: inverted or negative delay windows, bad separators.
+  EXPECT_THROW(FaultSchedule::Parse("gray(2:15..5)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("gray(2:-3..5)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("gray(-2:1..5)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("lat(1-1:5..9)@0..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("lat(0-1:5)@0..10"),
+               std::invalid_argument);
+  // negative times are rejected for the new kinds too.
+  EXPECT_THROW(FaultSchedule::Parse("gray(2:1..5)@-5..10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::Parse("sever(1->0)@10..5"),
+               std::invalid_argument);
+}
+
+TEST(FaultScheduleV2Test, EveryPresetRoundTripsThroughToSpec) {
+  const std::vector<std::string> names = FaultSchedule::PresetNames();
+  ASSERT_GE(names.size(), 9u);
+  for (const std::string& name : names) {
+    const FaultSchedule s = FaultSchedule::Named(name);
+    EXPECT_FALSE(s.empty()) << name;
+    const FaultSchedule round = FaultSchedule::Parse(s.ToSpec());
+    EXPECT_EQ(round, s) << name << ": " << s.ToSpec();
+  }
+}
+
+// Property test: seeded random schedules built through the typed builders
+// always survive ToSpec -> Parse bit-identically, so the spec grammar can
+// express everything the builders can.
+TEST(FaultScheduleV2Test, RandomSchedulesRoundTripThroughSpec) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 77 + 13);
+    FaultSchedule s;
+    s.WithSeed(seed);
+    const int clauses = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int c = 0; c < clauses; ++c) {
+      const std::int64_t b = static_cast<std::int64_t>(rng.NextBounded(200));
+      const std::int64_t e = b + 1 + static_cast<std::int64_t>(
+                                         rng.NextBounded(100));
+      const std::int64_t dmin = static_cast<std::int64_t>(rng.NextBounded(20));
+      const std::int64_t dmax =
+          dmin + static_cast<std::int64_t>(rng.NextBounded(30));
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(12));
+      const NodeId v = static_cast<NodeId>(12 + rng.NextBounded(12));
+      switch (rng.NextBounded(8)) {
+        case 0: s.Drop(0.01 * static_cast<double>(1 + rng.NextBounded(99)),
+                       b, e);
+          break;
+        case 1: s.Delay(dmin, dmax, b, e); break;
+        case 2: s.Cut(u, v, b, e); break;
+        case 3: s.Crash(u, b, e); break;
+        case 4: s.CrashGroup({u, v}, b, e); break;
+        case 5: s.Sever(u, v, b, e); break;
+        case 6: s.Gray(u, dmin, dmax, b, e); break;
+        default: s.Lat(u, v, dmin, dmax, b, e); break;
+      }
+    }
+    const FaultSchedule round = FaultSchedule::Parse(s.ToSpec());
+    EXPECT_EQ(round, s) << "seed " << seed << ": " << s.ToSpec();
+  }
 }
 
 }  // namespace

@@ -36,9 +36,12 @@
 #include "net/daemon.h"
 #include "net/driver.h"
 #include "net/durability.h"
+#include "net/faulty_transport.h"
 #include "net/local_cluster.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "place/placement.h"
+#include "query/validate.h"
 #include "tree/generators.h"
 #include "workload/generators.h"
 
@@ -189,6 +192,237 @@ TEST(CrashRestartTest, ArmedCorruptionFiresAndIsRecovered) {
     corrupted += inj->corrupted_count();
   }
   EXPECT_GT(corrupted, 0u) << "fault window was vacuous";
+
+  const ReqId probe = driver.InjectCombine(0);
+  driver.WaitCompleted(probe);
+  driver.WaitQuiescent();
+  const Real truth = GroundTruth(driver.history(), SumOp(), tree.size());
+  EXPECT_NEAR(driver.history().record(probe).retval, truth, 1e-9);
+  cluster.Stop();
+  EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+// --- second-generation chaos matrix -------------------------------------
+//
+// New fault vocabulary on the net backend: correlated kills, asymmetric
+// severs, gray failure, and WAN/geo latency profiles — each cell converges
+// with the full strict/causal checks, and the manual cells prove the fault
+// actually fired (nothing is vacuously green).
+
+// Cell: correlated kill — a parent+child pair straddling a lease edge dies
+// as ONE event (rr: node 0 -> daemon 0, node 1 -> daemon 1).
+TEST(ChaosMatrixV2, CorrelatedPairKillAcrossLeaseEdge) {
+  FaultSchedule schedule;
+  schedule.WithSeed(21).CrashGroup({0, 1}, 15, 35);
+  const ChaosNetResult result = RunAndCheck(schedule, /*daemons=*/3, "rr");
+  EXPECT_EQ(result.kills, 2u);
+  // One correlated event: one merged fault window, not two.
+  EXPECT_EQ(result.fault_windows.size(), 1u);
+}
+
+// Cell: asymmetric sever via the schedule — one direction paused over the
+// whole workload, the reverse stays live, and the run still converges.
+TEST(ChaosMatrixV2, AsymmetricSeverConverges) {
+  FaultSchedule schedule;
+  schedule.WithSeed(22).Sever(1, 0, 0, 10000);
+  const ChaosNetResult result = RunAndCheck(schedule, /*daemons=*/2, "rr");
+  EXPECT_EQ(result.paused, 1u);
+}
+
+// Cell (manual, non-vacuous): a paused direction provably parks frames in
+// the held queue — a root combine cannot finish while daemon 1's responses
+// are held — and draining on resume restores the ground truth.
+TEST(ChaosMatrixV2, PausedDirectionHoldsFramesUntilResume) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  cluster.SetSendPaused(1, 0, true);
+  for (int i = 0; i < 6; ++i) {
+    driver.InjectWrite(1, 1.0 + i);
+    driver.InjectWrite(3, 2.0 + i);
+  }
+  const ReqId probe = driver.InjectCombine(0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (cluster.FramesHeldTotal() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(cluster.FramesHeldTotal(), 0u) << "pause window was vacuous";
+
+  cluster.SetSendPaused(1, 0, false);
+  driver.WaitCompleted(probe);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  const Real truth = GroundTruth(driver.history(), SumOp(), tree.size());
+  EXPECT_NEAR(driver.history().record(probe).retval, truth, 1e-9);
+  cluster.Stop();
+  EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+// Cell (manual, non-vacuous): gray failure — daemon 1 stays up but every
+// outbound peer frame is slow. The profile stays armed through the
+// completion wait, so the delay provably fires, and the final probe still
+// returns the ground truth.
+TEST(ChaosMatrixV2, GrayDaemonStaysSlowButConverges) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 80, /*seed=*/19);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  for (int d = 0; d < options.daemons; ++d) {
+    PeerFaultInjector::Options inj;
+    inj.seed = 200 + static_cast<std::uint64_t>(d);
+    inj.gray = DelayProfile{200, 1500};  // microseconds per frame
+    options.fault_injectors.push_back(
+        std::make_shared<PeerFaultInjector>(inj));
+  }
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  options.fault_injectors[1]->ArmGray();
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  }
+  driver.WaitAllCompleted();
+  EXPECT_GT(options.fault_injectors[1]->delayed_count(), 0u)
+      << "gray window was vacuous";
+  options.fault_injectors[1]->DisarmAll();
+  driver.WaitQuiescent();
+
+  const ReqId probe = driver.InjectCombine(0);
+  driver.WaitCompleted(probe);
+  driver.WaitQuiescent();
+  const Real truth = GroundTruth(driver.history(), SumOp(), tree.size());
+  EXPECT_NEAR(driver.history().record(probe).retval, truth, 1e-9);
+  cluster.Stop();
+  EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+// Cell: WAN/geo profile with a regional partition that heals, end to end
+// through the schedule-driven harness.
+TEST(ChaosMatrixV2, GeoProfileWithRegionalPartitionConverges) {
+  FaultSchedule schedule;
+  schedule.WithSeed(24)
+      .Lat(0, 1, 15, 25, 0, 10000)
+      .Lat(0, 2, 40, 60, 0, 10000)
+      .Cut(0, 2, 15, 35);
+  const ChaosNetResult result = RunAndCheck(schedule, /*daemons=*/3, "rr");
+  EXPECT_EQ(result.severs, 1u);
+}
+
+// Cell: kill-during-gray — the gray daemon itself is crashed inside its
+// gray window (rr: nodes 1 and 4 both live on daemon 1) and restarted; the
+// injector survives the restart, so the daemon comes back still gray.
+TEST(ChaosMatrixV2, KillDuringGrayWindowConverges) {
+  FaultSchedule schedule;
+  schedule.WithSeed(25).Gray(1, 2, 8, 0, 10000).Crash(4, 15, 35);
+  const ChaosNetResult result = RunAndCheck(schedule, /*daemons=*/3, "rr");
+  EXPECT_EQ(result.kills, 1u);
+}
+
+// Cell: snapshot queries race a gray writer — the writer daemon is
+// slow-injected while off-ledger seqlock reads stream from the driver; the
+// served answers must pass the per-epoch monotonicity and prefix checks.
+TEST(ChaosMatrixV2, SnapshotQueriesStayCoherentUnderGrayWriter) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  for (int d = 0; d < options.daemons; ++d) {
+    PeerFaultInjector::Options inj;
+    inj.seed = 300 + static_cast<std::uint64_t>(d);
+    inj.gray = DelayProfile{200, 1500};
+    options.fault_injectors.push_back(
+        std::make_shared<PeerFaultInjector>(inj));
+  }
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  options.fault_injectors[1]->ArmGray();
+  std::vector<query::ServedQuery> queries;
+  std::int64_t serial = 0;
+  const RequestSequence sigma =
+      MakeWorkload("mixed50", tree, 120, /*seed=*/23);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      // Combines become off-ledger snapshot reads racing the gray writes.
+      queries.push_back(
+          query::ServedQuery{r.node, driver.QueryNode(r.node), serial++});
+    }
+  }
+  // Off-ledger reads generate no peer frames, so force one on-ledger
+  // combine while still gray: its probe/response crosses the slow daemon
+  // and proves the window was not vacuous.
+  const ReqId forced = driver.InjectCombine(0);
+  driver.WaitCompleted(forced);
+  driver.WaitAllCompleted();
+  EXPECT_GT(options.fault_injectors[1]->delayed_count(), 0u)
+      << "gray window was vacuous";
+  options.fault_injectors[1]->DisarmAll();
+  driver.WaitQuiescent();
+  EXPECT_FALSE(queries.empty());
+
+  NetDriver::HarvestResult harvest = driver.Harvest();
+  const CheckResult check = query::ValidateQueryAnswers(
+      driver.history(), harvest.ghosts, queries, SumOp());
+  EXPECT_TRUE(check.ok) << check.message;
+  cluster.Stop();
+  EXPECT_EQ(cluster.DaemonError(), "");
+}
+
+// Cell: Rebalance() mid-gray — live node migration runs while a daemon is
+// slow, the moved tree keeps serving, and the post-heal probe returns the
+// ground truth on the new placement.
+TEST(ChaosMatrixV2, RebalanceDuringGrayWindowConverges) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  const RequestSequence sigma = MakeWorkload("mixed50", tree, 80, /*seed=*/29);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  for (int d = 0; d < options.daemons; ++d) {
+    PeerFaultInjector::Options inj;
+    inj.seed = 400 + static_cast<std::uint64_t>(d);
+    inj.gray = DelayProfile{200, 1000};
+    options.fault_injectors.push_back(
+        std::make_shared<PeerFaultInjector>(inj));
+  }
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+
+  options.fault_injectors[1]->ArmGray();
+  const auto inject = [&](const Request& r) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  };
+  const std::size_t half = sigma.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) inject(sigma[i]);
+  driver.WaitAllCompleted();
+  driver.WaitQuiescent();
+  // Migrate while the gray window is still open.
+  const std::vector<std::uint64_t> traffic = cluster.HarvestTraffic();
+  const place::PlacementPlan plan =
+      place::OptimizePlacement(ParentVector(tree), traffic, options.daemons);
+  cluster.Rebalance(plan.node_daemon);
+  for (std::size_t i = half; i < sigma.size(); ++i) inject(sigma[i]);
+  driver.WaitAllCompleted();
+  EXPECT_GT(options.fault_injectors[1]->delayed_count(), 0u)
+      << "gray window was vacuous";
+  options.fault_injectors[1]->DisarmAll();
+  driver.WaitQuiescent();
 
   const ReqId probe = driver.InjectCombine(0);
   driver.WaitCompleted(probe);
@@ -603,6 +837,81 @@ TEST(WireV2Interop, V2PeerGetsV2FramesNoAcksAndFullLogRetention) {
   EXPECT_EQ(durable.sessions[0].log.size(), 4u);
   EXPECT_EQ(durable.sessions[0].processed, 4u);  // probe + 3 updates
   EXPECT_EQ(daemon.ReplayLogHighWater(), 4u);
+}
+
+// Delay profiles are a SEND-TIME hold, not a wire feature: a daemon whose
+// injector has an armed gray profile faces a fake peer that spoke a v2
+// hello. Every frame the peer receives arrives late (the injector's
+// delayed counter proves the hold fired) yet is still strictly v2-encoded
+// with only pre-existing frame types — an old-dialect peer cannot observe
+// the second-generation delay vocabulary in the bytes.
+TEST(WireV2Interop, DelayProfilesNeverLeakIntoTheWireFormat) {
+  ClusterConfig config;
+  config.tree_parent = {0, 0};
+  config.policy = "push-all";
+  config.op = "sum";
+  config.daemons = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  config.node_daemon = {0, 1};
+  config.Validate();
+
+  NodeDaemon::Options options;
+  PeerFaultInjector::Options inj;
+  inj.seed = 77;
+  inj.gray = DelayProfile{500, 2000};  // every outbound peer frame is slow
+  options.fault_injector = std::make_shared<PeerFaultInjector>(inj);
+  options.fault_injector->ArmGray();
+  NodeDaemon daemon(1, config, options);
+  daemon.Bind();
+  const std::uint16_t port = daemon.BoundPort();
+  daemon.SetResolvedPorts({0, port});
+  std::thread runner([&daemon] { daemon.Run(); });
+
+  const TransportOptions topts;
+  std::string err;
+  ScopedFd peer_fd = ConnectWithBackoff("127.0.0.1", port, topts, &err);
+  ASSERT_TRUE(peer_fd.valid()) << err;
+
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = 0;
+  hello.resume = 0;
+  ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(hello, /*version=*/2)));
+
+  std::vector<std::uint8_t> peer_buf;
+  std::vector<RawFrame> peer_frames;
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 1, 10000));
+  ASSERT_EQ(peer_frames[0].frame.type, FrameType::kPeerHello);
+
+  // Three probes: each kResponse crosses the armed gray profile, so it is
+  // priced with a delay and parked in the held queue before transmission.
+  for (int i = 0; i < 3; ++i) {
+    WireFrame probe;
+    probe.type = FrameType::kProtocol;
+    probe.msg.type = MsgType::kProbe;
+    probe.msg.from = 0;
+    probe.msg.to = 1;
+    ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(probe, /*version=*/2)));
+  }
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 4, 10000));
+
+  // The hold provably fired...
+  EXPECT_GT(options.fault_injector->delayed_count(), 0u)
+      << "gray profile never priced a frame";
+  EXPECT_GT(daemon.FramesHeld(), 0u) << "no frame waited in the held queue";
+  // ...and nothing about the wire changed: strictly v2 bytes, only frame
+  // types a v2 decoder knows, and PumpRawFrames already failed the test if
+  // any frame did not decode cleanly.
+  for (const RawFrame& rf : peer_frames) {
+    EXPECT_EQ(rf.version, 2) << "daemon sent a non-v2 frame to a v2 peer";
+    EXPECT_TRUE(rf.frame.type == FrameType::kPeerHello ||
+                rf.frame.type == FrameType::kProtocol)
+        << "unexpected frame type for a v2 peer";
+    EXPECT_FALSE(rf.frame.ack_valid);
+  }
+
+  daemon.RequestStop();
+  runner.join();
+  EXPECT_EQ(daemon.error(), "");
 }
 
 // A v4 daemon with frame batching CONFIGURED faces a fake peer that spoke

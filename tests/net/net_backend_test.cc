@@ -1,9 +1,11 @@
 // Networked-backend tests above the transport layer: node placement,
 // cluster-config parsing, and full LocalCluster runs (real loopback TCP,
 // ephemeral ports) checked against the consistency checkers.
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +14,7 @@
 #include "consistency/strict_checker.h"
 #include "core/aggregate_op.h"
 #include "net/cluster.h"
+#include "net/faulty_transport.h"
 #include "net/local_cluster.h"
 #include "net/query_client.h"
 #include "tree/generators.h"
@@ -409,6 +412,80 @@ TEST(QueryTierTest, StandaloneQueryClientReadsEveryNode) {
   const query::QueryAnswer again = client.Query(3);
   EXPECT_EQ(again.value, 4.5);
   EXPECT_THROW(client.Query(tree.size()), std::invalid_argument);
+  cluster.Stop();
+  EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
+}
+
+// Seqlock coherence under gray failure: the writer daemon's outbound peer
+// frames are slow-injected while several independent query connections
+// hammer snapshot reads. Reads are served off the seqlock slots, so they
+// stay fast and — the point — every connection's answer stream must still
+// pass ValidateQueryAnswers (per-node epoch monotonicity along its own
+// serving order, plus prefix checks against the harvested ghost logs).
+TEST(QueryTierTest, SeqlockReadsStayCoherentUnderGrayWriter) {
+  const Tree tree = MakeShape("kary2", 15, /*seed=*/1);
+  LocalCluster::Options options;
+  options.daemons = 2;
+  options.placement = "rr";
+  for (int d = 0; d < options.daemons; ++d) {
+    PeerFaultInjector::Options inj;
+    inj.seed = 500 + static_cast<std::uint64_t>(d);
+    inj.gray = DelayProfile{200, 1000};  // microseconds per peer frame
+    options.fault_injectors.push_back(
+        std::make_shared<PeerFaultInjector>(inj));
+  }
+  LocalCluster cluster(ParentVector(tree), options);
+  NetDriver& driver = cluster.driver();
+  options.fault_injectors[1]->ArmGray();
+
+  constexpr int kReaders = 3;
+  constexpr int kReadsPerReader = 40;
+  std::vector<std::vector<query::ServedQuery>> served(kReaders);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      QueryClient client(cluster.config());
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        const NodeId node =
+            static_cast<NodeId>((r + 2 * i) % tree.size());
+        served[static_cast<std::size_t>(r)].push_back(
+            query::ServedQuery{node, client.Query(node), i});
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  const RequestSequence sigma =
+      MakeWorkload("mixed50", tree, 200, /*seed=*/31);
+  for (const Request& r : sigma) {
+    if (r.op == ReqType::kWrite) {
+      driver.InjectWrite(r.node, r.arg);
+    } else {
+      driver.InjectCombine(r.node);
+    }
+  }
+  driver.WaitAllCompleted();
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(options.fault_injectors[1]->delayed_count(), 0u)
+      << "gray window was vacuous";
+  options.fault_injectors[1]->DisarmAll();
+  driver.WaitQuiescent();
+
+  NetDriver::HarvestResult harvest = driver.Harvest();
+  std::uint64_t max_epoch = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    const auto& answers = served[static_cast<std::size_t>(r)];
+    ASSERT_EQ(answers.size(), static_cast<std::size_t>(kReadsPerReader));
+    const CheckResult check = query::ValidateQueryAnswers(
+        driver.history(), harvest.ghosts, answers, SumOp());
+    EXPECT_TRUE(check.ok) << "reader " << r << ": " << check.message;
+    for (const query::ServedQuery& q : answers) {
+      max_epoch = std::max(max_epoch, q.answer.epoch);
+    }
+  }
+  // The gray writer kept publishing: epochs advanced past the first slot.
+  EXPECT_GT(max_epoch, 1u);
   cluster.Stop();
   EXPECT_TRUE(cluster.DaemonError().empty()) << cluster.DaemonError();
 }

@@ -115,6 +115,112 @@ TEST(ChaosSimTest, SeededScheduleReplaysBitIdentically) {
   EXPECT_TRUE(report_a.ok) << report_a.message;
 }
 
+// --- second-generation vocabulary on the DES ----------------------------
+
+TEST(ChaosSimTest, CorrelatedCrashGroupConverges) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 14);
+  // Parent and child straddling a lease edge die together.
+  FaultSchedule faults;
+  faults.WithSeed(6).CrashGroup({0, 1}, 60, 250);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 15);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_GT(r.final_probes, 0u);
+}
+
+TEST(ChaosSimTest, AsymmetricSeverConverges) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 16);
+  // Upward direction severed; the reverse (grants/acks) stays live.
+  FaultSchedule faults;
+  faults.WithSeed(7).Sever(1, 0, 50, 280).Sever(3, 1, 90, 240);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 17);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ChaosSimTest, GrayNodeConvergesWithinScaledDeadline) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 18);
+  FaultSchedule faults;
+  faults.WithSeed(8).Gray(1, 5, 15, 40, 260);
+
+  ChaosSimulator::Options options;
+  options.seed = 19;
+  options.min_delay = 1;
+  options.max_delay = 4;
+  ChaosSimulator sim(t, RwwFactory(), faults, options);
+  Rng gaps(20);
+  const std::vector<ReqId> probes =
+      sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+  ConvergenceOptions copts;
+  copts.fault_windows = faults.Windows();
+  // Liveness under gray failure: everything still completes by a deadline
+  // scaled by the worst injected per-message delay.
+  copts.liveness_deadline =
+      sim.now() + (faults.MaxInjectedDelay() + options.max_delay) * 4;
+  const ConvergenceReport r = CheckConvergence(
+      sim.history(), sim.GhostStates(), sim.op(), t.size(), probes, copts);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.deadline_violations, 0u);
+}
+
+TEST(ChaosSimTest, GeoLatencyProfilesConverge) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 21);
+  // Two slow WAN edges plus a regional partition that heals.
+  FaultSchedule faults;
+  faults.WithSeed(9)
+      .Lat(0, 1, 15, 25, 0, 350)
+      .Lat(0, 2, 40, 60, 0, 350)
+      .Cut(0, 2, 120, 220);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 22);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_GT(r.excluded_combines, 0u);
+}
+
+TEST(ChaosSimTest, KillDuringGrayConverges) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 400, 23);
+  // A gray window with a crash landing inside it — the matrix's
+  // kill-during-gray cell on the DES backend.
+  FaultSchedule faults;
+  faults.WithSeed(10).Gray(1, 5, 15, 40, 300).Crash(4, 100, 240);
+  const ConvergenceReport r = RunAndCheck(t, faults, sigma, 24);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(ChaosSimTest, NewPresetsConvergeOnTheSim) {
+  Tree t = MakeKary(15, 2);
+  for (const char* preset : {"pairkill", "gray", "asym", "geo2", "geo3"}) {
+    const RequestSequence sigma = MakeWorkload("mixed50", t, 500, 25);
+    const ConvergenceReport r =
+        RunAndCheck(t, FaultSchedule::Named(preset), sigma, 26);
+    EXPECT_TRUE(r.ok) << preset << ": " << r.message;
+  }
+}
+
+// A deadline tighter than the injected delay must actually fire — the
+// liveness check is not vacuous.
+TEST(ChaosSimTest, ImpossibleLivenessDeadlineIsReported) {
+  Tree t = MakeKary(15, 2);
+  const RequestSequence sigma = MakeWorkload("mixed50", t, 300, 27);
+  FaultSchedule faults;
+  faults.WithSeed(11).Gray(1, 20, 40, 0, 2000);
+  ChaosSimulator::Options options;
+  options.seed = 28;
+  ChaosSimulator sim(t, RwwFactory(), faults, options);
+  Rng gaps(29);
+  const std::vector<ReqId> probes =
+      sim.RunWithFinalProbes(ScheduleWithGaps(sigma, 3, gaps));
+  ConvergenceOptions copts;
+  copts.fault_windows = faults.Windows();
+  copts.liveness_deadline = 1;  // nothing real completes this fast
+  const ConvergenceReport r = CheckConvergence(
+      sim.history(), sim.GhostStates(), sim.op(), t.size(), probes, copts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.deadline_violations, 0u);
+}
+
 // Checker-validation faults: duplicates/reordering violate the paper's
 // channel assumptions, and the checker must be able to notice (mirrors
 // tests/sim/faults_test.cc for the schedule-driven path).

@@ -73,5 +73,24 @@ TEST(CliHelpTest, BadInvocationUsageStaysOnStderr) {
   EXPECT_EQ(out.output, "") << "error usage leaked onto stdout";
 }
 
+// An unknown chaos preset must fail fast (non-zero exit, nothing on
+// stdout) with a stderr message that names the valid presets — not fall
+// through to the generic top-level error handler.
+TEST(CliHelpTest, UnknownChaosPresetListsValidPresetsOnStderr) {
+  const RunResult err = RunCli("chaos --schedule nonesuch 2>&1 1>/dev/null");
+  EXPECT_NE(err.exit_code, 0);
+  EXPECT_NE(err.output.find("valid presets:"), std::string::npos);
+  for (const char* preset :
+       {"drops", "partition", "crash", "chaos", "pairkill", "gray", "asym",
+        "geo2", "geo3"}) {
+    EXPECT_NE(err.output.find(preset), std::string::npos)
+        << preset << " missing from the preset list";
+  }
+
+  const RunResult out = RunCli("chaos --schedule nonesuch 2>/dev/null");
+  EXPECT_NE(out.exit_code, 0);
+  EXPECT_EQ(out.output, "") << "preset error leaked onto stdout";
+}
+
 }  // namespace
 }  // namespace treeagg

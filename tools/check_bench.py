@@ -26,9 +26,15 @@ Supported file shapes (auto-detected):
       keyed by "name" ("rr", "subtree", "traffic", "live"). Wall-clock
       req/s is too noisy to gate here; message cost is the paper's
       metric and is deterministic given the harvested trace.
+  * treeagg-bench-fault-v1/v2 (BENCH_fault.json / bench_fault --out):
+      "requests_per_sec" per corruption-rate row in "drop_runs", keyed
+      "drop@{rate}". The crash row and the v2 "geo_runs" rows are not
+      throughput-gated (their wall time is dominated by injected faults),
+      but every row's "converged" flag is checked.
   For the net, query, and place shapes, rows failing their consistency
   check in the CURRENT run (causal_ok/valid = false) fail the gate
-  outright (the wire or the read path changed the algorithm).
+  outright (the wire or the read path changed the algorithm); for the
+  fault shape the same applies to any non-converged row.
 
 usage:
   check_bench.py --current RUN.json --baseline BENCH_x.json \
@@ -70,6 +76,20 @@ def load_throughputs(path):
                   for r in doc["runs"]}
         failed = [r["name"] for r in doc["runs"]
                   if not r.get("causal_ok", True)]
+        return series, failed
+    if schema.startswith("treeagg-bench-fault"):
+        # v1: drop_runs + crash_run; v2 adds geo_runs. Only the corruption
+        # sweep is throughput-gated — crash and geo wall time is mostly the
+        # injected fault itself — but a diverged row anywhere is fatal.
+        series = {f"drop@{r['corrupt_rate']}": r["requests_per_sec"]
+                  for r in doc["drop_runs"]}
+        failed = [f"drop@{r['corrupt_rate']}" for r in doc["drop_runs"]
+                  if not r.get("converged", True)]
+        crash = doc.get("crash_run", {})
+        if not crash.get("converged", True):
+            failed.append("crash")
+        failed += [f"geo/{r['profile']}" for r in doc.get("geo_runs", [])
+                   if not r.get("converged", True)]
         return series, failed
     if "benchmarks" in doc:  # google-benchmark output
         series = {}
