@@ -1,0 +1,95 @@
+// MLAP latency-vs-messages frontier — delay-and-batch against RWW.
+//
+// Beyond the paper: the MLAP policy family (Bienkowski et al. delay rule,
+// BFNT deadline rule) trades response latency for message volume by
+// batching combine requests in front of the unmodified RWW mechanism. On
+// bursty workloads the frontier must be real: some MLAP operating point
+// beats plain RWW on messages while paying a nonzero total wait, and the
+// delay-variant online cost stays within a small constant of the offline
+// per-node batching optimum it plays against (the theory bound is
+// O(depth^2); observed ratios sit far below it).
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "core/extra_policies.h"
+#include "core/mlap.h"
+#include "offline/mlap_dp.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+std::int64_t RunMessages(const Tree& tree, const RequestSequence& sigma) {
+  AggregationSystem sys(tree, RwwFactory());
+  sys.Execute(sigma);
+  return sys.trace().TotalMessages();
+}
+
+int Run() {
+  std::cout << "MLAP delay-and-batch frontier (messages vs total wait; "
+               "RWW = no batching, zero wait)\n\n";
+  const Tree tree = MakeKary(31, 2);
+  const std::vector<std::string> workloads = {"onoff", "pareto"};
+  const std::vector<std::string> specs = {"mlap(4)", "mlap", "mlap(0.25)",
+                                          "mlap-d", "mlap-d(0.25)"};
+  constexpr std::size_t kLength = 2000;
+  constexpr std::uint64_t kSeed = 31;
+
+  TextTable table(
+      {"workload", "policy", "messages", "flushes", "total_wait", "ratio"});
+  bool frontier_ok = true;
+  bool waits_ok = true;
+  double worst_delay_ratio = 0;
+
+  for (const std::string& wl : workloads) {
+    const TimedWorkload timed = MakeTimedWorkload(wl, tree, kLength, kSeed);
+    const std::int64_t rww_messages = RunMessages(tree, timed.sigma);
+    table.AddRow({wl, "RWW", std::to_string(rww_messages), "-", "0", "-"});
+
+    std::int64_t best_messages = rww_messages;
+    for (const std::string& spec : specs) {
+      const MlapParams params = ParseMlapSpec(spec);
+      const MlapPlan plan =
+          BuildMlapPlan(tree, timed.sigma, params, &timed.ticks);
+      const MlapPricing pricing =
+          PriceMlapPlan(tree, timed.sigma, params, plan, &timed.ticks);
+      const std::int64_t messages = RunMessages(tree, plan.batched);
+      best_messages = std::min(best_messages, messages);
+      waits_ok &= plan.total_wait > 0;
+      if (!params.deadline_variant) {
+        worst_delay_ratio = std::max(worst_delay_ratio, pricing.ratio);
+      }
+      table.AddRow({wl, spec, std::to_string(messages),
+                    std::to_string(plan.flushes),
+                    std::to_string(plan.total_wait), Fmt(pricing.ratio, 3)});
+    }
+    // The frontier is real on every bursty workload: batching must buy a
+    // strict message reduction somewhere on the knob range.
+    frontier_ok &= best_messages < rww_messages;
+  }
+
+  std::cout << table.ToString();
+  std::cout << "\nsome MLAP point beats RWW on messages (both workloads): "
+            << (frontier_ok ? "yes" : "NO") << "\n";
+  std::cout << "every MLAP point pays nonzero wait: "
+            << (waits_ok ? "yes" : "NO") << "\n";
+  // The observed delay-rule ratio must stay comfortably inside the
+  // O(depth^2) guarantee; 4.0 is far above anything a healthy automaton
+  // produces on these instances (observed ~1.3-1.6) yet far below a
+  // broken one (a never-flushing or always-flushing bug blows past it).
+  const bool ratio_ok = worst_delay_ratio >= 1.0 && worst_delay_ratio <= 4.0;
+  std::cout << "delay-rule ratio vs offline optimum in [1, 4]: "
+            << Fmt(worst_delay_ratio, 3) << (ratio_ok ? " yes" : " NO")
+            << "\n";
+  return frontier_ok && waits_ok && ratio_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treeagg
+
+int main() { return treeagg::Run(); }

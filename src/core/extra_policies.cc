@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/mlap.h"
 #include "core/policies.h"
 
 namespace treeagg {
@@ -187,11 +188,26 @@ bool ParseArgs(const std::string& spec, const std::string& prefix,
 
 }  // namespace
 
+std::string PolicySpecHelp() {
+  return "RWW, lease(a,b), push-all, pull-all, eager-break, timer(k), "
+         "prob(p), ewma, ewma(alpha), mlap, mlap(c), mlap-d, mlap-d(c)";
+}
+
 PolicyFactory PolicyBySpec(const std::string& spec) {
   if (spec == "RWW" || spec == "rww") return RwwFactory();
   if (spec == "push-all") return PushAllFactory();
   if (spec == "pull-all") return PullAllFactory();
+  if (spec == "eager-break") return EagerBreakFactory();
   if (spec == "ewma") return EwmaFactory();
+  if (IsMlapSpec(spec)) {
+    // MLAP is a request-scheduling transform (core/mlap.h) in front of the
+    // unmodified RWW mechanism: validate the spec, then hand back RWW. The
+    // caller applies BuildMlapPlan to the sequence; daemons and cluster
+    // configs carry the spec string unchanged, so nothing new rides the
+    // wire.
+    ParseMlapSpec(spec);
+    return RwwFactory();
+  }
   std::vector<double> args;
   if (ParseArgs(spec, "lease", &args) && args.size() == 2) {
     return AbFactory(static_cast<int>(args[0]), static_cast<int>(args[1]));

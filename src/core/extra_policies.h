@@ -112,9 +112,14 @@ PolicyFactory EwmaFactory(double alpha = 0.2);
 std::vector<NamedPolicy> AllPolicies();
 
 // Parses a policy spec: any AllPolicies() name, or the parameterized forms
-// "lease(a,b)", "timer(k)", "prob(p)", "ewma(alpha)". Throws
+// "lease(a,b)", "timer(k)", "prob(p)", "ewma(alpha)", and the MLAP family
+// "mlap", "mlap(c)", "mlap-d", "mlap-d(c)" (which validate the spec and
+// return the RWW mechanism factory — see core/mlap.h for why). Throws
 // std::invalid_argument on an unknown spec.
 PolicyFactory PolicyBySpec(const std::string& spec);
+
+// The accepted spec forms, comma-separated, for CLI error messages.
+std::string PolicySpecHelp();
 
 }  // namespace treeagg
 

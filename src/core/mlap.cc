@@ -1,0 +1,211 @@
+#include "core/mlap.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace treeagg {
+
+namespace {
+
+constexpr char kDelayName[] = "mlap";
+constexpr char kDeadlineName[] = "mlap-d";
+
+// Splits "name" or "name(arg)" off `spec` for the given prefix. Returns
+// false if the prefix does not match; sets *arg to NaN for the bare form.
+bool MatchSpec(const std::string& spec, const std::string& prefix,
+               double* arg) {
+  if (spec == prefix) {
+    *arg = std::nan("");
+    return true;
+  }
+  if (spec.size() < prefix.size() + 3 ||
+      spec.compare(0, prefix.size(), prefix) != 0 ||
+      spec[prefix.size()] != '(' || spec.back() != ')') {
+    return false;
+  }
+  const std::string body =
+      spec.substr(prefix.size() + 1, spec.size() - prefix.size() - 2);
+  std::size_t used = 0;
+  double value;
+  try {
+    value = std::stod(body, &used);
+  } catch (...) {
+    return false;
+  }
+  if (used != body.size()) return false;
+  *arg = value;
+  return true;
+}
+
+}  // namespace
+
+bool IsMlapSpec(const std::string& spec) {
+  double arg;
+  // Try the longer prefix first so "mlap-d(...)" is not half-matched.
+  return MatchSpec(spec, kDeadlineName, &arg) ||
+         MatchSpec(spec, kDelayName, &arg);
+}
+
+MlapParams ParseMlapSpec(const std::string& spec) {
+  MlapParams params;
+  double arg;
+  if (MatchSpec(spec, kDeadlineName, &arg)) {
+    params.deadline_variant = true;
+  } else if (MatchSpec(spec, kDelayName, &arg)) {
+    params.deadline_variant = false;
+  } else {
+    throw std::invalid_argument("ParseMlapSpec: not an MLAP spec: " + spec);
+  }
+  if (!std::isnan(arg)) {
+    if (!(arg > 0)) {
+      throw std::invalid_argument(
+          "ParseMlapSpec: delay cost must be positive in " + spec);
+    }
+    params.delay_cost = arg;
+  }
+  return params;
+}
+
+std::string MlapSpecString(const MlapParams& params) {
+  std::string name = params.deadline_variant ? kDeadlineName : kDelayName;
+  if (params.delay_cost != 1.0) {
+    // Trim trailing zeros so mlap(0.5) round-trips as written.
+    std::string arg = std::to_string(params.delay_cost);
+    arg.erase(arg.find_last_not_of('0') + 1);
+    if (!arg.empty() && arg.back() == '.') arg.pop_back();
+    name += "(" + arg + ")";
+  }
+  return name;
+}
+
+std::vector<double> MlapServiceCosts(const Tree& tree) {
+  std::vector<double> costs(tree.size());
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    costs[u] = 2.0 * (static_cast<double>(tree.Distance(u, 0)) + 1.0);
+  }
+  return costs;
+}
+
+namespace {
+
+struct NodeQueue {
+  std::vector<std::int64_t> arrivals;  // nondecreasing ticks
+  std::int64_t sum = 0;
+};
+
+// Earliest integer tick at which `q` at node `u` satisfies its flush rule.
+std::int64_t TriggerTick(const NodeQueue& q, double service_cost,
+                         const MlapParams& params) {
+  if (params.deadline_variant) {
+    return q.arrivals.front() +
+           static_cast<std::int64_t>(
+               std::ceil(service_cost / params.delay_cost));
+  }
+  // Delay rule: smallest T with k*T - sum >= C_u / delay_cost, clamped so
+  // no queued request gets a negative wait.
+  const double k = static_cast<double>(q.arrivals.size());
+  const std::int64_t t = static_cast<std::int64_t>(std::ceil(
+      (service_cost / params.delay_cost + static_cast<double>(q.sum)) / k));
+  return std::max(t, q.arrivals.back());
+}
+
+}  // namespace
+
+MlapPlan BuildMlapPlan(const Tree& tree, const RequestSequence& sigma,
+                       const MlapParams& params,
+                       const std::vector<std::int64_t>* arrival_ticks) {
+  if (!(params.delay_cost > 0)) {
+    throw std::invalid_argument("BuildMlapPlan: delay_cost must be positive");
+  }
+  if (arrival_ticks != nullptr) {
+    if (arrival_ticks->size() != sigma.size()) {
+      throw std::invalid_argument(
+          "BuildMlapPlan: arrival_ticks size does not match sigma");
+    }
+    for (std::size_t i = 1; i < arrival_ticks->size(); ++i) {
+      if ((*arrival_ticks)[i] < (*arrival_ticks)[i - 1]) {
+        throw std::invalid_argument(
+            "BuildMlapPlan: arrival_ticks must be nondecreasing");
+      }
+    }
+  }
+
+  const std::vector<double> costs = MlapServiceCosts(tree);
+  std::vector<NodeQueue> queues(tree.size());
+  // Nonempty queues keyed by (trigger tick, node): the next flush is the
+  // smallest element, ties broken by node id for determinism.
+  std::set<std::pair<std::int64_t, NodeId>> pending;
+  std::vector<std::int64_t> trigger_of(tree.size(), 0);
+
+  MlapPlan plan;
+  plan.batched.reserve(sigma.size());
+  plan.waits.reserve(sigma.size());
+
+  const auto tick_of = [&](std::size_t i) {
+    return arrival_ticks != nullptr ? (*arrival_ticks)[i]
+                                    : static_cast<std::int64_t>(i);
+  };
+
+  const auto flush_one = [&](NodeId u, std::int64_t now) {
+    NodeQueue& q = queues[u];
+    for (const std::int64_t a : q.arrivals) {
+      plan.waits.push_back(now - a);
+      plan.total_wait += now - a;
+    }
+    plan.served += static_cast<std::int64_t>(q.arrivals.size());
+    plan.batched.push_back(Request::Combine(u));
+    ++plan.flushes;
+    q.arrivals.clear();
+    q.sum = 0;
+    pending.erase({trigger_of[u], u});
+  };
+
+  // One service: flush the trigger node; under the deadline variant the
+  // service's root path also serves every ancestor's pending queue
+  // (deepest first), and the whole cascade is priced at the deepest node.
+  const auto service = [&](NodeId u, std::int64_t now) {
+    plan.modeled_service_cost += costs[u];
+    flush_one(u, now);
+    if (params.deadline_variant) {
+      for (NodeId v = tree.RootedParent(u); v != kInvalidNode;
+           v = tree.RootedParent(v)) {
+        if (!queues[v].arrivals.empty()) flush_one(v, now);
+      }
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < sigma.size() || !pending.empty()) {
+    const bool have_arrival = i < sigma.size();
+    // Requests arriving at tick T are processed before flushes at T, so a
+    // request landing exactly at a node's trigger joins that batch.
+    if (have_arrival &&
+        (pending.empty() || tick_of(i) <= pending.begin()->first)) {
+      const std::int64_t now = tick_of(i);
+      const Request& r = sigma[i];
+      ++i;
+      if (r.op == ReqType::kWrite) {
+        plan.batched.push_back(r);
+        continue;
+      }
+      NodeQueue& q = queues[r.node];
+      if (!q.arrivals.empty()) pending.erase({trigger_of[r.node], r.node});
+      q.arrivals.push_back(now);
+      q.sum += now;
+      trigger_of[r.node] = TriggerTick(q, costs[r.node], params);
+      pending.insert({trigger_of[r.node], r.node});
+    } else {
+      const auto [now, u] = *pending.begin();
+      service(u, now);
+    }
+  }
+
+  plan.modeled_total_cost =
+      plan.modeled_service_cost +
+      params.delay_cost * static_cast<double>(plan.total_wait);
+  return plan;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,97 @@
+// MLAP: multi-level aggregation with delays/deadlines, as an online
+// delay-and-batch policy family beside RWW.
+//
+// The Multi-Level Aggregation Problem (Bienkowski et al., "Online Algorithms
+// for Multi-Level Aggregation") generalizes TCP acknowledgement to trees:
+// requests arrive over time at tree nodes, each service transmits along a
+// rooted path and serves every pending request on it, and the algorithm pays
+// service cost plus accumulated delay. Buchbinder-Feldman-Naor-Talmon give
+// the O(depth)-competitive refinement for the deadline variant (MLAP-D).
+//
+// In this codebase MLAP is NOT a new wire protocol or a new LeasePolicy
+// subclass: it is a deterministic *request-scheduling transform* layered in
+// front of the unmodified Figure 1/6 mechanism. Combine requests accumulate
+// per node; when a node's accumulated delay reaches its service cost (the
+// Bienkowski delay rule) or its oldest request's deadline expires (the BFNT
+// MLAP-D rule), the node flushes: one mechanism Combine is issued, which
+// triggers the usual probe/response traffic up the path and serves every
+// combine queued there. Writes pass through untransformed. Because the
+// output is an ordinary RequestSequence executed under RWW, policy selection
+// rides the existing wire with no frame changes, and all three backends
+// (sim, runtime, net) stay bit-identical on the transformed sequence.
+//
+// Service cost model: C_u = 2 * (depth(u) + 1) — the Figure 2 ledger cost of
+// a probe/response round trip on every edge of the root->u path, plus the
+// root edge itself (so the root still has nonzero service cost and batching
+// is meaningful at every depth).
+#ifndef TREEAGG_CORE_MLAP_H_
+#define TREEAGG_CORE_MLAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+struct MlapParams {
+  // false: Bienkowski delay rule ("mlap") — node u flushes at the earliest
+  //        tick T where delay_cost * sum_i (T - a_i) >= C_u over its queue.
+  // true:  BFNT deadline rule ("mlap-d") — node u flushes when its oldest
+  //        request has waited ceil(C_u / delay_cost) ticks, and the flush
+  //        cascades to every ancestor with a nonempty queue (path sharing:
+  //        serving u's root path serves everything pending on it).
+  bool deadline_variant = false;
+  // Cost per request per tick of waiting. Larger values make delay more
+  // expensive, so batches flush sooner (the latency knob of the
+  // latency-vs-messages frontier).
+  double delay_cost = 1.0;
+
+  friend bool operator==(const MlapParams&, const MlapParams&) = default;
+};
+
+// True iff `spec` names an MLAP policy: "mlap", "mlap(c)", "mlap-d",
+// "mlap-d(c)".
+bool IsMlapSpec(const std::string& spec);
+
+// Parses an MLAP spec into its parameters. Throws std::invalid_argument on
+// anything IsMlapSpec rejects or a non-positive delay cost.
+MlapParams ParseMlapSpec(const std::string& spec);
+
+// Canonical spec string for a parameter set, e.g. "mlap-d(0.5)".
+std::string MlapSpecString(const MlapParams& params);
+
+// Per-node service cost C_u = 2 * (depth(u) + 1).
+std::vector<double> MlapServiceCosts(const Tree& tree);
+
+// The result of running the MLAP automaton over a request sequence.
+struct MlapPlan {
+  // The transformed sequence: writes in arrival order, one Combine per
+  // flush. Executing this under the RWW mechanism realizes the policy.
+  RequestSequence batched;
+  // Wait (flush tick - arrival tick) of every served combine, in service
+  // order. waits.size() == number of combines in the input sequence.
+  std::vector<std::int64_t> waits;
+  std::int64_t flushes = 0;        // combines in `batched`
+  std::int64_t served = 0;         // combines in the input sequence
+  std::int64_t total_wait = 0;     // sum of `waits`
+  // Modeled MLAP objective: sum of C_u over services (a deadline-variant
+  // cascade is one service, priced at its deepest node) ...
+  double modeled_service_cost = 0;
+  // ... plus delay_cost * total_wait.
+  double modeled_total_cost = 0;
+};
+
+// Runs the MLAP automaton. `arrival_ticks`, when given, must be
+// sigma.size() entries, nondecreasing; when null, request i arrives at
+// tick i. Deterministic: same inputs, same plan, on every backend.
+MlapPlan BuildMlapPlan(const Tree& tree, const RequestSequence& sigma,
+                       const MlapParams& params,
+                       const std::vector<std::int64_t>* arrival_ticks =
+                           nullptr);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_CORE_MLAP_H_

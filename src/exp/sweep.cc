@@ -12,8 +12,11 @@
 
 #include "analysis/competitive.h"
 #include "core/extra_policies.h"
+#include "core/mlap.h"
 #include "fault/convergence.h"
 #include "fault/schedule.h"
+#include "net/local_cluster.h"
+#include "offline/mlap_dp.h"
 #include "sim/chaos.h"
 #include "sim/system.h"
 #include "tree/generators.h"
@@ -93,6 +96,9 @@ std::vector<CellSpec> ExpandCells(const SweepSpec& spec) {
               c.seed = seed;
               c.tree_seed = CellSeed(c, /*salt=*/0x7472656583ull);
               c.workload_seed = CellSeed(c, /*salt=*/0x776f726bull);
+              // After seed derivation on purpose: the backend changes how a
+              // cell executes, never which instance it executes.
+              c.backend = spec.backend.empty() ? "sim" : spec.backend;
               cells.push_back(std::move(c));
             }
           }
@@ -109,9 +115,66 @@ CellResult RunCell(const CellSpec& cell, bool competitive) {
   const auto start = std::chrono::steady_clock::now();
   try {
     const Tree tree = MakeShape(cell.shape, cell.n, cell.tree_seed);
-    const RequestSequence sigma =
-        MakeWorkload(cell.workload, tree, cell.requests, cell.workload_seed);
-    if (cell.fault != "none") {
+    // Timed generation so MLAP cells see arrival ticks; for untimed
+    // workload names the sigma is bit-identical to MakeWorkload's.
+    const TimedWorkload timed =
+        MakeTimedWorkload(cell.workload, tree, cell.requests,
+                          cell.workload_seed);
+    RequestSequence sigma = timed.sigma;
+    if (IsMlapSpec(cell.policy)) {
+      if (competitive) {
+        throw std::invalid_argument(
+            "competitive mode prices lease policies against the Section 4 "
+            "bounds; MLAP cells carry their own offline ratio in the mlap "
+            "block instead");
+      }
+      // The MLAP transform: batch combines per the delay/deadline rule,
+      // price the plan against the offline optimum, then execute the
+      // batched sequence through the unmodified RWW mechanism below.
+      const MlapParams params = ParseMlapSpec(cell.policy);
+      MlapPlan plan = BuildMlapPlan(tree, timed.sigma, params, &timed.ticks);
+      const MlapPricing pricing =
+          PriceMlapPlan(tree, timed.sigma, params, plan, &timed.ticks);
+      result.has_mlap = true;
+      result.mlap.delay_cost = params.delay_cost;
+      result.mlap.deadline = params.deadline_variant;
+      result.mlap.flushes = plan.flushes;
+      result.mlap.served = plan.served;
+      result.mlap.total_wait = plan.total_wait;
+      result.mlap.wait = Summarize(
+          std::vector<double>(plan.waits.begin(), plan.waits.end()));
+      result.mlap.online_cost = pricing.online_cost;
+      result.mlap.offline_opt = pricing.offline_opt;
+      result.mlap.ratio = pricing.ratio;
+      sigma = std::move(plan.batched);
+    }
+    if (cell.backend == "net-local") {
+      if (competitive) {
+        throw std::invalid_argument(
+            "competitive mode computes offline sequential bounds; run it on "
+            "the sim backend");
+      }
+      if (cell.fault != "none") {
+        throw std::invalid_argument(
+            "net-local sweep cells do not take a fault schedule; use "
+            "`treeagg_cli chaos --net-local` for networked fault runs");
+      }
+      std::vector<NodeId> parent(static_cast<std::size_t>(tree.size()), 0);
+      for (NodeId u = 1; u < tree.size(); ++u) {
+        parent[static_cast<std::size_t>(u)] = tree.RootedParent(u);
+      }
+      LocalCluster::Options options;
+      options.policy = cell.policy;
+      options.ghost_logging = false;  // throughput cells: counts only
+      const NetRunResult net =
+          RunNetWorkload(parent, sigma, options, /*sequential=*/true);
+      result.counts = net.counts;
+      result.total_messages = static_cast<std::int64_t>(net.total_messages);
+      result.latency = LatencyFromHistory(net.history).combine_latency;
+    } else if (cell.backend != "sim") {
+      throw std::invalid_argument("unknown sweep backend '" + cell.backend +
+                                  "' (valid: sim, net-local)");
+    } else if (cell.fault != "none") {
       if (competitive) {
         throw std::invalid_argument(
             "competitive mode computes offline sequential bounds; it has no "
@@ -235,7 +298,10 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                              ? result.serial_seconds / result.wall_seconds
                              : 0.0;
   out << "{\n";
-  out << "  \"schema\": \"treeagg-sweep-v4\",\n";
+  out << "  \"schema\": \"treeagg-sweep-v5\",\n";
+  out << "  \"backend\": \"";
+  JsonEscape(out, spec.backend.empty() ? "sim" : spec.backend);
+  out << "\",\n";
   out << "  \"threads\": " << result.threads_used << ",\n";
   out << "  \"competitive\": " << (spec.competitive ? "true" : "false")
       << ",\n";
@@ -267,6 +333,8 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
     JsonEscape(out, c.spec.policy);
     out << "\", \"requests\": " << c.spec.requests << ", \"fault\": \"";
     JsonEscape(out, c.spec.fault);
+    out << "\", \"backend\": \"";
+    JsonEscape(out, c.spec.backend);
     out << "\", \"seed\": " << c.spec.seed
         << ", \"tree_seed\": " << c.spec.tree_seed
         << ", \"workload_seed\": " << c.spec.workload_seed << ",\n";
@@ -289,6 +357,24 @@ void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
         << ", \"max\": " << c.latency.max << "},\n";
     out << "     \"wall_seconds\": " << c.wall_seconds
         << ", \"requests_per_sec\": " << c.requests_per_sec;
+    if (c.has_mlap) {
+      out << ",\n     \"mlap\": {\"delay_cost\": " << c.mlap.delay_cost
+          << ", \"deadline\": " << (c.mlap.deadline ? "true" : "false")
+          << ", \"flushes\": " << c.mlap.flushes
+          << ", \"served\": " << c.mlap.served
+          << ", \"total_wait\": " << c.mlap.total_wait
+          << ", \"wait\": {\"count\": " << c.mlap.wait.count
+          << ", \"mean\": " << c.mlap.wait.mean
+          << ", \"p50\": " << c.mlap.wait.p50
+          << ", \"p90\": " << c.mlap.wait.p90
+          << ", \"p95\": " << c.mlap.wait.p95
+          << ", \"p99\": " << c.mlap.wait.p99
+          << ", \"min\": " << c.mlap.wait.min
+          << ", \"max\": " << c.mlap.wait.max << "}"
+          << ", \"online_cost\": " << c.mlap.online_cost
+          << ", \"offline_opt\": " << c.mlap.offline_opt
+          << ", \"ratio\": " << c.mlap.ratio << "}";
+    }
     if (spec.competitive) {
       out << ",\n     \"competitive\": {\"ratio_vs_lease_opt\": "
           << c.ratio_vs_lease_opt
@@ -500,7 +586,8 @@ SweepJson ReadSweepJson(std::istream& in) {
   if (report.schema != "treeagg-sweep-v1" &&
       report.schema != "treeagg-sweep-v2" &&
       report.schema != "treeagg-sweep-v3" &&
-      report.schema != "treeagg-sweep-v4") {
+      report.schema != "treeagg-sweep-v4" &&
+      report.schema != "treeagg-sweep-v5") {
     throw std::invalid_argument("sweep json: unknown schema '" +
                                 report.schema + "'");
   }
@@ -540,6 +627,9 @@ SweepJson ReadSweepJson(std::istream& in) {
     // Pre-v3 files have no fault axis: every cell was fault-free.
     const std::string fault = cell.Str("fault");
     c.spec.fault = fault.empty() ? "none" : fault;
+    // Pre-v5 files have no backend field: every cell ran on the simulator.
+    const std::string backend = cell.Str("backend");
+    c.spec.backend = backend.empty() ? "sim" : backend;
     c.spec.seed = static_cast<std::uint64_t>(cell.Num("seed"));
     c.ok = cell.Bool("ok", true);
     c.converged = cell.Bool("converged", true);
@@ -563,6 +653,27 @@ SweepJson ReadSweepJson(std::istream& in) {
       c.latency.p99 = l->Num("p99");
       c.latency.min = l->Num("min");
       c.latency.max = l->Num("max");
+    }
+    if (const JsonValue* m = cell.Find("mlap")) {
+      c.has_mlap = true;
+      c.mlap.delay_cost = m->Num("delay_cost", 1.0);
+      c.mlap.deadline = m->Bool("deadline");
+      c.mlap.flushes = static_cast<std::int64_t>(m->Num("flushes"));
+      c.mlap.served = static_cast<std::int64_t>(m->Num("served"));
+      c.mlap.total_wait = static_cast<std::int64_t>(m->Num("total_wait"));
+      if (const JsonValue* w = m->Find("wait")) {
+        c.mlap.wait.count = static_cast<std::size_t>(w->Num("count"));
+        c.mlap.wait.mean = w->Num("mean");
+        c.mlap.wait.p50 = w->Num("p50");
+        c.mlap.wait.p90 = w->Num("p90");
+        c.mlap.wait.p95 = w->Num("p95");
+        c.mlap.wait.p99 = w->Num("p99");
+        c.mlap.wait.min = w->Num("min");
+        c.mlap.wait.max = w->Num("max");
+      }
+      c.mlap.online_cost = m->Num("online_cost");
+      c.mlap.offline_opt = m->Num("offline_opt");
+      c.mlap.ratio = m->Num("ratio", 1.0);
     }
     if (const JsonValue* comp = cell.Find("competitive")) {
       c.ratio_vs_lease_opt = comp->Num("ratio_vs_lease_opt");

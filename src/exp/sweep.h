@@ -40,6 +40,12 @@ struct SweepSpec {
   std::size_t requests = 1000;         // workload length per cell
   bool competitive = false;  // also compute the offline Section 4 bounds
   int threads = 1;           // 0 = std::thread::hardware_concurrency()
+  // Execution backend for every cell: "sim" (the sequential in-process
+  // driver, the default) or "net-local" (a loopback-TCP LocalCluster per
+  // cell, driven sequentially — the same wire the daemons speak). The
+  // backend is NOT folded into the derived cell seeds, so a cell's tree
+  // and workload are identical on both backends by construction.
+  std::string backend = "sim";
 };
 
 // One point of the cross product, with its derived per-cell RNG seeds.
@@ -56,6 +62,24 @@ struct CellSpec {
   std::uint64_t seed = 0;           // the replicate seed from SweepSpec
   std::uint64_t tree_seed = 0;      // derived: hash of identity
   std::uint64_t workload_seed = 0;  // derived: independent hash of identity
+  // Execution backend (from SweepSpec::backend); not part of the seed
+  // derivation, so sim and net-local cells see identical instances.
+  std::string backend = "sim";
+};
+
+// Per-cell accounting for MLAP (delay-and-batch) policy cells: the plan's
+// batching statistics and its modeled cost priced against the offline
+// delay-cost optimum (offline/mlap_dp.h).
+struct MlapCellStats {
+  double delay_cost = 1.0;
+  bool deadline = false;            // true for the mlap-d variant
+  std::int64_t flushes = 0;         // mechanism combines issued
+  std::int64_t served = 0;          // combine requests served
+  std::int64_t total_wait = 0;      // sum of per-request waits (ticks)
+  SummaryStats wait;                // per-request wait distribution
+  double online_cost = 0;           // modeled service + delay cost
+  double offline_opt = 0;           // per-node offline batching optimum
+  double ratio = 1;                 // online / offline
 };
 
 struct CellResult {
@@ -76,6 +100,10 @@ struct CellResult {
   // Fault cells only (spec.fault != "none"): the ConvergenceChecker's
   // verdict. Fault-free cells keep the default true.
   bool converged = true;
+  // MLAP cells only (policy "mlap"/"mlap-d" specs): batching stats and the
+  // per-cell competitive ratio vs the offline delay-cost optimum.
+  bool has_mlap = false;
+  MlapCellStats mlap;
   // Per-cell failure capture: a throwing cell (bad spec, etc.) is reported
   // instead of tearing down the sweep.
   bool ok = true;
@@ -104,18 +132,21 @@ CellResult RunCell(const CellSpec& cell, bool competitive);
 // Runs the whole sweep across spec.threads workers.
 SweepResult RunSweep(const SweepSpec& spec);
 
-// Machine-readable report, schema "treeagg-sweep-v4" (v2 added the
+// Machine-readable report, schema "treeagg-sweep-v5" (v2 added the
 // per-cell combine-latency percentiles; v3 the fault axis with the
 // per-cell converged verdict; v4 the aggregate `metrics` block with the
-// Figure-2 message-kind totals summed across cells). See
-// docs/EXPERIMENTS.md for the field-by-field description.
+// Figure-2 message-kind totals summed across cells; v5 the per-cell
+// "backend" field and the per-cell "mlap" block for MLAP policy cells).
+// See docs/EXPERIMENTS.md for the field-by-field description.
 void WriteSweepJson(std::ostream& out, const SweepSpec& spec,
                     const SweepResult& result);
 
-// A sweep report read back from JSON. Accepts schema v1 through v4:
+// A sweep report read back from JSON. Accepts schema v1 through v5:
 // v1 files have no latency block, so those cells keep zeroed SummaryStats;
 // pre-v3 files have no fault axis, so cells read back as fault "none";
-// pre-v4 files have no metrics block (has_metrics stays false).
+// pre-v4 files have no metrics block (has_metrics stays false); pre-v5
+// files have no backend field (cells read back as "sim") and no mlap
+// blocks (has_mlap stays false).
 struct SweepJson {
   std::string schema;
   int threads = 0;

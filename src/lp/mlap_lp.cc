@@ -1,0 +1,87 @@
+#include "lp/mlap_lp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace treeagg {
+
+double MlapBatchLpLowerBound(const std::vector<std::int64_t>& arrivals,
+                             double service_cost, double delay_cost) {
+  const std::size_t k = arrivals.size();
+  if (k == 0) return 0;
+  std::vector<std::int64_t> times = arrivals;
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  const std::size_t m = times.size();
+
+  // Variable layout: x_t at [0, m), then y_{i,t} at m + i*m + t for every
+  // (i, t) pair; pairs with t < a_i are pinned to zero by an x-free <= 0
+  // row below (cheaper than a ragged layout).
+  const std::size_t n = m + k * m;
+  const auto y_index = [m](std::size_t i, std::size_t t) {
+    return m + i * m + t;
+  };
+
+  LpProblem lp;
+  lp.objective.assign(n, 0.0);
+  for (std::size_t t = 0; t < m; ++t) lp.objective[t] = service_cost;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t t = 0; t < m; ++t) {
+      lp.objective[y_index(i, t)] =
+          delay_cost * static_cast<double>(times[t] - arrivals[i]);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    // Coverage: -sum_{t >= a_i} y_{i,t} <= -1.
+    std::vector<double> cover(n, 0.0);
+    for (std::size_t t = 0; t < m; ++t) {
+      if (times[t] < arrivals[i]) {
+        // y_{i,t} <= 0: request i cannot be served before it arrives.
+        std::vector<double> zero(n, 0.0);
+        zero[y_index(i, t)] = 1.0;
+        lp.AddRow(std::move(zero), 0.0);
+        continue;
+      }
+      cover[y_index(i, t)] = -1.0;
+      // Capacity: y_{i,t} - x_t <= 0.
+      std::vector<double> cap(n, 0.0);
+      cap[y_index(i, t)] = 1.0;
+      cap[t] = -1.0;
+      lp.AddRow(std::move(cap), 0.0);
+    }
+    lp.AddRow(std::move(cover), -1.0);
+  }
+
+  const LpSolution solution = SolveLp(lp);
+  if (!solution.optimal()) {
+    throw std::runtime_error("MlapBatchLpLowerBound: LP did not solve");
+  }
+  return solution.value;
+}
+
+double MlapLpLowerBound(const Tree& tree, const RequestSequence& sigma,
+                        const MlapParams& params,
+                        const std::vector<std::int64_t>* arrival_ticks) {
+  if (arrival_ticks != nullptr && arrival_ticks->size() != sigma.size()) {
+    throw std::invalid_argument(
+        "MlapLpLowerBound: arrival_ticks size does not match sigma");
+  }
+  const std::vector<double> costs = MlapServiceCosts(tree);
+  std::vector<std::vector<std::int64_t>> per_node(tree.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    if (sigma[i].op != ReqType::kCombine) continue;
+    per_node[sigma[i].node].push_back(
+        arrival_ticks != nullptr ? (*arrival_ticks)[i]
+                                 : static_cast<std::int64_t>(i));
+  }
+  double total = 0;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (per_node[u].empty()) continue;
+    total += MlapBatchLpLowerBound(per_node[u], costs[u], params.delay_cost);
+  }
+  return total;
+}
+
+}  // namespace treeagg

@@ -1,0 +1,42 @@
+// LP relaxation lower bound for the per-node MLAP batching problem.
+//
+// For one node with combine arrivals a_1 <= ... <= a_k, candidate service
+// times are the distinct arrival ticks (serving between arrivals only adds
+// delay). Variables: x_t (fractional service at time t) and y_{i,t} for
+// t >= a_i (fraction of request i served at t).
+//
+//   minimize    sum_t C * x_t + sum_{i,t} delay_cost * (t - a_i) * y_{i,t}
+//   subject to  sum_{t >= a_i} y_{i,t} >= 1        (every request served)
+//               y_{i,t} <= x_t                     (only at open services)
+//               x, y >= 0
+//
+// Every integral batching plan is feasible, so the LP value is a lower
+// bound on OfflineBatchOpt; tests pin LP <= DP <= brute force. Solved with
+// the from-scratch simplex in lp/simplex.h — only viable for small k, which
+// is all the pricing tests need.
+#ifndef TREEAGG_LP_MLAP_LP_H_
+#define TREEAGG_LP_MLAP_LP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mlap.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+// LP lower bound on OfflineBatchOpt for one node's arrivals.
+double MlapBatchLpLowerBound(const std::vector<std::int64_t>& arrivals,
+                             double service_cost, double delay_cost);
+
+// Sum of per-node LP bounds over sigma: a lower bound on the decoupled
+// offline optimum OfflineMlapOptimum(...).cost.
+double MlapLpLowerBound(const Tree& tree, const RequestSequence& sigma,
+                        const MlapParams& params,
+                        const std::vector<std::int64_t>* arrival_ticks =
+                            nullptr);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_LP_MLAP_LP_H_

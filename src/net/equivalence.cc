@@ -9,6 +9,7 @@
 #include "consistency/strict_checker.h"
 #include "core/aggregate_op.h"
 #include "core/extra_policies.h"
+#include "core/mlap.h"
 #include "net/local_cluster.h"
 #include "runtime/actor_runtime.h"
 #include "sim/system.h"
@@ -18,9 +19,16 @@ namespace treeagg {
 namespace {
 
 // Every spec run appends one Combine at node 0 so even write-only
-// workloads have a comparable final aggregate.
+// workloads have a comparable final aggregate. MLAP policies first apply
+// the delay-and-batch transform (core/mlap.h) — once, identically, for
+// every backend — so the three backends execute the same batched sequence
+// through the same RWW mechanism and must stay bit-identical.
 RequestSequence WithFinalCombine(const EquivalenceSpec& spec) {
   RequestSequence sigma = spec.sigma;
+  if (IsMlapSpec(spec.policy)) {
+    Tree tree(spec.tree_parent);
+    sigma = BuildMlapPlan(tree, sigma, ParseMlapSpec(spec.policy)).batched;
+  }
   sigma.push_back(Request::Combine(0));
   return sigma;
 }

@@ -1,0 +1,113 @@
+#include "offline/mlap_dp.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace treeagg {
+
+double OfflineBatchOpt(const std::vector<std::int64_t>& arrivals,
+                       double service_cost, double delay_cost,
+                       std::int64_t* services) {
+  const std::size_t k = arrivals.size();
+  if (services != nullptr) *services = 0;
+  if (k == 0) return 0;
+  for (std::size_t i = 1; i < k; ++i) {
+    if (arrivals[i] < arrivals[i - 1]) {
+      throw std::invalid_argument(
+          "OfflineBatchOpt: arrivals must be nondecreasing");
+    }
+  }
+  // prefix[i] = sum of the first i arrivals. A batch of arrivals (i..j]
+  // (0-based half-open over prefix indices) served at arrivals[j-1] incurs
+  // delay (j - i) * a_{j-1} - (prefix[j] - prefix[i]).
+  std::vector<double> prefix(k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    prefix[i + 1] = prefix[i] + static_cast<double>(arrivals[i]);
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> opt(k + 1, inf);
+  std::vector<std::int64_t> batches(k + 1, 0);
+  opt[0] = 0;
+  for (std::size_t j = 1; j <= k; ++j) {
+    const double last = static_cast<double>(arrivals[j - 1]);
+    for (std::size_t i = 0; i < j; ++i) {
+      const double wait =
+          static_cast<double>(j - i) * last - (prefix[j] - prefix[i]);
+      const double cost = opt[i] + service_cost + delay_cost * wait;
+      if (cost < opt[j]) {
+        opt[j] = cost;
+        batches[j] = batches[i] + 1;
+      }
+    }
+  }
+  if (services != nullptr) *services = batches[k];
+  return opt[k];
+}
+
+double OfflineBatchOptBruteForce(const std::vector<std::int64_t>& arrivals,
+                                 double service_cost, double delay_cost) {
+  const std::size_t k = arrivals.size();
+  if (k == 0) return 0;
+  if (k > 20) {
+    throw std::invalid_argument("OfflineBatchOptBruteForce: too many arrivals");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  // Bit i of `mask` set = a batch boundary after arrival i.
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (k - 1)); ++mask) {
+    double cost = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const bool boundary = i + 1 == k || ((mask >> i) & 1) != 0;
+      if (!boundary) continue;
+      cost += service_cost;
+      for (std::size_t l = start; l <= i; ++l) {
+        cost += delay_cost * static_cast<double>(arrivals[i] - arrivals[l]);
+      }
+      start = i + 1;
+    }
+    if (cost < best) best = cost;
+  }
+  return best;
+}
+
+MlapOfflineResult OfflineMlapOptimum(
+    const Tree& tree, const RequestSequence& sigma, const MlapParams& params,
+    const std::vector<std::int64_t>* arrival_ticks) {
+  if (arrival_ticks != nullptr && arrival_ticks->size() != sigma.size()) {
+    throw std::invalid_argument(
+        "OfflineMlapOptimum: arrival_ticks size does not match sigma");
+  }
+  const std::vector<double> costs = MlapServiceCosts(tree);
+  std::vector<std::vector<std::int64_t>> per_node(tree.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    if (sigma[i].op != ReqType::kCombine) continue;
+    per_node[sigma[i].node].push_back(
+        arrival_ticks != nullptr ? (*arrival_ticks)[i]
+                                 : static_cast<std::int64_t>(i));
+  }
+  MlapOfflineResult result;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (per_node[u].empty()) continue;
+    std::int64_t services = 0;
+    result.cost +=
+        OfflineBatchOpt(per_node[u], costs[u], params.delay_cost, &services);
+    result.services += services;
+  }
+  return result;
+}
+
+MlapPricing PriceMlapPlan(const Tree& tree, const RequestSequence& sigma,
+                          const MlapParams& params, const MlapPlan& plan,
+                          const std::vector<std::int64_t>* arrival_ticks) {
+  const MlapOfflineResult offline =
+      OfflineMlapOptimum(tree, sigma, params, arrival_ticks);
+  MlapPricing pricing;
+  pricing.online_cost = plan.modeled_total_cost;
+  pricing.offline_opt = offline.cost;
+  pricing.offline_services = offline.services;
+  pricing.ratio =
+      offline.cost > 0 ? plan.modeled_total_cost / offline.cost : 1.0;
+  return pricing;
+}
+
+}  // namespace treeagg

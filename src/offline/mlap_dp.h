@@ -1,0 +1,69 @@
+// Offline optimum for MLAP delay-cost instances, and pricing of online
+// MLAP plans against it.
+//
+// The comparison baseline is the *per-node decoupled* offline optimum: each
+// node batches its own combine arrivals optimally, paying its service cost
+// C_u per batch plus delay_cost per request per tick of waiting, and a
+// batch is served at its last arrival (serving later only adds delay).
+// This is exactly the offline counterpart of the per-node delay rule the
+// online "mlap" variant plays against, and the classic single-node
+// TCP-acknowledgement DP solved independently per node. For the
+// path-sharing deadline variant ("mlap-d") the true coupled optimum can
+// only be cheaper than this sum, so reported ratios for mlap-d are
+// conservative (an upper bound on the online cost would look even better
+// against the coupled optimum's lower cost... i.e. ratios here understate
+// nothing). An LP relaxation lower bound lives in lp/mlap_lp.h; tests pin
+// LP <= DP <= brute force.
+#ifndef TREEAGG_OFFLINE_MLAP_DP_H_
+#define TREEAGG_OFFLINE_MLAP_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mlap.h"
+#include "tree/topology.h"
+#include "workload/request.h"
+
+namespace treeagg {
+
+// Optimal batching of one node's combine arrivals (nondecreasing ticks):
+// partition into consecutive batches, each served at its last arrival,
+// paying service_cost per batch + delay_cost * wait per request. O(k^2).
+// When `services` is non-null it receives the optimal batch count.
+double OfflineBatchOpt(const std::vector<std::int64_t>& arrivals,
+                       double service_cost, double delay_cost,
+                       std::int64_t* services = nullptr);
+
+// Exhaustive partition search (2^(k-1) partitions; tests only, k <= ~14).
+double OfflineBatchOptBruteForce(const std::vector<std::int64_t>& arrivals,
+                                 double service_cost, double delay_cost);
+
+struct MlapOfflineResult {
+  double cost = 0;              // sum of per-node batching optima
+  std::int64_t services = 0;    // total batches in the offline plan
+};
+
+// The per-node decoupled offline optimum for sigma on this tree. Writes
+// carry no delay cost and are ignored; arrival_ticks defaults to request
+// index (matching BuildMlapPlan).
+MlapOfflineResult OfflineMlapOptimum(
+    const Tree& tree, const RequestSequence& sigma, const MlapParams& params,
+    const std::vector<std::int64_t>* arrival_ticks = nullptr);
+
+struct MlapPricing {
+  double online_cost = 0;       // plan.modeled_total_cost
+  double offline_opt = 0;       // OfflineMlapOptimum cost
+  double ratio = 1;             // online / offline (1 when offline is 0)
+  std::int64_t offline_services = 0;
+};
+
+// Prices an online plan (BuildMlapPlan output) against the offline optimum
+// on the same instance.
+MlapPricing PriceMlapPlan(const Tree& tree, const RequestSequence& sigma,
+                          const MlapParams& params, const MlapPlan& plan,
+                          const std::vector<std::int64_t>* arrival_ticks =
+                              nullptr);
+
+}  // namespace treeagg
+
+#endif  // TREEAGG_OFFLINE_MLAP_DP_H_

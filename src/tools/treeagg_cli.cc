@@ -5,7 +5,9 @@
 //          single-process experiment with a cost / consistency /
 //          competitiveness report; --mode seq|concurrent|threads
 //   sweep  parallel cross-product of shapes x sizes x workloads x
-//          policies x faults; writes a treeagg-sweep-v4 JSON report
+//          policies x faults; writes a treeagg-sweep-v5 JSON report
+//          (--backend net-local runs every cell on a loopback-TCP
+//          cluster instead of the sequential simulator)
 //   serve  one node daemon of the networked backend:
 //          treeagg_cli serve --cluster FILE --daemon ID [--state-dir DIR]
 //          (with --state-dir the daemon snapshots its durable state to
@@ -57,7 +59,9 @@
 #include "analysis/trace_export.h"
 #include "consistency/causal_checker.h"
 #include "core/extra_policies.h"
+#include "core/mlap.h"
 #include "exp/sweep.h"
+#include "offline/mlap_dp.h"
 #include "fault/convergence.h"
 #include "fault/schedule.h"
 #include "net/chaos.h"
@@ -124,6 +128,20 @@ bool WantsHelp(int argc, char** argv, int first = 2) {
     if (IsHelpFlag(argv[i])) return true;
   }
   return false;
+}
+
+// Validates a --policy spec up front, mirroring the chaos --schedule
+// behavior: an unknown spec exits 2 with the valid-spec list on stderr
+// instead of surfacing as a generic runtime error.
+bool CheckPolicySpec(const std::string& spec) {
+  try {
+    PolicyBySpec(spec);
+    return true;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: bad --policy '" << spec << "': " << e.what()
+              << "\nvalid policies: " << PolicySpecHelp() << "\n";
+    return false;
+  }
 }
 
 bool Parse(int argc, char** argv, CliOptions* options) {
@@ -306,6 +324,56 @@ RequestSequence LoadOrMakeWorkload(const CliOptions& options,
   return sigma;
 }
 
+// Timed counterpart for MLAP policies: generator names yield arrival
+// ticks, and a --workload-file is read with the timed (v2) reader, which
+// accepts plain v1 files too (requests then arrive one per tick).
+TimedWorkload LoadOrMakeTimedWorkload(const CliOptions& options,
+                                      const Tree& tree) {
+  if (options.workload_file.empty()) {
+    return MakeTimedWorkload(options.workload, tree, options.len,
+                             options.seed + 7);
+  }
+  std::ifstream in(options.workload_file);
+  if (!in) {
+    throw std::invalid_argument("cannot open workload file " +
+                                options.workload_file);
+  }
+  TimedWorkload timed = ReadTimedWorkload(in);
+  for (const Request& r : timed.sigma) {
+    if (r.node >= tree.size()) {
+      throw std::invalid_argument("workload references node " +
+                                  std::to_string(r.node) +
+                                  " outside the tree");
+    }
+  }
+  return timed;
+}
+
+// Applies the MLAP delay-and-batch transform to a timed workload and
+// prints the plan's accounting, including the per-cell competitive ratio
+// against the offline delay-cost optimum. Returns the batched sequence the
+// mechanism should execute.
+RequestSequence ApplyMlapTransform(const Tree& tree,
+                                   const TimedWorkload& timed,
+                                   const std::string& policy_spec) {
+  const MlapParams params = ParseMlapSpec(policy_spec);
+  MlapPlan plan = BuildMlapPlan(tree, timed.sigma, params, &timed.ticks);
+  const MlapPricing pricing =
+      PriceMlapPlan(tree, timed.sigma, params, plan, &timed.ticks);
+  TextTable table({"mlap", "value"});
+  table.AddRow({"variant", params.deadline_variant ? "deadline (mlap-d)"
+                                                   : "delay (mlap)"});
+  table.AddRow({"delay cost / tick", Fmt(params.delay_cost, 3)});
+  table.AddRow({"combines served", std::to_string(plan.served)});
+  table.AddRow({"mechanism flushes", std::to_string(plan.flushes)});
+  table.AddRow({"total wait (ticks)", std::to_string(plan.total_wait)});
+  table.AddRow({"modeled online cost", Fmt(pricing.online_cost, 1)});
+  table.AddRow({"offline delay-cost OPT", Fmt(pricing.offline_opt, 1)});
+  table.AddRow({"ratio vs offline OPT", Fmt(pricing.ratio, 3)});
+  std::cout << table.ToString() << "\n";
+  return std::move(plan.batched);
+}
+
 // --- sweep subcommand ---------------------------------------------------
 //
 //   treeagg_cli sweep [--shapes S1,S2] [--sizes N1,N2] [--workloads W1,W2]
@@ -340,7 +408,8 @@ void PrintSweepUsage(std::ostream& out, const char* argv0) {
       << " sweep [--shapes S1,S2,..] [--sizes N1,N2,..]"
          " [--workloads W1,..] [--policies P1,..] [--seeds X1,..]"
          " [--faults none,drops,..] [--len L] [--threads T]"
-         " [--competitive] [--out FILE] [--trace-out FILE]\n";
+         " [--backend sim|net-local] [--competitive] [--out FILE]"
+         " [--trace-out FILE]\n";
 }
 
 int SweepUsage(const char* argv0) {
@@ -391,6 +460,8 @@ int SweepMain(int argc, char** argv) {
       spec.requests = static_cast<std::size_t>(std::stoul(value));
     } else if (arg == "--threads" && (value = next())) {
       spec.threads = static_cast<int>(std::stol(value));
+    } else if (arg == "--backend" && (value = next())) {
+      spec.backend = value;
     } else if (arg == "--out" && (value = next())) {
       out_file = value;
     } else if (arg == "--trace-out" && (value = next())) {
@@ -403,6 +474,14 @@ int SweepMain(int argc, char** argv) {
       spec.policies.empty() || spec.seeds.empty() || spec.faults.empty()) {
     std::cerr << "error: sweep spec expands to zero cells (empty axis)\n";
     return 2;
+  }
+  if (spec.backend != "sim" && spec.backend != "net-local") {
+    std::cerr << "error: bad --backend '" << spec.backend
+              << "' (valid: sim, net-local)\n";
+    return 2;
+  }
+  for (const std::string& policy : spec.policies) {
+    if (!CheckPolicySpec(policy)) return 2;
   }
   const SweepResult result = RunSweep(spec);
   if (!trace_file.empty()) {
@@ -661,6 +740,7 @@ int DriveMain(int argc, char** argv) {
   if (probe_via != "mechanism" && probe_via != "snapshot") {
     return DriveUsage();
   }
+  if (!CheckPolicySpec(local.policy)) return 2;
   const ProbeVia via =
       probe_via == "snapshot" ? ProbeVia::kSnapshot : ProbeVia::kMechanism;
 
@@ -682,7 +762,19 @@ int DriveMain(int argc, char** argv) {
     for (NodeId u = 1; u < tree.size(); ++u) {
       parent[static_cast<std::size_t>(u)] = tree.RootedParent(u);
     }
-    const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
+    RequestSequence sigma;
+    if (IsMlapSpec(local.policy)) {
+      // The driver applies the delay-and-batch transform; daemons carry
+      // the spec string but run the plain RWW mechanism, so nothing new
+      // rides the wire.
+      const TimedWorkload timed =
+          MakeTimedWorkload(workload, tree, len, seed + 7);
+      sigma = BuildMlapPlan(tree, timed.sigma,
+                            ParseMlapSpec(local.policy), &timed.ticks)
+                  .batched;
+    } else {
+      sigma = MakeWorkload(workload, tree, len, seed + 7);
+    }
     std::cout << "tree: " << tree.Describe() << "\nworkload: " << workload
               << " x" << sigma.size() << ", policy: " << local.policy
               << ", op: " << local.op << ", daemons: " << local.daemons
@@ -721,7 +813,16 @@ int DriveMain(int argc, char** argv) {
   }
   const ClusterConfig config = ParseClusterConfig(in);
   const Tree tree(config.tree_parent);
-  const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
+  RequestSequence sigma;
+  if (IsMlapSpec(config.policy)) {
+    const TimedWorkload timed = MakeTimedWorkload(workload, tree, len,
+                                                  seed + 7);
+    sigma = BuildMlapPlan(tree, timed.sigma, ParseMlapSpec(config.policy),
+                          &timed.ticks)
+                .batched;
+  } else {
+    sigma = MakeWorkload(workload, tree, len, seed + 7);
+  }
   NetDriver driver(config);
   driver.Connect();
   std::vector<query::ServedQuery> queries;
@@ -853,6 +954,7 @@ int ChaosMain(int argc, char** argv) {
     }
   }
   if (backend != "sim" && backend != "net-local") return ChaosUsage();
+  if (!CheckPolicySpec(policy)) return 2;
 
   // An unknown preset (or malformed spec) must not fall through to the
   // generic top-level handler: name the valid presets so the fix is
@@ -867,7 +969,16 @@ int ChaosMain(int argc, char** argv) {
     return 2;
   }
   const Tree tree = MakeShape(shape, n, seed);
-  const RequestSequence sigma = MakeWorkload(workload, tree, len, seed + 7);
+  RequestSequence sigma;
+  if (IsMlapSpec(policy)) {
+    const TimedWorkload timed = MakeTimedWorkload(workload, tree, len,
+                                                  seed + 7);
+    sigma = BuildMlapPlan(tree, timed.sigma, ParseMlapSpec(policy),
+                          &timed.ticks)
+                .batched;
+  } else {
+    sigma = MakeWorkload(workload, tree, len, seed + 7);
+  }
   const AggregateOp& op = OpByName(op_name);
 
   std::cout << "tree: " << tree.Describe() << "\nworkload: " << workload
@@ -1174,18 +1285,40 @@ int Main(int argc, char** argv) {
   if (!Parse(argc - arg_offset, argv + arg_offset, &options)) {
     return Usage(argv[0]);
   }
+  if (!CheckPolicySpec(options.policy)) return 2;
   try {
     Tree tree = LoadOrMakeTree(options);
-    const RequestSequence sigma = LoadOrMakeWorkload(options, tree);
+    const bool is_mlap = IsMlapSpec(options.policy);
+    const TimedWorkload timed =
+        is_mlap ? LoadOrMakeTimedWorkload(options, tree) : TimedWorkload{};
+    const RequestSequence sigma =
+        is_mlap ? timed.sigma : LoadOrMakeWorkload(options, tree);
     if (!options.save_workload.empty()) {
       std::ofstream out(options.save_workload);
-      WriteWorkload(out, sigma);
+      if (is_mlap) {
+        WriteTimedWorkload(out, timed);  // keep the arrival ticks
+      } else {
+        WriteWorkload(out, sigma);
+      }
       std::cout << "workload saved to " << options.save_workload << "\n";
     }
     std::cout << "tree: " << tree.Describe() << "\nworkload: "
               << options.workload << " x" << sigma.size()
               << ", policy: " << options.policy << ", op: " << options.op
               << ", mode: " << options.mode << "\n\n";
+    if (is_mlap) {
+      // Batch per the delay/deadline rule, then run the batched sequence
+      // through the unmodified mechanism in whichever mode was asked for.
+      const RequestSequence batched =
+          ApplyMlapTransform(tree, timed, options.policy);
+      if (options.mode == "seq") return RunSequential(options, tree, batched);
+      if (options.mode == "concurrent") {
+        return RunConcurrent(options, tree, batched);
+      }
+      if (options.mode == "threads") return RunThreads(options, tree, batched);
+      std::cerr << "unknown mode " << options.mode << "\n";
+      return 2;
+    }
     if (options.mode == "seq") return RunSequential(options, tree, sigma);
     if (options.mode == "concurrent") {
       return RunConcurrent(options, tree, sigma);

@@ -172,8 +172,69 @@ RequestSequence MakeWriteHeavy(const Tree& tree, std::size_t length, Rng& rng) {
   return MakeMixed(tree, config, rng);
 }
 
+TimedWorkload MakeOnOff(const Tree& tree, std::size_t length,
+                        std::size_t burst_len, std::int64_t off_gap,
+                        double write_fraction, Rng& rng) {
+  if (burst_len == 0) throw std::invalid_argument("MakeOnOff: burst_len == 0");
+  if (off_gap < 0) throw std::invalid_argument("MakeOnOff: off_gap < 0");
+  TimedWorkload w;
+  w.sigma.reserve(length);
+  w.ticks.reserve(length);
+  std::int64_t now = 0;
+  while (w.sigma.size() < length) {
+    // Each burst hammers a fresh hot subset (about an eighth of the tree).
+    std::vector<NodeId> hot;
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (rng.NextBool(0.125)) hot.push_back(v);
+    }
+    if (hot.empty()) {
+      hot.push_back(static_cast<NodeId>(
+          rng.NextBounded(static_cast<std::uint64_t>(tree.size()))));
+    }
+    for (std::size_t i = 0; i < burst_len && w.sigma.size() < length; ++i) {
+      const NodeId node = hot[rng.NextBounded(hot.size())];
+      if (rng.NextBool(write_fraction)) {
+        w.sigma.push_back(Request::Write(node, RandomValue(rng, 0, 100)));
+      } else {
+        w.sigma.push_back(Request::Combine(node));
+      }
+      w.ticks.push_back(now++);
+    }
+    now += off_gap;
+  }
+  return w;
+}
+
+TimedWorkload MakePareto(const Tree& tree, std::size_t length, double alpha,
+                         double write_fraction, Rng& rng) {
+  if (!(alpha > 0)) throw std::invalid_argument("MakePareto: alpha <= 0");
+  TimedWorkload w;
+  w.sigma.reserve(length);
+  w.ticks.reserve(length);
+  std::int64_t now = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    const NodeId node = static_cast<NodeId>(
+        rng.NextBounded(static_cast<std::uint64_t>(tree.size())));
+    if (rng.NextBool(write_fraction)) {
+      w.sigma.push_back(Request::Write(node, RandomValue(rng, 0, 100)));
+    } else {
+      w.sigma.push_back(Request::Combine(node));
+    }
+    w.ticks.push_back(now);
+    // Pareto(alpha) minus its minimum 1, floored: mostly 0 (back-to-back)
+    // with heavy-tailed silences. Clamp so one freak draw cannot dominate.
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    const double gap = std::pow(1.0 / u, 1.0 / alpha) - 1.0;
+    now += static_cast<std::int64_t>(std::min(gap, 10000.0));
+  }
+  return w;
+}
+
 RequestSequence MakeWorkload(const std::string& name, const Tree& tree,
                              std::size_t length, std::uint64_t seed) {
+  if (name == "onoff" || name == "pareto") {
+    return MakeTimedWorkload(name, tree, length, seed).sigma;
+  }
   Rng rng(seed);
   if (name == "mixed25" || name == "mixed50" || name == "mixed75") {
     MixedWorkloadConfig config;
@@ -197,10 +258,30 @@ RequestSequence MakeWorkload(const std::string& name, const Tree& tree,
   throw std::invalid_argument("MakeWorkload: unknown workload " + name);
 }
 
+TimedWorkload MakeTimedWorkload(const std::string& name, const Tree& tree,
+                                std::size_t length, std::uint64_t seed) {
+  if (name == "onoff") {
+    Rng rng(seed);
+    return MakeOnOff(tree, length, std::max<std::size_t>(8, length / 20), 64,
+                     0.2, rng);
+  }
+  if (name == "pareto") {
+    Rng rng(seed);
+    return MakePareto(tree, length, 1.5, 0.25, rng);
+  }
+  TimedWorkload w;
+  w.sigma = MakeWorkload(name, tree, length, seed);
+  w.ticks.resize(w.sigma.size());
+  for (std::size_t i = 0; i < w.ticks.size(); ++i) {
+    w.ticks[i] = static_cast<std::int64_t>(i);
+  }
+  return w;
+}
+
 const std::vector<std::string>& AllWorkloadNames() {
   static const std::vector<std::string> kNames = {
-      "mixed25", "mixed50",   "mixed75",    "bursty",
-      "hotspot", "readheavy", "writeheavy", "roundrobin"};
+      "mixed25", "mixed50",   "mixed75",    "bursty", "hotspot",
+      "readheavy", "writeheavy", "roundrobin", "onoff", "pareto"};
   return kNames;
 }
 

@@ -65,10 +65,38 @@ RequestSequence MakeReadHeavy(const Tree& tree, std::size_t length, Rng& rng);
 // Many writes, occasional reads (the Astrolabe-unfriendly workload).
 RequestSequence MakeWriteHeavy(const Tree& tree, std::size_t length, Rng& rng);
 
+// A request sequence together with arrival ticks (nondecreasing). Plain
+// sequences are implicitly one-request-per-tick; bursty generators produce
+// genuinely clustered ticks, which is what makes delay-cost policies (MLAP,
+// core/mlap.h) interesting: delay only buys batching when requests cluster.
+struct TimedWorkload {
+  RequestSequence sigma;
+  std::vector<std::int64_t> ticks;
+};
+
+// On/off burst source: alternates ON bursts of `burst_len` back-to-back
+// requests (one per tick, concentrated on a fresh random hot subset per
+// burst) with OFF gaps of `off_gap` silent ticks.
+TimedWorkload MakeOnOff(const Tree& tree, std::size_t length,
+                        std::size_t burst_len, std::int64_t off_gap,
+                        double write_fraction, Rng& rng);
+
+// Heavy-tailed inter-arrival gaps: gap ~ floor(Pareto(alpha)), so most
+// requests arrive back-to-back but occasional long silences split the
+// stream into natural batches.
+TimedWorkload MakePareto(const Tree& tree, std::size_t length, double alpha,
+                         double write_fraction, Rng& rng);
+
 // Named dispatch for sweeps: "mixed25", "mixed50", "mixed75", "bursty",
-// "hotspot", "readheavy", "writeheavy", "roundrobin".
+// "hotspot", "readheavy", "writeheavy", "roundrobin", "onoff", "pareto".
 RequestSequence MakeWorkload(const std::string& name, const Tree& tree,
                              std::size_t length, std::uint64_t seed);
+
+// Like MakeWorkload but with arrival ticks. The untimed names arrive one
+// per tick (ticks = 0..length-1); "onoff" and "pareto" cluster. For any
+// name, MakeWorkload(name, ...) == MakeTimedWorkload(name, ...).sigma.
+TimedWorkload MakeTimedWorkload(const std::string& name, const Tree& tree,
+                                std::size_t length, std::uint64_t seed);
 
 const std::vector<std::string>& AllWorkloadNames();
 

@@ -62,4 +62,75 @@ std::string WorkloadToString(const RequestSequence& sigma) {
   return out.str();
 }
 
+TimedWorkload ReadTimedWorkload(std::istream& in) {
+  TimedWorkload w;
+  std::string line;
+  std::size_t line_number = 0;
+  std::int64_t last_tick = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op[0] == '#') continue;
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("workload line " +
+                                  std::to_string(line_number) + ": " + why);
+    };
+    if (op == "C" || op == "c") {
+      long node = 0;
+      if (!(ls >> node) || node < 0) fail("expected 'C <node>'");
+      w.sigma.push_back(Request::Combine(static_cast<NodeId>(node)));
+    } else if (op == "W" || op == "w") {
+      long node = 0;
+      Real value = 0;
+      if (!(ls >> node >> value) || node < 0) {
+        fail("expected 'W <node> <value>'");
+      }
+      w.sigma.push_back(Request::Write(static_cast<NodeId>(node), value));
+    } else {
+      fail("unknown op '" + op + "'");
+    }
+    std::string suffix;
+    std::int64_t tick = last_tick + 1;  // untimed lines advance one tick
+    if (ls >> suffix) {
+      long long parsed = 0;
+      if (suffix != "@" || !(ls >> parsed)) fail("expected '@ <tick>'");
+      tick = static_cast<std::int64_t>(parsed);
+      if (ls >> suffix) fail("trailing tokens");
+    }
+    if (tick < last_tick) fail("ticks must be nondecreasing");
+    w.ticks.push_back(tick);
+    last_tick = tick;
+  }
+  return w;
+}
+
+void WriteTimedWorkload(std::ostream& out, const TimedWorkload& workload) {
+  if (workload.ticks.size() != workload.sigma.size()) {
+    throw std::invalid_argument(
+        "WriteTimedWorkload: ticks size does not match sigma");
+  }
+  out << std::setprecision(std::numeric_limits<Real>::max_digits10);
+  for (std::size_t i = 0; i < workload.sigma.size(); ++i) {
+    const Request& r = workload.sigma[i];
+    if (r.op == ReqType::kCombine) {
+      out << "C " << r.node;
+    } else {
+      out << "W " << r.node << " " << r.arg;
+    }
+    out << " @ " << workload.ticks[i] << "\n";
+  }
+}
+
+TimedWorkload TimedWorkloadFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadTimedWorkload(in);
+}
+
+std::string TimedWorkloadToString(const TimedWorkload& workload) {
+  std::ostringstream out;
+  WriteTimedWorkload(out, workload);
+  return out.str();
+}
+
 }  // namespace treeagg

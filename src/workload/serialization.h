@@ -3,12 +3,20 @@
 //   "W <node> <value>"    — write value at node
 // Lines beginning with '#' and blank lines are ignored. Round-trips
 // exactly (values are printed with max_digits10 precision).
+//
+// v2 (timed): each line may carry an optional arrival tick suffix,
+//   "C <node> @ <tick>"
+//   "W <node> <value> @ <tick>"
+// The timed reader accepts both forms — an untimed line arrives one tick
+// after the previous request — so every v1 file is a valid v2 file. The
+// untimed reader stays strict and rejects the suffix.
 #ifndef TREEAGG_WORKLOAD_SERIALIZATION_H_
 #define TREEAGG_WORKLOAD_SERIALIZATION_H_
 
 #include <iosfwd>
 #include <string>
 
+#include "workload/generators.h"  // TimedWorkload
 #include "workload/request.h"
 
 namespace treeagg {
@@ -19,6 +27,13 @@ std::string WorkloadToString(const RequestSequence& sigma);
 // Stream variants (for file I/O without loading into a string).
 RequestSequence ReadWorkload(std::istream& in);
 void WriteWorkload(std::ostream& out, const RequestSequence& sigma);
+
+// Timed (v2) variants. Writing emits the "@ <tick>" suffix on every line;
+// reading accepts v1 and v2 lines mixed. Ticks must be nondecreasing.
+TimedWorkload TimedWorkloadFromString(const std::string& text);
+std::string TimedWorkloadToString(const TimedWorkload& workload);
+TimedWorkload ReadTimedWorkload(std::istream& in);
+void WriteTimedWorkload(std::ostream& out, const TimedWorkload& workload);
 
 }  // namespace treeagg
 

@@ -1,0 +1,279 @@
+// The MLAP delay-and-batch transform: spec parsing, the service-cost
+// model, the flush automaton under both variants (Bienkowski delay rule
+// and BFNT deadline rule with ancestor cascade), and the end-to-end
+// contract — the batched sequence runs under the unmodified RWW mechanism
+// and stays strictly consistent.
+#include "core/mlap.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "consistency/strict_checker.h"
+#include "core/extra_policies.h"
+#include "sim/system.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(MlapSpecTest, RecognizesAllForms) {
+  EXPECT_TRUE(IsMlapSpec("mlap"));
+  EXPECT_TRUE(IsMlapSpec("mlap(2)"));
+  EXPECT_TRUE(IsMlapSpec("mlap(0.5)"));
+  EXPECT_TRUE(IsMlapSpec("mlap-d"));
+  EXPECT_TRUE(IsMlapSpec("mlap-d(0.25)"));
+  EXPECT_FALSE(IsMlapSpec("mlapx"));
+  EXPECT_FALSE(IsMlapSpec("mlap()"));
+  EXPECT_FALSE(IsMlapSpec("mlap(abc)"));
+  EXPECT_FALSE(IsMlapSpec("mlap(1"));
+  EXPECT_FALSE(IsMlapSpec("RWW"));
+  EXPECT_FALSE(IsMlapSpec(""));
+}
+
+TEST(MlapSpecTest, ParsesVariantsAndDelayCost) {
+  MlapParams p = ParseMlapSpec("mlap");
+  EXPECT_FALSE(p.deadline_variant);
+  EXPECT_EQ(p.delay_cost, 1.0);
+
+  p = ParseMlapSpec("mlap(2.5)");
+  EXPECT_FALSE(p.deadline_variant);
+  EXPECT_EQ(p.delay_cost, 2.5);
+
+  p = ParseMlapSpec("mlap-d");
+  EXPECT_TRUE(p.deadline_variant);
+  EXPECT_EQ(p.delay_cost, 1.0);
+
+  p = ParseMlapSpec("mlap-d(0.5)");
+  EXPECT_TRUE(p.deadline_variant);
+  EXPECT_EQ(p.delay_cost, 0.5);
+}
+
+TEST(MlapSpecTest, RejectsNonPositiveDelayCostAndJunk) {
+  EXPECT_THROW(ParseMlapSpec("mlap(0)"), std::invalid_argument);
+  EXPECT_THROW(ParseMlapSpec("mlap(-1)"), std::invalid_argument);
+  EXPECT_THROW(ParseMlapSpec("mlap-d(0)"), std::invalid_argument);
+  EXPECT_THROW(ParseMlapSpec("bogus"), std::invalid_argument);
+  EXPECT_THROW(ParseMlapSpec("mlap(1x)"), std::invalid_argument);
+}
+
+TEST(MlapSpecTest, SpecStringRoundTrips) {
+  for (const char* spec : {"mlap", "mlap(0.5)", "mlap(2)", "mlap-d",
+                           "mlap-d(0.25)"}) {
+    const MlapParams p = ParseMlapSpec(spec);
+    EXPECT_EQ(ParseMlapSpec(MlapSpecString(p)), p) << spec;
+  }
+}
+
+TEST(MlapSpecTest, PolicyBySpecAcceptsMlapAndHelpNamesIt) {
+  EXPECT_NO_THROW(PolicyBySpec("mlap"));
+  EXPECT_NO_THROW(PolicyBySpec("mlap-d(0.5)"));
+  // A syntactically-mlap spec with bad parameters fails at parse time, in
+  // PolicyBySpec, not later in the transform.
+  EXPECT_THROW(PolicyBySpec("mlap(0)"), std::invalid_argument);
+  EXPECT_NE(PolicySpecHelp().find("mlap"), std::string::npos);
+  EXPECT_NE(PolicySpecHelp().find("mlap-d"), std::string::npos);
+}
+
+TEST(MlapServiceCostTest, IsTwiceDepthPlusOne) {
+  const Tree t = MakePath(3);  // 0 - 1 - 2
+  const std::vector<double> costs = MlapServiceCosts(t);
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_EQ(costs[0], 2.0);
+  EXPECT_EQ(costs[1], 4.0);
+  EXPECT_EQ(costs[2], 6.0);
+}
+
+// Delay rule, one request: node 1 on a 2-path has C = 4, so a lone
+// combine arriving at tick 0 accumulates delay 4 at tick 4 and flushes.
+TEST(MlapDelayRuleTest, LoneRequestWaitsItsServiceCost) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1)};
+  const MlapPlan plan = BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"));
+  ASSERT_EQ(plan.batched.size(), 1u);
+  EXPECT_EQ(plan.batched[0], Request::Combine(1));
+  ASSERT_EQ(plan.waits.size(), 1u);
+  EXPECT_EQ(plan.waits[0], 4);
+  EXPECT_EQ(plan.flushes, 1);
+  EXPECT_EQ(plan.served, 1);
+  EXPECT_EQ(plan.total_wait, 4);
+  EXPECT_EQ(plan.modeled_service_cost, 4.0);
+  EXPECT_EQ(plan.modeled_total_cost, 8.0);
+}
+
+// A higher delay cost makes waiting more expensive: the same lone request
+// flushes at ceil(C / delay_cost) = 1 tick instead of 4.
+TEST(MlapDelayRuleTest, HigherDelayCostFlushesSooner) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1)};
+  const MlapPlan plan = BuildMlapPlan(t, sigma, ParseMlapSpec("mlap(4)"));
+  ASSERT_EQ(plan.waits.size(), 1u);
+  EXPECT_EQ(plan.waits[0], 1);
+}
+
+// Two requests share one flush: arrivals {0, 2} at node 1 (C = 4) reach
+// accumulated delay 4 at tick 3 — smallest T with 2T - 2 >= 4.
+TEST(MlapDelayRuleTest, AccumulatedDelayBatchesRequests) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1), Request::Combine(1)};
+  const std::vector<std::int64_t> ticks = {0, 2};
+  const MlapPlan plan =
+      BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"), &ticks);
+  EXPECT_EQ(plan.flushes, 1);
+  EXPECT_EQ(plan.served, 2);
+  ASSERT_EQ(plan.waits.size(), 2u);
+  EXPECT_EQ(plan.waits[0], 3);
+  EXPECT_EQ(plan.waits[1], 1);
+  EXPECT_EQ(plan.total_wait, 4);
+  EXPECT_EQ(plan.modeled_total_cost, 4.0 + 4.0);
+}
+
+// An arrival landing exactly on the node's trigger tick joins that batch
+// (arrivals at tick T are processed before flushes at T).
+TEST(MlapDelayRuleTest, ArrivalAtTriggerTickJoinsTheBatch) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1), Request::Combine(1)};
+  const std::vector<std::int64_t> ticks = {0, 4};  // trigger of the first is 4
+  const MlapPlan plan =
+      BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"), &ticks);
+  EXPECT_EQ(plan.flushes, 1);
+  ASSERT_EQ(plan.waits.size(), 2u);
+  EXPECT_EQ(plan.waits[0], 4);
+  EXPECT_EQ(plan.waits[1], 0);
+}
+
+// Deadline rule: a lone combine at node u flushes exactly
+// ceil(C_u / delay_cost) ticks after arrival.
+TEST(MlapDeadlineRuleTest, LoneRequestFlushesAtItsDeadline) {
+  const Tree t = MakePath(3);
+  const RequestSequence sigma = {Request::Combine(2)};
+  const MlapPlan plan = BuildMlapPlan(t, sigma, ParseMlapSpec("mlap-d(2)"));
+  ASSERT_EQ(plan.waits.size(), 1u);
+  EXPECT_EQ(plan.waits[0], 3);  // ceil(6 / 2)
+}
+
+// Deadline cascade: serving node 2 transmits the whole root path, so node
+// 1's pending queue rides along — two flushes, one service, priced at the
+// deepest node's cost only.
+TEST(MlapDeadlineRuleTest, ServiceCascadesToPendingAncestors) {
+  const Tree t = MakePath(3);
+  const RequestSequence sigma = {Request::Combine(2), Request::Combine(1)};
+  const std::vector<std::int64_t> ticks = {0, 3};
+  // Deadlines: node 2 at 0 + 6 = 6, node 1 at 3 + 4 = 7; node 2 fires
+  // first and drags node 1's queue with it at tick 6.
+  const MlapPlan plan =
+      BuildMlapPlan(t, sigma, ParseMlapSpec("mlap-d"), &ticks);
+  ASSERT_EQ(plan.batched.size(), 2u);
+  EXPECT_EQ(plan.batched[0], Request::Combine(2));
+  EXPECT_EQ(plan.batched[1], Request::Combine(1));
+  EXPECT_EQ(plan.flushes, 2);
+  EXPECT_EQ(plan.served, 2);
+  ASSERT_EQ(plan.waits.size(), 2u);
+  EXPECT_EQ(plan.waits[0], 6);
+  EXPECT_EQ(plan.waits[1], 3);
+  EXPECT_EQ(plan.modeled_service_cost, 6.0);  // deepest node only
+  EXPECT_EQ(plan.modeled_total_cost, 6.0 + 9.0);
+}
+
+// Without the cascade (delay variant), the same instance pays both
+// services.
+TEST(MlapDelayRuleTest, DelayVariantDoesNotCascade) {
+  const Tree t = MakePath(3);
+  const RequestSequence sigma = {Request::Combine(2), Request::Combine(1)};
+  const std::vector<std::int64_t> ticks = {0, 3};
+  const MlapPlan plan = BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"), &ticks);
+  EXPECT_EQ(plan.flushes, 2);
+  EXPECT_EQ(plan.modeled_service_cost, 6.0 + 4.0);
+}
+
+TEST(MlapPlanTest, WritesPassThroughInArrivalOrder) {
+  const Tree t = MakePath(3);
+  const RequestSequence sigma = {Request::Write(1, 5.0), Request::Combine(1),
+                                 Request::Write(2, 7.0)};
+  const MlapPlan plan = BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"));
+  ASSERT_EQ(plan.batched.size(), 3u);
+  EXPECT_EQ(plan.batched[0], Request::Write(1, 5.0));
+  EXPECT_EQ(plan.batched[1], Request::Write(2, 7.0));
+  EXPECT_EQ(plan.batched[2], Request::Combine(1));  // flushed after both
+  EXPECT_EQ(plan.served, 1);
+}
+
+// Simultaneous triggers break ties by node id, independent of injection
+// order — the determinism hook for cross-backend bit-identity.
+TEST(MlapPlanTest, SimultaneousTriggersFlushInNodeIdOrder) {
+  const Tree t = MakeShape("star", 4, /*seed=*/1);  // 1, 2, 3 under root
+  const RequestSequence sigma = {Request::Combine(3), Request::Combine(1)};
+  const std::vector<std::int64_t> ticks = {0, 0};
+  const MlapPlan plan = BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"), &ticks);
+  ASSERT_EQ(plan.batched.size(), 2u);
+  EXPECT_EQ(plan.batched[0], Request::Combine(1));
+  EXPECT_EQ(plan.batched[1], Request::Combine(3));
+}
+
+TEST(MlapPlanTest, ValidatesArrivalTicks) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1), Request::Combine(1)};
+  const std::vector<std::int64_t> wrong_size = {0};
+  const std::vector<std::int64_t> decreasing = {3, 1};
+  EXPECT_THROW(
+      BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"), &wrong_size),
+      std::invalid_argument);
+  EXPECT_THROW(
+      BuildMlapPlan(t, sigma, ParseMlapSpec("mlap"), &decreasing),
+      std::invalid_argument);
+  MlapParams bad;
+  bad.delay_cost = 0;
+  EXPECT_THROW(BuildMlapPlan(t, sigma, bad), std::invalid_argument);
+}
+
+TEST(MlapPlanTest, EveryCombineIsServedExactlyOnce) {
+  const Tree t = MakeKary(15, 2);
+  const TimedWorkload timed = MakeTimedWorkload("onoff", t, 400, 11);
+  for (const char* spec : {"mlap", "mlap(0.5)", "mlap-d", "mlap-d(2)"}) {
+    const MlapPlan plan =
+        BuildMlapPlan(t, timed.sigma, ParseMlapSpec(spec), &timed.ticks);
+    const RequestMix in = CountMix(timed.sigma);
+    const RequestMix out = CountMix(plan.batched);
+    EXPECT_EQ(plan.served, static_cast<std::int64_t>(in.combines)) << spec;
+    EXPECT_EQ(plan.waits.size(), in.combines) << spec;
+    EXPECT_EQ(out.writes, in.writes) << spec;
+    EXPECT_EQ(out.combines, static_cast<std::size_t>(plan.flushes)) << spec;
+    EXPECT_LE(plan.flushes, plan.served) << spec;
+    for (const std::int64_t w : plan.waits) EXPECT_GE(w, 0) << spec;
+  }
+}
+
+TEST(MlapPlanTest, DeterministicAcrossRuns) {
+  const Tree t = MakeKary(31, 2);
+  const TimedWorkload timed = MakeTimedWorkload("pareto", t, 300, 5);
+  const MlapParams params = ParseMlapSpec("mlap-d(0.5)");
+  const MlapPlan a = BuildMlapPlan(t, timed.sigma, params, &timed.ticks);
+  const MlapPlan b = BuildMlapPlan(t, timed.sigma, params, &timed.ticks);
+  EXPECT_EQ(a.batched, b.batched);
+  EXPECT_EQ(a.waits, b.waits);
+  EXPECT_EQ(a.modeled_total_cost, b.modeled_total_cost);
+}
+
+// The whole point of the transform: the batched sequence is an ordinary
+// request sequence for the unmodified mechanism — strictly consistent
+// under RWW, and cheaper in messages than the raw sequence on a bursty
+// workload (batching collapses combines between writes).
+TEST(MlapEndToEndTest, BatchedSequenceIsStrictlyConsistentAndCheaper) {
+  const Tree t = MakeKary(15, 2);
+  const TimedWorkload timed = MakeTimedWorkload("onoff", t, 300, 3);
+  const MlapPlan plan =
+      BuildMlapPlan(t, timed.sigma, ParseMlapSpec("mlap"), &timed.ticks);
+  EXPECT_GT(plan.total_wait, 0);
+
+  AggregationSystem raw(t, RwwFactory());
+  raw.Execute(timed.sigma);
+  AggregationSystem batched(t, RwwFactory());
+  batched.Execute(plan.batched);
+  EXPECT_TRUE(
+      CheckStrictConsistency(batched.history(), SumOp(), t.size()).ok);
+  EXPECT_LT(batched.trace().TotalMessages(), raw.trace().TotalMessages());
+}
+
+}  // namespace
+}  // namespace treeagg

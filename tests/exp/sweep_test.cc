@@ -255,7 +255,7 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   std::ostringstream out;
   WriteSweepJson(out, spec, r);
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"treeagg-sweep-v5\""), std::string::npos);
   EXPECT_NE(json.find("\"cells_total\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"policy\": \"lease(1,3)\""), std::string::npos);
   EXPECT_NE(json.find("\"total_messages\""), std::string::npos);
@@ -270,6 +270,8 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
   // v4 added the aggregate metrics block.
   EXPECT_NE(json.find("\"metrics\""), std::string::npos);
   EXPECT_NE(json.find("\"probes\""), std::string::npos);
+  // v5 added the per-cell execution backend.
+  EXPECT_NE(json.find("\"backend\": \"sim\""), std::string::npos);
   // Balanced braces/brackets — catches truncated emission.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
@@ -277,7 +279,7 @@ TEST(SweepTest, JsonReportIsWellFormedEnough) {
             std::count(json.begin(), json.end(), ']'));
 }
 
-TEST(SweepJsonTest, V4RoundTripsThroughTheReader) {
+TEST(SweepJsonTest, V5RoundTripsThroughTheReader) {
   SweepSpec spec;
   spec.shapes = {"kary2"};
   spec.sizes = {15};
@@ -291,7 +293,7 @@ TEST(SweepJsonTest, V4RoundTripsThroughTheReader) {
   WriteSweepJson(io, spec, r);
   const SweepJson back = ReadSweepJson(io);
 
-  EXPECT_EQ(back.schema, "treeagg-sweep-v4");
+  EXPECT_EQ(back.schema, "treeagg-sweep-v5");
   EXPECT_EQ(back.threads, r.threads_used);
   EXPECT_FALSE(back.competitive);
   EXPECT_EQ(back.cells_failed, 0u);
@@ -366,6 +368,184 @@ TEST(SweepJsonTest, ReadsHandwrittenV1Document) {
   EXPECT_EQ(c.latency.p95, 0.0);
   EXPECT_EQ(c.spec.fault, "none");  // pre-v3: no fault axis
   EXPECT_TRUE(c.converged);
+}
+
+TEST(SweepMlapTest, MlapCellFillsBatchingStatsAndRatio) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"onoff"};
+  spec.policies = {"RWW", "mlap", "mlap-d(0.5)"};
+  spec.seeds = {1};
+  spec.requests = 200;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 3u);
+  const CellResult& rww = r.cells[0];
+  const CellResult& mlap = r.cells[1];
+  const CellResult& mlapd = r.cells[2];
+  ASSERT_TRUE(rww.ok) << rww.error;
+  ASSERT_TRUE(mlap.ok) << mlap.error;
+  ASSERT_TRUE(mlapd.ok) << mlapd.error;
+  EXPECT_FALSE(rww.has_mlap);
+  ASSERT_TRUE(mlap.has_mlap);
+  ASSERT_TRUE(mlapd.has_mlap);
+  EXPECT_FALSE(mlap.mlap.deadline);
+  EXPECT_TRUE(mlapd.mlap.deadline);
+  EXPECT_EQ(mlapd.mlap.delay_cost, 0.5);
+  // The latency-vs-messages frontier: batching trades wait for messages.
+  EXPECT_LT(mlap.total_messages, rww.total_messages);
+  EXPECT_GT(mlap.mlap.total_wait, 0);
+  EXPECT_GT(mlap.mlap.flushes, 0);
+  EXPECT_LE(mlap.mlap.flushes, mlap.mlap.served);
+  EXPECT_GE(mlap.mlap.ratio, 1.0 - 1e-9);  // delay rule vs its own optimum
+  EXPECT_GT(mlap.mlap.online_cost, 0.0);
+  EXPECT_GT(mlap.mlap.offline_opt, 0.0);
+  EXPECT_EQ(mlap.mlap.wait.count,
+            static_cast<std::size_t>(mlap.mlap.served));
+  // The cheaper deadline knob flushes less often than the delay rule here.
+  EXPECT_LT(mlapd.mlap.flushes, mlap.mlap.flushes);
+}
+
+TEST(SweepMlapTest, MlapCellsAreThreadCountInvariant) {
+  SweepSpec spec;
+  spec.shapes = {"kary2", "path"};
+  spec.sizes = {15};
+  spec.workloads = {"onoff", "pareto"};
+  spec.policies = {"mlap", "mlap-d"};
+  spec.seeds = {1, 2};
+  spec.requests = 150;
+  spec.threads = 1;
+  const SweepResult serial = RunSweep(spec);
+  ASSERT_EQ(serial.cells.size(), 16u);
+  spec.threads = 4;
+  const SweepResult parallel = RunSweep(spec);
+  EXPECT_EQ(Keys(parallel), Keys(serial));
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    ASSERT_TRUE(serial.cells[i].has_mlap) << i;
+    EXPECT_EQ(parallel.cells[i].mlap.flushes, serial.cells[i].mlap.flushes);
+    EXPECT_EQ(parallel.cells[i].mlap.total_wait,
+              serial.cells[i].mlap.total_wait);
+    EXPECT_EQ(parallel.cells[i].mlap.ratio, serial.cells[i].mlap.ratio);
+  }
+}
+
+TEST(SweepMlapTest, CompetitiveModeRejectsMlapCells) {
+  // Competitive mode prices lease policies against the Section 4 bounds;
+  // MLAP cells carry their own offline pricing in the mlap block instead.
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"onoff"};
+  spec.policies = {"mlap"};
+  spec.seeds = {1};
+  spec.requests = 80;
+  spec.competitive = true;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_FALSE(r.cells[0].ok);
+  EXPECT_NE(r.cells[0].error.find("mlap"), std::string::npos);
+}
+
+TEST(SweepMlapTest, BadMlapSpecIsReportedNotFatal) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"onoff"};
+  spec.policies = {"mlap(0)"};
+  spec.seeds = {1};
+  spec.requests = 50;
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_FALSE(r.cells[0].ok);
+  EXPECT_FALSE(r.cells[0].error.empty());
+}
+
+TEST(SweepBackendTest, BackendTagsCellsWithoutChangingTheirSeeds) {
+  SweepSpec sim = SmallSpec();
+  SweepSpec net = SmallSpec();
+  net.backend = "net-local";
+  const std::vector<CellSpec> a = ExpandCells(sim);
+  const std::vector<CellSpec> b = ExpandCells(net);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].backend, "sim");
+    EXPECT_EQ(b[i].backend, "net-local");
+    // The backend is not folded into seed derivation: sim and net-local
+    // cells see identical trees and workloads by construction.
+    EXPECT_EQ(a[i].tree_seed, b[i].tree_seed) << i;
+    EXPECT_EQ(a[i].workload_seed, b[i].workload_seed) << i;
+  }
+}
+
+TEST(SweepBackendTest, UnknownBackendIsReportedNotFatal) {
+  SweepSpec spec;
+  spec.shapes = {"path"};
+  spec.sizes = {8};
+  spec.workloads = {"mixed50"};
+  spec.policies = {"RWW"};
+  spec.seeds = {1};
+  spec.requests = 40;
+  spec.backend = "bogus";
+  const SweepResult r = RunSweep(spec);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_FALSE(r.cells[0].ok);
+  EXPECT_NE(r.cells[0].error.find("backend"), std::string::npos);
+}
+
+TEST(SweepJsonTest, MlapBlockAndBackendRoundTripThroughTheReader) {
+  SweepSpec spec;
+  spec.shapes = {"kary2"};
+  spec.sizes = {15};
+  spec.workloads = {"onoff"};
+  spec.policies = {"RWW", "mlap-d(0.5)"};
+  spec.seeds = {2};
+  spec.requests = 120;
+  const SweepResult r = RunSweep(spec);
+  std::stringstream io;
+  WriteSweepJson(io, spec, r);
+  const SweepJson back = ReadSweepJson(io);
+  ASSERT_EQ(back.cells.size(), 2u);
+  EXPECT_FALSE(back.cells[0].has_mlap);
+  ASSERT_TRUE(back.cells[1].has_mlap);
+  const MlapCellStats& want = r.cells[1].mlap;
+  const MlapCellStats& got = back.cells[1].mlap;
+  EXPECT_EQ(got.delay_cost, 0.5);
+  EXPECT_TRUE(got.deadline);
+  EXPECT_EQ(got.flushes, want.flushes);
+  EXPECT_EQ(got.served, want.served);
+  EXPECT_EQ(got.total_wait, want.total_wait);
+  EXPECT_EQ(got.wait.count, want.wait.count);
+  EXPECT_NEAR(got.wait.p95, want.wait.p95, 1e-4 * (1 + want.wait.p95));
+  EXPECT_NEAR(got.online_cost, want.online_cost,
+              1e-4 * (1 + want.online_cost));
+  EXPECT_NEAR(got.ratio, want.ratio, 1e-4 * (1 + want.ratio));
+  for (const CellResult& c : back.cells) EXPECT_EQ(c.spec.backend, "sim");
+}
+
+TEST(SweepJsonTest, ReadsV4DocumentWithoutBackendOrMlap) {
+  // A pre-v5 file has no backend field and no mlap blocks; the reader
+  // defaults the backend to "sim" and leaves has_mlap false.
+  std::stringstream in(
+      "{\n"
+      "  \"schema\": \"treeagg-sweep-v4\",\n"
+      "  \"threads\": 1,\n"
+      "  \"competitive\": false,\n"
+      "  \"cells_total\": 1,\n"
+      "  \"cells_failed\": 0,\n"
+      "  \"cells\": [\n"
+      "    {\"shape\": \"path\", \"n\": 8, \"workload\": \"mixed50\",\n"
+      "     \"policy\": \"RWW\", \"requests\": 100, \"seed\": 7,\n"
+      "     \"fault\": \"none\", \"ok\": true, \"converged\": true,\n"
+      "     \"messages\": {\"probes\": 10, \"responses\": 11,\n"
+      "                    \"updates\": 12, \"releases\": 13, \"total\": 46},\n"
+      "     \"wall_seconds\": 0.5, \"requests_per_sec\": 200}\n"
+      "  ]\n"
+      "}\n");
+  const SweepJson report = ReadSweepJson(in);
+  EXPECT_EQ(report.schema, "treeagg-sweep-v4");
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].spec.backend, "sim");
+  EXPECT_FALSE(report.cells[0].has_mlap);
 }
 
 TEST(SweepJsonTest, RejectsUnknownSchema) {

@@ -147,6 +147,27 @@ TEST(BackendEquivalenceBatched, KaryMixed75PullAllFourDaemons) {
       {"kary2", 15, "mixed75", "pull-all", "sum", 4, "subtree"}, 7);
 }
 
+// MLAP is a sequence transform in front of the RWW mechanism, applied once
+// inside the harness (WithFinalCombine): all three backends execute the
+// same batched sequence and must stay bit-identical — the 7-triple
+// equivalence contract extends to the delay-and-batch policy family.
+TEST(BackendEquivalenceMlap, KaryBurstyDelayRule) {
+  ExpectEquivalent({"kary2", 15, "onoff", "mlap(1)", "sum", 2, "block"}, 11);
+}
+
+TEST(BackendEquivalenceMlap, PathParetoDeadlineRule) {
+  ExpectEquivalent({"path", 9, "pareto", "mlap-d(0.5)", "sum", 2, "rr"}, 12);
+}
+
+TEST(BackendEquivalenceMlap, StarMixedDelayRuleMax) {
+  ExpectEquivalent({"star", 12, "mixed50", "mlap(2)", "max", 3, "block"}, 13);
+}
+
+TEST(BackendEquivalenceMlap, BatchedTransportKaryBurstyDelayRule) {
+  ExpectEquivalentBatched({"kary2", 15, "onoff", "mlap", "sum", 2, "block"},
+                          14);
+}
+
 TEST(BackendEquivalence, ReportNamesDivergingBackendOnPolicyMismatch) {
   // Not an equivalence failure of the system — a sanity check that the
   // harness itself detects divergence. Different ops produce different

@@ -1,0 +1,74 @@
+// The LP relaxation of per-node MLAP batching: every integral plan is
+// LP-feasible, so the chain LP <= DP <= brute force pins both the
+// relaxation and the DP from opposite sides.
+#include "lp/mlap_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "offline/mlap_dp.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(MlapLpTest, EmptyAndSingletonBaseCases) {
+  EXPECT_EQ(MlapBatchLpLowerBound({}, 10.0, 1.0), 0.0);
+  // One request forces x >= 1 at its arrival: the LP value is exactly the
+  // service cost.
+  EXPECT_NEAR(MlapBatchLpLowerBound({3}, 10.0, 1.0), 10.0, 1e-9);
+}
+
+TEST(MlapLpTest, LowerBoundsTheDpWhichLowerBoundsBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t k = 1 + rng.NextBounded(7);
+    std::vector<std::int64_t> arrivals;
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      t += static_cast<std::int64_t>(rng.NextBounded(6));
+      arrivals.push_back(t);
+    }
+    const double service = 1.0 + static_cast<double>(rng.NextBounded(12));
+    const double delay =
+        0.5 * (1.0 + static_cast<double>(rng.NextBounded(4)));
+    const double lp = MlapBatchLpLowerBound(arrivals, service, delay);
+    const double dp = OfflineBatchOpt(arrivals, service, delay);
+    const double brute = OfflineBatchOptBruteForce(arrivals, service, delay);
+    EXPECT_LE(lp, dp + 1e-7) << "trial " << trial;
+    EXPECT_NEAR(dp, brute, 1e-9) << "trial " << trial;
+    EXPECT_GT(lp, 0.0) << "trial " << trial;
+  }
+}
+
+// Distinct arrivals far apart force singleton batches; there the LP is
+// tight (serving each request at its arrival is optimal and integral).
+TEST(MlapLpTest, TightWhenBatchingNeverPays) {
+  const std::vector<std::int64_t> arrivals = {0, 100, 200};
+  const double dp = OfflineBatchOpt(arrivals, 2.0, 1.0);
+  EXPECT_EQ(dp, 6.0);
+  EXPECT_NEAR(MlapBatchLpLowerBound(arrivals, 2.0, 1.0), dp, 1e-7);
+}
+
+TEST(MlapLpTest, TreeSumLowerBoundsTheDecoupledOptimum) {
+  const Tree t = MakeKary(7, 2);
+  const TimedWorkload timed = MakeTimedWorkload("onoff", t, 60, 13);
+  const MlapParams params = ParseMlapSpec("mlap");
+  const double lp = MlapLpLowerBound(t, timed.sigma, params, &timed.ticks);
+  const MlapOfflineResult opt =
+      OfflineMlapOptimum(t, timed.sigma, params, &timed.ticks);
+  EXPECT_GT(lp, 0.0);
+  EXPECT_LE(lp, opt.cost + 1e-7);
+}
+
+TEST(MlapLpTest, ValidatesTickCount) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1)};
+  const std::vector<std::int64_t> wrong = {0, 1};
+  EXPECT_THROW(MlapLpLowerBound(t, sigma, ParseMlapSpec("mlap"), &wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -914,6 +914,70 @@ TEST(WireV2Interop, DelayProfilesNeverLeakIntoTheWireFormat) {
   EXPECT_EQ(daemon.error(), "");
 }
 
+// Policy selection rides the existing wire with no frame changes: a
+// daemon configured with an MLAP spec ("mlap(1)") builds the same RWW
+// mechanism — the delay-and-batch transform happens at the injection
+// side, never in the daemon — so a fake peer that spoke a v2 hello sees
+// strictly v2 bytes and only pre-existing frame types. If MLAP had leaked
+// into the wire (a new frame type, a version bump, a policy field), this
+// peer's decoder would have caught it.
+TEST(WireV2Interop, MlapPolicySelectionNeverLeaksIntoTheWireFormat) {
+  ClusterConfig config;
+  config.tree_parent = {0, 0};
+  config.policy = "mlap(1)";
+  config.op = "sum";
+  config.daemons = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  config.node_daemon = {0, 1};
+  config.Validate();
+
+  NodeDaemon daemon(1, config, NodeDaemon::Options{});
+  daemon.Bind();
+  const std::uint16_t port = daemon.BoundPort();
+  daemon.SetResolvedPorts({0, port});
+  std::thread runner([&daemon] { daemon.Run(); });
+
+  const TransportOptions topts;
+  std::string err;
+  ScopedFd peer_fd = ConnectWithBackoff("127.0.0.1", port, topts, &err);
+  ASSERT_TRUE(peer_fd.valid()) << err;
+
+  WireFrame hello;
+  hello.type = FrameType::kPeerHello;
+  hello.daemon_id = 0;
+  hello.resume = 0;
+  ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(hello, /*version=*/2)));
+
+  std::vector<std::uint8_t> peer_buf;
+  std::vector<RawFrame> peer_frames;
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 1, 10000));
+  ASSERT_EQ(peer_frames[0].frame.type, FrameType::kPeerHello);
+  EXPECT_EQ(peer_frames[0].frame.daemon_id, 1u);
+
+  // Three probes at the leaf: each is served by the unmodified RWW
+  // mechanism and answered with a plain kResponse.
+  for (int i = 0; i < 3; ++i) {
+    WireFrame probe;
+    probe.type = FrameType::kProtocol;
+    probe.msg.type = MsgType::kProbe;
+    probe.msg.from = 0;
+    probe.msg.to = 1;
+    ASSERT_TRUE(SendAllBytes(peer_fd.get(), EncodeFrame(probe, /*version=*/2)));
+  }
+  ASSERT_TRUE(PumpRawFrames(peer_fd.get(), &peer_buf, &peer_frames, 4, 10000));
+
+  for (const RawFrame& rf : peer_frames) {
+    EXPECT_EQ(rf.version, 2) << "daemon sent a non-v2 frame to a v2 peer";
+    EXPECT_TRUE(rf.frame.type == FrameType::kPeerHello ||
+                rf.frame.type == FrameType::kProtocol)
+        << "unexpected frame type for a v2 peer";
+    EXPECT_FALSE(rf.frame.ack_valid);
+  }
+
+  daemon.RequestStop();
+  runner.join();
+  EXPECT_EQ(daemon.error(), "");
+}
+
 // A v4 daemon with frame batching CONFIGURED faces a fake peer that spoke
 // a v3 hello: the session downgrades, so every frame the daemon sends
 // there must be v3-encoded and must never be kBatch (a v3 decoder would

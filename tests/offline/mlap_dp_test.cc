@@ -1,0 +1,119 @@
+// Offline MLAP pricing: the per-node batching DP against the exhaustive
+// partition search, and the online plan priced against the offline
+// optimum (delay-variant online cost can never beat the per-node optimum
+// it plays against).
+#include "offline/mlap_dp.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "tree/generators.h"
+#include "workload/generators.h"
+
+namespace treeagg {
+namespace {
+
+TEST(OfflineBatchOptTest, EmptyAndSingletonBaseCases) {
+  std::int64_t services = -1;
+  EXPECT_EQ(OfflineBatchOpt({}, 10.0, 1.0, &services), 0.0);
+  EXPECT_EQ(services, 0);
+  // One request: one batch served at its arrival, no delay.
+  EXPECT_EQ(OfflineBatchOpt({5}, 10.0, 1.0, &services), 10.0);
+  EXPECT_EQ(services, 1);
+}
+
+TEST(OfflineBatchOptTest, HandComputedInstance) {
+  // Arrivals {0, 1, 9}, C = 4, delay cost 1. One batch at 9 costs
+  // 4 + (9 + 8 + 0) = 21; {0,1} at 1 plus {9} costs 4 + 1 + 4 = 9;
+  // three singleton batches cost 12. Optimum is 9 with two services.
+  std::int64_t services = 0;
+  EXPECT_EQ(OfflineBatchOpt({0, 1, 9}, 4.0, 1.0, &services), 9.0);
+  EXPECT_EQ(services, 2);
+  // With a huge service cost the single batch wins: 100 + 17.
+  EXPECT_EQ(OfflineBatchOpt({0, 1, 9}, 100.0, 1.0, &services), 117.0);
+  EXPECT_EQ(services, 1);
+}
+
+TEST(OfflineBatchOptTest, RejectsDecreasingArrivals) {
+  EXPECT_THROW(OfflineBatchOpt({3, 1}, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(OfflineBatchOptTest, BruteForceRefusesLargeInstances) {
+  const std::vector<std::int64_t> big(21, 0);
+  EXPECT_THROW(OfflineBatchOptBruteForce(big, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(OfflineBatchOptTest, DpMatchesBruteForceOnRandomInstances) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t k = 1 + rng.NextBounded(10);
+    std::vector<std::int64_t> arrivals;
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      t += static_cast<std::int64_t>(rng.NextBounded(8));
+      arrivals.push_back(t);
+    }
+    const double service = 1.0 + static_cast<double>(rng.NextBounded(20));
+    const double delay =
+        0.25 * (1.0 + static_cast<double>(rng.NextBounded(8)));
+    EXPECT_NEAR(OfflineBatchOpt(arrivals, service, delay),
+                OfflineBatchOptBruteForce(arrivals, service, delay), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(OfflineMlapOptimumTest, SumsPerNodeOptimaAndIgnoresWrites) {
+  const Tree t = MakePath(3);  // C = {2, 4, 6}
+  // Node 1: combines at ticks 0 and 1 (one batch: 4 + 1 = 5, vs 8 for
+  // two). Node 2: one combine (cost 6). The write adds nothing.
+  const RequestSequence sigma = {Request::Combine(1), Request::Combine(1),
+                                 Request::Write(2, 1.0),
+                                 Request::Combine(2)};
+  const std::vector<std::int64_t> ticks = {0, 1, 2, 3};
+  const MlapOfflineResult r =
+      OfflineMlapOptimum(t, sigma, ParseMlapSpec("mlap"), &ticks);
+  EXPECT_EQ(r.cost, 5.0 + 6.0);
+  EXPECT_EQ(r.services, 2);
+}
+
+TEST(OfflineMlapOptimumTest, ValidatesTickCount) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Combine(1)};
+  const std::vector<std::int64_t> wrong = {0, 1};
+  EXPECT_THROW(OfflineMlapOptimum(t, sigma, ParseMlapSpec("mlap"), &wrong),
+               std::invalid_argument);
+}
+
+// The delay-variant online automaton plays the same per-node objective the
+// DP optimizes, so online >= offline on every instance: ratio >= 1.
+TEST(MlapPricingTest, DelayVariantRatioIsAtLeastOne) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const Tree t = MakeKary(15, 2);
+    const TimedWorkload timed = MakeTimedWorkload("onoff", t, 300, seed);
+    const MlapParams params = ParseMlapSpec("mlap");
+    const MlapPlan plan =
+        BuildMlapPlan(t, timed.sigma, params, &timed.ticks);
+    const MlapPricing pricing =
+        PriceMlapPlan(t, timed.sigma, params, plan, &timed.ticks);
+    EXPECT_NEAR(pricing.online_cost, plan.modeled_total_cost, 1e-9);
+    EXPECT_GT(pricing.offline_opt, 0.0) << seed;
+    EXPECT_GE(pricing.ratio, 1.0 - 1e-9) << seed;
+    EXPECT_GT(pricing.offline_services, 0) << seed;
+  }
+}
+
+TEST(MlapPricingTest, EmptyInstancePricesAtRatioOne) {
+  const Tree t = MakePath(2);
+  const RequestSequence sigma = {Request::Write(1, 1.0)};
+  const MlapParams params = ParseMlapSpec("mlap");
+  const MlapPlan plan = BuildMlapPlan(t, sigma, params);
+  const MlapPricing pricing = PriceMlapPlan(t, sigma, params, plan);
+  EXPECT_EQ(pricing.offline_opt, 0.0);
+  EXPECT_EQ(pricing.ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace treeagg

@@ -92,5 +92,44 @@ TEST(CliHelpTest, UnknownChaosPresetListsValidPresetsOnStderr) {
   EXPECT_EQ(out.output, "") << "preset error leaked onto stdout";
 }
 
+// An unknown --policy mirrors the chaos-preset behavior: exit 2, nothing
+// on stdout, and a stderr message that names every valid policy spec.
+TEST(CliHelpTest, UnknownPolicyListsValidPoliciesOnStderr) {
+  const RunResult err = RunCli("--policy nonesuch --n 4 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("bad --policy 'nonesuch'"), std::string::npos);
+  EXPECT_NE(err.output.find("valid policies:"), std::string::npos);
+  for (const char* policy :
+       {"RWW", "lease(a,b)", "push-all", "pull-all", "timer(k)", "prob(p)",
+        "ewma", "mlap", "mlap-d"}) {
+    EXPECT_NE(err.output.find(policy), std::string::npos)
+        << policy << " missing from the policy list";
+  }
+
+  const RunResult out = RunCli("--policy nonesuch --n 4 2>/dev/null");
+  EXPECT_EQ(out.exit_code, 2);
+  EXPECT_EQ(out.output, "") << "policy error leaked onto stdout";
+}
+
+// Subcommands route through the same validator: sweep and chaos reject an
+// unknown policy with the same exit code and message shape.
+TEST(CliHelpTest, SubcommandsRejectUnknownPolicyTheSameWay) {
+  for (const char* invocation :
+       {"sweep --policies nonesuch", "chaos --policy nonesuch --n 4"}) {
+    const RunResult err =
+        RunCli(std::string(invocation) + " 2>&1 1>/dev/null");
+    EXPECT_EQ(err.exit_code, 2) << invocation;
+    EXPECT_NE(err.output.find("valid policies:"), std::string::npos)
+        << invocation;
+  }
+}
+
+// A bad parameter inside a recognized mlap spec fails the same gate.
+TEST(CliHelpTest, NonPositiveMlapDelayCostIsRejectedUpFront) {
+  const RunResult err = RunCli("--policy 'mlap(0)' --n 4 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("bad --policy"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace treeagg

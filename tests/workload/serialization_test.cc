@@ -53,5 +53,54 @@ TEST(WorkloadSerializationTest, EmptyInputIsEmptySequence) {
   EXPECT_TRUE(WorkloadFromString("# only comments\n").empty());
 }
 
+TEST(WorkloadSerializationTest, UntimedReaderStaysStrictAboutTickSuffix) {
+  // The v1 reader predates arrival ticks and must not silently drop them.
+  EXPECT_THROW(WorkloadFromString("C 1 @ 5\n"), std::invalid_argument);
+  EXPECT_THROW(WorkloadFromString("W 1 2.5 @ 5\n"), std::invalid_argument);
+}
+
+TEST(TimedSerializationTest, ParsesTickSuffixes) {
+  const TimedWorkload w = TimedWorkloadFromString(
+      "# timed\n"
+      "C 3 @ 0\n"
+      "W 1 2.5 @ 4\n"
+      "c 2 @ 4\n");
+  ASSERT_EQ(w.sigma.size(), 3u);
+  EXPECT_EQ(w.sigma[0], Request::Combine(3));
+  EXPECT_EQ(w.sigma[1], Request::Write(1, 2.5));
+  EXPECT_EQ(w.sigma[2], Request::Combine(2));
+  EXPECT_EQ(w.ticks, (std::vector<std::int64_t>{0, 4, 4}));
+}
+
+TEST(TimedSerializationTest, EveryV1FileIsAValidV2File) {
+  // Untimed lines arrive one tick after the previous request, from 0.
+  const TimedWorkload w = TimedWorkloadFromString(
+      "C 3\n"
+      "W 1 2.5\n"
+      "C 2 @ 10\n"
+      "W 0 -1\n");
+  EXPECT_EQ(w.ticks, (std::vector<std::int64_t>{0, 1, 10, 11}));
+}
+
+TEST(TimedSerializationTest, RoundTripsGeneratedTimedWorkloads) {
+  Tree t = MakeKary(15, 2);
+  for (const char* name : {"onoff", "pareto"}) {
+    const TimedWorkload original = MakeTimedWorkload(name, t, 400, 23);
+    const TimedWorkload reparsed =
+        TimedWorkloadFromString(TimedWorkloadToString(original));
+    EXPECT_EQ(original.sigma, reparsed.sigma) << name;
+    EXPECT_EQ(original.ticks, reparsed.ticks) << name;
+  }
+}
+
+TEST(TimedSerializationTest, RejectsDecreasingTicksAndJunk) {
+  EXPECT_THROW(TimedWorkloadFromString("C 1 @ 5\nC 1 @ 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(TimedWorkloadFromString("C 1 @\n"), std::invalid_argument);
+  EXPECT_THROW(TimedWorkloadFromString("C 1 @ x\n"), std::invalid_argument);
+  EXPECT_THROW(TimedWorkloadFromString("C 1 @ 5 extra\n"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace treeagg

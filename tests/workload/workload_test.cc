@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tree/generators.h"
 
 namespace treeagg {
@@ -123,6 +125,79 @@ TEST(WorkloadTest, DeterministicPerSeed) {
   RequestSequence a = MakeWorkload("mixed50", t, 300, 99);
   RequestSequence b = MakeWorkload("mixed50", t, 300, 99);
   EXPECT_EQ(a, b);
+}
+
+TEST(TimedWorkloadTest, NamedListIncludesTheTimedGenerators) {
+  const auto names = AllWorkloadNames();
+  for (const char* name : {"onoff", "pareto"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
+  }
+}
+
+TEST(TimedWorkloadTest, TicksAreNondecreasingAndSizedLikeSigma) {
+  Tree t = MakeKary(15, 2);
+  for (const std::string& name : AllWorkloadNames()) {
+    const TimedWorkload timed = MakeTimedWorkload(name, t, 200, 21);
+    EXPECT_EQ(timed.sigma.size(), timed.ticks.size()) << name;
+    EXPECT_FALSE(timed.sigma.empty()) << name;
+    for (std::size_t i = 1; i < timed.ticks.size(); ++i) {
+      EXPECT_GE(timed.ticks[i], timed.ticks[i - 1]) << name << " @" << i;
+    }
+  }
+}
+
+TEST(TimedWorkloadTest, MakeWorkloadIsTheUntimedProjection) {
+  Tree t = MakeKary(15, 2);
+  for (const char* name : {"onoff", "pareto", "mixed50"}) {
+    EXPECT_EQ(MakeWorkload(name, t, 150, 4),
+              MakeTimedWorkload(name, t, 150, 4).sigma)
+        << name;
+  }
+}
+
+TEST(TimedWorkloadTest, DeterministicPerSeed) {
+  Tree t = MakePath(12);
+  for (const char* name : {"onoff", "pareto"}) {
+    const TimedWorkload a = MakeTimedWorkload(name, t, 250, 77);
+    const TimedWorkload b = MakeTimedWorkload(name, t, 250, 77);
+    EXPECT_EQ(a.sigma, b.sigma) << name;
+    EXPECT_EQ(a.ticks, b.ticks) << name;
+    // Distinct seeds drift somewhere in the sequence.
+    const TimedWorkload c = MakeTimedWorkload(name, t, 250, 78);
+    EXPECT_TRUE(a.sigma != c.sigma || a.ticks != c.ticks) << name;
+  }
+}
+
+TEST(TimedWorkloadTest, OnOffAlternatesBurstsAndGaps) {
+  Tree t = MakePath(8);
+  const TimedWorkload timed = MakeTimedWorkload("onoff", t, 300, 9);
+  // Bursty arrivals: some consecutive ticks advance by the off-gap (a
+  // jump), most advance within a burst (by one).
+  std::size_t jumps = 0, steps = 0;
+  for (std::size_t i = 1; i < timed.ticks.size(); ++i) {
+    const std::int64_t d = timed.ticks[i] - timed.ticks[i - 1];
+    if (d > 8) ++jumps;
+    if (d <= 1) ++steps;
+  }
+  EXPECT_GT(jumps, 0u);
+  EXPECT_GT(steps, jumps);
+}
+
+TEST(TimedWorkloadTest, ParetoGapsAreHeavyTailed) {
+  Tree t = MakePath(8);
+  const TimedWorkload timed = MakeTimedWorkload("pareto", t, 2000, 17);
+  std::int64_t max_gap = 0;
+  std::size_t zero_gaps = 0;
+  for (std::size_t i = 1; i < timed.ticks.size(); ++i) {
+    const std::int64_t d = timed.ticks[i] - timed.ticks[i - 1];
+    max_gap = std::max(max_gap, d);
+    if (d == 0) ++zero_gaps;
+  }
+  // Heavy tail: at least one large quiet period AND many back-to-back
+  // arrivals in the same tick.
+  EXPECT_GT(max_gap, 20);
+  EXPECT_GT(zero_gaps, 100u);
 }
 
 }  // namespace

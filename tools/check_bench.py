@@ -36,14 +36,31 @@ Supported file shapes (auto-detected):
   outright (the wire or the read path changed the algorithm); for the
   fault shape the same applies to any non-converged row.
 
+Two modes:
+
+  Single (the original): one current file against one committed baseline,
+  gated on the plain geomean of per-series ratios.
+
+  Interleaved A/B: N baseline files and N current files, recorded in
+  ALTERNATING order on the same runner (baseline rep 1, candidate rep 1,
+  baseline rep 2, ...). Files are paired by repetition index; each shared
+  series takes the MEDIAN of its per-rep ratios (robust to one noisy rep),
+  and the gate is the geomean of those medians. Pairing cancels
+  runner-speed drift, which is what lets the floor tighten from 25% to
+  10%.
+
 usage:
   check_bench.py --current RUN.json --baseline BENCH_x.json \
       [--threshold 0.25] [--label NAME]
+  check_bench.py --ab-baseline B1.json B2.json ... \
+      --ab-current C1.json C2.json ... \
+      [--threshold 0.10] [--label NAME] [--table-out TABLE.md]
 """
 
 import argparse
 import json
 import math
+import statistics
 import sys
 
 
@@ -103,17 +120,103 @@ def load_throughputs(path):
     raise ValueError(f"{path}: unrecognized benchmark file shape")
 
 
+def run_ab(args):
+    """Interleaved A/B gate: rep-paired ratios, median per series, geomean
+    across series."""
+    if len(args.ab_baseline) != len(args.ab_current):
+        print(f"[{args.label}] FAIL: {len(args.ab_baseline)} baseline reps "
+              f"vs {len(args.ab_current)} current reps — pairing needs "
+              f"equal counts")
+        return 1
+
+    reps = []  # [(rep_index, baseline_series, current_series)]
+    for i, (bpath, cpath) in enumerate(
+            zip(args.ab_baseline, args.ab_current), start=1):
+        baseline, bfailed = load_throughputs(bpath)
+        current, cfailed = load_throughputs(cpath)
+        # A consistency failure in EITHER build is fatal: the candidate may
+        # have broken the algorithm, or the A/B harness itself is sick.
+        for which, failed in (("baseline", bfailed), ("current", cfailed)):
+            if failed:
+                print(f"[{args.label}] FAIL: consistency check failed in "
+                      f"{which} rep {i} for: {', '.join(failed)}")
+                return 1
+        reps.append((i, baseline, current))
+
+    shared = None
+    for _, baseline, current in reps:
+        names = set(baseline) & set(current)
+        shared = names if shared is None else shared & names
+    shared = sorted(shared or [])
+    if not shared:
+        print(f"[{args.label}] FAIL: no series common to every rep pair")
+        return 1
+
+    width = max(len(n) for n in shared)
+    rep_ids = [i for i, _, _ in reps]
+    table = []  # markdown rows for --table-out
+    header = (["series"] + [f"rep{i}" for i in rep_ids] + ["median"])
+    table.append("| " + " | ".join(header) + " |")
+    table.append("|" + "|".join("---" for _ in header) + "|")
+
+    log_sum = 0.0
+    for name in shared:
+        ratios = [current[name] / baseline[name]
+                  for _, baseline, current in reps]
+        med = statistics.median(ratios)
+        log_sum += math.log(med)
+        cells = " ".join(f"{r:5.3f}" for r in ratios)
+        print(f"[{args.label}] {name:<{width}}  reps [{cells}]  "
+              f"median {med:5.3f}")
+        table.append("| " + " | ".join(
+            [name] + [f"{r:.3f}" for r in ratios] + [f"{med:.3f}"]) + " |")
+
+    geomean = math.exp(log_sum / len(shared))
+    floor = 1.0 - args.threshold
+    verdict = "OK" if geomean >= floor else "FAIL"
+    summary = (f"geomean of per-series median ratios {geomean:.3f} over "
+               f"{len(shared)} series x {len(reps)} rep pairs "
+               f"(floor {floor:.2f}): {verdict}")
+    print(f"[{args.label}] {summary}")
+    table.append("")
+    table.append(f"**{args.label}**: {summary}")
+
+    if args.table_out:
+        with open(args.table_out, "a") as f:
+            f.write("\n".join(table) + "\n\n")
+
+    if geomean < floor:
+        print(f"[{args.label}] throughput regressed by more than "
+              f"{args.threshold:.0%} on the paired geomean")
+        return 1
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current",
                         help="JSON from the benchmark run under test")
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="committed BENCH_*.json to compare against")
+    parser.add_argument("--ab-baseline", nargs="+", default=None,
+                        help="baseline-build rep files, in recording order")
+    parser.add_argument("--ab-current", nargs="+", default=None,
+                        help="candidate-build rep files, in recording order")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated geomean regression (default 0.25)")
     parser.add_argument("--label", default="bench",
                         help="name for this comparison in the output")
+    parser.add_argument("--table-out", default=None,
+                        help="append the A/B per-rep markdown table here")
     args = parser.parse_args()
+
+    if (args.ab_baseline is None) != (args.ab_current is None):
+        parser.error("--ab-baseline and --ab-current must be given together")
+    if args.ab_baseline is not None:
+        return run_ab(args)
+    if not args.current or not args.baseline:
+        parser.error("either --current/--baseline or "
+                     "--ab-baseline/--ab-current is required")
 
     current, failed = load_throughputs(args.current)
     baseline, _ = load_throughputs(args.baseline)
